@@ -1,0 +1,285 @@
+use crate::{BackwardOp, Var};
+use pecan_tensor::{col2im, im2col, Conv2dGeometry, ShapeError, Tensor};
+
+struct Im2colBatchOp {
+    geom: Conv2dGeometry,
+    batch: usize,
+}
+
+impl BackwardOp for Im2colBatchOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        let g = &self.geom;
+        let hw = g.n_patches();
+        let rows = g.patch_len();
+        let total_cols = self.batch * hw;
+        let mut dinput = Tensor::zeros(&[self.batch, g.c_in(), g.h_in(), g.w_in()]);
+        let img_len = g.c_in() * g.h_in() * g.w_in();
+        for n in 0..self.batch {
+            // Slice this sample's columns out of [rows, N·HW].
+            let mut cols_n = Tensor::zeros(&[rows, hw]);
+            for r in 0..rows {
+                let src = &grad_out.data()[r * total_cols + n * hw..r * total_cols + (n + 1) * hw];
+                cols_n.row_mut(r).copy_from_slice(src);
+            }
+            let dimg = col2im(&cols_n, g).expect("geometry fixed at forward");
+            dinput.data_mut()[n * img_len..(n + 1) * img_len].copy_from_slice(dimg.data());
+        }
+        vec![Some(dinput)]
+    }
+    fn name(&self) -> &'static str {
+        "im2col_batch"
+    }
+}
+
+struct ColsToNchwOp {
+    batch: usize,
+    channels: usize,
+    hw: usize,
+}
+
+impl BackwardOp for ColsToNchwOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        // grad_out: [N, C, H, W] -> gradient for [C, N·HW]
+        let (n_b, c_n, hw) = (self.batch, self.channels, self.hw);
+        let mut g = Tensor::zeros(&[c_n, n_b * hw]);
+        let src = grad_out.data();
+        let dst = g.data_mut();
+        for n in 0..n_b {
+            for c in 0..c_n {
+                let s = &src[(n * c_n + c) * hw..(n * c_n + c + 1) * hw];
+                let d = &mut dst[c * (n_b * hw) + n * hw..c * (n_b * hw) + (n + 1) * hw];
+                d.copy_from_slice(s);
+            }
+        }
+        vec![Some(g)]
+    }
+    fn name(&self) -> &'static str {
+        "cols_to_nchw"
+    }
+}
+
+impl Var {
+    /// Unfolds a batched image `[N, cin, Hin, Win]` into the im2col feature
+    /// matrix `X ∈ R^{cin·k² × N·Hout·Wout}` (columns are sample-major:
+    /// column `n·HW + i` is patch `i` of sample `n`).
+    ///
+    /// This is the differentiable entry into the PECAN pipeline of
+    /// Fig. 1(b): both the baseline convolution and the PQ quantization
+    /// consume this matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the node is not `[N, cin, Hin, Win]` for
+    /// `geom`.
+    pub fn im2col_batch(&self, geom: &Conv2dGeometry) -> Result<Var, ShapeError> {
+        let input = self.value();
+        input.shape().expect_rank(4)?;
+        let dims = input.dims();
+        if dims[1] != geom.c_in() || dims[2] != geom.h_in() || dims[3] != geom.w_in() {
+            return Err(ShapeError::new(format!(
+                "im2col_batch: input {:?} does not match geometry (cin={}, h={}, w={})",
+                dims,
+                geom.c_in(),
+                geom.h_in(),
+                geom.w_in()
+            )));
+        }
+        let batch = dims[0];
+        let rows = geom.patch_len();
+        let hw = geom.n_patches();
+        let img_len = geom.c_in() * geom.h_in() * geom.w_in();
+        let mut value = Tensor::zeros(&[rows, batch * hw]);
+        for n in 0..batch {
+            let img = Tensor::from_vec(
+                input.data()[n * img_len..(n + 1) * img_len].to_vec(),
+                &[geom.c_in(), geom.h_in(), geom.w_in()],
+            )?;
+            let cols = im2col(&img, geom)?;
+            for r in 0..rows {
+                let dst_off = r * (batch * hw) + n * hw;
+                value.data_mut()[dst_off..dst_off + hw].copy_from_slice(cols.row(r));
+            }
+        }
+        drop(input);
+        Ok(Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(Im2colBatchOp { geom: *geom, batch }),
+        ))
+    }
+
+    /// Re-lays a `[C, N·HW]` matrix (conv output over im2col columns) as the
+    /// feature map `[N, C, Hout, Wout]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the node is not `[C, batch·h·w]`.
+    pub fn cols_to_nchw(
+        &self,
+        batch: usize,
+        h: usize,
+        w: usize,
+    ) -> Result<Var, ShapeError> {
+        let input = self.value();
+        input.shape().expect_rank(2)?;
+        let c_n = input.dims()[0];
+        let hw = h * w;
+        if input.dims()[1] != batch * hw {
+            return Err(ShapeError::new(format!(
+                "cols_to_nchw: {:?} does not hold {batch}·{h}·{w} columns",
+                input.dims()
+            )));
+        }
+        let mut value = Tensor::zeros(&[batch, c_n, h, w]);
+        {
+            let src = input.data();
+            let dst = value.data_mut();
+            for n in 0..batch {
+                for c in 0..c_n {
+                    let s = &src[c * (batch * hw) + n * hw..c * (batch * hw) + (n + 1) * hw];
+                    let d = &mut dst[(n * c_n + c) * hw..(n * c_n + c + 1) * hw];
+                    d.copy_from_slice(s);
+                }
+            }
+        }
+        drop(input);
+        Ok(Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(ColsToNchwOp { batch, channels: c_n, hw }),
+        ))
+    }
+
+    /// Complete 2-D convolution: `im2col → weight·X → +bias → NCHW`.
+    ///
+    /// `weight` must be the flattened filter matrix `[cout, cin·k²]`
+    /// (Fig. 1(b)); `bias` is `[cout]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on any shape inconsistency.
+    pub fn conv2d(
+        &self,
+        weight: &Var,
+        bias: Option<&Var>,
+        geom: &Conv2dGeometry,
+    ) -> Result<Var, ShapeError> {
+        let batch = {
+            let v = self.value();
+            v.shape().expect_rank(4)?;
+            v.dims()[0]
+        };
+        let cols = self.im2col_batch(geom)?;
+        let mut out = weight.matmul(&cols)?;
+        if let Some(b) = bias {
+            out = out.add_bias_rows(b)?;
+        }
+        out.cols_to_nchw(batch, geom.h_out(), geom.w_out())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(dims: &[usize], scale: f32) -> Tensor {
+        let len: usize = dims.iter().product();
+        Tensor::from_vec(
+            (0..len).map(|i| ((i * 31 % 17) as f32 - 8.0) * scale).collect(),
+            dims,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn conv2d_matches_manual_convolution() {
+        let geom = Conv2dGeometry::new(2, 4, 4, 3, 1, 1).unwrap();
+        let x = Var::parameter(ramp(&[2, 2, 4, 4], 0.3));
+        let w = Var::parameter(ramp(&[3, 18], 0.2));
+        let b = Var::parameter(Tensor::from_slice(&[0.1, -0.2, 0.3]));
+        let y = x.conv2d(&w, Some(&b), &geom).unwrap();
+        assert_eq!(y.value().dims(), &[2, 3, 4, 4]);
+
+        // spot-check one output element against a hand conv
+        let (n, f, oy, ox) = (1, 2, 2, 1);
+        let mut acc = b.value().data()[f];
+        for c in 0..2 {
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    let iy = oy as isize + ky as isize - 1;
+                    let ix = ox as isize + kx as isize - 1;
+                    if iy >= 0 && iy < 4 && ix >= 0 && ix < 4 {
+                        acc += w.value().get2(f, (c * 3 + ky) * 3 + kx)
+                            * x.value().at(&[n, c, iy as usize, ix as usize]);
+                    }
+                }
+            }
+        }
+        let got = y.value().at(&[n, f, oy, ox]);
+        assert!((got - acc).abs() < 1e-4, "got {got}, want {acc}");
+    }
+
+    #[test]
+    fn conv2d_backward_is_finite_difference_consistent() {
+        let geom = Conv2dGeometry::new(1, 3, 3, 2, 1, 0).unwrap();
+        let x0 = ramp(&[1, 1, 3, 3], 0.5);
+        let w0 = ramp(&[2, 4], 0.4);
+
+        let loss_of = |xt: &Tensor, wt: &Tensor| -> f32 {
+            let x = Var::constant(xt.clone());
+            let w = Var::constant(wt.clone());
+            let y = x.conv2d(&w, None, &geom).unwrap();
+            // squared sum keeps gradient non-constant in the inputs
+            let s: f32 = y.value().data().iter().map(|v| v * v).sum();
+            s
+        };
+
+        let x = Var::parameter(x0.clone());
+        let w = Var::parameter(w0.clone());
+        let y = x.conv2d(&w, None, &geom).unwrap();
+        let sq = y.mul(&y).unwrap().sum_all();
+        sq.backward();
+
+        let eps = 1e-2;
+        // check two coordinates of each gradient
+        for (idx, grad) in [(0usize, x.grad().unwrap()), (3, x.grad().unwrap())] {
+            let mut plus = x0.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = x0.clone();
+            minus.data_mut()[idx] -= eps;
+            let fd = (loss_of(&plus, &w0) - loss_of(&minus, &w0)) / (2.0 * eps);
+            let an = grad.data()[idx];
+            assert!((fd - an).abs() < 0.05 * (1.0 + fd.abs()), "dx[{idx}]: fd {fd} vs {an}");
+        }
+        for idx in [0usize, 5] {
+            let mut plus = w0.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = w0.clone();
+            minus.data_mut()[idx] -= eps;
+            let fd = (loss_of(&x0, &plus) - loss_of(&x0, &minus)) / (2.0 * eps);
+            let an = w.grad().unwrap().data()[idx];
+            assert!((fd - an).abs() < 0.05 * (1.0 + fd.abs()), "dw[{idx}]: fd {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn cols_roundtrip_is_identity() {
+        let geom = Conv2dGeometry::new(1, 4, 4, 1, 1, 0).unwrap();
+        let x = Var::parameter(ramp(&[3, 1, 4, 4], 1.0));
+        // 1×1 kernel: im2col is just a re-layout, so NCHW→cols→NCHW is identity
+        let cols = x.im2col_batch(&geom).unwrap();
+        let back = cols.cols_to_nchw(3, 4, 4).unwrap();
+        assert!(back.value().max_abs_diff(&x.value()) < 1e-6);
+        back.sum_all().backward();
+        assert_eq!(x.grad().unwrap().data().iter().sum::<f32>(), 48.0);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let geom = Conv2dGeometry::new(2, 4, 4, 3, 1, 1).unwrap();
+        let x = Var::parameter(Tensor::zeros(&[1, 3, 4, 4])); // wrong cin
+        assert!(x.im2col_batch(&geom).is_err());
+        let m = Var::parameter(Tensor::zeros(&[2, 10]));
+        assert!(m.cols_to_nchw(1, 3, 3).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+use crate::{BackwardOp, Var};
+use pecan_tensor::{ShapeError, Tensor};
+
+struct AddOp;
+
+impl BackwardOp for AddOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        vec![Some(grad_out.clone()), Some(grad_out.clone())]
+    }
+    fn name(&self) -> &'static str {
+        "add"
+    }
+}
+
+struct SubOp;
+
+impl BackwardOp for SubOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        vec![Some(grad_out.clone()), Some(grad_out.scale(-1.0))]
+    }
+    fn name(&self) -> &'static str {
+        "sub"
+    }
+}
+
+struct MulOp {
+    lhs: Tensor,
+    rhs: Tensor,
+}
+
+impl BackwardOp for MulOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        let dl = grad_out.mul(&self.rhs).expect("shapes fixed at forward");
+        let dr = grad_out.mul(&self.lhs).expect("shapes fixed at forward");
+        vec![Some(dl), Some(dr)]
+    }
+    fn name(&self) -> &'static str {
+        "mul"
+    }
+}
+
+struct ScaleOp {
+    factor: f32,
+}
+
+impl BackwardOp for ScaleOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        vec![Some(grad_out.scale(self.factor))]
+    }
+    fn name(&self) -> &'static str {
+        "scale"
+    }
+}
+
+struct ReluOp {
+    mask: Vec<bool>,
+}
+
+impl BackwardOp for ReluOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        let mut g = grad_out.clone();
+        for (v, &keep) in g.data_mut().iter_mut().zip(self.mask.iter()) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        vec![Some(g)]
+    }
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+struct SumOp {
+    input_dims: Vec<usize>,
+}
+
+impl BackwardOp for SumOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        let g = grad_out.data()[0];
+        vec![Some(Tensor::full(&self.input_dims, g))]
+    }
+    fn name(&self) -> &'static str {
+        "sum"
+    }
+}
+
+impl Var {
+    /// Elementwise sum of two same-shaped nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes differ.
+    pub fn add(&self, other: &Var) -> Result<Var, ShapeError> {
+        let value = self.value().add(&other.value())?;
+        Ok(Var::from_op(value, vec![self.clone(), other.clone()], Box::new(AddOp)))
+    }
+
+    /// Elementwise difference of two same-shaped nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes differ.
+    pub fn sub(&self, other: &Var) -> Result<Var, ShapeError> {
+        let value = self.value().sub(&other.value())?;
+        Ok(Var::from_op(value, vec![self.clone(), other.clone()], Box::new(SubOp)))
+    }
+
+    /// Elementwise (Hadamard) product of two same-shaped nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes differ.
+    pub fn mul(&self, other: &Var) -> Result<Var, ShapeError> {
+        let lhs = self.to_tensor();
+        let rhs = other.to_tensor();
+        let value = lhs.mul(&rhs)?;
+        Ok(Var::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(MulOp { lhs, rhs }),
+        ))
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, factor: f32) -> Var {
+        let value = self.value().scale(factor);
+        Var::from_op(value, vec![self.clone()], Box::new(ScaleOp { factor }))
+    }
+
+    /// Rectified linear unit, `max(x, 0)` elementwise.
+    pub fn relu(&self) -> Var {
+        let input = self.value();
+        let mask: Vec<bool> = input.data().iter().map(|&v| v > 0.0).collect();
+        let value = input.map(|v| v.max(0.0));
+        drop(input);
+        Var::from_op(value, vec![self.clone()], Box::new(ReluOp { mask }))
+    }
+
+    /// Sum of all elements, producing a scalar node of shape `[1]`.
+    pub fn sum_all(&self) -> Var {
+        let input_dims = self.value().dims().to_vec();
+        let value = Tensor::from_slice(&[self.value().sum()]);
+        Var::from_op(value, vec![self.clone()], Box::new(SumOp { input_dims }))
+    }
+
+    /// Mean of all elements, producing a scalar node of shape `[1]`.
+    pub fn mean_all(&self) -> Var {
+        let n = self.value().len().max(1) as f32;
+        self.sum_all().scale(1.0 / n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn param(values: &[f32]) -> Var {
+        Var::parameter(Tensor::from_slice(values))
+    }
+
+    #[test]
+    fn add_sub_gradients() {
+        let a = param(&[1.0, 2.0]);
+        let b = param(&[3.0, 4.0]);
+        let y = a.add(&b).unwrap().sub(&b).unwrap().sum_all();
+        y.backward();
+        assert_eq!(a.grad().unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(b.grad().unwrap().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn mul_product_rule() {
+        let a = param(&[2.0]);
+        let b = param(&[5.0]);
+        let y = a.mul(&b).unwrap();
+        y.backward();
+        assert_eq!(a.grad().unwrap().data(), &[5.0]);
+        assert_eq!(b.grad().unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn relu_masks_negative_gradient() {
+        let x = param(&[-1.0, 0.0, 2.0]);
+        let y = x.relu().sum_all();
+        y.backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.0, 0.0, 1.0]);
+        assert_eq!(x.relu().value().data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn mean_all_scales_gradient() {
+        let x = param(&[1.0, 3.0, 5.0, 7.0]);
+        let y = x.mean_all();
+        assert!((y.value().data()[0] - 4.0).abs() < 1e-6);
+        y.backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn scale_chains() {
+        let x = param(&[3.0]);
+        let y = x.scale(2.0).scale(-1.5);
+        y.backward();
+        assert_eq!(y.value().data(), &[-9.0]);
+        assert_eq!(x.grad().unwrap().data(), &[-3.0]);
+    }
+}

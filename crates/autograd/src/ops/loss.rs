@@ -1,0 +1,211 @@
+use crate::{BackwardOp, Var};
+use pecan_tensor::{ShapeError, Tensor};
+
+struct CrossEntropyOp {
+    probs: Tensor, // softmax(logits), [n, k]
+    labels: Vec<usize>,
+}
+
+impl BackwardOp for CrossEntropyOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        let g = grad_out.data()[0];
+        let (n, k) = (self.probs.dims()[0], self.probs.dims()[1]);
+        let mut dl = self.probs.clone();
+        for (r, &label) in self.labels.iter().enumerate() {
+            let row = dl.row_mut(r);
+            row[label] -= 1.0;
+            for v in row {
+                *v *= g / n as f32;
+            }
+        }
+        let _ = k;
+        vec![Some(dl)]
+    }
+    fn name(&self) -> &'static str {
+        "cross_entropy"
+    }
+}
+
+struct SoftmaxColumnsOp {
+    softmax: Tensor, // [rows, cols]
+    tau: f32,
+}
+
+impl BackwardOp for SoftmaxColumnsOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        // Per column: dX = (S ⊙ (dY − 1·(Sᵀ dY))) / tau
+        let (rows, cols) = (self.softmax.dims()[0], self.softmax.dims()[1]);
+        let mut dx = Tensor::zeros(&[rows, cols]);
+        for j in 0..cols {
+            let mut dot = 0.0;
+            for i in 0..rows {
+                dot += self.softmax.get2(i, j) * grad_out.get2(i, j);
+            }
+            for i in 0..rows {
+                let v = self.softmax.get2(i, j) * (grad_out.get2(i, j) - dot) / self.tau;
+                dx.set2(i, j, v);
+            }
+        }
+        vec![Some(dx)]
+    }
+    fn name(&self) -> &'static str {
+        "softmax_columns"
+    }
+}
+
+/// Mean cross-entropy between row-wise `logits` `[n, k]` and integer class
+/// `labels`, computed with the log-sum-exp trick. Returns a scalar node.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `logits` is not rank 2, `labels.len() != n`,
+/// or any label is out of range.
+///
+/// # Example
+///
+/// ```
+/// use pecan_autograd::{cross_entropy_logits, Var};
+/// use pecan_tensor::Tensor;
+///
+/// # fn main() -> Result<(), pecan_tensor::ShapeError> {
+/// let logits = Var::parameter(Tensor::from_vec(vec![5.0, 0.0, 0.0, 5.0], &[2, 2])?);
+/// let loss = cross_entropy_logits(&logits, &[0, 1])?;
+/// assert!(loss.value().data()[0] < 0.01); // confident & correct
+/// # Ok(())
+/// # }
+/// ```
+pub fn cross_entropy_logits(logits: &Var, labels: &[usize]) -> Result<Var, ShapeError> {
+    let x = logits.value();
+    x.shape().expect_rank(2)?;
+    let (n, k) = (x.dims()[0], x.dims()[1]);
+    if labels.len() != n {
+        return Err(ShapeError::new(format!(
+            "cross_entropy: {} labels for {n} rows",
+            labels.len()
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
+        return Err(ShapeError::new(format!(
+            "cross_entropy: label {bad} out of range for {k} classes"
+        )));
+    }
+    let mut probs = Tensor::zeros(&[n, k]);
+    let mut loss = 0.0f32;
+    for r in 0..n {
+        let row = x.row(r);
+        let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0;
+        for (j, &v) in row.iter().enumerate() {
+            let e = (v - mx).exp();
+            probs.set2(r, j, e);
+            z += e;
+        }
+        for j in 0..k {
+            let p = probs.get2(r, j) / z;
+            probs.set2(r, j, p);
+        }
+        loss -= (probs.get2(r, labels[r]).max(1e-30)).ln();
+    }
+    loss /= n as f32;
+    drop(x);
+    Ok(Var::from_op(
+        Tensor::from_slice(&[loss]),
+        vec![logits.clone()],
+        Box::new(CrossEntropyOp { probs, labels: labels.to_vec() }),
+    ))
+}
+
+impl Var {
+    /// Column-wise softmax with temperature `tau` on a rank-2 node — the
+    /// differentiable attention of PECAN-A (Eq. 2) and the relaxed
+    /// assignment of PECAN-D (Eq. 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the node is not rank 2 or `tau <= 0`.
+    pub fn softmax_columns(&self, tau: f32) -> Result<Var, ShapeError> {
+        let value = self.value().softmax_columns(tau)?;
+        Ok(Var::from_op(
+            value.clone(),
+            vec![self.clone()],
+            Box::new(SoftmaxColumnsOp { softmax: value, tau }),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Var::parameter(Tensor::zeros(&[3, 4]));
+        let loss = cross_entropy_logits(&logits, &[0, 1, 2]).unwrap();
+        assert!((loss.value().data()[0] - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_is_probs_minus_onehot() {
+        let logits = Var::parameter(Tensor::zeros(&[1, 2]));
+        let loss = cross_entropy_logits(&logits, &[1]).unwrap();
+        loss.backward();
+        let g = logits.grad().unwrap();
+        assert!((g.data()[0] - 0.5).abs() < 1e-5);
+        assert!((g.data()[1] + 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_descent_on_loss_converges() {
+        let logits = Var::parameter(Tensor::zeros(&[2, 3]));
+        for _ in 0..200 {
+            logits.zero_grad();
+            let loss = cross_entropy_logits(&logits, &[0, 2]).unwrap();
+            loss.backward();
+            let g = logits.grad().unwrap();
+            logits.update_value(|v| {
+                v.axpy(-1.0, &g).unwrap();
+            });
+        }
+        let loss = cross_entropy_logits(&logits, &[0, 2]).unwrap();
+        assert!(loss.value().data()[0] < 0.05);
+    }
+
+    #[test]
+    fn label_validation() {
+        let logits = Var::parameter(Tensor::zeros(&[2, 3]));
+        assert!(cross_entropy_logits(&logits, &[0]).is_err());
+        assert!(cross_entropy_logits(&logits, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn softmax_columns_gradient_matches_finite_difference() {
+        let x0 = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1, 0.9, -0.4], &[3, 2]).unwrap();
+        let tau = 0.7;
+        // loss = sum(softmax^2)
+        let loss_of = |t: &Tensor| -> f32 {
+            t.softmax_columns(tau)
+                .unwrap()
+                .data()
+                .iter()
+                .map(|v| v * v)
+                .sum()
+        };
+        let x = Var::parameter(x0.clone());
+        let s = x.softmax_columns(tau).unwrap();
+        s.mul(&s).unwrap().sum_all().backward();
+        let g = x.grad().unwrap();
+        let eps = 1e-3;
+        for idx in 0..6 {
+            let mut plus = x0.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = x0.clone();
+            minus.data_mut()[idx] -= eps;
+            let fd = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+            assert!(
+                (fd - g.data()[idx]).abs() < 1e-2,
+                "idx {idx}: fd {fd} vs analytic {}",
+                g.data()[idx]
+            );
+        }
+    }
+}

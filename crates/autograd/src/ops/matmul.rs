@@ -1,0 +1,198 @@
+use crate::{BackwardOp, Var};
+use pecan_tensor::{ShapeError, Tensor};
+
+struct MatmulOp {
+    lhs: Tensor,
+    rhs: Tensor,
+}
+
+impl BackwardOp for MatmulOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        // y = A·B  =>  dA = dY·Bᵀ, dB = Aᵀ·dY
+        let da = grad_out.matmul_nt(&self.rhs).expect("shapes fixed at forward");
+        let db = self.lhs.matmul_tn(grad_out).expect("shapes fixed at forward");
+        vec![Some(da), Some(db)]
+    }
+    fn name(&self) -> &'static str {
+        "matmul"
+    }
+}
+
+struct LinearOp {
+    input: Tensor,  // [n, in]
+    weight: Tensor, // [out, in]
+}
+
+impl BackwardOp for LinearOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        // y = X·Wᵀ + b  (grad_out: [n, out])
+        let dx = grad_out.matmul(&self.weight).expect("shapes fixed at forward");
+        let dw = grad_out
+            .matmul_tn(&self.input)
+            .expect("shapes fixed at forward"); // [out, in]
+        let db = grad_out
+            .sum_columns()
+            .expect("grad_out rank 2 by construction");
+        vec![Some(dx), Some(dw), Some(db)]
+    }
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+struct AddBiasRowsOp {
+    rows: usize,
+    cols: usize,
+}
+
+impl BackwardOp for AddBiasRowsOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        let mut db = Tensor::zeros(&[self.rows]);
+        for r in 0..self.rows {
+            db.data_mut()[r] = grad_out.row(r).iter().sum();
+        }
+        let _ = self.cols;
+        vec![Some(grad_out.clone()), Some(db)]
+    }
+    fn name(&self) -> &'static str {
+        "add_bias_rows"
+    }
+}
+
+impl Var {
+    /// Matrix product of two rank-2 nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on rank or inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Var) -> Result<Var, ShapeError> {
+        let lhs_t = self.to_tensor();
+        let rhs_t = rhs.to_tensor();
+        let value = lhs_t.matmul(&rhs_t)?;
+        Ok(Var::from_op(
+            value,
+            vec![self.clone(), rhs.clone()],
+            Box::new(MatmulOp { lhs: lhs_t, rhs: rhs_t }),
+        ))
+    }
+
+    /// Fully-connected layer `X·Wᵀ + b` with `X = self` of shape `[n, in]`,
+    /// `weight` `[out, in]` and `bias` `[out]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes are inconsistent.
+    pub fn linear(&self, weight: &Var, bias: &Var) -> Result<Var, ShapeError> {
+        let x = self.to_tensor();
+        let w = weight.to_tensor();
+        x.shape().expect_rank(2)?;
+        w.shape().expect_rank(2)?;
+        bias.value().shape().expect_rank(1)?;
+        let (out_f, in_f) = (w.dims()[0], w.dims()[1]);
+        if x.dims()[1] != in_f || bias.value().len() != out_f {
+            return Err(ShapeError::new(format!(
+                "linear: x {:?}, weight {:?}, bias {:?} are inconsistent",
+                x.dims(),
+                w.dims(),
+                bias.value().dims()
+            )));
+        }
+        let mut value = x.matmul_nt(&w)?; // [n, out]
+        {
+            let b = bias.value();
+            let n = value.dims()[0];
+            for r in 0..n {
+                for (v, &bv) in value.row_mut(r).iter_mut().zip(b.data()) {
+                    *v += bv;
+                }
+            }
+        }
+        Ok(Var::from_op(
+            value,
+            vec![self.clone(), weight.clone(), bias.clone()],
+            Box::new(LinearOp { input: x, weight: w }),
+        ))
+    }
+
+    /// Adds a per-row bias to a rank-2 node: `out[r, c] = self[r, c] + bias[r]`.
+    ///
+    /// This is the conv-bias pattern on the im2col output `[cout, HW]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `bias` is not `[rows]`.
+    pub fn add_bias_rows(&self, bias: &Var) -> Result<Var, ShapeError> {
+        let x = self.value();
+        x.shape().expect_rank(2)?;
+        let (rows, cols) = (x.dims()[0], x.dims()[1]);
+        if bias.value().dims() != [rows] {
+            return Err(ShapeError::new(format!(
+                "add_bias_rows: bias {:?} does not match {rows} rows",
+                bias.value().dims()
+            )));
+        }
+        let mut value = x.clone();
+        drop(x);
+        {
+            let b = bias.value();
+            for r in 0..rows {
+                let bv = b.data()[r];
+                for v in value.row_mut(r) {
+                    *v += bv;
+                }
+            }
+        }
+        Ok(Var::from_op(
+            value,
+            vec![self.clone(), bias.clone()],
+            Box::new(AddBiasRowsOp { rows, cols }),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_gradients_match_closed_form() {
+        let a = Var::parameter(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        let b = Var::parameter(Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap());
+        let y = a.matmul(&b).unwrap().sum_all();
+        y.backward();
+        // d(sum(AB))/dA = 1·Bᵀ (row sums of B), d/dB = Aᵀ·1
+        assert_eq!(a.grad().unwrap().data(), &[11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(b.grad().unwrap().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn linear_matches_matmul_plus_bias() {
+        let x = Var::parameter(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        let w = Var::parameter(Tensor::from_vec(vec![1.0, -1.0, 0.5, 0.5], &[2, 2]).unwrap());
+        let b = Var::parameter(Tensor::from_slice(&[10.0, 20.0]));
+        let y = x.linear(&w, &b).unwrap();
+        assert_eq!(y.value().data(), &[9.0, 21.5, 9.0, 23.5]);
+        y.sum_all().backward();
+        assert_eq!(b.grad().unwrap().data(), &[2.0, 2.0]);
+        // dX = 1 · W
+        assert_eq!(x.grad().unwrap().data(), &[1.5, -0.5, 1.5, -0.5]);
+    }
+
+    #[test]
+    fn linear_rejects_bad_shapes() {
+        let x = Var::parameter(Tensor::zeros(&[2, 3]));
+        let w = Var::parameter(Tensor::zeros(&[4, 5]));
+        let b = Var::parameter(Tensor::zeros(&[4]));
+        assert!(x.linear(&w, &b).is_err());
+    }
+
+    #[test]
+    fn add_bias_rows_broadcasts_and_sums() {
+        let x = Var::parameter(Tensor::zeros(&[2, 3]));
+        let b = Var::parameter(Tensor::from_slice(&[1.0, -1.0]));
+        let y = x.add_bias_rows(&b).unwrap();
+        assert_eq!(y.value().data(), &[1.0, 1.0, 1.0, -1.0, -1.0, -1.0]);
+        y.sum_all().backward();
+        assert_eq!(b.grad().unwrap().data(), &[3.0, 3.0]);
+    }
+}

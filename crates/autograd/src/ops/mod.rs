@@ -1,0 +1,15 @@
+//! Built-in differentiable operations.
+//!
+//! Each submodule registers forward ops as methods on [`crate::Var`] and
+//! implements the matching [`crate::BackwardOp`]. The PECAN-specific ops
+//! (soft/hard prototype assignment) live in the `pecan-pq` crate and plug in
+//! through [`crate::Var::from_op`].
+
+pub mod conv;
+pub mod elementwise;
+pub mod loss;
+pub mod matmul;
+pub mod norm;
+pub mod pool;
+pub mod reshape;
+pub mod slice;

@@ -1,0 +1,318 @@
+use crate::{BackwardOp, Var};
+use pecan_tensor::{ShapeError, Tensor};
+
+struct BatchNorm2dTrainOp {
+    x_hat: Tensor,        // normalized input, same shape as input
+    inv_std: Vec<f32>,    // per channel
+    gamma: Vec<f32>,      // per channel
+    dims: Vec<usize>,     // [N, C, H, W]
+}
+
+impl BackwardOp for BatchNorm2dTrainOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        let (n_b, c_n, h, w) = (self.dims[0], self.dims[1], self.dims[2], self.dims[3]);
+        let hw = h * w;
+        let m = (n_b * hw) as f32;
+        let mut dx = Tensor::zeros(&self.dims);
+        let mut dgamma = Tensor::zeros(&[c_n]);
+        let mut dbeta = Tensor::zeros(&[c_n]);
+
+        for c in 0..c_n {
+            // Accumulate the per-channel sums the closed-form backward needs.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for n in 0..n_b {
+                let base = (n * c_n + c) * hw;
+                for i in 0..hw {
+                    let dy = grad_out.data()[base + i];
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * self.x_hat.data()[base + i];
+                }
+            }
+            dgamma.data_mut()[c] = sum_dy_xhat;
+            dbeta.data_mut()[c] = sum_dy;
+            let g = self.gamma[c];
+            let inv_std = self.inv_std[c];
+            for n in 0..n_b {
+                let base = (n * c_n + c) * hw;
+                for i in 0..hw {
+                    let dy = grad_out.data()[base + i];
+                    let xh = self.x_hat.data()[base + i];
+                    dx.data_mut()[base + i] =
+                        g * inv_std / m * (m * dy - sum_dy - xh * sum_dy_xhat);
+                }
+            }
+        }
+        vec![Some(dx), Some(dgamma), Some(dbeta)]
+    }
+    fn name(&self) -> &'static str {
+        "batch_norm2d_train"
+    }
+}
+
+struct BatchNorm2dEvalOp {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    gamma: Vec<f32>,
+    dims: Vec<usize>,
+}
+
+impl BackwardOp for BatchNorm2dEvalOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        let (n_b, c_n, h, w) = (self.dims[0], self.dims[1], self.dims[2], self.dims[3]);
+        let hw = h * w;
+        let mut dx = Tensor::zeros(&self.dims);
+        let mut dgamma = Tensor::zeros(&[c_n]);
+        let mut dbeta = Tensor::zeros(&[c_n]);
+        for c in 0..c_n {
+            let g = self.gamma[c];
+            let inv_std = self.inv_std[c];
+            for n in 0..n_b {
+                let base = (n * c_n + c) * hw;
+                for i in 0..hw {
+                    let dy = grad_out.data()[base + i];
+                    dgamma.data_mut()[c] += dy * self.x_hat.data()[base + i];
+                    dbeta.data_mut()[c] += dy;
+                    dx.data_mut()[base + i] = dy * g * inv_std;
+                }
+            }
+        }
+        vec![Some(dx), Some(dgamma), Some(dbeta)]
+    }
+    fn name(&self) -> &'static str {
+        "batch_norm2d_eval"
+    }
+}
+
+/// Per-channel batch statistics produced by the training-mode forward pass,
+/// for the caller to fold into its running estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchStats {
+    /// Per-channel batch mean.
+    pub mean: Vec<f32>,
+    /// Per-channel (biased) batch variance.
+    pub var: Vec<f32>,
+}
+
+impl Var {
+    /// Training-mode 2-D batch normalisation over `[N, C, H, W]` with
+    /// learnable per-channel `gamma`/`beta`; normalises with the current
+    /// batch statistics and returns them for running-average upkeep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes are inconsistent.
+    pub fn batch_norm2d_train(
+        &self,
+        gamma: &Var,
+        beta: &Var,
+        eps: f32,
+    ) -> Result<(Var, BatchStats), ShapeError> {
+        let input = self.value();
+        input.shape().expect_rank(4)?;
+        let dims = input.dims().to_vec();
+        let (n_b, c_n, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        if gamma.value().dims() != [c_n] || beta.value().dims() != [c_n] {
+            return Err(ShapeError::new(format!(
+                "batch_norm2d: gamma/beta must be [{c_n}], got {:?}/{:?}",
+                gamma.value().dims(),
+                beta.value().dims()
+            )));
+        }
+        let hw = h * w;
+        let m = (n_b * hw) as f32;
+        let mut mean = vec![0.0f32; c_n];
+        let mut var = vec![0.0f32; c_n];
+        for c in 0..c_n {
+            let mut s = 0.0;
+            for n in 0..n_b {
+                let base = (n * c_n + c) * hw;
+                s += input.data()[base..base + hw].iter().sum::<f32>();
+            }
+            mean[c] = s / m;
+            let mut v = 0.0;
+            for n in 0..n_b {
+                let base = (n * c_n + c) * hw;
+                for i in 0..hw {
+                    let d = input.data()[base + i] - mean[c];
+                    v += d * d;
+                }
+            }
+            var[c] = v / m;
+        }
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+        let gamma_v: Vec<f32> = gamma.value().data().to_vec();
+        let beta_v: Vec<f32> = beta.value().data().to_vec();
+
+        let mut x_hat = Tensor::zeros(&dims);
+        let mut out = Tensor::zeros(&dims);
+        for c in 0..c_n {
+            for n in 0..n_b {
+                let base = (n * c_n + c) * hw;
+                for i in 0..hw {
+                    let xh = (input.data()[base + i] - mean[c]) * inv_std[c];
+                    x_hat.data_mut()[base + i] = xh;
+                    out.data_mut()[base + i] = gamma_v[c] * xh + beta_v[c];
+                }
+            }
+        }
+        drop(input);
+        let node = Var::from_op(
+            out,
+            vec![self.clone(), gamma.clone(), beta.clone()],
+            Box::new(BatchNorm2dTrainOp {
+                x_hat,
+                inv_std,
+                gamma: gamma_v,
+                dims,
+            }),
+        );
+        Ok((node, BatchStats { mean, var }))
+    }
+
+    /// Inference-mode batch normalisation using frozen `running_mean` /
+    /// `running_var` (these fold into the preceding convolution on hardware,
+    /// which is why the paper excludes them from FLOP counts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes are inconsistent.
+    pub fn batch_norm2d_eval(
+        &self,
+        gamma: &Var,
+        beta: &Var,
+        running_mean: &[f32],
+        running_var: &[f32],
+        eps: f32,
+    ) -> Result<Var, ShapeError> {
+        let input = self.value();
+        input.shape().expect_rank(4)?;
+        let dims = input.dims().to_vec();
+        let (n_b, c_n, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        if gamma.value().dims() != [c_n]
+            || beta.value().dims() != [c_n]
+            || running_mean.len() != c_n
+            || running_var.len() != c_n
+        {
+            return Err(ShapeError::new(format!(
+                "batch_norm2d_eval: per-channel params must be [{c_n}]"
+            )));
+        }
+        let hw = h * w;
+        let inv_std: Vec<f32> = running_var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+        let gamma_v: Vec<f32> = gamma.value().data().to_vec();
+        let beta_v: Vec<f32> = beta.value().data().to_vec();
+        let mut x_hat = Tensor::zeros(&dims);
+        let mut out = Tensor::zeros(&dims);
+        for c in 0..c_n {
+            for n in 0..n_b {
+                let base = (n * c_n + c) * hw;
+                for i in 0..hw {
+                    let xh = (input.data()[base + i] - running_mean[c]) * inv_std[c];
+                    x_hat.data_mut()[base + i] = xh;
+                    out.data_mut()[base + i] = gamma_v[c] * xh + beta_v[c];
+                }
+            }
+        }
+        drop(input);
+        Ok(Var::from_op(
+            out,
+            vec![self.clone(), gamma.clone(), beta.clone()],
+            Box::new(BatchNorm2dEvalOp { x_hat, inv_std, gamma: gamma_v, dims }),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(dims: &[usize]) -> Tensor {
+        let len: usize = dims.iter().product();
+        Tensor::from_vec(
+            (0..len).map(|i| ((i * 29 % 13) as f32) * 0.5 - 3.0).collect(),
+            dims,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn train_output_is_normalized() {
+        let x = Var::parameter(ramp(&[4, 3, 2, 2]));
+        let gamma = Var::parameter(Tensor::ones(&[3]));
+        let beta = Var::parameter(Tensor::zeros(&[3]));
+        let (y, stats) = x.batch_norm2d_train(&gamma, &beta, 1e-5).unwrap();
+        // each channel of y should have ~zero mean and ~unit variance
+        let v = y.value();
+        for c in 0..3 {
+            let mut vals = Vec::new();
+            for n in 0..4 {
+                for i in 0..4 {
+                    vals.push(v.at(&[n, c, i / 2, i % 2]));
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|&a| (a - mean) * (a - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {c} var {var}");
+        }
+        assert_eq!(stats.mean.len(), 3);
+    }
+
+    #[test]
+    fn train_gradient_sums_to_zero_per_channel() {
+        // BN output is mean-free per channel, so d(loss)/dx must sum to zero
+        // per channel for any loss — a classic BN backward invariant.
+        let x = Var::parameter(ramp(&[2, 2, 3, 3]));
+        let gamma = Var::parameter(Tensor::from_slice(&[1.5, 0.5]));
+        let beta = Var::parameter(Tensor::from_slice(&[0.0, 1.0]));
+        let (y, _) = x.batch_norm2d_train(&gamma, &beta, 1e-5).unwrap();
+        let loss = y.mul(&y).unwrap().sum_all();
+        loss.backward();
+        let g = x.grad().unwrap();
+        for c in 0..2 {
+            let mut s = 0.0;
+            for n in 0..2 {
+                for i in 0..9 {
+                    s += g.at(&[n, c, i / 3, i % 3]);
+                }
+            }
+            assert!(s.abs() < 1e-3, "channel {c} grad sum {s}");
+        }
+        // gamma/beta get gradients too
+        assert!(gamma.grad().is_some());
+        assert!(beta.grad().is_some());
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let x = Var::parameter(Tensor::full(&[1, 1, 2, 2], 4.0));
+        let gamma = Var::parameter(Tensor::ones(&[1]));
+        let beta = Var::parameter(Tensor::zeros(&[1]));
+        let y = x
+            .batch_norm2d_eval(&gamma, &beta, &[2.0], &[4.0], 0.0)
+            .unwrap();
+        // (4 - 2)/2 = 1
+        assert!(y.value().data().iter().all(|&v| (v - 1.0).abs() < 1e-5));
+        y.sum_all().backward();
+        // dx = gamma / std = 0.5
+        assert!(x
+            .grad()
+            .unwrap()
+            .data()
+            .iter()
+            .all(|&v| (v - 0.5).abs() < 1e-5));
+    }
+
+    #[test]
+    fn shape_validation() {
+        let x = Var::parameter(Tensor::zeros(&[1, 2, 2, 2]));
+        let bad = Var::parameter(Tensor::zeros(&[3]));
+        let good = Var::parameter(Tensor::zeros(&[2]));
+        assert!(x.batch_norm2d_train(&bad, &good, 1e-5).is_err());
+        assert!(x
+            .batch_norm2d_eval(&good, &good, &[0.0], &[1.0], 1e-5)
+            .is_err());
+    }
+}

@@ -1,0 +1,188 @@
+use crate::{BackwardOp, Var};
+use pecan_tensor::{ShapeError, Tensor};
+
+struct MaxPool2dOp {
+    input_dims: Vec<usize>,
+    /// For every output element, the flat index of the winning input element.
+    argmax: Vec<usize>,
+}
+
+impl BackwardOp for MaxPool2dOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        let mut dx = Tensor::zeros(&self.input_dims);
+        for (&src, &g) in self.argmax.iter().zip(grad_out.data()) {
+            dx.data_mut()[src] += g;
+        }
+        vec![Some(dx)]
+    }
+    fn name(&self) -> &'static str {
+        "max_pool2d"
+    }
+}
+
+struct GlobalAvgPoolOp {
+    input_dims: Vec<usize>,
+}
+
+impl BackwardOp for GlobalAvgPoolOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        let (n_b, c_n, h, w) =
+            (self.input_dims[0], self.input_dims[1], self.input_dims[2], self.input_dims[3]);
+        let hw = h * w;
+        let mut dx = Tensor::zeros(&self.input_dims);
+        for n in 0..n_b {
+            for c in 0..c_n {
+                let g = grad_out.data()[n * c_n + c] / hw as f32;
+                for v in &mut dx.data_mut()[(n * c_n + c) * hw..(n * c_n + c + 1) * hw] {
+                    *v = g;
+                }
+            }
+        }
+        vec![Some(dx)]
+    }
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+}
+
+impl Var {
+    /// Max pooling over `[N, C, H, W]` with square window `kernel` and the
+    /// given `stride` (the paper's LeNet uses 2×2/2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the node is not rank 4 or the window does
+    /// not fit.
+    pub fn max_pool2d(&self, kernel: usize, stride: usize) -> Result<Var, ShapeError> {
+        let input = self.value();
+        input.shape().expect_rank(4)?;
+        let dims = input.dims().to_vec();
+        let (n_b, c_n, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        if kernel == 0 || stride == 0 || kernel > h || kernel > w {
+            return Err(ShapeError::new(format!(
+                "max_pool2d: window {kernel}/stride {stride} does not fit {h}×{w}"
+            )));
+        }
+        let h_out = (h - kernel) / stride + 1;
+        let w_out = (w - kernel) / stride + 1;
+        let mut value = Tensor::zeros(&[n_b, c_n, h_out, w_out]);
+        let mut argmax = vec![0usize; n_b * c_n * h_out * w_out];
+        let src = input.data();
+        {
+            let dst = value.data_mut();
+            let mut out_i = 0;
+            for n in 0..n_b {
+                for c in 0..c_n {
+                    let base = (n * c_n + c) * h * w;
+                    for oy in 0..h_out {
+                        for ox in 0..w_out {
+                            let mut best = f32::NEG_INFINITY;
+                            let mut best_idx = 0;
+                            for ky in 0..kernel {
+                                for kx in 0..kernel {
+                                    let iy = oy * stride + ky;
+                                    let ix = ox * stride + kx;
+                                    let idx = base + iy * w + ix;
+                                    if src[idx] > best {
+                                        best = src[idx];
+                                        best_idx = idx;
+                                    }
+                                }
+                            }
+                            dst[out_i] = best;
+                            argmax[out_i] = best_idx;
+                            out_i += 1;
+                        }
+                    }
+                }
+            }
+        }
+        drop(input);
+        Ok(Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(MaxPool2dOp { input_dims: dims, argmax }),
+        ))
+    }
+
+    /// Global average pooling `[N, C, H, W] → [N, C]` (ResNet head).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the node is not rank 4.
+    pub fn global_avg_pool(&self) -> Result<Var, ShapeError> {
+        let input = self.value();
+        input.shape().expect_rank(4)?;
+        let dims = input.dims().to_vec();
+        let (n_b, c_n, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let hw = (h * w) as f32;
+        let mut value = Tensor::zeros(&[n_b, c_n]);
+        for n in 0..n_b {
+            for c in 0..c_n {
+                let s: f32 = input.data()
+                    [(n * c_n + c) * h * w..(n * c_n + c + 1) * h * w]
+                    .iter()
+                    .sum();
+                value.data_mut()[n * c_n + c] = s / hw;
+            }
+        }
+        drop(input);
+        Ok(Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(GlobalAvgPoolOp { input_dims: dims }),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_window_maxima() {
+        let x = Var::parameter(
+            Tensor::from_vec(
+                vec![
+                    1.0, 2.0, 5.0, 6.0, //
+                    3.0, 4.0, 7.0, 8.0, //
+                    -1.0, 0.0, 9.0, 2.0, //
+                    0.0, 0.0, 1.0, 1.0,
+                ],
+                &[1, 1, 4, 4],
+            )
+            .unwrap(),
+        );
+        let y = x.max_pool2d(2, 2).unwrap();
+        assert_eq!(y.value().data(), &[4.0, 8.0, 0.0, 9.0]);
+        y.sum_all().backward();
+        let g = x.grad().unwrap();
+        // gradient lands only on the winners
+        assert_eq!(g.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(g.at(&[0, 0, 1, 3]), 1.0);
+        assert_eq!(g.at(&[0, 0, 2, 1]), 1.0);
+        assert_eq!(g.at(&[0, 0, 2, 2]), 1.0);
+        assert_eq!(g.data().iter().sum::<f32>(), 4.0);
+    }
+
+    #[test]
+    fn global_avg_pool_averages_and_spreads_gradient() {
+        let x = Var::parameter(
+            Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]).unwrap(),
+        );
+        let y = x.global_avg_pool().unwrap();
+        assert_eq!(y.value().data(), &[1.5, 5.5]);
+        y.sum_all().backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.25; 8]);
+    }
+
+    #[test]
+    fn pool_shape_errors() {
+        let x = Var::parameter(Tensor::zeros(&[1, 1, 2, 2]));
+        assert!(x.max_pool2d(3, 1).is_err());
+        assert!(x.max_pool2d(0, 1).is_err());
+        let flat = Var::parameter(Tensor::zeros(&[4]));
+        assert!(flat.max_pool2d(2, 2).is_err());
+        assert!(flat.global_avg_pool().is_err());
+    }
+}

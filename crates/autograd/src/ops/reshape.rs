@@ -1,0 +1,121 @@
+use crate::{BackwardOp, Var};
+use pecan_tensor::{ShapeError, Tensor};
+
+struct Transpose2Op;
+
+impl BackwardOp for Transpose2Op {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        let g = grad_out
+            .transpose2()
+            .expect("rank-2 guaranteed by forward transpose");
+        vec![Some(g)]
+    }
+    fn name(&self) -> &'static str {
+        "transpose2"
+    }
+}
+
+struct ReshapeOp {
+    input_dims: Vec<usize>,
+}
+
+impl BackwardOp for ReshapeOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        let g = grad_out
+            .reshape(&self.input_dims)
+            .expect("element count preserved by forward reshape");
+        vec![Some(g)]
+    }
+    fn name(&self) -> &'static str {
+        "reshape"
+    }
+}
+
+impl Var {
+    /// Views the node under a new shape (same element count, pass-through
+    /// gradient).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Var, ShapeError> {
+        let input_dims = self.value().dims().to_vec();
+        let value = self.value().reshape(dims)?;
+        Ok(Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(ReshapeOp { input_dims }),
+        ))
+    }
+
+    /// Transpose of a rank-2 node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the node is not rank 2.
+    pub fn transpose2(&self) -> Result<Var, ShapeError> {
+        let value = self.value().transpose2()?;
+        Ok(Var::from_op(value, vec![self.clone()], Box::new(Transpose2Op)))
+    }
+
+    /// Flattens `[N, ...]` to `[N, rest]` — the conv→FC transition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the node is rank 0.
+    pub fn flatten_batch(&self) -> Result<Var, ShapeError> {
+        let dims = self.value().dims().to_vec();
+        if dims.is_empty() {
+            return Err(ShapeError::new("flatten_batch on rank-0 tensor"));
+        }
+        let rest: usize = dims[1..].iter().product();
+        self.reshape(&[dims[0], rest])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reshape_passes_gradient_through() {
+        let x = Var::parameter(Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]).unwrap());
+        let y = x.reshape(&[3, 2]).unwrap();
+        assert_eq!(y.value().dims(), &[3, 2]);
+        y.sum_all().backward();
+        assert_eq!(x.grad().unwrap().dims(), &[2, 3]);
+        assert_eq!(x.grad().unwrap().data(), &[1.0; 6]);
+    }
+
+    #[test]
+    fn flatten_batch_keeps_first_axis() {
+        let x = Var::parameter(Tensor::zeros(&[4, 2, 3, 3]));
+        let y = x.flatten_batch().unwrap();
+        assert_eq!(y.value().dims(), &[4, 18]);
+    }
+
+    #[test]
+    fn reshape_rejects_wrong_count() {
+        let x = Var::parameter(Tensor::zeros(&[2, 3]));
+        assert!(x.reshape(&[7]).is_err());
+    }
+
+    #[test]
+    fn transpose2_gradient_transposes_back() {
+        let x = Var::parameter(
+            Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]).unwrap(),
+        );
+        let y = x.transpose2().unwrap();
+        assert_eq!(y.value().dims(), &[3, 2]);
+        // weight the gradient so the transpose-back is observable
+        let w = Var::constant(
+            Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[3, 2]).unwrap(),
+        );
+        y.mul(&w).unwrap().sum_all().backward();
+        let g = x.grad().unwrap();
+        assert_eq!(g.dims(), &[2, 3]);
+        // g[i, j] = w[j, i]
+        assert_eq!(g.get2(0, 1), 2.0);
+        assert_eq!(g.get2(1, 0), 1.0);
+    }
+}

@@ -1,0 +1,171 @@
+use crate::{BackwardOp, Var};
+use pecan_tensor::{ShapeError, Tensor};
+
+struct SliceRowsOp {
+    input_rows: usize,
+    cols: usize,
+    start: usize,
+    len: usize,
+}
+
+impl BackwardOp for SliceRowsOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        let mut dx = Tensor::zeros(&[self.input_rows, self.cols]);
+        for r in 0..self.len {
+            dx.row_mut(self.start + r).copy_from_slice(grad_out.row(r));
+        }
+        vec![Some(dx)]
+    }
+    fn name(&self) -> &'static str {
+        "slice_rows"
+    }
+}
+
+struct ConcatRowsOp {
+    row_counts: Vec<usize>,
+    cols: usize,
+}
+
+impl BackwardOp for ConcatRowsOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        let mut grads = Vec::with_capacity(self.row_counts.len());
+        let mut offset = 0;
+        for &rows in &self.row_counts {
+            let mut g = Tensor::zeros(&[rows, self.cols]);
+            for r in 0..rows {
+                g.row_mut(r).copy_from_slice(grad_out.row(offset + r));
+            }
+            offset += rows;
+            grads.push(Some(g));
+        }
+        grads
+    }
+    fn name(&self) -> &'static str {
+        "concat_rows"
+    }
+}
+
+impl Var {
+    /// Extracts rows `start .. start + len` of a rank-2 node — how PECAN
+    /// splits the im2col matrix into its `D` codebook groups (§3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the node is not rank 2 or the range is
+    /// out of bounds.
+    pub fn slice_rows(&self, start: usize, len: usize) -> Result<Var, ShapeError> {
+        let input = self.value();
+        input.shape().expect_rank(2)?;
+        let (rows, cols) = (input.dims()[0], input.dims()[1]);
+        if len == 0 || start + len > rows {
+            return Err(ShapeError::new(format!(
+                "slice_rows {start}..{} out of bounds for {rows} rows",
+                start + len
+            )));
+        }
+        let mut value = Tensor::zeros(&[len, cols]);
+        for r in 0..len {
+            value.row_mut(r).copy_from_slice(input.row(start + r));
+        }
+        drop(input);
+        Ok(Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(SliceRowsOp { input_rows: rows, cols, start, len }),
+        ))
+    }
+}
+
+/// Stacks rank-2 nodes with equal column counts on top of each other —
+/// the inverse of the group split, rebuilding the full approximated
+/// feature matrix `X̃` from per-group `X̃(j)`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `parts` is empty or column counts differ.
+pub fn concat_rows(parts: &[Var]) -> Result<Var, ShapeError> {
+    if parts.is_empty() {
+        return Err(ShapeError::new("concat_rows of zero parts"));
+    }
+    let cols = {
+        let first = parts[0].value();
+        first.shape().expect_rank(2)?;
+        first.dims()[1]
+    };
+    let mut row_counts = Vec::with_capacity(parts.len());
+    let mut total_rows = 0;
+    for p in parts {
+        let v = p.value();
+        v.shape().expect_rank(2)?;
+        if v.dims()[1] != cols {
+            return Err(ShapeError::new(format!(
+                "concat_rows: column mismatch {} vs {cols}",
+                v.dims()[1]
+            )));
+        }
+        row_counts.push(v.dims()[0]);
+        total_rows += v.dims()[0];
+    }
+    let mut value = Tensor::zeros(&[total_rows, cols]);
+    let mut offset = 0;
+    for p in parts {
+        let v = p.value();
+        for r in 0..v.dims()[0] {
+            value.row_mut(offset + r).copy_from_slice(v.row(r));
+        }
+        offset += v.dims()[0];
+    }
+    Ok(Var::from_op(
+        value,
+        parts.to_vec(),
+        Box::new(ConcatRowsOp { row_counts, cols }),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_then_concat_is_identity() {
+        let x = Var::parameter(
+            Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[4, 3]).unwrap(),
+        );
+        let top = x.slice_rows(0, 2).unwrap();
+        let bottom = x.slice_rows(2, 2).unwrap();
+        let y = concat_rows(&[top, bottom]).unwrap();
+        assert!(y.value().max_abs_diff(&x.value()) < 1e-6);
+        y.sum_all().backward();
+        assert_eq!(x.grad().unwrap().data(), &[1.0; 12]);
+    }
+
+    #[test]
+    fn slice_gradient_is_zero_outside_range() {
+        let x = Var::parameter(Tensor::ones(&[3, 2]));
+        let mid = x.slice_rows(1, 1).unwrap();
+        mid.sum_all().backward();
+        let g = x.grad().unwrap();
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_routes_gradients_to_each_part() {
+        let a = Var::parameter(Tensor::ones(&[1, 2]));
+        let b = Var::parameter(Tensor::ones(&[2, 2]));
+        let y = concat_rows(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(y.value().dims(), &[3, 2]);
+        y.scale(2.0).sum_all().backward();
+        assert_eq!(a.grad().unwrap().data(), &[2.0, 2.0]);
+        assert_eq!(b.grad().unwrap().data(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn bounds_and_emptiness_are_errors() {
+        let x = Var::parameter(Tensor::zeros(&[3, 2]));
+        assert!(x.slice_rows(2, 2).is_err());
+        assert!(x.slice_rows(0, 0).is_err());
+        assert!(concat_rows(&[]).is_err());
+        let y = Var::parameter(Tensor::zeros(&[1, 5]));
+        assert!(concat_rows(&[x, y]).is_err());
+    }
+}

@@ -1,0 +1,315 @@
+use crate::Var;
+use pecan_tensor::Tensor;
+
+/// A first-order optimizer over a fixed set of trainable [`Var`]s.
+///
+/// The paper trains with Adam (learning rate 0.01/0.001, step decay — §4
+/// "Implementation Details"); [`Sgd`] is provided for the baselines and
+/// ablations.
+pub trait Optimizer {
+    /// Applies one update using the gradients currently stored on the
+    /// parameters, then leaves the gradients in place (call
+    /// [`Optimizer::zero_grad`] before the next backward pass).
+    fn step(&mut self);
+
+    /// Clears the gradients of all managed parameters.
+    fn zero_grad(&self);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by schedulers).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+///
+/// # Example
+///
+/// ```
+/// use pecan_autograd::{Optimizer, Sgd, Var};
+/// use pecan_tensor::Tensor;
+///
+/// let w = Var::parameter(Tensor::from_slice(&[1.0]));
+/// let mut opt = Sgd::new(vec![w.clone()], 0.1).with_momentum(0.9);
+/// for _ in 0..50 {
+///     opt.zero_grad();
+///     let loss = w.mul(&w).expect("same shape"); // minimize w²
+///     loss.backward();
+///     opt.step();
+/// }
+/// assert!(w.value().data()[0].abs() < 0.05);
+/// ```
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Var>,
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Creates plain SGD over `params` with learning rate `lr`.
+    pub fn new(params: Vec<Var>, lr: f32) -> Self {
+        let n = params.len();
+        Self { params, lr, momentum: 0.0, weight_decay: 0.0, velocity: vec![None; n] }
+    }
+
+    /// Enables classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Enables decoupled L2 weight decay.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(mut g) = p.grad() else { continue };
+            if self.weight_decay > 0.0 {
+                let v = p.to_tensor();
+                g.axpy(self.weight_decay, &v).expect("param/grad shapes match");
+            }
+            let update = if self.momentum > 0.0 {
+                let v = match self.velocity[i].take() {
+                    Some(mut v) => {
+                        v.map_inplace(|x| x * self.momentum);
+                        v.axpy(1.0, &g).expect("velocity/grad shapes match");
+                        v
+                    }
+                    None => g.clone(),
+                };
+                self.velocity[i] = Some(v.clone());
+                v
+            } else {
+                g
+            };
+            let lr = self.lr;
+            p.update_value(|value| {
+                value.axpy(-lr, &update).expect("param/update shapes match");
+            });
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction — the optimizer used for every
+/// PECAN training run in §4.
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<Var>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Creates Adam over `params` with learning rate `lr` and the standard
+    /// `(β1, β2, ε) = (0.9, 0.999, 1e-8)`.
+    pub fn new(params: Vec<Var>, lr: f32) -> Self {
+        let n = params.len();
+        Self {
+            params,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: vec![None; n],
+            v: vec![None; n],
+        }
+    }
+
+    /// Enables L2 weight decay added to the raw gradient.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(mut g) = p.grad() else { continue };
+            if self.weight_decay > 0.0 {
+                let w = p.to_tensor();
+                g.axpy(self.weight_decay, &w).expect("param/grad shapes match");
+            }
+            let m = self.m[i].get_or_insert_with(|| Tensor::zeros(g.dims()));
+            let v = self.v[i].get_or_insert_with(|| Tensor::zeros(g.dims()));
+            for ((mv, vv), &gv) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(g.data())
+            {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+            }
+            let (lr, eps) = (self.lr, self.eps);
+            let m_ref = &*m;
+            let v_ref = &*v;
+            p.update_value(|value| {
+                for ((wv, &mv), &vv) in value
+                    .data_mut()
+                    .iter_mut()
+                    .zip(m_ref.data())
+                    .zip(v_ref.data())
+                {
+                    let m_hat = mv / bc1;
+                    let v_hat = vv / bc2;
+                    *wv -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            });
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Step-decay learning-rate schedule: multiply the rate by `gamma` every
+/// `step_epochs` epochs — the paper decays every 50 epochs on LeNet and at
+/// epoch 200 for PECAN-D.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDecay {
+    base_lr: f32,
+    step_epochs: usize,
+    gamma: f32,
+}
+
+impl StepDecay {
+    /// Creates a schedule starting at `base_lr`, decaying by `gamma` every
+    /// `step_epochs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_epochs == 0`.
+    pub fn new(base_lr: f32, step_epochs: usize, gamma: f32) -> Self {
+        assert!(step_epochs > 0, "step_epochs must be non-zero");
+        Self { base_lr, step_epochs, gamma }
+    }
+
+    /// Learning rate for a zero-based `epoch`.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        self.base_lr * self.gamma.powi((epoch / self.step_epochs) as i32)
+    }
+
+    /// Applies the schedule to an optimizer for the given epoch.
+    pub fn apply(&self, opt: &mut dyn Optimizer, epoch: usize) {
+        opt.set_learning_rate(self.lr_at(epoch));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cross_entropy_logits;
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let w = Var::parameter(Tensor::from_slice(&[5.0, -3.0]));
+        let mut opt = Sgd::new(vec![w.clone()], 0.1);
+        for _ in 0..100 {
+            opt.zero_grad();
+            w.mul(&w).unwrap().sum_all().backward();
+            opt.step();
+        }
+        assert!(w.value().data().iter().all(|v| v.abs() < 1e-3));
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let run = |momentum: f32| {
+            let w = Var::parameter(Tensor::from_slice(&[5.0]));
+            let mut opt = Sgd::new(vec![w.clone()], 0.01).with_momentum(momentum);
+            for _ in 0..50 {
+                opt.zero_grad();
+                w.mul(&w).unwrap().sum_all().backward();
+                opt.step();
+            }
+            let v = w.value().data()[0].abs();
+            v
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let w = Var::parameter(Tensor::from_slice(&[1.0]));
+        let mut opt = Sgd::new(vec![w.clone()], 0.1).with_weight_decay(0.5);
+        // Give it a zero "loss gradient" by back-propagating scale(0)
+        for _ in 0..10 {
+            opt.zero_grad();
+            w.scale(0.0).backward();
+            opt.step();
+        }
+        assert!(w.value().data()[0] < 1.0);
+    }
+
+    #[test]
+    fn adam_trains_classifier_fast() {
+        let logits = Var::parameter(Tensor::zeros(&[4, 3]));
+        let labels = [0usize, 1, 2, 1];
+        let mut opt = Adam::new(vec![logits.clone()], 0.05);
+        for _ in 0..150 {
+            opt.zero_grad();
+            cross_entropy_logits(&logits, &labels).unwrap().backward();
+            opt.step();
+        }
+        let loss = cross_entropy_logits(&logits, &labels).unwrap();
+        assert!(loss.value().data()[0] < 0.05);
+    }
+
+    #[test]
+    fn step_decay_schedule() {
+        let s = StepDecay::new(0.01, 50, 0.1);
+        assert!((s.lr_at(0) - 0.01).abs() < 1e-9);
+        assert!((s.lr_at(49) - 0.01).abs() < 1e-9);
+        assert!((s.lr_at(50) - 0.001).abs() < 1e-9);
+        assert!((s.lr_at(149) - 0.0001).abs() < 1e-7);
+        let mut opt = Sgd::new(vec![], 0.01);
+        s.apply(&mut opt, 100);
+        assert!((opt.learning_rate() - 0.0001).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,327 @@
+use pecan_tensor::Tensor;
+use std::cell::{Ref, RefCell};
+use std::collections::HashSet;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// The reverse rule of one recorded operation.
+///
+/// Implementors capture whatever forward-pass values they need (inputs,
+/// masks, soft assignments, ...) and, given the gradient flowing into the
+/// op's output, produce gradients for each parent — `None` for parents that
+/// do not require gradients.
+///
+/// This trait is the extension point the PECAN crates use to register the
+/// paper's custom backward rules: the straight-through estimator of Eq. (5)
+/// and the epoch-annealed `tanh` sign-gradient of Eq. (6).
+pub trait BackwardOp {
+    /// Gradients with respect to each parent, aligned with the parent list
+    /// the [`Var`] was created with.
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>>;
+
+    /// Short op name for graph debugging.
+    fn name(&self) -> &'static str {
+        "op"
+    }
+}
+
+struct VarInner {
+    id: usize,
+    value: RefCell<Tensor>,
+    grad: RefCell<Option<Tensor>>,
+    parents: Vec<Var>,
+    op: Option<Box<dyn BackwardOp>>,
+    requires_grad: bool,
+}
+
+impl Drop for VarInner {
+    fn drop(&mut self) {
+        // Deep graphs (thousands of chained ops) would otherwise drop
+        // recursively through the parent links and blow the stack; unlink
+        // iteratively instead.
+        let mut stack = std::mem::take(&mut self.parents);
+        while let Some(parent) = stack.pop() {
+            if let Ok(mut inner) = Rc::try_unwrap(parent.0) {
+                stack.append(&mut inner.parents);
+                // `inner` drops here with an empty parent list — no recursion.
+            }
+        }
+    }
+}
+
+/// A node in the autodiff graph: a tensor value plus the recipe to
+/// back-propagate through the computation that produced it.
+///
+/// `Var` is a cheap reference-counted handle; cloning shares the node.
+/// Leaves are created with [`Var::parameter`] (trainable) or
+/// [`Var::constant`] (inputs), interior nodes via the op methods in this
+/// crate or [`Var::from_op`] for custom rules.
+///
+/// # Example
+///
+/// ```
+/// use pecan_autograd::Var;
+/// use pecan_tensor::Tensor;
+///
+/// let w = Var::parameter(Tensor::from_slice(&[2.0]));
+/// let y = w.mul(&w).expect("same shape"); // y = w²
+/// y.backward();
+/// assert_eq!(w.grad().expect("gradient").data(), &[4.0]); // dy/dw = 2w
+/// ```
+#[derive(Clone)]
+pub struct Var(Rc<VarInner>);
+
+impl Var {
+    /// Creates a trainable leaf (gradients will be accumulated).
+    pub fn parameter(value: Tensor) -> Self {
+        Self::leaf(value, true)
+    }
+
+    /// Creates a non-trainable leaf (no gradient is stored).
+    pub fn constant(value: Tensor) -> Self {
+        Self::leaf(value, false)
+    }
+
+    fn leaf(value: Tensor, requires_grad: bool) -> Self {
+        Var(Rc::new(VarInner {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            parents: Vec::new(),
+            op: None,
+            requires_grad,
+        }))
+    }
+
+    /// Creates an interior node from a forward value, its parents and the
+    /// backward rule. This is the public hook through which downstream
+    /// crates (PQ assignment ops, CAM lookups, AdderNet filters) extend the
+    /// graph with custom differentiable operations.
+    pub fn from_op(value: Tensor, parents: Vec<Var>, op: Box<dyn BackwardOp>) -> Self {
+        let requires_grad = parents.iter().any(Var::requires_grad);
+        Var(Rc::new(VarInner {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            parents,
+            op: if requires_grad { Some(op) } else { None },
+            requires_grad,
+        }))
+    }
+
+    /// Unique node id (useful for debugging graph topology).
+    pub fn id(&self) -> usize {
+        self.0.id
+    }
+
+    /// Whether gradients flow into this node.
+    pub fn requires_grad(&self) -> bool {
+        self.0.requires_grad
+    }
+
+    /// Borrow of the node's current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is currently mutably borrowed (optimizer step in
+    /// progress).
+    pub fn value(&self) -> Ref<'_, Tensor> {
+        self.0.value.borrow()
+    }
+
+    /// Clone of the node's current value.
+    pub fn to_tensor(&self) -> Tensor {
+        self.0.value.borrow().clone()
+    }
+
+    /// Replaces the stored value in place (used by optimizers; only
+    /// meaningful on leaves).
+    pub fn set_value(&self, value: Tensor) {
+        *self.0.value.borrow_mut() = value;
+    }
+
+    /// Applies `f` to the stored value in place.
+    pub fn update_value(&self, f: impl FnOnce(&mut Tensor)) {
+        f(&mut self.0.value.borrow_mut());
+    }
+
+    /// Clone of the accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Tensor> {
+        self.0.grad.borrow().clone()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        *self.0.grad.borrow_mut() = None;
+    }
+
+    /// A gradient-detached view of this node's value: same tensor, new leaf
+    /// with no history. This is the `sg(·)` stop-gradient of Eq. (5).
+    pub fn detach(&self) -> Var {
+        Var::constant(self.to_tensor())
+    }
+
+    /// The parents this node was computed from.
+    pub fn parents(&self) -> &[Var] {
+        &self.0.parents
+    }
+
+    /// Runs reverse accumulation from this node, seeding with all-ones
+    /// (i.e. `d out / d out = 1`); for a scalar loss this computes ordinary
+    /// gradients into every reachable parameter's [`Var::grad`].
+    pub fn backward(&self) {
+        let dims = self.value().dims().to_vec();
+        self.backward_with(Tensor::ones(&dims));
+    }
+
+    /// Runs reverse accumulation seeded with an explicit output gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed`'s shape differs from this node's value shape.
+    pub fn backward_with(&self, seed: Tensor) {
+        assert_eq!(
+            seed.dims(),
+            self.value().dims(),
+            "backward seed shape mismatch"
+        );
+        // Topological order (children before parents) via iterative DFS.
+        let order = self.topo_order();
+        self.accumulate_grad(seed);
+        for node in order {
+            let Some(op) = node.0.op.as_ref() else { continue };
+            // A node can sit in the order with no gradient when every op it
+            // feeds declined to propagate into it (e.g. hard-assignment
+            // branches); skip it rather than panic.
+            let Some(grad_out) = node.0.grad.borrow().clone() else { continue };
+            let parent_grads = op.backward(&grad_out);
+            debug_assert_eq!(parent_grads.len(), node.0.parents.len());
+            for (parent, grad) in node.0.parents.iter().zip(parent_grads) {
+                if let Some(g) = grad {
+                    if parent.requires_grad() {
+                        parent.accumulate_grad(g);
+                    }
+                }
+            }
+        }
+    }
+
+    fn accumulate_grad(&self, g: Tensor) {
+        let mut slot = self.0.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(existing) => existing
+                .axpy(1.0, &g)
+                .expect("gradient shapes agree by construction"),
+            None => *slot = Some(g),
+        }
+    }
+
+    /// Nodes reachable from `self` that require grad, children first.
+    fn topo_order(&self) -> Vec<Var> {
+        let mut order = Vec::new();
+        let mut visited: HashSet<usize> = HashSet::new();
+        // Iterative post-order DFS, then reverse.
+        let mut stack: Vec<(Var, usize)> = vec![(self.clone(), 0)];
+        while let Some((node, child_idx)) = stack.pop() {
+            if child_idx == 0 {
+                if visited.contains(&node.id()) {
+                    continue;
+                }
+                visited.insert(node.id());
+            }
+            if child_idx < node.0.parents.len() {
+                let child = node.0.parents[child_idx].clone();
+                stack.push((node, child_idx + 1));
+                if !visited.contains(&child.id()) && child.requires_grad() {
+                    stack.push((child, 0));
+                }
+            } else {
+                order.push(node);
+            }
+        }
+        order.reverse();
+        order
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Var(id={}, op={}, requires_grad={}, value={:?})",
+            self.0.id,
+            self.0.op.as_ref().map_or("leaf", |op| op.name()),
+            self.0.requires_grad,
+            self.0.value.borrow()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_do_not_accumulate() {
+        let c = Var::constant(Tensor::from_slice(&[1.0, 2.0]));
+        let p = Var::parameter(Tensor::from_slice(&[3.0, 4.0]));
+        let y = c.mul(&p).unwrap();
+        y.backward();
+        assert!(c.grad().is_none());
+        assert_eq!(p.grad().unwrap().data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_shared_nodes() {
+        // y = w + w  =>  dy/dw = 2
+        let w = Var::parameter(Tensor::from_slice(&[5.0]));
+        let y = w.add(&w).unwrap();
+        y.backward();
+        assert_eq!(w.grad().unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_once_per_path() {
+        // y = (w*w) + (w*w) reusing the same squared node twice
+        let w = Var::parameter(Tensor::from_slice(&[3.0]));
+        let sq = w.mul(&w).unwrap();
+        let y = sq.add(&sq).unwrap();
+        y.backward();
+        // dy/dw = 2 * d(w²)/dw = 2 * 2w = 12
+        assert_eq!(w.grad().unwrap().data(), &[12.0]);
+    }
+
+    #[test]
+    fn detach_blocks_gradient() {
+        let w = Var::parameter(Tensor::from_slice(&[2.0]));
+        let d = w.detach();
+        let y = d.mul(&d).unwrap();
+        y.backward();
+        assert!(w.grad().is_none());
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let w = Var::parameter(Tensor::from_slice(&[1.0]));
+        let y = w.scale(3.0);
+        y.backward();
+        assert!(w.grad().is_some());
+        w.zero_grad();
+        assert!(w.grad().is_none());
+    }
+
+    #[test]
+    fn deep_chain_backward_does_not_overflow() {
+        // deep graphs must not recurse: 10k-long chain
+        let mut x = Var::parameter(Tensor::from_slice(&[1.0]));
+        let root = x.clone();
+        for _ in 0..10_000 {
+            x = x.scale(1.0);
+        }
+        x.backward();
+        assert_eq!(root.grad().unwrap().data(), &[1.0]);
+    }
+}

@@ -1,0 +1,90 @@
+//! End-to-end gradient checks through composite graphs: conv → BN → ReLU →
+//! pool → linear → cross-entropy, i.e. exactly the layer stack the model zoo
+//! assembles.
+
+use pecan_autograd::{check_gradients, cross_entropy_logits, Adam, Optimizer, Var};
+use pecan_tensor::{Conv2dGeometry, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn seeded(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    pecan_tensor::uniform(&mut rng, dims, -1.0, 1.0)
+}
+
+#[test]
+fn composite_network_gradient_check_on_weights() {
+    let geom = Conv2dGeometry::new(1, 6, 6, 3, 1, 0).unwrap();
+    let x = Var::constant(seeded(&[2, 1, 6, 6], 1));
+    let w0 = seeded(&[2, 9], 2);
+    let bias = Var::constant(Tensor::zeros(&[2]));
+    let fc_w = Var::constant(seeded(&[3, 2 * 2 * 2], 3));
+    let fc_b = Var::constant(Tensor::zeros(&[3]));
+
+    let report = check_gradients(&w0, 1e-2, 12, |w| {
+        let y = x.conv2d(w, Some(&bias), &geom).unwrap();
+        let y = y.relu();
+        let y = y.max_pool2d(2, 2).unwrap(); // [2, 2, 2, 2]
+        let y = y.flatten_batch().unwrap();
+        let logits = y.linear(&fc_w, &fc_b).unwrap();
+        cross_entropy_logits(&logits, &[0, 2]).unwrap()
+    });
+    assert!(
+        report.passes(2e-2),
+        "composite grad check failed: max rel err {}",
+        report.max_relative_error
+    );
+}
+
+#[test]
+fn batchnorm_inside_network_gradient_check() {
+    let geom = Conv2dGeometry::new(1, 4, 4, 3, 1, 1).unwrap();
+    let x = Var::constant(seeded(&[3, 1, 4, 4], 7));
+    let w = Var::constant(seeded(&[2, 9], 8));
+    let beta = Var::constant(Tensor::zeros(&[2]));
+    let g0 = Tensor::from_slice(&[1.0, 0.7]);
+
+    let report = check_gradients(&g0, 1e-3, 4, |gamma| {
+        let y = x.conv2d(&w, None, &geom).unwrap();
+        let (y, _) = y.batch_norm2d_train(gamma, &beta, 1e-5).unwrap();
+        y.mul(&y).unwrap().sum_all()
+    });
+    assert!(
+        report.passes(2e-2),
+        "bn grad check failed: max rel err {}",
+        report.max_relative_error
+    );
+}
+
+#[test]
+fn tiny_convnet_overfits_a_batch() {
+    // If the whole stack of gradients is correct, a tiny conv net must be
+    // able to memorise 8 random images. This is the canonical smoke test
+    // for an autograd implementation.
+    let mut rng = StdRng::seed_from_u64(42);
+    let geom = Conv2dGeometry::new(1, 8, 8, 3, 1, 1).unwrap();
+    let x = Var::constant(pecan_tensor::uniform(&mut rng, &[8, 1, 8, 8], -1.0, 1.0));
+    let labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
+
+    let conv_w = Var::parameter(pecan_tensor::he_normal(&mut rng, &[4, 9], 9));
+    let conv_b = Var::parameter(Tensor::zeros(&[4]));
+    let fc_w = Var::parameter(pecan_tensor::he_normal(&mut rng, &[4, 4 * 4 * 4], 64));
+    let fc_b = Var::parameter(Tensor::zeros(&[4]));
+
+    let params = vec![conv_w.clone(), conv_b.clone(), fc_w.clone(), fc_b.clone()];
+    let mut opt = Adam::new(params, 0.01);
+
+    let mut last_loss = f32::INFINITY;
+    for _ in 0..60 {
+        opt.zero_grad();
+        let y = x.conv2d(&conv_w, Some(&conv_b), &geom).unwrap().relu();
+        let y = y.max_pool2d(2, 2).unwrap();
+        let y = y.flatten_batch().unwrap();
+        let logits = y.linear(&fc_w, &fc_b).unwrap();
+        let loss = cross_entropy_logits(&logits, &labels).unwrap();
+        last_loss = loss.value().data()[0];
+        loss.backward();
+        opt.step();
+    }
+    assert!(last_loss < 0.1, "failed to overfit tiny batch, loss {last_loss}");
+}

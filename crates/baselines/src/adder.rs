@@ -1,0 +1,224 @@
+use pecan_autograd::{BackwardOp, Var};
+use pecan_nn::Layer;
+use pecan_tensor::{Conv2dGeometry, ShapeError, Tensor};
+use rand::Rng;
+use std::any::Any;
+
+/// AdderNet similarity scores: `Y[f, i] = −Σ_k |X[k, i] − F[f, k]|`.
+///
+/// Backward rules follow the AdderNet paper: the weight gradient uses the
+/// *full-precision* difference `X − F` (not its sign) and the input
+/// gradient uses the HardTanh-clipped difference `clip(F − X, −1, 1)`.
+struct AdderScoresOp {
+    xcol: Tensor,   // [rows, cols]
+    weight: Tensor, // [cout, rows]
+}
+
+impl BackwardOp for AdderScoresOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        let (rows, cols) = (self.xcol.dims()[0], self.xcol.dims()[1]);
+        let cout = self.weight.dims()[0];
+        let mut dx = Tensor::zeros(&[rows, cols]);
+        let mut dw = Tensor::zeros(&[cout, rows]);
+        for f in 0..cout {
+            for i in 0..cols {
+                let g = grad_out.get2(f, i);
+                if g == 0.0 {
+                    continue;
+                }
+                for k in 0..rows {
+                    let diff = self.xcol.get2(k, i) - self.weight.get2(f, k);
+                    // d(−|x−w|)/dw = sgn(x−w) → AdderNet replaces with (x−w)
+                    dw.set2(f, k, dw.get2(f, k) + g * diff);
+                    // d(−|x−w|)/dx = −sgn(x−w) → clipped to HardTanh(w−x)
+                    let clipped = (-diff).clamp(-1.0, 1.0);
+                    dx.set2(k, i, dx.get2(k, i) + g * clipped);
+                }
+            }
+        }
+        vec![Some(dw), Some(dx)]
+    }
+    fn name(&self) -> &'static str {
+        "adder_scores"
+    }
+}
+
+fn adder_scores(weight: &Var, xcol: &Var) -> Result<Var, ShapeError> {
+    let w = weight.to_tensor();
+    let x = xcol.to_tensor();
+    w.shape().expect_rank(2)?;
+    x.shape().expect_rank(2)?;
+    if w.dims()[1] != x.dims()[0] {
+        return Err(ShapeError::new(format!(
+            "adder conv: weight {:?} vs features {:?}",
+            w.dims(),
+            x.dims()
+        )));
+    }
+    let (cout, rows) = (w.dims()[0], w.dims()[1]);
+    let cols = x.dims()[1];
+    let mut value = Tensor::zeros(&[cout, cols]);
+    for f in 0..cout {
+        let wrow = w.row(f);
+        for i in 0..cols {
+            let mut dist = 0.0;
+            for (k, &wv) in wrow.iter().enumerate().take(rows) {
+                dist += (x.get2(k, i) - wv).abs();
+            }
+            value.set2(f, i, -dist);
+        }
+    }
+    Ok(Var::from_op(
+        value,
+        vec![weight.clone(), xcol.clone()],
+        Box::new(AdderScoresOp { xcol: x, weight: w }),
+    ))
+}
+
+/// AdderNet convolution layer: im2col, then L1 template matching instead of
+/// inner products. Downstream batch normalisation (kept separate, as in
+/// AdderNet) restores signed, scaled pre-activations.
+pub struct AdderConv2d {
+    weight: Var, // [cout, cin·k²]
+    c_in: usize,
+    c_out: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+}
+
+impl AdderConv2d {
+    /// Creates an AdderNet convolution with He-initialised templates.
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        let fan_in = c_in * kernel * kernel;
+        let weight = Var::parameter(pecan_tensor::he_normal(rng, &[c_out, fan_in], fan_in));
+        Self { weight, c_in, c_out, kernel, stride, padding }
+    }
+
+    /// The template matrix `[cout, cin·k²]`.
+    pub fn weight(&self) -> &Var {
+        &self.weight
+    }
+
+    /// `(c_in, c_out, kernel, stride, padding)`.
+    pub fn config(&self) -> (usize, usize, usize, usize, usize) {
+        (self.c_in, self.c_out, self.kernel, self.stride, self.padding)
+    }
+}
+
+impl Layer for AdderConv2d {
+    fn forward(&mut self, input: &Var, _train: bool) -> Result<Var, ShapeError> {
+        let dims = input.value().dims().to_vec();
+        if dims.len() != 4 || dims[1] != self.c_in {
+            return Err(ShapeError::new(format!(
+                "AdderConv2d({}, {}) got input {:?}",
+                self.c_in, self.c_out, dims
+            )));
+        }
+        let geom = Conv2dGeometry::new(
+            self.c_in,
+            dims[2],
+            dims[3],
+            self.kernel,
+            self.stride,
+            self.padding,
+        )?;
+        let xcol = input.im2col_batch(&geom)?;
+        let scores = adder_scores(&self.weight, &xcol)?;
+        scores.cols_to_nchw(dims[0], geom.h_out(), geom.w_out())
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        vec![self.weight.clone()]
+    }
+
+    fn name(&self) -> &'static str {
+        "AdderConv2d"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_template_scores_zero() {
+        // a filter equal to the patch scores 0 (the best possible)
+        let w = Var::parameter(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]).unwrap());
+        let x = Var::constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4, 1]).unwrap());
+        let s = adder_scores(&w, &x).unwrap();
+        assert_eq!(s.value().data(), &[0.0]);
+    }
+
+    #[test]
+    fn scores_are_negative_l1_distances() {
+        let w = Var::parameter(Tensor::from_vec(vec![0.0, 0.0], &[1, 2]).unwrap());
+        let x = Var::constant(Tensor::from_vec(vec![3.0, -4.0], &[2, 1]).unwrap());
+        let s = adder_scores(&w, &x).unwrap();
+        assert_eq!(s.value().data(), &[-7.0]);
+    }
+
+    #[test]
+    fn weight_gradient_is_full_precision_difference() {
+        let w = Var::parameter(Tensor::from_vec(vec![1.0, -2.0], &[1, 2]).unwrap());
+        let x = Var::constant(Tensor::from_vec(vec![1.5, 0.5], &[2, 1]).unwrap());
+        let s = adder_scores(&w, &x).unwrap();
+        s.sum_all().backward();
+        // dW = 1 · (x − w) = [0.5, 2.5]
+        let g = w.grad().unwrap();
+        assert!((g.data()[0] - 0.5).abs() < 1e-6);
+        assert!((g.data()[1] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn input_gradient_is_hardtanh_clipped() {
+        let w = Var::constant(Tensor::from_vec(vec![5.0, 0.2], &[1, 2]).unwrap());
+        let x = Var::parameter(Tensor::from_vec(vec![0.0, 0.0], &[2, 1]).unwrap());
+        let s = adder_scores(&w, &x).unwrap();
+        s.sum_all().backward();
+        let g = x.grad().unwrap();
+        // w−x = 5 → clipped to 1; w−x = 0.2 stays 0.2
+        assert!((g.data()[0] - 1.0).abs() < 1e-6);
+        assert!((g.data()[1] - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layer_forward_shape_and_params() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = AdderConv2d::new(&mut rng, 2, 4, 3, 1, 1);
+        let x = Var::constant(Tensor::zeros(&[2, 2, 5, 5]));
+        let y = layer.forward(&x, true).unwrap();
+        assert_eq!(y.value().dims(), &[2, 4, 5, 5]);
+        assert_eq!(layer.parameters().len(), 1);
+        assert!(layer
+            .forward(&Var::constant(Tensor::zeros(&[1, 3, 5, 5])), true)
+            .is_err());
+    }
+
+    #[test]
+    fn adder_layer_output_is_nonpositive() {
+        // scores are negative distances, so every output ≤ 0
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = AdderConv2d::new(&mut rng, 1, 2, 3, 1, 0);
+        let x = Var::constant(pecan_tensor::uniform(&mut rng, &[1, 1, 5, 5], -1.0, 1.0));
+        let y = layer.forward(&x, true).unwrap();
+        assert!(y.value().data().iter().all(|&v| v <= 0.0));
+    }
+}

@@ -1,0 +1,184 @@
+use pecan_autograd::{BackwardOp, Var};
+use pecan_nn::Layer;
+use pecan_tensor::{Conv2dGeometry, ShapeError, Tensor};
+use rand::Rng;
+use std::any::Any;
+
+/// Sign binarization with per-row scaling and the clipped straight-through
+/// estimator: forward `sign(x)·α`, backward passes gradients only where
+/// `|x| ≤ 1` (XNOR-Net / BinaryConnect style).
+struct BinarizeOp {
+    input: Tensor,
+    scales: Vec<f32>, // per row (or a single global scale)
+    per_row: bool,
+}
+
+impl BackwardOp for BinarizeOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        let mut g = grad_out.clone();
+        for (gv, &xv) in g.data_mut().iter_mut().zip(self.input.data()) {
+            if xv.abs() > 1.0 {
+                *gv = 0.0;
+            }
+        }
+        let _ = (&self.scales, self.per_row);
+        vec![Some(g)]
+    }
+    fn name(&self) -> &'static str {
+        "binarize"
+    }
+}
+
+fn binarize_rows(x: &Var) -> Result<Var, ShapeError> {
+    let t = x.to_tensor();
+    t.shape().expect_rank(2)?;
+    let (rows, cols) = (t.dims()[0], t.dims()[1]);
+    let mut value = Tensor::zeros(&[rows, cols]);
+    let mut scales = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let alpha = t.row(r).iter().map(|v| v.abs()).sum::<f32>() / cols.max(1) as f32;
+        scales.push(alpha);
+        for c in 0..cols {
+            let s = if t.get2(r, c) >= 0.0 { 1.0 } else { -1.0 };
+            value.set2(r, c, s * alpha);
+        }
+    }
+    Ok(Var::from_op(
+        value,
+        vec![x.clone()],
+        Box::new(BinarizeOp { input: t, scales, per_row: true }),
+    ))
+}
+
+fn binarize_sign(x: &Var) -> Result<Var, ShapeError> {
+    let t = x.to_tensor();
+    let value = t.map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
+    Ok(Var::from_op(
+        value,
+        vec![x.clone()],
+        Box::new(BinarizeOp { input: t, scales: vec![1.0], per_row: false }),
+    ))
+}
+
+/// XNOR-Net-style binary convolution: weights binarized per filter with an
+/// `α = mean(|w|)` scale, activations binarized to `±1`, both trained with
+/// the clipped straight-through estimator.
+pub struct BinaryConv2d {
+    weight: Var, // [cout, cin·k²] full-precision master copy
+    c_in: usize,
+    c_out: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    binarize_input: bool,
+}
+
+impl BinaryConv2d {
+    /// Creates a binary convolution. `binarize_input = false` gives the
+    /// BinaryConnect variant (binary weights, real activations).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        binarize_input: bool,
+    ) -> Self {
+        let fan_in = c_in * kernel * kernel;
+        let weight = Var::parameter(pecan_tensor::he_normal(rng, &[c_out, fan_in], fan_in));
+        Self { weight, c_in, c_out, kernel, stride, padding, binarize_input }
+    }
+
+    /// The full-precision master weights.
+    pub fn weight(&self) -> &Var {
+        &self.weight
+    }
+}
+
+impl Layer for BinaryConv2d {
+    fn forward(&mut self, input: &Var, _train: bool) -> Result<Var, ShapeError> {
+        let dims = input.value().dims().to_vec();
+        if dims.len() != 4 || dims[1] != self.c_in {
+            return Err(ShapeError::new(format!(
+                "BinaryConv2d({}, {}) got input {:?}",
+                self.c_in, self.c_out, dims
+            )));
+        }
+        let geom = Conv2dGeometry::new(
+            self.c_in,
+            dims[2],
+            dims[3],
+            self.kernel,
+            self.stride,
+            self.padding,
+        )?;
+        let xcol = input.im2col_batch(&geom)?;
+        let xcol = if self.binarize_input { binarize_sign(&xcol)? } else { xcol };
+        let wb = binarize_rows(&self.weight)?;
+        let y2d = wb.matmul(&xcol)?;
+        y2d.cols_to_nchw(dims[0], geom.h_out(), geom.w_out())
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        vec![self.weight.clone()]
+    }
+
+    fn name(&self) -> &'static str {
+        "BinaryConv2d"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binarized_weights_take_two_values_per_row() {
+        let w = Var::parameter(Tensor::from_vec(vec![0.5, -1.5, 2.0, -1.0], &[1, 4]).unwrap());
+        let wb = binarize_rows(&w).unwrap();
+        let alpha = (0.5 + 1.5 + 2.0 + 1.0) / 4.0;
+        assert_eq!(wb.value().data(), &[alpha, -alpha, alpha, -alpha]);
+    }
+
+    #[test]
+    fn ste_clips_gradient_outside_unit_interval() {
+        let w = Var::parameter(Tensor::from_vec(vec![0.5, -3.0], &[1, 2]).unwrap());
+        let wb = binarize_sign(&w).unwrap();
+        wb.sum_all().backward();
+        let g = w.grad().unwrap();
+        assert_eq!(g.data(), &[1.0, 0.0]); // |−3| > 1 → clipped
+    }
+
+    #[test]
+    fn binary_conv_forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = BinaryConv2d::new(&mut rng, 2, 3, 3, 1, 1, true);
+        let x = Var::constant(pecan_tensor::uniform(&mut rng, &[1, 2, 4, 4], -1.0, 1.0));
+        let y = layer.forward(&x, true).unwrap();
+        assert_eq!(y.value().dims(), &[1, 3, 4, 4]);
+        assert_eq!(layer.parameters().len(), 1);
+    }
+
+    #[test]
+    fn binary_conv_trains_through_ste() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = BinaryConv2d::new(&mut rng, 1, 2, 3, 1, 0, false);
+        let x = Var::constant(pecan_tensor::uniform(&mut rng, &[1, 1, 4, 4], -1.0, 1.0));
+        let y = layer.forward(&x, true).unwrap();
+        y.mul(&y).unwrap().sum_all().backward();
+        let g = layer.weight().grad().unwrap();
+        assert!(g.data().iter().any(|&v| v.abs() > 0.0));
+    }
+}

@@ -1,0 +1,80 @@
+use pecan_cam::OpCounts;
+
+/// Convolution shape for baseline op counting (FC = `k = h = w = 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Square kernel.
+    pub kernel: usize,
+    /// Output height.
+    pub h_out: usize,
+    /// Output width.
+    pub w_out: usize,
+}
+
+impl ConvShape {
+    /// Shorthand constructor.
+    pub fn new(c_in: usize, c_out: usize, kernel: usize, h_out: usize, w_out: usize) -> Self {
+        Self { c_in, c_out, kernel, h_out, w_out }
+    }
+
+    fn macs(&self) -> u64 {
+        (self.c_in * self.kernel * self.kernel * self.c_out * self.h_out * self.w_out) as u64
+    }
+}
+
+/// AdderNet op counts: every multiply-accumulate of the CNN becomes a
+/// subtract + absolute-accumulate, i.e. **2×** the additions and zero
+/// multiplications (the 1.22G-adds VGG-Small row of Table 5).
+pub fn addernet_ops(shape: &ConvShape) -> OpCounts {
+    OpCounts::new(2 * shape.macs(), 0)
+}
+
+/// XNOR/binary convolution op counts: the `cin·k²·cout·HW` products become
+/// 1-bit XNOR-popcount operations (reported as "binary ops" in `adds` —
+/// they are not float multiplications), plus a per-output scaling multiply.
+pub fn binary_conv_ops(shape: &ConvShape) -> OpCounts {
+    OpCounts::new(shape.macs(), (shape.c_out * shape.h_out * shape.w_out) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addernet_doubles_additions_and_drops_muls() {
+        let s = ConvShape::new(16, 32, 3, 8, 8);
+        let ops = addernet_ops(&s);
+        assert_eq!(ops.adds, 2 * 16 * 9 * 32 * 64);
+        assert_eq!(ops.muls, 0);
+        assert!(ops.is_multiplier_free());
+    }
+
+    #[test]
+    fn binary_conv_keeps_one_scale_multiply_per_output() {
+        let s = ConvShape::new(16, 32, 3, 8, 8);
+        let ops = binary_conv_ops(&s);
+        assert_eq!(ops.muls, 32 * 64);
+        assert!(!ops.is_multiplier_free());
+    }
+
+    #[test]
+    fn vgg_small_adder_total_matches_table_5() {
+        // Sum over the six VGG-Small convs + FC ≈ 1.22G additions
+        let layers = [
+            ConvShape::new(3, 128, 3, 32, 32),
+            ConvShape::new(128, 128, 3, 32, 32),
+            ConvShape::new(128, 256, 3, 16, 16),
+            ConvShape::new(256, 256, 3, 16, 16),
+            ConvShape::new(256, 512, 3, 8, 8),
+            ConvShape::new(512, 512, 3, 8, 8),
+            ConvShape::new(8192, 10, 1, 1, 1),
+        ];
+        let total: u64 = layers.iter().map(|s| addernet_ops(s).adds).sum();
+        let giga = total as f64 / 1e9;
+        assert!((giga - 1.22).abs() < 0.01, "AdderNet adds {giga}G");
+    }
+}

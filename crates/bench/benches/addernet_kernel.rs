@@ -1,0 +1,67 @@
+//! Table 5's latency story at kernel level: dense conv GEMM vs an
+//! AdderNet-style L1 filter vs PECAN-D similarity+lookup, all on the same
+//! layer shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pecan_core::{LayerLut, PecanConv2d, PecanVariant, PqLayerSettings};
+use pecan_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Raw AdderNet kernel: scores[f, i] = −Σ_k |x[k,i] − w[f,k]|.
+fn adder_kernel(weight: &Tensor, xcol: &Tensor) -> Tensor {
+    let (cout, rows) = (weight.dims()[0], weight.dims()[1]);
+    let cols = xcol.dims()[1];
+    let mut out = Tensor::zeros(&[cout, cols]);
+    for f in 0..cout {
+        let wrow = weight.row(f);
+        for i in 0..cols {
+            let mut dist = 0.0;
+            for (k, &wv) in wrow.iter().enumerate().take(rows) {
+                dist += (xcol.get2(k, i) - wv).abs();
+            }
+            out.set2(f, i, -dist);
+        }
+    }
+    out
+}
+
+fn bench_addernet(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let (cin, cout, hw) = (16usize, 16usize, 12usize);
+    let rows = cin * 9;
+    let cols = hw * hw;
+    let weight = pecan_tensor::uniform(&mut rng, &[cout, rows], -0.2, 0.2);
+    let xcol = pecan_tensor::uniform(&mut rng, &[rows, cols], -1.0, 1.0);
+
+    let layer = PecanConv2d::from_pretrained(
+        &mut rng,
+        PecanVariant::Distance,
+        PqLayerSettings::new(8, 9, 0.5),
+        weight.clone(),
+        cin,
+        3,
+        1,
+        1,
+        true,
+    )
+    .expect("layer");
+    let engine = LayerLut::from_conv(&layer).expect("engine");
+
+    let mut group = c.benchmark_group("table5_kernels");
+    group.sample_size(20);
+    group.bench_function("cnn_gemm", |b| {
+        b.iter(|| black_box(weight.matmul(&xcol).expect("matmul")));
+    });
+    group.bench_function("addernet_l1_filter", |b| {
+        b.iter(|| black_box(adder_kernel(&weight, &xcol)));
+    });
+    group.bench_function("pecan_d_lookup", |b| {
+        b.iter(|| black_box(engine.forward_cols(&xcol, None).expect("forward")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_addernet);
+criterion_main!(benches);

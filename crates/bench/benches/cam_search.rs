@@ -1,0 +1,29 @@
+//! Analog-CAM L1 search latency scaling in the number of stored prototypes
+//! `p` and the sub-vector width `d` — the hardware primitive of PECAN-D.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pecan_cam::AnalogCam;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_cam_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cam_l1_search");
+    group.sample_size(30);
+
+    for &p in &[8usize, 32, 128] {
+        for &d in &[9usize, 32] {
+            let mut rng = StdRng::seed_from_u64(p as u64 * 100 + d as u64);
+            let rows = pecan_tensor::uniform(&mut rng, &[p, d], -1.0, 1.0);
+            let cam = AnalogCam::new(rows).expect("cam");
+            let query: Vec<f32> = (0..d).map(|i| (i as f32 * 0.13).sin()).collect();
+            group.bench_with_input(BenchmarkId::new("search", format!("p{p}_d{d}")), &(), |b, ()| {
+                b.iter(|| black_box(cam.search(&query).expect("search")));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cam_search);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Kernel-level latency: dense im2col convolution vs PECAN-A attention
+//! retrieval vs PECAN-D L1 + LUT retrieval on the same layer shape. This is
+//! the "who wins" behind Tables 1–4: PECAN trades dense MACs for `p·D`
+//! similarity scores plus table reads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pecan_core::{LayerLut, PecanConv2d, PecanVariant, PqLayerSettings};
+use pecan_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_conv_vs_pecan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_vs_pecan_forward");
+    group.sample_size(20);
+
+    for &(cin, cout, hw) in &[(16usize, 16usize, 16usize), (32, 32, 8)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let rows = cin * 9;
+        let cols = hw * hw;
+        let weight = pecan_tensor::uniform(&mut rng, &[cout, rows], -0.2, 0.2);
+        let xcol = pecan_tensor::uniform(&mut rng, &[rows, cols], -1.0, 1.0);
+
+        group.bench_with_input(
+            BenchmarkId::new("baseline_gemm", format!("{cin}x{cout}@{hw}")),
+            &(),
+            |b, ()| {
+                b.iter(|| black_box(weight.matmul(&xcol).expect("matmul")));
+            },
+        );
+
+        for (name, variant, p) in [
+            ("pecan_a_p8", PecanVariant::Angle, 8usize),
+            ("pecan_d_p8", PecanVariant::Distance, 8),
+            ("pecan_d_p64", PecanVariant::Distance, 64),
+        ] {
+            let mut rng = StdRng::seed_from_u64(2);
+            let tau = if variant == PecanVariant::Angle { 1.0 } else { 0.5 };
+            let layer = PecanConv2d::from_pretrained(
+                &mut rng,
+                variant,
+                PqLayerSettings::new(p, 9, tau),
+                weight.clone(),
+                cin,
+                3,
+                1,
+                1,
+                true,
+            )
+            .expect("layer");
+            let engine = LayerLut::from_conv(&layer).expect("engine");
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{cin}x{cout}@{hw}")),
+                &(),
+                |b, ()| {
+                    b.iter(|| black_box(engine.forward_cols(&xcol, None).expect("forward")));
+                },
+            );
+        }
+        let _ = Tensor::zeros(&[1]);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv_vs_pecan);
+criterion_main!(benches);

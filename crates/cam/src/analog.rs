@@ -1,0 +1,286 @@
+use pecan_tensor::{ShapeError, Tensor};
+use rand::Rng;
+
+/// Result of one CAM search: the winning row and its matching score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchResult {
+    /// Index of the best-matching stored row.
+    pub row: usize,
+    /// The winning score (negative L1 distance for [`AnalogCam`], dot
+    /// product for [`DotProductCam`]).
+    pub score: f32,
+}
+
+/// An analog CAM array holding `p` prototype rows of width `d` that answers
+/// nearest-match queries under the L1 metric — the winner-take-all
+/// behaviour of a memristive CAM / RRAM crossbar (§1).
+///
+/// Optionally perturbs its stored cells with Gaussian noise to model device
+/// variation ([`AnalogCam::with_noise`]).
+#[derive(Debug, Clone)]
+pub struct AnalogCam {
+    rows: Tensor, // [p, d]
+}
+
+impl AnalogCam {
+    /// Programs the array with `rows` (`[p, d]`, one prototype per row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `rows` is not a non-empty rank-2 tensor.
+    pub fn new(rows: Tensor) -> Result<Self, ShapeError> {
+        rows.shape().expect_rank(2)?;
+        if rows.dims()[0] == 0 || rows.dims()[1] == 0 {
+            return Err(ShapeError::new("CAM array must be non-empty"));
+        }
+        Ok(Self { rows })
+    }
+
+    /// Programs the array and perturbs every cell with `N(0, sigma²)` noise,
+    /// modelling RRAM conductance variation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `rows` is not a non-empty rank-2 tensor.
+    pub fn with_noise<R: Rng>(
+        rows: Tensor,
+        sigma: f32,
+        rng: &mut R,
+    ) -> Result<Self, ShapeError> {
+        let mut cam = Self::new(rows)?;
+        if sigma > 0.0 {
+            for v in cam.rows.data_mut() {
+                *v += gaussian(rng) * sigma;
+            }
+        }
+        Ok(cam)
+    }
+
+    /// Number of stored prototypes `p`.
+    pub fn entries(&self) -> usize {
+        self.rows.dims()[0]
+    }
+
+    /// Width of each prototype `d`.
+    pub fn width(&self) -> usize {
+        self.rows.dims()[1]
+    }
+
+    /// The stored (possibly noisy) array.
+    pub fn rows(&self) -> &Tensor {
+        &self.rows
+    }
+
+    /// Finds the stored row with the smallest L1 distance to `query`
+    /// (first index on ties).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `query.len() != d`.
+    pub fn search(&self, query: &[f32]) -> Result<SearchResult, ShapeError> {
+        if query.len() != self.width() {
+            return Err(ShapeError::new(format!(
+                "query width {} does not match CAM width {}",
+                query.len(),
+                self.width()
+            )));
+        }
+        let mut best = SearchResult { row: 0, score: f32::NEG_INFINITY };
+        for r in 0..self.entries() {
+            let mut dist = 0.0;
+            for (a, &b) in self.rows.row(r).iter().zip(query) {
+                dist += (a - b).abs();
+            }
+            let score = -dist;
+            if score > best.score {
+                best = SearchResult { row: r, score };
+            }
+        }
+        Ok(best)
+    }
+
+    /// Searches a whole matrix of queries (`[d, cols]`, one query per
+    /// column, matching the im2col layout) and returns the winning row per
+    /// column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on rank or width mismatch.
+    pub fn search_columns(&self, queries: &Tensor) -> Result<Vec<SearchResult>, ShapeError> {
+        queries.shape().expect_rank(2)?;
+        if queries.dims()[0] != self.width() {
+            return Err(ShapeError::new(format!(
+                "query dim {} does not match CAM width {}",
+                queries.dims()[0],
+                self.width()
+            )));
+        }
+        let cols = queries.dims()[1];
+        let mut out = Vec::with_capacity(cols);
+        let mut buf = vec![0.0f32; self.width()];
+        for i in 0..cols {
+            for (k, b) in buf.iter_mut().enumerate() {
+                *b = queries.get2(k, i);
+            }
+            out.push(self.search(&buf)?);
+        }
+        Ok(out)
+    }
+}
+
+/// A dot-product CAM: returns the stored row with the largest inner product
+/// with the query. This is the in-memory primitive PECAN-A's attention
+/// scores map onto (a crossbar multiply-accumulate).
+#[derive(Debug, Clone)]
+pub struct DotProductCam {
+    rows: Tensor, // [p, d]
+}
+
+impl DotProductCam {
+    /// Programs the array with `rows` (`[p, d]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `rows` is not a non-empty rank-2 tensor.
+    pub fn new(rows: Tensor) -> Result<Self, ShapeError> {
+        rows.shape().expect_rank(2)?;
+        if rows.dims()[0] == 0 || rows.dims()[1] == 0 {
+            return Err(ShapeError::new("CAM array must be non-empty"));
+        }
+        Ok(Self { rows })
+    }
+
+    /// Number of stored rows.
+    pub fn entries(&self) -> usize {
+        self.rows.dims()[0]
+    }
+
+    /// Row width.
+    pub fn width(&self) -> usize {
+        self.rows.dims()[1]
+    }
+
+    /// All raw scores `rows · query` (the attention logits of Eq. 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `query.len() != d`.
+    pub fn scores(&self, query: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        if query.len() != self.width() {
+            return Err(ShapeError::new(format!(
+                "query width {} does not match CAM width {}",
+                query.len(),
+                self.width()
+            )));
+        }
+        Ok((0..self.entries())
+            .map(|r| {
+                self.rows
+                    .row(r)
+                    .iter()
+                    .zip(query)
+                    .map(|(&a, &b)| a * b)
+                    .sum()
+            })
+            .collect())
+    }
+
+    /// Best-matching row by inner product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `query.len() != d`.
+    pub fn search(&self, query: &[f32]) -> Result<SearchResult, ShapeError> {
+        let scores = self.scores(query)?;
+        let (row, &score) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite"))
+            .expect("array is non-empty");
+        Ok(SearchResult { row, score })
+    }
+}
+
+fn gaussian<R: Rng>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cam_3x2() -> AnalogCam {
+        AnalogCam::new(
+            Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0, -2.0, 2.0], &[3, 2]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn analog_search_finds_nearest_l1() {
+        let cam = cam_3x2();
+        assert_eq!(cam.search(&[0.1, -0.1]).unwrap().row, 0);
+        assert_eq!(cam.search(&[0.9, 0.8]).unwrap().row, 1);
+        assert_eq!(cam.search(&[-1.5, 1.9]).unwrap().row, 2);
+        assert_eq!(cam.entries(), 3);
+        assert_eq!(cam.width(), 2);
+    }
+
+    #[test]
+    fn exact_match_has_zero_distance_score() {
+        let cam = cam_3x2();
+        let r = cam.search(&[1.0, 1.0]).unwrap();
+        assert_eq!(r.row, 1);
+        assert_eq!(r.score, 0.0);
+    }
+
+    #[test]
+    fn column_search_matches_single_search() {
+        let cam = cam_3x2();
+        let queries =
+            Tensor::from_vec(vec![0.1, 0.9, -1.5, -0.1, 0.8, 1.9], &[2, 3]).unwrap();
+        let rows: Vec<usize> = cam
+            .search_columns(&queries)
+            .unwrap()
+            .iter()
+            .map(|r| r.row)
+            .collect();
+        assert_eq!(rows, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_noise_is_identical_and_noise_perturbs() {
+        let base = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], &[2, 2]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let clean = AnalogCam::with_noise(base.clone(), 0.0, &mut rng).unwrap();
+        assert_eq!(clean.rows().data(), base.data());
+        let noisy = AnalogCam::with_noise(base.clone(), 0.5, &mut rng).unwrap();
+        assert!(noisy.rows().max_abs_diff(&base) > 0.0);
+    }
+
+    #[test]
+    fn dot_cam_prefers_aligned_rows() {
+        let cam = DotProductCam::new(
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(cam.search(&[5.0, 0.1]).unwrap().row, 0);
+        assert_eq!(cam.search(&[0.1, 5.0]).unwrap().row, 1);
+        let s = cam.scores(&[2.0, 3.0]).unwrap();
+        assert_eq!(s, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(AnalogCam::new(Tensor::zeros(&[0, 3])).is_err());
+        assert!(AnalogCam::new(Tensor::zeros(&[3])).is_err());
+        let cam = cam_3x2();
+        assert!(cam.search(&[1.0]).is_err());
+        assert!(cam.search_columns(&Tensor::zeros(&[3, 2])).is_err());
+        assert!(DotProductCam::new(Tensor::zeros(&[2, 0])).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+use std::fmt;
+use std::ops::Add;
+
+/// Addition/multiplication counts of a computation — the currency of
+/// Tables 1–5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct OpCounts {
+    /// Number of scalar additions (subtraction/absolute-difference counts
+    /// as addition, matching the paper's accounting for AdderNet/PECAN-D).
+    pub adds: u64,
+    /// Number of scalar multiplications.
+    pub muls: u64,
+}
+
+impl OpCounts {
+    /// Creates a count pair.
+    pub fn new(adds: u64, muls: u64) -> Self {
+        Self { adds, muls }
+    }
+
+    /// A multiply-accumulate dominated kernel with equal adds and muls.
+    pub fn mac(n: u64) -> Self {
+        Self { adds: n, muls: n }
+    }
+
+    /// Whether the computation is multiplier-free.
+    pub fn is_multiplier_free(&self) -> bool {
+        self.muls == 0
+    }
+
+    /// Scales both counts (e.g. per-column cost × number of columns).
+    pub fn scaled(&self, k: u64) -> Self {
+        Self { adds: self.adds * k, muls: self.muls * k }
+    }
+}
+
+impl Add for OpCounts {
+    type Output = OpCounts;
+    fn add(self, rhs: OpCounts) -> OpCounts {
+        OpCounts { adds: self.adds + rhs.adds, muls: self.muls + rhs.muls }
+    }
+}
+
+impl fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} adds, {} muls", self.adds, self.muls)
+    }
+}
+
+/// Per-operation latency and energy model.
+///
+/// §4.3 grounds Table 5 in the Intel VIA Nano 2000: a float multiplication
+/// takes 4 cycles against 2 for an addition, and a 32-bit multiplier burns
+/// 4× the power of an adder. [`CostModel::via_nano`] encodes exactly that;
+/// custom models support other targets.
+///
+/// # Example
+///
+/// ```
+/// use pecan_cam::{CostModel, OpCounts};
+///
+/// let m = CostModel::via_nano();
+/// // VGG-Small CNN: 0.61G MACs → 3.66G cycles (Table 5)
+/// let cnn = OpCounts::mac(610_000_000);
+/// assert_eq!(m.cycles(&cnn), 3_660_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cycles per multiplication.
+    pub mul_cycles: u64,
+    /// Cycles per addition.
+    pub add_cycles: u64,
+    /// Relative power of one multiplier (adder = 1).
+    pub mul_power: f64,
+    /// Relative power of one adder.
+    pub add_power: f64,
+}
+
+impl CostModel {
+    /// The Intel VIA Nano 2000 model used in §4.3: mul = 4 cycles, add = 2
+    /// cycles, 4:1 multiplier:adder power.
+    pub fn via_nano() -> Self {
+        Self { mul_cycles: 4, add_cycles: 2, mul_power: 4.0, add_power: 1.0 }
+    }
+
+    /// Total latency in cycles for the given op counts.
+    pub fn cycles(&self, ops: &OpCounts) -> u64 {
+        ops.muls * self.mul_cycles + ops.adds * self.add_cycles
+    }
+
+    /// Total energy in adder-op units.
+    pub fn energy(&self, ops: &OpCounts) -> f64 {
+        ops.muls as f64 * self.mul_power + ops.adds as f64 * self.add_power
+    }
+
+    /// Energy of `ops` normalised so that `reference` scores 1.0 — the
+    /// "Normalized Power" column of Table 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` has zero energy.
+    pub fn normalized_power(&self, ops: &OpCounts, reference: &OpCounts) -> f64 {
+        let base = self.energy(reference);
+        assert!(base > 0.0, "reference computation has zero energy");
+        self.energy(ops) / base
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::via_nano()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_rows_reproduce() {
+        // VGG-Small on CIFAR-10 (§4.3): CNN 0.61G/0.61G, AdderNet 0/1.22G,
+        // PECAN-D 0/0.37G.
+        let m = CostModel::via_nano();
+        let cnn = OpCounts::new(610_000_000, 610_000_000);
+        let adder = OpCounts::new(1_220_000_000, 0);
+        let pecan_d = OpCounts::new(370_000_000, 0);
+
+        assert_eq!(m.cycles(&cnn), 3_660_000_000); // 3.66G
+        assert_eq!(m.cycles(&adder), 2_440_000_000); // 2.44G
+        assert_eq!(m.cycles(&pecan_d), 740_000_000); // ~0.72G in the paper
+
+        let p_cnn = m.normalized_power(&cnn, &pecan_d);
+        let p_adder = m.normalized_power(&adder, &pecan_d);
+        assert!((p_cnn - 8.24).abs() < 0.03, "CNN power {p_cnn}");
+        assert!((p_adder - 3.30).abs() < 0.01, "AdderNet power {p_adder}");
+        assert!((m.normalized_power(&pecan_d, &pecan_d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn op_counts_algebra() {
+        let a = OpCounts::new(3, 1);
+        let b = OpCounts::mac(2);
+        let c = a + b;
+        assert_eq!(c, OpCounts::new(5, 3));
+        assert_eq!(c.scaled(10), OpCounts::new(50, 30));
+        assert!(OpCounts::new(7, 0).is_multiplier_free());
+        assert!(!c.is_multiplier_free());
+        assert_eq!(format!("{}", OpCounts::new(1, 2)), "1 adds, 2 muls");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero energy")]
+    fn normalized_power_needs_nonzero_reference() {
+        let m = CostModel::via_nano();
+        m.normalized_power(&OpCounts::mac(1), &OpCounts::default());
+    }
+}

@@ -1,0 +1,254 @@
+//! Integer-only (fixed-point) CAM pipeline.
+//!
+//! PECAN-D's claim is a *truly multiplier-free* network. Floating-point
+//! hardware still multiplies inside rounding/normalisation, so this module
+//! demonstrates the claim end-to-end in integer arithmetic: queries and
+//! prototypes quantize to `i16` with a power-of-two scale (a bit shift, not
+//! a multiply), the L1 search runs in `i32` subtract/abs/accumulate, and the
+//! lookup table accumulates in `i64`. The only "scaling" anywhere is a final
+//! right-shift.
+
+use pecan_tensor::{ShapeError, Tensor};
+
+/// Power-of-two fixed-point quantizer: `q = round(x · 2^shift)` clamped to
+/// `i16`. Using a power of two keeps de/quantization multiplier-free (bit
+/// shifts only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quantizer {
+    shift: u32,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with scale `2^shift`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift > 14` (would overflow i16 for inputs near ±1).
+    pub fn new(shift: u32) -> Self {
+        assert!(shift <= 14, "shift {shift} too large for i16 quantization");
+        Self { shift }
+    }
+
+    /// The scale exponent.
+    pub fn shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// Quantizes one value.
+    pub fn quantize(&self, x: f32) -> i16 {
+        let scaled = x * (1u32 << self.shift) as f32;
+        scaled.round().clamp(i16::MIN as f32, i16::MAX as f32) as i16
+    }
+
+    /// Dequantizes one value (right shift in hardware).
+    pub fn dequantize(&self, q: i64) -> f32 {
+        q as f32 / (1u64 << self.shift) as f32
+    }
+
+    /// Quantizes a tensor row-major into `i16`.
+    pub fn quantize_all(&self, t: &Tensor) -> Vec<i16> {
+        t.data().iter().map(|&v| self.quantize(v)).collect()
+    }
+}
+
+/// An integer analog-CAM: stored `i16` rows, L1 winner-take-all in `i32`.
+#[derive(Debug, Clone)]
+pub struct FixedCam {
+    rows: Vec<Vec<i16>>,
+    width: usize,
+}
+
+impl FixedCam {
+    /// Programs the array by quantizing `rows` (`[p, d]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `rows` is not a non-empty rank-2 tensor.
+    pub fn from_tensor(rows: &Tensor, quantizer: Quantizer) -> Result<Self, ShapeError> {
+        rows.shape().expect_rank(2)?;
+        let (p, d) = (rows.dims()[0], rows.dims()[1]);
+        if p == 0 || d == 0 {
+            return Err(ShapeError::new("fixed CAM must be non-empty"));
+        }
+        let stored = (0..p)
+            .map(|r| rows.row(r).iter().map(|&v| quantizer.quantize(v)).collect())
+            .collect();
+        Ok(Self { rows: stored, width: d })
+    }
+
+    /// Number of stored prototypes.
+    pub fn entries(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Prototype width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Integer L1 nearest-match: returns `(winning row, L1 distance)`.
+    /// Subtraction, absolute value and accumulation only — no multiplier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the query width mismatches.
+    pub fn search(&self, query: &[i16]) -> Result<(usize, i32), ShapeError> {
+        if query.len() != self.width {
+            return Err(ShapeError::new(format!(
+                "query width {} does not match CAM width {}",
+                query.len(),
+                self.width
+            )));
+        }
+        let mut best_row = 0;
+        let mut best_dist = i32::MAX;
+        for (r, row) in self.rows.iter().enumerate() {
+            let mut dist: i32 = 0;
+            for (&a, &b) in row.iter().zip(query) {
+                dist += (a as i32 - b as i32).abs();
+            }
+            if dist < best_dist {
+                best_dist = dist;
+                best_row = r;
+            }
+        }
+        Ok((best_row, best_dist))
+    }
+}
+
+/// Integer lookup table: `i32` entries accumulated in `i64`.
+#[derive(Debug, Clone)]
+pub struct FixedLut {
+    table: Vec<Vec<i32>>, // [p][cout]
+    outputs: usize,
+    quantizer: Quantizer,
+}
+
+impl FixedLut {
+    /// Quantizes a float `[cout, p]` table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `table` is not a non-empty rank-2 tensor.
+    pub fn from_tensor(table: &Tensor, quantizer: Quantizer) -> Result<Self, ShapeError> {
+        table.shape().expect_rank(2)?;
+        let (cout, p) = (table.dims()[0], table.dims()[1]);
+        if cout == 0 || p == 0 {
+            return Err(ShapeError::new("fixed LUT must be non-empty"));
+        }
+        let scale = (1u32 << quantizer.shift()) as f32;
+        let mut cols = vec![vec![0i32; cout]; p];
+        for m in 0..p {
+            for o in 0..cout {
+                cols[m][o] = (table.get2(o, m) * scale).round() as i32;
+            }
+        }
+        Ok(Self { table: cols, outputs: cout, quantizer })
+    }
+
+    /// Number of addressable entries.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Adds entry `m` into the integer accumulator (pure additions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `m` or the accumulator size is wrong.
+    pub fn accumulate(&self, m: usize, acc: &mut [i64]) -> Result<(), ShapeError> {
+        if m >= self.table.len() {
+            return Err(ShapeError::new(format!(
+                "LUT entry {m} out of range for {} entries",
+                self.table.len()
+            )));
+        }
+        if acc.len() != self.outputs {
+            return Err(ShapeError::new(format!(
+                "accumulator of {} for {} outputs",
+                acc.len(),
+                self.outputs
+            )));
+        }
+        for (a, &v) in acc.iter_mut().zip(&self.table[m]) {
+            *a += v as i64;
+        }
+        Ok(())
+    }
+
+    /// Converts an integer accumulator back to floats (right shift).
+    pub fn dequantize(&self, acc: &[i64]) -> Vec<f32> {
+        acc.iter().map(|&v| self.quantizer.dequantize(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnalogCam;
+
+    #[test]
+    fn quantizer_roundtrip_error_is_bounded() {
+        let q = Quantizer::new(10);
+        for &x in &[0.0f32, 0.5, -0.3, 1.25, -7.9] {
+            let back = q.dequantize(q.quantize(x) as i64);
+            assert!((back - x).abs() <= 1.0 / 1024.0, "x={x}, back={back}");
+        }
+        assert_eq!(q.shift(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn quantizer_rejects_huge_shift() {
+        let _ = Quantizer::new(15);
+    }
+
+    #[test]
+    fn fixed_search_agrees_with_float_cam() {
+        let rows = Tensor::from_vec(
+            vec![0.0, 0.0, 0.0, 0.8, 0.8, 0.8, -0.5, 0.5, -0.5],
+            &[3, 3],
+        )
+        .unwrap();
+        let q = Quantizer::new(12);
+        let fixed = FixedCam::from_tensor(&rows, q).unwrap();
+        let float_cam = AnalogCam::new(rows).unwrap();
+        for query in [[0.1f32, -0.05, 0.02], [0.7, 0.9, 0.75], [-0.4, 0.6, -0.55]] {
+            let fq: Vec<i16> = query.iter().map(|&v| q.quantize(v)).collect();
+            let (row, _) = fixed.search(&fq).unwrap();
+            assert_eq!(row, float_cam.search(&query).unwrap().row);
+        }
+    }
+
+    #[test]
+    fn fixed_lut_accumulation_approximates_float() {
+        let table = Tensor::from_vec(vec![0.25, -1.5, 3.0, 0.125], &[2, 2]).unwrap();
+        let q = Quantizer::new(8);
+        let lut = FixedLut::from_tensor(&table, q).unwrap();
+        let mut acc = vec![0i64; 2];
+        lut.accumulate(0, &mut acc).unwrap();
+        lut.accumulate(1, &mut acc).unwrap();
+        let out = lut.dequantize(&acc);
+        assert!((out[0] - (0.25 - 1.5)).abs() < 0.01);
+        assert!((out[1] - (3.0 + 0.125)).abs() < 0.01);
+        assert_eq!(lut.entries(), 2);
+        assert_eq!(lut.outputs(), 2);
+    }
+
+    #[test]
+    fn fixed_shapes_validated() {
+        let q = Quantizer::new(8);
+        assert!(FixedCam::from_tensor(&Tensor::zeros(&[0, 2]), q).is_err());
+        assert!(FixedLut::from_tensor(&Tensor::zeros(&[2]), q).is_err());
+        let cam = FixedCam::from_tensor(&Tensor::zeros(&[2, 2]), q).unwrap();
+        assert!(cam.search(&[0]).is_err());
+        let lut = FixedLut::from_tensor(&Tensor::zeros(&[2, 2]), q).unwrap();
+        assert!(lut.accumulate(5, &mut vec![0; 2]).is_err());
+        assert!(lut.accumulate(0, &mut vec![0; 3]).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+use pecan_tensor::{ShapeError, Tensor};
+
+/// The quantized-product memory of Fig. 1(c): a `[cout, p]` table whose
+/// column `m` holds the precomputed products between all `cout` filter
+/// sub-rows and prototype `m` (`Y(j) = W1(j)·C1(j)`, Algorithm 1 line 3).
+///
+/// At inference, PECAN-D reads one column per group and accumulates;
+/// PECAN-A reads a softmax-weighted combination of columns.
+///
+/// # Example
+///
+/// ```
+/// use pecan_cam::LookupTable;
+/// use pecan_tensor::Tensor;
+///
+/// # fn main() -> Result<(), pecan_tensor::ShapeError> {
+/// let lut = LookupTable::new(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?)?;
+/// let mut acc = vec![0.0; 2];
+/// lut.accumulate_column(1, &mut acc)?;
+/// assert_eq!(acc, vec![2.0, 4.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookupTable {
+    table: Tensor, // [cout, p]
+}
+
+impl LookupTable {
+    /// Wraps a `[cout, p]` table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `table` is not a non-empty rank-2 tensor.
+    pub fn new(table: Tensor) -> Result<Self, ShapeError> {
+        table.shape().expect_rank(2)?;
+        if table.dims()[0] == 0 || table.dims()[1] == 0 {
+            return Err(ShapeError::new("lookup table must be non-empty"));
+        }
+        Ok(Self { table })
+    }
+
+    /// Builds the table from a filter sub-matrix `weights` (`[cout, d]`) and
+    /// a codebook `prototypes` (`[d, p]`) — precisely Algorithm 1 line 3.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on dimension mismatch.
+    pub fn from_products(weights: &Tensor, prototypes: &Tensor) -> Result<Self, ShapeError> {
+        Self::new(weights.matmul(prototypes)?)
+    }
+
+    /// Output width `cout`.
+    pub fn outputs(&self) -> usize {
+        self.table.dims()[0]
+    }
+
+    /// Number of addressable entries `p`.
+    pub fn entries(&self) -> usize {
+        self.table.dims()[1]
+    }
+
+    /// The raw table.
+    pub fn table(&self) -> &Tensor {
+        &self.table
+    }
+
+    /// Adds column `entry` into `acc` (PECAN-D retrieval: `cout` additions,
+    /// zero multiplications).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `entry >= p` or `acc.len() != cout`.
+    pub fn accumulate_column(&self, entry: usize, acc: &mut [f32]) -> Result<(), ShapeError> {
+        if entry >= self.entries() {
+            return Err(ShapeError::new(format!(
+                "LUT entry {entry} out of range for {} entries",
+                self.entries()
+            )));
+        }
+        if acc.len() != self.outputs() {
+            return Err(ShapeError::new(format!(
+                "accumulator of {} for {} outputs",
+                acc.len(),
+                self.outputs()
+            )));
+        }
+        for (o, a) in acc.iter_mut().enumerate() {
+            *a += self.table.get2(o, entry);
+        }
+        Ok(())
+    }
+
+    /// Adds the weighted combination `Σ_m weights[m] · column_m` into `acc`
+    /// (PECAN-A retrieval).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `weights.len() != p` or
+    /// `acc.len() != cout`.
+    pub fn accumulate_weighted(
+        &self,
+        weights: &[f32],
+        acc: &mut [f32],
+    ) -> Result<(), ShapeError> {
+        if weights.len() != self.entries() {
+            return Err(ShapeError::new(format!(
+                "{} weights for {} entries",
+                weights.len(),
+                self.entries()
+            )));
+        }
+        if acc.len() != self.outputs() {
+            return Err(ShapeError::new(format!(
+                "accumulator of {} for {} outputs",
+                acc.len(),
+                self.outputs()
+            )));
+        }
+        for (o, a) in acc.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for (m, &w) in weights.iter().enumerate() {
+                s += w * self.table.get2(o, m);
+            }
+            *a += s;
+        }
+        Ok(())
+    }
+
+    /// Keeps only the listed entries (prototype pruning, §5): returns a new
+    /// table with `keep.len()` columns in the given order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `keep` is empty or any index is out of
+    /// range.
+    pub fn prune(&self, keep: &[usize]) -> Result<LookupTable, ShapeError> {
+        if keep.is_empty() {
+            return Err(ShapeError::new("cannot prune a LUT to zero entries"));
+        }
+        if let Some(&bad) = keep.iter().find(|&&e| e >= self.entries()) {
+            return Err(ShapeError::new(format!(
+                "prune index {bad} out of range for {} entries",
+                self.entries()
+            )));
+        }
+        let mut t = Tensor::zeros(&[self.outputs(), keep.len()]);
+        for (new_m, &old_m) in keep.iter().enumerate() {
+            for o in 0..self.outputs() {
+                t.set2(o, new_m, self.table.get2(o, old_m));
+            }
+        }
+        LookupTable::new(t)
+    }
+
+    /// Memory footprint in scalars (`cout·p`).
+    pub fn scalars(&self) -> usize {
+        self.outputs() * self.entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_products_matches_matmul() {
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let c = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let lut = LookupTable::from_products(&w, &c).unwrap();
+        assert_eq!(lut.table().data(), w.data());
+        assert_eq!(lut.scalars(), 4);
+    }
+
+    #[test]
+    fn weighted_accumulation_matches_soft_combination() {
+        let lut = LookupTable::new(
+            Tensor::from_vec(vec![1.0, 3.0, 2.0, 4.0], &[2, 2]).unwrap(),
+        )
+        .unwrap();
+        let mut acc = vec![0.0; 2];
+        lut.accumulate_weighted(&[0.25, 0.75], &mut acc).unwrap();
+        assert_eq!(acc, vec![0.25 + 2.25, 0.5 + 3.0]);
+    }
+
+    #[test]
+    fn prune_keeps_selected_columns() {
+        let lut = LookupTable::new(
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap(),
+        )
+        .unwrap();
+        let pruned = lut.prune(&[2, 0]).unwrap();
+        assert_eq!(pruned.entries(), 2);
+        assert_eq!(pruned.table().data(), &[3.0, 1.0, 6.0, 4.0]);
+        assert!(lut.prune(&[]).is_err());
+        assert!(lut.prune(&[3]).is_err());
+    }
+
+    #[test]
+    fn accumulation_validates_shapes() {
+        let lut = LookupTable::new(Tensor::zeros(&[2, 3])).unwrap();
+        let mut acc = vec![0.0; 2];
+        assert!(lut.accumulate_column(3, &mut acc).is_err());
+        assert!(lut.accumulate_column(0, &mut vec![0.0; 1]).is_err());
+        assert!(lut.accumulate_weighted(&[1.0], &mut acc).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! The closed-form inference-complexity model of Table 1.
+//!
+//! For a layer with `cin` input channels, `cout` outputs, kernel `k` and
+//! output map `Hout×Wout` (an FC layer is the `k = Hout = Wout = 1` case),
+//! with PQ grouping `D` groups of dimension `d` and `p` prototypes:
+//!
+//! | method | #Add | #Mul |
+//! |---|---|---|
+//! | baseline | `cin·HW·k²·cout` | same |
+//! | PECAN-A | `p·D·HW·(d + cout)` | same |
+//! | PECAN-D | `D·HW·(2pd + cout)` | **0** |
+//!
+//! The unit tests pin these against the paper's Table 2/A2 numbers (LeNet
+//! CONV1: 48.67K baseline, 45.97K PECAN-A, 784.16K/0 PECAN-D, ...).
+
+use pecan_cam::OpCounts;
+
+/// The shape of one compute layer for op counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerShape {
+    /// Input channels `cin` (for FC: input features).
+    pub c_in: usize,
+    /// Output channels `cout` (for FC: output features).
+    pub c_out: usize,
+    /// Square kernel size `k` (1 for FC).
+    pub kernel: usize,
+    /// Output height (1 for FC).
+    pub h_out: usize,
+    /// Output width (1 for FC).
+    pub w_out: usize,
+}
+
+impl LayerShape {
+    /// A convolution layer shape.
+    pub fn conv(c_in: usize, c_out: usize, kernel: usize, h_out: usize, w_out: usize) -> Self {
+        Self { c_in, c_out, kernel, h_out, w_out }
+    }
+
+    /// A fully-connected layer shape (`k = Hout = Wout = 1`).
+    pub fn fc(in_features: usize, out_features: usize) -> Self {
+        Self { c_in: in_features, c_out: out_features, kernel: 1, h_out: 1, w_out: 1 }
+    }
+
+    /// Whether this is an FC layer.
+    pub fn is_fc(&self) -> bool {
+        self.kernel == 1 && self.h_out == 1 && self.w_out == 1
+    }
+
+    /// Rows of the im2col matrix: `cin·k²`.
+    pub fn rows(&self) -> usize {
+        self.c_in * self.kernel * self.kernel
+    }
+
+    /// Output positions `Hout·Wout`.
+    pub fn positions(&self) -> usize {
+        self.h_out * self.w_out
+    }
+}
+
+/// Baseline (im2col GEMM) op counts: `cin·HW·k²·cout` MACs.
+pub fn baseline_ops(shape: &LayerShape) -> OpCounts {
+    let n = (shape.rows() * shape.positions() * shape.c_out) as u64;
+    OpCounts::mac(n)
+}
+
+/// PECAN-A op counts: `p·D·HW·(d + cout)` additions and multiplications
+/// (distance stage `p·D·HW·d` MACs + weighted retrieval `p·D·HW·cout`).
+///
+/// # Panics
+///
+/// Panics (debug) if `groups·dim != cin·k²`.
+pub fn pecan_a_ops(shape: &LayerShape, prototypes: usize, groups: usize, dim: usize) -> OpCounts {
+    debug_assert_eq!(groups * dim, shape.rows(), "grouping must cover the im2col rows");
+    let n = (prototypes * groups * shape.positions() * (dim + shape.c_out)) as u64;
+    OpCounts::mac(n)
+}
+
+/// PECAN-D op counts: `D·HW·(2pd + cout)` additions, **zero**
+/// multiplications (L1 matching `2pd` per group-position + one LUT column
+/// accumulation of `cout`).
+///
+/// # Panics
+///
+/// Panics (debug) if `groups·dim != cin·k²`.
+pub fn pecan_d_ops(shape: &LayerShape, prototypes: usize, groups: usize, dim: usize) -> OpCounts {
+    debug_assert_eq!(groups * dim, shape.rows(), "grouping must cover the im2col rows");
+    let adds = (groups * shape.positions() * (2 * prototypes * dim + shape.c_out)) as u64;
+    OpCounts::new(adds, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Table A2 — modified LeNet-5 on MNIST, layer by layer.
+
+    #[test]
+    fn lenet_conv1_matches_table_a2() {
+        let s = LayerShape::conv(1, 8, 3, 26, 26);
+        assert_eq!(baseline_ops(&s), OpCounts::mac(48_672)); // 48.67K
+        assert_eq!(pecan_a_ops(&s, 4, 1, 9), OpCounts::mac(45_968)); // 45.97K
+        assert_eq!(pecan_d_ops(&s, 64, 1, 9), OpCounts::new(784_160, 0)); // 784.16K
+    }
+
+    #[test]
+    fn lenet_conv2_matches_table_a2() {
+        let s = LayerShape::conv(8, 16, 3, 11, 11);
+        assert_eq!(baseline_ops(&s), OpCounts::mac(139_392)); // 139.39K
+        assert_eq!(pecan_a_ops(&s, 8, 3, 24), OpCounts::mac(116_160)); // 116.16K
+        assert_eq!(pecan_d_ops(&s, 64, 8, 9), OpCounts::new(1_130_624, 0)); // 1.13M
+    }
+
+    #[test]
+    fn lenet_fc_layers_match_table_a2() {
+        let fc1 = LayerShape::fc(400, 128);
+        assert_eq!(baseline_ops(&fc1), OpCounts::mac(51_200));
+        assert_eq!(pecan_a_ops(&fc1, 8, 25, 16), OpCounts::mac(28_800));
+        assert_eq!(pecan_d_ops(&fc1, 64, 50, 8), OpCounts::new(57_600, 0));
+
+        let fc2 = LayerShape::fc(128, 64);
+        assert_eq!(baseline_ops(&fc2), OpCounts::mac(8_192));
+        assert_eq!(pecan_a_ops(&fc2, 8, 8, 16), OpCounts::mac(5_120));
+        assert_eq!(pecan_d_ops(&fc2, 64, 16, 8), OpCounts::new(17_408, 0));
+
+        let fc3 = LayerShape::fc(64, 10);
+        assert_eq!(baseline_ops(&fc3), OpCounts::mac(640));
+        assert_eq!(pecan_a_ops(&fc3, 8, 4, 16), OpCounts::mac(832));
+        assert_eq!(pecan_d_ops(&fc3, 64, 8, 8), OpCounts::new(8_272, 0));
+    }
+
+    #[test]
+    fn lenet_totals_match_table_2() {
+        // Table 2: baseline 248.10K, PECAN-A 196.88K, PECAN-D 2.00M adds / 0 muls
+        let shapes = [
+            LayerShape::conv(1, 8, 3, 26, 26),
+            LayerShape::conv(8, 16, 3, 11, 11),
+            LayerShape::fc(400, 128),
+            LayerShape::fc(128, 64),
+            LayerShape::fc(64, 10),
+        ];
+        let a_cfg = [(4, 1, 9), (8, 3, 24), (8, 25, 16), (8, 8, 16), (8, 4, 16)];
+        let d_cfg = [(64, 1, 9), (64, 8, 9), (64, 50, 8), (64, 16, 8), (64, 8, 8)];
+
+        let base: u64 = shapes.iter().map(|s| baseline_ops(s).muls).sum();
+        assert_eq!(base, 248_096); // 248.10K
+
+        let a: u64 = shapes
+            .iter()
+            .zip(a_cfg)
+            .map(|(s, (p, g, d))| pecan_a_ops(s, p, g, d).muls)
+            .sum();
+        assert_eq!(a, 196_880); // 196.88K
+
+        let d_total: OpCounts = shapes
+            .iter()
+            .zip(d_cfg)
+            .map(|(s, (p, g, dd))| pecan_d_ops(s, p, g, dd))
+            .fold(OpCounts::default(), |acc, o| acc + o);
+        assert_eq!(d_total.muls, 0);
+        assert_eq!(d_total.adds, 1_998_064); // ≈ 2.00M
+    }
+
+    #[test]
+    fn fc_is_conv_with_unit_kernel() {
+        let fc = LayerShape::fc(128, 64);
+        let conv = LayerShape::conv(128, 64, 1, 1, 1);
+        assert_eq!(fc, conv);
+        assert!(fc.is_fc());
+        assert!(!LayerShape::conv(3, 8, 3, 32, 32).is_fc());
+    }
+
+    #[test]
+    fn pecan_d_is_always_multiplier_free() {
+        let s = LayerShape::conv(64, 128, 3, 8, 8);
+        assert!(pecan_d_ops(&s, 64, 192, 3).is_multiplier_free());
+    }
+}

@@ -1,0 +1,353 @@
+//! Paper-scale architecture plans: every layer's shape plus its PECAN-A and
+//! PECAN-D codebook settings, exactly as listed in Tables A2 (LeNet),
+//! A3 (VGG-Small, ResNet-20/32) and A4 (ConvMixer).
+//!
+//! These plans drive the #Add/#Mul columns of Tables 2–5 through the
+//! [`crate::complexity`] model; the unit tests pin the totals to the
+//! paper's reported numbers.
+
+use crate::complexity::{baseline_ops, pecan_a_ops, pecan_d_ops, LayerShape};
+use pecan_cam::OpCounts;
+
+/// PQ settings `(p, d)` of one layer under one PECAN variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanSettings {
+    /// Prototypes per codebook.
+    pub prototypes: usize,
+    /// Sub-vector dimension.
+    pub dim: usize,
+}
+
+impl PlanSettings {
+    /// Shorthand constructor.
+    pub fn new(prototypes: usize, dim: usize) -> Self {
+        Self { prototypes, dim }
+    }
+
+    /// Number of groups for a layer with the given im2col rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` does not divide `rows`.
+    pub fn groups_for(&self, rows: usize) -> usize {
+        assert_eq!(rows % self.dim, 0, "dim {} must divide rows {rows}", self.dim);
+        rows / self.dim
+    }
+}
+
+/// One layer of an architecture plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanLayer {
+    /// Human-readable layer name ("CONV1", "FC2", ...).
+    pub name: String,
+    /// Compute shape for op counting.
+    pub shape: LayerShape,
+    /// PECAN-A settings; `None` keeps the layer uncompressed.
+    pub angle: Option<PlanSettings>,
+    /// PECAN-D settings; `None` keeps the layer uncompressed.
+    pub distance: Option<PlanSettings>,
+}
+
+impl PlanLayer {
+    fn new(
+        name: &str,
+        shape: LayerShape,
+        angle: Option<PlanSettings>,
+        distance: Option<PlanSettings>,
+    ) -> Self {
+        Self { name: name.to_string(), shape, angle, distance }
+    }
+}
+
+/// A full paper-scale architecture with per-layer PECAN settings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchPlan {
+    /// Architecture name.
+    pub name: String,
+    /// Layers in forward order.
+    pub layers: Vec<PlanLayer>,
+}
+
+impl ArchPlan {
+    /// Total baseline op counts (the "Baseline" rows of Tables 2–4).
+    pub fn baseline_total(&self) -> OpCounts {
+        self.layers
+            .iter()
+            .map(|l| baseline_ops(&l.shape))
+            .fold(OpCounts::default(), |a, b| a + b)
+    }
+
+    /// Total PECAN-A op counts; uncompressed layers contribute their
+    /// baseline cost.
+    pub fn pecan_a_total(&self) -> OpCounts {
+        self.layers
+            .iter()
+            .map(|l| match l.angle {
+                Some(s) => {
+                    pecan_a_ops(&l.shape, s.prototypes, s.groups_for(l.shape.rows()), s.dim)
+                }
+                None => baseline_ops(&l.shape),
+            })
+            .fold(OpCounts::default(), |a, b| a + b)
+    }
+
+    /// Total PECAN-D op counts; uncompressed layers contribute their
+    /// baseline cost (which keeps their multiplications — the paper's
+    /// ConvMixer keeps the patch embedding and classifier dense).
+    pub fn pecan_d_total(&self) -> OpCounts {
+        self.layers
+            .iter()
+            .map(|l| match l.distance {
+                Some(s) => {
+                    pecan_d_ops(&l.shape, s.prototypes, s.groups_for(l.shape.rows()), s.dim)
+                }
+                None => baseline_ops(&l.shape),
+            })
+            .fold(OpCounts::default(), |a, b| a + b)
+    }
+
+    /// Validates that every configured layer's `d` divides its im2col rows.
+    pub fn is_valid(&self) -> bool {
+        self.layers.iter().all(|l| {
+            l.angle.map_or(true, |s| l.shape.rows() % s.dim == 0)
+                && l.distance.map_or(true, |s| l.shape.rows() % s.dim == 0)
+        })
+    }
+}
+
+fn s(p: usize, d: usize) -> Option<PlanSettings> {
+    Some(PlanSettings::new(p, d))
+}
+
+/// The modified LeNet-5 plan of Tables A1/A2.
+pub fn lenet_plan() -> ArchPlan {
+    ArchPlan {
+        name: "LeNet-5 (modified)".into(),
+        layers: vec![
+            PlanLayer::new("CONV1", LayerShape::conv(1, 8, 3, 26, 26), s(4, 9), s(64, 9)),
+            PlanLayer::new("CONV2", LayerShape::conv(8, 16, 3, 11, 11), s(8, 24), s(64, 9)),
+            PlanLayer::new("FC1", LayerShape::fc(400, 128), s(8, 16), s(64, 8)),
+            PlanLayer::new("FC2", LayerShape::fc(128, 64), s(8, 16), s(64, 8)),
+            PlanLayer::new("FC3", LayerShape::fc(64, 10), s(8, 16), s(64, 8)),
+        ],
+    }
+}
+
+/// The VGG-Small plan of Table A3 (CIFAR input 32×32).
+pub fn vgg_small_plan(num_classes: usize) -> ArchPlan {
+    let widths = [128usize, 128, 256, 256, 512, 512];
+    let maps = [32usize, 32, 16, 16, 8, 8];
+    // Table A3: PECAN-A p/d = 16/9 @32², 16/32 at lower maps; PECAN-D 32/3.
+    let a_dims = [9usize, 9, 32, 32, 32, 32];
+    let mut layers = Vec::new();
+    let mut c_in = 3;
+    for i in 0..6 {
+        layers.push(PlanLayer::new(
+            &format!("CONV{}", i + 1),
+            LayerShape::conv(c_in, widths[i], 3, maps[i], maps[i]),
+            s(16, a_dims[i]),
+            s(32, 3),
+        ));
+        c_in = widths[i];
+    }
+    layers.push(PlanLayer::new(
+        "FC",
+        LayerShape::fc(512 * 4 * 4, num_classes),
+        s(16, 16),
+        s(32, 16),
+    ));
+    ArchPlan { name: "VGG-Small".into(), layers }
+}
+
+/// The CIFAR ResNet plan of Table A3 (`blocks_per_stage` = 3 → ResNet-20,
+/// 5 → ResNet-32). `conv_dim_override` replaces the conv sub-vector
+/// dimension for the Fig. 4 ablation (`None` keeps Table A3 settings).
+pub fn resnet_plan(
+    blocks_per_stage: usize,
+    num_classes: usize,
+    conv_dim_override: Option<DimChoice>,
+) -> ArchPlan {
+    let depth = 6 * blocks_per_stage + 2;
+    let mut layers = Vec::new();
+    // Table A3: conv0 A 8/9 D 128/3; stage convs A 8/9 (32²) or 8/16 (16², 8²), D 64/3.
+    let dims_for = |default_a: usize, c_in: usize, k: usize| -> (usize, usize) {
+        match conv_dim_override {
+            None => (default_a, 3),
+            Some(DimChoice::Kernel) => (k, k),      // d = k
+            Some(DimChoice::KernelSq) => (k * k, k * k), // d = k²
+            Some(DimChoice::Cin) => (c_in, c_in),   // d = cin
+        }
+    };
+    let (a0, d0) = dims_for(9, 3, 3);
+    layers.push(PlanLayer::new(
+        "CONV0",
+        LayerShape::conv(3, 16, 3, 32, 32),
+        s(8, a0),
+        s(128, d0),
+    ));
+    let stage_widths = [16usize, 32, 64];
+    let stage_maps = [32usize, 16, 8];
+    let stage_a_dim = [9usize, 16, 16];
+    let mut c_in = 16;
+    for stage in 0..3 {
+        for b in 0..blocks_per_stage {
+            for half in 0..2 {
+                let cin_here = if b == 0 && half == 0 { c_in } else { stage_widths[stage] };
+                let (a_d, d_d) = dims_for(stage_a_dim[stage], cin_here, 3);
+                layers.push(PlanLayer::new(
+                    &format!("S{}B{}C{}", stage + 1, b + 1, half + 1),
+                    LayerShape::conv(
+                        cin_here,
+                        stage_widths[stage],
+                        3,
+                        stage_maps[stage],
+                        stage_maps[stage],
+                    ),
+                    s(8, a_d),
+                    s(64, d_d),
+                ));
+            }
+        }
+        c_in = stage_widths[stage];
+    }
+    layers.push(PlanLayer::new(
+        "FC",
+        LayerShape::fc(64, num_classes),
+        s(8, 16),
+        s(64, 4),
+    ));
+    ArchPlan { name: format!("ResNet-{depth}"), layers }
+}
+
+/// Prototype-dimension choices of the Fig. 4 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DimChoice {
+    /// `d = k` (finest grouping, `D = k·cin`).
+    Kernel,
+    /// `d = k²` (the default, `D = cin`).
+    KernelSq,
+    /// `d = cin` (coarsest, `D = k²`).
+    Cin,
+}
+
+/// The modified ConvMixer plan of Table A4 (Tiny-ImageNet, 64×64 input,
+/// depth 8, `k = 5`, dim 256, patch 4). The paper keeps the first
+/// convolution and the classifier uncompressed.
+pub fn convmixer_plan() -> ArchPlan {
+    let dim = 256;
+    let map = 16; // 64 / patch 4
+    let mut layers = vec![PlanLayer::new(
+        "PATCH",
+        LayerShape::conv(3, dim, 4, map, map),
+        None,
+        None,
+    )];
+    for i in 0..8 {
+        layers.push(PlanLayer::new(
+            &format!("MIX{}", i + 1),
+            LayerShape::conv(dim, dim, 5, map, map),
+            s(16, 25),
+            s(32, 25),
+        ));
+    }
+    layers.push(PlanLayer::new("FC", LayerShape::fc(dim, 200), None, None));
+    ArchPlan { name: "ConvMixer-256/8".into(), layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(actual: u64, paper_millions: f64, tol: f64) -> bool {
+        let a = actual as f64 / 1e6;
+        (a - paper_millions).abs() / paper_millions < tol
+    }
+
+    #[test]
+    fn all_plans_are_valid() {
+        assert!(lenet_plan().is_valid());
+        assert!(vgg_small_plan(10).is_valid());
+        assert!(resnet_plan(3, 10, None).is_valid());
+        assert!(resnet_plan(5, 100, None).is_valid());
+        assert!(convmixer_plan().is_valid());
+        for choice in [DimChoice::Kernel, DimChoice::KernelSq, DimChoice::Cin] {
+            assert!(resnet_plan(3, 10, Some(choice)).is_valid(), "{choice:?}");
+        }
+    }
+
+    #[test]
+    fn lenet_totals_match_table_2() {
+        let plan = lenet_plan();
+        assert_eq!(plan.baseline_total().muls, 248_096);
+        assert_eq!(plan.pecan_a_total().muls, 196_880);
+        let d = plan.pecan_d_total();
+        assert_eq!(d.muls, 0);
+        assert_eq!(d.adds, 1_998_064);
+    }
+
+    #[test]
+    fn vgg_small_totals_match_table_3() {
+        let plan = vgg_small_plan(10);
+        // Paper: 0.61G / 0.54G / 0.37G
+        assert!(close(plan.baseline_total().muls, 607.7, 0.01), "{}", plan.baseline_total());
+        assert!(close(plan.pecan_a_total().muls, 541.9, 0.01), "{}", plan.pecan_a_total());
+        let d = plan.pecan_d_total();
+        assert_eq!(d.muls, 0);
+        assert!(close(d.adds, 365.4, 0.01), "{d}");
+    }
+
+    #[test]
+    fn resnet20_totals_match_table_3() {
+        let plan = resnet_plan(3, 10, None);
+        // Paper: 40.55M / 38.12M / 211.71M
+        assert!(close(plan.baseline_total().muls, 40.55, 0.01), "{}", plan.baseline_total());
+        assert!(close(plan.pecan_a_total().muls, 38.12, 0.01), "{}", plan.pecan_a_total());
+        let d = plan.pecan_d_total();
+        assert_eq!(d.muls, 0);
+        assert!(close(d.adds, 211.71, 0.01), "{d}");
+    }
+
+    #[test]
+    fn resnet32_totals_match_table_3() {
+        let plan = resnet_plan(5, 10, None);
+        // Paper: 68.86M / 64.20M / 353.26M
+        assert!(close(plan.baseline_total().muls, 68.86, 0.01), "{}", plan.baseline_total());
+        assert!(close(plan.pecan_a_total().muls, 64.20, 0.01), "{}", plan.pecan_a_total());
+        let d = plan.pecan_d_total();
+        assert_eq!(d.muls, 0);
+        assert!(close(d.adds, 353.26, 0.01), "{d}");
+    }
+
+    #[test]
+    fn convmixer_totals_match_table_a4() {
+        let plan = convmixer_plan();
+        // Paper: 3.36G / 2.36G / 0.98G (uncompressed layers add ~3.2M)
+        assert!(close(plan.baseline_total().muls, 3358.0, 0.01), "{}", plan.baseline_total());
+        assert!(close(plan.pecan_a_total().muls, 2361.0, 0.01), "{}", plan.pecan_a_total());
+        let d = plan.pecan_d_total();
+        // uncompressed patch+fc keep ~3.2M muls
+        assert!(d.muls < 4_000_000, "{d}");
+        assert!(close(d.adds, 977.0, 0.01), "{d}");
+    }
+
+    #[test]
+    fn cifar100_head_changes_little() {
+        let p10 = resnet_plan(3, 10, None).baseline_total().muls;
+        let p100 = resnet_plan(3, 100, None).baseline_total().muls;
+        assert!(p100 > p10);
+        assert!(p100 - p10 < 10_000); // only the classifier grows
+    }
+
+    #[test]
+    fn dim_ablation_changes_group_structure() {
+        let k = resnet_plan(3, 10, Some(DimChoice::Kernel));
+        let k2 = resnet_plan(3, 10, Some(DimChoice::KernelSq));
+        let cin = resnet_plan(3, 10, Some(DimChoice::Cin));
+        // finer dims → more groups → more PECAN-D adds
+        let adds_k = k.pecan_d_total().adds;
+        let adds_k2 = k2.pecan_d_total().adds;
+        let adds_cin = cin.pecan_d_total().adds;
+        assert!(adds_k > adds_k2, "{adds_k} vs {adds_k2}");
+        assert!(adds_k2 > adds_cin, "{adds_k2} vs {adds_cin}");
+    }
+}

@@ -1,0 +1,412 @@
+use crate::layers::{PecanConv2d, PecanLinear};
+use pecan_nn::{Conv2d, Layer, LayerBuilder, Linear, StandardBuilder};
+use pecan_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Which similarity measure a PECAN layer uses (§3.1 vs §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PecanVariant {
+    /// PECAN-A: dot-product attention over prototypes (multiplicative,
+    /// higher accuracy).
+    Angle,
+    /// PECAN-D: L1 nearest-prototype with one-hot lookup (additive only —
+    /// multiplier-free inference).
+    Distance,
+}
+
+/// Per-layer codebook settings: prototypes `p`, sub-vector dimension `d`
+/// and softmax temperature `τ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PqLayerSettings {
+    /// Prototypes per codebook (`p`).
+    pub prototypes: usize,
+    /// Sub-vector dimension (`d`, must divide `cin·k²`).
+    pub dim: usize,
+    /// Softmax temperature (`τ`; paper: 1.0 for PECAN-A, 0.5 for PECAN-D).
+    pub tau: f32,
+}
+
+impl PqLayerSettings {
+    /// Convenience constructor.
+    pub fn new(prototypes: usize, dim: usize, tau: f32) -> Self {
+        Self { prototypes, dim, tau }
+    }
+}
+
+/// Pretrained parameters harvested from a baseline layer, keyed by builder
+/// layer index.
+#[derive(Debug, Clone)]
+struct Pretrained {
+    weight: Tensor,
+    bias: Option<Tensor>,
+}
+
+/// [`LayerBuilder`] that instantiates the model zoo with PECAN layers.
+///
+/// * per-layer settings via [`PecanBuilder::with_settings`] (defaults:
+///   `d = k²` for convolutions, `d = 16`/`8` for FC layers; `p = 8`/`τ = 1`
+///   for PECAN-A, `p = 64`/`τ = 0.5` for PECAN-D — the shapes of
+///   Tables A2/A3);
+/// * selected layers can be kept as standard (uncompressed) layers via
+///   [`PecanBuilder::keep_standard`] — the paper does this for ConvMixer's
+///   patch embedding and classifier;
+/// * pretrained weights (from a [`RecordingBuilder`]-instrumented baseline)
+///   can be injected with [`PecanBuilder::with_pretrained_from`], optionally
+///   frozen for the uni-optimization strategy.
+pub struct PecanBuilder {
+    rng: StdRng,
+    variant: PecanVariant,
+    settings: HashMap<usize, PqLayerSettings>,
+    standard: HashSet<usize>,
+    pretrained: HashMap<usize, Pretrained>,
+    freeze_weights: bool,
+    fallback: StandardBuilder,
+    default_tau: Option<f32>,
+    default_prototypes: Option<usize>,
+    conv_dim_rule: Option<Box<dyn Fn(usize, usize) -> usize>>,
+}
+
+impl PecanBuilder {
+    /// Creates a builder with a fixed seed.
+    pub fn from_seed(seed: u64, variant: PecanVariant) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            variant,
+            settings: HashMap::new(),
+            standard: HashSet::new(),
+            pretrained: HashMap::new(),
+            freeze_weights: false,
+            fallback: StandardBuilder::from_seed(seed ^ 0x5eed),
+            default_tau: None,
+            default_prototypes: None,
+            conv_dim_rule: None,
+        }
+    }
+
+    /// Creates a builder seeding from the caller's RNG.
+    pub fn new<R: Rng>(rng: &mut R, variant: PecanVariant) -> Self {
+        Self::from_seed(rng.gen(), variant)
+    }
+
+    /// Overrides the codebook settings of layer `index`.
+    pub fn with_settings(mut self, index: usize, settings: PqLayerSettings) -> Self {
+        self.settings.insert(index, settings);
+        self
+    }
+
+    /// Applies a whole settings table (layer index → settings).
+    pub fn with_settings_table(
+        mut self,
+        table: impl IntoIterator<Item = (usize, PqLayerSettings)>,
+    ) -> Self {
+        self.settings.extend(table);
+        self
+    }
+
+    /// Keeps layer `index` as a standard (uncompressed) layer.
+    pub fn keep_standard(mut self, index: usize) -> Self {
+        self.standard.insert(index);
+        self
+    }
+
+    /// Injects pretrained parameters recorded by a [`RecordingBuilder`];
+    /// when `freeze` is set, the PECAN layers exclude those weights from
+    /// training (uni-optimization, §4.4.2).
+    pub fn with_pretrained_from(mut self, recorder: &RecordingBuilder, freeze: bool) -> Self {
+        for (index, (weight, bias)) in recorder.snapshot() {
+            self.pretrained.insert(index, Pretrained { weight, bias });
+        }
+        self.freeze_weights = freeze;
+        self
+    }
+
+    /// Which similarity variant this builder produces.
+    pub fn variant(&self) -> PecanVariant {
+        self.variant
+    }
+
+    /// Overrides the softmax temperature used by default settings (explicit
+    /// [`PecanBuilder::with_settings`] entries are unaffected).
+    pub fn with_default_tau(mut self, tau: f32) -> Self {
+        self.default_tau = Some(tau);
+        self
+    }
+
+    /// Overrides the prototype count used by default settings.
+    pub fn with_default_prototypes(mut self, prototypes: usize) -> Self {
+        self.default_prototypes = Some(prototypes);
+        self
+    }
+
+    /// Overrides the conv sub-vector dimension rule: `rule(c_in, kernel)`
+    /// returns `d` (must divide `c_in·kernel²`). Drives the Fig. 4
+    /// prototype-dimension ablation (`d ∈ {k, k², cin}`).
+    pub fn with_conv_dim_rule(
+        mut self,
+        rule: impl Fn(usize, usize) -> usize + 'static,
+    ) -> Self {
+        self.conv_dim_rule = Some(Box::new(rule));
+        self
+    }
+
+    fn default_conv_settings(&self, c_in: usize, kernel: usize) -> PqLayerSettings {
+        let dim = match &self.conv_dim_rule {
+            Some(rule) => rule(c_in, kernel),
+            None => kernel * kernel,
+        };
+        let base = match self.variant {
+            PecanVariant::Angle => PqLayerSettings::new(8, dim, 1.0),
+            PecanVariant::Distance => PqLayerSettings::new(64, dim, 0.5),
+        };
+        self.apply_default_overrides(base)
+    }
+
+    fn apply_default_overrides(&self, mut base: PqLayerSettings) -> PqLayerSettings {
+        if let Some(tau) = self.default_tau {
+            base.tau = tau;
+        }
+        if let Some(p) = self.default_prototypes {
+            base.prototypes = p;
+        }
+        base
+    }
+
+    fn default_linear_settings(&self, in_features: usize) -> PqLayerSettings {
+        let pick_dim = |target: usize| {
+            if in_features % target == 0 {
+                target
+            } else {
+                // largest divisor of in_features not exceeding the target
+                (1..=target.min(in_features))
+                    .rev()
+                    .find(|d| in_features % d == 0)
+                    .unwrap_or(1)
+            }
+        };
+        let base = match self.variant {
+            PecanVariant::Angle => PqLayerSettings::new(8, pick_dim(16), 1.0),
+            PecanVariant::Distance => PqLayerSettings::new(64, pick_dim(8), 0.5),
+        };
+        self.apply_default_overrides(base)
+    }
+}
+
+impl LayerBuilder for PecanBuilder {
+    fn conv2d(
+        &mut self,
+        layer_index: usize,
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Box<dyn Layer> {
+        if self.standard.contains(&layer_index) {
+            return self.fallback.conv2d(layer_index, c_in, c_out, kernel, stride, padding);
+        }
+        let settings = self
+            .settings
+            .get(&layer_index)
+            .copied()
+            .unwrap_or_else(|| self.default_conv_settings(c_in, kernel));
+        let layer = if let Some(pre) = self.pretrained.get(&layer_index) {
+            PecanConv2d::from_pretrained(
+                &mut self.rng,
+                self.variant,
+                settings,
+                pre.weight.clone(),
+                c_in,
+                kernel,
+                stride,
+                padding,
+                self.freeze_weights,
+            )
+        } else {
+            PecanConv2d::new(
+                &mut self.rng,
+                self.variant,
+                settings,
+                c_in,
+                c_out,
+                kernel,
+                stride,
+                padding,
+            )
+        };
+        Box::new(layer.unwrap_or_else(|e| {
+            panic!("invalid PECAN settings for conv layer {layer_index}: {e}")
+        }))
+    }
+
+    fn linear(
+        &mut self,
+        layer_index: usize,
+        in_features: usize,
+        out_features: usize,
+    ) -> Box<dyn Layer> {
+        if self.standard.contains(&layer_index) {
+            return self.fallback.linear(layer_index, in_features, out_features);
+        }
+        let settings = self
+            .settings
+            .get(&layer_index)
+            .copied()
+            .unwrap_or_else(|| self.default_linear_settings(in_features));
+        let layer = if let Some(pre) = self.pretrained.get(&layer_index) {
+            PecanLinear::from_pretrained(
+                &mut self.rng,
+                self.variant,
+                settings,
+                pre.weight.clone(),
+                pre.bias.clone().unwrap_or_else(|| Tensor::zeros(&[out_features])),
+                self.freeze_weights,
+            )
+        } else {
+            PecanLinear::new(&mut self.rng, self.variant, settings, in_features, out_features)
+        };
+        Box::new(layer.unwrap_or_else(|e| {
+            panic!("invalid PECAN settings for linear layer {layer_index}: {e}")
+        }))
+    }
+}
+
+/// A [`LayerBuilder`] that wraps another builder and records `Var` handles
+/// of every conv/linear parameter it creates.
+///
+/// Because parameters are shared reference-counted handles, the recorded
+/// snapshot reflects *trained* values after the model has been optimised —
+/// harvest them with [`RecordingBuilder::snapshot`] and feed a
+/// [`PecanBuilder`] for the uni-optimization experiments (Table 6).
+pub struct RecordingBuilder {
+    inner: StandardBuilder,
+    recorded: Vec<(usize, pecan_autograd::Var, Option<pecan_autograd::Var>)>,
+}
+
+impl RecordingBuilder {
+    /// Wraps a standard builder with the given seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self { inner: StandardBuilder::from_seed(seed), recorded: Vec::new() }
+    }
+
+    /// Current (possibly trained) weights per layer index.
+    pub fn snapshot(&self) -> Vec<(usize, (Tensor, Option<Tensor>))> {
+        self.recorded
+            .iter()
+            .map(|(idx, w, b)| (*idx, (w.to_tensor(), b.as_ref().map(|b| b.to_tensor()))))
+            .collect()
+    }
+}
+
+impl LayerBuilder for RecordingBuilder {
+    fn conv2d(
+        &mut self,
+        layer_index: usize,
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Box<dyn Layer> {
+        let layer = self.inner.conv2d(layer_index, c_in, c_out, kernel, stride, padding);
+        let conv = layer
+            .as_any()
+            .downcast_ref::<Conv2d>()
+            .expect("StandardBuilder produces Conv2d");
+        self.recorded
+            .push((layer_index, conv.weight().clone(), conv.bias().cloned()));
+        layer
+    }
+
+    fn linear(
+        &mut self,
+        layer_index: usize,
+        in_features: usize,
+        out_features: usize,
+    ) -> Box<dyn Layer> {
+        let layer = self.inner.linear(layer_index, in_features, out_features);
+        let lin = layer
+            .as_any()
+            .downcast_ref::<Linear>()
+            .expect("StandardBuilder produces Linear");
+        self.recorded
+            .push((layer_index, lin.weight().clone(), Some(lin.bias().clone())));
+        layer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pecan_autograd::Var;
+    use pecan_nn::models;
+
+    #[test]
+    fn pecan_lenet_builds_and_runs_both_variants() {
+        for variant in [PecanVariant::Angle, PecanVariant::Distance] {
+            let mut b = PecanBuilder::from_seed(7, variant);
+            let mut net = models::lenet5_modified(&mut b).unwrap();
+            let x = Var::constant(Tensor::zeros(&[1, 1, 28, 28]));
+            let y = net.forward(&x, false).unwrap();
+            assert_eq!(y.value().dims(), &[1, 10]);
+        }
+    }
+
+    #[test]
+    fn keep_standard_leaves_layer_unconverted() {
+        let mut b = PecanBuilder::from_seed(7, PecanVariant::Distance).keep_standard(0);
+        let conv = b.conv2d(0, 3, 8, 3, 1, 1);
+        assert_eq!(conv.name(), "Conv2d");
+        let pecan_conv = b.conv2d(1, 3, 8, 3, 1, 1);
+        assert_eq!(pecan_conv.name(), "PecanConv2d");
+    }
+
+    #[test]
+    fn settings_table_overrides_defaults() {
+        let mut b = PecanBuilder::from_seed(7, PecanVariant::Angle)
+            .with_settings(0, PqLayerSettings::new(4, 27, 1.0));
+        let conv = b.conv2d(0, 3, 8, 3, 1, 1);
+        let pecan = conv.as_any().downcast_ref::<PecanConv2d>().unwrap();
+        assert_eq!(pecan.pq_config().prototypes(), 4);
+        assert_eq!(pecan.pq_config().dim(), 27);
+        assert_eq!(pecan.pq_config().groups(), 1);
+    }
+
+    #[test]
+    fn recording_builder_harvests_trained_weights() {
+        let mut rec = RecordingBuilder::from_seed(3);
+        let layer = rec.conv2d(0, 1, 2, 3, 1, 0);
+        // simulate training: mutate the live weight
+        let conv = layer.as_any().downcast_ref::<Conv2d>().unwrap();
+        conv.weight().update_value(|w| {
+            w.data_mut()[0] = 42.0;
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].1 .0.data()[0], 42.0);
+    }
+
+    #[test]
+    fn pretrained_injection_freezes_weights() {
+        let mut rec = RecordingBuilder::from_seed(3);
+        let _ = rec.conv2d(0, 1, 4, 3, 1, 0);
+        let mut b = PecanBuilder::from_seed(9, PecanVariant::Distance)
+            .with_pretrained_from(&rec, true)
+            .with_settings(0, PqLayerSettings::new(4, 9, 0.5));
+        let conv = b.conv2d(0, 1, 4, 3, 1, 0);
+        let pecan = conv.as_any().downcast_ref::<PecanConv2d>().unwrap();
+        assert!(pecan.is_weight_frozen());
+        assert_eq!(pecan.parameters().len(), 1); // codebook only
+    }
+
+    #[test]
+    fn linear_default_dim_divides_inputs() {
+        // 400 is not divisible by 16 default? 400 / 16 = 25 exactly; try a
+        // prime-ish feature count to exercise the divisor search.
+        let mut b = PecanBuilder::from_seed(1, PecanVariant::Angle);
+        let lin = b.linear(0, 62, 10); // 62 = 2·31 → dim 2
+        let pecan = lin.as_any().downcast_ref::<PecanLinear>().unwrap();
+        assert_eq!(62 % pecan.pq_config().dim(), 0);
+    }
+}

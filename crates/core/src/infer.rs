@@ -1,0 +1,369 @@
+use crate::layers::{PecanConv2d, PecanLinear};
+use crate::PecanVariant;
+use pecan_cam::{AnalogCam, DotProductCam, LookupTable};
+use pecan_pq::{PqConfig, UsageStats};
+use pecan_tensor::{ShapeError, Tensor};
+use rand::Rng;
+
+/// The Algorithm-1 inference engine for one PECAN layer.
+///
+/// Construction performs line 3 of Algorithm 1: the filter matrix is split
+/// into per-group sub-matrices `W1(j) ∈ R^{cout×d}` and multiplied with the
+/// codebooks `C1(j) ∈ R^{d×p}` once, yielding the lookup tables
+/// `Y(j) ∈ R^{cout×p}`. The prototypes themselves are programmed into CAM
+/// arrays ([`AnalogCam`] for PECAN-D, [`DotProductCam`] for PECAN-A).
+///
+/// At inference, each im2col column triggers `D` CAM searches and `D`
+/// table reads — **no dense filtering arithmetic ever runs**. For PECAN-D
+/// this path is multiplier-free; the test suite asserts it matches the
+/// training-path forward bit-for-bit.
+#[derive(Debug)]
+pub struct LayerLut {
+    variant: PecanVariant,
+    tau: f32,
+    config: PqConfig,
+    c_out: usize,
+    analog: Vec<AnalogCam>,
+    dot: Vec<DotProductCam>,
+    luts: Vec<LookupTable>,
+    bias: Option<Tensor>,
+}
+
+impl LayerLut {
+    /// Builds the engine from a PECAN convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the layer's weight/codebook shapes are
+    /// inconsistent (cannot happen for layers built through this crate).
+    pub fn from_conv(layer: &PecanConv2d) -> Result<Self, ShapeError> {
+        let weight = layer.weight().to_tensor();
+        Self::build(
+            layer.variant(),
+            *layer.pq_config(),
+            &weight,
+            &layer.codebook().to_tensors(),
+            None,
+        )
+    }
+
+    /// Builds the engine from a PECAN linear layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the layer's weight/codebook shapes are
+    /// inconsistent.
+    pub fn from_linear(layer: &PecanLinear) -> Result<Self, ShapeError> {
+        let weight = layer.weight().to_tensor();
+        Self::build(
+            layer.variant(),
+            *layer.pq_config(),
+            &weight,
+            &layer.codebook().to_tensors(),
+            Some(layer.bias().to_tensor()),
+        )
+    }
+
+    /// Builds the engine from raw parts (used by pruning and the noise
+    /// experiments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `weight` is not `[cout, D·d]` or any
+    /// codebook group is not `[d, p]`.
+    pub fn build(
+        variant: PecanVariant,
+        config: PqConfig,
+        weight: &Tensor,
+        codebooks: &[Tensor],
+        bias: Option<Tensor>,
+    ) -> Result<Self, ShapeError> {
+        weight.shape().expect_rank(2)?;
+        if weight.dims()[1] != config.rows() {
+            return Err(ShapeError::new(format!(
+                "weight {:?} does not cover {} im2col rows",
+                weight.dims(),
+                config.rows()
+            )));
+        }
+        if codebooks.len() != config.groups() {
+            return Err(ShapeError::new(format!(
+                "{} codebooks for {} groups",
+                codebooks.len(),
+                config.groups()
+            )));
+        }
+        let c_out = weight.dims()[0];
+        let d = config.dim();
+        let mut analog = Vec::new();
+        let mut dot = Vec::new();
+        let mut luts = Vec::with_capacity(config.groups());
+        for (j, cb) in codebooks.iter().enumerate() {
+            if cb.dims() != [d, config.prototypes()] {
+                return Err(ShapeError::new(format!(
+                    "codebook group {j} has shape {:?}",
+                    cb.dims()
+                )));
+            }
+            // W1(j): rows of the weight restricted to this group's columns.
+            let mut w_j = Tensor::zeros(&[c_out, d]);
+            for o in 0..c_out {
+                for k in 0..d {
+                    w_j.set2(o, k, weight.get2(o, j * d + k));
+                }
+            }
+            luts.push(LookupTable::from_products(&w_j, cb)?);
+            // CAM rows are prototypes: transpose [d, p] → [p, d].
+            let rows = cb.transpose2()?;
+            match variant {
+                PecanVariant::Distance => analog.push(AnalogCam::new(rows)?),
+                PecanVariant::Angle => dot.push(DotProductCam::new(rows)?),
+            }
+        }
+        Ok(Self { variant, tau: config.tau(), config, c_out, analog, dot, luts, bias })
+    }
+
+    /// Output width `cout`.
+    pub fn outputs(&self) -> usize {
+        self.c_out
+    }
+
+    /// The PQ configuration the engine was built for.
+    pub fn config(&self) -> &PqConfig {
+        &self.config
+    }
+
+    /// The per-group lookup tables.
+    pub fn luts(&self) -> &[LookupTable] {
+        &self.luts
+    }
+
+    /// Total lookup-table memory in scalars (`cout·D·p`, §3 storage (ii)).
+    pub fn lut_scalars(&self) -> usize {
+        self.luts.iter().map(LookupTable::scalars).sum()
+    }
+
+    /// Perturbs the stored CAM prototypes with Gaussian device noise
+    /// (RRAM-variation experiment). Only meaningful for PECAN-D.
+    pub fn perturb_prototypes<R: Rng>(&mut self, sigma: f32, rng: &mut R) {
+        let mut noisy = Vec::with_capacity(self.analog.len());
+        for cam in &self.analog {
+            let rows = cam.rows().clone();
+            noisy.push(
+                AnalogCam::with_noise(rows, sigma, rng)
+                    .expect("existing CAM rows are valid"),
+            );
+        }
+        self.analog = noisy;
+    }
+
+    /// Runs Algorithm 1 over an im2col matrix `x` (`[D·d, cols]`),
+    /// producing the layer output `[cout, cols]`. When `stats` is given,
+    /// PECAN-D records which prototype won each search (Fig. 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x` does not match the configuration.
+    pub fn forward_cols(
+        &self,
+        x: &Tensor,
+        mut stats: Option<&mut UsageStats>,
+    ) -> Result<Tensor, ShapeError> {
+        x.shape().expect_rank(2)?;
+        if x.dims()[0] != self.config.rows() {
+            return Err(ShapeError::new(format!(
+                "feature matrix has {} rows, engine expects {}",
+                x.dims()[0],
+                self.config.rows()
+            )));
+        }
+        let cols = x.dims()[1];
+        let d = self.config.dim();
+        let p = self.config.prototypes();
+        let mut out = Tensor::zeros(&[self.c_out, cols]);
+        let mut query = vec![0.0f32; d];
+        let mut acc = vec![0.0f32; self.c_out];
+        for i in 0..cols {
+            acc.fill(0.0);
+            if let Some(b) = &self.bias {
+                acc.copy_from_slice(b.data());
+            }
+            for j in 0..self.config.groups() {
+                for (k, q) in query.iter_mut().enumerate() {
+                    *q = x.get2(j * d + k, i);
+                }
+                match self.variant {
+                    PecanVariant::Distance => {
+                        let hit = self.analog[j].search(&query)?;
+                        self.luts[j].accumulate_column(hit.row, &mut acc)?;
+                        if let Some(s) = stats.as_deref_mut() {
+                            s.record(j, hit.row);
+                        }
+                    }
+                    PecanVariant::Angle => {
+                        let scores = self.dot[j].scores(&query)?;
+                        let weights = softmax(&scores, self.tau);
+                        self.luts[j].accumulate_weighted(&weights, &mut acc)?;
+                        if let Some(s) = stats.as_deref_mut() {
+                            // record the dominant prototype for usage stats
+                            let best = argmax(&weights);
+                            s.record(j, best);
+                        }
+                    }
+                }
+                let _ = p;
+            }
+            for (o, &v) in acc.iter().enumerate() {
+                out.set2(o, i, v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fresh usage-statistics accumulator sized for this engine.
+    pub fn new_stats(&self) -> UsageStats {
+        UsageStats::new(self.config.groups(), self.config.prototypes())
+    }
+}
+
+fn softmax(scores: &[f32], tau: f32) -> Vec<f32> {
+    let mx = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max) / tau;
+    let exps: Vec<f32> = scores.iter().map(|&s| (s / tau - mx).exp()).collect();
+    let z: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / z).collect()
+}
+
+fn argmax(values: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PqLayerSettings;
+    use pecan_autograd::Var;
+    use pecan_nn::Layer;
+    use pecan_tensor::{im2col, Conv2dGeometry};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn conv_layer(variant: PecanVariant, seed: u64) -> PecanConv2d {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PecanConv2d::new(
+            &mut rng,
+            variant,
+            PqLayerSettings::new(4, 9, 0.5),
+            2,
+            3,
+            3,
+            1,
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lut_inference_matches_training_forward_distance() {
+        let mut layer = conv_layer(PecanVariant::Distance, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let x_t = pecan_tensor::uniform(&mut rng, &[1, 2, 5, 5], -1.0, 1.0);
+        let x = Var::constant(x_t.clone());
+        let train_path = layer.forward(&x, false).unwrap();
+
+        let engine = LayerLut::from_conv(&layer).unwrap();
+        let geom = Conv2dGeometry::new(2, 5, 5, 3, 1, 1).unwrap();
+        let img = Tensor::from_vec(x_t.data().to_vec(), &[2, 5, 5]).unwrap();
+        let cols = im2col(&img, &geom).unwrap();
+        let lut_out = engine.forward_cols(&cols, None).unwrap(); // [3, 25]
+
+        // train path output is [1, 3, 5, 5] — same memory order as [3, 25]
+        let train_flat = train_path.value().reshape(&[3, 25]).unwrap();
+        assert!(
+            lut_out.max_abs_diff(&train_flat) < 1e-4,
+            "LUT path diverges from training path by {}",
+            lut_out.max_abs_diff(&train_flat)
+        );
+    }
+
+    #[test]
+    fn lut_inference_matches_training_forward_angle() {
+        let mut layer = conv_layer(PecanVariant::Angle, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let x_t = pecan_tensor::uniform(&mut rng, &[1, 2, 4, 4], -1.0, 1.0);
+        let x = Var::constant(x_t.clone());
+        let train_path = layer.forward(&x, false).unwrap();
+
+        let engine = LayerLut::from_conv(&layer).unwrap();
+        let geom = Conv2dGeometry::new(2, 4, 4, 3, 1, 1).unwrap();
+        let img = Tensor::from_vec(x_t.data().to_vec(), &[2, 4, 4]).unwrap();
+        let cols = im2col(&img, &geom).unwrap();
+        let lut_out = engine.forward_cols(&cols, None).unwrap();
+        let train_flat = train_path.value().reshape(&[3, 16]).unwrap();
+        assert!(lut_out.max_abs_diff(&train_flat) < 1e-3);
+    }
+
+    #[test]
+    fn linear_lut_matches_layer() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer = PecanLinear::new(
+            &mut rng,
+            PecanVariant::Distance,
+            PqLayerSettings::new(4, 8, 0.5),
+            16,
+            5,
+        )
+        .unwrap();
+        let x_t = pecan_tensor::uniform(&mut rng, &[3, 16], -1.0, 1.0);
+        let y = layer.forward(&Var::constant(x_t.clone()), false).unwrap();
+
+        let engine = LayerLut::from_linear(&layer).unwrap();
+        let cols = x_t.transpose2().unwrap(); // [16, 3]
+        let out = engine.forward_cols(&cols, None).unwrap(); // [5, 3]
+        let y_cols = y.value().transpose2().unwrap();
+        assert!(out.max_abs_diff(&y_cols) < 1e-4);
+    }
+
+    #[test]
+    fn usage_stats_are_recorded() {
+        let layer = conv_layer(PecanVariant::Distance, 6);
+        let engine = LayerLut::from_conv(&layer).unwrap();
+        let mut stats = engine.new_stats();
+        let mut rng = StdRng::seed_from_u64(7);
+        let cols = pecan_tensor::uniform(&mut rng, &[18, 30], -1.0, 1.0);
+        engine.forward_cols(&cols, Some(&mut stats)).unwrap();
+        let total: u64 = (0..stats.groups()).map(|g| stats.counts(g).iter().sum::<u64>()).sum();
+        assert_eq!(total, 30 * 2); // 30 columns × 2 groups
+    }
+
+    #[test]
+    fn noise_perturbation_changes_assignments_eventually() {
+        let layer = conv_layer(PecanVariant::Distance, 8);
+        let mut engine = LayerLut::from_conv(&layer).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let cols = pecan_tensor::uniform(&mut rng, &[18, 20], -1.0, 1.0);
+        let clean = engine.forward_cols(&cols, None).unwrap();
+        engine.perturb_prototypes(5.0, &mut rng); // huge noise
+        let noisy = engine.forward_cols(&cols, None).unwrap();
+        assert!(clean.max_abs_diff(&noisy) > 0.0);
+    }
+
+    #[test]
+    fn build_validates_shapes() {
+        let cfg = PqConfig::for_rows(8, 2, 4, 1.0).unwrap();
+        let w = Tensor::zeros(&[3, 8]);
+        let bad_weight = Tensor::zeros(&[3, 9]);
+        let cb = vec![Tensor::zeros(&[4, 2]), Tensor::zeros(&[4, 2])];
+        assert!(LayerLut::build(PecanVariant::Distance, cfg, &w, &cb, None).is_ok());
+        assert!(LayerLut::build(PecanVariant::Distance, cfg, &bad_weight, &cb, None).is_err());
+        assert!(LayerLut::build(PecanVariant::Distance, cfg, &w, &cb[..1], None).is_err());
+        let engine = LayerLut::build(PecanVariant::Distance, cfg, &w, &cb, None).unwrap();
+        assert!(engine.forward_cols(&Tensor::zeros(&[7, 2]), None).is_err());
+        assert_eq!(engine.lut_scalars(), 2 * 3 * 2);
+    }
+}

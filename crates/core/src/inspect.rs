@@ -1,0 +1,165 @@
+use crate::layers::PecanConv2d;
+use crate::LayerLut;
+use pecan_tensor::{ShapeError, Tensor};
+
+/// The three matrices of one Fig. 5 panel: the flattened input features,
+/// their PECAN-D quantized reconstruction, and the codebook that produced
+/// it — for one codebook group of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizationSnapshot {
+    /// Original feature sub-matrix `X(j)` (`[d, cols]`).
+    pub features: Tensor,
+    /// Quantized reconstruction `X̃(j)` (`[d, cols]`; every column is some
+    /// prototype).
+    pub quantized: Tensor,
+    /// The group's codebook `C(j)` (`[d, p]`).
+    pub codebook: Tensor,
+    /// Winning prototype per column.
+    pub assignments: Vec<usize>,
+}
+
+impl QuantizationSnapshot {
+    /// Mean per-element absolute reconstruction error `|X − X̃|`.
+    pub fn reconstruction_error(&self) -> f32 {
+        let diff: f32 = self
+            .features
+            .data()
+            .iter()
+            .zip(self.quantized.data())
+            .map(|(&a, &b)| (a - b).abs())
+            .sum();
+        diff / self.features.len().max(1) as f32
+    }
+
+    /// Renders a matrix as a coarse ASCII heatmap (rows × columns, five
+    /// intensity levels) — the textual stand-in for Fig. 5's images.
+    pub fn heatmap(matrix: &Tensor) -> String {
+        let (rows, cols) = (matrix.dims()[0], matrix.dims()[1]);
+        let lo = matrix.min();
+        let hi = matrix.max();
+        let span = (hi - lo).max(1e-9);
+        let glyphs = [' ', '░', '▒', '▓', '█'];
+        let mut out = String::with_capacity(rows * (cols + 1));
+        for r in 0..rows {
+            for c in 0..cols {
+                let t = ((matrix.get2(r, c) - lo) / span * 4.0).round() as usize;
+                out.push(glyphs[t.min(4)]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Captures the Fig. 5 visualisation data for one group of a PECAN-D
+/// convolution: runs the hard assignment over the given im2col columns and
+/// reconstructs `X̃(j) = C(j)·one_hot(k(j))`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `group` is out of range or `xcol` does not
+/// match the layer's geometry.
+pub fn quantization_snapshot(
+    layer: &PecanConv2d,
+    xcol: &Tensor,
+    group: usize,
+) -> Result<QuantizationSnapshot, ShapeError> {
+    let config = *layer.pq_config();
+    if group >= config.groups() {
+        return Err(ShapeError::new(format!(
+            "group {group} out of range for {} groups",
+            config.groups()
+        )));
+    }
+    let groups = layer.codebook().split_rows(xcol)?;
+    let features = groups[group].clone();
+    let codebook = layer.codebook().group(group).to_tensor();
+    let scores = pecan_pq::l1_scores(&codebook, &features)?;
+    let assignments = pecan_pq::hard_assign(&scores)?;
+    let mut quantized = Tensor::zeros(features.dims());
+    for (i, &m) in assignments.iter().enumerate() {
+        for k in 0..config.dim() {
+            quantized.set2(k, i, codebook.get2(k, m));
+        }
+    }
+    // LayerLut is the canonical assignment path; cross-check on debug builds.
+    debug_assert!({
+        let engine = LayerLut::from_conv(layer)?;
+        let mut stats = engine.new_stats();
+        engine.forward_cols(xcol, Some(&mut stats))?;
+        stats.counts(group).iter().sum::<u64>() as usize == assignments.len()
+    });
+    Ok(QuantizationSnapshot { features, quantized, codebook, assignments })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PecanVariant, PqLayerSettings};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer() -> PecanConv2d {
+        let mut rng = StdRng::seed_from_u64(0);
+        PecanConv2d::new(
+            &mut rng,
+            PecanVariant::Distance,
+            PqLayerSettings::new(4, 9, 0.5),
+            2,
+            3,
+            3,
+            1,
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn snapshot_columns_are_prototypes() {
+        let l = layer();
+        let mut rng = StdRng::seed_from_u64(1);
+        let xcol = pecan_tensor::uniform(&mut rng, &[18, 12], -1.0, 1.0);
+        let snap = quantization_snapshot(&l, &xcol, 1).unwrap();
+        assert_eq!(snap.features.dims(), &[9, 12]);
+        assert_eq!(snap.quantized.dims(), &[9, 12]);
+        assert_eq!(snap.codebook.dims(), &[9, 4]);
+        // every quantized column equals the assigned prototype
+        for (i, &m) in snap.assignments.iter().enumerate() {
+            for k in 0..9 {
+                assert_eq!(snap.quantized.get2(k, i), snap.codebook.get2(k, m));
+            }
+        }
+        assert!(snap.reconstruction_error() > 0.0);
+    }
+
+    #[test]
+    fn quantizing_prototypes_has_zero_error() {
+        let l = layer();
+        // feed the group-0 prototypes themselves as features
+        let cb = l.codebook().group(0).to_tensor(); // [9, 4]
+        let mut xcol = Tensor::zeros(&[18, 4]);
+        for r in 0..9 {
+            for c in 0..4 {
+                xcol.set2(r, c, cb.get2(r, c));
+            }
+        }
+        let snap = quantization_snapshot(&l, &xcol, 0).unwrap();
+        assert!(snap.reconstruction_error() < 1e-6);
+        assert_eq!(snap.assignments, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn heatmap_has_row_per_matrix_row() {
+        let m = Tensor::from_vec(vec![0.0, 1.0, 0.5, 0.25], &[2, 2]).unwrap();
+        let art = QuantizationSnapshot::heatmap(&m);
+        assert_eq!(art.lines().count(), 2);
+        assert!(art.contains('█'));
+    }
+
+    #[test]
+    fn group_out_of_range_is_error() {
+        let l = layer();
+        let xcol = Tensor::zeros(&[18, 4]);
+        assert!(quantization_snapshot(&l, &xcol, 2).is_err());
+    }
+}

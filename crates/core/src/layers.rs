@@ -1,0 +1,494 @@
+use crate::convert::{PecanVariant, PqLayerSettings};
+use pecan_autograd::{concat_rows, Var};
+use pecan_nn::Layer;
+use pecan_pq::{anneal_slope, assign_distance_ste, soft_assign_angle, Codebook, PqConfig};
+use pecan_tensor::{Conv2dGeometry, ShapeError, Tensor};
+use rand::Rng;
+use std::any::Any;
+
+/// Quantizes the columns of an im2col matrix group-by-group and rebuilds
+/// the approximated feature matrix `X̃` (Eq. 2 / Eq. 3–5).
+fn quantize_columns(
+    codebook: &Codebook,
+    variant: PecanVariant,
+    tau: f32,
+    slope: f32,
+    xcol: &Var,
+) -> Result<Var, ShapeError> {
+    let d = codebook.config().dim();
+    let mut parts = Vec::with_capacity(codebook.config().groups());
+    for j in 0..codebook.config().groups() {
+        let xj = xcol.slice_rows(j * d, d)?;
+        let assignment = match variant {
+            PecanVariant::Angle => soft_assign_angle(codebook.group(j), &xj, tau)?,
+            PecanVariant::Distance => {
+                assign_distance_ste(codebook.group(j), &xj, tau, slope)?
+            }
+        };
+        parts.push(codebook.group(j).matmul(&assignment)?);
+    }
+    concat_rows(&parts)
+}
+
+/// A convolution realised through product quantization + table lookup —
+/// the PECAN replacement for `Conv2d` (§3).
+///
+/// During training the layer runs the differentiable composition
+/// `F · X̃` where `X̃` is the prototype reconstruction of the im2col matrix;
+/// at inference the same arithmetic is served by [`crate::LayerLut`]
+/// (Algorithm 1), which the test suite asserts is numerically identical.
+pub struct PecanConv2d {
+    weight: Var, // [cout, cin·k²] — the flattened filter matrix F
+    codebook: Codebook,
+    variant: PecanVariant,
+    c_in: usize,
+    c_out: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    slope: f32,
+    freeze_weight: bool,
+}
+
+impl PecanConv2d {
+    /// Creates a PECAN convolution with He-initialised weights and
+    /// uniform-initialised prototypes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `settings.dim` does not divide
+    /// `c_in·kernel²`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        variant: PecanVariant,
+        settings: PqLayerSettings,
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, ShapeError> {
+        let fan_in = c_in * kernel * kernel;
+        let weight = Var::parameter(pecan_tensor::he_normal(rng, &[c_out, fan_in], fan_in));
+        Self::with_weight(rng, variant, settings, weight, c_in, kernel, stride, padding, false)
+    }
+
+    /// Creates a PECAN convolution around an existing (e.g. pretrained)
+    /// flattened weight matrix. With `freeze_weight = true` the weight is
+    /// excluded from [`Layer::parameters`] — the paper's uni-optimization
+    /// strategy (§4.4.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes are inconsistent with the config.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_pretrained<R: Rng>(
+        rng: &mut R,
+        variant: PecanVariant,
+        settings: PqLayerSettings,
+        weight: Tensor,
+        c_in: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        freeze_weight: bool,
+    ) -> Result<Self, ShapeError> {
+        weight.shape().expect_rank(2)?;
+        if weight.dims()[1] != c_in * kernel * kernel {
+            return Err(ShapeError::new(format!(
+                "pretrained conv weight {:?} does not match cin {c_in}, k {kernel}",
+                weight.dims()
+            )));
+        }
+        let weight = Var::parameter(weight);
+        Self::with_weight(
+            rng,
+            variant,
+            settings,
+            weight,
+            c_in,
+            kernel,
+            stride,
+            padding,
+            freeze_weight,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn with_weight<R: Rng>(
+        rng: &mut R,
+        variant: PecanVariant,
+        settings: PqLayerSettings,
+        weight: Var,
+        c_in: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        freeze_weight: bool,
+    ) -> Result<Self, ShapeError> {
+        let rows = c_in * kernel * kernel;
+        let config =
+            PqConfig::for_rows(rows, settings.prototypes, settings.dim, settings.tau)?;
+        let c_out = weight.value().dims()[0];
+        let codebook = Codebook::random(rng, config);
+        Ok(Self {
+            weight,
+            codebook,
+            variant,
+            c_in,
+            c_out,
+            kernel,
+            stride,
+            padding,
+            slope: 1.0,
+            freeze_weight,
+        })
+    }
+
+    /// The flattened filter matrix `F` (`[cout, cin·k²]`).
+    pub fn weight(&self) -> &Var {
+        &self.weight
+    }
+
+    /// The layer's codebooks.
+    pub fn codebook(&self) -> &Codebook {
+        &self.codebook
+    }
+
+    /// Which similarity measure this layer uses.
+    pub fn variant(&self) -> PecanVariant {
+        self.variant
+    }
+
+    /// `(c_in, c_out, kernel, stride, padding)`.
+    pub fn conv_config(&self) -> (usize, usize, usize, usize, usize) {
+        (self.c_in, self.c_out, self.kernel, self.stride, self.padding)
+    }
+
+    /// The PQ configuration (p, D, d, τ).
+    pub fn pq_config(&self) -> &PqConfig {
+        self.codebook.config()
+    }
+
+    /// Current annealed sign-gradient slope `a` (PECAN-D).
+    pub fn slope(&self) -> f32 {
+        self.slope
+    }
+
+    /// Whether the filter weights are frozen (uni-optimization).
+    pub fn is_weight_frozen(&self) -> bool {
+        self.freeze_weight
+    }
+
+    /// Geometry for an `h × w` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the kernel does not fit.
+    pub fn geometry(&self, h: usize, w: usize) -> Result<Conv2dGeometry, ShapeError> {
+        Conv2dGeometry::new(self.c_in, h, w, self.kernel, self.stride, self.padding)
+    }
+}
+
+impl Layer for PecanConv2d {
+    fn forward(&mut self, input: &Var, _train: bool) -> Result<Var, ShapeError> {
+        let dims = input.value().dims().to_vec();
+        if dims.len() != 4 || dims[1] != self.c_in {
+            return Err(ShapeError::new(format!(
+                "PecanConv2d({}, {}) got input {:?}",
+                self.c_in, self.c_out, dims
+            )));
+        }
+        let geom = self.geometry(dims[2], dims[3])?;
+        let xcol = input.im2col_batch(&geom)?;
+        let tau = self.pq_config().tau();
+        let xtilde = quantize_columns(&self.codebook, self.variant, tau, self.slope, &xcol)?;
+        let y2d = self.weight.matmul(&xtilde)?;
+        y2d.cols_to_nchw(dims[0], geom.h_out(), geom.w_out())
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.codebook.parameters();
+        if !self.freeze_weight {
+            p.push(self.weight.clone());
+        }
+        p
+    }
+
+    fn name(&self) -> &'static str {
+        "PecanConv2d"
+    }
+
+    fn set_epoch(&mut self, epoch: usize, total: usize) {
+        if matches!(self.variant, PecanVariant::Distance) {
+            self.slope = anneal_slope(epoch, total);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A fully-connected layer realised through product quantization + table
+/// lookup — the PECAN replacement for `Linear` (the FC rows of Tables A2/A3
+/// treat it as a `k = Hout = Wout = 1` convolution).
+pub struct PecanLinear {
+    weight: Var, // [out, in]
+    bias: Var,   // [out]
+    codebook: Codebook,
+    variant: PecanVariant,
+    in_features: usize,
+    out_features: usize,
+    slope: f32,
+    freeze_weight: bool,
+}
+
+impl PecanLinear {
+    /// Creates a PECAN linear layer with Xavier-initialised weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `settings.dim` does not divide
+    /// `in_features`.
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        variant: PecanVariant,
+        settings: PqLayerSettings,
+        in_features: usize,
+        out_features: usize,
+    ) -> Result<Self, ShapeError> {
+        let weight = pecan_tensor::xavier_uniform(
+            rng,
+            &[out_features, in_features],
+            in_features,
+            out_features,
+        );
+        Self::from_pretrained(
+            rng,
+            variant,
+            settings,
+            weight,
+            Tensor::zeros(&[out_features]),
+            false,
+        )
+    }
+
+    /// Creates a PECAN linear layer around pretrained parameters, optionally
+    /// freezing them (uni-optimization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes are inconsistent with the config.
+    pub fn from_pretrained<R: Rng>(
+        rng: &mut R,
+        variant: PecanVariant,
+        settings: PqLayerSettings,
+        weight: Tensor,
+        bias: Tensor,
+        freeze_weight: bool,
+    ) -> Result<Self, ShapeError> {
+        weight.shape().expect_rank(2)?;
+        bias.shape().expect_rank(1)?;
+        let (out_features, in_features) = (weight.dims()[0], weight.dims()[1]);
+        if bias.len() != out_features {
+            return Err(ShapeError::new("linear bias does not match weight rows"));
+        }
+        let config =
+            PqConfig::for_rows(in_features, settings.prototypes, settings.dim, settings.tau)?;
+        let codebook = Codebook::random(rng, config);
+        Ok(Self {
+            weight: Var::parameter(weight),
+            bias: Var::parameter(bias),
+            codebook,
+            variant,
+            in_features,
+            out_features,
+            slope: 1.0,
+            freeze_weight,
+        })
+    }
+
+    /// The weight matrix `[out, in]`.
+    pub fn weight(&self) -> &Var {
+        &self.weight
+    }
+
+    /// The bias vector `[out]`.
+    pub fn bias(&self) -> &Var {
+        &self.bias
+    }
+
+    /// The layer's codebooks.
+    pub fn codebook(&self) -> &Codebook {
+        &self.codebook
+    }
+
+    /// Which similarity measure this layer uses.
+    pub fn variant(&self) -> PecanVariant {
+        self.variant
+    }
+
+    /// `(in_features, out_features)`.
+    pub fn features(&self) -> (usize, usize) {
+        (self.in_features, self.out_features)
+    }
+
+    /// The PQ configuration (p, D, d, τ).
+    pub fn pq_config(&self) -> &PqConfig {
+        self.codebook.config()
+    }
+
+    /// Whether the weights are frozen (uni-optimization).
+    pub fn is_weight_frozen(&self) -> bool {
+        self.freeze_weight
+    }
+}
+
+impl Layer for PecanLinear {
+    fn forward(&mut self, input: &Var, _train: bool) -> Result<Var, ShapeError> {
+        let dims = input.value().dims().to_vec();
+        if dims.len() != 2 || dims[1] != self.in_features {
+            return Err(ShapeError::new(format!(
+                "PecanLinear({}, {}) got input {:?}",
+                self.in_features, self.out_features, dims
+            )));
+        }
+        // [N, in] → [in, N]: columns become the "feature sub-vectors".
+        let xcol = input.transpose2()?;
+        let tau = self.pq_config().tau();
+        let xtilde = quantize_columns(&self.codebook, self.variant, tau, self.slope, &xcol)?;
+        let y2d = self.weight.matmul(&xtilde)?.add_bias_rows(&self.bias)?;
+        y2d.transpose2()
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.codebook.parameters();
+        if !self.freeze_weight {
+            p.push(self.weight.clone());
+            p.push(self.bias.clone());
+        }
+        p
+    }
+
+    fn name(&self) -> &'static str {
+        "PecanLinear"
+    }
+
+    fn set_epoch(&mut self, epoch: usize, total: usize) {
+        if matches!(self.variant, PecanVariant::Distance) {
+            self.slope = anneal_slope(epoch, total);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn settings(p: usize, d: usize) -> PqLayerSettings {
+        PqLayerSettings { prototypes: p, dim: d, tau: 0.5 }
+    }
+
+    #[test]
+    fn pecan_conv_forward_shape_both_variants() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for variant in [PecanVariant::Angle, PecanVariant::Distance] {
+            let mut layer =
+                PecanConv2d::new(&mut rng, variant, settings(4, 9), 2, 5, 3, 1, 1).unwrap();
+            let x = Var::constant(pecan_tensor::uniform(&mut rng, &[2, 2, 6, 6], -1.0, 1.0));
+            let y = layer.forward(&x, true).unwrap();
+            assert_eq!(y.value().dims(), &[2, 5, 6, 6]);
+        }
+    }
+
+    #[test]
+    fn pecan_conv_rejects_bad_grouping() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // cin·k² = 18, dim 5 does not divide
+        assert!(
+            PecanConv2d::new(&mut rng, PecanVariant::Angle, settings(4, 5), 2, 5, 3, 1, 1)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn distance_variant_trains_codebook_through_ste() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer =
+            PecanConv2d::new(&mut rng, PecanVariant::Distance, settings(3, 9), 1, 2, 3, 1, 0)
+                .unwrap();
+        let x = Var::constant(pecan_tensor::uniform(&mut rng, &[1, 1, 5, 5], -1.0, 1.0));
+        let y = layer.forward(&x, true).unwrap();
+        y.mul(&y).unwrap().sum_all().backward();
+        for group in layer.codebook().groups() {
+            let g = group.grad().expect("codebook group receives gradient");
+            assert!(g.data().iter().any(|&v| v.abs() > 0.0));
+        }
+        assert!(layer.weight().grad().is_some());
+    }
+
+    #[test]
+    fn frozen_weights_are_not_parameters() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let weight = Tensor::zeros(&[4, 9]);
+        let layer = PecanConv2d::from_pretrained(
+            &mut rng,
+            PecanVariant::Distance,
+            settings(4, 9),
+            weight,
+            1,
+            3,
+            1,
+            0,
+            true,
+        )
+        .unwrap();
+        // only the single codebook group remains trainable
+        assert_eq!(layer.parameters().len(), 1);
+        assert!(layer.is_weight_frozen());
+    }
+
+    #[test]
+    fn pecan_linear_forward_and_params() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer =
+            PecanLinear::new(&mut rng, PecanVariant::Angle, settings(4, 8), 16, 5).unwrap();
+        let x = Var::constant(pecan_tensor::uniform(&mut rng, &[3, 16], -1.0, 1.0));
+        let y = layer.forward(&x, true).unwrap();
+        assert_eq!(y.value().dims(), &[3, 5]);
+        // 2 codebook groups + weight + bias
+        assert_eq!(layer.parameters().len(), 4);
+        assert!(layer.forward(&Var::constant(Tensor::zeros(&[3, 9])), true).is_err());
+    }
+
+    #[test]
+    fn epoch_annealing_only_affects_distance() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut d_layer =
+            PecanConv2d::new(&mut rng, PecanVariant::Distance, settings(2, 9), 1, 2, 3, 1, 0)
+                .unwrap();
+        let mut a_layer =
+            PecanConv2d::new(&mut rng, PecanVariant::Angle, settings(2, 9), 1, 2, 3, 1, 0)
+                .unwrap();
+        d_layer.set_epoch(100, 100);
+        a_layer.set_epoch(100, 100);
+        assert!(d_layer.slope() > 50.0);
+        assert!((a_layer.slope() - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,203 @@
+//! Usage-driven prototype pruning (§5 / Fig. 6).
+//!
+//! After training, many prototypes are never selected at inference (the
+//! paper reports 26 of 64 used in ResNet-20's second convolution), so they
+//! — and their lookup-table entries — can be removed with **zero** accuracy
+//! impact: the winner of every L1 search is by definition a used prototype,
+//! and removing non-winners cannot change any argmax.
+
+use crate::{LayerLut, PecanVariant};
+use pecan_pq::{PqConfig, UsageStats};
+use pecan_tensor::{ShapeError, Tensor};
+
+/// Outcome of pruning one layer.
+#[derive(Debug)]
+pub struct PruneReport {
+    /// The compacted inference engine.
+    pub engine: LayerLut,
+    /// Prototypes kept per group (indices into the original codebooks).
+    pub kept: Vec<Vec<usize>>,
+    /// Fraction of (prototype + LUT) memory removed.
+    pub memory_saved: f32,
+}
+
+/// Prunes never-used prototypes from a PECAN-D layer given usage statistics
+/// collected on representative data, rebuilding a compact [`LayerLut`].
+///
+/// Groups where *no* prototype was used keep their first prototype (an
+/// all-unused group means the calibration data never exercised the layer,
+/// and an empty codebook would be invalid).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `stats` does not match the layer shape or
+/// the layer is not PECAN-D (weighted PECAN-A retrieval touches every
+/// prototype, so usage-based pruning does not apply).
+pub fn prune_unused(
+    variant: PecanVariant,
+    config: PqConfig,
+    weight: &Tensor,
+    codebooks: &[Tensor],
+    bias: Option<Tensor>,
+    stats: &UsageStats,
+) -> Result<PruneReport, ShapeError> {
+    if variant != PecanVariant::Distance {
+        return Err(ShapeError::new(
+            "usage-based pruning applies to PECAN-D (hard assignment) only",
+        ));
+    }
+    if stats.groups() != config.groups() || stats.prototypes() != config.prototypes() {
+        return Err(ShapeError::new(format!(
+            "usage stats {}×{} do not match config {}×{}",
+            stats.groups(),
+            stats.prototypes(),
+            config.groups(),
+            config.prototypes()
+        )));
+    }
+    let mut kept: Vec<Vec<usize>> = Vec::with_capacity(config.groups());
+    let mut max_kept = 1usize;
+    for g in 0..config.groups() {
+        let used: Vec<usize> = (0..config.prototypes())
+            .filter(|&m| stats.counts(g)[m] > 0)
+            .collect();
+        let used = if used.is_empty() { vec![0] } else { used };
+        max_kept = max_kept.max(used.len());
+        kept.push(used);
+    }
+
+    // Rebuild per-group codebooks at a common (maximum) width so one
+    // PqConfig covers all groups; groups with fewer survivors repeat their
+    // last survivor (harmless: duplicates can never win over themselves
+    // differently).
+    let d = config.dim();
+    let mut new_codebooks = Vec::with_capacity(config.groups());
+    for (g, keep) in kept.iter().enumerate() {
+        let mut cb = Tensor::zeros(&[d, max_kept]);
+        for slot in 0..max_kept {
+            let src = keep[slot.min(keep.len() - 1)];
+            for k in 0..d {
+                cb.set2(k, slot, codebooks[g].get2(k, src));
+            }
+        }
+        new_codebooks.push(cb);
+    }
+    let new_config = PqConfig::for_rows(config.rows(), max_kept, d, config.tau())?;
+    let engine = LayerLut::build(variant, new_config, weight, &new_codebooks, bias)?;
+
+    let before = config.prototype_scalars() + config.lut_scalars(weight.dims()[0]);
+    let after = new_config.prototype_scalars() + new_config.lut_scalars(weight.dims()[0]);
+    let memory_saved = 1.0 - after as f32 / before as f32;
+    Ok(PruneReport { engine, kept, memory_saved })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PecanConv2d, PqLayerSettings};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (PecanConv2d, Tensor) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let layer = PecanConv2d::new(
+            &mut rng,
+            PecanVariant::Distance,
+            PqLayerSettings::new(8, 9, 0.5),
+            1,
+            4,
+            3,
+            1,
+            1,
+        )
+        .unwrap();
+        let xcol = pecan_tensor::uniform(&mut rng, &[9, 40], -1.0, 1.0);
+        (layer, xcol)
+    }
+
+    #[test]
+    fn pruned_engine_is_output_equivalent_on_calibration_data() {
+        let (layer, xcol) = setup();
+        let engine = LayerLut::from_conv(&layer).unwrap();
+        let mut stats = engine.new_stats();
+        let reference = engine.forward_cols(&xcol, Some(&mut stats)).unwrap();
+
+        let report = prune_unused(
+            PecanVariant::Distance,
+            *layer.pq_config(),
+            &layer.weight().to_tensor(),
+            &layer.codebook().to_tensors(),
+            None,
+            &stats,
+        )
+        .unwrap();
+        let pruned_out = report.engine.forward_cols(&xcol, None).unwrap();
+        assert!(
+            pruned_out.max_abs_diff(&reference) < 1e-5,
+            "pruning changed outputs by {}",
+            pruned_out.max_abs_diff(&reference)
+        );
+    }
+
+    #[test]
+    fn pruning_reports_memory_savings_when_prototypes_idle() {
+        let (layer, _) = setup();
+        // fabricate stats where only prototypes 0 and 3 are used
+        let mut stats = UsageStats::new(1, 8);
+        stats.record_all(0, &[0, 3, 3, 0]);
+        let report = prune_unused(
+            PecanVariant::Distance,
+            *layer.pq_config(),
+            &layer.weight().to_tensor(),
+            &layer.codebook().to_tensors(),
+            None,
+            &stats,
+        )
+        .unwrap();
+        assert_eq!(report.kept, vec![vec![0, 3]]);
+        assert!(report.memory_saved > 0.5, "saved {}", report.memory_saved);
+        assert_eq!(report.engine.config().prototypes(), 2);
+    }
+
+    #[test]
+    fn pruning_rejects_angle_variant_and_bad_stats() {
+        let (layer, _) = setup();
+        let stats = UsageStats::new(1, 8);
+        assert!(prune_unused(
+            PecanVariant::Angle,
+            *layer.pq_config(),
+            &layer.weight().to_tensor(),
+            &layer.codebook().to_tensors(),
+            None,
+            &stats,
+        )
+        .is_err());
+        let wrong = UsageStats::new(2, 8);
+        assert!(prune_unused(
+            PecanVariant::Distance,
+            *layer.pq_config(),
+            &layer.weight().to_tensor(),
+            &layer.codebook().to_tensors(),
+            None,
+            &wrong,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_groups_keep_a_placeholder_prototype() {
+        let (layer, _) = setup();
+        let stats = UsageStats::new(1, 8); // nothing used
+        let report = prune_unused(
+            PecanVariant::Distance,
+            *layer.pq_config(),
+            &layer.weight().to_tensor(),
+            &layer.codebook().to_tensors(),
+            None,
+            &stats,
+        )
+        .unwrap();
+        assert_eq!(report.kept, vec![vec![0]]);
+        assert_eq!(report.engine.config().prototypes(), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Finite-difference gradient checks through complete PECAN layers.
+//!
+//! PECAN-A is smooth, so its analytic gradients must match central
+//! differences tightly. PECAN-D's forward is piecewise constant (hard
+//! argmax), so instead of FD we check the *surrogate* path: with a steep
+//! annealing slope the codebook gradient of the relaxed objective must
+//! match finite differences of that same relaxed objective.
+
+use pecan_autograd::{check_gradients, Var};
+use pecan_core::{PecanConv2d, PecanLinear, PecanVariant, PqLayerSettings};
+use pecan_nn::Layer;
+use pecan_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn pecan_a_conv_weight_gradient_matches_finite_difference() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Var::constant(pecan_tensor::uniform(&mut rng, &[1, 1, 5, 5], -1.0, 1.0));
+    let w0 = pecan_tensor::uniform(&mut rng, &[2, 9], -0.5, 0.5);
+    // The layer clones codebooks internally; rebuild it per evaluation with
+    // a fixed seed so the prototypes are identical across calls.
+    let report = check_gradients(&w0, 1e-2, 10, |w| {
+        let mut layer_rng = StdRng::seed_from_u64(7);
+        let layer = PecanConv2d::from_pretrained(
+            &mut layer_rng,
+            PecanVariant::Angle,
+            PqLayerSettings::new(4, 9, 0.5),
+            w.to_tensor(),
+            1,
+            3,
+            1,
+            0,
+            false,
+        )
+        .expect("layer");
+        // Re-thread the Var so gradients reach the checked leaf: run the
+        // composed forward manually with the leaf as the weight.
+        let geom = layer.geometry(5, 5).expect("geometry");
+        let xcol = x.im2col_batch(&geom).expect("im2col");
+        let cb = layer.codebook();
+        let mut parts = Vec::new();
+        for j in 0..cb.config().groups() {
+            let xj = xcol
+                .slice_rows(j * cb.config().dim(), cb.config().dim())
+                .expect("slice");
+            let k = pecan_pq::soft_assign_angle(cb.group(j), &xj, 0.5).expect("assign");
+            parts.push(cb.group(j).matmul(&k).expect("matmul"));
+        }
+        let xtilde = pecan_autograd::concat_rows(&parts).expect("concat");
+        let y = w.matmul(&xtilde).expect("matmul");
+        y.mul(&y).expect("square").sum_all()
+    });
+    assert!(
+        report.passes(3e-2),
+        "PECAN-A weight gradient: max rel err {}",
+        report.max_relative_error
+    );
+}
+
+#[test]
+fn pecan_a_codebook_gradient_matches_finite_difference() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x_t = pecan_tensor::uniform(&mut rng, &[9, 6], -1.0, 1.0); // im2col slice
+    let w_t = pecan_tensor::uniform(&mut rng, &[3, 9], -0.5, 0.5);
+    let c0 = pecan_tensor::uniform(&mut rng, &[9, 4], -0.4, 0.4);
+
+    let report = check_gradients(&c0, 1e-3, 12, |c| {
+        let x = Var::constant(x_t.clone());
+        let w = Var::constant(w_t.clone());
+        let k = pecan_pq::soft_assign_angle(c, &x, 0.7).expect("assign");
+        let xtilde = c.matmul(&k).expect("reconstruct");
+        let y = w.matmul(&xtilde).expect("project");
+        y.mul(&y).expect("square").sum_all()
+    });
+    assert!(
+        report.passes(2e-2),
+        "PECAN-A codebook gradient: max rel err {}",
+        report.max_relative_error
+    );
+}
+
+#[test]
+fn pecan_d_relaxed_codebook_gradient_matches_finite_difference() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x_t = pecan_tensor::uniform(&mut rng, &[6, 5], -1.0, 1.0);
+    let c0 = pecan_tensor::uniform(&mut rng, &[6, 3], -0.5, 0.5);
+    let slope = 150.0; // steep: surrogate ≈ true sign away from kinks
+
+    let report = check_gradients(&c0, 5e-3, 12, |c| {
+        let x = Var::constant(x_t.clone());
+        // relaxed objective: sum of softened assignment weights × distances
+        let soft = pecan_pq::soft_assign_distance(c, &x, 0.5, slope).expect("assign");
+        let xtilde = c.matmul(&soft).expect("reconstruct");
+        xtilde.mul(&xtilde).expect("square").sum_all()
+    });
+    assert!(
+        report.passes(5e-2),
+        "PECAN-D relaxed gradient: max rel err {}",
+        report.max_relative_error
+    );
+}
+
+#[test]
+fn pecan_linear_trains_on_regression_objective() {
+    // End-to-end sanity: a PECAN linear layer fits a fixed random target,
+    // confirming gradients reach both prototypes and weights.
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut layer = PecanLinear::new(
+        &mut rng,
+        PecanVariant::Angle,
+        PqLayerSettings::new(8, 8, 0.25),
+        16,
+        4,
+    )
+    .expect("layer");
+    let x = Var::constant(pecan_tensor::uniform(&mut rng, &[8, 16], -1.0, 1.0));
+    let target = Var::constant(pecan_tensor::uniform(&mut rng, &[8, 4], -1.0, 1.0));
+    let mut opt = pecan_autograd::Adam::new(layer.parameters(), 0.02);
+    let mut first = f32::NAN;
+    let mut last = f32::NAN;
+    for step in 0..60 {
+        use pecan_autograd::Optimizer;
+        opt.zero_grad();
+        let y = layer.forward(&x, true).expect("forward");
+        let diff = y.sub(&target).expect("diff");
+        let loss = diff.mul(&diff).expect("sq").mean_all();
+        let v = loss.value().data()[0];
+        if step == 0 {
+            first = v;
+        }
+        last = v;
+        loss.backward();
+        opt.step();
+    }
+    assert!(
+        last < first * 0.5,
+        "regression loss did not halve: {first} → {last}"
+    );
+    let _ = Tensor::zeros(&[1]);
+}

@@ -1,0 +1,102 @@
+use crate::dataset::ParseDataError;
+use crate::InMemoryDataset;
+use pecan_tensor::Tensor;
+
+const PIXELS: usize = 3 * 32 * 32;
+
+fn decode_records(
+    bytes: &[u8],
+    label_bytes: usize,
+    label_offset: usize,
+    classes: usize,
+) -> Result<InMemoryDataset, ParseDataError> {
+    let record = label_bytes + PIXELS;
+    if bytes.is_empty() || bytes.len() % record != 0 {
+        return Err(ParseDataError::new(format!(
+            "CIFAR payload of {} bytes is not a multiple of the {record}-byte record",
+            bytes.len()
+        )));
+    }
+    let n = bytes.len() / record;
+    let mut data = Vec::with_capacity(n * PIXELS);
+    let mut labels = Vec::with_capacity(n);
+    for r in 0..n {
+        let rec = &bytes[r * record..(r + 1) * record];
+        let label = rec[label_offset] as usize;
+        if label >= classes {
+            return Err(ParseDataError::new(format!(
+                "label {label} out of range for {classes} classes"
+            )));
+        }
+        labels.push(label);
+        // CIFAR stores channel-planar RGB already matching [C, H, W].
+        data.extend(rec[label_bytes..].iter().map(|&b| b as f32 / 255.0 - 0.5));
+    }
+    let images = Tensor::from_vec(data, &[n, 3, 32, 32])
+        .map_err(|e| ParseDataError::new(e.message().to_string()))?;
+    Ok(InMemoryDataset::new(images, labels, classes))
+}
+
+/// Parses a CIFAR-10 binary batch (`data_batch_*.bin`): records of 1 label
+/// byte + 3072 channel-planar pixels, normalised to `[-0.5, 0.5]`.
+///
+/// # Errors
+///
+/// Returns [`ParseDataError`] when the buffer is not a whole number of
+/// records or a label exceeds 9.
+pub fn parse_cifar10(bytes: &[u8]) -> Result<InMemoryDataset, ParseDataError> {
+    decode_records(bytes, 1, 0, 10)
+}
+
+/// Parses a CIFAR-100 binary file (`train.bin`): records of 1 coarse + 1
+/// fine label byte + 3072 pixels; the **fine** label (100 classes) is used,
+/// matching the paper's CIFAR-100 experiments.
+///
+/// # Errors
+///
+/// Returns [`ParseDataError`] when the buffer is not a whole number of
+/// records or a fine label exceeds 99.
+pub fn parse_cifar100(bytes: &[u8]) -> Result<InMemoryDataset, ParseDataError> {
+    decode_records(bytes, 2, 1, 100)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record10(label: u8) -> Vec<u8> {
+        let mut r = vec![label];
+        r.extend((0..PIXELS).map(|i| (i % 251) as u8));
+        r
+    }
+
+    #[test]
+    fn parses_cifar10_records() {
+        let mut bytes = record10(3);
+        bytes.extend(record10(9));
+        let d = parse_cifar10(&bytes).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.labels(), &[3, 9]);
+        assert_eq!(d.image_dims(), (3, 32, 32));
+        // normalisation to [-0.5, 0.5]
+        assert!(d.images().data().iter().all(|&v| (-0.5..=0.5).contains(&v)));
+    }
+
+    #[test]
+    fn parses_cifar100_fine_labels() {
+        let mut bytes = vec![5u8, 77]; // coarse 5, fine 77
+        bytes.extend(vec![0u8; PIXELS]);
+        let d = parse_cifar100(&bytes).unwrap();
+        assert_eq!(d.labels(), &[77]);
+        assert_eq!(d.classes(), 100);
+    }
+
+    #[test]
+    fn rejects_bad_payloads() {
+        assert!(parse_cifar10(&[]).is_err());
+        assert!(parse_cifar10(&[0u8; 100]).is_err());
+        let mut bytes = record10(10); // label 10 is out of range
+        bytes[0] = 10;
+        assert!(parse_cifar10(&bytes).is_err());
+    }
+}

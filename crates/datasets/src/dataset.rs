@@ -1,0 +1,167 @@
+use pecan_tensor::Tensor;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a dataset file does not match its declared format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDataError {
+    message: String,
+}
+
+impl ParseDataError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// Human-readable description of the format violation.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseDataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dataset parse error: {}", self.message)
+    }
+}
+
+impl Error for ParseDataError {}
+
+/// A labelled image-classification dataset held in memory.
+///
+/// Images are stored as one flat `[N, C, H, W]` tensor with values already
+/// normalised to roughly zero mean / unit range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InMemoryDataset {
+    images: Tensor, // [N, C, H, W]
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl InMemoryDataset {
+    /// Wraps already-validated storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is not rank 4, the label count differs from `N`,
+    /// or any label is `>= classes`.
+    pub fn new(images: Tensor, labels: Vec<usize>, classes: usize) -> Self {
+        assert_eq!(images.dims().len(), 4, "images must be [N, C, H, W]");
+        assert_eq!(images.dims()[0], labels.len(), "one label per image");
+        assert!(
+            labels.iter().all(|&l| l < classes),
+            "labels must be below the class count"
+        );
+        Self { images, labels, classes }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// `[C, H, W]` of each image.
+    pub fn image_dims(&self) -> (usize, usize, usize) {
+        let d = self.images.dims();
+        (d[1], d[2], d[3])
+    }
+
+    /// The full `[N, C, H, W]` tensor.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Copies example `i` into its own `[C, H, W]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn image(&self, i: usize) -> Tensor {
+        let (c, h, w) = self.image_dims();
+        let len = c * h * w;
+        Tensor::from_vec(self.images.data()[i * len..(i + 1) * len].to_vec(), &[c, h, w])
+            .expect("slice length matches by construction")
+    }
+
+    /// Splits into `(first_n, rest)` — e.g. train/test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len`.
+    pub fn split(&self, n: usize) -> (InMemoryDataset, InMemoryDataset) {
+        assert!(n <= self.len(), "split point beyond dataset");
+        let (c, h, w) = self.image_dims();
+        let len = c * h * w;
+        let head = Tensor::from_vec(self.images.data()[..n * len].to_vec(), &[n, c, h, w])
+            .expect("sized by construction");
+        let tail = Tensor::from_vec(
+            self.images.data()[n * len..].to_vec(),
+            &[self.len() - n, c, h, w],
+        )
+        .expect("sized by construction");
+        (
+            InMemoryDataset::new(head, self.labels[..n].to_vec(), self.classes),
+            InMemoryDataset::new(tail, self.labels[n..].to_vec(), self.classes),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> InMemoryDataset {
+        let images = Tensor::from_vec((0..2 * 12).map(|v| v as f32).collect(), &[2, 3, 2, 2])
+            .unwrap();
+        InMemoryDataset::new(images, vec![0, 1], 2)
+    }
+
+    #[test]
+    fn accessors_report_shape() {
+        let d = tiny();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.classes(), 2);
+        assert_eq!(d.image_dims(), (3, 2, 2));
+        assert_eq!(d.image(1).dims(), &[3, 2, 2]);
+        assert_eq!(d.image(1).data()[0], 12.0);
+    }
+
+    #[test]
+    fn split_partitions_examples() {
+        let d = tiny();
+        let (a, b) = d.split(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.labels(), &[1]);
+        assert_eq!(b.image(0).data()[0], 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per image")]
+    fn label_count_must_match() {
+        let images = Tensor::zeros(&[2, 1, 2, 2]);
+        let _ = InMemoryDataset::new(images, vec![0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the class count")]
+    fn labels_must_be_in_range() {
+        let images = Tensor::zeros(&[1, 1, 2, 2]);
+        let _ = InMemoryDataset::new(images, vec![5], 2);
+    }
+}

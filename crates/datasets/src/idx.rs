@@ -1,0 +1,125 @@
+use crate::dataset::ParseDataError;
+use pecan_tensor::Tensor;
+
+const IMAGES_MAGIC: u32 = 0x0000_0803;
+const LABELS_MAGIC: u32 = 0x0000_0801;
+
+fn read_u32(bytes: &[u8], offset: usize) -> Result<u32, ParseDataError> {
+    let chunk: [u8; 4] = bytes
+        .get(offset..offset + 4)
+        .ok_or_else(|| ParseDataError::new("truncated IDX header"))?
+        .try_into()
+        .expect("4-byte slice");
+    Ok(u32::from_be_bytes(chunk))
+}
+
+/// Parses an MNIST `train-images-idx3-ubyte`-style buffer into a
+/// `[N, 1, rows, cols]` tensor with pixels normalised to `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`ParseDataError`] on a wrong magic number or truncated payload.
+///
+/// # Example
+///
+/// ```
+/// // a 1-image, 2×2 IDX buffer built by hand
+/// let mut bytes = vec![];
+/// bytes.extend(0x0803u32.to_be_bytes()); // magic
+/// bytes.extend(1u32.to_be_bytes());      // count
+/// bytes.extend(2u32.to_be_bytes());      // rows
+/// bytes.extend(2u32.to_be_bytes());      // cols
+/// bytes.extend([0u8, 128, 255, 64]);
+/// let t = pecan_datasets::parse_idx_images(&bytes).expect("valid IDX");
+/// assert_eq!(t.dims(), &[1, 1, 2, 2]);
+/// assert!((t.data()[2] - 1.0).abs() < 1e-6);
+/// ```
+pub fn parse_idx_images(bytes: &[u8]) -> Result<Tensor, ParseDataError> {
+    let magic = read_u32(bytes, 0)?;
+    if magic != IMAGES_MAGIC {
+        return Err(ParseDataError::new(format!(
+            "bad IDX image magic {magic:#010x}, expected {IMAGES_MAGIC:#010x}"
+        )));
+    }
+    let n = read_u32(bytes, 4)? as usize;
+    let rows = read_u32(bytes, 8)? as usize;
+    let cols = read_u32(bytes, 12)? as usize;
+    let expected = 16 + n * rows * cols;
+    if bytes.len() != expected {
+        return Err(ParseDataError::new(format!(
+            "IDX image payload is {} bytes, expected {expected}",
+            bytes.len()
+        )));
+    }
+    let data: Vec<f32> = bytes[16..].iter().map(|&b| b as f32 / 255.0).collect();
+    Tensor::from_vec(data, &[n, 1, rows, cols])
+        .map_err(|e| ParseDataError::new(e.message().to_string()))
+}
+
+/// Parses an MNIST `labels-idx1-ubyte`-style buffer.
+///
+/// # Errors
+///
+/// Returns [`ParseDataError`] on a wrong magic number or truncated payload.
+pub fn parse_idx_labels(bytes: &[u8]) -> Result<Vec<usize>, ParseDataError> {
+    let magic = read_u32(bytes, 0)?;
+    if magic != LABELS_MAGIC {
+        return Err(ParseDataError::new(format!(
+            "bad IDX label magic {magic:#010x}, expected {LABELS_MAGIC:#010x}"
+        )));
+    }
+    let n = read_u32(bytes, 4)? as usize;
+    if bytes.len() != 8 + n {
+        return Err(ParseDataError::new(format!(
+            "IDX label payload is {} bytes, expected {}",
+            bytes.len(),
+            8 + n
+        )));
+    }
+    Ok(bytes[8..].iter().map(|&b| b as usize).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image_buffer(n: usize, rows: usize, cols: usize) -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend(IMAGES_MAGIC.to_be_bytes());
+        b.extend((n as u32).to_be_bytes());
+        b.extend((rows as u32).to_be_bytes());
+        b.extend((cols as u32).to_be_bytes());
+        b.extend((0..n * rows * cols).map(|i| (i % 256) as u8));
+        b
+    }
+
+    #[test]
+    fn parses_images_with_normalisation() {
+        let t = parse_idx_images(&image_buffer(3, 4, 5)).unwrap();
+        assert_eq!(t.dims(), &[3, 1, 4, 5]);
+        assert!(t.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(t.data()[0], 0.0);
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_truncation() {
+        let mut b = image_buffer(1, 2, 2);
+        b[3] = 0x01; // corrupt magic
+        assert!(parse_idx_images(&b).is_err());
+        let mut b = image_buffer(1, 2, 2);
+        b.pop();
+        assert!(parse_idx_images(&b).is_err());
+        assert!(parse_idx_images(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn parses_labels() {
+        let mut b = Vec::new();
+        b.extend(LABELS_MAGIC.to_be_bytes());
+        b.extend(4u32.to_be_bytes());
+        b.extend([7u8, 0, 9, 3]);
+        assert_eq!(parse_idx_labels(&b).unwrap(), vec![7, 0, 9, 3]);
+        b.push(0);
+        assert!(parse_idx_labels(&b).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+use crate::InMemoryDataset;
+use pecan_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Chops a dataset into `[N, C, H, W]` mini-batches with optional
+/// shuffling; a trailing partial batch is kept.
+///
+/// Returns `(images, labels)` pairs ready for `pecan_nn::Batch::new`.
+///
+/// # Panics
+///
+/// Panics if `batch_size == 0`.
+pub fn make_batches<R: Rng>(
+    dataset: &InMemoryDataset,
+    batch_size: usize,
+    shuffle: Option<&mut R>,
+) -> Vec<(Tensor, Vec<usize>)> {
+    assert!(batch_size > 0, "batch size must be non-zero");
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    if let Some(rng) = shuffle {
+        order.shuffle(rng);
+    }
+    let (c, h, w) = dataset.image_dims();
+    let img_len = c * h * w;
+    let mut out = Vec::new();
+    for chunk in order.chunks(batch_size) {
+        let mut images = Tensor::zeros(&[chunk.len(), c, h, w]);
+        let mut labels = Vec::with_capacity(chunk.len());
+        for (slot, &i) in chunk.iter().enumerate() {
+            images.data_mut()[slot * img_len..(slot + 1) * img_len]
+                .copy_from_slice(&dataset.images().data()[i * img_len..(i + 1) * img_len]);
+            labels.push(dataset.labels()[i]);
+        }
+        out.push((images, labels));
+    }
+    out
+}
+
+/// Horizontally flips each image in a `[N, C, H, W]` batch with
+/// probability 1/2 — the standard CIFAR augmentation.
+///
+/// # Panics
+///
+/// Panics if `images` is not rank 4.
+pub fn random_flip<R: Rng>(images: &Tensor, rng: &mut R) -> Tensor {
+    let dims = images.dims();
+    assert_eq!(dims.len(), 4, "random_flip expects [N, C, H, W]");
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let mut out = images.clone();
+    for i in 0..n {
+        if rng.gen_bool(0.5) {
+            for ch in 0..c {
+                for y in 0..h {
+                    for x in 0..w / 2 {
+                        let a = ((i * c + ch) * h + y) * w + x;
+                        let b = ((i * c + ch) * h + y) * w + (w - 1 - x);
+                        out.data_mut().swap(a, b);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic_mnist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batches_cover_all_examples_once() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = synthetic_mnist(&mut rng, 25);
+        let batches = make_batches(&d, 8, Some(&mut rng));
+        assert_eq!(batches.len(), 4); // 8+8+8+1
+        let total: usize = batches.iter().map(|(_, l)| l.len()).sum();
+        assert_eq!(total, 25);
+        let mut label_counts = [0usize; 10];
+        for (_, labels) in &batches {
+            for &l in labels {
+                label_counts[l] += 1;
+            }
+        }
+        assert_eq!(label_counts.iter().sum::<usize>(), 25);
+    }
+
+    #[test]
+    fn unshuffled_batches_preserve_order() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = synthetic_mnist(&mut rng, 12);
+        let batches = make_batches::<StdRng>(&d, 5, None);
+        assert_eq!(batches[0].1, d.labels()[..5]);
+        assert_eq!(batches[2].1.len(), 2);
+    }
+
+    #[test]
+    fn flip_is_an_involution_on_deterministic_coin() {
+        let images = Tensor::from_vec(
+            (0..2 * 4).map(|v| v as f32).collect(),
+            &[1, 1, 2, 4],
+        )
+        .unwrap();
+        // flip twice with the same seed → every image flipped the same way
+        // twice → identity
+        let once = random_flip(&images, &mut StdRng::seed_from_u64(7));
+        let twice = random_flip(&once, &mut StdRng::seed_from_u64(7));
+        assert_eq!(twice, images);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_batch_size_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = synthetic_mnist(&mut rng, 4);
+        let _ = make_batches::<StdRng>(&d, 0, None);
+    }
+}

@@ -1,0 +1,251 @@
+use crate::InMemoryDataset;
+use pecan_tensor::Tensor;
+use rand::Rng;
+
+/// Procedural MNIST stand-in: 28×28 single-channel seven-segment digits
+/// with random translation, intensity jitter and pixel noise. Classes are
+/// balanced round-robin.
+///
+/// The task is learnable to >99% by LeNet-scale models (like MNIST) while
+/// being generated in microseconds, which is what the experiment harness
+/// needs on a machine without the real dataset.
+pub fn synthetic_mnist<R: Rng>(rng: &mut R, n: usize) -> InMemoryDataset {
+    const SIZE: usize = 28;
+    let mut data = vec![0.0f32; n * SIZE * SIZE];
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let digit = i % 10;
+        labels.push(digit);
+        let dx = rng.gen_range(-3i32..=3);
+        let dy = rng.gen_range(-3i32..=3);
+        let intensity = rng.gen_range(0.75..1.0);
+        let img = &mut data[i * SIZE * SIZE..(i + 1) * SIZE * SIZE];
+        draw_digit(img, SIZE, digit, dx, dy, intensity);
+        for v in img.iter_mut() {
+            *v += rng.gen_range(-0.08..0.08);
+            *v = v.clamp(0.0, 1.0) - 0.5; // roughly centre the data
+        }
+    }
+    let images = Tensor::from_vec(data, &[n, 1, SIZE, SIZE]).expect("sized by construction");
+    InMemoryDataset::new(images, labels, 10)
+}
+
+/// Which of the 7 segments (A..=G) each digit lights up.
+const SEGMENTS: [[bool; 7]; 10] = [
+    // A      B      C      D      E      F      G
+    [true, true, true, true, true, true, false],   // 0
+    [false, true, true, false, false, false, false], // 1
+    [true, true, false, true, true, false, true],  // 2
+    [true, true, true, true, false, false, true],  // 3
+    [false, true, true, false, false, true, true], // 4
+    [true, false, true, true, false, true, true],  // 5
+    [true, false, true, true, true, true, true],   // 6
+    [true, true, true, false, false, false, false], // 7
+    [true, true, true, true, true, true, true],    // 8
+    [true, true, true, true, false, true, true],   // 9
+];
+
+fn draw_digit(img: &mut [f32], size: usize, digit: usize, dx: i32, dy: i32, intensity: f32) {
+    // Segment geometry in a 12×18 glyph box anchored at (8, 5).
+    let (x0, y0, w, h) = (8i32 + dx, 5i32 + dy, 12i32, 18i32);
+    let mid = y0 + h / 2;
+    let mut hline = |y: i32, from: i32, to: i32| {
+        for t in 0..2i32 {
+            for x in from..=to {
+                set_px(img, size, x, y + t, intensity);
+            }
+        }
+    };
+    let mut stored: Vec<(i32, i32, i32)> = Vec::new(); // vertical lines (x, y_from, y_to)
+    let seg = SEGMENTS[digit];
+    if seg[0] {
+        hline(y0, x0, x0 + w);
+    }
+    if seg[3] {
+        hline(y0 + h, x0, x0 + w);
+    }
+    if seg[6] {
+        hline(mid, x0, x0 + w);
+    }
+    if seg[1] {
+        stored.push((x0 + w, y0, mid));
+    }
+    if seg[2] {
+        stored.push((x0 + w, mid, y0 + h));
+    }
+    if seg[4] {
+        stored.push((x0, mid, y0 + h));
+    }
+    if seg[5] {
+        stored.push((x0, y0, mid));
+    }
+    for (x, from, to) in stored {
+        for t in 0..2i32 {
+            for y in from..=to {
+                set_px(img, size, x + t, y, intensity);
+            }
+        }
+    }
+}
+
+fn set_px(img: &mut [f32], size: usize, x: i32, y: i32, v: f32) {
+    if x >= 0 && y >= 0 && (x as usize) < size && (y as usize) < size {
+        img[y as usize * size + x as usize] = v;
+    }
+}
+
+/// Procedural multi-class texture images: each class is a distinct
+/// combination of grating orientation, spatial frequency and RGB tint, with
+/// per-sample random phase and additive noise. This is the CIFAR-10/100
+/// stand-in (`size = 32`) and, at `size = 64`, the Tiny-ImageNet stand-in.
+///
+/// # Panics
+///
+/// Panics if `classes == 0` or `size == 0`.
+pub fn synthetic_textures<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    classes: usize,
+    size: usize,
+) -> InMemoryDataset {
+    assert!(classes > 0 && size > 0, "classes and size must be non-zero");
+    let mut data = vec![0.0f32; n * 3 * size * size];
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        labels.push(class);
+        // Deterministic per-class signature.
+        let h = class.wrapping_mul(2654435761) % 997;
+        let theta = std::f32::consts::PI * (h % 180) as f32 / 180.0;
+        let freq = 1.5 + (h % 7) as f32;
+        let tint = [
+            0.4 + 0.6 * ((h % 11) as f32 / 10.0),
+            0.4 + 0.6 * ((h % 13) as f32 / 12.0),
+            0.4 + 0.6 * ((h % 17) as f32 / 16.0),
+        ];
+        let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+        let (s, c) = (theta.sin(), theta.cos());
+        let img = &mut data[i * 3 * size * size..(i + 1) * 3 * size * size];
+        for ch in 0..3 {
+            for y in 0..size {
+                for x in 0..size {
+                    let u = (x as f32 * c + y as f32 * s) / size as f32;
+                    let wave = (std::f32::consts::TAU * freq * u + phase).sin();
+                    let v = 0.45 * tint[ch] * wave + rng.gen_range(-0.06..0.06);
+                    img[(ch * size + y) * size + x] = v;
+                }
+            }
+        }
+    }
+    let images =
+        Tensor::from_vec(data, &[n, 3, size, size]).expect("sized by construction");
+    InMemoryDataset::new(images, labels, classes)
+}
+
+/// CIFAR-shaped synthetic dataset (32×32 RGB). `classes` is 10 or 100 for
+/// the paper's experiments but any positive count works.
+pub fn synthetic_cifar<R: Rng>(rng: &mut R, n: usize, classes: usize) -> InMemoryDataset {
+    synthetic_textures(rng, n, classes, 32)
+}
+
+/// Tiny-ImageNet-shaped synthetic dataset (64×64 RGB, paper: 200 classes).
+pub fn synthetic_tiny_imagenet<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    classes: usize,
+) -> InMemoryDataset {
+    synthetic_textures(rng, n, classes, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mnist_shapes_and_balance() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = synthetic_mnist(&mut rng, 50);
+        assert_eq!(d.len(), 50);
+        assert_eq!(d.classes(), 10);
+        assert_eq!(d.image_dims(), (1, 28, 28));
+        // balanced round-robin
+        for c in 0..10 {
+            assert_eq!(d.labels().iter().filter(|&&l| l == c).count(), 5);
+        }
+        // values are centred
+        assert!(d.images().data().iter().all(|&v| (-0.5..=0.5).contains(&v)));
+    }
+
+    #[test]
+    fn different_digits_have_different_mean_images() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = synthetic_mnist(&mut rng, 100);
+        let mean_of = |digit: usize| -> Vec<f32> {
+            let mut acc = vec![0.0f32; 28 * 28];
+            let mut count = 0;
+            for i in 0..d.len() {
+                if d.labels()[i] == digit {
+                    for (a, &v) in acc.iter_mut().zip(d.image(i).data()) {
+                        *a += v;
+                    }
+                    count += 1;
+                }
+            }
+            acc.iter().map(|v| v / count as f32).collect()
+        };
+        let m1 = mean_of(1);
+        let m8 = mean_of(8);
+        let diff: f32 = m1.iter().zip(&m8).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 5.0, "digit templates barely differ: {diff}");
+    }
+
+    #[test]
+    fn textures_have_distinct_class_signatures() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = synthetic_cifar(&mut rng, 40, 10);
+        assert_eq!(d.image_dims(), (3, 32, 32));
+        // correlation between two images of the same class should exceed
+        // correlation across classes on average (same orientation/freq)
+        let img = |i: usize| d.image(i).into_vec();
+        let corr = |a: &[f32], b: &[f32]| -> f32 {
+            let n = a.len() as f32;
+            let (ma, mb) = (
+                a.iter().sum::<f32>() / n,
+                b.iter().sum::<f32>() / n,
+            );
+            let mut num = 0.0;
+            let mut da = 0.0;
+            let mut db = 0.0;
+            for (&x, &y) in a.iter().zip(b) {
+                num += (x - ma) * (y - mb);
+                da += (x - ma) * (x - ma);
+                db += (y - mb) * (y - mb);
+            }
+            num / (da.sqrt() * db.sqrt() + 1e-9)
+        };
+        // samples 0 and 10 share class 0; 0 and 1 differ
+        let same = corr(&img(0), &img(10)).abs();
+        let diff = corr(&img(0), &img(1)).abs();
+        assert!(
+            same > diff,
+            "same-class correlation {same} not above cross-class {diff}"
+        );
+    }
+
+    #[test]
+    fn tiny_imagenet_is_64px() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = synthetic_tiny_imagenet(&mut rng, 8, 4);
+        assert_eq!(d.image_dims(), (3, 64, 64));
+        assert_eq!(d.classes(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_classes_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = synthetic_textures(&mut rng, 4, 0, 8);
+    }
+}

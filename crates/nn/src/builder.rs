@@ -1,0 +1,99 @@
+use crate::{Conv2d, Layer, Linear};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Factory for the two layer kinds PECAN replaces.
+///
+/// All model-zoo constructors in [`crate::models`] request their
+/// convolutions and fully-connected layers through this trait, so the same
+/// topology can be instantiated as a baseline CNN (via [`StandardBuilder`])
+/// or as a PECAN network (via the builder in `pecan-core`, which swaps in
+/// PQ + lookup layers configured per Tables A2/A3).
+///
+/// `layer_index` increments over every conv/linear requested, letting
+/// builders apply per-layer codebook settings.
+pub trait LayerBuilder {
+    /// Builds the `layer_index`-th convolution of the model.
+    fn conv2d(
+        &mut self,
+        layer_index: usize,
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Box<dyn Layer>;
+
+    /// Builds the `layer_index`-th fully-connected layer of the model.
+    fn linear(&mut self, layer_index: usize, in_features: usize, out_features: usize)
+        -> Box<dyn Layer>;
+}
+
+/// [`LayerBuilder`] producing ordinary [`Conv2d`]/[`Linear`] layers — the
+/// "Baseline" rows of the paper's tables.
+///
+/// # Example
+///
+/// ```
+/// use pecan_nn::{LayerBuilder, StandardBuilder};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut b = StandardBuilder::new(&mut rng);
+/// let conv = b.conv2d(0, 3, 16, 3, 1, 1);
+/// assert_eq!(conv.name(), "Conv2d");
+/// ```
+pub struct StandardBuilder {
+    rng: StdRng,
+}
+
+impl StandardBuilder {
+    /// Creates a builder seeding its own RNG from the caller's.
+    pub fn new<R: Rng>(rng: &mut R) -> Self {
+        Self { rng: StdRng::seed_from_u64(rng.gen()) }
+    }
+
+    /// Creates a builder with a fixed seed (reproducible models).
+    pub fn from_seed(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl LayerBuilder for StandardBuilder {
+    fn conv2d(
+        &mut self,
+        _layer_index: usize,
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Box<dyn Layer> {
+        Box::new(Conv2d::new(&mut self.rng, c_in, c_out, kernel, stride, padding, false))
+    }
+
+    fn linear(
+        &mut self,
+        _layer_index: usize,
+        in_features: usize,
+        out_features: usize,
+    ) -> Box<dyn Layer> {
+        Box::new(Linear::new(&mut self.rng, in_features, out_features))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_builder_is_reproducible() {
+        let mut a = StandardBuilder::from_seed(1);
+        let mut b = StandardBuilder::from_seed(1);
+        let ca = a.conv2d(0, 1, 2, 3, 1, 0);
+        let cb = b.conv2d(0, 1, 2, 3, 1, 0);
+        let wa = ca.parameters()[0].to_tensor();
+        let wb = cb.parameters()[0].to_tensor();
+        assert_eq!(wa.data(), wb.data());
+    }
+}

@@ -1,0 +1,36 @@
+use pecan_autograd::Var;
+use pecan_tensor::ShapeError;
+use std::any::Any;
+
+/// A differentiable network layer.
+///
+/// Layers own their parameters as [`Var`]s and may keep internal state
+/// (BatchNorm running statistics, PECAN epoch schedules). `forward` takes
+/// `&mut self` precisely so that such state can be updated during training.
+pub trait Layer {
+    /// Runs the layer. `train` selects training behaviour (batch statistics,
+    /// annealed gradients); inference uses frozen state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the input shape is incompatible.
+    fn forward(&mut self, input: &Var, train: bool) -> Result<Var, ShapeError>;
+
+    /// All trainable parameters, used to populate optimizers.
+    fn parameters(&self) -> Vec<Var>;
+
+    /// Human-readable layer name for summaries.
+    fn name(&self) -> &'static str;
+
+    /// Informs the layer of training progress (zero-based `epoch` out of
+    /// `total`). PECAN-D layers use this for the epoch-aware sign-gradient
+    /// annealing of Eq. (6); everything else ignores it.
+    fn set_epoch(&mut self, _epoch: usize, _total: usize) {}
+
+    /// Runtime introspection hook (model conversion walks layer trees to
+    /// replace convolutions with PECAN equivalents).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable runtime introspection hook.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}

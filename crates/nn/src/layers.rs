@@ -1,0 +1,540 @@
+use crate::Layer;
+use pecan_autograd::Var;
+use pecan_tensor::{Conv2dGeometry, ShapeError, Tensor};
+use rand::Rng;
+use std::any::Any;
+
+/// Standard 2-D convolution with flattened filter matrix `[cout, cin·k²]`
+/// (the `F` of Fig. 1(b)) and optional bias.
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Var,
+    bias: Option<Var>,
+    c_in: usize,
+    c_out: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+}
+
+impl Conv2d {
+    /// Creates a He-initialised convolution.
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        bias: bool,
+    ) -> Self {
+        let fan_in = c_in * kernel * kernel;
+        let weight = Var::parameter(pecan_tensor::he_normal(rng, &[c_out, fan_in], fan_in));
+        let bias = bias.then(|| Var::parameter(Tensor::zeros(&[c_out])));
+        Self { c_in, c_out, kernel, stride, padding, weight, bias }
+    }
+
+    /// Creates a convolution from an existing flattened weight matrix
+    /// (used when converting trained models).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `weight` is not `[c_out, c_in·k²]`.
+    pub fn from_weight(
+        weight: Tensor,
+        bias: Option<Tensor>,
+        c_in: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, ShapeError> {
+        weight.shape().expect_rank(2)?;
+        let c_out = weight.dims()[0];
+        if weight.dims()[1] != c_in * kernel * kernel {
+            return Err(ShapeError::new(format!(
+                "conv weight {:?} does not match cin {c_in}, k {kernel}",
+                weight.dims()
+            )));
+        }
+        Ok(Self {
+            c_in,
+            c_out,
+            kernel,
+            stride,
+            padding,
+            weight: Var::parameter(weight),
+            bias: bias.map(Var::parameter),
+        })
+    }
+
+    /// The flattened filter matrix `[cout, cin·k²]`.
+    pub fn weight(&self) -> &Var {
+        &self.weight
+    }
+
+    /// The bias vector, if present.
+    pub fn bias(&self) -> Option<&Var> {
+        self.bias.as_ref()
+    }
+
+    /// `(c_in, c_out, kernel, stride, padding)`.
+    pub fn config(&self) -> (usize, usize, usize, usize, usize) {
+        (self.c_in, self.c_out, self.kernel, self.stride, self.padding)
+    }
+
+    /// The geometry this layer produces for an input of `h × w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the kernel does not fit.
+    pub fn geometry(&self, h: usize, w: usize) -> Result<Conv2dGeometry, ShapeError> {
+        Conv2dGeometry::new(self.c_in, h, w, self.kernel, self.stride, self.padding)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Var, _train: bool) -> Result<Var, ShapeError> {
+        let dims = input.value().dims().to_vec();
+        if dims.len() != 4 || dims[1] != self.c_in {
+            return Err(ShapeError::new(format!(
+                "Conv2d({}, {}) got input {:?}",
+                self.c_in, self.c_out, dims
+            )));
+        }
+        let geom = self.geometry(dims[2], dims[3])?;
+        input.conv2d(&self.weight, self.bias.as_ref(), &geom)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = vec![self.weight.clone()];
+        if let Some(b) = &self.bias {
+            p.push(b.clone());
+        }
+        p
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Fully-connected layer `y = x·Wᵀ + b`.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Var,
+    bias: Var,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Creates a Xavier-initialised linear layer.
+    pub fn new<R: Rng>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        let weight = Var::parameter(pecan_tensor::xavier_uniform(
+            rng,
+            &[out_features, in_features],
+            in_features,
+            out_features,
+        ));
+        let bias = Var::parameter(Tensor::zeros(&[out_features]));
+        Self { weight, bias, in_features, out_features }
+    }
+
+    /// Creates a linear layer from existing parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on inconsistent shapes.
+    pub fn from_weight(weight: Tensor, bias: Tensor) -> Result<Self, ShapeError> {
+        weight.shape().expect_rank(2)?;
+        bias.shape().expect_rank(1)?;
+        let (out_features, in_features) = (weight.dims()[0], weight.dims()[1]);
+        if bias.len() != out_features {
+            return Err(ShapeError::new("linear bias does not match weight rows"));
+        }
+        Ok(Self {
+            weight: Var::parameter(weight),
+            bias: Var::parameter(bias),
+            in_features,
+            out_features,
+        })
+    }
+
+    /// The weight matrix `[out, in]`.
+    pub fn weight(&self) -> &Var {
+        &self.weight
+    }
+
+    /// The bias vector `[out]`.
+    pub fn bias(&self) -> &Var {
+        &self.bias
+    }
+
+    /// `(in_features, out_features)`.
+    pub fn features(&self) -> (usize, usize) {
+        (self.in_features, self.out_features)
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Var, _train: bool) -> Result<Var, ShapeError> {
+        input.linear(&self.weight, &self.bias)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// 2-D batch normalisation with running statistics.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Var,
+    beta: Var,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    channels: usize,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer over `channels` with momentum 0.1.
+    pub fn new(channels: usize) -> Self {
+        Self {
+            gamma: Var::parameter(Tensor::ones(&[channels])),
+            beta: Var::parameter(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            channels,
+        }
+    }
+
+    /// Current running mean (inference statistics).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Current running variance (inference statistics).
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Var, train: bool) -> Result<Var, ShapeError> {
+        if train {
+            let (out, stats) = input.batch_norm2d_train(&self.gamma, &self.beta, self.eps)?;
+            for c in 0..self.channels {
+                self.running_mean[c] =
+                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * stats.mean[c];
+                self.running_var[c] =
+                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * stats.var[c];
+            }
+            Ok(out)
+        } else {
+            input.batch_norm2d_eval(
+                &self.gamma,
+                &self.beta,
+                &self.running_mean,
+                &self.running_var,
+                self.eps,
+            )
+        }
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+
+    fn name(&self) -> &'static str {
+        "BatchNorm2d"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Rectified linear unit.
+#[derive(Debug, Default)]
+pub struct Relu;
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Var, _train: bool) -> Result<Var, ShapeError> {
+        Ok(input.relu())
+    }
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+    fn name(&self) -> &'static str {
+        "ReLU"
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Max pooling with a square window.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with `kernel` window and `stride` step.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        Self { kernel, stride }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Var, _train: bool) -> Result<Var, ShapeError> {
+        input.max_pool2d(self.kernel, self.stride)
+    }
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Global average pooling `[N, C, H, W] → [N, C]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool;
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Var, _train: bool) -> Result<Var, ShapeError> {
+        input.global_avg_pool()
+    }
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool"
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Flattens `[N, ...]` to `[N, rest]` for the conv → FC transition.
+#[derive(Debug, Default)]
+pub struct Flatten;
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Var, _train: bool) -> Result<Var, ShapeError> {
+        input.flatten_batch()
+    }
+    fn parameters(&self) -> Vec<Var> {
+        Vec::new()
+    }
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// An ordered pipeline of layers.
+///
+/// # Example
+///
+/// ```
+/// use pecan_nn::{Layer, Relu, Sequential};
+/// use pecan_autograd::Var;
+/// use pecan_tensor::Tensor;
+///
+/// # fn main() -> Result<(), pecan_tensor::ShapeError> {
+/// let mut net = Sequential::new();
+/// net.push(Box::new(Relu));
+/// let y = net.forward(&Var::constant(Tensor::from_slice(&[-1.0, 2.0])), false)?;
+/// assert_eq!(y.value().data(), &[0.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the pipeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Borrow of the contained layers (model conversion walks this).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable borrow of the contained layers.
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Var, train: bool) -> Result<Var, ShapeError> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train)?;
+        }
+        Ok(x)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        self.layers.iter().flat_map(|l| l.parameters()).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+
+    fn set_epoch(&mut self, epoch: usize, total: usize) {
+        for layer in &mut self.layers {
+            layer.set_epoch(epoch, total);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv2d_forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(&mut rng, 3, 8, 3, 1, 1, true);
+        let x = Var::constant(Tensor::zeros(&[2, 3, 16, 16]));
+        let y = conv.forward(&x, true).unwrap();
+        assert_eq!(y.value().dims(), &[2, 8, 16, 16]);
+        assert_eq!(conv.parameters().len(), 2);
+    }
+
+    #[test]
+    fn conv2d_rejects_wrong_channels() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(&mut rng, 3, 8, 3, 1, 1, false);
+        let x = Var::constant(Tensor::zeros(&[2, 4, 16, 16]));
+        assert!(conv.forward(&x, true).is_err());
+    }
+
+    #[test]
+    fn linear_forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut fc = Linear::new(&mut rng, 10, 4);
+        let x = Var::constant(Tensor::zeros(&[3, 10]));
+        let y = fc.forward(&x, true).unwrap();
+        assert_eq!(y.value().dims(), &[3, 4]);
+        assert_eq!(fc.features(), (10, 4));
+    }
+
+    #[test]
+    fn batchnorm_tracks_running_stats() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Var::constant(Tensor::full(&[4, 2, 3, 3], 10.0));
+        let _ = bn.forward(&x, true).unwrap();
+        // running mean moved toward 10 from 0 with momentum 0.1
+        assert!((bn.running_mean()[0] - 1.0).abs() < 1e-5);
+        // eval mode uses running stats, no panic with batch of 1
+        let x1 = Var::constant(Tensor::full(&[1, 2, 3, 3], 10.0));
+        let y = bn.forward(&x1, false).unwrap();
+        assert_eq!(y.value().dims(), &[1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn sequential_composes_and_collects_params() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Sequential::new();
+        net.push(Box::new(Conv2d::new(&mut rng, 1, 2, 3, 1, 1, true)));
+        net.push(Box::new(Relu));
+        net.push(Box::new(MaxPool2d::new(2, 2)));
+        net.push(Box::new(Flatten));
+        net.push(Box::new(Linear::new(&mut rng, 2 * 2 * 2, 5)));
+        let x = Var::constant(Tensor::zeros(&[1, 1, 4, 4]));
+        let y = net.forward(&x, true).unwrap();
+        assert_eq!(y.value().dims(), &[1, 5]);
+        assert_eq!(net.parameters().len(), 4); // conv w+b, fc w+b
+        assert_eq!(net.len(), 5);
+    }
+
+    #[test]
+    fn global_avg_pool_layer() {
+        let mut gap = GlobalAvgPool;
+        let x = Var::constant(Tensor::ones(&[2, 3, 4, 4]));
+        let y = gap.forward(&x, false).unwrap();
+        assert_eq!(y.value().dims(), &[2, 3]);
+        assert!(y.value().data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,138 @@
+use crate::{BatchNorm2d, GlobalAvgPool, Layer, LayerBuilder, Relu, Sequential};
+use pecan_autograd::Var;
+use pecan_tensor::ShapeError;
+use std::any::Any;
+
+/// Configuration for the modified ConvMixer of Table A4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvMixerConfig {
+    /// Hidden width (channel count after patch embedding; paper: 256).
+    pub dim: usize,
+    /// Number of mixer blocks (paper: 8).
+    pub depth: usize,
+    /// Spatial kernel of the mixing convolution (paper: 5).
+    pub kernel: usize,
+    /// Patch-embedding kernel/stride (paper: 4 on 64×64 input).
+    pub patch_size: usize,
+    /// Number of output classes (200 for Tiny-ImageNet).
+    pub num_classes: usize,
+}
+
+impl Default for ConvMixerConfig {
+    fn default() -> Self {
+        Self { dim: 256, depth: 8, kernel: 5, patch_size: 4, num_classes: 200 }
+    }
+}
+
+/// One modified ConvMixer block: the paper replaces each depthwise +
+/// pointwise pair with a single **conventional** `k×k` convolution
+/// (Appendix D), wrapped in the usual residual + ReLU + BatchNorm. With
+/// `dim = 256`, `k = 5` and 16×16 maps this reproduces the 3.36G baseline
+/// MACs of Table A4 exactly.
+pub struct MixerBlock {
+    conv: Box<dyn Layer>,
+    bn: BatchNorm2d,
+}
+
+impl MixerBlock {
+    fn new(builder: &mut dyn LayerBuilder, index: usize, dim: usize, kernel: usize) -> Self {
+        Self {
+            conv: builder.conv2d(index, dim, dim, kernel, 1, kernel / 2),
+            bn: BatchNorm2d::new(dim),
+        }
+    }
+}
+
+impl Layer for MixerBlock {
+    fn forward(&mut self, input: &Var, train: bool) -> Result<Var, ShapeError> {
+        let y = self.conv.forward(input, train)?.relu();
+        let y = self.bn.forward(&y, train)?;
+        y.add(input) // residual
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.conv.parameters();
+        p.extend(self.bn.parameters());
+        p
+    }
+
+    fn name(&self) -> &'static str {
+        "MixerBlock"
+    }
+
+    fn set_epoch(&mut self, epoch: usize, total: usize) {
+        self.conv.set_epoch(epoch, total);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The modified ConvMixer of Appendix D: patch-embedding convolution
+/// (index `0`, kept **uncompressed** in the paper), `depth` mixer blocks
+/// each holding one conventional `k×k` convolution (indices `1..=depth`),
+/// global average pooling and a classifier (index `depth + 1`, also kept
+/// uncompressed).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on zero-sized configuration.
+pub fn convmixer(
+    builder: &mut dyn LayerBuilder,
+    config: ConvMixerConfig,
+) -> Result<Sequential, ShapeError> {
+    if config.dim == 0 || config.depth == 0 || config.kernel == 0 || config.patch_size == 0 {
+        return Err(ShapeError::new("convmixer config extents must be non-zero"));
+    }
+    let mut net = Sequential::new();
+    let mut index = 0;
+    net.push(builder.conv2d(index, 3, config.dim, config.patch_size, config.patch_size, 0));
+    index += 1;
+    net.push(Box::new(Relu));
+    net.push(Box::new(BatchNorm2d::new(config.dim)));
+    for _ in 0..config.depth {
+        net.push(Box::new(MixerBlock::new(builder, index, config.dim, config.kernel)));
+        index += 1;
+    }
+    net.push(Box::new(GlobalAvgPool));
+    net.push(builder.linear(index, config.dim, config.num_classes));
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StandardBuilder;
+    use pecan_tensor::Tensor;
+
+    #[test]
+    fn convmixer_forward_shape() {
+        let mut b = StandardBuilder::from_seed(4);
+        let cfg = ConvMixerConfig { dim: 8, depth: 2, kernel: 5, patch_size: 4, num_classes: 7 };
+        let mut net = convmixer(&mut b, cfg).unwrap();
+        let x = Var::constant(Tensor::zeros(&[1, 3, 16, 16]));
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.value().dims(), &[1, 7]);
+    }
+
+    #[test]
+    fn convmixer_rejects_zero_config() {
+        let mut b = StandardBuilder::from_seed(4);
+        let cfg = ConvMixerConfig { dim: 0, ..Default::default() };
+        assert!(convmixer(&mut b, cfg).is_err());
+    }
+
+    #[test]
+    fn depth_scales_block_count() {
+        let mut b = StandardBuilder::from_seed(4);
+        let cfg = ConvMixerConfig { dim: 8, depth: 3, kernel: 3, patch_size: 2, num_classes: 4 };
+        let net = convmixer(&mut b, cfg).unwrap();
+        // conv, relu, bn, 3 blocks, gap, fc
+        assert_eq!(net.len(), 8);
+    }
+}

@@ -1,0 +1,68 @@
+use crate::{Flatten, LayerBuilder, MaxPool2d, Relu, Sequential};
+use pecan_tensor::ShapeError;
+
+/// The modified LeNet-5 of Table A1: 3×3 kernels, two conv+pool stages and
+/// three fully-connected layers, for 28×28 single-channel input.
+///
+/// Layer indices (for per-layer PECAN configs, Table A2):
+/// `0` CONV1 (1→8), `1` CONV2 (8→16), `2` FC1 (400→128), `3` FC2 (128→64),
+/// `4` FC3 (64→10).
+///
+/// # Errors
+///
+/// Never fails with the fixed architecture; the `Result` mirrors the other
+/// model constructors.
+///
+/// # Example
+///
+/// ```
+/// use pecan_nn::{models, Layer, StandardBuilder};
+///
+/// # fn main() -> Result<(), pecan_tensor::ShapeError> {
+/// let mut b = StandardBuilder::from_seed(0);
+/// let net = models::lenet5_modified(&mut b)?;
+/// assert_eq!(net.len(), 12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lenet5_modified(builder: &mut dyn LayerBuilder) -> Result<Sequential, ShapeError> {
+    let mut net = Sequential::new();
+    net.push(builder.conv2d(0, 1, 8, 3, 1, 0)); // [8, 26, 26]
+    net.push(Box::new(Relu));
+    net.push(Box::new(MaxPool2d::new(2, 2))); // [8, 13, 13]
+    net.push(builder.conv2d(1, 8, 16, 3, 1, 0)); // [16, 11, 11]
+    net.push(Box::new(Relu));
+    net.push(Box::new(MaxPool2d::new(2, 2))); // [16, 5, 5]
+    net.push(Box::new(Flatten)); // 400
+    net.push(builder.linear(2, 400, 128));
+    net.push(Box::new(Relu));
+    net.push(builder.linear(3, 128, 64));
+    net.push(Box::new(Relu));
+    net.push(builder.linear(4, 64, 10));
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Layer, StandardBuilder};
+    use pecan_autograd::Var;
+    use pecan_tensor::Tensor;
+
+    #[test]
+    fn lenet_produces_ten_logits_on_mnist_shape() {
+        let mut b = StandardBuilder::from_seed(3);
+        let mut net = lenet5_modified(&mut b).unwrap();
+        let x = Var::constant(Tensor::zeros(&[2, 1, 28, 28]));
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.value().dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn lenet_has_five_parameterised_layers() {
+        let mut b = StandardBuilder::from_seed(3);
+        let net = lenet5_modified(&mut b).unwrap();
+        // conv (no bias) ×2 → 2 params; linear ×3 → 6 params
+        assert_eq!(net.parameters().len(), 8);
+    }
+}

@@ -1,0 +1,13 @@
+//! The paper's model zoo (§4): every constructor takes a
+//! [`crate::LayerBuilder`] so the identical topology can be built with
+//! baseline or PECAN layers.
+
+mod convmixer;
+mod lenet;
+mod resnet;
+mod vgg;
+
+pub use convmixer::{convmixer, ConvMixerConfig};
+pub use lenet::lenet5_modified;
+pub use resnet::{resnet, resnet20, resnet32, BasicBlock};
+pub use vgg::{vgg_small, VggSmallConfig};

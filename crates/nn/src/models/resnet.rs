@@ -1,0 +1,273 @@
+use crate::{BatchNorm2d, GlobalAvgPool, Layer, LayerBuilder, Relu, Sequential};
+use pecan_autograd::{BackwardOp, Var};
+use pecan_tensor::{ShapeError, Tensor};
+use std::any::Any;
+
+/// Option-A ResNet shortcut: stride-2 spatial subsampling plus zero-padded
+/// channels, parameter-free (He et al.'s CIFAR configuration — this keeps
+/// the op counts at the 40.55M/68.86M the paper reports for ResNet-20/32).
+struct ShortcutAOp {
+    input_dims: Vec<usize>,
+    stride: usize,
+    c_out: usize,
+}
+
+impl BackwardOp for ShortcutAOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        let (n_b, c_in, h, w) =
+            (self.input_dims[0], self.input_dims[1], self.input_dims[2], self.input_dims[3]);
+        let (h_o, w_o) = (h / self.stride, w / self.stride);
+        let mut dx = Tensor::zeros(&self.input_dims);
+        for n in 0..n_b {
+            for c in 0..c_in.min(self.c_out) {
+                for i in 0..h_o {
+                    for j in 0..w_o {
+                        let g = grad_out.at(&[n, c, i, j]);
+                        let idx = ((n * c_in + c) * h + i * self.stride) * w + j * self.stride;
+                        dx.data_mut()[idx] += g;
+                    }
+                }
+            }
+        }
+        vec![Some(dx)]
+    }
+    fn name(&self) -> &'static str {
+        "shortcut_a"
+    }
+}
+
+fn shortcut_a(x: &Var, c_out: usize, stride: usize) -> Result<Var, ShapeError> {
+    let input = x.value();
+    input.shape().expect_rank(4)?;
+    let dims = input.dims().to_vec();
+    let (n_b, c_in, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    if h % stride != 0 || w % stride != 0 {
+        return Err(ShapeError::new(format!(
+            "shortcut_a: {h}×{w} not divisible by stride {stride}"
+        )));
+    }
+    let (h_o, w_o) = (h / stride, w / stride);
+    let mut value = Tensor::zeros(&[n_b, c_out, h_o, w_o]);
+    for n in 0..n_b {
+        for c in 0..c_in.min(c_out) {
+            for i in 0..h_o {
+                for j in 0..w_o {
+                    let v = input.at(&[n, c, i * stride, j * stride]);
+                    value.set(&[n, c, i, j], v);
+                }
+            }
+        }
+    }
+    drop(input);
+    Ok(Var::from_op(
+        value,
+        vec![x.clone()],
+        Box::new(ShortcutAOp { input_dims: dims, stride, c_out }),
+    ))
+}
+
+/// A two-convolution residual block (`conv-BN-ReLU-conv-BN` plus shortcut,
+/// final ReLU), the repeating unit of ResNet-20/32.
+pub struct BasicBlock {
+    conv1: Box<dyn Layer>,
+    bn1: BatchNorm2d,
+    conv2: Box<dyn Layer>,
+    bn2: BatchNorm2d,
+    stride: usize,
+    c_in: usize,
+    c_out: usize,
+}
+
+impl BasicBlock {
+    /// Builds a block whose convolutions come from `builder` with layer
+    /// indices `index` and `index + 1`.
+    pub fn new(
+        builder: &mut dyn LayerBuilder,
+        index: usize,
+        c_in: usize,
+        c_out: usize,
+        stride: usize,
+    ) -> Self {
+        Self {
+            conv1: builder.conv2d(index, c_in, c_out, 3, stride, 1),
+            bn1: BatchNorm2d::new(c_out),
+            conv2: builder.conv2d(index + 1, c_out, c_out, 3, 1, 1),
+            bn2: BatchNorm2d::new(c_out),
+            stride,
+            c_in,
+            c_out,
+        }
+    }
+
+    /// The two convolution layers (for conversion/inspection).
+    pub fn convs(&self) -> (&dyn Layer, &dyn Layer) {
+        (self.conv1.as_ref(), self.conv2.as_ref())
+    }
+
+    /// Mutable access to the two convolution layers.
+    pub fn convs_mut(&mut self) -> (&mut Box<dyn Layer>, &mut Box<dyn Layer>) {
+        (&mut self.conv1, &mut self.conv2)
+    }
+}
+
+impl Layer for BasicBlock {
+    fn forward(&mut self, input: &Var, train: bool) -> Result<Var, ShapeError> {
+        let y = self.conv1.forward(input, train)?;
+        let y = self.bn1.forward(&y, train)?.relu();
+        let y = self.conv2.forward(&y, train)?;
+        let y = self.bn2.forward(&y, train)?;
+        let shortcut = if self.stride != 1 || self.c_in != self.c_out {
+            shortcut_a(input, self.c_out, self.stride)?
+        } else {
+            input.clone()
+        };
+        Ok(y.add(&shortcut)?.relu())
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.conv1.parameters();
+        p.extend(self.bn1.parameters());
+        p.extend(self.conv2.parameters());
+        p.extend(self.bn2.parameters());
+        p
+    }
+
+    fn name(&self) -> &'static str {
+        "BasicBlock"
+    }
+
+    fn set_epoch(&mut self, epoch: usize, total: usize) {
+        self.conv1.set_epoch(epoch, total);
+        self.conv2.set_epoch(epoch, total);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// CIFAR-style ResNet with `6n + 2` layers: an input convolution, three
+/// stages of `n` [`BasicBlock`]s at widths 16/32/64 (divided by
+/// `width_divisor`), global average pooling and a linear classifier.
+///
+/// Layer indices: conv0 is `0`, block convs follow in forward order, the
+/// classifier is last (`6n + 1`).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] only on impossible configurations (zero blocks).
+pub fn resnet(
+    builder: &mut dyn LayerBuilder,
+    blocks_per_stage: usize,
+    num_classes: usize,
+    width_divisor: usize,
+) -> Result<Sequential, ShapeError> {
+    if blocks_per_stage == 0 {
+        return Err(ShapeError::new("resnet needs at least one block per stage"));
+    }
+    let d = width_divisor.max(1);
+    let widths = [16usize, 32, 64].map(|w| (w / d).max(4));
+    let mut net = Sequential::new();
+    let mut index = 0;
+    net.push(builder.conv2d(index, 3, widths[0], 3, 1, 1));
+    index += 1;
+    net.push(Box::new(BatchNorm2d::new(widths[0])));
+    net.push(Box::new(Relu));
+    let mut c_in = widths[0];
+    for (stage, &w) in widths.iter().enumerate() {
+        for b in 0..blocks_per_stage {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            net.push(Box::new(BasicBlock::new(builder, index, c_in, w, stride)));
+            index += 2;
+            c_in = w;
+        }
+    }
+    net.push(Box::new(GlobalAvgPool));
+    net.push(builder.linear(index, widths[2], num_classes));
+    Ok(net)
+}
+
+/// ResNet-20 (`n = 3`).
+///
+/// # Errors
+///
+/// See [`resnet`].
+pub fn resnet20(
+    builder: &mut dyn LayerBuilder,
+    num_classes: usize,
+    width_divisor: usize,
+) -> Result<Sequential, ShapeError> {
+    resnet(builder, 3, num_classes, width_divisor)
+}
+
+/// ResNet-32 (`n = 5`).
+///
+/// # Errors
+///
+/// See [`resnet`].
+pub fn resnet32(
+    builder: &mut dyn LayerBuilder,
+    num_classes: usize,
+    width_divisor: usize,
+) -> Result<Sequential, ShapeError> {
+    resnet(builder, 5, num_classes, width_divisor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StandardBuilder;
+    use pecan_autograd::Var;
+
+    #[test]
+    fn resnet20_forward_shape() {
+        let mut b = StandardBuilder::from_seed(1);
+        let mut net = resnet20(&mut b, 10, 4).unwrap();
+        let x = Var::constant(Tensor::zeros(&[2, 3, 16, 16]));
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.value().dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn resnet_has_expected_layer_count() {
+        // 6n+2 parameterised layers: 1 + 6n convs + 1 fc
+        let mut b = StandardBuilder::from_seed(1);
+        let net = resnet(&mut b, 3, 10, 4).unwrap();
+        // Sequential: conv, bn, relu, 9 blocks, gap, fc = 14 entries
+        assert_eq!(net.len(), 14);
+    }
+
+    #[test]
+    fn shortcut_a_subsamples_and_pads() {
+        let x = Var::parameter(Tensor::from_vec(
+            (0..16).map(|v| v as f32).collect(),
+            &[1, 1, 4, 4],
+        ).unwrap());
+        let y = shortcut_a(&x, 2, 2).unwrap();
+        assert_eq!(y.value().dims(), &[1, 2, 2, 2]);
+        // channel 0 = strided samples, channel 1 = zeros
+        assert_eq!(y.value().at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(y.value().at(&[0, 0, 1, 1]), 10.0);
+        assert_eq!(y.value().at(&[0, 1, 0, 0]), 0.0);
+        // gradient flows only to sampled positions of channel 0
+        y.sum_all().backward();
+        let g = x.grad().unwrap();
+        assert_eq!(g.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(g.at(&[0, 0, 0, 1]), 0.0);
+        assert_eq!(g.data().iter().sum::<f32>(), 4.0);
+    }
+
+    #[test]
+    fn downsampling_block_halves_resolution() {
+        let mut b = StandardBuilder::from_seed(2);
+        let mut block = BasicBlock::new(&mut b, 0, 4, 8, 2);
+        let x = Var::constant(Tensor::zeros(&[1, 4, 8, 8]));
+        let y = block.forward(&x, true).unwrap();
+        assert_eq!(y.value().dims(), &[1, 8, 4, 4]);
+        assert_eq!(block.parameters().len(), 2 + 4); // 2 convs + 2 BNs (γ,β)
+    }
+}

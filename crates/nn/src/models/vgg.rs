@@ -1,0 +1,119 @@
+use crate::{BatchNorm2d, Flatten, LayerBuilder, MaxPool2d, Relu, Sequential};
+use pecan_tensor::ShapeError;
+
+/// Configuration for [`vgg_small`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VggSmallConfig {
+    /// Number of output classes (10 for CIFAR-10, 100 for CIFAR-100).
+    pub num_classes: usize,
+    /// Divides every channel width (1 = paper scale 128/256/512; larger
+    /// values give the reduced-scale variants trainable on CPU).
+    pub width_divisor: usize,
+    /// Spatial input size (32 for CIFAR).
+    pub input_size: usize,
+}
+
+impl Default for VggSmallConfig {
+    fn default() -> Self {
+        Self { num_classes: 10, width_divisor: 1, input_size: 32 }
+    }
+}
+
+impl VggSmallConfig {
+    /// Channel widths of the six conv layers after scaling.
+    pub fn widths(&self) -> [usize; 6] {
+        let d = self.width_divisor.max(1);
+        [128, 128, 256, 256, 512, 512].map(|c: usize| (c / d).max(4))
+    }
+
+    /// Flattened feature count entering the classifier.
+    pub fn fc_in(&self) -> usize {
+        let side = self.input_size / 8; // three 2×2 pools
+        self.widths()[5] * side * side
+    }
+}
+
+/// VGG-Small: six 3×3 convolutions (two per resolution, BN+ReLU after
+/// each), three 2×2 max-pools and a single fully-connected classifier —
+/// the simplified VGGNet of §4.2.
+///
+/// Layer indices for per-layer PECAN configs (Table A3): convs are `0..=5`,
+/// the classifier is `6`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `input_size` is not divisible by 8.
+///
+/// # Example
+///
+/// ```
+/// use pecan_nn::{models, models::VggSmallConfig, Layer, StandardBuilder};
+///
+/// # fn main() -> Result<(), pecan_tensor::ShapeError> {
+/// let mut b = StandardBuilder::from_seed(0);
+/// let cfg = VggSmallConfig { width_divisor: 16, ..Default::default() };
+/// let net = models::vgg_small(&mut b, cfg)?;
+/// assert!(net.len() > 20);
+/// # Ok(())
+/// # }
+/// ```
+pub fn vgg_small(
+    builder: &mut dyn LayerBuilder,
+    config: VggSmallConfig,
+) -> Result<Sequential, ShapeError> {
+    if config.input_size % 8 != 0 || config.input_size == 0 {
+        return Err(ShapeError::new(format!(
+            "vgg_small input size {} must be a positive multiple of 8",
+            config.input_size
+        )));
+    }
+    let w = config.widths();
+    let mut net = Sequential::new();
+    let mut c_in = 3;
+    for (i, &c_out) in w.iter().enumerate() {
+        net.push(builder.conv2d(i, c_in, c_out, 3, 1, 1));
+        net.push(Box::new(BatchNorm2d::new(c_out)));
+        net.push(Box::new(Relu));
+        if i % 2 == 1 {
+            net.push(Box::new(MaxPool2d::new(2, 2)));
+        }
+        c_in = c_out;
+    }
+    net.push(Box::new(Flatten));
+    net.push(builder.linear(6, config.fc_in(), config.num_classes));
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Layer, StandardBuilder};
+    use pecan_autograd::Var;
+    use pecan_tensor::Tensor;
+
+    #[test]
+    fn vgg_small_shapes_flow_to_logits() {
+        let mut b = StandardBuilder::from_seed(5);
+        let cfg = VggSmallConfig { num_classes: 10, width_divisor: 32, input_size: 32 };
+        let mut net = vgg_small(&mut b, cfg).unwrap();
+        let x = Var::constant(Tensor::zeros(&[1, 3, 32, 32]));
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.value().dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn widths_scale_with_divisor() {
+        let cfg = VggSmallConfig { width_divisor: 4, ..Default::default() };
+        assert_eq!(cfg.widths(), [32, 32, 64, 64, 128, 128]);
+        let paper = VggSmallConfig::default();
+        assert_eq!(paper.widths(), [128, 128, 256, 256, 512, 512]);
+        assert_eq!(paper.fc_in(), 512 * 16);
+    }
+
+    #[test]
+    fn rejects_indivisible_input() {
+        let mut b = StandardBuilder::from_seed(5);
+        let cfg = VggSmallConfig { input_size: 30, ..Default::default() };
+        assert!(vgg_small(&mut b, cfg).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Shape, parameter-count and epoch-propagation tests across the whole
+//! model zoo at reduced widths.
+
+use pecan_autograd::Var;
+use pecan_nn::{models, Layer, StandardBuilder};
+use pecan_tensor::Tensor;
+
+#[test]
+fn every_model_maps_input_to_logits() {
+    let cases: Vec<(&str, Box<dyn FnOnce(&mut StandardBuilder) -> pecan_nn::Sequential>, Vec<usize>, usize)> = vec![
+        (
+            "lenet",
+            Box::new(|b: &mut StandardBuilder| models::lenet5_modified(b).unwrap()),
+            vec![2, 1, 28, 28],
+            10,
+        ),
+        (
+            "vgg_small",
+            Box::new(|b: &mut StandardBuilder| {
+                models::vgg_small(
+                    b,
+                    models::VggSmallConfig { num_classes: 7, width_divisor: 16, input_size: 16 },
+                )
+                .unwrap()
+            }),
+            vec![2, 3, 16, 16],
+            7,
+        ),
+        (
+            "resnet20",
+            Box::new(|b: &mut StandardBuilder| models::resnet20(b, 5, 4).unwrap()),
+            vec![2, 3, 16, 16],
+            5,
+        ),
+        (
+            "resnet32",
+            Box::new(|b: &mut StandardBuilder| models::resnet32(b, 3, 4).unwrap()),
+            vec![1, 3, 16, 16],
+            3,
+        ),
+        (
+            "convmixer",
+            Box::new(|b: &mut StandardBuilder| {
+                models::convmixer(
+                    b,
+                    models::ConvMixerConfig {
+                        dim: 16,
+                        depth: 2,
+                        kernel: 5,
+                        patch_size: 4,
+                        num_classes: 9,
+                    },
+                )
+                .unwrap()
+            }),
+            vec![2, 3, 16, 16],
+            9,
+        ),
+    ];
+    for (name, build, input, classes) in cases {
+        let mut builder = StandardBuilder::from_seed(13);
+        let mut net = build(&mut builder);
+        let x = Var::constant(Tensor::zeros(&input));
+        let y = net.forward(&x, false).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(y.value().dims(), &[input[0], classes], "{name} logits shape");
+        assert!(!net.parameters().is_empty(), "{name} has parameters");
+    }
+}
+
+#[test]
+fn resnet_parameter_count_scales_with_depth() {
+    let mut b20 = StandardBuilder::from_seed(1);
+    let mut b32 = StandardBuilder::from_seed(1);
+    let p20 = models::resnet20(&mut b20, 10, 4).unwrap().parameters().len();
+    let p32 = models::resnet32(&mut b32, 10, 4).unwrap().parameters().len();
+    // 6n+2 conv/fc layers plus 2 BN params per conv: strictly more for n=5
+    assert!(p32 > p20, "resnet32 {p32} vs resnet20 {p20}");
+}
+
+#[test]
+fn train_mode_changes_batchnorm_behaviour() {
+    let mut b = StandardBuilder::from_seed(5);
+    let mut net = models::vgg_small(
+        &mut b,
+        models::VggSmallConfig { num_classes: 4, width_divisor: 32, input_size: 16 },
+    )
+    .unwrap();
+    let x = Var::constant(Tensor::full(&[4, 3, 16, 16], 0.7));
+    // training forward normalises with batch stats (constant input → zeros
+    // after BN); eval forward uses running stats (initially mean 0/var 1)
+    let y_train = net.forward(&x, true).unwrap();
+    let y_eval = net.forward(&x, false).unwrap();
+    assert!(
+        y_train.value().max_abs_diff(&y_eval.value()) > 1e-6,
+        "train and eval paths should differ on a fresh network"
+    );
+}
+
+#[test]
+fn set_epoch_reaches_nested_blocks() {
+    // Standard layers ignore epochs, but the call must traverse blocks
+    // without panicking (PECAN layers rely on this plumbing).
+    let mut b = StandardBuilder::from_seed(6);
+    let mut net = models::resnet20(&mut b, 10, 4).unwrap();
+    net.set_epoch(5, 10);
+    let mut cm = StandardBuilder::from_seed(7);
+    let mut mixer = models::convmixer(
+        &mut cm,
+        models::ConvMixerConfig { dim: 8, depth: 2, kernel: 3, patch_size: 2, num_classes: 4 },
+    )
+    .unwrap();
+    mixer.set_epoch(0, 1);
+}

@@ -1,0 +1,295 @@
+use crate::{sign_approx, straight_through};
+use pecan_autograd::{BackwardOp, Var};
+use pecan_tensor::{ShapeError, Tensor};
+
+/// Angle similarity scores `C(j)ᵀ·X(j)` between every prototype (column of
+/// `codebook`, `[d, p]`) and every feature sub-vector (column of `x`,
+/// `[d, cols]`), producing `[p, cols]` — the attention logits of Eq. (2).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on rank or dimension mismatch.
+pub fn dot_scores(codebook: &Tensor, x: &Tensor) -> Result<Tensor, ShapeError> {
+    codebook.matmul_tn(x)
+}
+
+/// Distance similarity scores `−‖X(j)ᵢ − C(j)ₘ‖₁` for every prototype and
+/// sub-vector, producing `[p, cols]` — the template-matching metric of
+/// Eq. (3). Involves only subtractions and absolute values.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on rank or dimension mismatch.
+pub fn l1_scores(codebook: &Tensor, x: &Tensor) -> Result<Tensor, ShapeError> {
+    codebook.shape().expect_rank(2)?;
+    x.shape().expect_rank(2)?;
+    let (d, p) = (codebook.dims()[0], codebook.dims()[1]);
+    let (d2, cols) = (x.dims()[0], x.dims()[1]);
+    if d != d2 {
+        return Err(ShapeError::new(format!(
+            "l1_scores: codebook dim {d} vs feature dim {d2}"
+        )));
+    }
+    let mut scores = Tensor::zeros(&[p, cols]);
+    for m in 0..p {
+        for i in 0..cols {
+            let mut dist = 0.0;
+            for k in 0..d {
+                dist += (x.get2(k, i) - codebook.get2(k, m)).abs();
+            }
+            scores.set2(m, i, -dist);
+        }
+    }
+    Ok(scores)
+}
+
+/// Hard assignment: per column of `scores` `[p, cols]`, the index of the
+/// best-scoring prototype (`argmax` of Eq. 3).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `scores` is not rank 2.
+pub fn hard_assign(scores: &Tensor) -> Result<Vec<usize>, ShapeError> {
+    scores.argmax_per_column()
+}
+
+/// Builds the one-hot assignment matrix `[p, cols]` from per-column indices.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if any index is `>= p`.
+pub fn one_hot_matrix(indices: &[usize], p: usize) -> Result<Tensor, ShapeError> {
+    if let Some(&bad) = indices.iter().find(|&&k| k >= p) {
+        return Err(ShapeError::new(format!(
+            "one-hot index {bad} out of range for {p} prototypes"
+        )));
+    }
+    let mut m = Tensor::zeros(&[p, indices.len()]);
+    for (i, &k) in indices.iter().enumerate() {
+        m.set2(k, i, 1.0);
+    }
+    Ok(m)
+}
+
+/// PECAN-A soft assignment (Eq. 2): `K(j) = softmax(C(j)ᵀ·X(j) / τ)` as a
+/// differentiable graph node. Gradients flow into both the codebook and the
+/// features through the dot product.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on dimension mismatch or non-positive `tau`.
+pub fn soft_assign_angle(codebook: &Var, x: &Var, tau: f32) -> Result<Var, ShapeError> {
+    codebook.transpose2()?.matmul(x)?.softmax_columns(tau)
+}
+
+struct L1ScoresOp {
+    codebook: Tensor, // [d, p]
+    x: Tensor,        // [d, cols]
+    slope: f32,
+}
+
+impl BackwardOp for L1ScoresOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        // score[m, i] = −Σ_k |x[k, i] − c[k, m]|
+        // ∂score/∂c[k, m] =  sgn(x − c) ≈ tanh(a·(x − c))   (Eq. 6)
+        // ∂score/∂x[k, i] = −sgn(x − c) ≈ −tanh(a·(x − c))
+        let (d, p) = (self.codebook.dims()[0], self.codebook.dims()[1]);
+        let cols = self.x.dims()[1];
+        let mut dc = Tensor::zeros(&[d, p]);
+        let mut dx = Tensor::zeros(&[d, cols]);
+        for m in 0..p {
+            for i in 0..cols {
+                let g = grad_out.get2(m, i);
+                if g == 0.0 {
+                    continue;
+                }
+                for k in 0..d {
+                    let s = sign_approx(self.x.get2(k, i) - self.codebook.get2(k, m), self.slope);
+                    dc.set2(k, m, dc.get2(k, m) + g * s);
+                    dx.set2(k, i, dx.get2(k, i) - g * s);
+                }
+            }
+        }
+        vec![Some(dc), Some(dx)]
+    }
+    fn name(&self) -> &'static str {
+        "l1_scores"
+    }
+}
+
+/// Differentiable L1 score node (PECAN-D forward distances) whose backward
+/// pass uses the epoch-annealed `tanh` surrogate of Eq. (6) with the given
+/// `slope` (`a = exp(4·e/E)`, see [`crate::anneal_slope`]).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on dimension mismatch.
+pub fn l1_scores_var(codebook: &Var, x: &Var, slope: f32) -> Result<Var, ShapeError> {
+    let c_t = codebook.to_tensor();
+    let x_t = x.to_tensor();
+    let value = l1_scores(&c_t, &x_t)?;
+    Ok(Var::from_op(
+        value,
+        vec![codebook.clone(), x.clone()],
+        Box::new(L1ScoresOp { codebook: c_t, x: x_t, slope }),
+    ))
+}
+
+/// PECAN-D relaxed assignment (Eq. 4): `softmax(−‖X−C‖₁ / τ)` — the
+/// Laplacian-kernel proportion the paper trains through.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on dimension mismatch or non-positive `tau`.
+pub fn soft_assign_distance(
+    codebook: &Var,
+    x: &Var,
+    tau: f32,
+    slope: f32,
+) -> Result<Var, ShapeError> {
+    l1_scores_var(codebook, x, slope)?.softmax_columns(tau)
+}
+
+/// The full PECAN-D assignment of Eq. (3)–(5): **forward** uses the hard
+/// one-hot argmax; **backward** flows through the τ-relaxed softmax via the
+/// straight-through estimator, with the L1 sign gradient annealed by
+/// `slope`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on dimension mismatch or non-positive `tau`.
+///
+/// # Example
+///
+/// ```
+/// use pecan_autograd::Var;
+/// use pecan_pq::assign_distance_ste;
+/// use pecan_tensor::Tensor;
+///
+/// # fn main() -> Result<(), pecan_tensor::ShapeError> {
+/// // one feature column equal to prototype 1
+/// let c = Var::parameter(Tensor::from_vec(vec![0.0, 1.0, 0.0, 1.0], &[2, 2])?);
+/// let x = Var::constant(Tensor::from_vec(vec![1.0, 1.0], &[2, 1])?);
+/// let k = assign_distance_ste(&c, &x, 0.5, 1.0)?;
+/// assert_eq!(k.value().data(), &[0.0, 1.0]); // hard one-hot on prototype 1
+/// # Ok(())
+/// # }
+/// ```
+pub fn assign_distance_ste(
+    codebook: &Var,
+    x: &Var,
+    tau: f32,
+    slope: f32,
+) -> Result<Var, ShapeError> {
+    let scores = l1_scores_var(codebook, x, slope)?;
+    let soft = scores.softmax_columns(tau)?;
+    let hard_idx = hard_assign(&scores.value())?;
+    let hard = one_hot_matrix(&hard_idx, codebook.value().dims()[1])?;
+    straight_through(&soft, hard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codebook_2x3() -> Tensor {
+        // prototypes: [0,0], [1,1], [-1,2] as columns of [d=2, p=3]
+        Tensor::from_vec(vec![0.0, 1.0, -1.0, 0.0, 1.0, 2.0], &[2, 3]).unwrap()
+    }
+
+    #[test]
+    fn l1_scores_match_manual_distances() {
+        let c = codebook_2x3();
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[2, 1]).unwrap(); // one column [1,1]
+        let s = l1_scores(&c, &x).unwrap();
+        assert_eq!(s.dims(), &[3, 1]);
+        assert_eq!(s.get2(0, 0), -2.0); // |1|+|1|
+        assert_eq!(s.get2(1, 0), 0.0);
+        assert_eq!(s.get2(2, 0), -3.0); // |1+1|+|1-2|
+        assert_eq!(hard_assign(&s).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn dot_scores_match_matmul() {
+        let c = codebook_2x3();
+        let x = Tensor::from_vec(vec![2.0, 0.5, -1.0, 3.0], &[2, 2]).unwrap();
+        let s = dot_scores(&c, &x).unwrap();
+        let expect = c.transpose2().unwrap().matmul(&x).unwrap();
+        assert!(s.max_abs_diff(&expect) < 1e-6);
+    }
+
+    #[test]
+    fn one_hot_matrix_validates_range() {
+        let m = one_hot_matrix(&[1, 0, 2], 3).unwrap();
+        assert_eq!(m.dims(), &[3, 3]);
+        assert_eq!(m.get2(1, 0), 1.0);
+        assert_eq!(m.sum(), 3.0);
+        assert!(one_hot_matrix(&[3], 3).is_err());
+    }
+
+    #[test]
+    fn soft_assign_angle_is_a_distribution_and_differentiable() {
+        let c = Var::parameter(codebook_2x3());
+        let x = Var::parameter(Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap());
+        let k = soft_assign_angle(&c, &x, 1.0).unwrap();
+        let v = k.value();
+        for i in 0..2 {
+            let z: f32 = (0..3).map(|m| v.get2(m, i)).sum();
+            assert!((z - 1.0).abs() < 1e-5);
+        }
+        drop(v);
+        k.sum_all().backward();
+        // softmax columns sum to 1 regardless of logits, so the gradient of
+        // their sum w.r.t. parameters is ~0; both parents still get a slot
+        assert!(c.grad().is_some());
+        assert!(x.grad().is_some());
+    }
+
+    #[test]
+    fn ste_forward_is_hard_backward_is_soft() {
+        let c = Var::parameter(codebook_2x3());
+        let x = Var::constant(Tensor::from_vec(vec![0.9, 1.1], &[2, 1]).unwrap());
+        let k = assign_distance_ste(&c, &x, 0.5, 1.0).unwrap();
+        assert_eq!(k.value().data(), &[0.0, 1.0, 0.0]);
+        // weight the output so gradients are informative
+        let w = Var::constant(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3, 1]).unwrap());
+        k.mul(&w).unwrap().sum_all().backward();
+        let g = c.grad().expect("codebook receives gradient through STE");
+        assert!(g.data().iter().any(|&v| v.abs() > 1e-6));
+    }
+
+    #[test]
+    fn l1_scores_gradient_matches_finite_difference_at_steep_slope() {
+        // with a steep slope the surrogate ≈ true sign, so FD on the actual
+        // L1 objective must agree (away from kinks)
+        let c0 = Tensor::from_vec(vec![0.3, -0.2, 0.8, 0.5], &[2, 2]).unwrap();
+        let x0 = Tensor::from_vec(vec![1.0, -1.0], &[2, 1]).unwrap();
+        let slope = 200.0;
+        let c = Var::parameter(c0.clone());
+        let x = Var::constant(x0.clone());
+        let s = l1_scores_var(&c, &x, slope).unwrap();
+        s.sum_all().backward();
+        let g = c.grad().unwrap();
+        let eps = 5e-3;
+        for idx in 0..4 {
+            let mut plus = c0.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = c0.clone();
+            minus.data_mut()[idx] -= eps;
+            let f = |ct: &Tensor| l1_scores(ct, &x0).unwrap().sum();
+            let fd = (f(&plus) - f(&minus)) / (2.0 * eps);
+            assert!(
+                (fd - g.data()[idx]).abs() < 0.05,
+                "idx {idx}: fd {fd} vs analytic {}",
+                g.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn shape_mismatches_error() {
+        let c = codebook_2x3();
+        assert!(l1_scores(&c, &Tensor::zeros(&[3, 1])).is_err());
+        assert!(dot_scores(&c, &Tensor::zeros(&[3, 1])).is_err());
+    }
+}

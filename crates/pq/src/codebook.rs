@@ -1,0 +1,162 @@
+use crate::PqConfig;
+use pecan_autograd::Var;
+use pecan_tensor::{ShapeError, Tensor};
+use rand::Rng;
+
+/// A layer's set of trainable codebooks: one `[d, p]` matrix per group,
+/// column `m` being prototype `C(j)_m` (§3, Fig. 1(c)).
+///
+/// Prototypes are autograd parameters so both training strategies work:
+/// co-optimization (weights + prototypes) and uni-optimization (prototypes
+/// only, weights frozen) — §4.4.2.
+pub struct Codebook {
+    groups: Vec<Var>,
+    config: PqConfig,
+}
+
+impl Codebook {
+    /// Random-uniform initialisation in `[-bound, bound]` where
+    /// `bound = 1/sqrt(d)` (same scale as the unit-variance features it
+    /// matches against).
+    pub fn random<R: Rng>(rng: &mut R, config: PqConfig) -> Self {
+        let bound = 1.0 / (config.dim() as f32).sqrt();
+        let groups = (0..config.groups())
+            .map(|_| {
+                Var::parameter(pecan_tensor::uniform(
+                    rng,
+                    &[config.dim(), config.prototypes()],
+                    -bound,
+                    bound,
+                ))
+            })
+            .collect();
+        Self { groups, config }
+    }
+
+    /// Builds a codebook from explicit per-group prototype matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the group count or any matrix shape does
+    /// not match `config`.
+    pub fn from_groups(groups: Vec<Tensor>, config: PqConfig) -> Result<Self, ShapeError> {
+        if groups.len() != config.groups() {
+            return Err(ShapeError::new(format!(
+                "expected {} codebook groups, got {}",
+                config.groups(),
+                groups.len()
+            )));
+        }
+        for (j, g) in groups.iter().enumerate() {
+            if g.dims() != [config.dim(), config.prototypes()] {
+                return Err(ShapeError::new(format!(
+                    "group {j} has shape {:?}, expected [{}, {}]",
+                    g.dims(),
+                    config.dim(),
+                    config.prototypes()
+                )));
+            }
+        }
+        Ok(Self { groups: groups.into_iter().map(Var::parameter).collect(), config })
+    }
+
+    /// The configuration this codebook was built for.
+    pub fn config(&self) -> &PqConfig {
+        &self.config
+    }
+
+    /// The trainable `[d, p]` prototype matrix of group `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= groups`.
+    pub fn group(&self, j: usize) -> &Var {
+        &self.groups[j]
+    }
+
+    /// All groups in order.
+    pub fn groups(&self) -> &[Var] {
+        &self.groups
+    }
+
+    /// All trainable parameters (one per group).
+    pub fn parameters(&self) -> Vec<Var> {
+        self.groups.clone()
+    }
+
+    /// Snapshot of the prototypes as plain tensors (for the inference
+    /// engine / CAM programming).
+    pub fn to_tensors(&self) -> Vec<Tensor> {
+        self.groups.iter().map(Var::to_tensor).collect()
+    }
+
+    /// Splits an im2col matrix `[D·d, cols]` into its `D` row-groups
+    /// `[d, cols]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x` does not have `D·d` rows.
+    pub fn split_rows(&self, x: &Tensor) -> Result<Vec<Tensor>, ShapeError> {
+        x.shape().expect_rank(2)?;
+        let (d, big_d) = (self.config.dim(), self.config.groups());
+        if x.dims()[0] != d * big_d {
+            return Err(ShapeError::new(format!(
+                "feature matrix has {} rows, codebook covers {}",
+                x.dims()[0],
+                d * big_d
+            )));
+        }
+        let cols = x.dims()[1];
+        let mut out = Vec::with_capacity(big_d);
+        for j in 0..big_d {
+            let mut g = Tensor::zeros(&[d, cols]);
+            for r in 0..d {
+                g.row_mut(r).copy_from_slice(x.row(j * d + r));
+            }
+            out.push(g);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> PqConfig {
+        PqConfig::for_rows(18, 4, 9, 1.0).unwrap()
+    }
+
+    #[test]
+    fn random_codebook_has_right_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cb = Codebook::random(&mut rng, cfg());
+        assert_eq!(cb.groups().len(), 2);
+        assert_eq!(cb.group(0).value().dims(), &[9, 4]);
+        assert_eq!(cb.parameters().len(), 2);
+    }
+
+    #[test]
+    fn from_groups_validates() {
+        let ok = vec![Tensor::zeros(&[9, 4]), Tensor::zeros(&[9, 4])];
+        assert!(Codebook::from_groups(ok, cfg()).is_ok());
+        let wrong_count = vec![Tensor::zeros(&[9, 4])];
+        assert!(Codebook::from_groups(wrong_count, cfg()).is_err());
+        let wrong_shape = vec![Tensor::zeros(&[9, 4]), Tensor::zeros(&[4, 9])];
+        assert!(Codebook::from_groups(wrong_shape, cfg()).is_err());
+    }
+
+    #[test]
+    fn split_rows_partitions_contiguously() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cb = Codebook::random(&mut rng, cfg());
+        let x = Tensor::from_vec((0..36).map(|v| v as f32).collect(), &[18, 2]).unwrap();
+        let parts = cb.split_rows(&x).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].get2(0, 0), 0.0);
+        assert_eq!(parts[1].get2(0, 0), 18.0);
+        assert!(cb.split_rows(&Tensor::zeros(&[17, 2])).is_err());
+    }
+}

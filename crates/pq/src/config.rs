@@ -1,0 +1,145 @@
+use pecan_tensor::ShapeError;
+
+/// How one layer's im2col rows are split into codebook groups.
+///
+/// The flattened feature matrix has `rows = cin·k²` rows; PECAN splits them
+/// into `D` contiguous groups of dimension `d` (`D·d = rows`), each with its
+/// own codebook of `p` prototypes (§3, Table 1 uses this general form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupSpec {
+    /// Number of groups `D`.
+    pub groups: usize,
+    /// Sub-vector dimension `d`.
+    pub dim: usize,
+}
+
+impl GroupSpec {
+    /// Splits `rows` into groups of dimension `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `dim` divides `rows` exactly.
+    pub fn for_rows(rows: usize, dim: usize) -> Result<Self, ShapeError> {
+        if dim == 0 || rows == 0 || rows % dim != 0 {
+            return Err(ShapeError::new(format!(
+                "cannot split {rows} rows into sub-vectors of dimension {dim}"
+            )));
+        }
+        Ok(Self { groups: rows / dim, dim })
+    }
+
+    /// Total rows covered (`D·d`).
+    pub fn rows(&self) -> usize {
+        self.groups * self.dim
+    }
+}
+
+/// Full PQ configuration of one PECAN layer: grouping, prototype count and
+/// softmax temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PqConfig {
+    spec: GroupSpec,
+    prototypes: usize,
+    tau: f32,
+}
+
+impl PqConfig {
+    /// Creates a configuration for a layer whose im2col matrix has `rows`
+    /// rows, with `prototypes` per codebook, sub-vector dimension `dim` and
+    /// softmax temperature `tau` (the paper uses τ = 1 for PECAN-A and
+    /// τ = 0.5 for PECAN-D).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `dim` does not divide `rows`, when
+    /// `prototypes == 0`, or when `tau <= 0`.
+    pub fn for_rows(
+        rows: usize,
+        prototypes: usize,
+        dim: usize,
+        tau: f32,
+    ) -> Result<Self, ShapeError> {
+        if prototypes == 0 {
+            return Err(ShapeError::new("a codebook needs at least one prototype"));
+        }
+        if !(tau > 0.0) {
+            return Err(ShapeError::new(format!("temperature must be positive, got {tau}")));
+        }
+        Ok(Self { spec: GroupSpec::for_rows(rows, dim)?, prototypes, tau })
+    }
+
+    /// Number of groups `D`.
+    pub fn groups(&self) -> usize {
+        self.spec.groups
+    }
+
+    /// Sub-vector dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.spec.dim
+    }
+
+    /// Prototypes per codebook `p`.
+    pub fn prototypes(&self) -> usize {
+        self.prototypes
+    }
+
+    /// Softmax temperature `τ`.
+    pub fn tau(&self) -> f32 {
+        self.tau
+    }
+
+    /// The grouping part of the configuration.
+    pub fn spec(&self) -> GroupSpec {
+        self.spec
+    }
+
+    /// Total rows covered (`D·d`).
+    pub fn rows(&self) -> usize {
+        self.spec.rows()
+    }
+
+    /// Memory footprint of the prototypes in scalars: `D·d·p` (§3 storage
+    /// component (i)).
+    pub fn prototype_scalars(&self) -> usize {
+        self.rows() * self.prototypes
+    }
+
+    /// Memory footprint of the lookup table in scalars for `c_out` outputs:
+    /// `cout·D·p` (§3 storage component (ii)).
+    pub fn lut_scalars(&self, c_out: usize) -> usize {
+        c_out * self.groups() * self.prototypes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_spec_divides_rows() {
+        let s = GroupSpec::for_rows(72, 9).unwrap();
+        assert_eq!(s.groups, 8);
+        assert_eq!(s.rows(), 72);
+        assert!(GroupSpec::for_rows(72, 7).is_err());
+        assert!(GroupSpec::for_rows(0, 3).is_err());
+        assert!(GroupSpec::for_rows(8, 0).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(PqConfig::for_rows(9, 0, 9, 1.0).is_err());
+        assert!(PqConfig::for_rows(9, 4, 9, 0.0).is_err());
+        assert!(PqConfig::for_rows(9, 4, 9, f32::NAN).is_err());
+        let c = PqConfig::for_rows(9, 4, 9, 1.0).unwrap();
+        assert_eq!(c.groups(), 1);
+        assert_eq!(c.prototypes(), 4);
+    }
+
+    #[test]
+    fn storage_formulas_match_paper() {
+        // LeNet CONV2 PECAN-D: p=64, D=8, d=9 (Table A2) — 72 rows
+        let c = PqConfig::for_rows(72, 64, 9, 0.5).unwrap();
+        assert_eq!(c.prototype_scalars(), 72 * 64);
+        assert_eq!(c.lut_scalars(16), 16 * 8 * 64);
+    }
+}

@@ -1,0 +1,165 @@
+use pecan_tensor::{ShapeError, Tensor};
+use rand::Rng;
+
+/// Initialises a `[d, p]` codebook by running Lloyd's k-means on the columns
+/// of `samples` (`[d, n]`).
+///
+/// The paper trains prototypes from random initialisation; k-means over a
+/// batch of real im2col columns is the classical PQ initialisation (Jégou et
+/// al.) and converges noticeably faster in the uni-optimization setting, so
+/// we expose it as an opt-in.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `samples` is not rank 2, holds fewer columns
+/// than `p`, or `p == 0`.
+///
+/// # Example
+///
+/// ```
+/// use pecan_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), pecan_tensor::ShapeError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// // two obvious clusters on a line
+/// let samples = Tensor::from_vec(vec![0.0, 0.1, 5.0, 5.1], &[1, 4])?;
+/// let cb = pecan_pq::kmeans_codebook(&mut rng, &samples, 2, 10)?;
+/// let mut centers: Vec<f32> = cb.data().to_vec();
+/// centers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+/// assert!((centers[0] - 0.05).abs() < 0.01 && (centers[1] - 5.05).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn kmeans_codebook<R: Rng>(
+    rng: &mut R,
+    samples: &Tensor,
+    p: usize,
+    iterations: usize,
+) -> Result<Tensor, ShapeError> {
+    samples.shape().expect_rank(2)?;
+    let (d, n) = (samples.dims()[0], samples.dims()[1]);
+    if p == 0 {
+        return Err(ShapeError::new("k-means needs at least one centroid"));
+    }
+    if n < p {
+        return Err(ShapeError::new(format!(
+            "k-means needs at least {p} samples, got {n}"
+        )));
+    }
+
+    // Initialise with p distinct random columns.
+    let mut chosen: Vec<usize> = Vec::with_capacity(p);
+    while chosen.len() < p {
+        let c = rng.gen_range(0..n);
+        if !chosen.contains(&c) {
+            chosen.push(c);
+        }
+    }
+    let mut centroids = Tensor::zeros(&[d, p]);
+    for (m, &col) in chosen.iter().enumerate() {
+        for k in 0..d {
+            centroids.set2(k, m, samples.get2(k, col));
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for _ in 0..iterations {
+        // Assignment step (L2).
+        for i in 0..n {
+            let mut best = 0;
+            let mut best_d = f32::INFINITY;
+            for m in 0..p {
+                let mut dist = 0.0;
+                for k in 0..d {
+                    let diff = samples.get2(k, i) - centroids.get2(k, m);
+                    dist += diff * diff;
+                }
+                if dist < best_d {
+                    best_d = dist;
+                    best = m;
+                }
+            }
+            assignment[i] = best;
+        }
+        // Update step.
+        let mut sums = vec![0.0f32; d * p];
+        let mut counts = vec![0usize; p];
+        for i in 0..n {
+            let m = assignment[i];
+            counts[m] += 1;
+            for k in 0..d {
+                sums[k * p + m] += samples.get2(k, i);
+            }
+        }
+        for m in 0..p {
+            if counts[m] == 0 {
+                // Re-seed empty clusters from a random sample.
+                let col = rng.gen_range(0..n);
+                for k in 0..d {
+                    centroids.set2(k, m, samples.get2(k, col));
+                }
+            } else {
+                for k in 0..d {
+                    centroids.set2(k, m, sums[k * p + m] / counts[m] as f32);
+                }
+            }
+        }
+    }
+    Ok(centroids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_well_separated_clusters() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // 3 clusters in 2-D around (0,0), (10,0), (0,10)
+        let mut data = Vec::new();
+        let centers = [(0.0f32, 0.0f32), (10.0, 0.0), (0.0, 10.0)];
+        let n_per = 20;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for &(cx, cy) in &centers {
+            for i in 0..n_per {
+                xs.push(cx + (i as f32 % 5.0) * 0.01);
+                ys.push(cy + (i as f32 % 7.0) * 0.01);
+            }
+        }
+        data.extend(xs);
+        data.extend(ys);
+        let samples = Tensor::from_vec(data, &[2, 3 * n_per]).unwrap();
+        let cb = kmeans_codebook(&mut rng, &samples, 3, 25).unwrap();
+        // every true center should be within 0.1 of some centroid
+        for &(cx, cy) in &centers {
+            let mut best = f32::INFINITY;
+            for m in 0..3 {
+                let dx = cb.get2(0, m) - cx;
+                let dy = cb.get2(1, m) - cy;
+                best = best.min((dx * dx + dy * dy).sqrt());
+            }
+            assert!(best < 0.1, "center ({cx},{cy}) not recovered: {best}");
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = Tensor::zeros(&[2, 3]);
+        assert!(kmeans_codebook(&mut rng, &s, 0, 5).is_err());
+        assert!(kmeans_codebook(&mut rng, &s, 4, 5).is_err());
+        assert!(kmeans_codebook(&mut rng, &Tensor::zeros(&[4]), 2, 5).is_err());
+    }
+
+    #[test]
+    fn centroid_count_matches_p() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = Tensor::from_vec((0..40).map(|v| v as f32).collect(), &[4, 10]).unwrap();
+        let cb = kmeans_codebook(&mut rng, &s, 5, 8).unwrap();
+        assert_eq!(cb.dims(), &[4, 5]);
+    }
+}

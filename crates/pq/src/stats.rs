@@ -1,0 +1,161 @@
+/// Prototype call-frequency accumulator — the measurement behind Fig. 6.
+///
+/// The paper observes that after training only a fraction of prototypes are
+/// ever selected at inference (26 of 64 in ResNet-20 conv2), so the rest —
+/// and their lookup-table entries — can be pruned with no accuracy impact.
+/// `UsageStats` records, per group, how often each prototype wins the
+/// similarity search.
+///
+/// # Example
+///
+/// ```
+/// let mut stats = pecan_pq::UsageStats::new(1, 4);
+/// stats.record(0, 2);
+/// stats.record(0, 2);
+/// stats.record(0, 1);
+/// assert_eq!(stats.counts(0), &[0, 1, 2, 0]);
+/// assert_eq!(stats.used(0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageStats {
+    counts: Vec<Vec<u64>>,
+    prototypes: usize,
+}
+
+impl UsageStats {
+    /// Creates an all-zero accumulator for `groups` codebooks of
+    /// `prototypes` entries each.
+    pub fn new(groups: usize, prototypes: usize) -> Self {
+        Self { counts: vec![vec![0; prototypes]; groups], prototypes }
+    }
+
+    /// Number of groups tracked.
+    pub fn groups(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Prototypes per group.
+    pub fn prototypes(&self) -> usize {
+        self.prototypes
+    }
+
+    /// Records one selection of prototype `index` in group `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` or `index` is out of range.
+    pub fn record(&mut self, group: usize, index: usize) {
+        self.counts[group][index] += 1;
+    }
+
+    /// Records a whole batch of assignments for one group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` or any index is out of range.
+    pub fn record_all(&mut self, group: usize, indices: &[usize]) {
+        for &i in indices {
+            self.counts[group][i] += 1;
+        }
+    }
+
+    /// Raw counts of group `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn counts(&self, group: usize) -> &[u64] {
+        &self.counts[group]
+    }
+
+    /// How many prototypes of `group` were selected at least once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn used(&self, group: usize) -> usize {
+        self.counts[group].iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Indices of never-used prototypes in `group` (pruning candidates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn unused(&self, group: usize) -> Vec<usize> {
+        self.counts[group]
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Fraction of (group, prototype) cells with non-zero usage — the
+    /// sparsity statistic of Fig. 6.
+    pub fn utilization(&self) -> f32 {
+        let total: usize = self.counts.len() * self.prototypes;
+        if total == 0 {
+            return 0.0;
+        }
+        let used: usize = (0..self.counts.len()).map(|g| self.used(g)).sum();
+        used as f32 / total as f32
+    }
+
+    /// Accumulates another run's statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes disagree.
+    pub fn merge(&mut self, other: &UsageStats) {
+        assert_eq!(self.counts.len(), other.counts.len(), "group count mismatch");
+        assert_eq!(self.prototypes, other.prototypes, "prototype count mismatch");
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            for (a, &b) in mine.iter_mut().zip(theirs) {
+                *a += b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports_usage() {
+        let mut s = UsageStats::new(2, 3);
+        s.record_all(0, &[0, 0, 2]);
+        s.record(1, 1);
+        assert_eq!(s.counts(0), &[2, 0, 1]);
+        assert_eq!(s.used(0), 2);
+        assert_eq!(s.unused(0), vec![1]);
+        assert_eq!(s.used(1), 1);
+        // utilization: (2 + 1) / 6
+        assert!((s.utilization() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = UsageStats::new(1, 2);
+        a.record(0, 0);
+        let mut b = UsageStats::new(1, 2);
+        b.record(0, 0);
+        b.record(0, 1);
+        a.merge(&b);
+        assert_eq!(a.counts(0), &[2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "group count mismatch")]
+    fn merge_rejects_mismatched_shapes() {
+        let mut a = UsageStats::new(1, 2);
+        let b = UsageStats::new(2, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_utilization() {
+        assert_eq!(UsageStats::new(0, 0).utilization(), 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+use pecan_autograd::{BackwardOp, Var};
+use pecan_tensor::{ShapeError, Tensor};
+
+/// The epoch-annealed slope `a = exp(4·e/E)` of Eq. (6).
+///
+/// Early in training (`e/E → 0`) the slope is ≈ 1 and the surrogate
+/// gradient `tanh(a·x)` is smooth; by the final epoch (`a = e⁴ ≈ 54.6`) it
+/// is close to the true `sign` function.
+///
+/// # Example
+///
+/// ```
+/// let early = pecan_pq::anneal_slope(0, 300);
+/// let late = pecan_pq::anneal_slope(299, 300);
+/// assert!(early < 1.1 && late > 50.0);
+/// ```
+pub fn anneal_slope(epoch: usize, total_epochs: usize) -> f32 {
+    let frac = if total_epochs == 0 {
+        1.0
+    } else {
+        epoch as f32 / total_epochs as f32
+    };
+    (4.0 * frac).exp()
+}
+
+/// Smooth surrogate for `sign(x)`: `tanh(a·x)` (right-hand side of Eq. 6).
+pub fn sign_approx(x: f32, slope: f32) -> f32 {
+    (slope * x).tanh()
+}
+
+/// Samples `tanh(exp(4·frac)·x)` over `xs` for each training-progress
+/// fraction in `fracs` — exactly the families of curves plotted in Fig. 3.
+pub fn sign_approx_series(fracs: &[f32], xs: &[f32]) -> Vec<Vec<f32>> {
+    fracs
+        .iter()
+        .map(|&f| {
+            let a = (4.0 * f).exp();
+            xs.iter().map(|&x| sign_approx(x, a)).collect()
+        })
+        .collect()
+}
+
+struct StraightThroughOp;
+
+impl BackwardOp for StraightThroughOp {
+    fn backward(&self, grad_out: &Tensor) -> Vec<Option<Tensor>> {
+        vec![Some(grad_out.clone())]
+    }
+    fn name(&self) -> &'static str {
+        "straight_through"
+    }
+}
+
+/// Eq. (5): forwards the discrete value `hard` while letting gradients flow
+/// into the relaxed `soft` node unchanged —
+/// `K̃(τ≠0) − sg(K̃(τ≠0) − K̃(τ=0))`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `hard`'s shape differs from `soft`'s.
+///
+/// # Example
+///
+/// ```
+/// use pecan_autograd::Var;
+/// use pecan_pq::straight_through;
+/// use pecan_tensor::Tensor;
+///
+/// # fn main() -> Result<(), pecan_tensor::ShapeError> {
+/// let soft = Var::parameter(Tensor::from_slice(&[0.3, 0.7]));
+/// let hard = Tensor::from_slice(&[0.0, 1.0]);
+/// let y = straight_through(&soft, hard)?;
+/// assert_eq!(y.value().data(), &[0.0, 1.0]); // forward: hard
+/// y.backward();
+/// assert_eq!(soft.grad().expect("grad").data(), &[1.0, 1.0]); // backward: identity
+/// # Ok(())
+/// # }
+/// ```
+pub fn straight_through(soft: &Var, hard: Tensor) -> Result<Var, ShapeError> {
+    if soft.value().dims() != hard.dims() {
+        return Err(ShapeError::new(format!(
+            "straight-through shapes differ: soft {:?} vs hard {:?}",
+            soft.value().dims(),
+            hard.dims()
+        )));
+    }
+    Ok(Var::from_op(hard, vec![soft.clone()], Box::new(StraightThroughOp)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_grows_exponentially_with_progress() {
+        assert!((anneal_slope(0, 100) - 1.0).abs() < 0.05);
+        let mid = anneal_slope(50, 100);
+        assert!((mid - (2.0f32).exp()).abs() < 0.1);
+        assert!(anneal_slope(100, 100) > 54.0);
+        // degenerate schedule still returns a finite slope
+        assert!(anneal_slope(5, 0).is_finite());
+    }
+
+    #[test]
+    fn sign_approx_limits() {
+        // steep slope ≈ sign
+        assert!((sign_approx(0.5, 100.0) - 1.0).abs() < 1e-4);
+        assert!((sign_approx(-0.5, 100.0) + 1.0).abs() < 1e-4);
+        assert_eq!(sign_approx(0.0, 100.0), 0.0);
+        // shallow slope is smooth: well below saturation
+        assert!(sign_approx(0.5, 1.0) < 0.5);
+    }
+
+    #[test]
+    fn series_has_one_row_per_fraction() {
+        let xs: Vec<f32> = (-10..=10).map(|i| i as f32 / 10.0).collect();
+        let series = sign_approx_series(&[0.02, 0.25, 0.5, 0.75, 1.0], &xs);
+        assert_eq!(series.len(), 5);
+        assert!(series.iter().all(|row| row.len() == xs.len()));
+        // later fractions are steeper at the same x > 0
+        let x_idx = 13; // x = 0.3
+        for w in series.windows(2) {
+            assert!(w[0][x_idx] <= w[1][x_idx] + 1e-6);
+        }
+    }
+
+    #[test]
+    fn straight_through_rejects_mismatched_shapes() {
+        let soft = Var::parameter(Tensor::zeros(&[2, 2]));
+        assert!(straight_through(&soft, Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn straight_through_composes_with_downstream_ops() {
+        // gradient of sum(hard ⊙ w) flows to soft as w
+        let soft = Var::parameter(Tensor::from_slice(&[0.1, 0.9]));
+        let hard = Tensor::from_slice(&[0.0, 1.0]);
+        let w = Var::constant(Tensor::from_slice(&[3.0, 5.0]));
+        let y = straight_through(&soft, hard).unwrap();
+        y.mul(&w).unwrap().sum_all().backward();
+        assert_eq!(soft.grad().unwrap().data(), &[3.0, 5.0]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the PQ assignment machinery.
+
+use pecan_autograd::Var;
+use pecan_pq::{
+    assign_distance_ste, dot_scores, hard_assign, l1_scores, one_hot_matrix, sign_approx,
+    soft_assign_angle,
+};
+use pecan_tensor::Tensor;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-5.0f32..5.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols]).expect("sized by construction"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hard_assignment_minimizes_l1_distance(c in matrix(4, 6), x in matrix(4, 5)) {
+        let scores = l1_scores(&c, &x).unwrap();
+        let idx = hard_assign(&scores).unwrap();
+        for (i, &winner) in idx.iter().enumerate() {
+            // the winning prototype's distance is <= every other prototype's
+            let win_dist = -scores.get2(winner, i);
+            for m in 0..6 {
+                prop_assert!(win_dist <= -scores.get2(m, i) + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn l1_scores_are_nonpositive_and_zero_iff_equal(c in matrix(3, 4)) {
+        // use the codebook's own columns as features: the diagonal must be 0
+        let scores = l1_scores(&c, &c).unwrap();
+        for m in 0..4 {
+            for i in 0..4 {
+                prop_assert!(scores.get2(m, i) <= 1e-6);
+            }
+            prop_assert!(scores.get2(m, m).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matching_own_prototype_selects_itself(c in matrix(5, 3)) {
+        // feeding prototype m as the feature column must select m (unless
+        // two prototypes coincide, which the strategy makes measure-zero)
+        let scores = l1_scores(&c, &c).unwrap();
+        let idx = hard_assign(&scores).unwrap();
+        for (i, &k) in idx.iter().enumerate() {
+            // allow ties only when the tied prototypes are identical
+            if k != i {
+                let mut same = true;
+                for r in 0..5 {
+                    if (c.get2(r, k) - c.get2(r, i)).abs() > 1e-6 {
+                        same = false;
+                    }
+                }
+                prop_assert!(same, "column {i} matched different prototype {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_hot_columns_sum_to_one(idx in proptest::collection::vec(0usize..7, 1..20)) {
+        let m = one_hot_matrix(&idx, 7).unwrap();
+        let sums = m.sum_columns().unwrap();
+        prop_assert!(sums.data().iter().all(|&s| (s - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn soft_angle_assignment_is_stochastic_matrix(c in matrix(4, 5), x in matrix(4, 3)) {
+        let k = soft_assign_angle(&Var::constant(c), &Var::constant(x), 1.0).unwrap();
+        let v = k.to_tensor();
+        for i in 0..3 {
+            let z: f32 = (0..5).map(|m| v.get2(m, i)).sum();
+            prop_assert!((z - 1.0).abs() < 1e-4);
+            for m in 0..5 {
+                prop_assert!(v.get2(m, i) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ste_output_is_exactly_one_hot(c in matrix(3, 4), x in matrix(3, 6)) {
+        let k = assign_distance_ste(&Var::parameter(c), &Var::constant(x), 0.5, 2.0).unwrap();
+        let v = k.to_tensor();
+        for i in 0..6 {
+            let col: Vec<f32> = (0..4).map(|m| v.get2(m, i)).collect();
+            let ones = col.iter().filter(|&&e| e == 1.0).count();
+            let zeros = col.iter().filter(|&&e| e == 0.0).count();
+            prop_assert_eq!(ones, 1);
+            prop_assert_eq!(zeros, 3);
+        }
+    }
+
+    #[test]
+    fn sign_approx_is_odd_and_bounded(x in -10.0f32..10.0, a in 0.5f32..60.0) {
+        let y = sign_approx(x, a);
+        prop_assert!(y.abs() <= 1.0);
+        prop_assert!((sign_approx(-x, a) + y).abs() < 1e-5);
+        // monotone in x
+        prop_assert!(sign_approx(x + 0.1, a) >= y - 1e-6);
+    }
+
+    #[test]
+    fn dot_and_l1_rankings_agree_for_unit_norm_prototypes(x in matrix(3, 2)) {
+        // For prototypes forming an orthonormal-ish basis, the top dot-product
+        // prototype for a feature equal to one of them matches the top L1
+        // prototype — sanity that the two similarity spaces are consistent.
+        let c = Tensor::eye(3);
+        let scores_dot = dot_scores(&c, &c).unwrap();
+        let scores_l1 = l1_scores(&c, &c).unwrap();
+        let _ = x;
+        prop_assert_eq!(
+            hard_assign(&scores_dot).unwrap(),
+            hard_assign(&scores_l1).unwrap()
+        );
+    }
+}

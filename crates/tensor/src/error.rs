@@ -1,0 +1,39 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when tensor shapes are incompatible with the requested
+/// operation (mismatched dimensions, wrong rank, zero-sized axes, ...).
+///
+/// # Example
+///
+/// ```
+/// use pecan_tensor::Tensor;
+///
+/// let a = Tensor::zeros(&[2, 3]);
+/// let b = Tensor::zeros(&[4, 5]);
+/// assert!(a.matmul(&b).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    message: String,
+}
+
+impl ShapeError {
+    /// Creates a new shape error with a human-readable description.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// The human-readable description of the mismatch.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error: {}", self.message)
+    }
+}
+
+impl Error for ShapeError {}

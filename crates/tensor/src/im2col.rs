@@ -1,0 +1,325 @@
+use crate::{ShapeError, Tensor};
+
+/// Geometry of a 2-D convolution: channel count, kernel, stride, padding and
+/// the input/output spatial extents.
+///
+/// PECAN operates entirely on the im2col view of convolution (Fig. 1(b) of
+/// the paper): each filter window is stretched into a column of the feature
+/// matrix `X ∈ R^{cin·k² × Hout·Wout}`, whose sub-columns are then quantized
+/// onto prototypes.
+///
+/// # Example
+///
+/// ```
+/// use pecan_tensor::Conv2dGeometry;
+///
+/// # fn main() -> Result<(), pecan_tensor::ShapeError> {
+/// let g = Conv2dGeometry::new(3, 32, 32, 3, 1, 1)?;
+/// assert_eq!((g.h_out(), g.w_out()), (32, 32));
+/// assert_eq!(g.patch_len(), 27); // cin·k² = 3·9
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    c_in: usize,
+    h_in: usize,
+    w_in: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    h_out: usize,
+    w_out: usize,
+}
+
+impl Conv2dGeometry {
+    /// Builds a convolution geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the kernel does not fit into the padded
+    /// input, or any extent is zero.
+    pub fn new(
+        c_in: usize,
+        h_in: usize,
+        w_in: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, ShapeError> {
+        if c_in == 0 || h_in == 0 || w_in == 0 || kernel == 0 || stride == 0 {
+            return Err(ShapeError::new("conv geometry extents must be non-zero"));
+        }
+        let h_pad = h_in + 2 * padding;
+        let w_pad = w_in + 2 * padding;
+        if kernel > h_pad || kernel > w_pad {
+            return Err(ShapeError::new(format!(
+                "kernel {kernel} larger than padded input {h_pad}×{w_pad}"
+            )));
+        }
+        let h_out = (h_pad - kernel) / stride + 1;
+        let w_out = (w_pad - kernel) / stride + 1;
+        Ok(Self { c_in, h_in, w_in, kernel, stride, padding, h_out, w_out })
+    }
+
+    /// Input channel count `cin`.
+    pub fn c_in(&self) -> usize {
+        self.c_in
+    }
+
+    /// Input height.
+    pub fn h_in(&self) -> usize {
+        self.h_in
+    }
+
+    /// Input width.
+    pub fn w_in(&self) -> usize {
+        self.w_in
+    }
+
+    /// Square kernel size `k`.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding on every border.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Output height `Hout`.
+    pub fn h_out(&self) -> usize {
+        self.h_out
+    }
+
+    /// Output width `Wout`.
+    pub fn w_out(&self) -> usize {
+        self.w_out
+    }
+
+    /// Rows of the im2col matrix: `cin·k²`.
+    pub fn patch_len(&self) -> usize {
+        self.c_in * self.kernel * self.kernel
+    }
+
+    /// Columns of the im2col matrix for a single image: `Hout·Wout`.
+    pub fn n_patches(&self) -> usize {
+        self.h_out * self.w_out
+    }
+}
+
+/// Unfolds one `[cin, Hin, Win]` image into the `[cin·k², Hout·Wout]` column
+/// matrix `X` of Fig. 1(b).
+///
+/// Row ordering is `(c, ky, kx)` slow-to-fast, so the `d = k²` sub-vectors of
+/// a column are per-channel patches — exactly the "prototype the size of a
+/// vectorized kernel" layout the paper assigns codebooks to.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `image` is not `[cin, Hin, Win]` for the given
+/// geometry.
+///
+/// # Example
+///
+/// ```
+/// use pecan_tensor::{im2col, Conv2dGeometry, Tensor};
+///
+/// # fn main() -> Result<(), pecan_tensor::ShapeError> {
+/// let g = Conv2dGeometry::new(1, 3, 3, 2, 1, 0)?;
+/// let img = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 3, 3])?;
+/// let cols = im2col(&img, &g)?;
+/// assert_eq!(cols.dims(), &[4, 4]);
+/// // first column = top-left 2×2 window
+/// assert_eq!(
+///     (0..4).map(|r| cols.get2(r, 0)).collect::<Vec<_>>(),
+///     vec![1.0, 2.0, 4.0, 5.0]
+/// );
+/// # Ok(())
+/// # }
+/// ```
+pub fn im2col(image: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, ShapeError> {
+    let expect = [geom.c_in, geom.h_in, geom.w_in];
+    if image.dims() != expect {
+        return Err(ShapeError::new(format!(
+            "im2col expects image {:?}, got {:?}",
+            expect,
+            image.dims()
+        )));
+    }
+    let k = geom.kernel;
+    let cols = geom.n_patches();
+    let mut out = Tensor::zeros(&[geom.patch_len(), cols]);
+    let src = image.data();
+    let (h_in, w_in) = (geom.h_in as isize, geom.w_in as isize);
+    let dst = out.data_mut();
+    for c in 0..geom.c_in {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                let drow = &mut dst[row * cols..(row + 1) * cols];
+                let mut col = 0;
+                for oy in 0..geom.h_out {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    for ox in 0..geom.w_out {
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        drow[col] = if iy >= 0 && iy < h_in && ix >= 0 && ix < w_in {
+                            src[(c * geom.h_in + iy as usize) * geom.w_in + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Folds a `[cin·k², Hout·Wout]` column-matrix gradient back into a
+/// `[cin, Hin, Win]` image gradient (scatter-add inverse of [`im2col`]).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `cols` does not match the geometry.
+pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, ShapeError> {
+    let expect = [geom.patch_len(), geom.n_patches()];
+    if cols.dims() != expect {
+        return Err(ShapeError::new(format!(
+            "col2im expects columns {:?}, got {:?}",
+            expect,
+            cols.dims()
+        )));
+    }
+    let k = geom.kernel;
+    let n_cols = geom.n_patches();
+    let mut out = Tensor::zeros(&[geom.c_in, geom.h_in, geom.w_in]);
+    let dst = out.data_mut();
+    let src = cols.data();
+    let (h_in, w_in) = (geom.h_in as isize, geom.w_in as isize);
+    for c in 0..geom.c_in {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                let srow = &src[row * n_cols..(row + 1) * n_cols];
+                let mut col = 0;
+                for oy in 0..geom.h_out {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    for ox in 0..geom.w_out {
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        if iy >= 0 && iy < h_in && ix >= 0 && ix < w_in {
+                            dst[(c * geom.h_in + iy as usize) * geom.w_in + ix as usize] +=
+                                srow[col];
+                        }
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_computes_output_extent() {
+        let g = Conv2dGeometry::new(8, 13, 13, 3, 1, 0).unwrap();
+        assert_eq!((g.h_out(), g.w_out()), (11, 11));
+        let g = Conv2dGeometry::new(16, 32, 32, 3, 2, 1).unwrap();
+        assert_eq!((g.h_out(), g.w_out()), (16, 16));
+    }
+
+    #[test]
+    fn geometry_rejects_oversized_kernel() {
+        assert!(Conv2dGeometry::new(1, 2, 2, 5, 1, 0).is_err());
+        assert!(Conv2dGeometry::new(0, 2, 2, 1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn im2col_padded_edges_are_zero() {
+        let g = Conv2dGeometry::new(1, 2, 2, 3, 1, 1).unwrap();
+        let img = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).unwrap();
+        let cols = im2col(&img, &g).unwrap();
+        assert_eq!(cols.dims(), &[9, 4]);
+        // top-left output: kernel centered so its first row/col hit padding
+        assert_eq!(cols.get2(0, 0), 0.0);
+        assert_eq!(cols.get2(4, 0), 1.0); // center tap = pixel (0,0)
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_direct_convolution() {
+        // direct 2-channel, 2-filter, 3×3 conv vs im2col+matmul
+        let g = Conv2dGeometry::new(2, 5, 5, 3, 1, 0).unwrap();
+        let img = Tensor::from_vec(
+            (0..50).map(|i| (i as f32 * 0.17).sin()).collect(),
+            &[2, 5, 5],
+        )
+        .unwrap();
+        let filt = Tensor::from_vec(
+            (0..36).map(|i| (i as f32 * 0.29).cos()).collect(),
+            &[2, 18],
+        )
+        .unwrap();
+        let cols = im2col(&img, &g).unwrap();
+        let out = filt.matmul(&cols).unwrap(); // [2, 9]
+
+        for f in 0..2 {
+            for oy in 0..3 {
+                for ox in 0..3 {
+                    let mut acc = 0.0;
+                    for c in 0..2 {
+                        for ky in 0..3 {
+                            for kx in 0..3 {
+                                let w = filt.get2(f, (c * 3 + ky) * 3 + kx);
+                                let v = img.at(&[c, oy + ky, ox + kx]);
+                                acc += w * v;
+                            }
+                        }
+                    }
+                    let got = out.get2(f, oy * 3 + ox);
+                    assert!((got - acc).abs() < 1e-4, "mismatch at {f},{oy},{ox}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property
+        // needed for correct conv backprop.
+        let g = Conv2dGeometry::new(2, 6, 6, 3, 2, 1).unwrap();
+        let x = Tensor::from_vec(
+            (0..72).map(|i| ((i * 37 % 19) as f32) - 9.0).collect(),
+            &[2, 6, 6],
+        )
+        .unwrap();
+        let y = Tensor::from_vec(
+            (0..g.patch_len() * g.n_patches())
+                .map(|i| ((i * 53 % 23) as f32) - 11.0)
+                .collect(),
+            &[g.patch_len(), g.n_patches()],
+        )
+        .unwrap();
+        let ax = im2col(&x, &g).unwrap();
+        let aty = col2im(&y, &g).unwrap();
+        let lhs: f32 = ax.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(aty.data()).map(|(&a, &b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-2, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn im2col_rejects_wrong_image_shape() {
+        let g = Conv2dGeometry::new(1, 4, 4, 3, 1, 0).unwrap();
+        assert!(im2col(&Tensor::zeros(&[2, 4, 4]), &g).is_err());
+        assert!(col2im(&Tensor::zeros(&[3, 3]), &g).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+use crate::Tensor;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Samples a tensor with entries drawn uniformly from `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let t = pecan_tensor::uniform(&mut rng, &[4, 4], -1.0, 1.0);
+/// assert!(t.data().iter().all(|v| (-1.0..1.0).contains(v)));
+/// ```
+pub fn uniform<R: Rng>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+    assert!(lo < hi, "uniform bounds must satisfy lo < hi");
+    let dist = Uniform::new(lo, hi);
+    let shape = crate::Shape::new(dims);
+    let data = (0..shape.len()).map(|_| dist.sample(rng)).collect();
+    Tensor::from_vec(data, dims).expect("length matches shape by construction")
+}
+
+/// He (Kaiming) normal initialisation: zero-mean Gaussian with standard
+/// deviation `sqrt(2 / fan_in)` — the standard choice for layers followed by
+/// ReLU, used by every convolution in the model zoo.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn he_normal<R: Rng>(rng: &mut R, dims: &[usize], fan_in: usize) -> Tensor {
+    assert!(fan_in > 0, "he_normal fan_in must be non-zero");
+    let std = (2.0 / fan_in as f32).sqrt();
+    let shape = crate::Shape::new(dims);
+    let data = (0..shape.len()).map(|_| gaussian(rng) * std).collect();
+    Tensor::from_vec(data, dims).expect("length matches shape by construction")
+}
+
+/// Xavier/Glorot uniform initialisation over
+/// `[-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out))]`, used for the
+/// fully-connected classifier heads.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier_uniform<R: Rng>(
+    rng: &mut R,
+    dims: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
+    assert!(fan_in + fan_out > 0, "xavier fans must not both be zero");
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(rng, dims, -bound, bound)
+}
+
+/// Standard-normal sample via Box–Muller (keeps us off extra deps for
+/// `rand_distr`).
+fn gaussian<R: Rng>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(&mut rng, &[1000], -0.5, 0.5);
+        assert!(t.data().iter().all(|&v| (-0.5..0.5).contains(&v)));
+        assert!(t.mean().abs() < 0.05);
+    }
+
+    #[test]
+    fn he_normal_has_expected_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let fan_in = 128;
+        let t = he_normal(&mut rng, &[50_000], fan_in);
+        let mean = t.mean();
+        let var = t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+            / t.len() as f32;
+        let expect = 2.0 / fan_in as f32;
+        assert!(mean.abs() < 0.005, "mean {mean}");
+        assert!((var - expect).abs() / expect < 0.1, "var {var} vs {expect}");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = xavier_uniform(&mut rng, &[4096], 64, 64);
+        let bound = (6.0 / 128.0_f32).sqrt();
+        assert!(t.data().iter().all(|&v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let a = uniform(&mut StdRng::seed_from_u64(9), &[16], 0.0, 1.0);
+        let b = uniform(&mut StdRng::seed_from_u64(9), &[16], 0.0, 1.0);
+        assert_eq!(a, b);
+    }
+}

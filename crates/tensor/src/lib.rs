@@ -1,0 +1,42 @@
+//! Dense `f32` tensor substrate for the PECAN reproduction.
+//!
+//! This crate provides the minimal-but-complete numeric foundation that the
+//! rest of the workspace builds on: a row-major n-dimensional [`Tensor`],
+//! cache-friendly [matrix multiplication](Tensor::matmul), the
+//! [`im2col`]/[`col2im`] transforms that turn convolution into matrix
+//! products (Fig. 1(b) of the paper), elementwise and reduction kernels, and
+//! random initialisers.
+//!
+//! Everything is deliberately `f32` and CPU-only: the PECAN paper's point is
+//! that inference reduces to similarity search plus table lookup, so the
+//! substrate needs to be *correct and inspectable* more than it needs to be
+//! fast. The matmul kernel is still blocked/ikj-ordered so that training the
+//! workloads in `pecan-bench` completes in seconds.
+//!
+//! # Example
+//!
+//! ```
+//! use pecan_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), pecan_tensor::ShapeError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.data(), a.data());
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod im2col;
+mod init;
+mod matmul;
+mod reduce;
+mod shape;
+mod tensor;
+
+pub use error::ShapeError;
+pub use im2col::{col2im, im2col, Conv2dGeometry};
+pub use init::{he_normal, uniform, xavier_uniform};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,242 @@
+use crate::{ShapeError, Tensor};
+
+impl Tensor {
+    /// Matrix product `self · rhs` of two rank-2 tensors.
+    ///
+    /// Uses an i-k-j loop order so the innermost loop streams rows of both
+    /// the output and `rhs` — this is the kernel the baseline CNN path and
+    /// the PECAN lookup-table construction (`Y(j) = W(j)·C(j)`, Algorithm 1
+    /// line 3) run on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if either operand is not rank 2 or the inner
+    /// dimensions disagree.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pecan_tensor::Tensor;
+    ///
+    /// # fn main() -> Result<(), pecan_tensor::ShapeError> {
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+    /// let c = a.matmul(&b)?;
+    /// assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+        self.shape().expect_rank(2)?;
+        rhs.shape().expect_rank(2)?;
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        if k != k2 {
+            return Err(ShapeError::new(format!(
+                "matmul inner dimension mismatch: [{m}, {k}] · [{k2}, {n}]"
+            )));
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_into(self.data(), rhs.data(), out.data_mut(), m, k, n);
+        Ok(out)
+    }
+
+    /// `selfᵀ · rhs` without materialising the transpose.
+    ///
+    /// `self` is `[k, m]`, `rhs` is `[k, n]`, result is `[m, n]`. This is the
+    /// access pattern of the PECAN-A attention scores `C(j)ᵀ·X(j)` (Eq. 2)
+    /// and of the weight-gradient `Xᵀ` products in backprop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on rank or inner-dimension mismatch.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+        self.shape().expect_rank(2)?;
+        rhs.shape().expect_rank(2)?;
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        if k != k2 {
+            return Err(ShapeError::new(format!(
+                "matmul_tn inner dimension mismatch: [{k}, {m}]ᵀ · [{k2}, {n}]"
+            )));
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = rhs.data();
+        let o = out.data_mut();
+        // out[i, j] = Σ_l a[l, i] * b[l, j]; stream over l rows.
+        for l in 0..k {
+            let arow = &a[l * m..(l + 1) * m];
+            let brow = &b[l * n..(l + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut o[i * n..(i + 1) * n];
+                for (ov, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *ov += av * bv;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self · rhsᵀ` without materialising the transpose.
+    ///
+    /// `self` is `[m, k]`, `rhs` is `[n, k]`, result is `[m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on rank or inner-dimension mismatch.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+        self.shape().expect_rank(2)?;
+        rhs.shape().expect_rank(2)?;
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (rhs.dims()[0], rhs.dims()[1]);
+        if k != k2 {
+            return Err(ShapeError::new(format!(
+                "matmul_nt inner dimension mismatch: [{m}, {k}] · [{n}, {k2}]ᵀ"
+            )));
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = rhs.data();
+        let o = out.data_mut();
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut o[i * n..(i + 1) * n];
+            for (j, ov) in orow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                    acc += av * bv;
+                }
+                *ov = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product of a rank-2 tensor with a rank-1 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on rank or dimension mismatch.
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor, ShapeError> {
+        self.shape().expect_rank(2)?;
+        v.shape().expect_rank(1)?;
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        if v.len() != k {
+            return Err(ShapeError::new(format!(
+                "matvec dimension mismatch: [{m}, {k}] · [{}]",
+                v.len()
+            )));
+        }
+        let mut out = Tensor::zeros(&[m]);
+        for i in 0..m {
+            let row = &self.data()[i * k..(i + 1) * k];
+            out.data_mut()[i] = row
+                .iter()
+                .zip(v.data().iter())
+                .map(|(&a, &b)| a * b)
+                .sum();
+        }
+        Ok(out)
+    }
+}
+
+/// Writes `a[m×k] · b[k×n]` into `out[m×n]` (overwriting), i-k-j order.
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    out.fill(0.0);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (l, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[l * n..(l + 1) * n];
+            for (ov, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *ov += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for l in 0..k {
+                    acc += a.get2(i, l) * b.get2(l, j);
+                }
+                out.set2(i, j, acc);
+            }
+        }
+        out
+    }
+
+    fn ramp(dims: &[usize]) -> Tensor {
+        let len: usize = dims.iter().product();
+        Tensor::from_vec((0..len).map(|i| (i as f32) * 0.31 - 3.0).collect(), dims).unwrap()
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = ramp(&[7, 5]);
+        let b = ramp(&[5, 9]);
+        let fast = a.matmul(&b).unwrap();
+        assert!(fast.max_abs_diff(&naive(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = ramp(&[4, 4]);
+        let c = a.matmul(&Tensor::eye(4)).unwrap();
+        assert!(c.max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = ramp(&[6, 4]);
+        let b = ramp(&[6, 5]);
+        let fast = a.matmul_tn(&b).unwrap();
+        let slow = a.transpose2().unwrap().matmul(&b).unwrap();
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = ramp(&[6, 4]);
+        let b = ramp(&[5, 4]);
+        let fast = a.matmul_nt(&b).unwrap();
+        let slow = a.matmul(&b.transpose2().unwrap()).unwrap();
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = ramp(&[3, 4]);
+        let v = ramp(&[4]);
+        let got = a.matvec(&v).unwrap();
+        let expect = a.matmul(&v.reshape(&[4, 1]).unwrap()).unwrap();
+        assert!(got.reshape(&[3, 1]).unwrap().max_abs_diff(&expect) < 1e-5);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_error() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 5]);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.matmul_tn(&b).is_err());
+        assert!(a.matmul_nt(&b).is_err());
+        assert!(a.matvec(&Tensor::zeros(&[7])).is_err());
+    }
+}

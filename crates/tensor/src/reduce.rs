@@ -1,0 +1,232 @@
+use crate::{ShapeError, Tensor};
+
+impl Tensor {
+    /// Sum of all elements.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pecan_tensor::Tensor;
+    /// assert_eq!(Tensor::ones(&[2, 3]).sum(), 6.0);
+    /// ```
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (`0.0` for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Largest element (`f32::NEG_INFINITY` for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Smallest element (`f32::INFINITY` for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the largest element of a rank-1 tensor (first on ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        let mut best_v = self.data()[0];
+        for (i, &v) in self.data().iter().enumerate().skip(1) {
+            if v > best_v {
+                best = i;
+                best_v = v;
+            }
+        }
+        best
+    }
+
+    /// Per-column argmax of a rank-2 tensor: for each column `j`, the row
+    /// index with the largest value. This is the hard prototype assignment
+    /// `k(j)ᵢ = argmaxₘ −‖Xᵢ − Cₘ‖₁` shape used by PECAN-D (Eq. 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the tensor is not rank 2 or has zero rows.
+    pub fn argmax_per_column(&self) -> Result<Vec<usize>, ShapeError> {
+        self.shape().expect_rank(2)?;
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        if rows == 0 {
+            return Err(ShapeError::new("argmax over zero rows"));
+        }
+        let mut out = vec![0usize; cols];
+        for j in 0..cols {
+            let mut best = 0;
+            let mut best_v = self.get2(0, j);
+            for i in 1..rows {
+                let v = self.get2(i, j);
+                if v > best_v {
+                    best = i;
+                    best_v = v;
+                }
+            }
+            out[j] = best;
+        }
+        Ok(out)
+    }
+
+    /// Column-wise in-place softmax of a rank-2 tensor with temperature
+    /// `tau`: each column becomes `softmax(col / tau)`.
+    ///
+    /// Used for the PECAN-A attention scores (Eq. 2) and the PECAN-D
+    /// relaxed assignment (Eq. 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the tensor is not rank 2 or `tau <= 0`.
+    pub fn softmax_columns(&self, tau: f32) -> Result<Tensor, ShapeError> {
+        self.shape().expect_rank(2)?;
+        if !(tau > 0.0) {
+            return Err(ShapeError::new(format!("softmax temperature must be > 0, got {tau}")));
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        let mut out = self.clone();
+        for j in 0..cols {
+            let mut mx = f32::NEG_INFINITY;
+            for i in 0..rows {
+                mx = mx.max(self.get2(i, j) / tau);
+            }
+            let mut z = 0.0;
+            for i in 0..rows {
+                let e = ((self.get2(i, j) / tau) - mx).exp();
+                out.set2(i, j, e);
+                z += e;
+            }
+            for i in 0..rows {
+                let v = out.get2(i, j) / z;
+                out.set2(i, j, v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sum along rows of a rank-2 tensor, producing `[rows]` (one value per
+    /// row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the tensor is not rank 2.
+    pub fn sum_rows(&self) -> Result<Tensor, ShapeError> {
+        self.shape().expect_rank(2)?;
+        let (rows, _cols) = (self.dims()[0], self.dims()[1]);
+        let mut out = Tensor::zeros(&[rows]);
+        for r in 0..rows {
+            out.data_mut()[r] = self.row(r).iter().sum();
+        }
+        Ok(out)
+    }
+
+    /// Sum along columns of a rank-2 tensor, producing `[cols]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the tensor is not rank 2.
+    pub fn sum_columns(&self) -> Result<Tensor, ShapeError> {
+        self.shape().expect_rank(2)?;
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        let mut out = Tensor::zeros(&[cols]);
+        for r in 0..rows {
+            for (o, &v) in out.data_mut().iter_mut().zip(self.row(r).iter()) {
+                *o += v;
+            }
+        }
+        let _ = rows;
+        Ok(out)
+    }
+
+    /// Sum of `|a - b|` over all elements — the L1 template-matching metric
+    /// of PECAN-D and AdderNet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes differ.
+    pub fn l1_distance(&self, other: &Tensor) -> Result<f32, ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::new(format!(
+                "l1 distance on mismatched shapes {:?} vs {:?}",
+                self.dims(),
+                other.dims()
+            )));
+        }
+        Ok(self
+            .data()
+            .iter()
+            .zip(other.data().iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_reductions() {
+        let t = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        assert_eq!(t.sum(), 2.0);
+        assert!((t.mean() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -2.0);
+        assert_eq!(t.argmax(), 2);
+    }
+
+    #[test]
+    fn argmax_per_column_picks_rows() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 9.0, 2.0, 4.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(t.argmax_per_column().unwrap(), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn softmax_columns_are_distributions() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 10.0], &[3, 2]).unwrap();
+        let s = t.softmax_columns(1.0).unwrap();
+        for j in 0..2 {
+            let z: f32 = (0..3).map(|i| s.get2(i, j)).sum();
+            assert!((z - 1.0).abs() < 1e-5);
+            for i in 0..3 {
+                assert!(s.get2(i, j) > 0.0);
+            }
+        }
+        // low temperature sharpens towards the argmax
+        let sharp = t.softmax_columns(0.05).unwrap();
+        assert!(sharp.get2(2, 1) > 0.999);
+    }
+
+    #[test]
+    fn softmax_rejects_bad_temperature() {
+        let t = Tensor::zeros(&[2, 2]);
+        assert!(t.softmax_columns(0.0).is_err());
+        assert!(t.softmax_columns(-1.0).is_err());
+        assert!(t.softmax_columns(f32::NAN).is_err());
+    }
+
+    #[test]
+    fn row_and_column_sums() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(t.sum_rows().unwrap().data(), &[6.0, 15.0]);
+        assert_eq!(t.sum_columns().unwrap().data(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn l1_distance_matches_manual() {
+        let a = Tensor::from_slice(&[1.0, -1.0, 2.0]);
+        let b = Tensor::from_slice(&[0.0, 1.0, 2.0]);
+        assert_eq!(a.l1_distance(&b).unwrap(), 3.0);
+        assert!(a.l1_distance(&Tensor::zeros(&[2])).is_err());
+    }
+}

@@ -1,0 +1,425 @@
+use crate::{Shape, ShapeError};
+use std::fmt;
+
+/// A dense, row-major, `f32` n-dimensional array.
+///
+/// `Tensor` is the value type flowing through every PECAN component: images,
+/// im2col feature matrices `X`, codebooks `C`, filter matrices `F`, and the
+/// precomputed lookup tables `Y(j) = W(j)·C(j)`.
+///
+/// # Example
+///
+/// ```
+/// use pecan_tensor::Tensor;
+///
+/// # fn main() -> Result<(), pecan_tensor::ShapeError> {
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])?;
+/// assert_eq!(t.get2(1, 2), 6.0);
+/// assert_eq!(t.transpose2()?.get2(2, 1), 6.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len()` does not match the product of
+    /// `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, ShapeError> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.len() {
+            return Err(ShapeError::new(format!(
+                "buffer of {} elements cannot view as shape {:?} ({} elements)",
+                data.len(),
+                dims,
+                shape.len()
+            )));
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a zero-filled tensor.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Self { shape, data: vec![0.0; len] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Self { shape, data: vec![value; len] }
+    }
+
+    /// Creates a one-filled tensor.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(values: &[f32]) -> Self {
+        Self { shape: Shape::new(&[values.len()]), data: values.to_vec() }
+    }
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Axis extents, e.g. `[n, c, h, w]`.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the flat row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the index is out of bounds or has the wrong rank.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the index is out of bounds or has the wrong rank.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Matrix element `(row, col)` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the tensor is not rank 2 or the index is out of
+    /// bounds.
+    #[inline]
+    pub fn get2(&self, row: usize, col: usize) -> f32 {
+        debug_assert_eq!(self.shape.rank(), 2);
+        let cols = self.shape.dims()[1];
+        self.data[row * cols + col]
+    }
+
+    /// Sets matrix element `(row, col)` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the tensor is not rank 2 or the index is out of
+    /// bounds.
+    #[inline]
+    pub fn set2(&mut self, row: usize, col: usize, value: f32) {
+        debug_assert_eq!(self.shape.rank(), 2);
+        let cols = self.shape.dims()[1];
+        self.data[row * cols + col] = value;
+    }
+
+    /// Borrow of row `r` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the tensor is not rank 2 or `r` is out of bounds.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert_eq!(self.shape.rank(), 2);
+        let cols = self.shape.dims()[1];
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutable borrow of row `r` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the tensor is not rank 2 or `r` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert_eq!(self.shape.rank(), 2);
+        let cols = self.shape.dims()[1];
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Returns the same buffer viewed under a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor, ShapeError> {
+        Tensor::from_vec(self.data.clone(), dims)
+    }
+
+    /// Consumes the tensor, returning the same buffer under a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the element counts differ.
+    pub fn into_reshape(self, dims: &[usize]) -> Result<Tensor, ShapeError> {
+        Tensor::from_vec(self.data, dims)
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the tensor is not rank 2.
+    pub fn transpose2(&self) -> Result<Tensor, ShapeError> {
+        self.shape.expect_rank(2)?;
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Elementwise binary operation against a same-shaped tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes differ.
+    pub fn zip_with(
+        &self,
+        other: &Tensor,
+        mut f: impl FnMut(f32, f32) -> f32,
+    ) -> Result<Tensor, ShapeError> {
+        if self.shape != other.shape {
+            return Err(ShapeError::new(format!(
+                "elementwise op on mismatched shapes {:?} vs {:?}",
+                self.dims(),
+                other.dims()
+            )));
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor { shape: self.shape.clone(), data })
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, ShapeError> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor, ShapeError> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor, ShapeError> {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Elementwise map producing a new tensor.
+    pub fn map(&self, f: impl FnMut(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().copied().map(f).collect(),
+        }
+    }
+
+    /// In-place elementwise map.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// `self += alpha * other`, in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<(), ShapeError> {
+        if self.shape != other.shape {
+            return Err(ShapeError::new(format!(
+                "axpy on mismatched shapes {:?} vs {:?}",
+                self.dims(),
+                other.dims()
+            )));
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Largest absolute difference to another tensor; `f32::INFINITY` when
+    /// shapes differ. Convenient for approximate-equality assertions.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        if self.shape != other.shape {
+            return f32::INFINITY;
+        }
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const PREVIEW: usize = 8;
+        write!(f, "Tensor{:?} [", self.dims())?;
+        for (i, v) in self.data.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > PREVIEW {
+            write!(f, ", … {} more", self.data.len() - PREVIEW)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_rejects_wrong_length() {
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+    }
+
+    #[test]
+    fn eye_has_unit_diagonal() {
+        let t = Tensor::eye(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(t.get2(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrips() {
+        let t = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[3, 4]).unwrap();
+        let tt = t.transpose2().unwrap().transpose2().unwrap();
+        assert_eq!(t, tt);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_slice(&[1.0, 1.0]);
+        let b = Tensor::from_slice(&[2.0, 3.0]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.data(), &[2.0, 2.5]);
+    }
+
+    #[test]
+    fn mismatched_elementwise_is_error() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(a.add(&b).is_err());
+        assert_eq!(a.max_abs_diff(&b), f32::INFINITY);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]).unwrap();
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.dims(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn row_views() {
+        let mut t = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]).unwrap();
+        assert_eq!(t.row(1), &[3.0, 4.0, 5.0]);
+        t.row_mut(0)[2] = 9.0;
+        assert_eq!(t.get2(0, 2), 9.0);
+    }
+
+    #[test]
+    fn debug_preview_is_nonempty() {
+        let t = Tensor::zeros(&[4]);
+        let s = format!("{t:?}");
+        assert!(s.contains("Tensor[4]"));
+    }
+}

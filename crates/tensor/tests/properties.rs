@@ -1,0 +1,109 @@
+//! Property-based tests for the tensor substrate: algebraic laws that the
+//! rest of the workspace silently relies on.
+
+use pecan_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols]).expect("sized by construction"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor_strategy(4, 5),
+        b in tensor_strategy(5, 3),
+        c in tensor_strategy(5, 3),
+    ) {
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        a in tensor_strategy(3, 6),
+        b in tensor_strategy(6, 4),
+    ) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let lhs = a.matmul(&b).unwrap().transpose2().unwrap();
+        let rhs = b
+            .transpose2()
+            .unwrap()
+            .matmul(&a.transpose2().unwrap())
+            .unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn tn_and_nt_agree_with_plain_matmul(
+        a in tensor_strategy(5, 4),
+        b in tensor_strategy(5, 6),
+    ) {
+        let tn = a.matmul_tn(&b).unwrap();
+        let plain = a.transpose2().unwrap().matmul(&b).unwrap();
+        prop_assert!(tn.max_abs_diff(&plain) < 1e-3);
+
+        let nt = plain.matmul_nt(&b).unwrap(); // [4,6]·[5,6]ᵀ = [4,5]
+        let plain2 = plain.matmul(&b.transpose2().unwrap()).unwrap();
+        prop_assert!(nt.max_abs_diff(&plain2) < 1e-3);
+    }
+
+    #[test]
+    fn softmax_columns_sum_to_one(t in tensor_strategy(7, 5), tau in 0.1f32..4.0) {
+        let s = t.softmax_columns(tau).unwrap();
+        for j in 0..5 {
+            let z: f32 = (0..7).map(|i| s.get2(i, j)).sum();
+            prop_assert!((z - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn l1_distance_is_a_metric(
+        a in tensor_strategy(3, 3),
+        b in tensor_strategy(3, 3),
+        c in tensor_strategy(3, 3),
+    ) {
+        let ab = a.l1_distance(&b).unwrap();
+        let ba = b.l1_distance(&a).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-3); // symmetry
+        prop_assert!(a.l1_distance(&a).unwrap() < 1e-6); // identity
+        let ac = a.l1_distance(&c).unwrap();
+        let cb = c.l1_distance(&b).unwrap();
+        prop_assert!(ab <= ac + cb + 1e-3); // triangle inequality
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        xs in proptest::collection::vec(-5.0f32..5.0, 2 * 5 * 5),
+        stride in 1usize..3,
+        padding in 0usize..2,
+    ) {
+        let geom = Conv2dGeometry::new(2, 5, 5, 3, stride, padding).unwrap();
+        let x = Tensor::from_vec(xs, &[2, 5, 5]).unwrap();
+        let cols = im2col(&x, &geom).unwrap();
+        // ⟨A x, A x⟩ = ⟨x, Aᵀ A x⟩ with Aᵀ = col2im
+        let back = col2im(&cols, &geom).unwrap();
+        let lhs: f32 = cols.data().iter().map(|v| v * v).sum();
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(&a, &b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-1 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn argmax_per_column_matches_scan(t in tensor_strategy(6, 4)) {
+        let am = t.argmax_per_column().unwrap();
+        for j in 0..4 {
+            let col: Vec<f32> = (0..6).map(|i| t.get2(i, j)).collect();
+            let best = col
+                .iter()
+                .enumerate()
+                .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+                .unwrap()
+                .0;
+            prop_assert_eq!(col[am[j]], col[best]);
+        }
+    }
+}

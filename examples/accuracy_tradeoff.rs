@@ -1,0 +1,74 @@
+//! The complexity–accuracy spectrum (§3, Tables 2–4): sweep the prototype
+//! count `p` for PECAN-A and PECAN-D on the same task and report accuracy
+//! next to the Table-1 op counts. PECAN-A buys accuracy with
+//! multiplications; PECAN-D stays multiplier-free throughout.
+//!
+//! ```text
+//! cargo run --release --example accuracy_tradeoff
+//! ```
+
+use pecan::core::complexity::{pecan_a_ops, pecan_d_ops, LayerShape};
+use pecan::core::{train_pecan, PecanBuilder, PecanVariant, PqLayerSettings, Strategy};
+use pecan::datasets::{make_batches, synthetic_mnist};
+use pecan::nn::{Batch, Flatten, LayerBuilder, Sequential};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let data = synthetic_mnist(&mut rng, 400);
+    let (train, test) = data.split(320);
+    let train_batches: Vec<Batch> = make_batches(&train, 32, Some(&mut rng))
+        .into_iter()
+        .map(|(i, l)| Batch::new(i, l))
+        .collect::<Result<_, _>>()?;
+    let test_batches: Vec<Batch> = make_batches(&test, 32, Some(&mut rng))
+        .into_iter()
+        .map(|(i, l)| Batch::new(i, l))
+        .collect::<Result<_, _>>()?;
+
+    // One PECAN classifier layer over the flattened image (784 → 10) so the
+    // sweep isolates the effect of p; d = 16 keeps D·d = 784 valid (D = 49).
+    let shape = LayerShape::fc(784, 10);
+    println!(
+        "{:<9} {:>3} {:>12} {:>12} {:>10}",
+        "variant", "p", "#Add", "#Mul", "accuracy"
+    );
+    for &variant in &[PecanVariant::Angle, PecanVariant::Distance] {
+        for &p in &[2usize, 4, 8, 16] {
+            let tau = if variant == PecanVariant::Angle { 1.0 } else { 0.5 };
+            let mut b = PecanBuilder::from_seed(100 + p as u64, variant)
+                .with_settings(0, PqLayerSettings::new(p, 16, tau));
+            let mut net = Sequential::new();
+            net.push(Box::new(Flatten));
+            net.push(b.linear(0, 784, 10));
+            let report = train_pecan(
+                &mut net,
+                Strategy::CoOptimization,
+                &train_batches,
+                &test_batches,
+                10,
+                0.01,
+                8,
+            )?;
+            let ops = match variant {
+                PecanVariant::Angle => pecan_a_ops(&shape, p, 49, 16),
+                PecanVariant::Distance => pecan_d_ops(&shape, p, 49, 16),
+            };
+            println!(
+                "{:<9} {:>3} {:>12} {:>12} {:>9.1}%",
+                match variant {
+                    PecanVariant::Angle => "PECAN-A",
+                    PecanVariant::Distance => "PECAN-D",
+                },
+                p,
+                ops.adds,
+                ops.muls,
+                report.eval_accuracy * 100.0
+            );
+        }
+    }
+    println!("\nPECAN-D rows show 0 multiplications at every operating point.");
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! Edge deployment: take a PECAN-D layer, program its prototypes into a
+//! fixed-point CAM and its products into an integer lookup table, and show
+//! the whole inference path is **multiplier-free integer arithmetic** —
+//! then price the network on the paper's VIA-Nano cost model (§4.3).
+//!
+//! ```text
+//! cargo run --release --example edge_deployment
+//! ```
+
+use pecan::cam::fixed::{FixedCam, FixedLut, Quantizer};
+use pecan::cam::{CostModel, OpCounts};
+use pecan::core::configs::vgg_small_plan;
+use pecan::core::{LayerLut, PecanConv2d, PecanVariant, PqLayerSettings};
+use pecan::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut rng = StdRng::seed_from_u64(3);
+
+    // A PECAN-D convolution as it would ship: 8 prototypes per group.
+    let layer = PecanConv2d::new(
+        &mut rng,
+        PecanVariant::Distance,
+        PqLayerSettings::new(8, 9, 0.5),
+        4,
+        8,
+        3,
+        1,
+        1,
+    )?;
+    let engine = LayerLut::from_conv(&layer)?;
+
+    // Program fixed-point hardware: i16 prototypes, i32 LUT entries.
+    let q = Quantizer::new(12);
+    let cams: Vec<FixedCam> = layer
+        .codebook()
+        .to_tensors()
+        .iter()
+        .map(|cb| {
+            let rows = cb.transpose2().expect("codebooks are rank 2");
+            FixedCam::from_tensor(&rows, q).expect("valid CAM rows")
+        })
+        .collect();
+    let luts: Vec<FixedLut> = engine
+        .luts()
+        .iter()
+        .map(|l| FixedLut::from_tensor(l.table(), q).expect("valid LUT"))
+        .collect();
+
+    // Run one im2col column through the integer pipeline.
+    let xcol = pecan::tensor::uniform(&mut rng, &[36, 1], -1.0, 1.0);
+    let d = engine.config().dim();
+    let mut acc = vec![0i64; engine.outputs()];
+    for (j, (cam, lut)) in cams.iter().zip(&luts).enumerate() {
+        let query: Vec<i16> = (0..d).map(|k| q.quantize(xcol.get2(j * d + k, 0))).collect();
+        let (winner, _) = cam.search(&query)?; // integer L1 — adds only
+        lut.accumulate(winner, &mut acc)?; // integer adds only
+    }
+    let fixed_out = luts[0].dequantize(&acc);
+    let float_out = engine.forward_cols(&xcol, None)?;
+    let float_col: Vec<f32> = (0..engine.outputs()).map(|o| float_out.get2(o, 0)).collect();
+    let max_err = fixed_out
+        .iter()
+        .zip(&float_col)
+        .map(|(&a, &b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("integer pipeline vs float reference: max |Δ| = {max_err:.4}");
+    println!("(arithmetic used: i32 subtract/abs/accumulate + i64 adds — zero multipliers)");
+
+    // Price a full VGG-Small on the paper's cost model (Table 5).
+    let plan = vgg_small_plan(10);
+    let model = CostModel::via_nano();
+    let rows: [(&str, OpCounts); 3] = [
+        ("CNN", plan.baseline_total()),
+        ("PECAN-A", plan.pecan_a_total()),
+        ("PECAN-D", plan.pecan_d_total()),
+    ];
+    let reference = plan.pecan_d_total();
+    println!("\nVGG-Small on Intel VIA Nano 2000 (mul = 4 cyc/4x power, add = 2 cyc/1x):");
+    println!("{:<10} {:>12} {:>12} {:>10} {:>14}", "method", "#Mul", "#Add", "power", "latency");
+    for (name, ops) in rows {
+        println!(
+            "{:<10} {:>12} {:>12} {:>10.2} {:>12.2}G",
+            name,
+            ops.muls,
+            ops.adds,
+            model.normalized_power(&ops, &reference),
+            model.cycles(&ops) as f64 / 1e9
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Cross-crate integration: fixed-point CAM pipeline fidelity and device
+//! noise robustness of PECAN-D inference.
+
+use pecan::cam::fixed::{FixedCam, FixedLut, Quantizer};
+use pecan::core::{LayerLut, PecanConv2d, PecanVariant, PqLayerSettings};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn layer(seed: u64) -> PecanConv2d {
+    let mut rng = StdRng::seed_from_u64(seed);
+    PecanConv2d::new(
+        &mut rng,
+        PecanVariant::Distance,
+        PqLayerSettings::new(8, 9, 0.5),
+        2,
+        6,
+        3,
+        1,
+        1,
+    )
+    .expect("valid settings")
+}
+
+#[test]
+fn fixed_point_pipeline_tracks_float_reference() {
+    let l = layer(41);
+    let engine = LayerLut::from_conv(&l).expect("engine");
+    let q = Quantizer::new(12);
+    let cams: Vec<FixedCam> = l
+        .codebook()
+        .to_tensors()
+        .iter()
+        .map(|cb| FixedCam::from_tensor(&cb.transpose2().unwrap(), q).unwrap())
+        .collect();
+    let luts: Vec<FixedLut> = engine
+        .luts()
+        .iter()
+        .map(|t| FixedLut::from_tensor(t.table(), q).unwrap())
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let xcol = pecan::tensor::uniform(&mut rng, &[18, 25], -1.0, 1.0);
+    let float_out = engine.forward_cols(&xcol, None).expect("float forward");
+
+    let d = engine.config().dim();
+    let mut worst = 0.0f32;
+    for i in 0..25 {
+        let mut acc = vec![0i64; engine.outputs()];
+        for (j, (cam, lut)) in cams.iter().zip(&luts).enumerate() {
+            let query: Vec<i16> =
+                (0..d).map(|k| q.quantize(xcol.get2(j * d + k, i))).collect();
+            let (winner, _) = cam.search(&query).expect("search");
+            lut.accumulate(winner, &mut acc).expect("accumulate");
+        }
+        let fixed = luts[0].dequantize(&acc);
+        for (o, &fv) in fixed.iter().enumerate() {
+            worst = worst.max((fv - float_out.get2(o, i)).abs());
+        }
+    }
+    // 12-bit quantization over 2 groups: error stays in the low milli-range
+    assert!(worst < 0.05, "fixed-point error {worst}");
+}
+
+#[test]
+fn small_device_noise_degrades_gracefully() {
+    let l = layer(43);
+    let mut rng = StdRng::seed_from_u64(44);
+    let xcol = pecan::tensor::uniform(&mut rng, &[18, 200], -1.0, 1.0);
+
+    let engine = LayerLut::from_conv(&l).expect("engine");
+    let clean = engine.forward_cols(&xcol, None).expect("clean forward");
+
+    let mismatch_at = |sigma: f32, seed: u64| -> f32 {
+        let mut engine = LayerLut::from_conv(&l).expect("engine");
+        let mut rng = StdRng::seed_from_u64(seed);
+        engine.perturb_prototypes(sigma, &mut rng);
+        let noisy = engine.forward_cols(&xcol, None).expect("noisy forward");
+        // fraction of columns whose output changed at all
+        let cols = clean.dims()[1];
+        let mut changed = 0;
+        for i in 0..cols {
+            for o in 0..clean.dims()[0] {
+                if (clean.get2(o, i) - noisy.get2(o, i)).abs() > 1e-6 {
+                    changed += 1;
+                    break;
+                }
+            }
+        }
+        changed as f32 / cols as f32
+    };
+
+    let tiny = mismatch_at(0.001, 1);
+    let moderate = mismatch_at(0.1, 1);
+    let huge = mismatch_at(2.0, 1);
+    println!("assignment churn: σ=0.001 → {tiny}, σ=0.1 → {moderate}, σ=2.0 → {huge}");
+    // tiny noise rarely flips an argmax; catastrophic noise flips most
+    assert!(tiny < 0.2, "tiny noise churned {tiny}");
+    assert!(huge > moderate || huge > 0.5, "huge noise should churn far more");
+}

@@ -1,0 +1,96 @@
+//! Cross-crate integration: the Algorithm-1 CAM/LUT inference engine must
+//! agree with the training-path forward for every layer kind and variant —
+//! this is the paper's core claim that inference needs only similarity
+//! search plus table lookup.
+
+use pecan::autograd::Var;
+use pecan::core::{LayerLut, PecanConv2d, PecanLinear, PecanVariant, PqLayerSettings};
+use pecan::nn::Layer;
+use pecan::tensor::{im2col, Conv2dGeometry, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn conv_lut_equivalence_across_variants_and_shapes() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for (variant, tau) in [(PecanVariant::Distance, 0.5), (PecanVariant::Angle, 1.0)] {
+        for (cin, cout, k, size, p, d) in [
+            (1usize, 4usize, 3usize, 7usize, 4usize, 9usize),
+            (3, 8, 3, 6, 8, 9),
+            (4, 5, 3, 5, 4, 12), // d ≠ k² grouping
+        ] {
+            let mut layer = PecanConv2d::new(
+                &mut rng,
+                variant,
+                PqLayerSettings::new(p, d, tau),
+                cin,
+                cout,
+                k,
+                1,
+                1,
+            )
+            .expect("valid settings");
+            let x_t = pecan::tensor::uniform(&mut rng, &[1, cin, size, size], -1.0, 1.0);
+            let direct = layer
+                .forward(&Var::constant(x_t.clone()), false)
+                .expect("forward");
+
+            let engine = LayerLut::from_conv(&layer).expect("engine builds");
+            let geom = Conv2dGeometry::new(cin, size, size, k, 1, 1).expect("geometry");
+            let img = Tensor::from_vec(x_t.data().to_vec(), &[cin, size, size]).expect("image");
+            let cols = im2col(&img, &geom).expect("im2col");
+            let via_lut = engine.forward_cols(&cols, None).expect("LUT forward");
+
+            let direct_flat = direct
+                .value()
+                .reshape(&[cout, geom.n_patches()])
+                .expect("reshape");
+            let err = via_lut.max_abs_diff(&direct_flat);
+            assert!(
+                err < 1e-3,
+                "{variant:?} cin={cin} cout={cout} d={d}: LUT diverges by {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn linear_lut_equivalence() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for (variant, tau) in [(PecanVariant::Distance, 0.5), (PecanVariant::Angle, 1.0)] {
+        let mut layer = PecanLinear::new(
+            &mut rng,
+            variant,
+            PqLayerSettings::new(8, 8, tau),
+            32,
+            7,
+        )
+        .expect("valid settings");
+        let x_t = pecan::tensor::uniform(&mut rng, &[5, 32], -1.0, 1.0);
+        let direct = layer.forward(&Var::constant(x_t.clone()), false).expect("forward");
+        let engine = LayerLut::from_linear(&layer).expect("engine builds");
+        let cols = x_t.transpose2().expect("transpose");
+        let via_lut = engine.forward_cols(&cols, None).expect("LUT forward");
+        let direct_cols = direct.value().transpose2().expect("transpose");
+        assert!(via_lut.max_abs_diff(&direct_cols) < 1e-3, "{variant:?} linear diverges");
+    }
+}
+
+#[test]
+fn pecan_d_inference_is_multiplier_free_in_op_model() {
+    use pecan::core::complexity::{pecan_d_ops, LayerShape};
+    // representative layers from every architecture in the paper
+    let shapes = [
+        LayerShape::conv(1, 8, 3, 26, 26),
+        LayerShape::conv(512, 512, 3, 8, 8),
+        LayerShape::conv(256, 256, 5, 16, 16),
+        LayerShape::fc(8192, 10),
+    ];
+    for s in shapes {
+        let rows = s.rows();
+        // find a valid grouping
+        let d = (1..=rows).rev().find(|d| rows % d == 0 && *d <= 32).unwrap();
+        let ops = pecan_d_ops(&s, 64, rows / d, d);
+        assert!(ops.is_multiplier_free(), "{s:?}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Cross-crate integration: the op-count columns of every paper table must
+//! come out of the complexity model + architecture plans. These duplicate a
+//! few crate-level pins at the facade level so a regression anywhere in the
+//! stack (plans, formulas, cost model) fails loudly.
+
+use pecan::cam::CostModel;
+use pecan::core::configs::{
+    convmixer_plan, lenet_plan, resnet_plan, vgg_small_plan, DimChoice,
+};
+
+#[test]
+fn table2_lenet_op_columns() {
+    let plan = lenet_plan();
+    assert_eq!(plan.baseline_total().muls, 248_096); // 248.10K
+    assert_eq!(plan.baseline_total().adds, 248_096);
+    assert_eq!(plan.pecan_a_total().muls, 196_880); // 196.88K
+    assert_eq!(plan.pecan_d_total().muls, 0);
+    assert_eq!(plan.pecan_d_total().adds, 1_998_064); // 2.00M
+}
+
+#[test]
+fn table3_and_4_op_columns() {
+    // CIFAR-10 and CIFAR-100 differ only in the classifier head.
+    for classes in [10usize, 100] {
+        let vgg = vgg_small_plan(classes);
+        assert!((vgg.baseline_total().muls as f64 / 1e9 - 0.61).abs() < 0.01);
+        assert!((vgg.pecan_a_total().muls as f64 / 1e9 - 0.54).abs() < 0.01);
+        assert!((vgg.pecan_d_total().adds as f64 / 1e9 - 0.37).abs() < 0.01);
+        assert_eq!(vgg.pecan_d_total().muls, 0);
+
+        let r20 = resnet_plan(3, classes, None);
+        assert!((r20.baseline_total().muls as f64 / 1e6 - 40.55).abs() < 0.5);
+        assert!((r20.pecan_a_total().muls as f64 / 1e6 - 38.12).abs() < 0.5);
+        assert!((r20.pecan_d_total().adds as f64 / 1e6 - 211.71).abs() < 1.0);
+
+        let r32 = resnet_plan(5, classes, None);
+        assert!((r32.baseline_total().muls as f64 / 1e6 - 68.86).abs() < 0.5);
+        assert!((r32.pecan_a_total().muls as f64 / 1e6 - 64.20).abs() < 0.5);
+        assert!((r32.pecan_d_total().adds as f64 / 1e6 - 353.26).abs() < 1.5);
+    }
+}
+
+#[test]
+fn table5_power_and_latency_columns() {
+    let plan = vgg_small_plan(10);
+    let model = CostModel::via_nano();
+    let cnn = plan.baseline_total();
+    let pecan_d = plan.pecan_d_total();
+    let adder = pecan::cam::OpCounts::new(2 * cnn.muls, 0); // AdderNet
+
+    // Paper: 8.24 / 3.30 / 1 normalized power; 3.66G / 2.44G / 0.72G cycles.
+    assert!((model.normalized_power(&cnn, &pecan_d) - 8.24).abs() < 0.15);
+    assert!((model.normalized_power(&adder, &pecan_d) - 3.30).abs() < 0.05);
+    assert!((model.cycles(&cnn) as f64 / 1e9 - 3.66).abs() < 0.03);
+    assert!((model.cycles(&adder) as f64 / 1e9 - 2.44).abs() < 0.02);
+    assert!((model.cycles(&pecan_d) as f64 / 1e9 - 0.72).abs() < 0.03);
+}
+
+#[test]
+fn table_a4_convmixer_op_columns() {
+    let plan = convmixer_plan();
+    assert!((plan.baseline_total().muls as f64 / 1e9 - 3.36).abs() < 0.01);
+    assert!((plan.pecan_a_total().muls as f64 / 1e9 - 2.36).abs() < 0.01);
+    assert!((plan.pecan_d_total().adds as f64 / 1e9 - 0.98).abs() < 0.01);
+}
+
+#[test]
+fn figure4_dim_ablation_plans_are_constructible() {
+    for choice in [DimChoice::Kernel, DimChoice::KernelSq, DimChoice::Cin] {
+        let plan = resnet_plan(3, 10, Some(choice));
+        assert!(plan.is_valid(), "{choice:?} plan invalid");
+        assert!(plan.pecan_d_total().muls == 0);
+    }
+}
