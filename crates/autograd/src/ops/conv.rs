@@ -208,7 +208,7 @@ mod tests {
                 for kx in 0..3 {
                     let iy = oy as isize + ky as isize - 1;
                     let ix = ox as isize + kx as isize - 1;
-                    if iy >= 0 && iy < 4 && ix >= 0 && ix < 4 {
+                    if (0..4).contains(&iy) && (0..4).contains(&ix) {
                         acc += w.value().get2(f, (c * 3 + ky) * 3 + kx)
                             * x.value().at(&[n, c, iy as usize, ix as usize]);
                     }

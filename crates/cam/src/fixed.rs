@@ -248,7 +248,7 @@ mod tests {
         let cam = FixedCam::from_tensor(&Tensor::zeros(&[2, 2]), q).unwrap();
         assert!(cam.search(&[0]).is_err());
         let lut = FixedLut::from_tensor(&Tensor::zeros(&[2, 2]), q).unwrap();
-        assert!(lut.accumulate(5, &mut vec![0; 2]).is_err());
-        assert!(lut.accumulate(0, &mut vec![0; 3]).is_err());
+        assert!(lut.accumulate(5, &mut [0; 2]).is_err());
+        assert!(lut.accumulate(0, &mut [0; 3]).is_err());
     }
 }

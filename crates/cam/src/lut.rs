@@ -201,7 +201,7 @@ mod tests {
         let lut = LookupTable::new(Tensor::zeros(&[2, 3])).unwrap();
         let mut acc = vec![0.0; 2];
         assert!(lut.accumulate_column(3, &mut acc).is_err());
-        assert!(lut.accumulate_column(0, &mut vec![0.0; 1]).is_err());
+        assert!(lut.accumulate_column(0, &mut [0.0; 1]).is_err());
         assert!(lut.accumulate_weighted(&[1.0], &mut acc).is_err());
     }
 }

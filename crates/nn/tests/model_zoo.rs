@@ -5,9 +5,11 @@ use pecan_autograd::Var;
 use pecan_nn::{models, Layer, StandardBuilder};
 use pecan_tensor::Tensor;
 
+type BuildFn = Box<dyn FnOnce(&mut StandardBuilder) -> pecan_nn::Sequential>;
+
 #[test]
 fn every_model_maps_input_to_logits() {
-    let cases: Vec<(&str, Box<dyn FnOnce(&mut StandardBuilder) -> pecan_nn::Sequential>, Vec<usize>, usize)> = vec![
+    let cases: Vec<(&str, BuildFn, Vec<usize>, usize)> = vec![
         (
             "lenet",
             Box::new(|b: &mut StandardBuilder| models::lenet5_modified(b).unwrap()),

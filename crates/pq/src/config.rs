@@ -62,7 +62,7 @@ impl PqConfig {
         if prototypes == 0 {
             return Err(ShapeError::new("a codebook needs at least one prototype"));
         }
-        if !(tau > 0.0) {
+        if tau <= 0.0 || tau.is_nan() {
             return Err(ShapeError::new(format!("temperature must be positive, got {tau}")));
         }
         Ok(Self { spec: GroupSpec::for_rows(rows, dim)?, prototypes, tau })

@@ -90,7 +90,7 @@ impl Tensor {
     /// Returns [`ShapeError`] if the tensor is not rank 2 or `tau <= 0`.
     pub fn softmax_columns(&self, tau: f32) -> Result<Tensor, ShapeError> {
         self.shape().expect_rank(2)?;
-        if !(tau > 0.0) {
+        if tau <= 0.0 || tau.is_nan() {
             return Err(ShapeError::new(format!("softmax temperature must be > 0, got {tau}")));
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);

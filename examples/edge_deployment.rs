@@ -11,7 +11,6 @@ use pecan::cam::fixed::{FixedCam, FixedLut, Quantizer};
 use pecan::cam::{CostModel, OpCounts};
 use pecan::core::configs::vgg_small_plan;
 use pecan::core::{LayerLut, PecanConv2d, PecanVariant, PqLayerSettings};
-use pecan::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::error::Error;

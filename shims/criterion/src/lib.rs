@@ -1,0 +1,267 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness — see `shims/README.md` for scope.
+//!
+//! Provides the group / `bench_function` / `bench_with_input` API surface the
+//! PECAN benches use, measuring wall-clock time with `std::time::Instant` and
+//! printing a `median [min .. max]` line per benchmark. No warm-up modelling,
+//! outlier analysis, plotting, or baseline comparison: the real crate does
+//! those far better, and this shim's one job is to keep `cargo bench`
+//! compiling and producing honest numbers offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, which the benches in this workspace use
+/// directly).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, handed to every function registered through
+/// [`criterion_group!`].
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Registers a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, 10, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl fmt::Debug for BenchmarkGroup<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BenchmarkGroup")
+            .field("name", &self.name)
+            .field("sample_size", &self.sample_size)
+            .finish()
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f`, identified by `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group. (The real crate finalises reports here; the shim has
+    /// nothing left to do but keeps the call site compiling.)
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter description.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else if self.parameter.is_empty() {
+            write!(f, "{}", self.function)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Timing context passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, calibrating an iteration count so each sample takes
+    /// a measurable amount of wall-clock time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // A second `iter` call in the same closure would silently mix two
+        // routines' timings into one report.
+        self.samples.clear();
+
+        // Calibrate: aim for samples of at least ~2 ms each.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let target = Duration::from_millis(2);
+        self.iters_per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+fn run_one<F>(id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_count: sample_size,
+        iters_per_sample: 1,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<48} (no samples collected)");
+        return;
+    }
+    bencher.samples.sort_unstable();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let min = bencher.samples[0];
+    let max = *bencher.samples.last().expect("non-empty");
+    println!(
+        "{id:<48} {:>12} [{} .. {}] ×{}",
+        fmt_duration(median),
+        fmt_duration(min),
+        fmt_duration(max),
+        bencher.iters_per_sample,
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: `criterion_group!(name, fn_a, fn_b)` expands
+/// to a function `name()` running each registered benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0usize;
+        {
+            let mut group = c.benchmark_group("shim_self_test");
+            group.sample_size(3);
+            group.bench_function("count", |b| {
+                ran += 1;
+                b.iter(|| (0..100u64).sum::<u64>());
+            });
+            group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &n| {
+                b.iter(|| (0..n).product::<u64>());
+            });
+            group.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", "p8_d9").to_string(), "f/p8_d9");
+        assert_eq!(BenchmarkId::from_parameter(32).to_string(), "32");
+    }
+}

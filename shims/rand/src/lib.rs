@@ -1,0 +1,430 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! Implements the subset of the `rand` 0.8 API that the PECAN workspace
+//! uses — see `shims/README.md` for scope and caveats. The generator behind
+//! [`rngs::StdRng`] is xoshiro256** seeded through SplitMix64: fast,
+//! deterministic, and statistically sound for the k-means / initialiser /
+//! data-augmentation workloads here, but **not** stream-compatible with the
+//! real crate.
+
+use core::ops::{Range, RangeInclusive};
+
+/// Low-level entropy source: everything derives from [`RngCore::next_u64`].
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators. Only `seed_from_u64` is provided; the workspace
+/// never seeds from byte arrays.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of a type with a [`Standard`](distributions::Standard)
+    /// distribution (uniform over all bit patterns for integers, `[0, 1)`
+    /// for floats).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        Rg: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} outside [0, 1]");
+        // 53 random bits → uniform f64 in [0, 1)
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Samples from an explicit distribution object.
+    fn sample<T, D>(&mut self, distr: D) -> T
+    where
+        D: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types that can be drawn uniformly from a bounded range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_between<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
+        -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                assert!(
+                    if inclusive { lo <= hi } else { lo < hi },
+                    "gen_range: empty range {lo}..{}{hi}",
+                    if inclusive { "=" } else { "" },
+                );
+                let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                // Modulo bias is < 2⁻⁶⁴ · span — irrelevant for the spans
+                // used in this workspace (all far below 2³²).
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty => $bits:expr),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                assert!(
+                    if inclusive { lo <= hi } else { lo < hi },
+                    "gen_range: empty float range {lo}..{}{hi}",
+                    if inclusive { "=" } else { "" },
+                );
+                let raw = rng.next_u64() >> (64 - $bits);
+                let unit = if inclusive {
+                    // closed [0, 1]: denominator 2^bits − 1 lets raw reach it
+                    raw as $t / ((1u64 << $bits) - 1) as $t
+                } else {
+                    raw as $t / (1u64 << $bits) as $t
+                };
+                let value = lo + (hi - lo) * unit;
+                if !inclusive && value >= hi {
+                    // `lo + (hi-lo)*unit` can round up to exactly `hi` even
+                    // though unit < 1; fold that 2⁻²⁴-probability draw back
+                    // to `lo` to preserve the half-open contract.
+                    lo
+                } else {
+                    value
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32 => 24, f64 => 53);
+
+/// Range expressions accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(*self.start(), *self.end(), true, rng)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** generator — the shim's stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = state;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    //! Distribution objects usable with [`Rng::sample`](super::Rng::sample).
+
+    use super::{RngCore, SampleUniform};
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The type's "natural" distribution: all bit patterns for integers,
+    /// `[0, 1)` for floats.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Uniform distribution over `[lo, hi)` or `[lo, hi]`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        lo: T,
+        hi: T,
+        inclusive: bool,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Uniform over the half-open interval `[lo, hi)`.
+        pub fn new(lo: T, hi: T) -> Self {
+            Self { lo, hi, inclusive: false }
+        }
+
+        /// Uniform over the closed interval `[lo, hi]`.
+        pub fn new_inclusive(lo: T, hi: T) -> Self {
+            Self { lo, hi, inclusive: true }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_between(self.lo, self.hi, self.inclusive, rng)
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related extensions.
+
+    use super::{Rng, RngCore};
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, or `None` if empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Convenience re-exports mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::distributions::Uniform;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let f = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i = rng.gen_range(-3i32..=3);
+            assert!((-3..=3).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_support() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_distribution_samples_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = Uniform::new(-1.0f32, 1.0);
+        let mean: f32 =
+            (0..4096).map(|_| dist.sample(&mut rng)).sum::<f32>() / 4096.0;
+        assert!(mean.abs() < 0.05, "uniform mean {mean} too far from 0");
+    }
+
+    #[test]
+    fn exclusive_float_range_never_returns_upper_bound() {
+        // An all-ones stream maximises `unit`, the draw where
+        // `lo + (hi-lo)*unit` is at risk of rounding up to exactly `hi`.
+        struct MaxRng;
+        impl crate::RngCore for MaxRng {
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+        }
+        let mut rng = MaxRng;
+        for (lo, hi) in [(1.0f32, 2.0), (3.0, 10.0), (0.75, 1.0), (-0.08, 0.08)] {
+            let v = rng.gen_range(lo..hi);
+            assert!(v >= lo && v < hi, "gen_range({lo}..{hi}) returned {v}");
+        }
+        let v64 = rng.gen_range(1.0f64..2.0);
+        assert!((1.0..2.0).contains(&v64), "f64 draw returned {v64}");
+    }
+
+    #[test]
+    fn inclusive_ranges_reach_their_upper_bound() {
+        let mut rng = StdRng::seed_from_u64(21);
+        assert_eq!(rng.gen_range(3usize..=3), 3);
+        assert_eq!(rng.gen_range(0.5f32..=0.5), 0.5);
+        let hit_top = (0..200).any(|_| rng.gen_range(0u32..=1) == 1);
+        assert!(hit_top, "0..=1 never produced 1");
+        let dist = Uniform::new_inclusive(0u32, 5);
+        let hit_five = (0..500).any(|_| dist.sample(&mut rng) == 5);
+        assert!(hit_five, "new_inclusive(0, 5) never produced 5");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+}

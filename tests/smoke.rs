@@ -1,0 +1,35 @@
+//! Smoke test for the README / facade quickstart path: builder → model zoo →
+//! forward pass. If this breaks, the first thing every new user tries breaks.
+
+use pecan::autograd::Var;
+use pecan::core::{PecanBuilder, PecanVariant};
+use pecan::nn::{models, Layer};
+use pecan::tensor::Tensor;
+
+#[test]
+fn quickstart_lenet_forward_produces_logits() {
+    // Mirrors the `src/lib.rs` quickstart verbatim: a multiplier-free
+    // PECAN-D LeNet over one zero MNIST frame.
+    let mut builder = PecanBuilder::from_seed(0, PecanVariant::Distance);
+    let mut net = models::lenet5_modified(&mut builder).expect("lenet builds");
+    let logits = net
+        .forward(&Var::constant(Tensor::zeros(&[1, 1, 28, 28])), false)
+        .expect("forward succeeds");
+    assert_eq!(logits.value().dims(), &[1, 10]);
+    assert!(
+        logits.value().data().iter().all(|v| v.is_finite()),
+        "logits must be finite"
+    );
+}
+
+#[test]
+fn quickstart_works_for_both_variants_and_batches() {
+    for variant in [PecanVariant::Angle, PecanVariant::Distance] {
+        let mut builder = PecanBuilder::from_seed(7, variant);
+        let mut net = models::lenet5_modified(&mut builder).expect("lenet builds");
+        let logits = net
+            .forward(&Var::constant(Tensor::zeros(&[3, 1, 28, 28])), false)
+            .expect("forward succeeds");
+        assert_eq!(logits.value().dims(), &[3, 10], "{variant:?} batch logits");
+    }
+}
