@@ -72,7 +72,9 @@ impl AnalogCam {
     }
 
     /// Finds the stored row with the smallest L1 distance to `query`
-    /// (first index on ties).
+    /// (first index on ties). Runs on the shared `pecan-index` scan, so it
+    /// agrees bit-for-bit with [`AnalogCam::search_batch`] and the indexed
+    /// engines.
     ///
     /// # Errors
     ///
@@ -85,23 +87,40 @@ impl AnalogCam {
                 self.width()
             )));
         }
-        let mut best = SearchResult { row: 0, score: f32::NEG_INFINITY };
-        for r in 0..self.entries() {
-            let mut dist = 0.0;
-            for (a, &b) in self.rows.row(r).iter().zip(query) {
-                dist += (a - b).abs();
-            }
-            let score = -dist;
-            if score > best.score {
-                best = SearchResult { row: r, score };
-            }
+        let (row, dist) = pecan_index::l1_argmin(self.rows.data(), self.width(), query);
+        Ok(SearchResult { row, score: -dist })
+    }
+
+    /// Searches a batch of queries laid out query-major (`[q·d]`, query `i`
+    /// occupying `queries[i*d..(i+1)*d]`) and returns the winning row per
+    /// query.
+    ///
+    /// Runs the blocked scan kernel from `pecan-index` ([Quick-ADC-style
+    /// lane blocking](pecan_index::l1_argmin_batch)), which amortizes each
+    /// stored-cell load over [`pecan_index::LANES`] queries — identical
+    /// winners and scores to calling [`AnalogCam::search`] per query,
+    /// several times the throughput.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `queries.len()` is not a multiple of `d`.
+    pub fn search_batch(&self, queries: &[f32]) -> Result<Vec<SearchResult>, ShapeError> {
+        if queries.len() % self.width() != 0 {
+            return Err(ShapeError::new(format!(
+                "query buffer of {} is not a multiple of CAM width {}",
+                queries.len(),
+                self.width()
+            )));
         }
-        Ok(best)
+        Ok(pecan_index::l1_argmin_batch(self.rows.data(), self.width(), queries)
+            .into_iter()
+            .map(|(row, dist)| SearchResult { row, score: -dist })
+            .collect())
     }
 
     /// Searches a whole matrix of queries (`[d, cols]`, one query per
     /// column, matching the im2col layout) and returns the winning row per
-    /// column.
+    /// column. Delegates to the batched kernel of [`AnalogCam::search_batch`].
     ///
     /// # Errors
     ///
@@ -115,16 +134,14 @@ impl AnalogCam {
                 self.width()
             )));
         }
-        let cols = queries.dims()[1];
-        let mut out = Vec::with_capacity(cols);
-        let mut buf = vec![0.0f32; self.width()];
+        let (d, cols) = (self.width(), queries.dims()[1]);
+        let mut buf = vec![0.0f32; cols * d];
         for i in 0..cols {
-            for (k, b) in buf.iter_mut().enumerate() {
-                *b = queries.get2(k, i);
+            for k in 0..d {
+                buf[i * d + k] = queries.get2(k, i);
             }
-            out.push(self.search(&buf)?);
         }
-        Ok(out)
+        self.search_batch(&buf)
     }
 }
 
@@ -250,6 +267,19 @@ mod tests {
             .map(|r| r.row)
             .collect();
         assert_eq!(rows, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn batch_search_matches_single_search() {
+        let cam = cam_3x2();
+        let queries = [0.1, -0.1, 0.9, 0.8, -1.5, 1.9, 1.0, 1.0];
+        let hits = cam.search_batch(&queries).unwrap();
+        assert_eq!(hits.len(), 4);
+        for (i, hit) in hits.iter().enumerate() {
+            let single = cam.search(&queries[i * 2..(i + 1) * 2]).unwrap();
+            assert_eq!(*hit, single);
+        }
+        assert!(cam.search_batch(&[0.0; 3]).is_err());
     }
 
     #[test]

@@ -54,7 +54,7 @@ impl Quantizer {
 /// An integer analog-CAM: stored `i16` rows, L1 winner-take-all in `i32`.
 #[derive(Debug, Clone)]
 pub struct FixedCam {
-    rows: Vec<Vec<i16>>,
+    rows: Vec<i16>, // flat [p, d], row-major
     width: usize,
 }
 
@@ -70,15 +70,13 @@ impl FixedCam {
         if p == 0 || d == 0 {
             return Err(ShapeError::new("fixed CAM must be non-empty"));
         }
-        let stored = (0..p)
-            .map(|r| rows.row(r).iter().map(|&v| quantizer.quantize(v)).collect())
-            .collect();
+        let stored = rows.data().iter().map(|&v| quantizer.quantize(v)).collect();
         Ok(Self { rows: stored, width: d })
     }
 
     /// Number of stored prototypes.
     pub fn entries(&self) -> usize {
-        self.rows.len()
+        self.rows.len() / self.width
     }
 
     /// Prototype width.
@@ -87,7 +85,8 @@ impl FixedCam {
     }
 
     /// Integer L1 nearest-match: returns `(winning row, L1 distance)`.
-    /// Subtraction, absolute value and accumulation only — no multiplier.
+    /// Subtraction, absolute value and accumulation only — no multiplier;
+    /// runs on the shared `pecan-index` scan instantiated at `i16`/`i32`.
     ///
     /// # Errors
     ///
@@ -100,19 +99,27 @@ impl FixedCam {
                 self.width
             )));
         }
-        let mut best_row = 0;
-        let mut best_dist = i32::MAX;
-        for (r, row) in self.rows.iter().enumerate() {
-            let mut dist: i32 = 0;
-            for (&a, &b) in row.iter().zip(query) {
-                dist += (a as i32 - b as i32).abs();
-            }
-            if dist < best_dist {
-                best_dist = dist;
-                best_row = r;
-            }
+        Ok(pecan_index::l1_argmin(&self.rows, self.width, query))
+    }
+
+    /// Batched integer nearest-match over query-major queries (`[q·d]`):
+    /// the blocked `pecan-index` kernel instantiated at `i16`/`i32`, so the
+    /// whole batch stays multiplier-free while each stored cell is loaded
+    /// once per [`pecan_index::LANES`] queries. Winners and distances are
+    /// identical to calling [`FixedCam::search`] per query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `queries.len()` is not a multiple of `d`.
+    pub fn search_batch(&self, queries: &[i16]) -> Result<Vec<(usize, i32)>, ShapeError> {
+        if queries.len() % self.width != 0 {
+            return Err(ShapeError::new(format!(
+                "query buffer of {} is not a multiple of CAM width {}",
+                queries.len(),
+                self.width
+            )));
         }
-        Ok((best_row, best_dist))
+        Ok(pecan_index::l1_argmin_batch(&self.rows, self.width, queries))
     }
 }
 
@@ -223,6 +230,26 @@ mod tests {
             let (row, _) = fixed.search(&fq).unwrap();
             assert_eq!(row, float_cam.search(&query).unwrap().row);
         }
+    }
+
+    #[test]
+    fn fixed_batch_search_matches_single_search() {
+        let rows = Tensor::from_vec(
+            vec![0.0, 0.0, 0.0, 0.8, 0.8, 0.8, -0.5, 0.5, -0.5],
+            &[3, 3],
+        )
+        .unwrap();
+        let q = Quantizer::new(12);
+        let cam = FixedCam::from_tensor(&rows, q).unwrap();
+        let queries: Vec<i16> = [0.1f32, -0.05, 0.02, 0.7, 0.9, 0.75, -0.4, 0.6, -0.55]
+            .iter()
+            .map(|&v| q.quantize(v))
+            .collect();
+        let batch = cam.search_batch(&queries).unwrap();
+        for (i, hit) in batch.iter().enumerate() {
+            assert_eq!(*hit, cam.search(&queries[i * 3..(i + 1) * 3]).unwrap());
+        }
+        assert!(cam.search_batch(&[0; 4]).is_err());
     }
 
     #[test]

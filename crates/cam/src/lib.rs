@@ -17,6 +17,11 @@
 //! * [`fixed`] — an integer-only (int16 query / int32 accumulate) pipeline
 //!   demonstrating that PECAN-D needs no floating-point multiplier at all.
 //!
+//! Batch workloads ([`AnalogCam::search_batch`], [`fixed::FixedCam::search_batch`]
+//! and [`AnalogCam::search_columns`]) run on the blocked scan kernel from
+//! [`pecan_index`], which also provides non-exhaustive indexed search over
+//! the same prototype arrays; all paths return identical winners.
+//!
 //! # Example
 //!
 //! ```

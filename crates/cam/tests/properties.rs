@@ -2,6 +2,7 @@
 
 use pecan_cam::fixed::{FixedCam, Quantizer};
 use pecan_cam::{AnalogCam, CostModel, LookupTable, OpCounts};
+use pecan_index::{BatchScanner, LinearScan, PqTableIndex, PrototypeIndex};
 use pecan_tensor::Tensor;
 use proptest::prelude::*;
 
@@ -59,6 +60,33 @@ proptest! {
             };
             let slack = 5.0 * 2.0 / 1024.0 * 5.0; // d · 2ε per element, generous
             prop_assert!((dist(fixed_row) - dist(float_hit.row)).abs() < slack);
+        }
+    }
+
+    #[test]
+    fn index_engines_match_noise_free_analog_cam(
+        rows in matrix(24, 6),
+        queries in proptest::collection::vec(-4.0f32..4.0, 6 * 11),
+    ) {
+        // The pecan-index engines must agree with the CAM simulator's own
+        // search exactly: same winning rows, and scores that are the
+        // negated distances bit-for-bit.
+        let cam = AnalogCam::new(rows.clone()).unwrap();
+        let linear = LinearScan::from_tensor(&rows).unwrap();
+        let batch = BatchScanner::from_tensor(&rows).unwrap();
+        let table = PqTableIndex::from_tensor(&rows).unwrap();
+        let batched = cam.search_batch(&queries).unwrap();
+        for (i, query) in queries.chunks_exact(6).enumerate() {
+            let hit = cam.search(query).unwrap();
+            for engine in [
+                linear.nearest(query).unwrap(),
+                batch.nearest(query).unwrap(),
+                table.nearest(query).unwrap(),
+            ] {
+                prop_assert_eq!(engine.row, hit.row);
+                prop_assert_eq!(-engine.distance, hit.score);
+            }
+            prop_assert_eq!(&batched[i], &hit);
         }
     }
 

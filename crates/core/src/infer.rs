@@ -161,6 +161,12 @@ impl LayerLut {
     /// producing the layer output `[cout, cols]`. When `stats` is given,
     /// PECAN-D records which prototype won each search (Fig. 6).
     ///
+    /// PECAN-D runs group by group through [`AnalogCam::search_batch`], the
+    /// blocked `pecan-index` scan that answers all columns of a group at
+    /// once; per-column accumulation order (bias, then groups in ascending
+    /// order) is unchanged, so outputs are bit-identical to the former
+    /// one-search-per-column loop.
+    ///
     /// # Errors
     ///
     /// Returns [`ShapeError`] when `x` does not match the configuration.
@@ -179,28 +185,53 @@ impl LayerLut {
         }
         let cols = x.dims()[1];
         let d = self.config.dim();
-        let p = self.config.prototypes();
         let mut out = Tensor::zeros(&[self.c_out, cols]);
-        let mut query = vec![0.0f32; d];
-        let mut acc = vec![0.0f32; self.c_out];
-        for i in 0..cols {
-            acc.fill(0.0);
-            if let Some(b) = &self.bias {
-                acc.copy_from_slice(b.data());
-            }
-            for j in 0..self.config.groups() {
-                for (k, q) in query.iter_mut().enumerate() {
-                    *q = x.get2(j * d + k, i);
+        match self.variant {
+            PecanVariant::Distance => {
+                // Transposed accumulator [cols, cout]: LUT reads then add
+                // into contiguous per-column rows.
+                let mut acc = vec![0.0f32; cols * self.c_out];
+                if let Some(b) = &self.bias {
+                    for column in acc.chunks_exact_mut(self.c_out) {
+                        column.copy_from_slice(b.data());
+                    }
                 }
-                match self.variant {
-                    PecanVariant::Distance => {
-                        let hit = self.analog[j].search(&query)?;
-                        self.luts[j].accumulate_column(hit.row, &mut acc)?;
+                let mut queries = vec![0.0f32; cols * d];
+                for j in 0..self.config.groups() {
+                    for i in 0..cols {
+                        for k in 0..d {
+                            queries[i * d + k] = x.get2(j * d + k, i);
+                        }
+                    }
+                    let hits = self.analog[j].search_batch(&queries)?;
+                    for (i, hit) in hits.iter().enumerate() {
+                        self.luts[j].accumulate_column(
+                            hit.row,
+                            &mut acc[i * self.c_out..(i + 1) * self.c_out],
+                        )?;
                         if let Some(s) = stats.as_deref_mut() {
                             s.record(j, hit.row);
                         }
                     }
-                    PecanVariant::Angle => {
+                }
+                for i in 0..cols {
+                    for o in 0..self.c_out {
+                        out.set2(o, i, acc[i * self.c_out + o]);
+                    }
+                }
+            }
+            PecanVariant::Angle => {
+                let mut query = vec![0.0f32; d];
+                let mut acc = vec![0.0f32; self.c_out];
+                for i in 0..cols {
+                    acc.fill(0.0);
+                    if let Some(b) = &self.bias {
+                        acc.copy_from_slice(b.data());
+                    }
+                    for j in 0..self.config.groups() {
+                        for (k, q) in query.iter_mut().enumerate() {
+                            *q = x.get2(j * d + k, i);
+                        }
                         let scores = self.dot[j].scores(&query)?;
                         let weights = softmax(&scores, self.tau);
                         self.luts[j].accumulate_weighted(&weights, &mut acc)?;
@@ -210,11 +241,10 @@ impl LayerLut {
                             s.record(j, best);
                         }
                     }
+                    for (o, &v) in acc.iter().enumerate() {
+                        out.set2(o, i, v);
+                    }
                 }
-                let _ = p;
-            }
-            for (o, &v) in acc.iter().enumerate() {
-                out.set2(o, i, v);
             }
         }
         Ok(out)

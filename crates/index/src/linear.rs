@@ -1,0 +1,93 @@
+use crate::{scan_rows, validate_rows, Match, PrototypeIndex};
+use pecan_tensor::{ShapeError, Tensor};
+
+/// The exhaustive baseline: every query is compared against every stored
+/// prototype.
+///
+/// This is the scan `pecan-cam`'s `AnalogCam` performed inline before this
+/// crate existed, extracted so the non-exhaustive and batched engines have
+/// a reference to be property-tested against. `O(p·d)` per query,
+/// allocation-free, no preprocessing — the right choice for small arrays or
+/// one-off searches.
+#[derive(Debug, Clone)]
+pub struct LinearScan {
+    rows: Vec<f32>,
+    entries: usize,
+    width: usize,
+}
+
+impl LinearScan {
+    /// Builds the index over a flattened `[p, d]` row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `rows` is empty or not a whole number of
+    /// rows of `width`.
+    pub fn new(rows: Vec<f32>, width: usize) -> Result<Self, ShapeError> {
+        let entries = validate_rows(&rows, width)?;
+        Ok(Self { rows, entries, width })
+    }
+
+    /// Builds the index from a rank-2 `[p, d]` tensor (one prototype per
+    /// row), e.g. a CAM array or a transposed codebook group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `rows` is not a non-empty rank-2 tensor.
+    pub fn from_tensor(rows: &Tensor) -> Result<Self, ShapeError> {
+        rows.shape().expect_rank(2)?;
+        Self::new(rows.data().to_vec(), rows.dims()[1])
+    }
+
+    /// The flattened prototype buffer.
+    pub fn rows(&self) -> &[f32] {
+        &self.rows
+    }
+}
+
+impl PrototypeIndex for LinearScan {
+    fn entries(&self) -> usize {
+        self.entries
+    }
+
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn nearest(&self, query: &[f32]) -> Result<Match, ShapeError> {
+        if query.len() != self.width {
+            return Err(ShapeError::new(format!(
+                "query width {} does not match index width {}",
+                query.len(),
+                self.width
+            )));
+        }
+        Ok(scan_rows(&self.rows, self.width, query))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_nearest_and_breaks_ties_first() {
+        // rows 1 and 2 are identical: the first must win.
+        let idx = LinearScan::new(vec![5.0, 5.0, 1.0, 1.0, 1.0, 1.0], 2).unwrap();
+        let hit = idx.nearest(&[1.2, 0.9]).unwrap();
+        assert_eq!(hit.row, 1);
+        assert!((hit.distance - 0.3).abs() < 1e-6);
+        assert_eq!(idx.entries(), 3);
+        assert_eq!(idx.width(), 2);
+    }
+
+    #[test]
+    fn tensor_constructor_and_validation() {
+        let t = Tensor::from_vec(vec![0.0, 0.0, 3.0, 3.0], &[2, 2]).unwrap();
+        let idx = LinearScan::from_tensor(&t).unwrap();
+        assert_eq!(idx.nearest(&[2.5, 3.5]).unwrap().row, 1);
+        assert!(LinearScan::from_tensor(&Tensor::zeros(&[4])).is_err());
+        assert!(idx.nearest(&[1.0]).is_err());
+        assert_eq!(idx.rows().len(), 4);
+    }
+}

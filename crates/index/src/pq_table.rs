@@ -1,0 +1,470 @@
+use crate::{l1_distance, scan_rows, validate_rows, Match, PrototypeIndex};
+use pecan_tensor::{ShapeError, Tensor};
+use std::collections::HashMap;
+
+/// Construction parameters for [`PqTableIndex`]. `0` means "choose
+/// automatically from the array shape".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PqTableConfig {
+    /// Number of sub-spaces `M` the prototype width is split into
+    /// (must divide the width; auto picks 4, 2 or 1).
+    pub sub_spaces: usize,
+    /// Centroids per sub-space `K` (auto picks `clamp(p/8, 2, 16)`).
+    pub centroids: usize,
+    /// Lloyd refinement iterations for the sub-space quantizers.
+    pub lloyd_iters: usize,
+    /// Arrays with fewer prototypes than this are not worth bucketing;
+    /// the index falls back to an exhaustive scan.
+    pub min_entries: usize,
+}
+
+impl Default for PqTableConfig {
+    fn default() -> Self {
+        Self { sub_spaces: 0, centroids: 0, lloyd_iters: 8, min_entries: 16 }
+    }
+}
+
+/// How much work one [`PqTableIndex`] query actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Buckets whose lower bound required probing.
+    pub buckets_probed: usize,
+    /// Prototypes re-ranked exactly (`== entries` for the fallback scan).
+    pub candidates_scanned: usize,
+}
+
+/// Non-exhaustive exact search over bucketed PQ codes, after PQTable
+/// (Matsui et al., ROADMAP's "fast search" direction).
+///
+/// At build time each prototype's width-`d` vector is split into `M`
+/// sub-vectors, each quantized against a small per-sub-space codebook of
+/// `K` centroids (Lloyd's algorithm, deterministic seeding). Prototypes
+/// sharing a code tuple land in the same bucket, and every centroid stores
+/// the radius of its cell (max L1 distance to a member).
+///
+/// A query then:
+///
+/// 1. computes its L1 distance to all `M·K` centroids (a distance LUT,
+///    `O(M·K·d/M) = O(K·d)` work — independent of `p`);
+/// 2. lower-bounds every bucket by `Σ_j max(0, dist(q_j, c_j) − radius_j)`
+///    — valid because L1 is a metric on each sub-space and the full
+///    distance is the sum of sub-space distances;
+/// 3. scans buckets in ascending bound order, re-ranking candidates with
+///    the exact full-width distance, and stops as soon as the best exact
+///    distance beats every remaining bucket's bound.
+///
+/// The bound makes the result **provably identical** to an exhaustive scan
+/// (including first-index tie-breaks) — cell bounds are deflated by a
+/// floating-point safety margin far above worst-case rounding error, so a
+/// bound can never overtake the computed distance of the candidate it
+/// covers. On clustered prototypes — which trained PECAN codebooks are —
+/// most buckets are never touched. Degenerate
+/// arrays (fewer than [`PqTableConfig::min_entries`] prototypes, or a
+/// quantizer that collapses into a single bucket) skip the machinery and
+/// scan exhaustively.
+#[derive(Debug, Clone)]
+pub struct PqTableIndex {
+    rows: Vec<f32>,
+    entries: usize,
+    width: usize,
+    table: Option<Table>,
+}
+
+#[derive(Debug, Clone)]
+struct Table {
+    sub_spaces: usize,
+    sub_dim: usize,
+    centroids_per_space: usize,
+    /// `[M][K][sub_dim]`, flattened.
+    centroids: Vec<f32>,
+    /// `[M][K]` cell radii.
+    radii: Vec<f32>,
+    /// Code tuple and member rows per non-empty bucket.
+    buckets: Vec<(Vec<u8>, Vec<u32>)>,
+}
+
+impl PqTableIndex {
+    /// Builds the index with automatic parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `rows` is empty or not a whole number of
+    /// rows of `width`.
+    pub fn new(rows: Vec<f32>, width: usize) -> Result<Self, ShapeError> {
+        Self::with_config(rows, width, PqTableConfig::default())
+    }
+
+    /// Builds the index from a rank-2 `[p, d]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `rows` is not a non-empty rank-2 tensor.
+    pub fn from_tensor(rows: &Tensor) -> Result<Self, ShapeError> {
+        rows.shape().expect_rank(2)?;
+        Self::new(rows.data().to_vec(), rows.dims()[1])
+    }
+
+    /// Builds the index with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the buffer is malformed or
+    /// `config.sub_spaces` does not divide `width`.
+    pub fn with_config(
+        rows: Vec<f32>,
+        width: usize,
+        config: PqTableConfig,
+    ) -> Result<Self, ShapeError> {
+        let entries = validate_rows(&rows, width)?;
+        let sub_spaces = match config.sub_spaces {
+            0 => auto_sub_spaces(width),
+            m if width % m != 0 => {
+                return Err(ShapeError::new(format!(
+                    "{m} sub-spaces do not divide prototype width {width}"
+                )));
+            }
+            m => m,
+        };
+        let centroids_per_space = match config.centroids {
+            0 => (entries / 8).clamp(2, 16),
+            k => k.min(255),
+        };
+        if entries < config.min_entries.max(2) || centroids_per_space >= entries {
+            return Ok(Self { rows, entries, width, table: None });
+        }
+        let table = build_table(
+            &rows,
+            entries,
+            width,
+            sub_spaces,
+            centroids_per_space,
+            config.lloyd_iters.max(1),
+        );
+        // A quantizer that collapsed into one bucket prunes nothing; keep
+        // the plain scan and its lower constant factor instead.
+        let table = table.filter(|t| t.buckets.len() > 1);
+        Ok(Self { rows, entries, width, table })
+    }
+
+    /// `true` when the index degenerated to an exhaustive scan.
+    pub fn is_exhaustive_fallback(&self) -> bool {
+        self.table.is_none()
+    }
+
+    /// Number of non-empty code buckets (0 in fallback mode).
+    pub fn bucket_count(&self) -> usize {
+        self.table.as_ref().map_or(0, |t| t.buckets.len())
+    }
+
+    /// [`PrototypeIndex::nearest`] plus a report of how much of the array
+    /// the query actually touched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `query.len()` does not match the width.
+    pub fn nearest_with_stats(&self, query: &[f32]) -> Result<(Match, ProbeStats), ShapeError> {
+        if query.len() != self.width {
+            return Err(ShapeError::new(format!(
+                "query width {} does not match index width {}",
+                query.len(),
+                self.width
+            )));
+        }
+        let Some(table) = &self.table else {
+            return Ok((
+                scan_rows(&self.rows, self.width, query),
+                ProbeStats { buckets_probed: 0, candidates_scanned: self.entries },
+            ));
+        };
+
+        // Distance LUT from the query's sub-vectors to every centroid,
+        // folded with the cell radius into a per-cell lower bound. The
+        // bound is mathematically ≤ the true distance, but it is computed
+        // with a different floating-point grouping than the exact re-rank
+        // distances, so rounding could nudge a computed bound a few ULPs
+        // above a computed candidate distance and prune the true winner.
+        // Deflate every cell bound by a margin proportional to the operand
+        // magnitudes that dwarfs worst-case accumulation error (~n·ε per
+        // n-term L1 sum) while staying orders of magnitude below real
+        // distances — pruning power is untouched, exactness is kept.
+        let (m, k, sd) = (table.sub_spaces, table.centroids_per_space, table.sub_dim);
+        let fp_slack = 16.0 * f32::EPSILON * self.width as f32;
+        let mut cell_bound = vec![0.0f32; m * k];
+        for j in 0..m {
+            let q_sub = &query[j * sd..(j + 1) * sd];
+            for c in 0..k {
+                let cent = &table.centroids[(j * k + c) * sd..(j * k + c + 1) * sd];
+                let dcent = l1_distance(q_sub, cent);
+                let radius = table.radii[j * k + c];
+                let bound = (dcent - radius) - (dcent + radius) * fp_slack;
+                cell_bound[j * k + c] = bound.max(0.0);
+            }
+        }
+
+        let mut order: Vec<(f32, u32)> = table
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, (code, _))| {
+                let lb: f32 = code
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &c)| cell_bound[j * k + c as usize])
+                    .sum();
+                (lb, i as u32)
+            })
+            .collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        let mut best = Match { row: 0, distance: f32::INFINITY };
+        let mut stats = ProbeStats { buckets_probed: 0, candidates_scanned: 0 };
+        for &(lower_bound, bucket) in &order {
+            // `>` not `>=`: a bucket whose bound ties the best distance may
+            // still hold an equal-distance prototype with a smaller row
+            // index, and the exhaustive scan would report that one.
+            if lower_bound > best.distance {
+                break;
+            }
+            stats.buckets_probed += 1;
+            for &r in &table.buckets[bucket as usize].1 {
+                let r = r as usize;
+                let dist =
+                    l1_distance(&self.rows[r * self.width..(r + 1) * self.width], query);
+                stats.candidates_scanned += 1;
+                if dist < best.distance || (dist == best.distance && r < best.row) {
+                    best = Match { row: r, distance: dist };
+                }
+            }
+        }
+        Ok((best, stats))
+    }
+
+}
+
+impl PrototypeIndex for PqTableIndex {
+    fn entries(&self) -> usize {
+        self.entries
+    }
+
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn nearest(&self, query: &[f32]) -> Result<Match, ShapeError> {
+        self.nearest_with_stats(query).map(|(m, _)| m)
+    }
+}
+
+/// Largest of 4, 2, 1 that divides `width` while keeping sub-vectors at
+/// least two elements wide.
+fn auto_sub_spaces(width: usize) -> usize {
+    for m in [4usize, 2] {
+        if width % m == 0 && width / m >= 2 {
+            return m;
+        }
+    }
+    1
+}
+
+fn build_table(
+    rows: &[f32],
+    entries: usize,
+    width: usize,
+    sub_spaces: usize,
+    centroids_per_space: usize,
+    lloyd_iters: usize,
+) -> Option<Table> {
+    let sub_dim = width / sub_spaces;
+    let k = centroids_per_space;
+    let mut centroids = vec![0.0f32; sub_spaces * k * sub_dim];
+    let mut radii = vec![0.0f32; sub_spaces * k];
+    let mut codes = vec![0u8; entries * sub_spaces];
+
+    for j in 0..sub_spaces {
+        let sub_vec = |r: usize| &rows[r * width + j * sub_dim..r * width + (j + 1) * sub_dim];
+        let space_centroids = &mut centroids[j * k * sub_dim..(j + 1) * k * sub_dim];
+        // Deterministic seeding: spread initial centroids across the rows.
+        for c in 0..k {
+            space_centroids[c * sub_dim..(c + 1) * sub_dim]
+                .copy_from_slice(sub_vec(c * entries / k));
+        }
+        let mut assign = vec![0usize; entries];
+        for _ in 0..lloyd_iters {
+            for (r, slot) in assign.iter_mut().enumerate() {
+                *slot = nearest_centroid(sub_vec(r), space_centroids, sub_dim);
+            }
+            let mut sums = vec![0.0f32; k * sub_dim];
+            let mut counts = vec![0usize; k];
+            for (r, &c) in assign.iter().enumerate() {
+                counts[c] += 1;
+                for (s, &v) in sums[c * sub_dim..(c + 1) * sub_dim]
+                    .iter_mut()
+                    .zip(sub_vec(r))
+                {
+                    *s += v;
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    for (dst, &s) in space_centroids[c * sub_dim..(c + 1) * sub_dim]
+                        .iter_mut()
+                        .zip(&sums[c * sub_dim..(c + 1) * sub_dim])
+                    {
+                        *dst = s / counts[c] as f32;
+                    }
+                }
+            }
+        }
+        for (r, slot) in assign.iter_mut().enumerate() {
+            *slot = nearest_centroid(sub_vec(r), space_centroids, sub_dim);
+        }
+        for (r, &c) in assign.iter().enumerate() {
+            codes[r * sub_spaces + j] = c as u8;
+            let dist = l1_distance(
+                sub_vec(r),
+                &space_centroids[c * sub_dim..(c + 1) * sub_dim],
+            );
+            radii[j * k + c] = radii[j * k + c].max(dist);
+        }
+    }
+
+    let mut map: HashMap<Vec<u8>, Vec<u32>> = HashMap::new();
+    for r in 0..entries {
+        map.entry(codes[r * sub_spaces..(r + 1) * sub_spaces].to_vec())
+            .or_default()
+            .push(r as u32);
+    }
+    let mut buckets: Vec<(Vec<u8>, Vec<u32>)> = map.into_iter().collect();
+    buckets.sort(); // deterministic layout independent of hash order
+    Some(Table { sub_spaces, sub_dim, centroids_per_space: k, centroids, radii, buckets })
+}
+
+fn nearest_centroid(sub_vec: &[f32], centroids: &[f32], sub_dim: usize) -> usize {
+    let mut best = 0usize;
+    let mut best_dist = f32::INFINITY;
+    for (c, cent) in centroids.chunks_exact(sub_dim).enumerate() {
+        let dist = l1_distance(sub_vec, cent);
+        if dist < best_dist {
+            best_dist = dist;
+            best = c;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearScan;
+
+    fn pseudo(seed: &mut u64) -> f32 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        ((*seed >> 11) as f32 / (1u64 << 53) as f32) * 2.0 - 1.0
+    }
+
+    /// `p` prototypes sampled around `clusters` centres — the regime trained
+    /// codebooks live in.
+    fn clustered_rows(p: usize, d: usize, clusters: usize, seed: &mut u64) -> Vec<f32> {
+        let centres: Vec<f32> = (0..clusters * d).map(|_| pseudo(seed) * 4.0).collect();
+        (0..p)
+            .flat_map(|r| {
+                let c = r % clusters;
+                (0..d)
+                    .map(|k| centres[c * d + k] + pseudo(seed) * 0.2)
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_linear_scan_on_random_rows() {
+        let mut seed = 11u64;
+        let (p, d) = (96, 8);
+        let rows: Vec<f32> = (0..p * d).map(|_| pseudo(&mut seed)).collect();
+        let linear = LinearScan::new(rows.clone(), d).unwrap();
+        let table = PqTableIndex::new(rows, d).unwrap();
+        assert!(!table.is_exhaustive_fallback());
+        for _ in 0..200 {
+            let q: Vec<f32> = (0..d).map(|_| pseudo(&mut seed) * 2.0).collect();
+            assert_eq!(table.nearest(&q).unwrap(), linear.nearest(&q).unwrap());
+        }
+    }
+
+    #[test]
+    fn clustered_rows_are_searched_non_exhaustively() {
+        let mut seed = 23u64;
+        let (p, d) = (256, 16);
+        let rows = clustered_rows(p, d, 16, &mut seed);
+        let linear = LinearScan::new(rows.clone(), d).unwrap();
+        let table = PqTableIndex::new(rows.clone(), d).unwrap();
+        let mut scanned_total = 0usize;
+        let queries = 64;
+        for i in 0..queries {
+            // queries near stored prototypes — the regime CAM matching runs
+            // in, since im2col features cluster around trained codebooks
+            let anchor = (i * 7) % p;
+            let q: Vec<f32> = rows[anchor * d..(anchor + 1) * d]
+                .iter()
+                .map(|&v| v + pseudo(&mut seed) * 0.3)
+                .collect();
+            let (hit, stats) = table.nearest_with_stats(&q).unwrap();
+            assert_eq!(hit, linear.nearest(&q).unwrap());
+            scanned_total += stats.candidates_scanned;
+        }
+        // the point of the index: far fewer exact re-ranks than p per query
+        assert!(
+            scanned_total < queries * p / 2,
+            "scanned {scanned_total} of {} candidates",
+            queries * p
+        );
+    }
+
+    #[test]
+    fn tie_breaks_match_the_exhaustive_scan() {
+        // duplicate rows force exact ties; winner must be the first index
+        let mut rows = Vec::new();
+        for r in 0..32 {
+            let v = (r % 4) as f32;
+            rows.extend_from_slice(&[v, -v, v, -v]);
+        }
+        let table = PqTableIndex::with_config(
+            rows.clone(),
+            4,
+            PqTableConfig { min_entries: 2, ..PqTableConfig::default() },
+        )
+        .unwrap();
+        let linear = LinearScan::new(rows, 4).unwrap();
+        for v in [0.0f32, 1.0, 2.5, 3.0] {
+            let q = [v, -v, v, -v];
+            assert_eq!(table.nearest(&q).unwrap(), linear.nearest(&q).unwrap());
+        }
+    }
+
+    #[test]
+    fn small_arrays_fall_back_to_full_scan() {
+        let rows = vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0];
+        let table = PqTableIndex::new(rows, 2).unwrap();
+        assert!(table.is_exhaustive_fallback());
+        assert_eq!(table.bucket_count(), 0);
+        let (hit, stats) = table.nearest_with_stats(&[1.9, 2.1]).unwrap();
+        assert_eq!(hit.row, 2);
+        assert_eq!(stats.candidates_scanned, 3);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(PqTableIndex::new(vec![], 2).is_err());
+        assert!(PqTableIndex::with_config(
+            vec![0.0; 12],
+            4,
+            PqTableConfig { sub_spaces: 3, ..PqTableConfig::default() }
+        )
+        .is_err());
+        let idx = PqTableIndex::new(vec![0.0; 12], 4).unwrap();
+        assert!(idx.nearest(&[0.0; 3]).is_err());
+        assert_eq!(idx.entries(), 3);
+        assert_eq!(idx.width(), 4);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests proving the three search engines are interchangeable:
+//! [`PqTableIndex`] and [`BatchScanner`] must return **exactly** the same
+//! winners (rows and distances, bit-for-bit) as the exhaustive
+//! [`LinearScan`] across random prototypes, queries and PQ configurations.
+
+use pecan_index::{
+    BatchScanner, LinearScan, PqTableConfig, PqTableIndex, PrototypeIndex,
+};
+use proptest::prelude::*;
+
+/// Flattened `[p, d]` prototypes plus a query-major `[q, d]` batch.
+fn workload(
+    p: usize,
+    d: usize,
+    q: usize,
+) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (
+        proptest::collection::vec(-4.0f32..4.0, p * d),
+        proptest::collection::vec(-4.0f32..4.0, q * d),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn batch_scanner_matches_linear_scan(
+        (rows, queries) in workload(37, 6, 19),
+    ) {
+        let linear = LinearScan::new(rows.clone(), 6).unwrap();
+        let batch = BatchScanner::new(rows, 6).unwrap();
+        let expect = linear.nearest_batch(&queries).unwrap();
+        let got = batch.nearest_batch(&queries).unwrap();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pq_table_matches_linear_scan(
+        (rows, queries) in workload(48, 8, 12),
+    ) {
+        let linear = LinearScan::new(rows.clone(), 8).unwrap();
+        let table = PqTableIndex::new(rows, 8).unwrap();
+        let expect = linear.nearest_batch(&queries).unwrap();
+        let got = table.nearest_batch(&queries).unwrap();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pq_table_matches_across_configs(
+        (rows, queries) in workload(40, 12, 8),
+        sub_spaces in prop::sample::select(vec![1usize, 2, 3, 4, 6]),
+        centroids in 2usize..12,
+        lloyd_iters in 1usize..6,
+    ) {
+        let linear = LinearScan::new(rows.clone(), 12).unwrap();
+        let cfg = PqTableConfig {
+            sub_spaces,
+            centroids,
+            lloyd_iters,
+            min_entries: 2,
+        };
+        let table = PqTableIndex::with_config(rows, 12, cfg).unwrap();
+        let expect = linear.nearest_batch(&queries).unwrap();
+        let got = table.nearest_batch(&queries).unwrap();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn duplicated_rows_still_agree_on_ties(
+        (half, queries) in workload(16, 4, 10),
+    ) {
+        // duplicate every prototype so exact distance ties are guaranteed
+        let mut rows = half.clone();
+        rows.extend_from_slice(&half);
+        let linear = LinearScan::new(rows.clone(), 4).unwrap();
+        let batch = BatchScanner::new(rows.clone(), 4).unwrap();
+        let table = PqTableIndex::with_config(
+            rows,
+            4,
+            PqTableConfig { min_entries: 2, ..PqTableConfig::default() },
+        )
+        .unwrap();
+        let expect = linear.nearest_batch(&queries).unwrap();
+        prop_assert_eq!(batch.nearest_batch(&queries).unwrap(), expect.clone());
+        prop_assert_eq!(table.nearest_batch(&queries).unwrap(), expect.clone());
+        // every winner is in the first half (first-index tie-break)
+        for hit in &expect {
+            prop_assert!(hit.row < 16);
+        }
+    }
+
+    #[test]
+    fn stored_prototype_is_its_own_winner(
+        (rows, _) in workload(24, 5, 1),
+        pick in 0usize..24,
+    ) {
+        let table = PqTableIndex::with_config(
+            rows.clone(),
+            5,
+            PqTableConfig { min_entries: 2, ..PqTableConfig::default() },
+        )
+        .unwrap();
+        let batch = BatchScanner::new(rows.clone(), 5).unwrap();
+        let query = &rows[pick * 5..(pick + 1) * 5];
+        prop_assert_eq!(table.nearest(query).unwrap().distance, 0.0);
+        prop_assert_eq!(batch.nearest_batch(query).unwrap()[0].distance, 0.0);
+    }
+}

@@ -7,8 +7,19 @@
 //! outlier analysis, plotting, or baseline comparison: the real crate does
 //! those far better, and this shim's one job is to keep `cargo bench`
 //! compiling and producing honest numbers offline.
+//!
+//! Two extensions support regression tracking across PRs:
+//!
+//! * every benchmark writes its median/min/max (in nanoseconds) to
+//!   `target/bench/<sanitized-id>-<id-hash>.json` — override the directory with
+//!   `PECAN_BENCH_JSON_DIR`;
+//! * `PECAN_BENCH_SAMPLES=<n>` overrides every `sample_size()` call, letting
+//!   CI do a one-sample smoke run of the full bench suite.
 
+use std::env;
 use std::fmt;
+use std::fs;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Re-export mirroring `criterion::black_box` (deprecated upstream in favour
@@ -178,6 +189,11 @@ fn run_one<F>(id: &str, sample_size: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    let sample_size = env::var("PECAN_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(sample_size);
     let mut bencher = Bencher {
         samples: Vec::with_capacity(sample_size),
         sample_count: sample_size,
@@ -199,6 +215,70 @@ where
         fmt_duration(max),
         bencher.iters_per_sample,
     );
+    write_json(id, median, min, max, bencher.samples.len(), bencher.iters_per_sample);
+}
+
+/// Directory the per-bench JSON files land in: `PECAN_BENCH_JSON_DIR` if
+/// set, else `<target>/bench` located from the running bench executable
+/// (`<target>/<profile>/deps/<bench>`), else a local `target/bench`.
+fn json_dir() -> PathBuf {
+    if let Some(dir) = env::var_os("PECAN_BENCH_JSON_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Ok(exe) = env::current_exe() {
+        for dir in exe.ancestors() {
+            if dir.file_name().is_some_and(|n| n == "target") {
+                return dir.join("bench");
+            }
+        }
+    }
+    PathBuf::from("target/bench")
+}
+
+/// Sanitized file name for one benchmark id. Distinct ids may sanitize to
+/// the same readable stem (`p8 d9` vs `p8_d9`), so a hash of the raw id is
+/// appended — two different benchmarks can never overwrite each other's
+/// regression data.
+fn json_file_name(id: &str) -> String {
+    let stem: String = id
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_') { c } else { '_' })
+        .collect();
+    // FNV-1a over the raw id
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in id.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{stem}-{:08x}.json", hash as u32)
+}
+
+/// Persists one benchmark's timings as
+/// `<json_dir>/<sanitized-id>-<id-hash>.json` so regression tracking can
+/// diff medians across runs. Failures are reported but never fail the
+/// bench.
+fn write_json(
+    id: &str,
+    median: Duration,
+    min: Duration,
+    max: Duration,
+    samples: usize,
+    iters_per_sample: u64,
+) {
+    let dir = json_dir();
+    let body = format!(
+        "{{\n  \"name\": \"{}\",\n  \"median_ns\": {},\n  \"min_ns\": {},\n  \"max_ns\": {},\n  \"samples\": {},\n  \"iters_per_sample\": {}\n}}\n",
+        id.replace('\\', "\\\\").replace('"', "\\\""),
+        median.as_nanos(),
+        min.as_nanos(),
+        max.as_nanos(),
+        samples,
+        iters_per_sample,
+    );
+    let path = dir.join(json_file_name(id));
+    if let Err(err) = fs::create_dir_all(&dir).and_then(|()| fs::write(&path, body)) {
+        eprintln!("criterion shim: could not write {}: {err}", path.display());
+    }
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -239,9 +319,26 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The sink's env overrides are process-global, and `run_one` reads them
+    /// on every call — so every test that touches either side must hold this
+    /// lock, both to avoid concurrent getenv/setenv (UB on glibc) and to
+    /// keep one test's overrides from leaking into another's measurements.
+    /// Each guarded test also routes the sink into its own scratch dir so
+    /// `cargo test` never litters the real `target/bench` regression data.
+    fn env_lock(scratch: &str) -> (MutexGuard<'static, ()>, std::path::PathBuf) {
+        static ENV_LOCK: Mutex<()> = Mutex::new(());
+        let guard = ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dir = env::temp_dir().join("pecan-criterion-shim-tests").join(scratch);
+        let _ = fs::remove_dir_all(&dir);
+        env::set_var("PECAN_BENCH_JSON_DIR", &dir);
+        (guard, dir)
+    }
 
     #[test]
     fn group_runs_and_reports() {
+        let (_guard, dir) = env_lock("group");
         let mut c = Criterion::default();
         let mut ran = 0usize;
         {
@@ -256,7 +353,37 @@ mod tests {
             });
             group.finish();
         }
+        env::remove_var("PECAN_BENCH_JSON_DIR");
         assert_eq!(ran, 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn json_sink_and_sample_override() {
+        let (_guard, dir) = env_lock("sink");
+        env::set_var("PECAN_BENCH_SAMPLES", "2");
+        run_one("sink_test/group/p8 d9", 30, |b| {
+            b.iter(|| (0..64u64).sum::<u64>());
+        });
+        env::remove_var("PECAN_BENCH_SAMPLES");
+        env::remove_var("PECAN_BENCH_JSON_DIR");
+        let written = fs::read_to_string(dir.join(json_file_name("sink_test/group/p8 d9")))
+            .expect("sink file exists");
+        assert!(written.contains("\"name\": \"sink_test/group/p8 d9\""));
+        assert!(written.contains("\"median_ns\": "));
+        // PECAN_BENCH_SAMPLES overrode the requested 30 samples
+        assert!(written.contains("\"samples\": 2"));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn colliding_sanitized_ids_get_distinct_files() {
+        let a = json_file_name("linear/p8 d9");
+        let b = json_file_name("linear/p8_d9");
+        assert!(a.starts_with("linear_p8_d9-"));
+        assert!(b.starts_with("linear_p8_d9-"));
+        assert_ne!(a, b);
+        assert_eq!(a, json_file_name("linear/p8 d9"));
     }
 
     #[test]

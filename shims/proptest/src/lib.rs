@@ -81,6 +81,56 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (S0 / 0, S1 / 1)
+    (S0 / 0, S1 / 1, S2 / 2)
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3)
+}
+
+pub mod sample {
+    //! Strategies drawing from explicit value sets.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy returned by [`select()`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Draws uniformly from `options` (the real crate's
+    /// `prop::sample::select` for the `Vec` case).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
 pub mod collection {
     //! Collection strategies.
 
@@ -230,7 +280,7 @@ macro_rules! __proptest_items {
     (
         ($config:expr)
         $(#[$meta:meta])*
-        fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        fn $name:ident( $($arg:pat in $strategy:expr),* $(,)? ) $body:block
         $($rest:tt)*
     ) => {
         $(#[$meta])*
@@ -286,6 +336,7 @@ macro_rules! prop_assert_eq {
 
 /// Everything a property test module normally imports.
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::collection;
     pub use crate::{prop_assert, prop_assert_eq, proptest};
     pub use crate::{Just, ProptestConfig, Strategy, TestCaseError};
@@ -317,6 +368,23 @@ mod tests {
         #[test]
         fn prop_map_applies(total in collection::vec(1usize..4, 5).prop_map(|v| v.len())) {
             prop_assert_eq!(total, 5);
+        }
+
+        #[test]
+        fn tuple_strategies_generate_componentwise(
+            (x, n) in (-1.0f32..1.0, 3usize..7),
+            (a, b, c) in (0u8..4, Just(9i32), collection::vec(0usize..2, 3)),
+        ) {
+            prop_assert!((-1.0..1.0).contains(&x));
+            prop_assert!((3..7).contains(&n));
+            prop_assert!(a < 4);
+            prop_assert_eq!(b, 9);
+            prop_assert_eq!(c.len(), 3);
+        }
+
+        #[test]
+        fn select_draws_from_options(v in prop::sample::select(vec![2usize, 4, 8])) {
+            prop_assert!(v == 2 || v == 4 || v == 8);
         }
     }
 

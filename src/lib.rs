@@ -14,6 +14,7 @@
 //! | [`core`] | PECAN-A / PECAN-D layers, Algorithm-1 LUT inference, Table-1 complexity model, paper configs, pruning |
 //! | [`pq`] | codebooks, angle/L1 similarity, straight-through estimator, annealed sign gradients |
 //! | [`cam`] | CAM hardware simulator: analog L1 arrays, lookup tables, VIA-Nano cost model, fixed-point pipeline |
+//! | [`index`] | prototype search engines: exhaustive linear scan, PQTable-style non-exhaustive buckets, Quick-ADC-style batched scans |
 //! | [`nn`] | conventional layers + the model zoo (LeNet-5, VGG-Small, ResNet-20/32, ConvMixer) |
 //! | [`autograd`] | tape-based reverse-mode autodiff with SGD/Adam |
 //! | [`tensor`] | dense f32 tensors, matmul, im2col |
@@ -47,6 +48,7 @@ pub use pecan_baselines as baselines;
 pub use pecan_cam as cam;
 pub use pecan_core as core;
 pub use pecan_datasets as datasets;
+pub use pecan_index as index;
 pub use pecan_nn as nn;
 pub use pecan_pq as pq;
 pub use pecan_tensor as tensor;

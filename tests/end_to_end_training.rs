@@ -29,8 +29,10 @@ fn build(builder: &mut dyn LayerBuilder) -> Sequential {
 
 fn run(variant: Option<PecanVariant>, seed: u64) -> f32 {
     let mut rng = StdRng::seed_from_u64(9);
-    let data = synthetic_mnist(&mut rng, 350);
-    let (train, test) = data.split(250);
+    // Budget tuned to the smallest run that still clears the thresholds
+    // below with margin — this is the slowest test in the suite.
+    let data = synthetic_mnist(&mut rng, 280);
+    let (train, test) = data.split(200);
     let train_b = batches(&train, &mut rng);
     let test_b = batches(&test, &mut rng);
 
@@ -51,9 +53,9 @@ fn run(variant: Option<PecanVariant>, seed: u64) -> f32 {
         Strategy::CoOptimization,
         &train_b,
         &test_b,
-        12,
-        0.005,
-        10,
+        7,
+        0.006,
+        6,
     )
     .expect("training runs");
     report.eval_accuracy
