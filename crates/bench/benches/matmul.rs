@@ -1,0 +1,65 @@
+//! Training-side GEMM kernel bench: the seed's scalar blocked-ikj oracle
+//! vs the packed microkernel at 1 thread vs the scoped pool at 4 threads.
+//!
+//! The headline comparison is the 256×256×256 square product (the ROADMAP
+//! scale-work target); a second shape reproduces a representative im2col
+//! convolution GEMM (`cout × cin·k² × N·Hout·Wout`) from the reduced
+//! training runs. All three kernels produce bit-identical outputs (pinned
+//! by `crates/tensor/tests/gemm_parity.rs`), so this bench is purely about
+//! wall-clock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pecan_tensor::gemm::{gemm_with_threads, scalar};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+struct Case {
+    label: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let cases = [
+        Case { label: "256x256x256", m: 256, k: 256, n: 256 },
+        Case { label: "conv_32x144x2704", m: 32, k: 144, n: 2704 },
+    ];
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for Case { label, m, k, n } in cases {
+        let a = pecan_tensor::uniform(&mut rng, &[m, k], -1.0, 1.0);
+        let b = pecan_tensor::uniform(&mut rng, &[k, n], -1.0, 1.0);
+        let mut out = vec![0.0f32; m * n];
+        group.bench_function(format!("scalar/{label}"), |bch| {
+            bch.iter(|| {
+                scalar::gemm_nn(black_box(a.data()), black_box(b.data()), &mut out, m, k, n);
+                black_box(out[0])
+            });
+        });
+        for threads in [1usize, 4] {
+            group.bench_function(format!("packed_t{threads}/{label}"), |bch| {
+                bch.iter(|| {
+                    gemm_with_threads(
+                        black_box(a.data()),
+                        false,
+                        black_box(b.data()),
+                        false,
+                        &mut out,
+                        m,
+                        k,
+                        n,
+                        threads,
+                    );
+                    black_box(out[0])
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

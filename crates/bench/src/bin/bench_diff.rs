@@ -1,0 +1,85 @@
+//! `bench-diff` — gate CI on benchmark medians.
+//!
+//! ```text
+//! bench-diff <baseline-dir> <current-dir> [--threshold <pct>]
+//! ```
+//!
+//! Compares two directories of criterion-shim `*.json` records (the files
+//! every `cargo bench` run writes under `target/bench/`) and exits non-zero
+//! when any benchmark's median regressed beyond the threshold (default
+//! 20%). A missing *baseline* directory is the first-run case and exits 0
+//! so a branch with no prior artifact never fails; a missing *current*
+//! directory is always an error. Full CLI docs: `crates/bench/README.md`.
+
+use pecan_bench::diff;
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bench-diff <baseline-dir> <current-dir> [--threshold <pct>]";
+const DEFAULT_THRESHOLD_PCT: f64 = 20.0;
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dirs: Vec<&str> = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD_PCT;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = it.next().ok_or_else(|| format!("--threshold needs a value\n{USAGE}"))?;
+                threshold = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .ok_or_else(|| format!("invalid threshold `{v}` (want a percentage ≥ 0)"))?;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(false);
+            }
+            other if !other.starts_with('-') => dirs.push(other),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    let [baseline_dir, current_dir] = dirs.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+
+    if !Path::new(baseline_dir).is_dir() {
+        println!(
+            "bench-diff: baseline directory `{baseline_dir}` not found — \
+             no previous bench artifact, skipping comparison."
+        );
+        return Ok(false);
+    }
+    let baseline = diff::load_dir(Path::new(baseline_dir))
+        .map_err(|e| format!("cannot read baseline `{baseline_dir}`: {e}"))?;
+    let current = diff::load_dir(Path::new(current_dir))
+        .map_err(|e| format!("cannot read current `{current_dir}`: {e}"))?;
+    if current.is_empty() {
+        return Err(format!("current directory `{current_dir}` holds no bench records"));
+    }
+
+    let rows = diff::diff(&baseline, &current, threshold);
+    println!("bench-diff: {} benchmark(s), threshold ±{threshold}%\n", rows.len());
+    print!("{}", diff::render_table(&rows));
+    let regressed = diff::regressions(&rows);
+    if regressed.is_empty() {
+        println!("\nno median regressed beyond {threshold}%.");
+        Ok(false)
+    } else {
+        println!("\n{} median(s) regressed beyond {threshold}%: {}", regressed.len(), regressed.join(", "));
+        Ok(true)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("bench-diff: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -10,6 +10,11 @@
 //! over synthetic stand-in datasets (see `DESIGN.md` §2 and
 //! `EXPERIMENTS.md` for paper-vs-measured). Output is markdown, echoed to
 //! stdout and written to `results/<id>.md`.
+//!
+//! Tables are generated concurrently on the workspace's scoped thread pool
+//! (`PECAN_NUM_THREADS` workers; default `available_parallelism`, capped) —
+//! each table owns its seeds, so results are identical to a serial run, and
+//! output is printed in request order once every table has finished.
 
 use pecan_bench::{
     build_arch, fmt_ops, markdown_table, measure_accuracy, measure_adder_accuracy,
@@ -31,41 +36,60 @@ use rand::SeedableRng;
 use std::fs;
 use std::time::Instant;
 
+const KNOWN_IDS: [&str; 14] = [
+    "table1", "table2", "table3", "table4", "table5", "table6", "tableA2", "tableA3", "tableA4",
+    "figure3", "figure4", "figure5", "figure6", "noise",
+];
+
+fn generate(id: &str) -> Option<String> {
+    Some(match id {
+        "table1" => table1(),
+        "table2" => table2(),
+        "table3" => table3(),
+        "table4" => table4(),
+        "table5" => table5(),
+        "table6" => table6(),
+        "tableA2" => table_a2(),
+        "tableA3" => table_a3(),
+        "tableA4" => table_a4(),
+        "figure3" => figure3(),
+        "figure4" => figure4(),
+        "figure5" => figure5(),
+        "figure6" => figure6(),
+        "noise" => noise(),
+        _ => return None,
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec![
-            "table1", "table2", "table3", "table4", "table5", "table6", "tableA2", "tableA3",
-            "tableA4", "figure3", "figure4", "figure5", "figure6", "noise",
-        ]
+        KNOWN_IDS.to_vec()
     } else {
         args.iter().map(String::as_str).collect()
     };
     fs::create_dir_all("results").expect("create results dir");
-    for id in ids {
+    // Surface typo'd ids immediately instead of after minutes of training.
+    for id in &ids {
+        if !KNOWN_IDS.contains(id) {
+            eprintln!("unknown experiment id `{id}` — skipping (known: {})", KNOWN_IDS.join(" "));
+        }
+    }
+    let ids: Vec<&str> = ids.into_iter().filter(|id| KNOWN_IDS.contains(id)).collect();
+    // One worker per table up to the shared PECAN_NUM_THREADS budget (the
+    // GEMMs inside pool workers run serially, so the two layers never
+    // multiply); each table is seed-deterministic, so parallelism changes
+    // wall-clock only.
+    let threads = pecan_tensor::configured_threads();
+    eprintln!("experiments: {} job(s) on {threads} worker(s) (PECAN_NUM_THREADS to override)", ids.len());
+    let docs = pecan_tensor::parallel_map(threads, ids, |id| {
         let start = Instant::now();
-        let body = match id {
-            "table1" => table1(),
-            "table2" => table2(),
-            "table3" => table3(),
-            "table4" => table4(),
-            "table5" => table5(),
-            "table6" => table6(),
-            "tableA2" => table_a2(),
-            "tableA3" => table_a3(),
-            "tableA4" => table_a4(),
-            "figure3" => figure3(),
-            "figure4" => figure4(),
-            "figure5" => figure5(),
-            "figure6" => figure6(),
-            "noise" => noise(),
-            other => {
-                eprintln!("unknown experiment id `{other}` — skipping");
-                continue;
-            }
-        };
+        let body = generate(id);
         let elapsed = start.elapsed().as_secs_f32();
-        let doc = format!("{body}\n\n_(generated in {elapsed:.1}s)_\n");
+        (id, body.map(|b| format!("{b}\n\n_(generated in {elapsed:.1}s)_\n")))
+    });
+    for (id, doc) in docs {
+        let doc = doc.expect("ids were pre-validated against KNOWN_IDS");
         println!("{doc}");
         fs::write(format!("results/{id}.md"), &doc).expect("write result file");
     }

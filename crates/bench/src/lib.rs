@@ -8,6 +8,8 @@
 //! Helpers here keep those runs small enough for a laptop while exercising
 //! the full PECAN code path (im2col → PQ assignment → LUT → backprop).
 
+pub mod diff;
+
 use pecan_core::{train_pecan, PecanBuilder, PecanVariant, Strategy};
 use pecan_datasets::{make_batches, synthetic_mnist, synthetic_textures, InMemoryDataset};
 use pecan_nn::{models, Batch, LayerBuilder, Sequential, StandardBuilder};

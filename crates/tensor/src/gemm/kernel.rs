@@ -1,0 +1,82 @@
+//! The register-tile microkernel at the bottom of the packed GEMM.
+//!
+//! One call updates an `MR × NR` tile of `C` with the product of an `MR`-row
+//! packed A panel and an `NR`-column packed B panel over a depth-`kc` block.
+//! The accumulator lives in a plain `[[f32; NR]; MR]` array so the whole tile
+//! stays in registers; the loop body is branch-free and every slice has a
+//! compile-time-known width, which is exactly the shape LLVM's
+//! autovectorizer turns into lane-parallel SIMD adds/mults on any target
+//! (SSE2 baseline included) without `unsafe` or intrinsics.
+//!
+//! Numerical contract: for each `(i, j)` the products are accumulated in
+//! strictly increasing depth order, one at a time. Because the driver seeds
+//! the accumulator with the current value of `C` before every depth block,
+//! the *whole* GEMM performs, per output element, the same sequence of
+//! `+ a·b` operations as the retained scalar kernel — outputs are
+//! bit-identical to [`super::scalar`] for finite inputs, for any blocking
+//! and any thread count.
+
+/// Rows of the register tile (lanes of packed A panels).
+pub(crate) const MR: usize = 4;
+/// Columns of the register tile (lanes of packed B panels).
+///
+/// Chosen per target at compile time: 8 keeps the 4×NR accumulator inside
+/// the sixteen 128-bit registers of baseline x86-64; 16 fills the wider
+/// files when the build enables AVX (e.g.
+/// `RUSTFLAGS="-C target-cpu=native"`). The choice moves wall-clock only —
+/// output bits are tile-size-invariant (see the determinism note above).
+#[cfg(target_feature = "avx")]
+pub(crate) const NR: usize = 16;
+/// Columns of the register tile; see the `target_feature = "avx"` twin.
+#[cfg(not(target_feature = "avx"))]
+pub(crate) const NR: usize = 8;
+
+/// Accumulates `a_panel[kc × MR] · b_panel[kc × NR]` into `acc`.
+///
+/// `a_panel` stores depth-major MR-lane groups (`a_panel[l·MR + i]` is
+/// element `(i, l)` of the A block); `b_panel` stores depth-major NR-lane
+/// groups. Both must be exactly `kc` groups long — the packers zero-pad
+/// ragged edges so this holds for every tile.
+#[inline]
+pub(crate) fn microkernel(a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    debug_assert_eq!(a_panel.len() % MR, 0);
+    debug_assert_eq!(a_panel.len() / MR, b_panel.len() / NR);
+    for (av, bv) in a_panel.chunks_exact(MR).zip(b_panel.chunks_exact(NR)) {
+        for i in 0..MR {
+            let ai = av[i];
+            for j in 0..NR {
+                acc[i][j] += ai * bv[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microkernel_matches_naive_outer_product_sum() {
+        let kc = 5;
+        let a: Vec<f32> = (0..kc * MR).map(|v| v as f32 * 0.5 - 3.0).collect();
+        let b: Vec<f32> = (0..kc * NR).map(|v| v as f32 * 0.25 - 2.0).collect();
+        let mut acc = [[1.0f32; NR]; MR]; // non-zero seed: kernel must add, not overwrite
+        microkernel(&a, &b, &mut acc);
+        for i in 0..MR {
+            for j in 0..NR {
+                let mut want = 1.0f32;
+                for l in 0..kc {
+                    want += a[l * MR + i] * b[l * NR + j];
+                }
+                assert_eq!(acc[i][j].to_bits(), want.to_bits(), "tile ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_depth_leaves_accumulator_untouched() {
+        let mut acc = [[2.5f32; NR]; MR];
+        microkernel(&[], &[], &mut acc);
+        assert!(acc.iter().flatten().all(|&v| v == 2.5));
+    }
+}

@@ -1,0 +1,184 @@
+//! Panel packing: re-lays operand blocks so the microkernel streams both
+//! inputs with unit stride.
+//!
+//! Quick-ADC's lesson for PQ scan kernels applies verbatim to GEMM: lay the
+//! data out so the inner loop reads contiguous lane groups, and
+//! vectorization follows. A blocks become depth-major `MR`-lane panels,
+//! B blocks become depth-major `NR`-lane panels; ragged edges are
+//! zero-padded to full lanes so the microkernel never branches on tile
+//! shape. Padded lanes contribute exact `±0.0` products that are never
+//! written back, so padding is invisible in the output bits.
+//!
+//! Both packers take a `trans` flag describing how the *source slice* is
+//! laid out, which is how `matmul_tn` / `matmul_nt` run on the same kernel
+//! without materialising a transpose.
+
+use super::kernel::{MR, NR};
+
+/// Reads logical `A[i, l]` of the `m × k` left operand.
+///
+/// `trans == false`: `a` is `[m, k]` row-major. `trans == true`: `a` is the
+/// `[k, m]` row-major slice whose transpose is the logical operand (the
+/// `matmul_tn` layout).
+#[inline]
+fn a_elem(a: &[f32], trans: bool, m: usize, k: usize, i: usize, l: usize) -> f32 {
+    debug_assert!(i < m && l < k);
+    if trans {
+        a[l * m + i]
+    } else {
+        a[i * k + l]
+    }
+}
+
+/// Reads logical `B[l, j]` of the `k × n` right operand.
+///
+/// `trans == false`: `b` is `[k, n]` row-major. `trans == true`: `b` is the
+/// `[n, k]` row-major slice whose transpose is the logical operand (the
+/// `matmul_nt` layout).
+#[inline]
+fn b_elem(b: &[f32], trans: bool, k: usize, n: usize, l: usize, j: usize) -> f32 {
+    debug_assert!(l < k && j < n);
+    if trans {
+        b[j * k + l]
+    } else {
+        b[l * n + j]
+    }
+}
+
+/// Packs the A block `rows [i0, i0+mc) × depth [l0, l0+kc)` into MR panels.
+///
+/// Layout: panel `ir` (rows `i0 + ir·MR ..`) occupies
+/// `dst[ir·kc·MR .. (ir+1)·kc·MR]`, stored depth-major — element `(i, l)`
+/// of the panel sits at `l·MR + i`. Rows past `i0 + mc` are zero lanes.
+/// `dst` must hold `ceil(mc/MR)·kc·MR` values.
+pub(crate) fn pack_a_block(
+    dst: &mut [f32],
+    a: &[f32],
+    trans: bool,
+    m: usize,
+    k: usize,
+    i0: usize,
+    mc: usize,
+    l0: usize,
+    kc: usize,
+) {
+    let panels = mc.div_ceil(MR);
+    debug_assert!(dst.len() >= panels * kc * MR);
+    for ir in 0..panels {
+        let base = ir * kc * MR;
+        for l in 0..kc {
+            for lane in 0..MR {
+                let i = ir * MR + lane;
+                dst[base + l * MR + lane] = if i < mc {
+                    a_elem(a, trans, m, k, i0 + i, l0 + l)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// All of B packed once per GEMM call: every depth block × every NR panel.
+///
+/// Shared read-only across worker threads, so the (possibly strided)
+/// traversal of the source happens exactly once regardless of how many row
+/// chunks consume it.
+pub(crate) struct PackedB {
+    data: Vec<f32>,
+    /// `(l0, kc, offset)` per depth block, in increasing-`l0` order.
+    blocks: Vec<(usize, usize, usize)>,
+    n_panels: usize,
+}
+
+impl PackedB {
+    /// Packs the full `k × n` right operand using depth blocks of `kc_max`.
+    pub(crate) fn pack(b: &[f32], trans: bool, k: usize, n: usize, kc_max: usize) -> Self {
+        let n_panels = n.div_ceil(NR);
+        let mut blocks = Vec::new();
+        let mut offset = 0;
+        let mut l0 = 0;
+        while l0 < k {
+            let kc = kc_max.min(k - l0);
+            blocks.push((l0, kc, offset));
+            offset += n_panels * kc * NR;
+            l0 += kc;
+        }
+        let mut data = vec![0.0f32; offset];
+        for &(l0, kc, off) in &blocks {
+            for jr in 0..n_panels {
+                let base = off + jr * kc * NR;
+                for l in 0..kc {
+                    for lane in 0..NR {
+                        let j = jr * NR + lane;
+                        if j < n {
+                            data[base + l * NR + lane] = b_elem(b, trans, k, n, l0 + l, j);
+                        }
+                    }
+                }
+            }
+        }
+        Self { data, blocks, n_panels }
+    }
+
+    /// Depth blocks as `(l0, kc, offset)` triples in increasing depth order.
+    pub(crate) fn blocks(&self) -> &[(usize, usize, usize)] {
+        &self.blocks
+    }
+
+    /// The `kc × NR` panel for columns `jr·NR ..` of the block at `offset`.
+    pub(crate) fn panel(&self, offset: usize, kc: usize, jr: usize) -> &[f32] {
+        debug_assert!(jr < self.n_panels);
+        &self.data[offset + jr * kc * NR..offset + (jr + 1) * kc * NR]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_a_handles_transpose_and_ragged_tail() {
+        // logical A is 3×2: [[1,2],[3,4],[5,6]]
+        let a_nn = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // [3,2] row-major
+        let a_tn = [1.0, 3.0, 5.0, 2.0, 4.0, 6.0]; // [2,3] row-major
+        let (m, k) = (3usize, 2usize);
+        let panels = m.div_ceil(MR);
+        let mut nn = vec![f32::NAN; panels * k * MR];
+        let mut tn = vec![f32::NAN; panels * k * MR];
+        pack_a_block(&mut nn, &a_nn, false, m, k, 0, m, 0, k);
+        pack_a_block(&mut tn, &a_tn, true, m, k, 0, m, 0, k);
+        assert_eq!(nn, tn);
+        // depth-major lanes: l=0 → rows' first column + zero pad
+        assert_eq!(&nn[..MR], &[1.0, 3.0, 5.0, 0.0]);
+        assert_eq!(&nn[MR..2 * MR], &[2.0, 4.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn packed_b_blocks_cover_depth_and_pad_columns() {
+        let (k, n) = (5, 3);
+        let b: Vec<f32> = (0..k * n).map(|v| v as f32 + 1.0).collect();
+        let packed = PackedB::pack(&b, false, k, n, 2);
+        let blocks: Vec<(usize, usize)> =
+            packed.blocks().iter().map(|&(l0, kc, _)| (l0, kc)).collect();
+        assert_eq!(blocks, vec![(0, 2), (2, 2), (4, 1)]);
+        // second depth block, panel 0: rows l=2,3 of B, columns 0..3 + pad
+        let (_, kc, off) = packed.blocks()[1];
+        let panel = packed.panel(off, kc, 0);
+        assert_eq!(&panel[..3], &[7.0, 8.0, 9.0]);
+        assert!(panel[3..NR].iter().all(|&v| v == 0.0));
+        assert_eq!(&panel[NR..NR + 3], &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn packed_b_transposed_matches_plain() {
+        let (k, n) = (4, 6);
+        // logical B[l, j] = l*10 + j
+        let b_nn: Vec<f32> = (0..k * n).map(|v| ((v / n) * 10 + v % n) as f32).collect();
+        let b_nt: Vec<f32> = (0..n * k).map(|v| ((v % k) * 10 + v / k) as f32).collect();
+        let plain = PackedB::pack(&b_nn, false, k, n, 3);
+        let trans = PackedB::pack(&b_nt, true, k, n, 3);
+        assert_eq!(plain.data, trans.data);
+        assert_eq!(plain.blocks, trans.blocks);
+    }
+}

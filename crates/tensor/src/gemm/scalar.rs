@@ -1,0 +1,120 @@
+//! The seed workspace's scalar GEMM kernels, retained verbatim as the
+//! correctness oracle for the packed subsystem.
+//!
+//! These are the blocked-ikj (and l-outer / dot-product) loops that
+//! `Tensor::matmul{,_tn,_nt}` ran on before `gemm` existed. They stay in
+//! the tree for two reasons: parity tests assert the packed/threaded path
+//! reproduces them **bit-for-bit** (both accumulate each output element in
+//! strictly increasing depth order), and the `matmul` bench reports the
+//! packed kernel's speedup against them.
+
+/// `C[m×n] = A[m×k] · B[k×n]` (overwriting), i-k-j loop order.
+pub fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    c.fill(0.0);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut c[i * n..(i + 1) * n];
+        for (l, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[l * n..(l + 1) * n];
+            for (ov, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *ov += av * bv;
+            }
+        }
+    }
+}
+
+/// `C[m×n] = Aᵀ · B` with `a` laid out `[k, m]` row-major, `b` `[k, n]`.
+pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    c.fill(0.0);
+    // out[i, j] = Σ_l a[l, i] * b[l, j]; stream over l rows.
+    for l in 0..k {
+        let arow = &a[l * m..(l + 1) * m];
+        let brow = &b[l * n..(l + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut c[i * n..(i + 1) * n];
+            for (ov, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *ov += av * bv;
+            }
+        }
+    }
+}
+
+/// `C[m×n] = A · Bᵀ` with `a` laid out `[m, k]` row-major, `b` `[n, k]`.
+pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut c[i * n..(i + 1) * n];
+        for (j, ov) in orow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            *ov = acc;
+        }
+    }
+}
+
+/// Oracle entry with the same signature as [`super::gemm_with_threads`]:
+/// dispatches on the transpose flags.
+pub fn gemm(
+    a: &[f32],
+    trans_a: bool,
+    b: &[f32],
+    trans_b: bool,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    match (trans_a, trans_b) {
+        (false, false) => gemm_nn(a, b, c, m, k, n),
+        (true, false) => gemm_tn(a, b, c, m, k, n),
+        (false, true) => gemm_nt(a, b, c, m, k, n),
+        (true, true) => {
+            // Aᵀ·Bᵀ has no dedicated scalar kernel in the seed; compose via
+            // the same increasing-depth accumulation the others use.
+            c.fill(0.0);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for l in 0..k {
+                        acc += a[l * m + i] * b[j * k + l];
+                    }
+                    c[i * n + j] = acc;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_agree_on_a_common_product() {
+        // logical A 2×3, B 3×2
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // [2,3]
+        let at = [1.0, 4.0, 2.0, 5.0, 3.0, 6.0]; // [3,2]
+        let b = [7.0, 8.0, 9.0, 10.0, 11.0, 12.0]; // [3,2]
+        let bt = [7.0, 9.0, 11.0, 8.0, 10.0, 12.0]; // [2,3]
+        let want = [58.0, 64.0, 139.0, 154.0];
+        for (ta, tb, la, lb) in [
+            (false, false, &a, &b),
+            (true, false, &at, &b),
+            (false, true, &a, &bt),
+            (true, true, &at, &bt),
+        ] {
+            let mut c = [f32::NAN; 4];
+            gemm(la, ta, lb, tb, &mut c, 2, 3, 2);
+            assert_eq!(c, want, "ta={ta} tb={tb}");
+        }
+    }
+}

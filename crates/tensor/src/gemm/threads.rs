@@ -1,0 +1,198 @@
+//! Std-only scoped thread pool: worker-count configuration and a generic
+//! worklist runner.
+//!
+//! There is deliberately no registry dependency and no persistent pool —
+//! workers are `std::thread::scope` threads spawned per parallel region.
+//! The GEMM driver splits over disjoint row panels of `C` (see
+//! [`super::gemm_with_threads`]); [`parallel_map`] is the coarser-grained
+//! companion used by the `experiments` binary to run whole tables
+//! concurrently on the same `PECAN_NUM_THREADS` budget.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Hard ceiling on any configured worker count — beyond this the row panels
+/// of the workloads in this repo are too thin to keep lanes busy.
+const MAX_THREADS: usize = 64;
+/// Cap on the *default* (env unset): `available_parallelism` on big servers
+/// would oversubscribe the small GEMMs the training loop issues.
+const DEFAULT_CAP: usize = 8;
+
+/// Pure decision function behind [`configured_threads`], separated so the
+/// env-var policy is unit-testable without process-global state.
+fn threads_from_env(value: Option<&str>, available: usize) -> usize {
+    match value.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n.min(MAX_THREADS),
+        // Unparseable or unset: sane default, capped.
+        _ => available.clamp(1, DEFAULT_CAP),
+    }
+}
+
+/// Worker count for every parallel region in the workspace.
+///
+/// Reads `PECAN_NUM_THREADS` once per process (first call wins); when the
+/// variable is unset or invalid, defaults to
+/// [`std::thread::available_parallelism`] capped at 8. Always ≥ 1.
+pub fn configured_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        let available = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        threads_from_env(std::env::var("PECAN_NUM_THREADS").ok().as_deref(), available)
+    })
+}
+
+thread_local! {
+    /// Set inside [`parallel_map`] workers so nested auto-dispatched GEMMs
+    /// stay single-threaded instead of multiplying the worker count.
+    static IN_PARALLEL_REGION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// `true` on a [`parallel_map`] worker thread.
+///
+/// [`super::gemm`]'s auto-dispatch consults this to keep the total worker
+/// count at the `PECAN_NUM_THREADS` budget: when the coarse per-item pool
+/// is already saturating it, inner GEMMs run serially (same bits either
+/// way).
+pub(crate) fn in_parallel_region() -> bool {
+    IN_PARALLEL_REGION.with(std::cell::Cell::get)
+}
+
+/// Runs `f` over `items` on up to `threads` scoped workers, returning the
+/// outputs in input order.
+///
+/// Work is claimed from a shared atomic cursor, so long and short items mix
+/// freely; with `threads == 1` (or a single item) everything runs on the
+/// calling thread. Outputs are independent of the worker count — only the
+/// wall-clock changes. Inside the workers, auto-dispatched GEMMs run
+/// single-threaded so the two pool layers share one thread budget.
+pub fn parallel_map<T, O, F>(threads: usize, items: Vec<T>, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    let n = items.len();
+    let workers = threads.clamp(1, MAX_THREADS).min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                IN_PARALLEL_REGION.with(|flag| flag.set(true));
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let item = slots[idx]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .take()
+                        .expect("each slot is claimed exactly once");
+                    let out = f(item);
+                    *results[idx]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("worker wrote every claimed slot")
+        })
+        .collect()
+}
+
+/// Splits `total` row-blocks (of `block` rows each, last one ragged) into at
+/// most `threads` contiguous `(row0, rows)` chunks aligned to `block`.
+///
+/// Alignment keeps every chunk an integer number of packing blocks, so the
+/// per-element accumulation order — and therefore the output bits — cannot
+/// depend on the partition.
+pub(crate) fn row_chunks(m: usize, block: usize, threads: usize) -> Vec<(usize, usize)> {
+    let n_blocks = m.div_ceil(block);
+    let workers = threads.clamp(1, MAX_THREADS).min(n_blocks.max(1));
+    let per_worker = n_blocks.div_ceil(workers);
+    let mut chunks = Vec::with_capacity(workers);
+    let mut b0 = 0;
+    while b0 < n_blocks {
+        let rows_start = b0 * block;
+        let rows_end = ((b0 + per_worker) * block).min(m);
+        chunks.push((rows_start, rows_end - rows_start));
+        b0 += per_worker;
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_policy_parses_caps_and_defaults() {
+        assert_eq!(threads_from_env(Some("4"), 16), 4);
+        assert_eq!(threads_from_env(Some(" 2 "), 16), 2);
+        assert_eq!(threads_from_env(Some("0"), 16), 8); // invalid → default
+        assert_eq!(threads_from_env(Some("banana"), 3), 3);
+        assert_eq!(threads_from_env(Some("1000"), 16), MAX_THREADS);
+        assert_eq!(threads_from_env(None, 16), 8); // default capped
+        assert_eq!(threads_from_env(None, 2), 2);
+        assert_eq!(threads_from_env(None, 0), 1); // degenerate host info
+    }
+
+    #[test]
+    fn configured_threads_is_at_least_one() {
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_runs_everything() {
+        for threads in [1, 2, 5, 9] {
+            let got = parallel_map(threads, (0..23).collect(), |v: u64| v * v);
+            let want: Vec<u64> = (0..23).map(|v| v * v).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+        let empty: Vec<u64> = parallel_map(4, Vec::<u64>::new(), |v| v);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn workers_report_parallel_region_and_caller_does_not() {
+        assert!(!in_parallel_region(), "caller thread is not a pool worker");
+        let flags = parallel_map(3, (0..6).collect::<Vec<u32>>(), |_| in_parallel_region());
+        assert!(flags.iter().all(|&f| f), "every worker sees the region flag");
+        // threads == 1 runs inline on the caller: no region is entered.
+        let inline = parallel_map(1, vec![0u32], |_| in_parallel_region());
+        assert_eq!(inline, vec![false]);
+        assert!(!in_parallel_region(), "flag never leaks back to the caller");
+    }
+
+    #[test]
+    fn row_chunks_tile_the_matrix_exactly() {
+        for (m, block, threads) in
+            [(1, 64, 4), (64, 64, 4), (257, 64, 4), (1000, 64, 3), (5, 4, 8), (0, 64, 2)]
+        {
+            let chunks = row_chunks(m, block, threads);
+            let mut next = 0;
+            for &(row0, rows) in &chunks {
+                assert_eq!(row0, next, "contiguous ({m}, {block}, {threads})");
+                assert!(rows > 0);
+                assert_eq!(row0 % block, 0, "aligned ({m}, {block}, {threads})");
+                next = row0 + rows;
+            }
+            assert_eq!(next, m, "covers all rows ({m}, {block}, {threads})");
+            assert!(chunks.len() <= threads.max(1));
+        }
+    }
+}

@@ -10,8 +10,11 @@
 //! Everything is deliberately `f32` and CPU-only: the PECAN paper's point is
 //! that inference reduces to similarity search plus table lookup, so the
 //! substrate needs to be *correct and inspectable* more than it needs to be
-//! fast. The matmul kernel is still blocked/ikj-ordered so that training the
-//! workloads in `pecan-bench` completes in seconds.
+//! fast. Training is the exception — its dense products run on the packed,
+//! cache-blocked, multi-threaded [`gemm`] subsystem (lane-panel packing, a
+//! register-tile microkernel, a `std::thread::scope` pool controlled by
+//! `PECAN_NUM_THREADS`), which stays bit-identical to the retained scalar
+//! oracle for every shape and thread count.
 //!
 //! # Example
 //!
@@ -28,6 +31,7 @@
 //! ```
 
 mod error;
+pub mod gemm;
 mod im2col;
 mod init;
 mod matmul;
@@ -36,6 +40,7 @@ mod shape;
 mod tensor;
 
 pub use error::ShapeError;
+pub use gemm::{configured_threads, parallel_map};
 pub use im2col::{col2im, im2col, Conv2dGeometry};
 pub use init::{he_normal, uniform, xavier_uniform};
 pub use shape::Shape;

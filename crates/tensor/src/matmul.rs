@@ -1,12 +1,14 @@
-use crate::{ShapeError, Tensor};
+use crate::{gemm, ShapeError, Tensor};
 
 impl Tensor {
     /// Matrix product `self · rhs` of two rank-2 tensors.
     ///
-    /// Uses an i-k-j loop order so the innermost loop streams rows of both
-    /// the output and `rhs` — this is the kernel the baseline CNN path and
-    /// the PECAN lookup-table construction (`Y(j) = W(j)·C(j)`, Algorithm 1
-    /// line 3) run on.
+    /// Runs on the packed, cache-blocked, multi-threaded [`gemm`] subsystem
+    /// (worker count from `PECAN_NUM_THREADS`) — this is the kernel the
+    /// baseline CNN path, the im2col convolution path and the PECAN
+    /// lookup-table construction (`Y(j) = W(j)·C(j)`, Algorithm 1 line 3)
+    /// run on. Outputs are bit-identical to the retained scalar oracle
+    /// ([`gemm::scalar`]) regardless of thread count.
     ///
     /// # Errors
     ///
@@ -37,7 +39,7 @@ impl Tensor {
             )));
         }
         let mut out = Tensor::zeros(&[m, n]);
-        matmul_into(self.data(), rhs.data(), out.data_mut(), m, k, n);
+        gemm::gemm(self.data(), false, rhs.data(), false, out.data_mut(), m, k, n);
         Ok(out)
     }
 
@@ -61,23 +63,7 @@ impl Tensor {
             )));
         }
         let mut out = Tensor::zeros(&[m, n]);
-        let a = self.data();
-        let b = rhs.data();
-        let o = out.data_mut();
-        // out[i, j] = Σ_l a[l, i] * b[l, j]; stream over l rows.
-        for l in 0..k {
-            let arow = &a[l * m..(l + 1) * m];
-            let brow = &b[l * n..(l + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut o[i * n..(i + 1) * n];
-                for (ov, &bv) in orow.iter_mut().zip(brow.iter()) {
-                    *ov += av * bv;
-                }
-            }
-        }
+        gemm::gemm(self.data(), true, rhs.data(), false, out.data_mut(), m, k, n);
         Ok(out)
     }
 
@@ -99,21 +85,7 @@ impl Tensor {
             )));
         }
         let mut out = Tensor::zeros(&[m, n]);
-        let a = self.data();
-        let b = rhs.data();
-        let o = out.data_mut();
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut o[i * n..(i + 1) * n];
-            for (j, ov) in orow.iter_mut().enumerate() {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&av, &bv) in arow.iter().zip(brow.iter()) {
-                    acc += av * bv;
-                }
-                *ov = acc;
-            }
-        }
+        gemm::gemm(self.data(), false, rhs.data(), true, out.data_mut(), m, k, n);
         Ok(out)
     }
 
@@ -142,24 +114,6 @@ impl Tensor {
                 .sum();
         }
         Ok(out)
-    }
-}
-
-/// Writes `a[m×k] · b[k×n]` into `out[m×n]` (overwriting), i-k-j order.
-pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    out.fill(0.0);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (l, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[l * n..(l + 1) * n];
-            for (ov, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *ov += av * bv;
-            }
-        }
     }
 }
 

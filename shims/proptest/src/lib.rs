@@ -99,6 +99,59 @@ impl_tuple_strategy! {
     (S0 / 0, S1 / 1, S2 / 2, S3 / 3)
 }
 
+pub mod bool {
+    //! Strategies for `bool` (the real crate's `proptest::bool`).
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy yielding `true` / `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform `bool` strategy (the real crate's `proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            rng.gen_range(0u8..2) == 1
+        }
+    }
+}
+
+pub mod num {
+    //! Whole-domain numeric strategies (the real crate's `proptest::num`).
+
+    macro_rules! num_any_module {
+        ($($m:ident / $t:ty),* $(,)?) => {$(
+            pub mod $m {
+                #![allow(missing_docs)]
+                use crate::{Strategy, TestRng};
+                use rand::Rng;
+
+                /// Uniform strategy over the full domain of the type.
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+
+                /// The real crate's `proptest::num::$m::ANY`.
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.gen_range(0..=<$t>::MAX)
+                    }
+                }
+            }
+        )*};
+    }
+
+    num_any_module!(u8 / u8, u16 / u16, u32 / u32, u64 / u64, usize / usize);
+}
+
 pub mod sample {
     //! Strategies drawing from explicit value sets.
 

@@ -17,7 +17,7 @@
 //! | [`index`] | prototype search engines: exhaustive linear scan, PQTable-style non-exhaustive buckets, Quick-ADC-style batched scans |
 //! | [`nn`] | conventional layers + the model zoo (LeNet-5, VGG-Small, ResNet-20/32, ConvMixer) |
 //! | [`autograd`] | tape-based reverse-mode autodiff with SGD/Adam |
-//! | [`tensor`] | dense f32 tensors, matmul, im2col |
+//! | [`tensor`] | dense f32 tensors, packed/threaded GEMM (`PECAN_NUM_THREADS`), im2col |
 //! | [`datasets`] | MNIST IDX / CIFAR binary parsers + synthetic stand-ins |
 //! | [`baselines`] | AdderNet and XNOR/binary convolutions |
 //!
