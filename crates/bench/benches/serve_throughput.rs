@@ -1,0 +1,83 @@
+//! Micro-batching scheduler throughput: the serving subsystem end to end
+//! minus HTTP (the `loadgen` binary covers the socket path).
+//!
+//! One group, `serve_throughput`: 64 requests pushed through a
+//! [`BatchScheduler`] by 8 concurrent submitter threads, at `max_batch ∈
+//! {1, 8, 32}` with a single inference worker — so the entries isolate
+//! exactly what request coalescing buys on the engine's batch kernels
+//! (`max_batch = 1` *is* the unbatched baseline; everything else about the
+//! pipeline is identical). A direct `predict_batch` entry bounds the
+//! scheduler's own overhead from above. Reported times are per 64-request
+//! wave; medians land in `target/bench/*.json` for the `bench-diff`
+//! regression gate, and the CI e2e job cross-checks the same ≥2× batched
+//! speedup over real sockets with `loadgen`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pecan_serve::{demo, BatchScheduler, SchedulerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SUBMITTERS: usize = 8;
+const REQUESTS: usize = 64;
+
+fn workload(engine: &pecan_serve::FrozenEngine) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..REQUESTS)
+        .map(|_| pecan_tensor::uniform(&mut rng, &[engine.input_len()], -1.0, 1.0).into_vec())
+        .collect()
+}
+
+/// Pushes the whole workload through the scheduler from `SUBMITTERS`
+/// threads, blocking until every response arrives.
+fn drive(scheduler: &Arc<BatchScheduler>, inputs: &[Vec<f32>]) {
+    std::thread::scope(|s| {
+        for chunk in inputs.chunks(REQUESTS.div_ceil(SUBMITTERS)) {
+            s.spawn(move || {
+                for input in chunk {
+                    let p = scheduler.predict(input.clone()).expect("served");
+                    black_box(p.output);
+                }
+            });
+        }
+    });
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(20);
+
+    let engine = Arc::new(demo::mlp_engine(1));
+    let inputs = workload(&engine);
+
+    for &max_batch in &[1usize, 8, 32] {
+        let scheduler = Arc::new(BatchScheduler::start(
+            engine.clone(),
+            SchedulerConfig {
+                max_batch,
+                max_wait: Duration::from_micros(200),
+                queue_capacity: 1024,
+                workers: 1,
+            },
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("scheduler", format!("b{max_batch}_c{SUBMITTERS}_q{REQUESTS}")),
+            &(),
+            |b, ()| b.iter(|| drive(&scheduler, &inputs)),
+        );
+        scheduler.shutdown();
+    }
+
+    // Upper bound: the engine's batch kernel with zero scheduling.
+    group.bench_with_input(
+        BenchmarkId::new("direct", format!("predict_batch_q{REQUESTS}")),
+        &(),
+        |b, ()| b.iter(|| black_box(engine.predict_batch(&inputs).expect("batch"))),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

@@ -177,6 +177,11 @@ impl DotProductCam {
         self.rows.dims()[1]
     }
 
+    /// The programmed rows (`[p, d]`), e.g. for serializing the array.
+    pub fn rows(&self) -> &Tensor {
+        &self.rows
+    }
+
     /// All raw scores `rows · query` (the attention logits of Eq. 2).
     ///
     /// # Errors

@@ -123,6 +123,71 @@ impl LayerLut {
         Ok(Self { variant, tau: config.tau(), config, c_out, analog, dot, luts, bias })
     }
 
+    /// Rebuilds an engine from already-compiled parts: per-group codebooks
+    /// (`[d, p]` each) and the matching precomputed lookup tables, plus an
+    /// optional bias. This is the deserialization hook used by model
+    /// snapshots (`pecan-serve`): no weight matrix is needed because the
+    /// `W·C` products of Algorithm 1 line 3 are supplied ready-made, so a
+    /// reloaded engine is **bit-identical** to the one that was saved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the part counts or shapes disagree with
+    /// `config` (group count, `[d, p]` codebooks, `[cout, p]` tables with a
+    /// consistent `cout`, bias of length `cout`).
+    pub fn from_tables(
+        variant: PecanVariant,
+        config: PqConfig,
+        codebooks: &[Tensor],
+        tables: Vec<LookupTable>,
+        bias: Option<Tensor>,
+    ) -> Result<Self, ShapeError> {
+        if codebooks.len() != config.groups() || tables.len() != config.groups() {
+            return Err(ShapeError::new(format!(
+                "{} codebooks / {} tables for {} groups",
+                codebooks.len(),
+                tables.len(),
+                config.groups()
+            )));
+        }
+        let c_out = tables[0].outputs();
+        for (j, t) in tables.iter().enumerate() {
+            if t.outputs() != c_out || t.entries() != config.prototypes() {
+                return Err(ShapeError::new(format!(
+                    "table group {j} is [{}, {}], expected [{c_out}, {}]",
+                    t.outputs(),
+                    t.entries(),
+                    config.prototypes()
+                )));
+            }
+        }
+        if let Some(b) = &bias {
+            if b.len() != c_out {
+                return Err(ShapeError::new(format!(
+                    "bias of {} for {c_out} outputs",
+                    b.len()
+                )));
+            }
+        }
+        let d = config.dim();
+        let mut analog = Vec::new();
+        let mut dot = Vec::new();
+        for (j, cb) in codebooks.iter().enumerate() {
+            if cb.dims() != [d, config.prototypes()] {
+                return Err(ShapeError::new(format!(
+                    "codebook group {j} has shape {:?}",
+                    cb.dims()
+                )));
+            }
+            let rows = cb.transpose2()?;
+            match variant {
+                PecanVariant::Distance => analog.push(AnalogCam::new(rows)?),
+                PecanVariant::Angle => dot.push(DotProductCam::new(rows)?),
+            }
+        }
+        Ok(Self { variant, tau: config.tau(), config, c_out, analog, dot, luts: tables, bias })
+    }
+
     /// Output width `cout`.
     pub fn outputs(&self) -> usize {
         self.c_out
@@ -131,6 +196,36 @@ impl LayerLut {
     /// The PQ configuration the engine was built for.
     pub fn config(&self) -> &PqConfig {
         &self.config
+    }
+
+    /// Which similarity variant the engine runs (PECAN-D or PECAN-A).
+    pub fn variant(&self) -> PecanVariant {
+        self.variant
+    }
+
+    /// The bias added to every output column, when the source layer had one.
+    pub fn bias(&self) -> Option<&Tensor> {
+        self.bias.as_ref()
+    }
+
+    /// The per-group codebooks as programmed into the CAM arrays,
+    /// reconstructed as `[d, p]` tensors (the transpose of the stored rows —
+    /// exact, no arithmetic). For a PECAN-D engine whose prototypes were
+    /// perturbed with [`LayerLut::perturb_prototypes`], these are the *noisy*
+    /// values the engine actually searches, which is what serialization
+    /// wants.
+    pub fn codebooks(&self) -> Vec<Tensor> {
+        let transposed = |rows: &Tensor| {
+            rows.transpose2().expect("CAM rows are always rank 2")
+        };
+        match self.variant {
+            PecanVariant::Distance => {
+                self.analog.iter().map(|cam| transposed(cam.rows())).collect()
+            }
+            PecanVariant::Angle => {
+                self.dot.iter().map(|cam| transposed(cam.rows())).collect()
+            }
+        }
     }
 
     /// The per-group lookup tables.
@@ -381,6 +476,52 @@ mod tests {
         engine.perturb_prototypes(5.0, &mut rng); // huge noise
         let noisy = engine.forward_cols(&cols, None).unwrap();
         assert!(clean.max_abs_diff(&noisy) > 0.0);
+    }
+
+    #[test]
+    fn from_tables_round_trips_both_variants() {
+        for (variant, seed) in [(PecanVariant::Distance, 10), (PecanVariant::Angle, 11)] {
+            let layer = conv_layer(variant, seed);
+            let engine = LayerLut::from_conv(&layer).unwrap();
+            let rebuilt = LayerLut::from_tables(
+                engine.variant(),
+                *engine.config(),
+                &engine.codebooks(),
+                engine.luts().to_vec(),
+                engine.bias().cloned(),
+            )
+            .unwrap();
+            let mut rng = StdRng::seed_from_u64(seed + 100);
+            let cols = pecan_tensor::uniform(&mut rng, &[18, 13], -1.0, 1.0);
+            let a = engine.forward_cols(&cols, None).unwrap();
+            let b = rebuilt.forward_cols(&cols, None).unwrap();
+            assert_eq!(a.data(), b.data(), "{variant:?} rebuild must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn from_tables_validates_parts() {
+        let layer = conv_layer(PecanVariant::Distance, 12);
+        let engine = LayerLut::from_conv(&layer).unwrap();
+        let cfg = *engine.config();
+        let cbs = engine.codebooks();
+        let luts = engine.luts().to_vec();
+        // group-count mismatch
+        assert!(LayerLut::from_tables(
+            PecanVariant::Distance, cfg, &cbs[..1], luts.clone(), None
+        )
+        .is_err());
+        // wrong codebook shape
+        let bad_cbs = vec![Tensor::zeros(&[3, 4]); cbs.len()];
+        assert!(LayerLut::from_tables(
+            PecanVariant::Distance, cfg, &bad_cbs, luts.clone(), None
+        )
+        .is_err());
+        // bias length mismatch
+        assert!(LayerLut::from_tables(
+            PecanVariant::Distance, cfg, &cbs, luts, Some(Tensor::zeros(&[99]))
+        )
+        .is_err());
     }
 
     #[test]

@@ -316,6 +316,16 @@ impl MaxPool2d {
     pub fn new(kernel: usize, stride: usize) -> Self {
         Self { kernel, stride }
     }
+
+    /// Window size (model compilers replicate the layer from this).
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Step between windows.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
 }
 
 impl Layer for MaxPool2d {

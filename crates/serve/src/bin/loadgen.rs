@@ -1,0 +1,211 @@
+//! The `loadgen` binary: drive a running `serve` endpoint with N
+//! concurrent keep-alive connections and report throughput and latency
+//! percentiles.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7878 --connections 8 --requests 400
+//! ```
+//!
+//! Every response is checked: HTTP 200, parseable `output` array of the
+//! length `/healthz` advertises. Results print as a small table; `--json
+//! PATH` additionally writes a bench-style JSON record (same shape as the
+//! criterion shim's sink, with throughput attached) so serving runs can be
+//! tracked next to kernel benches. `--shutdown` posts `/shutdown` when
+//! done.
+
+use pecan_serve::client::HttpClient;
+use pecan_serve::json;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    addr: String,
+    connections: usize,
+    requests: usize,
+    warmup: usize,
+    seed: u64,
+    json: Option<String>,
+    tag: Option<String>,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: String::new(),
+        connections: 8,
+        requests: 400,
+        warmup: 32,
+        seed: 7,
+        json: None,
+        tag: None,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--connections" => {
+                args.connections = parse_num(&value("--connections")?, "--connections")?;
+            }
+            "--requests" => args.requests = parse_num(&value("--requests")?, "--requests")?,
+            "--warmup" => args.warmup = parse_num(&value("--warmup")?, "--warmup")?,
+            "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")?,
+            "--json" => args.json = Some(value("--json")?),
+            "--tag" => args.tag = Some(value("--tag")?),
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => {
+                return Err("usage: loadgen --addr HOST:PORT [--connections N] \
+                            [--requests N] [--warmup N] [--seed N] [--json PATH] \
+                            [--tag NAME] [--shutdown]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if args.addr.is_empty() {
+        return Err("--addr is required (try --help)".into());
+    }
+    args.connections = args.connections.max(1);
+    Ok(args)
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
+    text.parse().map_err(|_| format!("{flag}: `{text}` is not a number"))
+}
+
+fn connect(addr: &str) -> Result<HttpClient, String> {
+    HttpClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+
+    // Discover the model's shape from the server itself.
+    let mut probe = connect(&args.addr)?;
+    let (status, health) = probe.call("GET", "/healthz", "").map_err(|e| e.to_string())?;
+    if status != 200 {
+        return Err(format!("/healthz answered {status}: {health}"));
+    }
+    let input_len = json::number_field(&health, "input_len")? as usize;
+    let output_len = json::number_field(&health, "output_len")? as usize;
+    println!("target {} (input_len={input_len}, output_len={output_len})", args.addr);
+
+    // Warm up (fills caches, spins up connection threads server-side).
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    for _ in 0..args.warmup {
+        let body = json::format_f32_array(&random_input(&mut rng, input_len));
+        let (status, body) = probe.call("POST", "/predict", &body).map_err(|e| e.to_string())?;
+        if status != 200 {
+            return Err(format!("warmup /predict answered {status}: {body}"));
+        }
+    }
+
+    // Fire: N connections, each its own thread and deterministic stream.
+    let per_conn = args.requests.div_ceil(args.connections).max(1);
+    let addr = Arc::new(args.addr.clone());
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for conn in 0..args.connections {
+        let addr = Arc::clone(&addr);
+        let seed = args.seed.wrapping_add(1 + conn as u64);
+        handles.push(std::thread::spawn(move || -> Result<Vec<u64>, String> {
+            let mut client = connect(&addr)?;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut latencies = Vec::with_capacity(per_conn);
+            for _ in 0..per_conn {
+                let body = json::format_f32_array(&random_input(&mut rng, input_len));
+                let sent = Instant::now();
+                let (status, body) = client.call("POST", "/predict", &body).map_err(|e| e.to_string())?;
+                let elapsed = sent.elapsed();
+                if status != 200 {
+                    return Err(format!("/predict answered {status}: {body}"));
+                }
+                let output = json::array_field(&body, "output")?;
+                if output.len() != output_len {
+                    return Err(format!(
+                        "response carries {} values, expected {output_len}",
+                        output.len()
+                    ));
+                }
+                latencies.push(elapsed.as_nanos() as u64);
+            }
+            Ok(latencies)
+        }));
+    }
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut errors = Vec::new();
+    for h in handles {
+        match h.join().map_err(|_| "worker panicked".to_string())? {
+            Ok(mut l) => latencies.append(&mut l),
+            Err(e) => errors.push(e),
+        }
+    }
+    let wall = started.elapsed();
+
+    if args.shutdown {
+        let (status, _) = probe.call("POST", "/shutdown", "").map_err(|e| e.to_string())?;
+        println!("posted /shutdown (status {status})");
+    }
+    if !errors.is_empty() {
+        return Err(format!("{} connection(s) failed, first: {}", errors.len(), errors[0]));
+    }
+
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let throughput = total as f64 / wall.as_secs_f64();
+    let pct = |p: f64| latencies[((total - 1) as f64 * p) as usize];
+    println!(
+        "{total} requests over {} connections in {:.3} s",
+        args.connections,
+        wall.as_secs_f64()
+    );
+    println!("throughput_rps: {throughput:.1}");
+    println!(
+        "latency_us: p50 {} | p90 {} | p99 {} | max {}",
+        pct(0.50) / 1_000,
+        pct(0.90) / 1_000,
+        pct(0.99) / 1_000,
+        latencies[total - 1] / 1_000
+    );
+
+    if let Some(path) = &args.json {
+        let name = args.tag.clone().unwrap_or_else(|| {
+            format!("loadgen/c{}_r{}", args.connections, total)
+        });
+        let body = format!(
+            "{{\n  \"name\": \"{}\",\n  \"median_ns\": {},\n  \"min_ns\": {},\n  \"max_ns\": {},\n  \"samples\": {},\n  \"iters_per_sample\": 1,\n  \"throughput_rps\": {:.1}\n}}\n",
+            json::escape(&name),
+            pct(0.50),
+            latencies[0],
+            latencies[total - 1],
+            total,
+            throughput,
+        );
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        }
+        std::fs::write(path, body).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn random_input(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}

@@ -1,0 +1,151 @@
+//! The `serve` binary: load (or build) a PECAN model and answer HTTP
+//! traffic until a client posts `/shutdown`.
+//!
+//! ```text
+//! # build a demo model and write a snapshot, then exit
+//! serve --demo mlp --save model.psnp
+//!
+//! # serve a snapshot on an ephemeral port (the bound address is printed)
+//! serve --snapshot model.psnp --addr 127.0.0.1:0 --max-batch 16 --workers 1
+//! ```
+//!
+//! Knobs: `--demo mlp|lenet` (seeded demo model, default `mlp`),
+//! `--snapshot PATH` (load a saved model instead), `--save PATH` (write
+//! the model and exit without serving), `--seed N`, `--addr HOST:PORT`,
+//! `--max-batch N`, `--max-wait-us N`, `--queue-cap N`, `--workers N`.
+
+use pecan_serve::{demo, FrozenEngine, SchedulerConfig, Server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    demo: String,
+    snapshot: Option<String>,
+    save: Option<String>,
+    seed: u64,
+    addr: String,
+    max_batch: usize,
+    max_wait_us: u64,
+    queue_cap: usize,
+    workers: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        demo: "mlp".into(),
+        snapshot: None,
+        save: None,
+        seed: 1,
+        addr: "127.0.0.1:0".into(),
+        max_batch: 16,
+        max_wait_us: 200,
+        queue_cap: 256,
+        workers: 1,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--demo" => args.demo = value("--demo")?,
+            "--snapshot" => args.snapshot = Some(value("--snapshot")?),
+            "--save" => args.save = Some(value("--save")?),
+            "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")?,
+            "--addr" => args.addr = value("--addr")?,
+            "--max-batch" => {
+                args.max_batch = parse_num(&value("--max-batch")?, "--max-batch")?;
+            }
+            "--max-wait-us" => {
+                args.max_wait_us = parse_num(&value("--max-wait-us")?, "--max-wait-us")?;
+            }
+            "--queue-cap" => {
+                args.queue_cap = parse_num(&value("--queue-cap")?, "--queue-cap")?;
+            }
+            "--workers" => args.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--help" | "-h" => {
+                return Err("usage: serve [--demo mlp|lenet] [--snapshot PATH] \
+                            [--save PATH] [--seed N] [--addr HOST:PORT] \
+                            [--max-batch N] [--max-wait-us N] [--queue-cap N] \
+                            [--workers N]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
+    text.parse().map_err(|_| format!("{flag}: `{text}` is not a number"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let engine = match &args.snapshot {
+        Some(path) => match FrozenEngine::load_snapshot(path) {
+            Ok(e) => {
+                println!("loaded snapshot {path}");
+                e
+            }
+            Err(e) => {
+                eprintln!("cannot load snapshot {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => match args.demo.as_str() {
+            "mlp" => demo::mlp_engine(args.seed),
+            "lenet" => demo::lenet_engine(args.seed),
+            other => {
+                eprintln!("unknown demo model `{other}` (mlp|lenet)");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    if let Some(path) = &args.save {
+        if let Err(e) = engine.save_snapshot(path) {
+            eprintln!("cannot write snapshot {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "saved snapshot to {path} ({} stages, {} LUT scalars)",
+            engine.stage_count(),
+            engine.lut_scalars()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let config = ServerConfig {
+        addr: args.addr.clone(),
+        scheduler: SchedulerConfig {
+            max_batch: args.max_batch,
+            max_wait: Duration::from_micros(args.max_wait_us),
+            queue_capacity: args.queue_cap,
+            workers: args.workers,
+        },
+        ..ServerConfig::default()
+    };
+    let server = match Server::start(Arc::new(engine), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // Scripts scrape this line for the resolved ephemeral port.
+    println!("pecan-serve listening on http://{}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run();
+    println!("pecan-serve: drained and stopped");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,98 @@
+//! Minimal blocking HTTP/1.1 client on a keep-alive connection.
+//!
+//! Exactly enough protocol to talk to [`Server`](crate::Server): one
+//! request at a time, `Content-Length` bodies, persistent connections.
+//! Shared by the `loadgen` binary, the end-to-end tests and the serving
+//! example so the wire handling lives in one place.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A keep-alive HTTP/1.1 connection to one server.
+///
+/// # Example
+///
+/// ```no_run
+/// use pecan_serve::client::HttpClient;
+///
+/// let mut client = HttpClient::connect("127.0.0.1:7878").unwrap();
+/// let (status, body) = client.call("GET", "/healthz", "").unwrap();
+/// assert_eq!(status, 200);
+/// assert!(body.contains("input_len"));
+/// ```
+#[derive(Debug)]
+pub struct HttpClient {
+    stream: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects with a 30 s read timeout and Nagle disabled.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] when the address does not accept the connection.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Sends one request and returns `(status, body)`. The connection
+    /// stays open for the next call.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on socket failure or a response this minimal client
+    /// cannot parse (no status line, missing `Content-Length`).
+    pub fn call(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: pecan\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(request.as_bytes())?;
+
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(bad_response("connection closed mid-response"));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+        };
+        let header = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+        let status: u16 = header
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad_response("malformed status line"))?;
+        let content_length: usize = header
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.trim()
+                    .eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .ok_or_else(|| bad_response("missing content-length"))?;
+        while buf.len() < head_end + content_length {
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(bad_response("connection closed mid-body"));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let body =
+            String::from_utf8_lossy(&buf[head_end..head_end + content_length]).into_owned();
+        Ok((status, body))
+    }
+}
+
+fn bad_response(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what)
+}

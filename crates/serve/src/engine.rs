@@ -1,0 +1,504 @@
+//! The frozen inference engine: an immutable, `Arc`-shareable compiled
+//! plan for Algorithm-1 serving.
+//!
+//! [`FrozenEngine::compile`] walks a trained [`Sequential`] model **once**,
+//! precomputing everything inference needs: each PECAN layer becomes a
+//! [`LayerLut`] (CAM prototypes + `W·C` product tables, line 3 of
+//! Algorithm 1) and each convolution's im2col geometry is resolved against
+//! the fixed input shape. After compilation no locks, no RNG and no
+//! mutable state remain — [`FrozenEngine::predict_batch`] takes `&self`,
+//! so any number of scheduler workers can serve from one shared engine
+//! concurrently.
+//!
+//! Batching is the whole point: one `predict_batch` call concatenates the
+//! im2col columns (conv) or feature vectors (linear) of every request in
+//! the batch and runs them through [`LayerLut::forward_cols`] in a single
+//! sweep, which feeds the lane-blocked `pecan-index` batch scanner wide
+//! enough to vectorize. Because every engine in `pecan-index` answers each
+//! query independently of its batch-mates (pinned by that crate's parity
+//! proptests), batched outputs are **bit-identical** to running the same
+//! requests one at a time — `tests/engine_parity.rs` pins this per
+//! request, and the scheduler relies on it to mix traffic freely.
+
+use crate::error::ServeError;
+use pecan_core::{LayerLut, PecanConv2d, PecanLinear};
+use pecan_nn::{Flatten, GlobalAvgPool, MaxPool2d, Relu, Sequential};
+use pecan_tensor::{im2col, Conv2dGeometry, Tensor};
+
+/// One compiled pipeline step.
+///
+/// PECAN stages carry their [`LayerLut`]; geometry-dependent stages carry
+/// the metadata resolved at compile time.
+#[derive(Debug)]
+pub(crate) enum Stage {
+    /// PECAN convolution: LUT engine plus the precomputed im2col geometry.
+    Conv {
+        /// Algorithm-1 engine for this layer.
+        lut: LayerLut,
+        /// im2col metadata, resolved once against the fixed input shape.
+        geom: Conv2dGeometry,
+    },
+    /// PECAN fully-connected layer.
+    Linear {
+        /// Algorithm-1 engine for this layer.
+        lut: LayerLut,
+    },
+    /// Elementwise `max(x, 0)`.
+    Relu,
+    /// Square-window max pooling.
+    MaxPool {
+        /// Window size.
+        kernel: usize,
+        /// Step between windows.
+        stride: usize,
+    },
+    /// `[c, h, w] → [c]` mean over the spatial plane.
+    GlobalAvgPool,
+    /// Shape-only collapse to a vector.
+    Flatten,
+}
+
+/// An immutable compiled inference plan for one PECAN model.
+///
+/// Build it with [`FrozenEngine::compile`] (from a live model) or
+/// [`FrozenEngine::load_snapshot`](FrozenEngine::load_snapshot) (from a
+/// serialized one), wrap it in an [`std::sync::Arc`], and serve: all
+/// methods take `&self` and the type is `Send + Sync`.
+///
+/// # Example
+///
+/// ```
+/// use pecan_serve::FrozenEngine;
+///
+/// let engine = pecan_serve::demo::mlp_engine(7);
+/// let input = vec![0.25; engine.input_len()];
+/// let single = engine.predict(&input).unwrap();
+/// let batched = engine.predict_batch(&[input.clone(), input]).unwrap();
+/// // batching never changes bits
+/// assert_eq!(single, batched[0]);
+/// assert_eq!(single, batched[1]);
+/// ```
+#[derive(Debug)]
+pub struct FrozenEngine {
+    pub(crate) stages: Vec<Stage>,
+    pub(crate) input_shape: Vec<usize>,
+    pub(crate) output_shape: Vec<usize>,
+}
+
+impl FrozenEngine {
+    /// Compiles a trained model into a frozen serving plan.
+    ///
+    /// `input_shape` is the per-sample shape the engine will serve —
+    /// `[c, h, w]` for convolutional models, `[features]` for MLPs. All
+    /// geometry (im2col layouts, pooling windows, flatten sizes) is
+    /// validated and resolved here, so `predict` can never fail on a
+    /// well-sized input.
+    ///
+    /// Supported layers: [`PecanConv2d`], [`PecanLinear`], [`Relu`],
+    /// [`MaxPool2d`], [`GlobalAvgPool`], [`Flatten`], and nested
+    /// [`Sequential`]s of those.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Unsupported`] for any other layer (standard
+    /// uncompressed convolutions, BatchNorm, custom blocks) and
+    /// [`ServeError::BadInput`] / [`ServeError::Engine`] when `input_shape`
+    /// does not thread through the model.
+    pub fn compile(model: &Sequential, input_shape: &[usize]) -> Result<Self, ServeError> {
+        if input_shape.is_empty() || input_shape.contains(&0) {
+            return Err(ServeError::BadInput(format!(
+                "input shape {input_shape:?} must be non-empty with non-zero dims"
+            )));
+        }
+        let mut stages = Vec::new();
+        let mut shape = input_shape.to_vec();
+        Self::compile_into(model, &mut stages, &mut shape)?;
+        Ok(Self { stages, input_shape: input_shape.to_vec(), output_shape: shape })
+    }
+
+    fn compile_into(
+        model: &Sequential,
+        stages: &mut Vec<Stage>,
+        shape: &mut Vec<usize>,
+    ) -> Result<(), ServeError> {
+        for layer in model.layers() {
+            let any = layer.as_any();
+            if let Some(conv) = any.downcast_ref::<PecanConv2d>() {
+                let (c_in, _, _, _, _) = conv.conv_config();
+                if shape.len() != 3 || shape[0] != c_in {
+                    return Err(ServeError::BadInput(format!(
+                        "PecanConv2d expects [{c_in}, h, w], pipeline carries {shape:?}"
+                    )));
+                }
+                let geom = conv.geometry(shape[1], shape[2])?;
+                let lut = LayerLut::from_conv(conv)?;
+                *shape = vec![lut.outputs(), geom.h_out(), geom.w_out()];
+                stages.push(Stage::Conv { lut, geom });
+            } else if let Some(lin) = any.downcast_ref::<PecanLinear>() {
+                let lut = LayerLut::from_linear(lin)?;
+                let features = lut.config().rows();
+                if shape.len() != 1 || shape[0] != features {
+                    return Err(ServeError::BadInput(format!(
+                        "PecanLinear expects [{features}], pipeline carries {shape:?}"
+                    )));
+                }
+                *shape = vec![lut.outputs()];
+                stages.push(Stage::Linear { lut });
+            } else if any.downcast_ref::<Relu>().is_some() {
+                stages.push(Stage::Relu);
+            } else if let Some(pool) = any.downcast_ref::<MaxPool2d>() {
+                let (kernel, stride) = (pool.kernel(), pool.stride());
+                *shape = pooled_shape(shape, kernel, stride)?;
+                stages.push(Stage::MaxPool { kernel, stride });
+            } else if any.downcast_ref::<GlobalAvgPool>().is_some() {
+                if shape.len() != 3 {
+                    return Err(ServeError::BadInput(format!(
+                        "GlobalAvgPool expects [c, h, w], pipeline carries {shape:?}"
+                    )));
+                }
+                *shape = vec![shape[0]];
+                stages.push(Stage::GlobalAvgPool);
+            } else if any.downcast_ref::<Flatten>().is_some() {
+                *shape = vec![shape.iter().product()];
+                stages.push(Stage::Flatten);
+            } else if let Some(seq) = any.downcast_ref::<Sequential>() {
+                Self::compile_into(seq, stages, shape)?;
+            } else {
+                return Err(ServeError::Unsupported(format!(
+                    "layer `{}` cannot be compiled into a frozen engine \
+                     (only PECAN conv/linear, ReLU, max/global pooling and \
+                     flatten are servable)",
+                    layer.name()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds an engine from already-deserialized parts (snapshot
+    /// loader), re-threading the per-sample shape through every stage so a
+    /// structurally inconsistent pipeline is rejected here — `predict` on
+    /// a constructed engine can then never index out of bounds.
+    pub(crate) fn from_parts(
+        stages: Vec<Stage>,
+        input_shape: Vec<usize>,
+        output_shape: Vec<usize>,
+    ) -> Result<Self, ServeError> {
+        if input_shape.is_empty() || input_shape.contains(&0) {
+            return Err(ServeError::BadInput(format!(
+                "input shape {input_shape:?} must be non-empty with non-zero dims"
+            )));
+        }
+        let mut shape = input_shape.clone();
+        for (i, stage) in stages.iter().enumerate() {
+            shape = match stage {
+                Stage::Conv { lut, geom } => {
+                    if shape != [geom.c_in(), geom.h_in(), geom.w_in()] {
+                        return Err(ServeError::BadInput(format!(
+                            "stage {i}: conv expects {:?}, pipeline carries {shape:?}",
+                            [geom.c_in(), geom.h_in(), geom.w_in()]
+                        )));
+                    }
+                    vec![lut.outputs(), geom.h_out(), geom.w_out()]
+                }
+                Stage::Linear { lut } => {
+                    let features = lut.config().rows();
+                    if shape != [features] {
+                        return Err(ServeError::BadInput(format!(
+                            "stage {i}: linear expects [{features}], pipeline carries {shape:?}"
+                        )));
+                    }
+                    vec![lut.outputs()]
+                }
+                Stage::Relu => shape,
+                Stage::MaxPool { kernel, stride } => pooled_shape(&shape, *kernel, *stride)?,
+                Stage::GlobalAvgPool => {
+                    if shape.len() != 3 {
+                        return Err(ServeError::BadInput(format!(
+                            "stage {i}: GlobalAvgPool expects [c, h, w], pipeline carries {shape:?}"
+                        )));
+                    }
+                    vec![shape[0]]
+                }
+                Stage::Flatten => vec![shape.iter().product()],
+            };
+        }
+        if shape != output_shape {
+            return Err(ServeError::BadInput(format!(
+                "pipeline produces {shape:?}, header declares {output_shape:?}"
+            )));
+        }
+        Ok(Self { stages, input_shape, output_shape })
+    }
+
+    /// Per-sample input shape the engine was compiled for.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Per-sample output shape.
+    pub fn output_shape(&self) -> &[usize] {
+        &self.output_shape
+    }
+
+    /// Flattened input length one request must supply.
+    pub fn input_len(&self) -> usize {
+        self.input_shape.iter().product()
+    }
+
+    /// Flattened output length one response carries.
+    pub fn output_len(&self) -> usize {
+        self.output_shape.iter().product()
+    }
+
+    /// Number of compiled stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total lookup-table memory across all PECAN stages, in scalars.
+    pub fn lut_scalars(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|s| match s {
+                Stage::Conv { lut, .. } | Stage::Linear { lut } => lut.lut_scalars(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Serves one request. Exactly equivalent to a batch of one.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadInput`] when `input.len() != self.input_len()`.
+    pub fn predict(&self, input: &[f32]) -> Result<Vec<f32>, ServeError> {
+        let batch = [input.to_vec()];
+        let mut out = self.predict_batch(&batch)?;
+        Ok(out.pop().expect("batch of one yields one output"))
+    }
+
+    /// Serves a batch of requests in one sweep through the pipeline.
+    ///
+    /// Per-request outputs are **bit-identical** to calling
+    /// [`FrozenEngine::predict`] on each input alone, for any batch size
+    /// and any `PECAN_NUM_THREADS` — batching only changes wall-clock.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadInput`] when any input has the wrong length. An
+    /// empty batch returns an empty vector.
+    pub fn predict_batch(&self, inputs: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, ServeError> {
+        let want = self.input_len();
+        for (i, x) in inputs.iter().enumerate() {
+            if x.len() != want {
+                return Err(ServeError::BadInput(format!(
+                    "request {i} has {} values, engine expects {want}",
+                    x.len()
+                )));
+            }
+        }
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut acts: Vec<Vec<f32>> = inputs.to_vec();
+        let mut shape = self.input_shape.clone();
+        for stage in &self.stages {
+            match stage {
+                Stage::Conv { lut, geom } => {
+                    acts = run_conv(lut, geom, &acts)?;
+                    shape = vec![lut.outputs(), geom.h_out(), geom.w_out()];
+                }
+                Stage::Linear { lut } => {
+                    acts = run_linear(lut, &acts)?;
+                    shape = vec![lut.outputs()];
+                }
+                Stage::Relu => {
+                    for a in &mut acts {
+                        for v in a.iter_mut() {
+                            *v = v.max(0.0);
+                        }
+                    }
+                }
+                Stage::MaxPool { kernel, stride } => {
+                    let out_shape = pooled_shape(&shape, *kernel, *stride)?;
+                    for a in &mut acts {
+                        *a = max_pool(a, &shape, *kernel, *stride);
+                    }
+                    shape = out_shape;
+                }
+                Stage::GlobalAvgPool => {
+                    let (c, hw) = (shape[0], shape[1] * shape[2]);
+                    for a in &mut acts {
+                        *a = (0..c)
+                            .map(|ch| {
+                                let s: f32 = a[ch * hw..(ch + 1) * hw].iter().sum();
+                                s / hw as f32
+                            })
+                            .collect();
+                    }
+                    shape = vec![c];
+                }
+                Stage::Flatten => {
+                    shape = vec![shape.iter().product()];
+                }
+            }
+        }
+        Ok(acts)
+    }
+}
+
+/// Output shape of a max-pool stage, validating the window fits.
+fn pooled_shape(shape: &[usize], kernel: usize, stride: usize) -> Result<Vec<usize>, ServeError> {
+    if shape.len() != 3 {
+        return Err(ServeError::BadInput(format!(
+            "MaxPool2d expects [c, h, w], pipeline carries {shape:?}"
+        )));
+    }
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    if kernel == 0 || stride == 0 || kernel > h || kernel > w {
+        return Err(ServeError::BadInput(format!(
+            "max_pool2d: window {kernel}/stride {stride} does not fit {h}×{w}"
+        )));
+    }
+    Ok(vec![c, (h - kernel) / stride + 1, (w - kernel) / stride + 1])
+}
+
+/// Max pooling over one `[c, h, w]` sample — the same scan order and
+/// strict-greater/first-wins tie-break as the training path's
+/// `Var::max_pool2d`, so engine outputs track the model bit-for-bit.
+fn max_pool(src: &[f32], shape: &[usize], kernel: usize, stride: usize) -> Vec<f32> {
+    let (c_n, h, w) = (shape[0], shape[1], shape[2]);
+    let h_out = (h - kernel) / stride + 1;
+    let w_out = (w - kernel) / stride + 1;
+    let mut out = Vec::with_capacity(c_n * h_out * w_out);
+    for c in 0..c_n {
+        let base = c * h * w;
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let mut best = f32::NEG_INFINITY;
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        let v = src[base + (oy * stride + ky) * w + (ox * stride + kx)];
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                }
+                out.push(best);
+            }
+        }
+    }
+    out
+}
+
+/// Runs one PECAN convolution over the whole batch: per-sample im2col
+/// matrices are concatenated column-wise and answered by a single
+/// [`LayerLut::forward_cols`] sweep, then split back per sample.
+fn run_conv(
+    lut: &LayerLut,
+    geom: &Conv2dGeometry,
+    acts: &[Vec<f32>],
+) -> Result<Vec<Vec<f32>>, ServeError> {
+    let n = geom.n_patches();
+    let rows = geom.patch_len();
+    let batch = acts.len();
+    let mut cols = Tensor::zeros(&[rows, batch * n]);
+    for (i, a) in acts.iter().enumerate() {
+        let img = Tensor::from_vec(
+            a.clone(),
+            &[geom.c_in(), geom.h_in(), geom.w_in()],
+        )?;
+        let sample = im2col(&img, geom)?;
+        for r in 0..rows {
+            cols.row_mut(r)[i * n..(i + 1) * n].copy_from_slice(sample.row(r));
+        }
+    }
+    let out = lut.forward_cols(&cols, None)?; // [c_out, batch·n]
+    let c_out = lut.outputs();
+    let mut result = Vec::with_capacity(batch);
+    for i in 0..batch {
+        let mut a = Vec::with_capacity(c_out * n);
+        for o in 0..c_out {
+            a.extend_from_slice(&out.row(o)[i * n..(i + 1) * n]);
+        }
+        result.push(a);
+    }
+    Ok(result)
+}
+
+/// Runs one PECAN linear layer over the whole batch as a `[features, b]`
+/// column matrix through a single [`LayerLut::forward_cols`] sweep.
+fn run_linear(lut: &LayerLut, acts: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, ServeError> {
+    let features = lut.config().rows();
+    let batch = acts.len();
+    let mut cols = Tensor::zeros(&[features, batch]);
+    for (i, a) in acts.iter().enumerate() {
+        for (k, &v) in a.iter().enumerate() {
+            cols.set2(k, i, v);
+        }
+    }
+    let out = lut.forward_cols(&cols, None)?; // [c_out, batch]
+    let c_out = lut.outputs();
+    Ok((0..batch)
+        .map(|i| (0..c_out).map(|o| out.get2(o, i)).collect())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pecan_core::{PecanBuilder, PecanVariant};
+    use pecan_nn::models;
+
+    #[test]
+    fn compile_reports_shapes_and_memory() {
+        let mut b = PecanBuilder::from_seed(1, PecanVariant::Distance);
+        let net = models::lenet5_modified(&mut b).unwrap();
+        let engine = FrozenEngine::compile(&net, &[1, 28, 28]).unwrap();
+        assert_eq!(engine.input_shape(), &[1, 28, 28]);
+        assert_eq!(engine.output_shape(), &[10]);
+        assert_eq!(engine.input_len(), 784);
+        assert_eq!(engine.output_len(), 10);
+        assert_eq!(engine.stage_count(), 12);
+        assert!(engine.lut_scalars() > 0);
+    }
+
+    #[test]
+    fn compile_rejects_unsupported_and_misshapen_models() {
+        use pecan_nn::StandardBuilder;
+        let mut std_b = StandardBuilder::from_seed(2);
+        let standard = models::lenet5_modified(&mut std_b).unwrap();
+        match FrozenEngine::compile(&standard, &[1, 28, 28]) {
+            Err(ServeError::Unsupported(msg)) => assert!(msg.contains("Conv2d")),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+
+        let mut b = PecanBuilder::from_seed(1, PecanVariant::Distance);
+        let net = models::lenet5_modified(&mut b).unwrap();
+        assert!(matches!(
+            FrozenEngine::compile(&net, &[3, 28, 28]),
+            Err(ServeError::BadInput(_))
+        ));
+        assert!(matches!(
+            FrozenEngine::compile(&net, &[]),
+            Err(ServeError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn predict_validates_input_length() {
+        let engine = crate::demo::mlp_engine(3);
+        assert!(matches!(
+            engine.predict(&vec![0.0; engine.input_len() + 1]),
+            Err(ServeError::BadInput(_))
+        ));
+        assert!(engine.predict_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrozenEngine>();
+    }
+}

@@ -1,0 +1,394 @@
+//! Std-only HTTP/1.1 front end over [`std::net::TcpListener`].
+//!
+//! The environment is offline, so the server is hand-rolled on the
+//! standard library: blocking accept loop, one handler thread per
+//! connection (keep-alive supported), no TLS, no chunked encoding —
+//! exactly enough protocol for serving and load-generation.
+//!
+//! # Endpoints
+//!
+//! | route | method | body | answer |
+//! |---|---|---|---|
+//! | `/predict` | POST | JSON array of `input_len` floats | `{"output":[…],"latency_us":n,"batch_size":n}` |
+//! | `/healthz` | GET | — | `{"status":"ok","input_len":n,"output_len":n}` |
+//! | `/stats` | GET | — | scheduler counters, see [`StatsSnapshot`](crate::StatsSnapshot) |
+//! | `/shutdown` | POST | — | acknowledges, then the server drains and stops |
+//!
+//! Backpressure surfaces as `503` with `{"error":"overloaded"}`; malformed
+//! requests as `400`; unknown routes as `404`.
+
+use crate::error::ServeError;
+use crate::json;
+use crate::scheduler::{BatchScheduler, SchedulerConfig};
+use crate::stats::StatsSnapshot;
+use crate::FrozenEngine;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Front-end tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port `0` for an ephemeral port (the bound address
+    /// is reported by [`Server::local_addr`]).
+    pub addr: String,
+    /// Scheduler the front end feeds.
+    pub scheduler: SchedulerConfig,
+    /// Largest accepted request body in bytes.
+    pub max_body: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            scheduler: SchedulerConfig::default(),
+            max_body: 1 << 20,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+struct HttpShared {
+    scheduler: BatchScheduler,
+    input_len: usize,
+    output_len: usize,
+    max_body: usize,
+    read_timeout: Duration,
+    stopping: AtomicBool,
+    shutdown_tx: mpsc::Sender<()>,
+}
+
+/// A running serving endpoint: accept loop + scheduler + frozen engine.
+///
+/// Construct with [`Server::start`]; stop gracefully with [`Server::stop`]
+/// (drains all queued requests) or let a client `POST /shutdown` and wait
+/// for that with [`Server::run`].
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<HttpShared>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+    shutdown_rx: Mutex<mpsc::Receiver<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("local_addr", &self.local_addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds, spawns the scheduler workers and the accept loop, and starts
+    /// answering.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] when the address cannot be bound.
+    pub fn start(engine: Arc<FrozenEngine>, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let (shutdown_tx, shutdown_rx) = mpsc::channel();
+        let scheduler =
+            BatchScheduler::start(engine.clone() as Arc<_>, config.scheduler.clone());
+        let shared = Arc::new(HttpShared {
+            scheduler,
+            input_len: engine.input_len(),
+            output_len: engine.output_len(),
+            max_body: config.max_body,
+            read_timeout: config.read_timeout,
+            stopping: AtomicBool::new(false),
+            shutdown_tx,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("pecan-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawning the accept loop");
+        Ok(Server {
+            local_addr,
+            shared,
+            accept: Mutex::new(Some(accept)),
+            shutdown_rx: Mutex::new(shutdown_rx),
+        })
+    }
+
+    /// The bound address (resolves port `0` to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live scheduler counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.scheduler.stats()
+    }
+
+    /// Blocks until a client requests `POST /shutdown`, then stops
+    /// gracefully. Used by the `serve` binary.
+    pub fn run(self) {
+        // A send error means the sender (shared state) is gone, which only
+        // happens at teardown — either way, proceed to stop.
+        let _ = lock(&self.shutdown_rx).recv();
+        self.stop();
+    }
+
+    /// Graceful stop: refuse new connections, drain every queued request,
+    /// join the accept loop and scheduler workers. Idempotent.
+    pub fn stop(&self) {
+        if self.shared.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop blocks in `accept`; poke it so it observes the
+        // flag. Failure is fine — it means the listener is already gone.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = lock(&self.accept).take() {
+            let _ = handle.join();
+        }
+        self.shared.scheduler.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<HttpShared>) {
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(shared);
+        // Handler threads are detached: a graceful stop drains the
+        // scheduler, so in-flight requests still get answers before the
+        // process exits.
+        let _ = std::thread::Builder::new()
+            .name("pecan-serve-conn".into())
+            .spawn(move || handle_connection(stream, &conn_shared));
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<HttpShared>) {
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut leftover: Vec<u8> = Vec::new();
+    loop {
+        let request = match read_request(&mut stream, &mut leftover, shared.max_body) {
+            Ok(Some(r)) => r,
+            Ok(None) => return, // clean EOF between requests
+            Err(status) => {
+                let _ = respond(&mut stream, status, &error_body(status), false);
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive;
+        let (status, body, initiate_shutdown) = route(shared, &request);
+        let written = respond(&mut stream, status, &body, keep_alive);
+        if initiate_shutdown {
+            // Signal only after the acknowledgement left this socket, so a
+            // client posting /shutdown always reads its 200 before the
+            // process starts tearing down.
+            let _ = shared.shutdown_tx.send(());
+        }
+        if written.is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+struct Request {
+    method: String,
+    target: String,
+    body: Vec<u8>,
+    keep_alive: bool,
+}
+
+/// Reads one HTTP/1.1 request. `Ok(None)` is a clean close before the
+/// first byte; `Err(status)` is the HTTP status to answer before closing.
+fn read_request(
+    stream: &mut TcpStream,
+    leftover: &mut Vec<u8>,
+    max_body: usize,
+) -> Result<Option<Request>, u16> {
+    const HEAD_LIMIT: usize = 16 << 10;
+    let mut buf = std::mem::take(leftover);
+    let head_end = loop {
+        if let Some(pos) = find_blank_line(&buf) {
+            break pos;
+        }
+        if buf.len() > HEAD_LIMIT {
+            return Err(431);
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() { Ok(None) } else { Err(400) };
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => {
+                return if buf.is_empty() { Ok(None) } else { Err(408) };
+            }
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let body_start = head_end + 4;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_ascii_uppercase();
+    let target = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or_default();
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(400);
+    }
+    let mut content_length = 0usize;
+    // Persistence default follows the protocol version: 1.1 keeps alive
+    // unless told otherwise, 1.0 closes unless told otherwise.
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let value = value.trim();
+        match name.trim().to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value.parse().map_err(|_| 400u16)?;
+            }
+            "connection" => keep_alive = value.eq_ignore_ascii_case("keep-alive"),
+            _ => {}
+        }
+    }
+    if content_length > max_body {
+        return Err(413);
+    }
+    let mut body = buf[body_start..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(400),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err(408),
+        }
+    }
+    // Bytes past this request's body belong to the next pipelined request.
+    *leftover = body.split_off(content_length);
+    Ok(Some(Request { method, target, body, keep_alive }))
+}
+
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Routes one request to `(status, body, initiate-shutdown-after-respond)`.
+fn route(shared: &Arc<HttpShared>, request: &Request) -> (u16, String, bool) {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/healthz") => (
+            200,
+            format!(
+                "{{\"status\":\"ok\",\"input_len\":{},\"output_len\":{}}}",
+                shared.input_len, shared.output_len
+            ),
+            false,
+        ),
+        ("GET", "/stats") => (200, shared.scheduler.stats().to_json(), false),
+        ("POST", "/predict") => {
+            let (status, body) = predict(shared, &request.body);
+            (status, body, false)
+        }
+        ("POST", "/shutdown") => (200, "{\"status\":\"shutting down\"}".into(), true),
+        ("GET" | "POST", _) => (404, "{\"error\":\"no such route\"}".into(), false),
+        _ => (405, "{\"error\":\"method not allowed\"}".into(), false),
+    }
+}
+
+fn predict(shared: &Arc<HttpShared>, body: &[u8]) -> (u16, String) {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return (400, "{\"error\":\"body is not UTF-8\"}".into());
+    };
+    let input = match json::parse_f32_array(text) {
+        Ok(v) => v,
+        Err(e) => return (400, format!("{{\"error\":\"{}\"}}", json::escape(&e))),
+    };
+    match shared.scheduler.predict(input) {
+        Ok(p) => (
+            200,
+            format!(
+                "{{\"output\":{},\"latency_us\":{},\"batch_size\":{}}}",
+                json::format_f32_array(&p.output),
+                p.total.as_micros(),
+                p.batch_size
+            ),
+        ),
+        Err(e) => {
+            let status = match e {
+                ServeError::BadInput(_) => 400,
+                ServeError::Overloaded { .. } | ServeError::ShuttingDown => 503,
+                _ => 500,
+            };
+            (status, format!("{{\"error\":\"{}\"}}", json::escape(&e.to_string())))
+        }
+    }
+}
+
+fn error_body(status: u16) -> String {
+    format!("{{\"error\":\"{}\"}}", reason(status))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_line_finder() {
+        assert_eq!(find_blank_line(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_blank_line(b"partial\r\n"), None);
+    }
+
+    #[test]
+    fn reasons_cover_used_statuses() {
+        for s in [200, 400, 404, 405, 408, 413, 431, 500, 503] {
+            assert_ne!(reason(s), "Unknown");
+        }
+    }
+}

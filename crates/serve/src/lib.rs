@@ -1,0 +1,63 @@
+//! Model serving for PECAN: the Algorithm-1 inference path as a
+//! production-shaped subsystem.
+//!
+//! The paper's value proposition is *inference* — CAM searches plus LUT
+//! reads with no dense arithmetic — and this crate turns that path into a
+//! server. Four layers, each usable on its own:
+//!
+//! 1. **[`FrozenEngine`]** — an immutable compiled inference plan:
+//!    per-layer [`pecan_core::LayerLut`]s and im2col geometry precomputed
+//!    once from a trained model, then shared lock-free (`Arc`) across any
+//!    number of threads. Batched and single-request inference are
+//!    bit-identical by construction.
+//! 2. **Model snapshots** — a versioned, endian-stable binary format
+//!    ([`FrozenEngine::save_snapshot`] / [`FrozenEngine::load_snapshot`]):
+//!    magic, version, per-layer codebooks/LUTs/biases as raw little-endian
+//!    bits, CRC-32 checksum. A reloaded engine predicts bit-identically to
+//!    the saved one.
+//! 3. **[`BatchScheduler`]** — micro-batching over a bounded queue:
+//!    concurrent requests are drained up to `max_batch`/`max_wait` and run
+//!    through the engine's batch kernels by persistent workers;
+//!    a full queue rejects with [`ServeError::Overloaded`] (backpressure),
+//!    and shutdown drains every accepted request.
+//! 4. **[`Server`]** — a std-only HTTP/1.1 front end (`/predict`,
+//!    `/healthz`, `/stats`, `/shutdown`) plus the `serve` and `loadgen`
+//!    binaries.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pecan_serve::{FrozenEngine, Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! // Compile a (demo) model and serve it.
+//! let engine = Arc::new(pecan_serve::demo::mlp_engine(1));
+//! let server = Server::start(engine.clone(), ServerConfig::default()).unwrap();
+//! println!("listening on http://{}", server.local_addr());
+//! server.stop(); // graceful: drains queued requests
+//! ```
+//!
+//! Or from the command line:
+//!
+//! ```text
+//! cargo run --release -p pecan-serve --bin serve -- --demo mlp --save model.psnp
+//! cargo run --release -p pecan-serve --bin serve -- --snapshot model.psnp --addr 127.0.0.1:7878
+//! cargo run --release -p pecan-serve --bin loadgen -- --addr 127.0.0.1:7878 --connections 8 --requests 400
+//! ```
+
+pub mod client;
+pub mod demo;
+mod engine;
+mod error;
+mod http;
+pub mod json;
+mod scheduler;
+mod snapshot;
+mod stats;
+
+pub use engine::FrozenEngine;
+pub use error::{ServeError, SnapshotError};
+pub use http::{Server, ServerConfig};
+pub use scheduler::{BatchRunner, BatchScheduler, Prediction, SchedulerConfig, Ticket};
+pub use snapshot::{crc32, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use stats::{ServeStats, StatsSnapshot};

@@ -1,0 +1,407 @@
+//! Micro-batching scheduler: aggregates concurrent requests into batches
+//! for the frozen engine's batch kernels.
+//!
+//! Requests enter a **bounded** submission queue; a full queue rejects
+//! immediately with [`ServeError::Overloaded`] (backpressure — callers see
+//! it as HTTP 503 and retry, rather than latency collapsing for everyone).
+//! Persistent worker threads drain the queue in batches: a worker takes
+//! whatever is waiting, and when that is fewer than `max_batch` it lingers
+//! up to `max_wait` for stragglers before running the batch. Because
+//! batched inference is bit-identical to sequential inference (see
+//! [`FrozenEngine::predict_batch`](crate::FrozenEngine::predict_batch)),
+//! batching is purely a throughput decision — responses never depend on
+//! which requests happened to share a batch.
+//!
+//! # Thread-pool note (ROADMAP "per-call pool reuse")
+//!
+//! The serving hot path performs **zero thread spawns per request**: the
+//! scheduler's workers are spawned once at construction and live until
+//! shutdown, and everything a worker calls — `LayerLut::forward_cols`,
+//! `AnalogCam::search_batch`, the `pecan-index` batch scanner, LUT
+//! accumulation — is spawn-free single-threaded code. The
+//! `std::thread::scope` pool in `pecan-tensor` is only entered by GEMMs,
+//! which serving never issues (the `W·C` products were precomputed at
+//! engine-compile time; that one-time cost is the only pool use). So there
+//! is no per-call spawn overhead to amortize here: worker-thread reuse
+//! *is* the pool reuse, and cross-request parallelism comes from running
+//! several workers (`SchedulerConfig::workers`) against one shared
+//! engine.
+
+use crate::error::ServeError;
+use crate::stats::{ServeStats, StatsSnapshot};
+use crate::FrozenEngine;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Anything that can answer batches of flat `f32` requests.
+///
+/// [`FrozenEngine`] is the production implementation; tests substitute
+/// gated fakes to pin queue semantics deterministically.
+pub trait BatchRunner: Send + Sync + 'static {
+    /// Flat values each request must carry.
+    fn input_len(&self) -> usize;
+    /// Flat values each response carries.
+    fn output_len(&self) -> usize;
+    /// Answers `inputs` in order. Must be bit-identical to answering each
+    /// input in a batch of one.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; the scheduler clones the error to every
+    /// request of the failed batch.
+    fn run_batch(&self, inputs: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, ServeError>;
+}
+
+impl BatchRunner for FrozenEngine {
+    fn input_len(&self) -> usize {
+        FrozenEngine::input_len(self)
+    }
+    fn output_len(&self) -> usize {
+        FrozenEngine::output_len(self)
+    }
+    fn run_batch(&self, inputs: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, ServeError> {
+        self.predict_batch(inputs)
+    }
+}
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Most requests one batch may contain (≥ 1). `1` disables batching.
+    pub max_batch: usize,
+    /// How long a worker lingers for stragglers once it holds at least one
+    /// request but fewer than `max_batch`. Zero means "run with whatever is
+    /// queued right now".
+    pub max_wait: Duration,
+    /// Bounded queue depth; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Persistent worker threads (≥ 1).
+    pub workers: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 16,
+            max_wait: Duration::from_micros(200),
+            queue_capacity: 256,
+            workers: 1,
+        }
+    }
+}
+
+/// One answered request with its latency accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// The engine output.
+    pub output: Vec<f32>,
+    /// Time spent waiting in the queue before the batch started.
+    pub queued: Duration,
+    /// Submit→answer wall clock.
+    pub total: Duration,
+    /// How many requests shared this request's batch.
+    pub batch_size: usize,
+}
+
+struct Request {
+    input: Vec<f32>,
+    submitted: Instant,
+    reply: mpsc::Sender<Result<Prediction, ServeError>>,
+}
+
+struct QueueState {
+    queue: VecDeque<Request>,
+    shutdown: bool,
+}
+
+struct Shared {
+    runner: Arc<dyn BatchRunner>,
+    config: SchedulerConfig,
+    state: Mutex<QueueState>,
+    cvar: Condvar,
+    stats: ServeStats,
+}
+
+/// A claim on a submitted request; redeem it with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Prediction, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the scheduler answers this request.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the batch produced, or [`ServeError::Disconnected`] if the
+    /// serving worker vanished.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
+    }
+}
+
+/// The micro-batching scheduler. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use pecan_serve::{BatchScheduler, SchedulerConfig};
+/// use std::sync::Arc;
+///
+/// let engine = Arc::new(pecan_serve::demo::mlp_engine(5));
+/// let scheduler = BatchScheduler::start(engine.clone(), SchedulerConfig::default());
+/// let input = vec![0.5; engine.input_len()];
+/// let answer = scheduler.predict(input.clone()).unwrap();
+/// // scheduling and batching never change the bits
+/// assert_eq!(answer.output, engine.predict(&input).unwrap());
+/// scheduler.shutdown();
+/// ```
+pub struct BatchScheduler {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for BatchScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchScheduler").field("config", &self.shared.config).finish()
+    }
+}
+
+impl BatchScheduler {
+    /// Spawns the worker threads and starts serving.
+    ///
+    /// Invalid knobs are clamped to sane floors (`max_batch`, `workers`,
+    /// `queue_capacity` ≥ 1) rather than rejected.
+    pub fn start(runner: Arc<dyn BatchRunner>, mut config: SchedulerConfig) -> Self {
+        config.max_batch = config.max_batch.max(1);
+        config.workers = config.workers.max(1);
+        config.queue_capacity = config.queue_capacity.max(1);
+        let shared = Arc::new(Shared {
+            runner,
+            config: config.clone(),
+            state: Mutex::new(QueueState { queue: VecDeque::new(), shutdown: false }),
+            cvar: Condvar::new(),
+            stats: ServeStats::new(),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pecan-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a scheduler worker")
+            })
+            .collect();
+        Self { shared, workers: Mutex::new(workers) }
+    }
+
+    /// The configuration the scheduler runs with (after clamping).
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.shared.config
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Enqueues one request, returning a [`Ticket`] to wait on.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::BadInput`] — wrong input length (checked here so a
+    ///   bad request can never poison a batch);
+    /// * [`ServeError::Overloaded`] — queue at capacity;
+    /// * [`ServeError::ShuttingDown`] — scheduler is draining.
+    pub fn submit(&self, input: Vec<f32>) -> Result<Ticket, ServeError> {
+        let want = self.shared.runner.input_len();
+        if input.len() != want {
+            return Err(ServeError::BadInput(format!(
+                "request has {} values, engine expects {want}",
+                input.len()
+            )));
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut state = lock(&self.shared.state);
+            if state.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if state.queue.len() >= self.shared.config.queue_capacity {
+                self.shared.stats.record_rejected();
+                return Err(ServeError::Overloaded {
+                    capacity: self.shared.config.queue_capacity,
+                });
+            }
+            state.queue.push_back(Request { input, submitted: Instant::now(), reply: tx });
+        }
+        self.shared.stats.record_submitted();
+        self.shared.cvar.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Convenience: [`BatchScheduler::submit`] + [`Ticket::wait`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`BatchScheduler::submit`] and [`Ticket::wait`].
+    pub fn predict(&self, input: Vec<f32>) -> Result<Prediction, ServeError> {
+        self.submit(input)?.wait()
+    }
+
+    /// Stops accepting work, drains every queued request, and joins the
+    /// workers. Idempotent; called automatically on drop.
+    ///
+    /// In-flight and queued requests are all answered — a ticket obtained
+    /// before `shutdown` never dangles.
+    pub fn shutdown(&self) {
+        {
+            let mut state = lock(&self.shared.state);
+            if state.shutdown {
+                // Already shut down; workers may be gone. Don't re-join.
+                drop(state);
+                return;
+            }
+            state.shutdown = true;
+        }
+        self.shared.cvar.notify_all();
+        let handles = std::mem::take(&mut *lock(&self.workers));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for BatchScheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Poison-tolerant lock: a panicking worker must not wedge every client.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn worker_loop(shared: &Shared) {
+    let config = &shared.config;
+    loop {
+        let mut state = lock(&shared.state);
+        // Sleep until there is work or the house is closing.
+        while state.queue.is_empty() && !state.shutdown {
+            state = shared
+                .cvar
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if state.queue.is_empty() {
+            // shutdown && empty — the queue is drained, retire.
+            return;
+        }
+        // Micro-batching: linger briefly for stragglers, but never once
+        // shutdown is signalled and never when batching is disabled.
+        if config.max_batch > 1 && !config.max_wait.is_zero() {
+            let deadline = Instant::now() + config.max_wait;
+            while state.queue.len() < config.max_batch && !state.shutdown {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (next, timeout) = shared
+                    .cvar
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                state = next;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        // With several workers, a sibling may have drained the queue while
+        // this worker lingered with the lock released — nothing to run.
+        if state.queue.is_empty() {
+            continue;
+        }
+        let take = state.queue.len().min(config.max_batch);
+        let mut batch: Vec<Request> = state.queue.drain(..take).collect();
+        let more_waiting = !state.queue.is_empty();
+        drop(state);
+        if more_waiting {
+            // Another worker can start gathering while this one computes.
+            shared.cvar.notify_one();
+        }
+
+        let started = Instant::now();
+        // The queued request owns its payload and never needs it again —
+        // move it out instead of cloning on the hot path.
+        let inputs: Vec<Vec<f32>> =
+            batch.iter_mut().map(|r| std::mem::take(&mut r.input)).collect();
+        shared.stats.record_batch(batch.len());
+        // A panicking runner must not kill the worker: queued requests
+        // behind this batch would never be answered and their tickets
+        // would hang forever. Contain it and answer the batch with an
+        // error instead.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.runner.run_batch(&inputs)
+        }))
+        .unwrap_or_else(|_| Err(ServeError::Engine("inference worker panicked".into())));
+        match outcome {
+            Ok(outputs) => {
+                for (req, output) in batch.into_iter().zip(outputs) {
+                    let queued = started.duration_since(req.submitted);
+                    let total = req.submitted.elapsed();
+                    shared
+                        .stats
+                        .record_completed(queued.as_nanos() as u64, total.as_nanos() as u64);
+                    let _ = req.reply.send(Ok(Prediction {
+                        output,
+                        queued,
+                        total,
+                        batch_size: inputs.len(),
+                    }));
+                }
+            }
+            Err(e) => {
+                for req in batch {
+                    shared.stats.record_failed();
+                    let _ = req.reply.send(Err(e.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_is_clamped_to_sane_floors() {
+        let engine = Arc::new(crate::demo::mlp_engine(2));
+        let s = BatchScheduler::start(
+            engine,
+            SchedulerConfig { max_batch: 0, workers: 0, queue_capacity: 0, ..Default::default() },
+        );
+        assert_eq!(s.config().max_batch, 1);
+        assert_eq!(s.config().workers, 1);
+        assert_eq!(s.config().queue_capacity, 1);
+        s.shutdown();
+        s.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn submit_rejects_wrong_length_before_queueing() {
+        let engine = Arc::new(crate::demo::mlp_engine(2));
+        let s = BatchScheduler::start(engine, SchedulerConfig::default());
+        assert!(matches!(s.submit(vec![0.0; 3]), Err(ServeError::BadInput(_))));
+        assert_eq!(s.stats().submitted, 0);
+        s.shutdown();
+        assert!(matches!(
+            s.submit(vec![0.0; s.shared.runner.input_len()]),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+}

@@ -1,0 +1,433 @@
+//! Versioned, endian-stable binary model snapshots.
+//!
+//! A snapshot captures a compiled [`FrozenEngine`] exactly: per-stage
+//! codebooks, precomputed `W·C` lookup tables and biases, all as
+//! little-endian IEEE-754 bit patterns. Loading rebuilds the engine through
+//! [`LayerLut::from_tables`] without any recomputation, so a reloaded
+//! engine's outputs are **bit-identical** to the saved one's —
+//! `tests/snapshot_roundtrip.rs` pins save→load→predict parity by property
+//! test.
+//!
+//! # Format (version 1)
+//!
+//! All integers little-endian; `f32` as raw LE bit patterns.
+//!
+//! ```text
+//! magic        8 × u8   "PECANSNP"
+//! version      u32      1
+//! input rank   u32      then that many u32 dims
+//! output rank  u32      then that many u32 dims
+//! stage count  u32
+//! stages…               tagged (u8), see below
+//! checksum     u32      CRC-32 (IEEE) over every preceding byte
+//! ```
+//!
+//! Stage tags: `0` ReLU · `1` MaxPool (`kernel`, `stride` as u32) · `2`
+//! GlobalAvgPool · `3` Flatten · `4` PECAN conv · `5` PECAN linear. PECAN
+//! payloads carry `variant` (u8: 0 = Distance, 1 = Angle), `dim`,
+//! `groups`, `prototypes` (u32), `tau` (f32), `c_out` (u32), a bias flag
+//! (u8), conv-only geometry (`c_in`, `h_in`, `w_in`, `kernel`, `stride`,
+//! `padding` as u32), then per group the `[d, p]` codebook and the
+//! `[c_out, p]` table, then the bias when flagged.
+//!
+//! Every decoding failure is a typed [`SnapshotError`] — truncation,
+//! flipped bits (checksum), foreign files (magic), future versions,
+//! structural nonsense (with a *valid* checksum) and trailing bytes all
+//! surface as errors, never panics.
+
+use crate::engine::{FrozenEngine, Stage};
+use crate::error::SnapshotError;
+use pecan_cam::LookupTable;
+use pecan_core::{LayerLut, PecanVariant};
+use pecan_pq::PqConfig;
+use pecan_tensor::{Conv2dGeometry, Tensor};
+use std::fs;
+use std::path::Path;
+
+/// First eight bytes of every snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"PECANSNP";
+/// Format revision this build writes and the highest it reads.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const TAG_RELU: u8 = 0;
+const TAG_MAXPOOL: u8 = 1;
+const TAG_GAP: u8 = 2;
+const TAG_FLATTEN: u8 = 3;
+const TAG_CONV: u8 = 4;
+const TAG_LINEAR: u8 = 5;
+
+// ---------------------------------------------------------------- CRC-32
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) lookup table,
+/// computed at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the snapshot integrity check.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------- writer
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        // Shapes in this workspace are far below u32::MAX; keep the file
+        // format fixed-width regardless of host pointer size.
+        self.u32(u32::try_from(v).expect("snapshot dimension exceeds u32"));
+    }
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32s(&mut self, vs: &[f32]) {
+        for &v in vs {
+            self.f32(v);
+        }
+    }
+    fn dims(&mut self, dims: &[usize]) {
+        self.usize(dims.len());
+        for &d in dims {
+            self.usize(d);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- reader
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let available = self.bytes.len() - self.pos;
+        if available < n {
+            return Err(SnapshotError::Truncated { needed: n, available });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn usize(&mut self) -> Result<usize, SnapshotError> {
+        Ok(self.u32()? as usize)
+    }
+    fn f32(&mut self) -> Result<f32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, SnapshotError> {
+        let b = self.take(n.checked_mul(4).ok_or_else(|| {
+            SnapshotError::Corrupt("element count overflows".into())
+        })?)?;
+        Ok(b.chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+    /// Bounded dimension list; `limit` guards against absurd declared sizes
+    /// in a file whose checksum happens to validate.
+    fn dims(&mut self, limit: usize) -> Result<Vec<usize>, SnapshotError> {
+        let rank = self.usize()?;
+        if rank == 0 || rank > 8 {
+            return Err(SnapshotError::Corrupt(format!("shape rank {rank}")));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let d = self.usize()?;
+            if d == 0 || d > limit {
+                return Err(SnapshotError::Corrupt(format!("dimension {d}")));
+            }
+            dims.push(d);
+        }
+        Ok(dims)
+    }
+}
+
+/// Ceiling on any single declared dimension — far above every model in the
+/// workspace, small enough that `rank · dim · 4` cannot wrap.
+const DIM_LIMIT: usize = 1 << 24;
+
+// ---------------------------------------------------------------- encode
+
+fn write_pecan(w: &mut Writer, lut: &LayerLut, geom: Option<&Conv2dGeometry>) {
+    let cfg = lut.config();
+    w.u8(match lut.variant() {
+        PecanVariant::Distance => 0,
+        PecanVariant::Angle => 1,
+    });
+    w.usize(cfg.dim());
+    w.usize(cfg.groups());
+    w.usize(cfg.prototypes());
+    w.f32(cfg.tau());
+    w.usize(lut.outputs());
+    w.u8(u8::from(lut.bias().is_some()));
+    if let Some(g) = geom {
+        w.usize(g.c_in());
+        w.usize(g.h_in());
+        w.usize(g.w_in());
+        w.usize(g.kernel());
+        w.usize(g.stride());
+        w.usize(g.padding());
+    }
+    for (cb, table) in lut.codebooks().iter().zip(lut.luts()) {
+        w.f32s(cb.data());
+        w.f32s(table.table().data());
+    }
+    if let Some(b) = lut.bias() {
+        w.f32s(b.data());
+    }
+}
+
+fn read_pecan(
+    r: &mut Reader<'_>,
+    conv: bool,
+) -> Result<(LayerLut, Option<Conv2dGeometry>), SnapshotError> {
+    let variant = match r.u8()? {
+        0 => PecanVariant::Distance,
+        1 => PecanVariant::Angle,
+        other => return Err(SnapshotError::Corrupt(format!("variant tag {other}"))),
+    };
+    let dim = r.usize()?;
+    let groups = r.usize()?;
+    let prototypes = r.usize()?;
+    let tau = r.f32()?;
+    let c_out = r.usize()?;
+    let has_bias = match r.u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(SnapshotError::Corrupt(format!("bias flag {other}"))),
+    };
+    for (what, v) in
+        [("dim", dim), ("groups", groups), ("prototypes", prototypes), ("c_out", c_out)]
+    {
+        if v == 0 || v > DIM_LIMIT {
+            return Err(SnapshotError::Corrupt(format!("{what} = {v}")));
+        }
+    }
+    let geom = if conv {
+        let (c_in, h_in, w_in) = (r.usize()?, r.usize()?, r.usize()?);
+        let (kernel, stride, padding) = (r.usize()?, r.usize()?, r.usize()?);
+        Some(
+            Conv2dGeometry::new(c_in, h_in, w_in, kernel, stride, padding)
+                .map_err(|e| SnapshotError::Corrupt(e.to_string()))?,
+        )
+    } else {
+        None
+    };
+    let config = PqConfig::for_rows(groups * dim, prototypes, dim, tau)
+        .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+    if let Some(g) = &geom {
+        if g.patch_len() != config.rows() {
+            return Err(SnapshotError::Corrupt(format!(
+                "conv patch length {} does not match {} PQ rows",
+                g.patch_len(),
+                config.rows()
+            )));
+        }
+    }
+    let mut codebooks = Vec::with_capacity(groups);
+    let mut tables = Vec::with_capacity(groups);
+    for _ in 0..groups {
+        let cb = Tensor::from_vec(r.f32s(dim * prototypes)?, &[dim, prototypes])
+            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        let table = Tensor::from_vec(r.f32s(c_out * prototypes)?, &[c_out, prototypes])
+            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        codebooks.push(cb);
+        tables.push(
+            LookupTable::new(table).map_err(|e| SnapshotError::Corrupt(e.to_string()))?,
+        );
+    }
+    let bias = if has_bias {
+        Some(Tensor::from_slice(&r.f32s(c_out)?))
+    } else {
+        None
+    };
+    let lut = LayerLut::from_tables(variant, config, &codebooks, tables, bias)
+        .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+    Ok((lut, geom))
+}
+
+impl FrozenEngine {
+    /// Serializes the engine into the version-1 snapshot byte format.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = Writer { buf: Vec::new() };
+        w.buf.extend_from_slice(&SNAPSHOT_MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        w.dims(&self.input_shape);
+        w.dims(&self.output_shape);
+        w.usize(self.stages.len());
+        for stage in &self.stages {
+            match stage {
+                Stage::Relu => w.u8(TAG_RELU),
+                Stage::MaxPool { kernel, stride } => {
+                    w.u8(TAG_MAXPOOL);
+                    w.usize(*kernel);
+                    w.usize(*stride);
+                }
+                Stage::GlobalAvgPool => w.u8(TAG_GAP),
+                Stage::Flatten => w.u8(TAG_FLATTEN),
+                Stage::Conv { lut, geom } => {
+                    w.u8(TAG_CONV);
+                    write_pecan(&mut w, lut, Some(geom));
+                }
+                Stage::Linear { lut } => {
+                    w.u8(TAG_LINEAR);
+                    write_pecan(&mut w, lut, None);
+                }
+            }
+        }
+        let crc = crc32(&w.buf);
+        w.u32(crc);
+        w.buf
+    }
+
+    /// Writes the snapshot to `path` (see the module docs for the format).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] when the file cannot be written.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        fs::write(path, self.snapshot_bytes())?;
+        Ok(())
+    }
+
+    /// Decodes an engine from snapshot bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] variant; see the module docs. The returned
+    /// engine is bit-identical to the one that produced the bytes.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        const TRAILER: usize = 4;
+        if bytes.len() < SNAPSHOT_MAGIC.len() + 4 + TRAILER {
+            return Err(SnapshotError::Truncated {
+                needed: SNAPSHOT_MAGIC.len() + 4 + TRAILER,
+                available: bytes.len(),
+            });
+        }
+        if bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let (payload, trailer) = bytes.split_at(bytes.len() - TRAILER);
+        let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+        let computed = crc32(payload);
+        // Version is checked before the checksum so a snapshot from a future
+        // format revision reports *version*, not a spurious bit-rot error —
+        // future revisions may checksum differently.
+        let mut r = Reader { bytes: payload, pos: SNAPSHOT_MAGIC.len() };
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version });
+        }
+        if stored != computed {
+            return Err(SnapshotError::ChecksumMismatch { stored, computed });
+        }
+        let input_shape = r.dims(DIM_LIMIT)?;
+        let output_shape = r.dims(DIM_LIMIT)?;
+        let n_stages = r.usize()?;
+        if n_stages > 4096 {
+            return Err(SnapshotError::Corrupt(format!("{n_stages} stages")));
+        }
+        let mut stages = Vec::with_capacity(n_stages);
+        for _ in 0..n_stages {
+            let stage = match r.u8()? {
+                TAG_RELU => Stage::Relu,
+                TAG_MAXPOOL => {
+                    let kernel = r.usize()?;
+                    let stride = r.usize()?;
+                    if kernel == 0 || stride == 0 || kernel > DIM_LIMIT {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "pool window {kernel}/{stride}"
+                        )));
+                    }
+                    Stage::MaxPool { kernel, stride }
+                }
+                TAG_GAP => Stage::GlobalAvgPool,
+                TAG_FLATTEN => Stage::Flatten,
+                TAG_CONV => {
+                    let (lut, geom) = read_pecan(&mut r, true)?;
+                    Stage::Conv { lut, geom: geom.expect("conv payload carries geometry") }
+                }
+                TAG_LINEAR => {
+                    let (lut, _) = read_pecan(&mut r, false)?;
+                    Stage::Linear { lut }
+                }
+                other => {
+                    return Err(SnapshotError::Corrupt(format!("stage tag {other}")))
+                }
+            };
+            stages.push(stage);
+        }
+        if r.pos != payload.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after last stage",
+                payload.len() - r.pos
+            )));
+        }
+        FrozenEngine::from_parts(stages, input_shape, output_shape)
+            .map_err(|e| SnapshotError::Corrupt(e.to_string()))
+    }
+
+    /// Reads a snapshot file written by [`FrozenEngine::save_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] variant; see the module docs.
+    pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        Self::from_snapshot_bytes(&fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // Standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn snapshot_bytes_start_with_magic_and_version() {
+        let engine = crate::demo::mlp_engine(1);
+        let bytes = engine.snapshot_bytes();
+        assert_eq!(&bytes[..8], b"PECANSNP");
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), SNAPSHOT_VERSION);
+    }
+}

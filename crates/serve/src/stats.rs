@@ -1,0 +1,139 @@
+//! Lock-free serving counters: per-request latency accounting aggregated
+//! across scheduler workers, exported by the HTTP front end's `/stats`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters updated by the scheduler with relaxed atomics — the
+/// hot path never takes a lock to account a request.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    queue_ns_total: AtomicU64,
+    total_ns_total: AtomicU64,
+    total_ns_max: AtomicU64,
+}
+
+impl ServeStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_completed(&self, queue_ns: u64, total_ns: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.queue_ns_total.fetch_add(queue_ns, Ordering::Relaxed);
+        self.total_ns_total.fetch_add(total_ns, Ordering::Relaxed);
+        self.total_ns_max.fetch_max(total_ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Coherent-enough point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let div = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches,
+            mean_batch: div(self.batched_requests.load(Ordering::Relaxed), batches),
+            mean_queue_us: div(self.queue_ns_total.load(Ordering::Relaxed), completed) / 1_000.0,
+            mean_latency_us: div(self.total_ns_total.load(Ordering::Relaxed), completed) / 1_000.0,
+            max_latency_us: self.total_ns_max.load(Ordering::Relaxed) / 1_000,
+        }
+    }
+}
+
+/// One reading of [`ServeStats`], ready for display or JSON export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests refused by backpressure (queue full).
+    pub rejected: u64,
+    /// Requests answered with an engine error.
+    pub failed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Mean requests per executed batch.
+    pub mean_batch: f64,
+    /// Mean time a request waited in the queue before its batch started.
+    pub mean_queue_us: f64,
+    /// Mean submit→answer latency.
+    pub mean_latency_us: f64,
+    /// Worst submit→answer latency.
+    pub max_latency_us: u64,
+}
+
+impl StatsSnapshot {
+    /// Renders the snapshot as a flat JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"submitted\":{},\"completed\":{},\"rejected\":{},\"failed\":{},\
+             \"batches\":{},\"mean_batch\":{:.3},\"mean_queue_us\":{:.1},\
+             \"mean_latency_us\":{:.1},\"max_latency_us\":{}}}",
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.failed,
+            self.batches,
+            self.mean_batch,
+            self.mean_queue_us,
+            self.mean_latency_us,
+            self.max_latency_us,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_aggregate_and_export() {
+        let stats = ServeStats::new();
+        stats.record_submitted();
+        stats.record_submitted();
+        stats.record_rejected();
+        stats.record_batch(2);
+        stats.record_completed(1_000, 3_000);
+        stats.record_completed(2_000, 5_000);
+        let snap = stats.snapshot();
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.batches, 1);
+        assert!((snap.mean_batch - 2.0).abs() < 1e-9);
+        assert!((snap.mean_queue_us - 1.5).abs() < 1e-9);
+        assert!((snap.mean_latency_us - 4.0).abs() < 1e-9);
+        assert_eq!(snap.max_latency_us, 5);
+        let json = snap.to_json();
+        assert!(json.contains("\"completed\":2"));
+        assert!(json.contains("\"mean_batch\":2.000"));
+    }
+}

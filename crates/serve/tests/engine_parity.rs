@@ -1,0 +1,125 @@
+//! Parity pins for the frozen engine.
+//!
+//! 1. The compiled engine tracks the training-path model forward (small
+//!    tolerance — the training graph runs different but equivalent
+//!    float code for conv/pool plumbing).
+//! 2. Batched serving is **bit-identical** to single-request serving for
+//!    any batch composition — the property the micro-batching scheduler
+//!    relies on to mix traffic freely. Property-tested over random inputs
+//!    and batch sizes, for both a conv pipeline (LeNet) and an MLP.
+
+use pecan_autograd::Var;
+use pecan_core::{PecanLinear, PecanVariant, PqLayerSettings};
+use pecan_nn::{Layer, Relu, Sequential};
+use pecan_serve::{demo, FrozenEngine};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small PECAN-A MLP — the engine must serve the Angle variant too.
+fn angle_mlp(seed: u64) -> (Sequential, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Sequential::new();
+    net.push(Box::new(
+        PecanLinear::new(&mut rng, PecanVariant::Angle, PqLayerSettings::new(8, 4, 1.0), 16, 12)
+            .unwrap(),
+    ));
+    net.push(Box::new(Relu));
+    net.push(Box::new(
+        PecanLinear::new(&mut rng, PecanVariant::Angle, PqLayerSettings::new(8, 4, 1.0), 12, 5)
+            .unwrap(),
+    ));
+    (net, vec![16])
+}
+
+#[test]
+fn engine_tracks_model_forward_lenet() {
+    let (mut net, shape) = demo::lenet(21);
+    let engine = FrozenEngine::compile(&net, &shape).unwrap();
+    let mut rng = StdRng::seed_from_u64(22);
+    let x = pecan_tensor::uniform(&mut rng, &[1, 1, 28, 28], -1.0, 1.0);
+    let want = net.forward(&Var::constant(x.clone()), false).unwrap();
+    let got = engine.predict(x.data()).unwrap();
+    let diff = want
+        .value()
+        .data()
+        .iter()
+        .zip(&got)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(diff < 1e-4, "engine diverges from model by {diff}");
+}
+
+#[test]
+fn engine_tracks_model_forward_angle_mlp() {
+    let (mut net, shape) = angle_mlp(23);
+    let engine = FrozenEngine::compile(&net, &shape).unwrap();
+    let mut rng = StdRng::seed_from_u64(24);
+    let x = pecan_tensor::uniform(&mut rng, &[3, 16], -1.0, 1.0);
+    let want = net.forward(&Var::constant(x.clone()), false).unwrap();
+    for i in 0..3 {
+        let got = engine.predict(x.row(i)).unwrap();
+        let diff = want
+            .value()
+            .row(i)
+            .iter()
+            .zip(&got)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(diff < 1e-4, "sample {i} diverges by {diff}");
+    }
+}
+
+/// Bit-exact equality, reported with the first offending index.
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: lengths differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: bit mismatch at {i}: {x} vs {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// MLP: any batch of requests answers exactly like one-at-a-time.
+    #[test]
+    fn mlp_batched_is_bit_identical_to_single(
+        seed in 0u64..6,
+        batch in 1usize..12,
+        values in proptest::collection::vec(-2.0f32..2.0, demo::MLP_INPUT),
+    ) {
+        let engine = demo::mlp_engine(seed);
+        let inputs: Vec<Vec<f32>> = (0..batch)
+            .map(|i| {
+                // vary each sample deterministically off the base vector
+                values.iter().map(|v| v + i as f32 * 0.125).collect()
+            })
+            .collect();
+        let batched = engine.predict_batch(&inputs).unwrap();
+        for (i, input) in inputs.iter().enumerate() {
+            let single = engine.predict(input).unwrap();
+            assert_bits_eq(&single, &batched[i], "mlp batch");
+        }
+    }
+
+    /// Conv pipeline: im2col concatenation across requests changes no bits.
+    #[test]
+    fn lenet_batched_is_bit_identical_to_single(
+        batch in 1usize..5,
+        base in -1.0f32..1.0,
+    ) {
+        let engine = demo::lenet_engine(3);
+        let mut rng = StdRng::seed_from_u64(base.to_bits() as u64);
+        let inputs: Vec<Vec<f32>> = (0..batch)
+            .map(|_| {
+                pecan_tensor::uniform(&mut rng, &[engine.input_len()], -1.0, 1.0)
+                    .into_vec()
+            })
+            .collect();
+        let batched = engine.predict_batch(&inputs).unwrap();
+        for (i, input) in inputs.iter().enumerate() {
+            let single = engine.predict(input).unwrap();
+            assert_bits_eq(&single, &batched[i], "lenet batch");
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Scheduler semantics, pinned deterministically:
+//!
+//! * batched vs. sequential **output parity** under concurrent submitters
+//!   (real engine);
+//! * **backpressure**: a full bounded queue rejects with `Overloaded`
+//!   (gated fake runner, so "full" is not a race);
+//! * **clean shutdown**: every request accepted before `shutdown()` is
+//!   answered — the queue drains, nothing dangles;
+//! * **micro-batching**: queued requests actually coalesce into one batch.
+
+use pecan_serve::{demo, BatchRunner, BatchScheduler, SchedulerConfig, ServeError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// A runner that blocks inside `run_batch` until the test releases it —
+/// makes "worker busy, queue full" states deterministic instead of timing
+/// dependent.
+struct GatedRunner {
+    /// Signals each `run_batch` entry.
+    entered: mpsc::Sender<usize>,
+    /// One `recv` per `run_batch` call is needed to proceed.
+    gate: Mutex<mpsc::Receiver<()>>,
+    calls: AtomicUsize,
+}
+
+impl GatedRunner {
+    fn new() -> (Arc<Self>, mpsc::Receiver<usize>, mpsc::Sender<()>) {
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (gate_tx, gate_rx) = mpsc::channel();
+        let runner = Arc::new(Self {
+            entered: entered_tx,
+            gate: Mutex::new(gate_rx),
+            calls: AtomicUsize::new(0),
+        });
+        (runner, entered_rx, gate_tx)
+    }
+}
+
+impl BatchRunner for GatedRunner {
+    fn input_len(&self) -> usize {
+        1
+    }
+    fn output_len(&self) -> usize {
+        1
+    }
+    fn run_batch(&self, inputs: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, ServeError> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        let _ = self.entered.send(inputs.len());
+        // Hold until released; a closed gate (test ended) just proceeds.
+        let _ = self.gate.lock().unwrap().recv();
+        Ok(inputs.iter().map(|v| vec![v[0] * 2.0]).collect())
+    }
+}
+
+#[test]
+fn concurrent_submitters_get_bit_identical_answers() {
+    let engine = Arc::new(demo::mlp_engine(11));
+    let scheduler = Arc::new(BatchScheduler::start(
+        engine.clone(),
+        SchedulerConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 1024,
+            workers: 2,
+        },
+    ));
+    let submitters = 8;
+    let per_thread = 12;
+    let mut handles = Vec::new();
+    for t in 0..submitters {
+        let scheduler = Arc::clone(&scheduler);
+        let engine = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(1000 + t);
+            for _ in 0..per_thread {
+                let input = pecan_tensor::uniform(&mut rng, &[engine.input_len()], -1.0, 1.0)
+                    .into_vec();
+                let served = scheduler.predict(input.clone()).expect("served");
+                let direct = engine.predict(&input).expect("direct");
+                assert_eq!(served.output.len(), direct.len());
+                for (a, b) in served.output.iter().zip(&direct) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "scheduling changed bits");
+                }
+                assert!(served.batch_size >= 1);
+                assert!(served.total >= served.queued);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = scheduler.stats();
+    assert_eq!(stats.completed, submitters * per_thread);
+    assert_eq!(stats.rejected, 0);
+    assert!(stats.batches <= stats.completed);
+    scheduler.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_overloaded() {
+    let (runner, entered, gate) = GatedRunner::new();
+    let scheduler = BatchScheduler::start(
+        runner.clone(),
+        SchedulerConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_capacity: 2,
+            workers: 1,
+        },
+    );
+    // First request is taken by the worker, which blocks inside the gate.
+    let t1 = scheduler.submit(vec![1.0]).unwrap();
+    assert_eq!(entered.recv().unwrap(), 1, "worker holds request 1");
+    // Queue now has room for exactly 2.
+    let t2 = scheduler.submit(vec![2.0]).unwrap();
+    let t3 = scheduler.submit(vec![3.0]).unwrap();
+    match scheduler.submit(vec![4.0]) {
+        Err(ServeError::Overloaded { capacity }) => assert_eq!(capacity, 2),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert_eq!(scheduler.stats().rejected, 1);
+    // Release the worker for the three accepted requests.
+    for _ in 0..3 {
+        gate.send(()).unwrap();
+    }
+    assert_eq!(t1.wait().unwrap().output, vec![2.0]);
+    assert_eq!(t2.wait().unwrap().output, vec![4.0]);
+    assert_eq!(t3.wait().unwrap().output, vec![6.0]);
+    // After the backlog clears, capacity is available again.
+    let t5 = scheduler.submit(vec![5.0]).unwrap();
+    let _ = entered.recv();
+    gate.send(()).unwrap();
+    assert_eq!(t5.wait().unwrap().output, vec![10.0]);
+    scheduler.shutdown();
+}
+
+#[test]
+fn shutdown_drains_every_accepted_request() {
+    let (runner, entered, gate) = GatedRunner::new();
+    let scheduler = Arc::new(BatchScheduler::start(
+        runner.clone(),
+        SchedulerConfig {
+            max_batch: 2,
+            max_wait: Duration::ZERO,
+            queue_capacity: 16,
+            workers: 1,
+        },
+    ));
+    // Worker grabs the first request and blocks; three more queue behind.
+    let tickets: Vec<_> =
+        (0..4).map(|i| scheduler.submit(vec![f32::from(i as u8)]).unwrap()).collect();
+    let first_batch = entered.recv().unwrap();
+    assert!(first_batch >= 1);
+
+    // Shut down from another thread (it blocks joining the worker), then
+    // release the gate so the drain can proceed.
+    let shutdown_thread = {
+        let scheduler = Arc::clone(&scheduler);
+        std::thread::spawn(move || scheduler.shutdown())
+    };
+    // One release per remaining batch; extra sends are harmless.
+    for _ in 0..4 {
+        let _ = gate.send(());
+    }
+    for (i, t) in tickets.into_iter().enumerate() {
+        let p = t.wait().unwrap_or_else(|e| panic!("request {i} dangled: {e}"));
+        assert_eq!(p.output, vec![i as f32 * 2.0]);
+    }
+    shutdown_thread.join().unwrap();
+    assert!(matches!(scheduler.submit(vec![9.0]), Err(ServeError::ShuttingDown)));
+    assert_eq!(scheduler.stats().completed, 4);
+}
+
+#[test]
+fn queued_requests_coalesce_into_one_batch() {
+    let (runner, entered, gate) = GatedRunner::new();
+    let scheduler = BatchScheduler::start(
+        runner.clone(),
+        SchedulerConfig {
+            max_batch: 8,
+            max_wait: Duration::ZERO, // batch = whatever is queued right now
+            queue_capacity: 64,
+            workers: 1,
+        },
+    );
+    // Occupy the worker, then queue five requests behind it.
+    let t0 = scheduler.submit(vec![0.0]).unwrap();
+    assert_eq!(entered.recv().unwrap(), 1);
+    let tickets: Vec<_> = (1..=5).map(|i| scheduler.submit(vec![i as f32]).unwrap()).collect();
+    gate.send(()).unwrap(); // release batch 1
+    assert_eq!(entered.recv().unwrap(), 5, "the five queued requests run as one batch");
+    gate.send(()).unwrap(); // release batch 2
+    assert_eq!(t0.wait().unwrap().batch_size, 1);
+    for (i, t) in tickets.into_iter().enumerate() {
+        let p = t.wait().unwrap();
+        assert_eq!(p.batch_size, 5);
+        assert_eq!(p.output, vec![(i + 1) as f32 * 2.0]);
+    }
+    assert_eq!(runner.calls.load(Ordering::SeqCst), 2);
+    scheduler.shutdown();
+}
+
+#[test]
+fn max_wait_gathers_stragglers_into_the_batch() {
+    let engine = Arc::new(demo::mlp_engine(12));
+    let scheduler = Arc::new(BatchScheduler::start(
+        engine.clone(),
+        SchedulerConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(200),
+            queue_capacity: 64,
+            workers: 1,
+        },
+    ));
+    // Submit four requests from four threads within the gather window;
+    // with a 200 ms window they should coalesce (wall clock on loaded CI
+    // can stretch, so only the *parity* is a hard assertion).
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let scheduler = Arc::clone(&scheduler);
+        let engine = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            let input = vec![t as f32 * 0.25; engine.input_len()];
+            let p = scheduler.predict(input.clone()).expect("served");
+            let direct = engine.predict(&input).expect("direct");
+            assert_eq!(p.output, direct);
+            p.batch_size
+        }));
+    }
+    let sizes: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(sizes.iter().all(|&s| (1..=4).contains(&s)));
+    scheduler.shutdown();
+}

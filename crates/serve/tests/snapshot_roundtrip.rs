@@ -1,0 +1,165 @@
+//! Snapshot format pins: save→load→predict parity (bit-exact, by property
+//! test) and typed, panic-free errors for every corruption mode.
+
+use pecan_serve::{demo, FrozenEngine, SnapshotError, SNAPSHOT_VERSION};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_bits_eq(a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "bit mismatch at {i}: {x} vs {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Reloaded engines answer bit-identically, for MLP and conv models.
+    #[test]
+    fn save_load_predict_parity(seed in 0u64..5, conv in proptest::bool::ANY) {
+        let engine = if conv { demo::lenet_engine(seed) } else { demo::mlp_engine(seed) };
+        let bytes = engine.snapshot_bytes();
+        let reloaded = FrozenEngine::from_snapshot_bytes(&bytes).unwrap();
+        prop_assert_eq!(engine.input_shape(), reloaded.input_shape());
+        prop_assert_eq!(engine.output_shape(), reloaded.output_shape());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        for _ in 0..3 {
+            let x = pecan_tensor::uniform(&mut rng, &[engine.input_len()], -1.0, 1.0)
+                .into_vec();
+            assert_bits_eq(&engine.predict(&x).unwrap(), &reloaded.predict(&x).unwrap());
+        }
+        // serialization is stable: re-saving the reload is byte-identical
+        prop_assert_eq!(bytes, reloaded.snapshot_bytes());
+    }
+
+    /// No truncation point panics, and every one is a typed error.
+    #[test]
+    fn any_truncation_is_a_typed_error(cut_permille in 0u32..1000) {
+        let bytes = demo::mlp_engine(1).snapshot_bytes();
+        let cut = (bytes.len() as u64 * u64::from(cut_permille) / 1000) as usize;
+        let err = FrozenEngine::from_snapshot_bytes(&bytes[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated { .. }
+                    | SnapshotError::ChecksumMismatch { .. }
+                    | SnapshotError::BadMagic
+                    | SnapshotError::Corrupt(_)
+            ),
+            "truncation at {cut} gave {err:?}"
+        );
+    }
+
+    /// No single flipped byte panics; almost all are checksum mismatches.
+    #[test]
+    fn any_flipped_byte_is_a_typed_error(pos_permille in 0u32..1000, flip in 1u32..256) {
+        let mut bytes = demo::mlp_engine(2).snapshot_bytes();
+        let pos = (bytes.len() as u64 * u64::from(pos_permille) / 1000) as usize;
+        let pos = pos.min(bytes.len() - 1);
+        bytes[pos] ^= flip as u8;
+        prop_assert!(FrozenEngine::from_snapshot_bytes(&bytes).is_err());
+    }
+}
+
+#[test]
+fn corrupt_magic_reports_bad_magic() {
+    let mut bytes = demo::mlp_engine(1).snapshot_bytes();
+    bytes[0] ^= 0xFF;
+    assert!(matches!(
+        FrozenEngine::from_snapshot_bytes(&bytes).unwrap_err(),
+        SnapshotError::BadMagic
+    ));
+}
+
+#[test]
+fn future_version_reports_unsupported_not_checksum() {
+    let mut bytes = demo::mlp_engine(1).snapshot_bytes();
+    bytes[8..12].copy_from_slice(&(SNAPSHOT_VERSION + 7).to_le_bytes());
+    match FrozenEngine::from_snapshot_bytes(&bytes).unwrap_err() {
+        SnapshotError::UnsupportedVersion { found } => {
+            assert_eq!(found, SNAPSHOT_VERSION + 7);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn payload_flip_reports_checksum_mismatch() {
+    let mut bytes = demo::mlp_engine(1).snapshot_bytes();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    assert!(matches!(
+        FrozenEngine::from_snapshot_bytes(&bytes).unwrap_err(),
+        SnapshotError::ChecksumMismatch { .. }
+    ));
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut bytes = demo::mlp_engine(1).snapshot_bytes();
+    // Keep the checksum trailer last so the tamper is structural, not bit
+    // rot: splice zeros in *before* the trailer and fix the checksum up.
+    let trailer_at = bytes.len() - 4;
+    bytes.splice(trailer_at..trailer_at, std::iter::repeat(0u8).take(8));
+    let payload_len = bytes.len() - 4;
+    let crc = pecan_serve::crc32(&bytes[..payload_len]);
+    let end = bytes.len();
+    bytes[end - 4..].copy_from_slice(&crc.to_le_bytes());
+    match FrozenEngine::from_snapshot_bytes(&bytes).unwrap_err() {
+        SnapshotError::Corrupt(msg) => assert!(msg.contains("trailing")),
+        other => panic!("expected Corrupt(trailing), got {other:?}"),
+    }
+}
+
+#[test]
+fn crafted_inconsistent_pipeline_is_rejected_not_a_panic() {
+    // A snapshot whose checksum is valid but whose declared input shape
+    // does not thread through the stages must fail at *load* time — never
+    // at predict time inside a scheduler worker.
+    let mut bytes = demo::mlp_engine(1).snapshot_bytes();
+    // input shape lives right after magic(8)+version(4)+rank(4): [64] → [63]
+    assert_eq!(u32::from_le_bytes(bytes[16..20].try_into().unwrap()), 64);
+    bytes[16..20].copy_from_slice(&63u32.to_le_bytes());
+    let payload_len = bytes.len() - 4;
+    let crc = pecan_serve::crc32(&bytes[..payload_len]);
+    bytes[payload_len..].copy_from_slice(&crc.to_le_bytes());
+    match FrozenEngine::from_snapshot_bytes(&bytes).unwrap_err() {
+        SnapshotError::Corrupt(msg) => {
+            assert!(msg.contains("carries [63]"), "got: {msg}");
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_and_foreign_files_are_rejected() {
+    assert!(matches!(
+        FrozenEngine::from_snapshot_bytes(&[]).unwrap_err(),
+        SnapshotError::Truncated { .. }
+    ));
+    assert!(matches!(
+        FrozenEngine::from_snapshot_bytes(b"#!/bin/sh\necho not a model\n").unwrap_err(),
+        SnapshotError::BadMagic
+    ));
+}
+
+#[test]
+fn file_round_trip_through_disk() {
+    let engine = demo::lenet_engine(6);
+    let dir = std::env::temp_dir().join(format!("pecan-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.psnp");
+    engine.save_snapshot(&path).unwrap();
+    let reloaded = FrozenEngine::load_snapshot(&path).unwrap();
+    let x = vec![0.5f32; engine.input_len()];
+    assert_bits_eq(&engine.predict(&x).unwrap(), &reloaded.predict(&x).unwrap());
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // Missing file surfaces as Io, not a panic.
+    assert!(matches!(
+        FrozenEngine::load_snapshot(dir.join("nope.psnp")).unwrap_err(),
+        SnapshotError::Io(_)
+    ));
+}

@@ -1,0 +1,71 @@
+//! Serving walkthrough: compile a PECAN model into a frozen engine,
+//! snapshot it to disk, reload it, and answer real HTTP traffic through
+//! the micro-batching scheduler.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+
+use pecan::serve::client::HttpClient;
+use pecan::serve::{demo, FrozenEngine, SchedulerConfig, Server, ServerConfig};
+use std::error::Error;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. A trained model becomes an immutable, Arc-shared inference plan:
+    //    LUTs and im2col geometry precomputed once, lock-free reads.
+    let engine = demo::lenet_engine(7);
+    println!(
+        "compiled LeNet engine: {:?} → {:?}, {} stages, {} LUT scalars",
+        engine.input_shape(),
+        engine.output_shape(),
+        engine.stage_count(),
+        engine.lut_scalars()
+    );
+
+    // 2. Snapshot round trip — the reloaded engine is bit-identical.
+    let path = std::env::temp_dir().join("pecan-serving-example.psnp");
+    engine.save_snapshot(&path)?;
+    let engine = Arc::new(FrozenEngine::load_snapshot(&path)?);
+    println!("snapshot round trip via {} ok", path.display());
+
+    // 3. Serve it: bounded queue, micro-batches of up to 16, one worker.
+    let server = Server::start(
+        engine.clone(),
+        ServerConfig {
+            scheduler: SchedulerConfig {
+                max_batch: 16,
+                max_wait: Duration::from_micros(200),
+                queue_capacity: 256,
+                workers: 1,
+            },
+            ..ServerConfig::default()
+        },
+    )?;
+    let addr = server.local_addr();
+    println!("serving on http://{addr}");
+
+    // 4. An HTTP client (std only — the same one `loadgen` uses at scale).
+    let input: Vec<f32> = (0..engine.input_len()).map(|i| (i as f32 * 0.017).sin()).collect();
+    let body = pecan::serve::json::format_f32_array(&input);
+    let mut client = HttpClient::connect(addr)?;
+    let (status, response) = client.call("POST", "/predict", &body)?;
+    assert_eq!(status, 200, "{response}");
+    let served = pecan::serve::json::array_field(&response, "output")
+        .map_err(|e| format!("bad response: {e}"))?;
+
+    // 5. The wire changed nothing: HTTP answer == in-process answer, bitwise.
+    let direct = engine.predict(&input)?;
+    assert_eq!(served.len(), direct.len());
+    for (a, b) in served.iter().zip(&direct) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    println!("served logits match in-process inference bit-for-bit: {served:.3?}");
+
+    let stats = server.stats();
+    println!("server stats: {}", stats.to_json());
+    server.stop();
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

@@ -16,6 +16,7 @@
 //! | [`cam`] | CAM hardware simulator: analog L1 arrays, lookup tables, VIA-Nano cost model, fixed-point pipeline |
 //! | [`index`] | prototype search engines: exhaustive linear scan, PQTable-style non-exhaustive buckets, Quick-ADC-style batched scans |
 //! | [`nn`] | conventional layers + the model zoo (LeNet-5, VGG-Small, ResNet-20/32, ConvMixer) |
+//! | [`serve`] | model serving: frozen engines, binary snapshots, micro-batching scheduler, std-only HTTP front end |
 //! | [`autograd`] | tape-based reverse-mode autodiff with SGD/Adam |
 //! | [`tensor`] | dense f32 tensors, packed/threaded GEMM (`PECAN_NUM_THREADS`), im2col |
 //! | [`datasets`] | MNIST IDX / CIFAR binary parsers + synthetic stand-ins |
@@ -51,4 +52,5 @@ pub use pecan_datasets as datasets;
 pub use pecan_index as index;
 pub use pecan_nn as nn;
 pub use pecan_pq as pq;
+pub use pecan_serve as serve;
 pub use pecan_tensor as tensor;
