@@ -58,7 +58,7 @@ fn bench_addernet(c: &mut Criterion) {
         b.iter(|| black_box(adder_kernel(&weight, &xcol)));
     });
     group.bench_function("pecan_d_lookup", |b| {
-        b.iter(|| black_box(engine.forward_cols(&xcol, None).expect("forward")));
+        b.iter(|| black_box(engine.forward_matrix(&xcol, None).expect("forward")));
     });
     group.finish();
 }

@@ -53,7 +53,7 @@ fn bench_conv_vs_pecan(c: &mut Criterion) {
                 BenchmarkId::new(name, format!("{cin}x{cout}@{hw}")),
                 &(),
                 |b, ()| {
-                    b.iter(|| black_box(engine.forward_cols(&xcol, None).expect("forward")));
+                    b.iter(|| black_box(engine.forward_matrix(&xcol, None).expect("forward")));
                 },
             );
         }

@@ -46,7 +46,7 @@ fn bench_lut_inference(c: &mut Criterion) {
         b.iter(|| black_box(weight.matmul(&xcol).expect("matmul")));
     });
     group.bench_function("pecan_d_float", |b| {
-        b.iter(|| black_box(engine.forward_cols(&xcol, None).expect("forward")));
+        b.iter(|| black_box(engine.forward_matrix(&xcol, None).expect("forward")));
     });
     group.bench_function("pecan_d_fixed_point", |b| {
         b.iter(|| {

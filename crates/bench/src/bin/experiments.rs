@@ -647,7 +647,7 @@ fn figure6() -> String {
             Conv2dGeometry::new(c_in, dims[1], dims[2], k, stride, padding).expect("geometry");
         let cols = im2col(input, &geom).expect("im2col");
         let mut stats = engine.new_stats();
-        engine.forward_cols(&cols, Some(&mut stats)).expect("forward");
+        engine.forward_matrix(&cols, Some(&mut stats)).expect("forward");
         let row: String = stats
             .counts(0)
             .iter()
@@ -746,14 +746,14 @@ fn noise() -> String {
     .expect("layer");
     let xcol = pecan_tensor::uniform(&mut rng, &[18, 400], -1.0, 1.0);
     let engine = LayerLut::from_conv(&layer).expect("engine");
-    let clean = engine.forward_cols(&xcol, None).expect("clean");
+    let clean = engine.forward_matrix(&xcol, None).expect("clean");
 
     let mut rows = Vec::new();
     for sigma in [0.0f32, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0] {
         let mut noisy_engine = LayerLut::from_conv(&layer).expect("engine");
         let mut noise_rng = StdRng::seed_from_u64(102);
         noisy_engine.perturb_prototypes(sigma, &mut noise_rng);
-        let noisy = noisy_engine.forward_cols(&xcol, None).expect("noisy");
+        let noisy = noisy_engine.forward_matrix(&xcol, None).expect("noisy");
         let cols = clean.dims()[1];
         let mut churn = 0;
         for i in 0..cols {

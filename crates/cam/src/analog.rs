@@ -143,6 +143,63 @@ impl AnalogCam {
         }
         self.search_batch(&buf)
     }
+
+    /// Searches `count` queries embedded in a larger column-major buffer:
+    /// query `i` is the `d` values at `data[i·stride + offset ..]`. This is
+    /// the batch-first serving entry point — a pipeline carrying one
+    /// contiguous `[features, batch]` activation matrix hands each codebook
+    /// group's sub-rows straight to the CAM without materializing a
+    /// per-group matrix first (the gather into the lane-blocked scan
+    /// buffer happens here, once).
+    ///
+    /// Winners and scores are bit-identical to [`AnalogCam::search`] per
+    /// query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when a query would read outside `data`
+    /// (`offset + d > stride` or the last query overruns the buffer).
+    pub fn search_strided(
+        &self,
+        data: &[f32],
+        stride: usize,
+        offset: usize,
+        count: usize,
+    ) -> Result<Vec<SearchResult>, ShapeError> {
+        self.search_strided_into(data, stride, offset, count, &mut Vec::new())
+    }
+
+    /// [`AnalogCam::search_strided`] gathering into a caller-owned scratch
+    /// buffer (cleared and resized as needed) — repeated per-group calls
+    /// on a serving hot path reuse one allocation across all groups.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AnalogCam::search_strided`].
+    pub fn search_strided_into(
+        &self,
+        data: &[f32],
+        stride: usize,
+        offset: usize,
+        count: usize,
+        scratch: &mut Vec<f32>,
+    ) -> Result<Vec<SearchResult>, ShapeError> {
+        let d = self.width();
+        if offset + d > stride || count * stride > data.len() {
+            return Err(ShapeError::new(format!(
+                "strided search (offset {offset}, width {d}, stride {stride}, count {count}) \
+                 overruns a buffer of {}",
+                data.len()
+            )));
+        }
+        scratch.clear();
+        scratch.resize(count * d, 0.0);
+        for i in 0..count {
+            let from = i * stride + offset;
+            scratch[i * d..(i + 1) * d].copy_from_slice(&data[from..from + d]);
+        }
+        self.search_batch(scratch)
+    }
 }
 
 /// A dot-product CAM: returns the stored row with the largest inner product
@@ -188,6 +245,20 @@ impl DotProductCam {
     ///
     /// Returns [`ShapeError`] when `query.len() != d`.
     pub fn scores(&self, query: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        let mut out = vec![0.0f32; self.entries()];
+        self.scores_into(query, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`DotProductCam::scores`] into a caller-owned buffer — the
+    /// batch-first serving path calls this once per column per group, so
+    /// reusing one scratch buffer keeps the hot loop allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `query.len() != d` or
+    /// `out.len() != p`.
+    pub fn scores_into(&self, query: &[f32], out: &mut [f32]) -> Result<(), ShapeError> {
         if query.len() != self.width() {
             return Err(ShapeError::new(format!(
                 "query width {} does not match CAM width {}",
@@ -195,16 +266,23 @@ impl DotProductCam {
                 self.width()
             )));
         }
-        Ok((0..self.entries())
-            .map(|r| {
-                self.rows
-                    .row(r)
-                    .iter()
-                    .zip(query)
-                    .map(|(&a, &b)| a * b)
-                    .sum()
-            })
-            .collect())
+        if out.len() != self.entries() {
+            return Err(ShapeError::new(format!(
+                "score buffer of {} for {} stored rows",
+                out.len(),
+                self.entries()
+            )));
+        }
+        for (r, slot) in out.iter_mut().enumerate() {
+            *slot = self
+                .rows
+                .row(r)
+                .iter()
+                .zip(query)
+                .map(|(&a, &b)| a * b)
+                .sum();
+        }
+        Ok(())
     }
 
     /// Best-matching row by inner product.
@@ -288,6 +366,25 @@ mod tests {
     }
 
     #[test]
+    fn strided_search_matches_single_search() {
+        let cam = cam_3x2();
+        // three "columns" of 5 features each; the query lives at offset 2
+        let stride = 5;
+        let mut data = vec![9.0f32; 3 * stride];
+        let queries = [[0.1, -0.1], [0.9, 0.8], [-1.5, 1.9]];
+        for (i, q) in queries.iter().enumerate() {
+            data[i * stride + 2..i * stride + 4].copy_from_slice(q);
+        }
+        let hits = cam.search_strided(&data, stride, 2, 3).unwrap();
+        for (hit, q) in hits.iter().zip(&queries) {
+            assert_eq!(*hit, cam.search(q).unwrap());
+        }
+        // overruns are typed errors, not panics
+        assert!(cam.search_strided(&data, stride, 4, 3).is_err());
+        assert!(cam.search_strided(&data, stride, 0, 4).is_err());
+    }
+
+    #[test]
     fn zero_noise_is_identical_and_noise_perturbs() {
         let base = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], &[2, 2]).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
@@ -307,6 +404,10 @@ mod tests {
         assert_eq!(cam.search(&[0.1, 5.0]).unwrap().row, 1);
         let s = cam.scores(&[2.0, 3.0]).unwrap();
         assert_eq!(s, vec![2.0, 3.0]);
+        let mut buf = vec![0.0; 2];
+        cam.scores_into(&[2.0, 3.0], &mut buf).unwrap();
+        assert_eq!(buf, s);
+        assert!(cam.scores_into(&[2.0, 3.0], &mut [0.0; 3]).is_err());
     }
 
     #[test]

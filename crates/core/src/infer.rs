@@ -1,3 +1,4 @@
+use crate::batch::InferBatch;
 use crate::layers::{PecanConv2d, PecanLinear};
 use crate::PecanVariant;
 use pecan_cam::{AnalogCam, DotProductCam, LookupTable};
@@ -252,53 +253,66 @@ impl LayerLut {
         self.analog = noisy;
     }
 
-    /// Runs Algorithm 1 over an im2col matrix `x` (`[D·d, cols]`),
-    /// producing the layer output `[cout, cols]`. When `stats` is given,
-    /// PECAN-D records which prototype won each search (Fig. 6).
+    /// Runs Algorithm 1 over a whole batch of columns at once: `x` is a
+    /// column-major [`InferBatch`] whose every column carries the layer's
+    /// `D·d` im2col features, and the result is the `[cout]`-per-column
+    /// output batch. When `stats` is given, PECAN-D records which
+    /// prototype won each search (Fig. 6).
     ///
-    /// PECAN-D runs group by group through [`AnalogCam::search_batch`], the
-    /// blocked `pecan-index` scan that answers all columns of a group at
-    /// once; per-column accumulation order (bias, then groups in ascending
-    /// order) is unchanged, so outputs are bit-identical to the former
-    /// one-search-per-column loop.
+    /// This is the batch-first inference entry point: the batch enters as
+    /// one contiguous matrix and leaves as one contiguous matrix, so
+    /// consecutive LUT layers can chain without ever splitting the batch
+    /// into per-sample buffers. PECAN-D hands each codebook group's
+    /// sub-rows to [`AnalogCam::search_strided`] — the blocked
+    /// `pecan-index` scan answering all columns of a group at once —
+    /// straight out of the batch buffer; per-column accumulation order
+    /// (bias, then groups in ascending order) matches the historical
+    /// per-column loop, so outputs are bit-identical to it.
+    ///
+    /// Training-path tools that still hold a row-major `[rows, cols]`
+    /// [`Tensor`] should call [`LayerLut::forward_matrix`], the thin shim
+    /// over this method.
     ///
     /// # Errors
     ///
-    /// Returns [`ShapeError`] when `x` does not match the configuration.
+    /// Returns [`ShapeError`] when `x` does not carry `D·d` features per
+    /// column.
     pub fn forward_cols(
         &self,
-        x: &Tensor,
+        x: InferBatch,
         mut stats: Option<&mut UsageStats>,
-    ) -> Result<Tensor, ShapeError> {
-        x.shape().expect_rank(2)?;
-        if x.dims()[0] != self.config.rows() {
+    ) -> Result<InferBatch, ShapeError> {
+        if x.features() != self.config.rows() {
             return Err(ShapeError::new(format!(
                 "feature matrix has {} rows, engine expects {}",
-                x.dims()[0],
+                x.features(),
                 self.config.rows()
             )));
         }
-        let cols = x.dims()[1];
+        let cols = x.cols();
         let d = self.config.dim();
-        let mut out = Tensor::zeros(&[self.c_out, cols]);
+        let mut out = InferBatch::zeros(&[self.c_out], cols)?;
         match self.variant {
             PecanVariant::Distance => {
-                // Transposed accumulator [cols, cout]: LUT reads then add
-                // into contiguous per-column rows.
-                let mut acc = vec![0.0f32; cols * self.c_out];
+                // The output batch *is* the accumulator: column-major
+                // [cout, cols], every LUT read adds into one contiguous
+                // column.
+                let acc = out.data_mut();
                 if let Some(b) = &self.bias {
                     for column in acc.chunks_exact_mut(self.c_out) {
                         column.copy_from_slice(b.data());
                     }
                 }
-                let mut queries = vec![0.0f32; cols * d];
+                // One gather scratch reused across every group's search.
+                let mut scratch = Vec::new();
                 for j in 0..self.config.groups() {
-                    for i in 0..cols {
-                        for k in 0..d {
-                            queries[i * d + k] = x.get2(j * d + k, i);
-                        }
-                    }
-                    let hits = self.analog[j].search_batch(&queries)?;
+                    let hits = self.analog[j].search_strided_into(
+                        x.data(),
+                        x.features(),
+                        j * d,
+                        cols,
+                        &mut scratch,
+                    )?;
                     for (i, hit) in hits.iter().enumerate() {
                         self.luts[j].accumulate_column(
                             hit.row,
@@ -309,40 +323,47 @@ impl LayerLut {
                         }
                     }
                 }
-                for i in 0..cols {
-                    for o in 0..self.c_out {
-                        out.set2(o, i, acc[i * self.c_out + o]);
-                    }
-                }
             }
             PecanVariant::Angle => {
-                let mut query = vec![0.0f32; d];
-                let mut acc = vec![0.0f32; self.c_out];
+                let mut scores = vec![0.0f32; self.config.prototypes()];
                 for i in 0..cols {
-                    acc.fill(0.0);
+                    let column = x.col(i);
+                    let acc = out.col_mut(i);
                     if let Some(b) = &self.bias {
                         acc.copy_from_slice(b.data());
                     }
                     for j in 0..self.config.groups() {
-                        for (k, q) in query.iter_mut().enumerate() {
-                            *q = x.get2(j * d + k, i);
-                        }
-                        let scores = self.dot[j].scores(&query)?;
+                        self.dot[j].scores_into(&column[j * d..(j + 1) * d], &mut scores)?;
                         let weights = softmax(&scores, self.tau);
-                        self.luts[j].accumulate_weighted(&weights, &mut acc)?;
+                        self.luts[j].accumulate_weighted(&weights, acc)?;
                         if let Some(s) = stats.as_deref_mut() {
                             // record the dominant prototype for usage stats
                             let best = argmax(&weights);
                             s.record(j, best);
                         }
                     }
-                    for (o, &v) in acc.iter().enumerate() {
-                        out.set2(o, i, v);
-                    }
                 }
             }
         }
         Ok(out)
+    }
+
+    /// Runs Algorithm 1 over a row-major im2col matrix `x` (`[D·d, cols]`),
+    /// producing the layer output `[cout, cols]` — the retained
+    /// [`Tensor`]-shaped shim over the batch-first
+    /// [`LayerLut::forward_cols`]. Results are bit-identical to the batch
+    /// path (the conversions transpose, they never touch values).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x` does not match the configuration.
+    pub fn forward_matrix(
+        &self,
+        x: &Tensor,
+        stats: Option<&mut UsageStats>,
+    ) -> Result<Tensor, ShapeError> {
+        let batch = InferBatch::from_matrix(x)?;
+        Ok(self.forward_cols(batch, stats)?.to_matrix())
     }
 
     /// Fresh usage-statistics accumulator sized for this engine.
@@ -405,7 +426,7 @@ mod tests {
         let geom = Conv2dGeometry::new(2, 5, 5, 3, 1, 1).unwrap();
         let img = Tensor::from_vec(x_t.data().to_vec(), &[2, 5, 5]).unwrap();
         let cols = im2col(&img, &geom).unwrap();
-        let lut_out = engine.forward_cols(&cols, None).unwrap(); // [3, 25]
+        let lut_out = engine.forward_matrix(&cols, None).unwrap(); // [3, 25]
 
         // train path output is [1, 3, 5, 5] — same memory order as [3, 25]
         let train_flat = train_path.value().reshape(&[3, 25]).unwrap();
@@ -428,7 +449,7 @@ mod tests {
         let geom = Conv2dGeometry::new(2, 4, 4, 3, 1, 1).unwrap();
         let img = Tensor::from_vec(x_t.data().to_vec(), &[2, 4, 4]).unwrap();
         let cols = im2col(&img, &geom).unwrap();
-        let lut_out = engine.forward_cols(&cols, None).unwrap();
+        let lut_out = engine.forward_matrix(&cols, None).unwrap();
         let train_flat = train_path.value().reshape(&[3, 16]).unwrap();
         assert!(lut_out.max_abs_diff(&train_flat) < 1e-3);
     }
@@ -449,7 +470,7 @@ mod tests {
 
         let engine = LayerLut::from_linear(&layer).unwrap();
         let cols = x_t.transpose2().unwrap(); // [16, 3]
-        let out = engine.forward_cols(&cols, None).unwrap(); // [5, 3]
+        let out = engine.forward_matrix(&cols, None).unwrap(); // [5, 3]
         let y_cols = y.value().transpose2().unwrap();
         assert!(out.max_abs_diff(&y_cols) < 1e-4);
     }
@@ -461,7 +482,7 @@ mod tests {
         let mut stats = engine.new_stats();
         let mut rng = StdRng::seed_from_u64(7);
         let cols = pecan_tensor::uniform(&mut rng, &[18, 30], -1.0, 1.0);
-        engine.forward_cols(&cols, Some(&mut stats)).unwrap();
+        engine.forward_matrix(&cols, Some(&mut stats)).unwrap();
         let total: u64 = (0..stats.groups()).map(|g| stats.counts(g).iter().sum::<u64>()).sum();
         assert_eq!(total, 30 * 2); // 30 columns × 2 groups
     }
@@ -472,10 +493,44 @@ mod tests {
         let mut engine = LayerLut::from_conv(&layer).unwrap();
         let mut rng = StdRng::seed_from_u64(9);
         let cols = pecan_tensor::uniform(&mut rng, &[18, 20], -1.0, 1.0);
-        let clean = engine.forward_cols(&cols, None).unwrap();
+        let clean = engine.forward_matrix(&cols, None).unwrap();
         engine.perturb_prototypes(5.0, &mut rng); // huge noise
-        let noisy = engine.forward_cols(&cols, None).unwrap();
+        let noisy = engine.forward_matrix(&cols, None).unwrap();
         assert!(clean.max_abs_diff(&noisy) > 0.0);
+    }
+
+    #[test]
+    fn forward_matrix_shim_is_bit_identical_to_batch_path() {
+        for (variant, seed) in [(PecanVariant::Distance, 31), (PecanVariant::Angle, 32)] {
+            let layer = conv_layer(variant, seed);
+            let engine = LayerLut::from_conv(&layer).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed + 1);
+            let cols = pecan_tensor::uniform(&mut rng, &[18, 15], -1.0, 1.0);
+            let via_shim = engine.forward_matrix(&cols, None).unwrap();
+            let batch = InferBatch::from_matrix(&cols).unwrap();
+            let via_batch = engine.forward_cols(batch, None).unwrap();
+            assert_eq!(via_batch.sample_shape(), &[3]);
+            assert_eq!(via_batch.cols(), 15);
+            let back = via_batch.to_matrix();
+            assert_eq!(via_shim.data(), back.data(), "{variant:?} shim must match batch");
+        }
+    }
+
+    #[test]
+    fn batch_stats_match_matrix_stats() {
+        let layer = conv_layer(PecanVariant::Distance, 33);
+        let engine = LayerLut::from_conv(&layer).unwrap();
+        let mut rng = StdRng::seed_from_u64(34);
+        let cols = pecan_tensor::uniform(&mut rng, &[18, 25], -1.0, 1.0);
+        let mut a = engine.new_stats();
+        let mut b = engine.new_stats();
+        engine.forward_matrix(&cols, Some(&mut a)).unwrap();
+        engine
+            .forward_cols(InferBatch::from_matrix(&cols).unwrap(), Some(&mut b))
+            .unwrap();
+        for g in 0..a.groups() {
+            assert_eq!(a.counts(g), b.counts(g));
+        }
     }
 
     #[test]
@@ -493,8 +548,8 @@ mod tests {
             .unwrap();
             let mut rng = StdRng::seed_from_u64(seed + 100);
             let cols = pecan_tensor::uniform(&mut rng, &[18, 13], -1.0, 1.0);
-            let a = engine.forward_cols(&cols, None).unwrap();
-            let b = rebuilt.forward_cols(&cols, None).unwrap();
+            let a = engine.forward_matrix(&cols, None).unwrap();
+            let b = rebuilt.forward_matrix(&cols, None).unwrap();
             assert_eq!(a.data(), b.data(), "{variant:?} rebuild must be bit-identical");
         }
     }
@@ -534,7 +589,7 @@ mod tests {
         assert!(LayerLut::build(PecanVariant::Distance, cfg, &bad_weight, &cb, None).is_err());
         assert!(LayerLut::build(PecanVariant::Distance, cfg, &w, &cb[..1], None).is_err());
         let engine = LayerLut::build(PecanVariant::Distance, cfg, &w, &cb, None).unwrap();
-        assert!(engine.forward_cols(&Tensor::zeros(&[7, 2]), None).is_err());
+        assert!(engine.forward_matrix(&Tensor::zeros(&[7, 2]), None).is_err());
         assert_eq!(engine.lut_scalars(), 2 * 3 * 2);
     }
 }

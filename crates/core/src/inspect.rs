@@ -86,7 +86,7 @@ pub fn quantization_snapshot(
     debug_assert!({
         let engine = LayerLut::from_conv(layer)?;
         let mut stats = engine.new_stats();
-        engine.forward_cols(xcol, Some(&mut stats))?;
+        engine.forward_matrix(xcol, Some(&mut stats))?;
         stats.counts(group).iter().sum::<u64>() as usize == assignments.len()
     });
     Ok(QuantizationSnapshot { features, quantized, codebook, assignments })

@@ -42,6 +42,7 @@
 //! # }
 //! ```
 
+mod batch;
 pub mod complexity;
 pub mod configs;
 mod convert;
@@ -51,8 +52,10 @@ mod layers;
 pub mod prune;
 mod train;
 
+pub use batch::InferBatch;
 pub use convert::{PecanBuilder, PecanVariant, PqLayerSettings, RecordingBuilder};
 pub use infer::LayerLut;
+pub use pecan_pq::UsageStats;
 pub use inspect::{quantization_snapshot, QuantizationSnapshot};
 pub use layers::{PecanConv2d, PecanLinear};
 pub use train::{train_pecan, Strategy, TrainingReport};

@@ -120,7 +120,7 @@ mod tests {
         let (layer, xcol) = setup();
         let engine = LayerLut::from_conv(&layer).unwrap();
         let mut stats = engine.new_stats();
-        let reference = engine.forward_cols(&xcol, Some(&mut stats)).unwrap();
+        let reference = engine.forward_matrix(&xcol, Some(&mut stats)).unwrap();
 
         let report = prune_unused(
             PecanVariant::Distance,
@@ -131,7 +131,7 @@ mod tests {
             &stats,
         )
         .unwrap();
-        let pruned_out = report.engine.forward_cols(&xcol, None).unwrap();
+        let pruned_out = report.engine.forward_matrix(&xcol, None).unwrap();
         assert!(
             pruned_out.max_abs_diff(&reference) < 1e-5,
             "pruning changed outputs by {}",

@@ -15,7 +15,11 @@
 //!   baseline / PECAN-A / PECAN-D on the same data, which the synthetic
 //!   tasks exercise through identical code paths;
 //! * batching/shuffling and light augmentation ([`make_batches`],
-//!   [`random_flip`]).
+//!   [`random_flip`]);
+//! * an **opt-in real-data fixture** ([`load_mnist`], gated on the
+//!   [`PECAN_DATA_DIR`] environment variable via [`mnist_dir`]): tests and
+//!   accuracy runs use the genuine MNIST files when present and skip
+//!   cleanly when not.
 //!
 //! # Example
 //!
@@ -34,12 +38,14 @@ mod cifar;
 mod dataset;
 mod idx;
 mod loader;
+mod real;
 mod synthetic;
 
 pub use cifar::{parse_cifar10, parse_cifar100};
 pub use dataset::{InMemoryDataset, ParseDataError};
 pub use idx::{parse_idx_images, parse_idx_labels};
 pub use loader::{make_batches, random_flip};
+pub use real::{load_mnist, mnist_dir, Mnist, MNIST_FILES, PECAN_DATA_DIR};
 pub use synthetic::{
     synthetic_cifar, synthetic_mnist, synthetic_textures, synthetic_tiny_imagenet,
 };

@@ -1,0 +1,144 @@
+//! Opt-in real-dataset fixtures: load the actual MNIST IDX files when the
+//! operator has them on disk, skip cleanly when not.
+//!
+//! The experiment suite runs on synthetic stand-ins by default so CI and
+//! laptops need no downloads. For accuracy-reproduction runs against the
+//! real data, point [`PECAN_DATA_DIR`] at a directory holding the four
+//! **decompressed** MNIST IDX files and use [`load_mnist`]; tests built on
+//! it call [`mnist_dir`] first and return early (with a note on stderr)
+//! when the fixture is absent — present data is exercised, absent data is
+//! never an error.
+
+use crate::dataset::ParseDataError;
+use crate::idx::{parse_idx_images, parse_idx_labels};
+use pecan_tensor::Tensor;
+use std::path::{Path, PathBuf};
+
+/// Environment variable naming the real-dataset directory.
+pub const PECAN_DATA_DIR: &str = "PECAN_DATA_DIR";
+
+/// The four decompressed MNIST IDX file names [`load_mnist`] expects
+/// (train/test images and labels, the canonical distribution names).
+pub const MNIST_FILES: [&str; 4] = [
+    "train-images-idx3-ubyte",
+    "train-labels-idx1-ubyte",
+    "t10k-images-idx3-ubyte",
+    "t10k-labels-idx1-ubyte",
+];
+
+/// The full MNIST dataset parsed from the real IDX files.
+#[derive(Debug)]
+pub struct Mnist {
+    /// Training images, `[n, 1, 28, 28]`, pixels in `[0, 1]`.
+    pub train_images: Tensor,
+    /// Training labels, one digit per image.
+    pub train_labels: Vec<usize>,
+    /// Test images, `[n, 1, 28, 28]`.
+    pub test_images: Tensor,
+    /// Test labels.
+    pub test_labels: Vec<usize>,
+}
+
+/// The directory `PECAN_DATA_DIR` points at, when it is set **and** holds
+/// every MNIST file — the "download-or-skip" gate for real-data tests.
+pub fn mnist_dir() -> Option<PathBuf> {
+    let dir = PathBuf::from(std::env::var_os(PECAN_DATA_DIR)?);
+    MNIST_FILES
+        .iter()
+        .all(|f| dir.join(f).is_file())
+        .then_some(dir)
+}
+
+/// Loads and validates the four MNIST IDX files from `dir`.
+///
+/// # Errors
+///
+/// Returns [`ParseDataError`] when a file is missing/unreadable, fails
+/// IDX parsing, or the train/test splits disagree with each other
+/// (image/label count mismatch, labels outside 0–9).
+pub fn load_mnist(dir: impl AsRef<Path>) -> Result<Mnist, ParseDataError> {
+    let dir = dir.as_ref();
+    let read = |name: &str| -> Result<Vec<u8>, ParseDataError> {
+        std::fs::read(dir.join(name)).map_err(|e| {
+            ParseDataError::new(format!("{}: {e}", dir.join(name).display()))
+        })
+    };
+    let train_images = parse_idx_images(&read(MNIST_FILES[0])?)?;
+    let train_labels = parse_idx_labels(&read(MNIST_FILES[1])?)?;
+    let test_images = parse_idx_images(&read(MNIST_FILES[2])?)?;
+    let test_labels = parse_idx_labels(&read(MNIST_FILES[3])?)?;
+    for (what, images, labels) in [
+        ("train", &train_images, &train_labels),
+        ("test", &test_images, &test_labels),
+    ] {
+        if images.dims()[0] != labels.len() {
+            return Err(ParseDataError::new(format!(
+                "{what}: {} images but {} labels",
+                images.dims()[0],
+                labels.len()
+            )));
+        }
+        if images.dims()[2..] != [28, 28] {
+            return Err(ParseDataError::new(format!(
+                "{what}: images are {:?}, expected 28×28",
+                &images.dims()[2..]
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l > 9) {
+            return Err(ParseDataError::new(format!(
+                "{what}: label {bad} outside 0–9"
+            )));
+        }
+    }
+    Ok(Mnist { train_images, train_labels, test_images, test_labels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx_images(n: usize) -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend(0x0803u32.to_be_bytes());
+        b.extend((n as u32).to_be_bytes());
+        b.extend(28u32.to_be_bytes());
+        b.extend(28u32.to_be_bytes());
+        b.extend((0..n * 28 * 28).map(|i| (i % 251) as u8));
+        b
+    }
+
+    fn idx_labels(labels: &[u8]) -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend(0x0801u32.to_be_bytes());
+        b.extend((labels.len() as u32).to_be_bytes());
+        b.extend(labels);
+        b
+    }
+
+    /// `load_mnist` against a synthetic on-disk fixture with the real
+    /// layout — validates the loader without shipping 50 MB of data.
+    #[test]
+    fn loads_idx_files_with_mnist_layout() {
+        let dir = std::env::temp_dir().join(format!("pecan-mnist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(MNIST_FILES[0]), idx_images(3)).unwrap();
+        std::fs::write(dir.join(MNIST_FILES[1]), idx_labels(&[0, 7, 9])).unwrap();
+        std::fs::write(dir.join(MNIST_FILES[2]), idx_images(2)).unwrap();
+        std::fs::write(dir.join(MNIST_FILES[3]), idx_labels(&[3, 1])).unwrap();
+        let m = load_mnist(&dir).unwrap();
+        assert_eq!(m.train_images.dims(), &[3, 1, 28, 28]);
+        assert_eq!(m.train_labels, vec![0, 7, 9]);
+        assert_eq!(m.test_images.dims(), &[2, 1, 28, 28]);
+        assert_eq!(m.test_labels, vec![3, 1]);
+
+        // count mismatch between images and labels is typed
+        std::fs::write(dir.join(MNIST_FILES[1]), idx_labels(&[0, 7])).unwrap();
+        assert!(load_mnist(&dir).is_err());
+        // out-of-range label is typed
+        std::fs::write(dir.join(MNIST_FILES[1]), idx_labels(&[0, 7, 12])).unwrap();
+        assert!(load_mnist(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+        // missing files are typed I/O errors, not panics
+        assert!(load_mnist(&dir).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Opt-in real-MNIST fixture: exercises the IDX parsers against the
+//! genuine files when `PECAN_DATA_DIR` holds them, and **skips cleanly**
+//! (passing, with a note on stderr) when it does not — CI restores a
+//! cached copy when available, laptops without the data lose nothing.
+
+use pecan_datasets::{load_mnist, mnist_dir, PECAN_DATA_DIR};
+
+#[test]
+fn real_mnist_parses_when_present() {
+    let Some(dir) = mnist_dir() else {
+        eprintln!(
+            "skipping: set {PECAN_DATA_DIR} to a directory holding the four \
+             decompressed MNIST IDX files to run the real-data fixture"
+        );
+        return;
+    };
+    let m = load_mnist(&dir).expect("real MNIST files must parse");
+
+    // The canonical distribution: 60k train / 10k test, 28×28, 10 classes.
+    assert_eq!(m.train_images.dims(), &[60_000, 1, 28, 28]);
+    assert_eq!(m.train_labels.len(), 60_000);
+    assert_eq!(m.test_images.dims(), &[10_000, 1, 28, 28]);
+    assert_eq!(m.test_labels.len(), 10_000);
+
+    // Pixels normalised into [0, 1], with real ink (not all zeros).
+    for (what, images) in [("train", &m.train_images), ("test", &m.test_images)] {
+        assert!(
+            images.data().iter().all(|&v| (0.0..=1.0).contains(&v)),
+            "{what}: pixel outside [0, 1]"
+        );
+        let mean: f32 = images.data().iter().sum::<f32>() / images.len() as f32;
+        assert!(
+            (0.05..0.5).contains(&mean),
+            "{what}: mean intensity {mean} is not MNIST-like"
+        );
+    }
+
+    // Every digit class appears in both splits.
+    for labels in [&m.train_labels, &m.test_labels] {
+        let mut seen = [false; 10];
+        for &l in labels.iter() {
+            seen[l] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "a digit class is missing");
+    }
+
+    // And the data is consumable by the training loader downstream.
+    let data = pecan_datasets::InMemoryDataset::new(
+        m.test_images.clone(),
+        m.test_labels.clone(),
+        10,
+    );
+    let batches =
+        pecan_datasets::make_batches::<rand::rngs::StdRng>(&data, 256, None);
+    assert_eq!(batches.len(), 10_000usize.div_ceil(256));
+    assert_eq!(batches[0].0.dims(), &[256, 1, 28, 28]);
+    eprintln!("real MNIST fixture: parsed and validated from {}", dir.display());
+}

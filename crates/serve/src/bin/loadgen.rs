@@ -4,16 +4,21 @@
 //!
 //! ```text
 //! loadgen --addr 127.0.0.1:7878 --connections 8 --requests 400
+//! loadgen --addr 127.0.0.1:7878 --model lenet --connections 4 --requests 200
 //! ```
+//!
+//! `--model NAME` drives `/models/NAME/predict` (multi-model servers);
+//! without it the server's default model answers on the bare routes.
 //!
 //! Every response is checked: HTTP 200, parseable `output` array of the
 //! length `/healthz` advertises. Results print as a small table; `--json
 //! PATH` additionally writes a bench-style JSON record (same shape as the
-//! criterion shim's sink, with throughput attached) so serving runs can be
-//! tracked next to kernel benches. `--shutdown` posts `/shutdown` when
+//! criterion shim's sink, with throughput and the served model's name
+//! attached) so multi-model serving runs stay distinguishable next to
+//! kernel benches. `--shutdown` posts `/shutdown` when
 //! done.
 
-use pecan_serve::client::HttpClient;
+use pecan_serve::client::{predict_path, route_path, HttpClient};
 use pecan_serve::json;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,6 +28,7 @@ use std::time::Instant;
 
 struct Args {
     addr: String,
+    model: Option<String>,
     connections: usize,
     requests: usize,
     warmup: usize,
@@ -35,6 +41,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: String::new(),
+        model: None,
         connections: 8,
         requests: 400,
         warmup: 32,
@@ -50,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         };
         match flag.as_str() {
             "--addr" => args.addr = value("--addr")?,
+            "--model" => args.model = Some(value("--model")?),
             "--connections" => {
                 args.connections = parse_num(&value("--connections")?, "--connections")?;
             }
@@ -60,9 +68,9 @@ fn parse_args() -> Result<Args, String> {
             "--tag" => args.tag = Some(value("--tag")?),
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => {
-                return Err("usage: loadgen --addr HOST:PORT [--connections N] \
-                            [--requests N] [--warmup N] [--seed N] [--json PATH] \
-                            [--tag NAME] [--shutdown]"
+                return Err("usage: loadgen --addr HOST:PORT [--model NAME] \
+                            [--connections N] [--requests N] [--warmup N] \
+                            [--seed N] [--json PATH] [--tag NAME] [--shutdown]"
                     .into())
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -97,32 +105,44 @@ fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
 
     // Discover the model's shape from the server itself.
+    let model = args.model.as_deref();
+    let health_route = route_path(model, "healthz");
     let mut probe = connect(&args.addr)?;
-    let (status, health) = probe.call("GET", "/healthz", "").map_err(|e| e.to_string())?;
+    let (status, health) = probe.call("GET", &health_route, "").map_err(|e| e.to_string())?;
     if status != 200 {
-        return Err(format!("/healthz answered {status}: {health}"));
+        return Err(format!("{health_route} answered {status}: {health}"));
     }
     let input_len = json::number_field(&health, "input_len")? as usize;
     let output_len = json::number_field(&health, "output_len")? as usize;
-    println!("target {} (input_len={input_len}, output_len={output_len})", args.addr);
+    // The server reports which model answers this route (the default when
+    // --model was not given) — carried into the JSON report.
+    let model_name = json::string_field(&health, "model")
+        .unwrap_or_else(|_| model.unwrap_or("default").to_string());
+    println!(
+        "target {} model {model_name} (input_len={input_len}, output_len={output_len})",
+        args.addr
+    );
+    let route = predict_path(model);
 
     // Warm up (fills caches, spins up connection threads server-side).
     let mut rng = StdRng::seed_from_u64(args.seed);
     for _ in 0..args.warmup {
         let body = json::format_f32_array(&random_input(&mut rng, input_len));
-        let (status, body) = probe.call("POST", "/predict", &body).map_err(|e| e.to_string())?;
+        let (status, body) = probe.call("POST", &route, &body).map_err(|e| e.to_string())?;
         if status != 200 {
-            return Err(format!("warmup /predict answered {status}: {body}"));
+            return Err(format!("warmup {route} answered {status}: {body}"));
         }
     }
 
     // Fire: N connections, each its own thread and deterministic stream.
     let per_conn = args.requests.div_ceil(args.connections).max(1);
     let addr = Arc::new(args.addr.clone());
+    let route = Arc::new(route);
     let started = Instant::now();
     let mut handles = Vec::new();
     for conn in 0..args.connections {
         let addr = Arc::clone(&addr);
+        let route = Arc::clone(&route);
         let seed = args.seed.wrapping_add(1 + conn as u64);
         handles.push(std::thread::spawn(move || -> Result<Vec<u64>, String> {
             let mut client = connect(&addr)?;
@@ -131,10 +151,11 @@ fn run() -> Result<ExitCode, String> {
             for _ in 0..per_conn {
                 let body = json::format_f32_array(&random_input(&mut rng, input_len));
                 let sent = Instant::now();
-                let (status, body) = client.call("POST", "/predict", &body).map_err(|e| e.to_string())?;
+                let (status, body) =
+                    client.call("POST", &route, &body).map_err(|e| e.to_string())?;
                 let elapsed = sent.elapsed();
                 if status != 200 {
-                    return Err(format!("/predict answered {status}: {body}"));
+                    return Err(format!("{route} answered {status}: {body}"));
                 }
                 let output = json::array_field(&body, "output")?;
                 if output.len() != output_len {
@@ -186,11 +207,12 @@ fn run() -> Result<ExitCode, String> {
 
     if let Some(path) = &args.json {
         let name = args.tag.clone().unwrap_or_else(|| {
-            format!("loadgen/c{}_r{}", args.connections, total)
+            format!("loadgen/{model_name}/c{}_r{}", args.connections, total)
         });
         let body = format!(
-            "{{\n  \"name\": \"{}\",\n  \"median_ns\": {},\n  \"min_ns\": {},\n  \"max_ns\": {},\n  \"samples\": {},\n  \"iters_per_sample\": 1,\n  \"throughput_rps\": {:.1}\n}}\n",
+            "{{\n  \"name\": \"{}\",\n  \"model\": \"{}\",\n  \"median_ns\": {},\n  \"min_ns\": {},\n  \"max_ns\": {},\n  \"samples\": {},\n  \"iters_per_sample\": 1,\n  \"throughput_rps\": {:.1}\n}}\n",
             json::escape(&name),
+            json::escape(&model_name),
             pct(0.50),
             latencies[0],
             latencies[total - 1],

@@ -1,20 +1,30 @@
-//! The `serve` binary: load (or build) a PECAN model and answer HTTP
-//! traffic until a client posts `/shutdown`.
+//! The `serve` binary: load (or build) one or more PECAN models and
+//! answer HTTP traffic until a client posts `/shutdown`.
 //!
 //! ```text
-//! # build a demo model and write a snapshot, then exit
-//! serve --demo mlp --save model.psnp
+//! # build demo models and write named snapshots, then exit
+//! serve --demo mlp --save mlp.psnp
+//! serve --demo lenet --save lenet.psnp
 //!
-//! # serve a snapshot on an ephemeral port (the bound address is printed)
-//! serve --snapshot model.psnp --addr 127.0.0.1:0 --max-batch 16 --workers 1
+//! # serve one snapshot on an ephemeral port (the bound address is printed)
+//! serve --snapshot mlp.psnp --addr 127.0.0.1:0 --max-batch 16 --workers 1
+//!
+//! # serve several models side by side: the default answers /predict,
+//! # the rest answer /models/{name}/predict
+//! serve --snapshot mlp.psnp --model lenet=lenet.psnp
 //! ```
 //!
 //! Knobs: `--demo mlp|lenet` (seeded demo model, default `mlp`),
-//! `--snapshot PATH` (load a saved model instead), `--save PATH` (write
-//! the model and exit without serving), `--seed N`, `--addr HOST:PORT`,
-//! `--max-batch N`, `--max-wait-us N`, `--queue-cap N`, `--workers N`.
+//! `--snapshot PATH` (load a saved model as the default instead),
+//! `--model NAME=PATH` (repeatable; register an extra snapshot under
+//! NAME), `--name NAME` (rename the default model), `--save PATH` (write
+//! the default model and exit without serving), `--seed N`,
+//! `--addr HOST:PORT`, `--max-batch N`, `--max-wait-us N`,
+//! `--queue-cap N`, `--workers N` (scheduler knobs apply to every model).
 
-use pecan_serve::{demo, FrozenEngine, SchedulerConfig, Server, ServerConfig};
+use pecan_serve::{
+    demo, EngineRegistry, FrozenEngine, SchedulerConfig, Server, ServerConfig,
+};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -22,6 +32,8 @@ use std::time::Duration;
 struct Args {
     demo: String,
     snapshot: Option<String>,
+    models: Vec<(String, String)>,
+    name: Option<String>,
     save: Option<String>,
     seed: u64,
     addr: String,
@@ -35,6 +47,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         demo: "mlp".into(),
         snapshot: None,
+        models: Vec::new(),
+        name: None,
         save: None,
         seed: 1,
         addr: "127.0.0.1:0".into(),
@@ -51,6 +65,14 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--demo" => args.demo = value("--demo")?,
             "--snapshot" => args.snapshot = Some(value("--snapshot")?),
+            "--model" => {
+                let spec = value("--model")?;
+                let (name, path) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--model `{spec}` must be NAME=PATH"))?;
+                args.models.push((name.to_string(), path.to_string()));
+            }
+            "--name" => args.name = Some(value("--name")?),
             "--save" => args.save = Some(value("--save")?),
             "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")?,
             "--addr" => args.addr = value("--addr")?,
@@ -66,9 +88,9 @@ fn parse_args() -> Result<Args, String> {
             "--workers" => args.workers = parse_num(&value("--workers")?, "--workers")?,
             "--help" | "-h" => {
                 return Err("usage: serve [--demo mlp|lenet] [--snapshot PATH] \
-                            [--save PATH] [--seed N] [--addr HOST:PORT] \
-                            [--max-batch N] [--max-wait-us N] [--queue-cap N] \
-                            [--workers N]"
+                            [--model NAME=PATH]... [--name NAME] [--save PATH] \
+                            [--seed N] [--addr HOST:PORT] [--max-batch N] \
+                            [--max-wait-us N] [--queue-cap N] [--workers N]"
                     .into())
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -90,10 +112,13 @@ fn main() -> ExitCode {
         }
     };
 
-    let engine = match &args.snapshot {
+    let mut engine = match &args.snapshot {
         Some(path) => match FrozenEngine::load_snapshot(path) {
             Ok(e) => {
-                println!("loaded snapshot {path}");
+                println!(
+                    "loaded snapshot {path} (model `{}`)",
+                    e.name().unwrap_or("default")
+                );
                 e
             }
             Err(e) => {
@@ -110,6 +135,9 @@ fn main() -> ExitCode {
             }
         },
     };
+    if let Some(name) = &args.name {
+        engine = engine.with_name(name.clone());
+    }
 
     if let Some(path) = &args.save {
         if let Err(e) = engine.save_snapshot(path) {
@@ -117,30 +145,52 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!(
-            "saved snapshot to {path} ({} stages, {} LUT scalars)",
+            "saved snapshot to {path} (model `{}`, {} stages, {} LUT scalars)",
+            engine.name().unwrap_or("default"),
             engine.stage_count(),
             engine.lut_scalars()
         );
         return ExitCode::SUCCESS;
     }
 
-    let config = ServerConfig {
-        addr: args.addr.clone(),
-        scheduler: SchedulerConfig {
-            max_batch: args.max_batch,
-            max_wait: Duration::from_micros(args.max_wait_us),
-            queue_capacity: args.queue_cap,
-            workers: args.workers,
-        },
-        ..ServerConfig::default()
+    let scheduler = SchedulerConfig {
+        max_batch: args.max_batch,
+        max_wait: Duration::from_micros(args.max_wait_us),
+        queue_capacity: args.queue_cap,
+        workers: args.workers,
     };
-    let server = match Server::start(Arc::new(engine), config) {
+    let mut registry = EngineRegistry::new();
+    if let Err(e) = registry.register(Arc::new(engine), scheduler.clone()) {
+        eprintln!("cannot register default model: {e}");
+        return ExitCode::FAILURE;
+    }
+    for (name, path) in &args.models {
+        let extra = match FrozenEngine::load_snapshot(path) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("cannot load snapshot {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = registry.register_as(name.clone(), Arc::new(extra), scheduler.clone()) {
+            eprintln!("cannot register model `{name}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let config = ServerConfig { addr: args.addr.clone(), ..ServerConfig::default() };
+    let server = match Server::start_registry(registry, config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot bind {}: {e}", args.addr);
             return ExitCode::FAILURE;
         }
     };
+    let names = server.registry().names().join(", ");
+    println!(
+        "serving models: {names} (default `{}`)",
+        server.registry().default_model().name()
+    );
     // Scripts scrape this line for the resolved ephemeral port.
     println!("pecan-serve listening on http://{}", server.local_addr());
     use std::io::Write as _;

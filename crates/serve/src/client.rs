@@ -1,13 +1,29 @@
 //! Minimal blocking HTTP/1.1 client on a keep-alive connection.
 //!
 //! Exactly enough protocol to talk to [`Server`](crate::Server): one
-//! request at a time, `Content-Length` bodies, persistent connections.
-//! Shared by the `loadgen` binary, the end-to-end tests and the serving
-//! example so the wire handling lives in one place.
+//! request at a time, `Content-Length` bodies, persistent connections,
+//! and model-aware routing helpers for multi-model servers
+//! ([`HttpClient::predict`], [`HttpClient::healthz`],
+//! [`predict_path`]). Shared by the `loadgen` binary, the end-to-end
+//! tests and the serving example so the wire handling lives in one place.
 
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// The predict route for a model: `/predict` for `None` (the server's
+/// default model), `/models/{name}/predict` otherwise.
+pub fn predict_path(model: Option<&str>) -> String {
+    route_path(model, "predict")
+}
+
+/// The `rest` route scoped to a model (`healthz`, `stats`, `predict`).
+pub fn route_path(model: Option<&str>, rest: &str) -> String {
+    match model {
+        None => format!("/{rest}"),
+        Some(m) => format!("/models/{m}/{rest}"),
+    }
+}
 
 /// A keep-alive HTTP/1.1 connection to one server.
 ///
@@ -93,6 +109,42 @@ impl HttpClient {
     }
 }
 
+impl HttpClient {
+    /// Posts one prediction to `model` (`None` = the server's default
+    /// model): formats `input` as the JSON wire array, routes to the
+    /// model's predict endpoint, and returns `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`HttpClient::call`].
+    pub fn predict(&mut self, model: Option<&str>, input: &[f32]) -> io::Result<(u16, String)> {
+        let body = crate::json::format_f32_array(input);
+        self.call("POST", &predict_path(model), &body)
+    }
+
+    /// Fetches `model`'s health/contract document (`None` = default).
+    ///
+    /// # Errors
+    ///
+    /// As for [`HttpClient::call`].
+    pub fn healthz(&mut self, model: Option<&str>) -> io::Result<(u16, String)> {
+        self.call("GET", &route_path(model, "healthz"), "")
+    }
+}
+
 fn bad_response(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, what)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_routes() {
+        assert_eq!(predict_path(None), "/predict");
+        assert_eq!(predict_path(Some("lenet")), "/models/lenet/predict");
+        assert_eq!(route_path(Some("m"), "stats"), "/models/m/stats");
+        assert_eq!(route_path(None, "healthz"), "/healthz");
+    }
 }

@@ -45,10 +45,12 @@ pub fn mlp(seed: u64) -> (Sequential, Vec<usize>) {
     (net, vec![MLP_INPUT])
 }
 
-/// [`mlp`] compiled into its frozen engine.
+/// [`mlp`] compiled into its frozen engine, named `"mlp"`.
 pub fn mlp_engine(seed: u64) -> FrozenEngine {
     let (net, shape) = mlp(seed);
-    FrozenEngine::compile(&net, &shape).expect("demo MLP always compiles")
+    FrozenEngine::compile(&net, &shape)
+        .expect("demo MLP always compiles")
+        .with_name("mlp")
 }
 
 /// The paper's modified LeNet-5 with every conv/FC replaced by PECAN-D
@@ -60,10 +62,12 @@ pub fn lenet(seed: u64) -> (Sequential, Vec<usize>) {
     (net, vec![1, 28, 28])
 }
 
-/// [`lenet`] compiled into its frozen engine.
+/// [`lenet`] compiled into its frozen engine, named `"lenet"`.
 pub fn lenet_engine(seed: u64) -> FrozenEngine {
     let (net, shape) = lenet(seed);
-    FrozenEngine::compile(&net, &shape).expect("demo LeNet always compiles")
+    FrozenEngine::compile(&net, &shape)
+        .expect("demo LeNet always compiles")
+        .with_name("lenet")
 }
 
 #[cfg(test)]

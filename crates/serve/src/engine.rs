@@ -2,61 +2,38 @@
 //! plan for Algorithm-1 serving.
 //!
 //! [`FrozenEngine::compile`] walks a trained [`Sequential`] model **once**,
-//! precomputing everything inference needs: each PECAN layer becomes a
-//! [`LayerLut`] (CAM prototypes + `W·C` product tables, line 3 of
-//! Algorithm 1) and each convolution's im2col geometry is resolved against
-//! the fixed input shape. After compilation no locks, no RNG and no
-//! mutable state remain — [`FrozenEngine::predict_batch`] takes `&self`,
-//! so any number of scheduler workers can serve from one shared engine
-//! concurrently.
+//! compiling each layer into a [`Stage`] implementation: PECAN layers
+//! become LUT stages (CAM prototypes + `W·C` product tables, line 3 of
+//! Algorithm 1, with conv im2col geometry resolved against the fixed input
+//! shape) and the plumbing layers become their batch-first counterparts.
+//! After compilation no locks, no RNG and no mutable state remain — all
+//! inference entry points take `&self`, so any number of scheduler workers
+//! can serve from one shared engine concurrently.
 //!
-//! Batching is the whole point: one `predict_batch` call concatenates the
-//! im2col columns (conv) or feature vectors (linear) of every request in
-//! the batch and runs them through [`LayerLut::forward_cols`] in a single
-//! sweep, which feeds the lane-blocked `pecan-index` batch scanner wide
-//! enough to vectorize. Because every engine in `pecan-index` answers each
-//! query independently of its batch-mates (pinned by that crate's parity
-//! proptests), batched outputs are **bit-identical** to running the same
-//! requests one at a time — `tests/engine_parity.rs` pins this per
-//! request, and the scheduler relies on it to mix traffic freely.
+//! The pipeline is **batch-first end to end**: [`FrozenEngine::infer`]
+//! takes the whole batch as one column-major [`InferBatch`] matrix and
+//! every stage hands one matrix to the next — there is no per-sample
+//! split/rejoin anywhere between stages. That keeps the lane-blocked
+//! `pecan-index` scanners fed with matrices as wide as the batch through
+//! *consecutive* table-lookup layers, which is where PQ-DNN serving
+//! throughput comes from. Because every stage answers each column
+//! independently of its batch-mates, batched outputs are **bit-identical**
+//! to running the same requests one at a time — `tests/engine_parity.rs`
+//! and `tests/batch_parity.rs` pin this per request, and the scheduler
+//! relies on it to mix traffic freely.
+//!
+//! The sample-shaped [`FrozenEngine::predict`] /
+//! [`FrozenEngine::predict_batch`] entry points remain as thin shims that
+//! pack requests into an [`InferBatch`] at the boundary and unpack the
+//! answer — same bits, one extra copy at each edge.
 
 use crate::error::ServeError;
-use pecan_core::{LayerLut, PecanConv2d, PecanLinear};
+use crate::stage::{
+    FlattenStage, GlobalAvgPoolStage, LutConvStage, LutLinearStage, MaxPoolStage, ReluStage,
+    Stage,
+};
+use pecan_core::{InferBatch, LayerLut, PecanConv2d, PecanLinear};
 use pecan_nn::{Flatten, GlobalAvgPool, MaxPool2d, Relu, Sequential};
-use pecan_tensor::{im2col, Conv2dGeometry, Tensor};
-
-/// One compiled pipeline step.
-///
-/// PECAN stages carry their [`LayerLut`]; geometry-dependent stages carry
-/// the metadata resolved at compile time.
-#[derive(Debug)]
-pub(crate) enum Stage {
-    /// PECAN convolution: LUT engine plus the precomputed im2col geometry.
-    Conv {
-        /// Algorithm-1 engine for this layer.
-        lut: LayerLut,
-        /// im2col metadata, resolved once against the fixed input shape.
-        geom: Conv2dGeometry,
-    },
-    /// PECAN fully-connected layer.
-    Linear {
-        /// Algorithm-1 engine for this layer.
-        lut: LayerLut,
-    },
-    /// Elementwise `max(x, 0)`.
-    Relu,
-    /// Square-window max pooling.
-    MaxPool {
-        /// Window size.
-        kernel: usize,
-        /// Step between windows.
-        stride: usize,
-    },
-    /// `[c, h, w] → [c]` mean over the spatial plane.
-    GlobalAvgPool,
-    /// Shape-only collapse to a vector.
-    Flatten,
-}
 
 /// An immutable compiled inference plan for one PECAN model.
 ///
@@ -80,9 +57,10 @@ pub(crate) enum Stage {
 /// ```
 #[derive(Debug)]
 pub struct FrozenEngine {
-    pub(crate) stages: Vec<Stage>,
+    pub(crate) stages: Vec<Box<dyn Stage>>,
     pub(crate) input_shape: Vec<usize>,
     pub(crate) output_shape: Vec<usize>,
+    pub(crate) name: Option<String>,
 }
 
 impl FrozenEngine {
@@ -105,25 +83,23 @@ impl FrozenEngine {
     /// [`ServeError::BadInput`] / [`ServeError::Engine`] when `input_shape`
     /// does not thread through the model.
     pub fn compile(model: &Sequential, input_shape: &[usize]) -> Result<Self, ServeError> {
-        if input_shape.is_empty() || input_shape.contains(&0) {
-            return Err(ServeError::BadInput(format!(
-                "input shape {input_shape:?} must be non-empty with non-zero dims"
-            )));
-        }
-        let mut stages = Vec::new();
+        let mut stages: Vec<Box<dyn Stage>> = Vec::new();
         let mut shape = input_shape.to_vec();
         Self::compile_into(model, &mut stages, &mut shape)?;
-        Ok(Self { stages, input_shape: input_shape.to_vec(), output_shape: shape })
+        Self::from_stages(stages, input_shape.to_vec(), None)
     }
 
+    /// Walks the model, appending one compiled stage per layer while
+    /// threading the running per-sample `shape` forward (conv geometry
+    /// resolution needs the current `[c, h, w]`).
     fn compile_into(
         model: &Sequential,
-        stages: &mut Vec<Stage>,
+        stages: &mut Vec<Box<dyn Stage>>,
         shape: &mut Vec<usize>,
     ) -> Result<(), ServeError> {
         for layer in model.layers() {
             let any = layer.as_any();
-            if let Some(conv) = any.downcast_ref::<PecanConv2d>() {
+            let stage: Box<dyn Stage> = if let Some(conv) = any.downcast_ref::<PecanConv2d>() {
                 let (c_in, _, _, _, _) = conv.conv_config();
                 if shape.len() != 3 || shape[0] != c_in {
                     return Err(ServeError::BadInput(format!(
@@ -131,38 +107,20 @@ impl FrozenEngine {
                     )));
                 }
                 let geom = conv.geometry(shape[1], shape[2])?;
-                let lut = LayerLut::from_conv(conv)?;
-                *shape = vec![lut.outputs(), geom.h_out(), geom.w_out()];
-                stages.push(Stage::Conv { lut, geom });
+                Box::new(LutConvStage::new(LayerLut::from_conv(conv)?, geom)?)
             } else if let Some(lin) = any.downcast_ref::<PecanLinear>() {
-                let lut = LayerLut::from_linear(lin)?;
-                let features = lut.config().rows();
-                if shape.len() != 1 || shape[0] != features {
-                    return Err(ServeError::BadInput(format!(
-                        "PecanLinear expects [{features}], pipeline carries {shape:?}"
-                    )));
-                }
-                *shape = vec![lut.outputs()];
-                stages.push(Stage::Linear { lut });
+                Box::new(LutLinearStage::new(LayerLut::from_linear(lin)?))
             } else if any.downcast_ref::<Relu>().is_some() {
-                stages.push(Stage::Relu);
+                Box::new(ReluStage)
             } else if let Some(pool) = any.downcast_ref::<MaxPool2d>() {
-                let (kernel, stride) = (pool.kernel(), pool.stride());
-                *shape = pooled_shape(shape, kernel, stride)?;
-                stages.push(Stage::MaxPool { kernel, stride });
+                Box::new(MaxPoolStage::new(pool.kernel(), pool.stride())?)
             } else if any.downcast_ref::<GlobalAvgPool>().is_some() {
-                if shape.len() != 3 {
-                    return Err(ServeError::BadInput(format!(
-                        "GlobalAvgPool expects [c, h, w], pipeline carries {shape:?}"
-                    )));
-                }
-                *shape = vec![shape[0]];
-                stages.push(Stage::GlobalAvgPool);
+                Box::new(GlobalAvgPoolStage)
             } else if any.downcast_ref::<Flatten>().is_some() {
-                *shape = vec![shape.iter().product()];
-                stages.push(Stage::Flatten);
+                Box::new(FlattenStage)
             } else if let Some(seq) = any.downcast_ref::<Sequential>() {
                 Self::compile_into(seq, stages, shape)?;
+                continue;
             } else {
                 return Err(ServeError::Unsupported(format!(
                     "layer `{}` cannot be compiled into a frozen engine \
@@ -170,19 +128,21 @@ impl FrozenEngine {
                      flatten are servable)",
                     layer.name()
                 )));
-            }
+            };
+            *shape = stage.out_shape(shape)?;
+            stages.push(stage);
         }
         Ok(())
     }
 
-    /// Rebuilds an engine from already-deserialized parts (snapshot
-    /// loader), re-threading the per-sample shape through every stage so a
-    /// structurally inconsistent pipeline is rejected here — `predict` on
-    /// a constructed engine can then never index out of bounds.
-    pub(crate) fn from_parts(
-        stages: Vec<Stage>,
+    /// Builds an engine from already-constructed stages, threading the
+    /// per-sample shape through every one to derive (and validate) the
+    /// output shape — `predict` on a constructed engine can then never
+    /// index out of bounds.
+    pub(crate) fn from_stages(
+        stages: Vec<Box<dyn Stage>>,
         input_shape: Vec<usize>,
-        output_shape: Vec<usize>,
+        name: Option<String>,
     ) -> Result<Self, ServeError> {
         if input_shape.is_empty() || input_shape.contains(&0) {
             return Err(ServeError::BadInput(format!(
@@ -191,44 +151,43 @@ impl FrozenEngine {
         }
         let mut shape = input_shape.clone();
         for (i, stage) in stages.iter().enumerate() {
-            shape = match stage {
-                Stage::Conv { lut, geom } => {
-                    if shape != [geom.c_in(), geom.h_in(), geom.w_in()] {
-                        return Err(ServeError::BadInput(format!(
-                            "stage {i}: conv expects {:?}, pipeline carries {shape:?}",
-                            [geom.c_in(), geom.h_in(), geom.w_in()]
-                        )));
-                    }
-                    vec![lut.outputs(), geom.h_out(), geom.w_out()]
-                }
-                Stage::Linear { lut } => {
-                    let features = lut.config().rows();
-                    if shape != [features] {
-                        return Err(ServeError::BadInput(format!(
-                            "stage {i}: linear expects [{features}], pipeline carries {shape:?}"
-                        )));
-                    }
-                    vec![lut.outputs()]
-                }
-                Stage::Relu => shape,
-                Stage::MaxPool { kernel, stride } => pooled_shape(&shape, *kernel, *stride)?,
-                Stage::GlobalAvgPool => {
-                    if shape.len() != 3 {
-                        return Err(ServeError::BadInput(format!(
-                            "stage {i}: GlobalAvgPool expects [c, h, w], pipeline carries {shape:?}"
-                        )));
-                    }
-                    vec![shape[0]]
-                }
-                Stage::Flatten => vec![shape.iter().product()],
-            };
+            shape = stage.out_shape(&shape).map_err(|e| {
+                ServeError::BadInput(format!("stage {i}: {e}"))
+            })?;
         }
-        if shape != output_shape {
+        Ok(Self { stages, input_shape, output_shape: shape, name })
+    }
+
+    /// Rebuilds an engine from deserialized parts (snapshot loader),
+    /// additionally checking the declared output shape.
+    pub(crate) fn from_parts(
+        stages: Vec<Box<dyn Stage>>,
+        input_shape: Vec<usize>,
+        output_shape: Vec<usize>,
+        name: Option<String>,
+    ) -> Result<Self, ServeError> {
+        let engine = Self::from_stages(stages, input_shape, name)?;
+        if engine.output_shape != output_shape {
             return Err(ServeError::BadInput(format!(
-                "pipeline produces {shape:?}, header declares {output_shape:?}"
+                "pipeline produces {:?}, header declares {output_shape:?}",
+                engine.output_shape
             )));
         }
-        Ok(Self { stages, input_shape, output_shape })
+        Ok(engine)
+    }
+
+    /// Names the engine (the identity multi-model serving routes on and
+    /// snapshot v2 persists). Builder-style; `None`-named engines serve
+    /// under a registry-assigned default.
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// The model name, when the engine carries one.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
     }
 
     /// Per-sample input shape the engine was compiled for.
@@ -256,15 +215,48 @@ impl FrozenEngine {
         self.stages.len()
     }
 
+    /// The compiled pipeline, for stage-by-stage drivers (e.g. usage-stats
+    /// collection with a per-stage [`pecan_core::UsageStats`]).
+    pub fn stages(&self) -> &[Box<dyn Stage>] {
+        &self.stages
+    }
+
     /// Total lookup-table memory across all PECAN stages, in scalars.
     pub fn lut_scalars(&self) -> usize {
         self.stages
             .iter()
-            .map(|s| match s {
-                Stage::Conv { lut, .. } | Stage::Linear { lut } => lut.lut_scalars(),
-                _ => 0,
-            })
+            .filter_map(|s| s.lut())
+            .map(LayerLut::lut_scalars)
             .sum()
+    }
+
+    /// The batch-first inference entry point: runs the whole batch as
+    /// **one** [`InferBatch`] column matrix through every stage. The batch
+    /// must carry `input_len()` features per column, shaped either as the
+    /// engine's exact `input_shape()` or flat `[input_len()]` (requests
+    /// arrive flat off the wire).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadInput`] when the batch's per-sample shape does not
+    /// fit the engine.
+    pub fn infer(&self, batch: InferBatch) -> Result<InferBatch, ServeError> {
+        let mut b = if batch.sample_shape() == self.input_shape {
+            batch
+        } else if batch.sample_shape() == [self.input_len()] {
+            batch.reshaped(&self.input_shape.clone())?
+        } else {
+            return Err(ServeError::BadInput(format!(
+                "batch carries samples of {:?}, engine expects {:?}",
+                batch.sample_shape(),
+                self.input_shape
+            )));
+        };
+        for stage in &self.stages {
+            b = stage.run(b, None)?;
+        }
+        debug_assert_eq!(b.sample_shape(), self.output_shape);
+        Ok(b)
     }
 
     /// Serves one request. Exactly equivalent to a batch of one.
@@ -273,12 +265,21 @@ impl FrozenEngine {
     ///
     /// [`ServeError::BadInput`] when `input.len() != self.input_len()`.
     pub fn predict(&self, input: &[f32]) -> Result<Vec<f32>, ServeError> {
-        let batch = [input.to_vec()];
-        let mut out = self.predict_batch(&batch)?;
+        if input.len() != self.input_len() {
+            return Err(ServeError::BadInput(format!(
+                "request has {} values, engine expects {}",
+                input.len(),
+                self.input_len()
+            )));
+        }
+        let batch = InferBatch::from_data(input.to_vec(), &self.input_shape, 1)?;
+        let mut out = self.infer(batch)?.into_samples();
         Ok(out.pop().expect("batch of one yields one output"))
     }
 
-    /// Serves a batch of requests in one sweep through the pipeline.
+    /// Serves a batch of requests in one sweep through the pipeline — a
+    /// thin shim that packs the inputs into one [`InferBatch`] and calls
+    /// [`FrozenEngine::infer`].
     ///
     /// Per-request outputs are **bit-identical** to calling
     /// [`FrozenEngine::predict`] on each input alone, for any batch size
@@ -301,148 +302,9 @@ impl FrozenEngine {
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
-        let mut acts: Vec<Vec<f32>> = inputs.to_vec();
-        let mut shape = self.input_shape.clone();
-        for stage in &self.stages {
-            match stage {
-                Stage::Conv { lut, geom } => {
-                    acts = run_conv(lut, geom, &acts)?;
-                    shape = vec![lut.outputs(), geom.h_out(), geom.w_out()];
-                }
-                Stage::Linear { lut } => {
-                    acts = run_linear(lut, &acts)?;
-                    shape = vec![lut.outputs()];
-                }
-                Stage::Relu => {
-                    for a in &mut acts {
-                        for v in a.iter_mut() {
-                            *v = v.max(0.0);
-                        }
-                    }
-                }
-                Stage::MaxPool { kernel, stride } => {
-                    let out_shape = pooled_shape(&shape, *kernel, *stride)?;
-                    for a in &mut acts {
-                        *a = max_pool(a, &shape, *kernel, *stride);
-                    }
-                    shape = out_shape;
-                }
-                Stage::GlobalAvgPool => {
-                    let (c, hw) = (shape[0], shape[1] * shape[2]);
-                    for a in &mut acts {
-                        *a = (0..c)
-                            .map(|ch| {
-                                let s: f32 = a[ch * hw..(ch + 1) * hw].iter().sum();
-                                s / hw as f32
-                            })
-                            .collect();
-                    }
-                    shape = vec![c];
-                }
-                Stage::Flatten => {
-                    shape = vec![shape.iter().product()];
-                }
-            }
-        }
-        Ok(acts)
+        let batch = InferBatch::from_samples(inputs, &self.input_shape)?;
+        Ok(self.infer(batch)?.into_samples())
     }
-}
-
-/// Output shape of a max-pool stage, validating the window fits.
-fn pooled_shape(shape: &[usize], kernel: usize, stride: usize) -> Result<Vec<usize>, ServeError> {
-    if shape.len() != 3 {
-        return Err(ServeError::BadInput(format!(
-            "MaxPool2d expects [c, h, w], pipeline carries {shape:?}"
-        )));
-    }
-    let (c, h, w) = (shape[0], shape[1], shape[2]);
-    if kernel == 0 || stride == 0 || kernel > h || kernel > w {
-        return Err(ServeError::BadInput(format!(
-            "max_pool2d: window {kernel}/stride {stride} does not fit {h}×{w}"
-        )));
-    }
-    Ok(vec![c, (h - kernel) / stride + 1, (w - kernel) / stride + 1])
-}
-
-/// Max pooling over one `[c, h, w]` sample — the same scan order and
-/// strict-greater/first-wins tie-break as the training path's
-/// `Var::max_pool2d`, so engine outputs track the model bit-for-bit.
-fn max_pool(src: &[f32], shape: &[usize], kernel: usize, stride: usize) -> Vec<f32> {
-    let (c_n, h, w) = (shape[0], shape[1], shape[2]);
-    let h_out = (h - kernel) / stride + 1;
-    let w_out = (w - kernel) / stride + 1;
-    let mut out = Vec::with_capacity(c_n * h_out * w_out);
-    for c in 0..c_n {
-        let base = c * h * w;
-        for oy in 0..h_out {
-            for ox in 0..w_out {
-                let mut best = f32::NEG_INFINITY;
-                for ky in 0..kernel {
-                    for kx in 0..kernel {
-                        let v = src[base + (oy * stride + ky) * w + (ox * stride + kx)];
-                        if v > best {
-                            best = v;
-                        }
-                    }
-                }
-                out.push(best);
-            }
-        }
-    }
-    out
-}
-
-/// Runs one PECAN convolution over the whole batch: per-sample im2col
-/// matrices are concatenated column-wise and answered by a single
-/// [`LayerLut::forward_cols`] sweep, then split back per sample.
-fn run_conv(
-    lut: &LayerLut,
-    geom: &Conv2dGeometry,
-    acts: &[Vec<f32>],
-) -> Result<Vec<Vec<f32>>, ServeError> {
-    let n = geom.n_patches();
-    let rows = geom.patch_len();
-    let batch = acts.len();
-    let mut cols = Tensor::zeros(&[rows, batch * n]);
-    for (i, a) in acts.iter().enumerate() {
-        let img = Tensor::from_vec(
-            a.clone(),
-            &[geom.c_in(), geom.h_in(), geom.w_in()],
-        )?;
-        let sample = im2col(&img, geom)?;
-        for r in 0..rows {
-            cols.row_mut(r)[i * n..(i + 1) * n].copy_from_slice(sample.row(r));
-        }
-    }
-    let out = lut.forward_cols(&cols, None)?; // [c_out, batch·n]
-    let c_out = lut.outputs();
-    let mut result = Vec::with_capacity(batch);
-    for i in 0..batch {
-        let mut a = Vec::with_capacity(c_out * n);
-        for o in 0..c_out {
-            a.extend_from_slice(&out.row(o)[i * n..(i + 1) * n]);
-        }
-        result.push(a);
-    }
-    Ok(result)
-}
-
-/// Runs one PECAN linear layer over the whole batch as a `[features, b]`
-/// column matrix through a single [`LayerLut::forward_cols`] sweep.
-fn run_linear(lut: &LayerLut, acts: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, ServeError> {
-    let features = lut.config().rows();
-    let batch = acts.len();
-    let mut cols = Tensor::zeros(&[features, batch]);
-    for (i, a) in acts.iter().enumerate() {
-        for (k, &v) in a.iter().enumerate() {
-            cols.set2(k, i, v);
-        }
-    }
-    let out = lut.forward_cols(&cols, None)?; // [c_out, batch]
-    let c_out = lut.outputs();
-    Ok((0..batch)
-        .map(|i| (0..c_out).map(|o| out.get2(o, i)).collect())
-        .collect())
 }
 
 #[cfg(test)]
@@ -462,6 +324,8 @@ mod tests {
         assert_eq!(engine.output_len(), 10);
         assert_eq!(engine.stage_count(), 12);
         assert!(engine.lut_scalars() > 0);
+        assert_eq!(engine.name(), None);
+        assert_eq!(engine.with_name("lenet").name(), Some("lenet"));
     }
 
     #[test]
@@ -494,6 +358,23 @@ mod tests {
             Err(ServeError::BadInput(_))
         ));
         assert!(engine.predict_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn infer_accepts_flat_and_shaped_batches_and_rejects_others() {
+        let engine = crate::demo::lenet_engine(5);
+        let sample = vec![0.25f32; engine.input_len()];
+        let flat =
+            pecan_core::InferBatch::from_samples(std::slice::from_ref(&sample), &[784])
+                .unwrap();
+        let shaped =
+            pecan_core::InferBatch::from_samples(&[sample], &[1, 28, 28]).unwrap();
+        let a = engine.infer(flat).unwrap();
+        let b = engine.infer(shaped).unwrap();
+        assert_eq!(a.data(), b.data());
+        assert_eq!(a.sample_shape(), engine.output_shape());
+        let bad = pecan_core::InferBatch::zeros(&[2, 392], 1).unwrap();
+        assert!(matches!(engine.infer(bad), Err(ServeError::BadInput(_))));
     }
 
     #[test]

@@ -7,9 +7,9 @@ use std::io;
 ///
 /// The type is `Clone` so one failed batch can report the same error to
 /// every request it contained, and each variant maps onto a specific HTTP
-/// status in the front end (`400` for [`ServeError::BadInput`], `503` for
-/// [`ServeError::Overloaded`] / [`ServeError::ShuttingDown`], `500` for the
-/// rest).
+/// status in the front end (`400` for [`ServeError::BadInput`], `404` for
+/// [`ServeError::UnknownModel`], `503` for [`ServeError::Overloaded`] /
+/// [`ServeError::ShuttingDown`], `500` for the rest).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// The request payload does not fit the engine (wrong input length,
@@ -28,6 +28,9 @@ pub enum ServeError {
     /// A model contains a layer the frozen engine cannot compile
     /// (standard/uncompressed layers, BatchNorm, custom blocks).
     Unsupported(String),
+    /// The request named a model the registry does not serve — the typed
+    /// 404 of the multi-model HTTP front end.
+    UnknownModel(String),
     /// The worker serving this request disappeared before answering.
     Disconnected,
 }
@@ -42,6 +45,7 @@ impl fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "scheduler is shutting down"),
             ServeError::Engine(msg) => write!(f, "engine failure: {msg}"),
             ServeError::Unsupported(msg) => write!(f, "unsupported model: {msg}"),
+            ServeError::UnknownModel(name) => write!(f, "unknown model `{name}`"),
             ServeError::Disconnected => write!(f, "serving worker disconnected"),
         }
     }
@@ -135,6 +139,7 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(ServeError::Overloaded { capacity: 4 }.to_string().contains("capacity 4"));
+        assert!(ServeError::UnknownModel("m2".into()).to_string().contains("`m2`"));
         assert!(ServeError::from(ShapeError::new("boom")).to_string().contains("boom"));
         let e = SnapshotError::ChecksumMismatch { stored: 1, computed: 2 };
         assert!(e.to_string().contains("checksum"));

@@ -10,16 +10,23 @@
 //! | route | method | body | answer |
 //! |---|---|---|---|
 //! | `/predict` | POST | JSON array of `input_len` floats | `{"output":[…],"latency_us":n,"batch_size":n}` |
-//! | `/healthz` | GET | — | `{"status":"ok","input_len":n,"output_len":n}` |
-//! | `/stats` | GET | — | scheduler counters, see [`StatsSnapshot`](crate::StatsSnapshot) |
+//! | `/models/{name}/predict` | POST | as above | as above, for the named model |
+//! | `/healthz` | GET | — | `{"status":"ok","model":…,"input_len":n,"output_len":n,"models":[…]}` |
+//! | `/models/{name}/healthz` | GET | — | the named model's contract |
+//! | `/stats` | GET | — | `{"default":…,"models":{name: counters, …}}`, see [`StatsSnapshot`](crate::StatsSnapshot) |
+//! | `/models/{name}/stats` | GET | — | the named model's flat counters |
 //! | `/shutdown` | POST | — | acknowledges, then the server drains and stops |
 //!
-//! Backpressure surfaces as `503` with `{"error":"overloaded"}`; malformed
-//! requests as `400`; unknown routes as `404`.
+//! The bare routes serve the registry's **default** model, so single-model
+//! deployments and old clients keep working unchanged. An unknown model
+//! name answers `404` with `{"error":"unknown model …"}`. Backpressure
+//! surfaces as `503` with `{"error":"overloaded"}`; malformed requests as
+//! `400`.
 
 use crate::error::ServeError;
 use crate::json;
-use crate::scheduler::{BatchScheduler, SchedulerConfig};
+use crate::registry::EngineRegistry;
+use crate::scheduler::SchedulerConfig;
 use crate::stats::StatsSnapshot;
 use crate::FrozenEngine;
 use std::io::{self, Read, Write};
@@ -35,7 +42,10 @@ pub struct ServerConfig {
     /// Bind address; use port `0` for an ephemeral port (the bound address
     /// is reported by [`Server::local_addr`]).
     pub addr: String,
-    /// Scheduler the front end feeds.
+    /// Scheduler configuration used when [`Server::start`] wraps a single
+    /// engine into a one-model registry. Ignored by
+    /// [`Server::start_registry`] (each registered model already carries
+    /// its scheduler).
     pub scheduler: SchedulerConfig,
     /// Largest accepted request body in bytes.
     pub max_body: usize,
@@ -55,20 +65,20 @@ impl Default for ServerConfig {
 }
 
 struct HttpShared {
-    scheduler: BatchScheduler,
-    input_len: usize,
-    output_len: usize,
+    registry: EngineRegistry,
     max_body: usize,
     read_timeout: Duration,
     stopping: AtomicBool,
     shutdown_tx: mpsc::Sender<()>,
 }
 
-/// A running serving endpoint: accept loop + scheduler + frozen engine.
+/// A running serving endpoint: accept loop + per-model schedulers +
+/// frozen engines.
 ///
-/// Construct with [`Server::start`]; stop gracefully with [`Server::stop`]
-/// (drains all queued requests) or let a client `POST /shutdown` and wait
-/// for that with [`Server::run`].
+/// Construct with [`Server::start`] (one model) or
+/// [`Server::start_registry`] (multi-model); stop gracefully with
+/// [`Server::stop`] (drains all queued requests) or let a client
+/// `POST /shutdown` and wait for that with [`Server::run`].
 pub struct Server {
     local_addr: SocketAddr,
     shared: Arc<HttpShared>,
@@ -83,22 +93,40 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Binds, spawns the scheduler workers and the accept loop, and starts
-    /// answering.
+    /// Single-model convenience: wraps `engine` into a one-model registry
+    /// (named after [`FrozenEngine::name`], `"default"` when unnamed) and
+    /// serves it.
     ///
     /// # Errors
     ///
     /// [`io::Error`] when the address cannot be bound.
     pub fn start(engine: Arc<FrozenEngine>, config: ServerConfig) -> io::Result<Server> {
+        let mut registry = EngineRegistry::new();
+        registry
+            .register(engine, config.scheduler.clone())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        Self::start_registry(registry, config)
+    }
+
+    /// Binds, adopts the registry's per-model schedulers, spawns the
+    /// accept loop, and starts answering on every model's routes.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] when the registry is empty or the address cannot be
+    /// bound.
+    pub fn start_registry(registry: EngineRegistry, config: ServerConfig) -> io::Result<Server> {
+        if registry.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cannot serve an empty model registry",
+            ));
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let (shutdown_tx, shutdown_rx) = mpsc::channel();
-        let scheduler =
-            BatchScheduler::start(engine.clone() as Arc<_>, config.scheduler.clone());
         let shared = Arc::new(HttpShared {
-            scheduler,
-            input_len: engine.input_len(),
-            output_len: engine.output_len(),
+            registry,
             max_body: config.max_body,
             read_timeout: config.read_timeout,
             stopping: AtomicBool::new(false),
@@ -122,9 +150,14 @@ impl Server {
         self.local_addr
     }
 
-    /// Live scheduler counters.
+    /// Live counters of the default model's scheduler.
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.scheduler.stats()
+        self.shared.registry.default_model().scheduler().stats()
+    }
+
+    /// The served models.
+    pub fn registry(&self) -> &EngineRegistry {
+        &self.shared.registry
     }
 
     /// Blocks until a client requests `POST /shutdown`, then stops
@@ -136,8 +169,9 @@ impl Server {
         self.stop();
     }
 
-    /// Graceful stop: refuse new connections, drain every queued request,
-    /// join the accept loop and scheduler workers. Idempotent.
+    /// Graceful stop: refuse new connections, drain every queued request
+    /// of every model, join the accept loop and scheduler workers.
+    /// Idempotent.
     pub fn stop(&self) {
         if self.shared.stopping.swap(true, Ordering::SeqCst) {
             return;
@@ -148,7 +182,7 @@ impl Server {
         if let Some(handle) = lock(&self.accept).take() {
             let _ = handle.join();
         }
-        self.shared.scheduler.shutdown();
+        self.shared.registry.shutdown();
     }
 }
 
@@ -288,29 +322,91 @@ fn find_blank_line(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
+/// Splits `/models/{name}/rest` into `(Some(name), "/rest")`; any other
+/// target passes through as `(None, target)`.
+fn split_model(target: &str) -> (Option<&str>, &str) {
+    if let Some(tail) = target.strip_prefix("/models/") {
+        if let Some(slash) = tail.find('/') {
+            return (Some(&tail[..slash]), &tail[slash..]);
+        }
+    }
+    (None, target)
+}
+
 /// Routes one request to `(status, body, initiate-shutdown-after-respond)`.
 fn route(shared: &Arc<HttpShared>, request: &Request) -> (u16, String, bool) {
-    match (request.method.as_str(), request.target.as_str()) {
-        ("GET", "/healthz") => (
-            200,
-            format!(
-                "{{\"status\":\"ok\",\"input_len\":{},\"output_len\":{}}}",
-                shared.input_len, shared.output_len
-            ),
-            false,
-        ),
-        ("GET", "/stats") => (200, shared.scheduler.stats().to_json(), false),
-        ("POST", "/predict") => {
-            let (status, body) = predict(shared, &request.body);
+    let (model, path) = split_model(&request.target);
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            let (status, body) = healthz(shared, model);
             (status, body, false)
         }
-        ("POST", "/shutdown") => (200, "{\"status\":\"shutting down\"}".into(), true),
+        ("GET", "/stats") => {
+            let (status, body) = stats(shared, model);
+            (status, body, false)
+        }
+        ("POST", "/predict") => {
+            let (status, body) = predict(shared, model, &request.body);
+            (status, body, false)
+        }
+        // Shutdown is server-wide: only the bare route exists.
+        ("POST", "/shutdown") if model.is_none() => {
+            (200, "{\"status\":\"shutting down\"}".into(), true)
+        }
         ("GET" | "POST", _) => (404, "{\"error\":\"no such route\"}".into(), false),
         _ => (405, "{\"error\":\"method not allowed\"}".into(), false),
     }
 }
 
-fn predict(shared: &Arc<HttpShared>, body: &[u8]) -> (u16, String) {
+fn error_response(e: &ServeError) -> (u16, String) {
+    let status = match e {
+        ServeError::BadInput(_) => 400,
+        ServeError::UnknownModel(_) => 404,
+        ServeError::Overloaded { .. } | ServeError::ShuttingDown => 503,
+        _ => 500,
+    };
+    (status, format!("{{\"error\":\"{}\"}}", json::escape(&e.to_string())))
+}
+
+fn healthz(shared: &Arc<HttpShared>, model: Option<&str>) -> (u16, String) {
+    let entry = match shared.registry.resolve(model) {
+        Ok(e) => e,
+        Err(e) => return error_response(&e),
+    };
+    let models: Vec<String> = shared
+        .registry
+        .names()
+        .iter()
+        .map(|n| format!("\"{}\"", json::escape(n)))
+        .collect();
+    (
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"model\":\"{}\",\"input_len\":{},\"output_len\":{},\"models\":[{}]}}",
+            json::escape(entry.name()),
+            entry.engine().input_len(),
+            entry.engine().output_len(),
+            models.join(",")
+        ),
+    )
+}
+
+fn stats(shared: &Arc<HttpShared>, model: Option<&str>) -> (u16, String) {
+    match model {
+        // Bare /stats: every model's counters, keyed by name.
+        None => (200, shared.registry.stats_json()),
+        Some(_) => match shared.registry.resolve(model) {
+            Ok(entry) => (200, entry.scheduler().stats().to_json()),
+            Err(e) => error_response(&e),
+        },
+    }
+}
+
+fn predict(shared: &Arc<HttpShared>, model: Option<&str>, body: &[u8]) -> (u16, String) {
+    let entry = match shared.registry.resolve(model) {
+        Ok(e) => e,
+        Err(e) => return error_response(&e),
+    };
     let Ok(text) = std::str::from_utf8(body) else {
         return (400, "{\"error\":\"body is not UTF-8\"}".into());
     };
@@ -318,7 +414,7 @@ fn predict(shared: &Arc<HttpShared>, body: &[u8]) -> (u16, String) {
         Ok(v) => v,
         Err(e) => return (400, format!("{{\"error\":\"{}\"}}", json::escape(&e))),
     };
-    match shared.scheduler.predict(input) {
+    match entry.scheduler().predict(input) {
         Ok(p) => (
             200,
             format!(
@@ -328,14 +424,7 @@ fn predict(shared: &Arc<HttpShared>, body: &[u8]) -> (u16, String) {
                 p.batch_size
             ),
         ),
-        Err(e) => {
-            let status = match e {
-                ServeError::BadInput(_) => 400,
-                ServeError::Overloaded { .. } | ServeError::ShuttingDown => 503,
-                _ => 500,
-            };
-            (status, format!("{{\"error\":\"{}\"}}", json::escape(&e.to_string())))
-        }
+        Err(e) => error_response(&e),
     }
 }
 
@@ -383,6 +472,15 @@ mod tests {
     fn blank_line_finder() {
         assert_eq!(find_blank_line(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
         assert_eq!(find_blank_line(b"partial\r\n"), None);
+    }
+
+    #[test]
+    fn model_prefix_splitting() {
+        assert_eq!(split_model("/predict"), (None, "/predict"));
+        assert_eq!(split_model("/models/mlp/predict"), (Some("mlp"), "/predict"));
+        assert_eq!(split_model("/models/a-b.c/healthz"), (Some("a-b.c"), "/healthz"));
+        // no inner slash → not a model route, falls through to 404
+        assert_eq!(split_model("/models/mlp"), (None, "/models/mlp"));
     }
 
     #[test]

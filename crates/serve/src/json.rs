@@ -97,6 +97,46 @@ pub fn number_field(json: &str, key: &str) -> Result<f64, String> {
     token.parse().map_err(|_| format!("`{key}` is not a number"))
 }
 
+/// Extracts the string value of `"key": "…"` from a flat JSON object.
+/// Handles the escapes [`escape`] emits (`\" \\ \n \r \t \uXXXX`).
+///
+/// # Errors
+///
+/// When the key is missing or the value is not a string literal.
+pub fn string_field(json: &str, key: &str) -> Result<String, String> {
+    let start = field_start(json, key)?;
+    let rest = json[start..].trim_start();
+    let Some(inner) = rest.strip_prefix('"') else {
+        return Err(format!("`{key}` is not a string"));
+    };
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Ok(out),
+            '\\' => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| format!("`{key}` has a bad \\u escape"))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| format!("`{key}` has a bad \\u escape"))?,
+                    );
+                }
+                _ => return Err(format!("`{key}` has a bad escape")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err(format!("`{key}` string is never closed"))
+}
+
 fn field_start(json: &str, key: &str) -> Result<usize, String> {
     let marker = format!("\"{key}\":");
     json.find(&marker)
@@ -160,5 +200,16 @@ mod tests {
     #[test]
     fn escape_handles_specials() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn string_field_extraction_round_trips_escapes() {
+        let json = r#"{"model":"le-net_v2","note":"a\"b\\c\nd","n":3}"#;
+        assert_eq!(string_field(json, "model").unwrap(), "le-net_v2");
+        assert_eq!(string_field(json, "note").unwrap(), "a\"b\\c\nd");
+        assert!(string_field(json, "n").is_err());
+        assert!(string_field(json, "missing").is_err());
+        let rt = format!("{{\"x\":\"{}\"}}", escape("tab\tและ\u{1}"));
+        assert_eq!(string_field(&rt, "x").unwrap(), "tab\tและ\u{1}");
     }
 }

@@ -3,46 +3,65 @@
 //!
 //! The paper's value proposition is *inference* — CAM searches plus LUT
 //! reads with no dense arithmetic — and this crate turns that path into a
-//! server. Four layers, each usable on its own:
+//! server. Five layers, each usable on its own:
 //!
-//! 1. **[`FrozenEngine`]** — an immutable compiled inference plan:
+//! 1. **Batch-first pipeline** — the whole batch flows as **one**
+//!    column-major [`pecan_core::InferBatch`] matrix through a sequence of
+//!    [`Stage`]s (LUT conv, LUT linear, ReLU, pooling, flatten). No
+//!    per-sample split/rejoin happens between stages, so consecutive
+//!    table-lookup layers keep the lane-blocked `pecan-index` scanners fed
+//!    with matrices as wide as the batch.
+//! 2. **[`FrozenEngine`]** — an immutable compiled inference plan:
 //!    per-layer [`pecan_core::LayerLut`]s and im2col geometry precomputed
 //!    once from a trained model, then shared lock-free (`Arc`) across any
-//!    number of threads. Batched and single-request inference are
-//!    bit-identical by construction.
-//! 2. **Model snapshots** — a versioned, endian-stable binary format
+//!    number of threads. [`FrozenEngine::infer`] is the batch-matrix entry
+//!    point; [`FrozenEngine::predict`] / [`FrozenEngine::predict_batch`]
+//!    remain as sample-shaped shims with bit-identical results.
+//! 3. **Model snapshots** — a versioned, endian-stable binary format
 //!    ([`FrozenEngine::save_snapshot`] / [`FrozenEngine::load_snapshot`]):
-//!    magic, version, per-layer codebooks/LUTs/biases as raw little-endian
-//!    bits, CRC-32 checksum. A reloaded engine predicts bit-identically to
-//!    the saved one.
-//! 3. **[`BatchScheduler`]** — micro-batching over a bounded queue:
+//!    magic, version, model name (v2), per-layer codebooks/LUTs/biases as
+//!    raw little-endian bits, CRC-32 checksum. A reloaded engine predicts
+//!    bit-identically to the saved one; v1 files still load.
+//! 4. **[`BatchScheduler`]** — micro-batching over a bounded queue:
 //!    concurrent requests are drained up to `max_batch`/`max_wait` and run
 //!    through the engine's batch kernels by persistent workers;
 //!    a full queue rejects with [`ServeError::Overloaded`] (backpressure),
 //!    and shutdown drains every accepted request.
-//! 4. **[`Server`]** — a std-only HTTP/1.1 front end (`/predict`,
+//! 5. **[`EngineRegistry`] + [`Server`]** — multi-model serving: any
+//!    number of snapshots side by side, each with its own scheduler and
+//!    counters, routed by a std-only HTTP/1.1 front end
+//!    (`/models/{name}/predict`, bare `/predict` for the default model,
 //!    `/healthz`, `/stats`, `/shutdown`) plus the `serve` and `loadgen`
 //!    binaries.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use pecan_serve::{FrozenEngine, Server, ServerConfig};
+//! use pecan_serve::{EngineRegistry, SchedulerConfig, Server, ServerConfig};
 //! use std::sync::Arc;
 //!
-//! // Compile a (demo) model and serve it.
-//! let engine = Arc::new(pecan_serve::demo::mlp_engine(1));
-//! let server = Server::start(engine.clone(), ServerConfig::default()).unwrap();
+//! // Compile two (demo) models and serve them side by side.
+//! let mut registry = EngineRegistry::new();
+//! registry.register(Arc::new(pecan_serve::demo::mlp_engine(1)),
+//!                   SchedulerConfig::default()).unwrap();
+//! registry.register(Arc::new(pecan_serve::demo::lenet_engine(1)),
+//!                   SchedulerConfig::default()).unwrap();
+//! let server = Server::start_registry(registry, ServerConfig::default()).unwrap();
 //! println!("listening on http://{}", server.local_addr());
-//! server.stop(); // graceful: drains queued requests
+//! // POST /predict            → the default model ("mlp", first registered)
+//! // POST /models/lenet/predict → the other one
+//! server.stop(); // graceful: drains queued requests of every model
 //! ```
 //!
 //! Or from the command line:
 //!
 //! ```text
-//! cargo run --release -p pecan-serve --bin serve -- --demo mlp --save model.psnp
-//! cargo run --release -p pecan-serve --bin serve -- --snapshot model.psnp --addr 127.0.0.1:7878
-//! cargo run --release -p pecan-serve --bin loadgen -- --addr 127.0.0.1:7878 --connections 8 --requests 400
+//! cargo run --release -p pecan-serve --bin serve -- --demo mlp --save mlp.psnp
+//! cargo run --release -p pecan-serve --bin serve -- --demo lenet --save lenet.psnp
+//! cargo run --release -p pecan-serve --bin serve -- \
+//!     --snapshot mlp.psnp --model lenet=lenet.psnp --addr 127.0.0.1:7878
+//! cargo run --release -p pecan-serve --bin loadgen -- \
+//!     --addr 127.0.0.1:7878 --model lenet --connections 8 --requests 400
 //! ```
 
 pub mod client;
@@ -51,13 +70,20 @@ mod engine;
 mod error;
 mod http;
 pub mod json;
+mod registry;
 mod scheduler;
 mod snapshot;
+mod stage;
 mod stats;
 
 pub use engine::FrozenEngine;
 pub use error::{ServeError, SnapshotError};
 pub use http::{Server, ServerConfig};
+pub use registry::{EngineRegistry, ModelEntry};
 pub use scheduler::{BatchRunner, BatchScheduler, Prediction, SchedulerConfig, Ticket};
 pub use snapshot::{crc32, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use stage::{
+    FlattenStage, GlobalAvgPoolStage, LutConvStage, LutLinearStage, MaxPoolStage, ReluStage,
+    Stage,
+};
 pub use stats::{ServeStats, StatsSnapshot};

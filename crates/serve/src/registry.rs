@@ -1,0 +1,265 @@
+//! Multi-model serving: a registry mapping model names to frozen engines,
+//! each with its own micro-batching scheduler.
+//!
+//! One process serves any number of snapshots side by side: every
+//! registered model gets a dedicated [`BatchScheduler`] (its own bounded
+//! queue, workers and [`ServeStats`](crate::ServeStats) counters) over an
+//! `Arc`-shared [`FrozenEngine`], so traffic to one model never batches
+//! with — or backpressures — another. The HTTP front end routes
+//! `/models/{name}/predict` through [`EngineRegistry::resolve`]; the bare
+//! `/predict` route serves the **default** model (the first one
+//! registered, unless overridden), keeping single-model deployments and
+//! old clients working unchanged.
+
+use crate::error::ServeError;
+use crate::scheduler::{BatchScheduler, SchedulerConfig};
+use crate::FrozenEngine;
+use std::sync::Arc;
+
+/// One served model: its name, engine and dedicated scheduler.
+#[derive(Debug)]
+pub struct ModelEntry {
+    name: String,
+    engine: Arc<FrozenEngine>,
+    scheduler: BatchScheduler,
+}
+
+impl ModelEntry {
+    /// The name the model serves under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shared frozen engine.
+    pub fn engine(&self) -> &Arc<FrozenEngine> {
+        &self.engine
+    }
+
+    /// The model's micro-batching scheduler.
+    pub fn scheduler(&self) -> &BatchScheduler {
+        &self.scheduler
+    }
+}
+
+/// Maps model names to `Arc<FrozenEngine>`s with per-model schedulers.
+///
+/// # Example
+///
+/// ```
+/// use pecan_serve::{demo, EngineRegistry, SchedulerConfig};
+/// use std::sync::Arc;
+///
+/// let mut registry = EngineRegistry::new();
+/// registry
+///     .register(Arc::new(demo::mlp_engine(1)), SchedulerConfig::default())
+///     .unwrap();
+/// registry
+///     .register(Arc::new(demo::lenet_engine(1)), SchedulerConfig::default())
+///     .unwrap();
+/// assert_eq!(registry.default_model().name(), "mlp"); // first registered
+/// assert!(registry.resolve(Some("lenet")).is_ok());
+/// assert!(registry.resolve(Some("nope")).is_err());
+/// registry.shutdown();
+/// ```
+#[derive(Debug, Default)]
+pub struct EngineRegistry {
+    entries: Vec<ModelEntry>,
+    default: usize,
+}
+
+/// Model names must be route-safe: non-empty, at most 64 bytes, drawn
+/// from `[A-Za-z0-9_.-]`.
+fn validate_name(name: &str) -> Result<(), ServeError> {
+    if name.is_empty()
+        || name.len() > 64
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+    {
+        return Err(ServeError::BadInput(format!(
+            "model name `{name}` must be 1–64 characters of [A-Za-z0-9_.-]"
+        )));
+    }
+    Ok(())
+}
+
+impl EngineRegistry {
+    /// An empty registry. The first registered model becomes the default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `engine` under its own name
+    /// ([`FrozenEngine::name`], falling back to `"default"`), starting a
+    /// dedicated scheduler with `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadInput`] for a route-unsafe or duplicate name.
+    pub fn register(
+        &mut self,
+        engine: Arc<FrozenEngine>,
+        config: SchedulerConfig,
+    ) -> Result<(), ServeError> {
+        let name = engine.name().unwrap_or("default").to_string();
+        self.register_as(name, engine, config)
+    }
+
+    /// Registers `engine` under an explicit `name` (overriding any
+    /// embedded one), starting a dedicated scheduler with `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadInput`] for a route-unsafe or duplicate name.
+    pub fn register_as(
+        &mut self,
+        name: impl Into<String>,
+        engine: Arc<FrozenEngine>,
+        config: SchedulerConfig,
+    ) -> Result<(), ServeError> {
+        let name = name.into();
+        validate_name(&name)?;
+        if self.entries.iter().any(|e| e.name == name) {
+            return Err(ServeError::BadInput(format!(
+                "model `{name}` is already registered"
+            )));
+        }
+        let scheduler = BatchScheduler::start(engine.clone() as Arc<_>, config);
+        self.entries.push(ModelEntry { name, engine, scheduler });
+        Ok(())
+    }
+
+    /// Makes `name` the model the bare routes serve.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] when no such model is registered.
+    pub fn set_default(&mut self, name: &str) -> Result<(), ServeError> {
+        match self.entries.iter().position(|e| e.name == name) {
+            Some(i) => {
+                self.default = i;
+                Ok(())
+            }
+            None => Err(ServeError::UnknownModel(name.to_string())),
+        }
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registered model names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// All entries, in registration order.
+    pub fn entries(&self) -> &[ModelEntry] {
+        &self.entries
+    }
+
+    /// The model the bare routes serve.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty registry (the server refuses to start on one).
+    pub fn default_model(&self) -> &ModelEntry {
+        &self.entries[self.default]
+    }
+
+    /// Resolves a request's model: `None` means the default model, a name
+    /// must match a registered one.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] — the typed 404 of the HTTP front end.
+    pub fn resolve(&self, name: Option<&str>) -> Result<&ModelEntry, ServeError> {
+        match name {
+            None => Ok(self.default_model()),
+            Some(n) => self
+                .entries
+                .iter()
+                .find(|e| e.name == n)
+                .ok_or_else(|| ServeError::UnknownModel(n.to_string())),
+        }
+    }
+
+    /// Per-model counters as one JSON object:
+    /// `{"default":"<name>","models":{"<name>":{…},…}}`.
+    pub fn stats_json(&self) -> String {
+        let mut out = String::from("{\"default\":\"");
+        out.push_str(&crate::json::escape(self.default_model().name()));
+        out.push_str("\",\"models\":{");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&crate::json::escape(&e.name));
+            out.push_str("\":");
+            out.push_str(&e.scheduler.stats().to_json());
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Shuts down every model's scheduler, draining queued requests.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        for e in &self.entries {
+            e.scheduler.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo;
+
+    #[test]
+    fn names_are_validated_and_deduplicated() {
+        let mut r = EngineRegistry::new();
+        let engine = Arc::new(demo::mlp_engine(1));
+        assert!(matches!(
+            r.register_as("", engine.clone(), SchedulerConfig::default()),
+            Err(ServeError::BadInput(_))
+        ));
+        assert!(matches!(
+            r.register_as("a/b", engine.clone(), SchedulerConfig::default()),
+            Err(ServeError::BadInput(_))
+        ));
+        r.register_as("m-1", engine.clone(), SchedulerConfig::default()).unwrap();
+        assert!(matches!(
+            r.register_as("m-1", engine, SchedulerConfig::default()),
+            Err(ServeError::BadInput(_))
+        ));
+        r.shutdown();
+    }
+
+    #[test]
+    fn default_resolution_and_override() {
+        let mut r = EngineRegistry::new();
+        r.register(Arc::new(demo::mlp_engine(1)), SchedulerConfig::default()).unwrap();
+        r.register(Arc::new(demo::lenet_engine(1)), SchedulerConfig::default()).unwrap();
+        assert_eq!(r.names(), vec!["mlp", "lenet"]);
+        assert_eq!(r.resolve(None).unwrap().name(), "mlp");
+        r.set_default("lenet").unwrap();
+        assert_eq!(r.resolve(None).unwrap().name(), "lenet");
+        assert!(matches!(r.set_default("nope"), Err(ServeError::UnknownModel(_))));
+        match r.resolve(Some("gone")) {
+            Err(ServeError::UnknownModel(n)) => assert_eq!(n, "gone"),
+            other => panic!("expected UnknownModel, got {other:?}"),
+        }
+        let json = r.stats_json();
+        assert!(json.contains("\"default\":\"lenet\""));
+        assert!(json.contains("\"mlp\":{\"submitted\""));
+        r.shutdown();
+    }
+}

@@ -8,19 +8,29 @@
 //! `tests/snapshot_roundtrip.rs` pins save→load→predict parity by property
 //! test.
 //!
-//! # Format (version 1)
+//! # Format
 //!
 //! All integers little-endian; `f32` as raw LE bit patterns.
 //!
 //! ```text
 //! magic        8 × u8   "PECANSNP"
-//! version      u32      1
+//! version      u32      2 (current; 1 still read)
+//! model name   u32 len + UTF-8 bytes     — version ≥ 2 only; 0 = unnamed
 //! input rank   u32      then that many u32 dims
 //! output rank  u32      then that many u32 dims
 //! stage count  u32
 //! stages…               tagged (u8), see below
 //! checksum     u32      CRC-32 (IEEE) over every preceding byte
 //! ```
+//!
+//! **Version 2** (current) prepends a model-name header for multi-model
+//! serving; everything after it is byte-identical to version 1, and
+//! [`FrozenEngine::load_snapshot`] still reads version-1 files
+//! bit-identically (they load with no name). Snapshots from *newer*
+//! revisions are rejected with a typed
+//! [`SnapshotError::UnsupportedVersion`]. To produce a file an old reader
+//! can load, use [`FrozenEngine::snapshot_bytes_versioned`] with
+//! version 1 (the name is dropped).
 //!
 //! Stage tags: `0` ReLU · `1` MaxPool (`kernel`, `stride` as u32) · `2`
 //! GlobalAvgPool · `3` Flatten · `4` PECAN conv · `5` PECAN linear. PECAN
@@ -35,8 +45,12 @@
 //! structural nonsense (with a *valid* checksum) and trailing bytes all
 //! surface as errors, never panics.
 
-use crate::engine::{FrozenEngine, Stage};
+use crate::engine::FrozenEngine;
 use crate::error::SnapshotError;
+use crate::stage::{
+    FlattenStage, GlobalAvgPoolStage, LutConvStage, LutLinearStage, MaxPoolStage, ReluStage,
+    Stage,
+};
 use pecan_cam::LookupTable;
 use pecan_core::{LayerLut, PecanVariant};
 use pecan_pq::PqConfig;
@@ -47,7 +61,7 @@ use std::path::Path;
 /// First eight bytes of every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"PECANSNP";
 /// Format revision this build writes and the highest it reads.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 const TAG_RELU: u8 = 0;
 const TAG_MAXPOOL: u8 = 1;
@@ -55,6 +69,9 @@ const TAG_GAP: u8 = 2;
 const TAG_FLATTEN: u8 = 3;
 const TAG_CONV: u8 = 4;
 const TAG_LINEAR: u8 = 5;
+
+/// Longest accepted model-name header, in bytes.
+const NAME_LIMIT: usize = 4096;
 
 // ---------------------------------------------------------------- CRC-32
 
@@ -175,6 +192,23 @@ impl<'a> Reader<'a> {
         }
         Ok(dims)
     }
+    /// Length-prefixed UTF-8 model name; empty means unnamed.
+    fn name(&mut self) -> Result<Option<String>, SnapshotError> {
+        let len = self.usize()?;
+        if len > NAME_LIMIT {
+            return Err(SnapshotError::Corrupt(format!(
+                "model name of {len} bytes exceeds the {NAME_LIMIT}-byte limit"
+            )));
+        }
+        if len == 0 {
+            return Ok(None);
+        }
+        let raw = self.take(len)?;
+        match std::str::from_utf8(raw) {
+            Ok(s) => Ok(Some(s.to_string())),
+            Err(_) => Err(SnapshotError::Corrupt("model name is not UTF-8".into())),
+        }
+    }
 }
 
 /// Ceiling on any single declared dimension — far above every model in the
@@ -281,38 +315,72 @@ fn read_pecan(
     Ok((lut, geom))
 }
 
+fn write_stage(w: &mut Writer, stage: &dyn Stage) {
+    let any = stage.as_any();
+    if any.downcast_ref::<ReluStage>().is_some() {
+        w.u8(TAG_RELU);
+    } else if let Some(pool) = any.downcast_ref::<MaxPoolStage>() {
+        w.u8(TAG_MAXPOOL);
+        w.usize(pool.kernel());
+        w.usize(pool.stride());
+    } else if any.downcast_ref::<GlobalAvgPoolStage>().is_some() {
+        w.u8(TAG_GAP);
+    } else if any.downcast_ref::<FlattenStage>().is_some() {
+        w.u8(TAG_FLATTEN);
+    } else if let Some(conv) = any.downcast_ref::<LutConvStage>() {
+        w.u8(TAG_CONV);
+        write_pecan(w, conv.lut_engine(), Some(conv.geometry()));
+    } else if let Some(lin) = any.downcast_ref::<LutLinearStage>() {
+        w.u8(TAG_LINEAR);
+        write_pecan(w, lin.lut_engine(), None);
+    } else {
+        unreachable!("every compiled stage kind has a snapshot tag");
+    }
+}
+
 impl FrozenEngine {
-    /// Serializes the engine into the version-1 snapshot byte format.
+    /// Serializes the engine into the current snapshot byte format.
     pub fn snapshot_bytes(&self) -> Vec<u8> {
+        self.snapshot_bytes_versioned(SNAPSHOT_VERSION)
+            .expect("the current version always encodes")
+    }
+
+    /// Serializes the engine as a specific format revision — version 1
+    /// for files an old reader must load (drops the model name), version
+    /// 2 for the current format.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::UnsupportedVersion`] for revisions this build
+    /// does not write.
+    pub fn snapshot_bytes_versioned(&self, version: u32) -> Result<Vec<u8>, SnapshotError> {
+        if version == 0 || version > SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version });
+        }
         let mut w = Writer { buf: Vec::new() };
         w.buf.extend_from_slice(&SNAPSHOT_MAGIC);
-        w.u32(SNAPSHOT_VERSION);
+        w.u32(version);
+        if version >= 2 {
+            let name = self.name().unwrap_or("");
+            // Clamp over-long names on a char boundary — a mid-character
+            // cut would write a header this build's own loader rejects.
+            let mut end = name.len().min(NAME_LIMIT);
+            while !name.is_char_boundary(end) {
+                end -= 1;
+            }
+            let bytes = &name.as_bytes()[..end];
+            w.usize(bytes.len());
+            w.buf.extend_from_slice(bytes);
+        }
         w.dims(&self.input_shape);
         w.dims(&self.output_shape);
         w.usize(self.stages.len());
         for stage in &self.stages {
-            match stage {
-                Stage::Relu => w.u8(TAG_RELU),
-                Stage::MaxPool { kernel, stride } => {
-                    w.u8(TAG_MAXPOOL);
-                    w.usize(*kernel);
-                    w.usize(*stride);
-                }
-                Stage::GlobalAvgPool => w.u8(TAG_GAP),
-                Stage::Flatten => w.u8(TAG_FLATTEN),
-                Stage::Conv { lut, geom } => {
-                    w.u8(TAG_CONV);
-                    write_pecan(&mut w, lut, Some(geom));
-                }
-                Stage::Linear { lut } => {
-                    w.u8(TAG_LINEAR);
-                    write_pecan(&mut w, lut, None);
-                }
-            }
+            write_stage(&mut w, stage.as_ref());
         }
         let crc = crc32(&w.buf);
         w.u32(crc);
-        w.buf
+        Ok(w.buf)
     }
 
     /// Writes the snapshot to `path` (see the module docs for the format).
@@ -325,7 +393,7 @@ impl FrozenEngine {
         Ok(())
     }
 
-    /// Decodes an engine from snapshot bytes.
+    /// Decodes an engine from snapshot bytes (version 1 or 2).
     ///
     /// # Errors
     ///
@@ -350,41 +418,51 @@ impl FrozenEngine {
         // future revisions may checksum differently.
         let mut r = Reader { bytes: payload, pos: SNAPSHOT_MAGIC.len() };
         let version = r.u32()?;
-        if version != SNAPSHOT_VERSION {
+        if version == 0 || version > SNAPSHOT_VERSION {
             return Err(SnapshotError::UnsupportedVersion { found: version });
         }
         if stored != computed {
             return Err(SnapshotError::ChecksumMismatch { stored, computed });
         }
+        let name = if version >= 2 { r.name()? } else { None };
         let input_shape = r.dims(DIM_LIMIT)?;
         let output_shape = r.dims(DIM_LIMIT)?;
         let n_stages = r.usize()?;
         if n_stages > 4096 {
             return Err(SnapshotError::Corrupt(format!("{n_stages} stages")));
         }
-        let mut stages = Vec::with_capacity(n_stages);
+        let mut stages: Vec<Box<dyn Stage>> = Vec::with_capacity(n_stages);
         for _ in 0..n_stages {
-            let stage = match r.u8()? {
-                TAG_RELU => Stage::Relu,
+            let stage: Box<dyn Stage> = match r.u8()? {
+                TAG_RELU => Box::new(ReluStage),
                 TAG_MAXPOOL => {
                     let kernel = r.usize()?;
                     let stride = r.usize()?;
-                    if kernel == 0 || stride == 0 || kernel > DIM_LIMIT {
+                    if kernel > DIM_LIMIT {
                         return Err(SnapshotError::Corrupt(format!(
                             "pool window {kernel}/{stride}"
                         )));
                     }
-                    Stage::MaxPool { kernel, stride }
+                    Box::new(
+                        MaxPoolStage::new(kernel, stride)
+                            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?,
+                    )
                 }
-                TAG_GAP => Stage::GlobalAvgPool,
-                TAG_FLATTEN => Stage::Flatten,
+                TAG_GAP => Box::new(GlobalAvgPoolStage),
+                TAG_FLATTEN => Box::new(FlattenStage),
                 TAG_CONV => {
                     let (lut, geom) = read_pecan(&mut r, true)?;
-                    Stage::Conv { lut, geom: geom.expect("conv payload carries geometry") }
+                    Box::new(
+                        LutConvStage::new(
+                            lut,
+                            geom.expect("conv payload carries geometry"),
+                        )
+                        .map_err(|e| SnapshotError::Corrupt(e.to_string()))?,
+                    )
                 }
                 TAG_LINEAR => {
                     let (lut, _) = read_pecan(&mut r, false)?;
-                    Stage::Linear { lut }
+                    Box::new(LutLinearStage::new(lut))
                 }
                 other => {
                     return Err(SnapshotError::Corrupt(format!("stage tag {other}")))
@@ -398,11 +476,12 @@ impl FrozenEngine {
                 payload.len() - r.pos
             )));
         }
-        FrozenEngine::from_parts(stages, input_shape, output_shape)
+        FrozenEngine::from_parts(stages, input_shape, output_shape, name)
             .map_err(|e| SnapshotError::Corrupt(e.to_string()))
     }
 
-    /// Reads a snapshot file written by [`FrozenEngine::save_snapshot`].
+    /// Reads a snapshot file written by [`FrozenEngine::save_snapshot`]
+    /// (or any earlier format revision).
     ///
     /// # Errors
     ///
@@ -424,10 +503,38 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_bytes_start_with_magic_and_version() {
+    fn snapshot_bytes_start_with_magic_version_and_name() {
         let engine = crate::demo::mlp_engine(1);
         let bytes = engine.snapshot_bytes();
         assert_eq!(&bytes[..8], b"PECANSNP");
         assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), SNAPSHOT_VERSION);
+        let name_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        assert_eq!(&bytes[16..16 + name_len], b"mlp");
+    }
+
+    #[test]
+    fn oversized_names_clamp_on_a_char_boundary() {
+        // 4095 ASCII bytes + a 2-byte char straddling the limit: the write
+        // must clamp to 4095, and the snapshot must load back cleanly.
+        let long = "a".repeat(NAME_LIMIT - 1) + "é";
+        let engine = crate::demo::mlp_engine(1).with_name(long);
+        let bytes = engine.snapshot_bytes();
+        let name_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        assert_eq!(name_len, NAME_LIMIT - 1);
+        let reloaded = FrozenEngine::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(reloaded.name(), Some("a".repeat(NAME_LIMIT - 1).as_str()));
+    }
+
+    #[test]
+    fn version_1_encoding_drops_the_name() {
+        let engine = crate::demo::mlp_engine(1);
+        let v1 = engine.snapshot_bytes_versioned(1).unwrap();
+        assert_eq!(u32::from_le_bytes(v1[8..12].try_into().unwrap()), 1);
+        let loaded = FrozenEngine::from_snapshot_bytes(&v1).unwrap();
+        assert_eq!(loaded.name(), None);
+        assert!(matches!(
+            engine.snapshot_bytes_versioned(SNAPSHOT_VERSION + 1),
+            Err(SnapshotError::UnsupportedVersion { .. })
+        ));
     }
 }

@@ -1,0 +1,117 @@
+//! Pins for the batch-first `InferBatch` pipeline: for conv/linear/pool
+//! mixes, ragged batch sizes and batch = 1, the single-matrix path is
+//! **bit-identical** to the retained per-sample shims (`predict`, and
+//! `predict_batch` packing/unpacking at the boundary).
+//!
+//! Together with `engine_parity.rs` (shims vs the training-path forward)
+//! this closes the loop: training forward ≈ per-sample shim ≡ batched
+//! matrix pipeline.
+
+use pecan_core::{InferBatch, PecanConv2d, PecanLinear, PecanVariant, PqLayerSettings};
+use pecan_nn::{GlobalAvgPool, Relu, Sequential};
+use pecan_serve::{demo, FrozenEngine};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: lengths differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: bit mismatch at {i}: {x} vs {y}");
+    }
+}
+
+/// A conv → ReLU → global-avg-pool → linear pipeline: exercises the one
+/// stage mix (GAP) the demo models do not cover, in both variants.
+fn gap_convnet(variant: PecanVariant, seed: u64) -> FrozenEngine {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Sequential::new();
+    net.push(Box::new(
+        PecanConv2d::new(&mut rng, variant, PqLayerSettings::new(6, 9, 0.8), 2, 5, 3, 1, 1)
+            .unwrap(),
+    ));
+    net.push(Box::new(Relu));
+    net.push(Box::new(GlobalAvgPool));
+    net.push(Box::new(
+        PecanLinear::new(&mut rng, variant, PqLayerSettings::new(6, 5, 0.8), 5, 4).unwrap(),
+    ));
+    FrozenEngine::compile(&net, &[2, 6, 6]).unwrap()
+}
+
+fn ragged_inputs(engine: &FrozenEngine, batch: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..batch)
+        .map(|_| pecan_tensor::uniform(&mut rng, &[engine.input_len()], -1.0, 1.0).into_vec())
+        .collect()
+}
+
+/// The whole parity triangle for one engine and batch: per-sample shim,
+/// batch shim, and a hand-packed `InferBatch` through `infer` must agree
+/// bit-for-bit.
+fn check_parity(engine: &FrozenEngine, inputs: &[Vec<f32>], what: &str) {
+    let batched = engine.predict_batch(inputs).unwrap();
+    let flat_shape = [engine.input_len()];
+    let matrix = InferBatch::from_samples(inputs, &flat_shape).unwrap();
+    let via_matrix = engine.infer(matrix).unwrap();
+    assert_eq!(via_matrix.sample_shape(), engine.output_shape());
+    assert_eq!(via_matrix.cols(), inputs.len());
+    for (i, input) in inputs.iter().enumerate() {
+        let single = engine.predict(input).unwrap();
+        assert_bits_eq(&single, &batched[i], what);
+        assert_bits_eq(&single, via_matrix.col(i), what);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Linear/ReLU mix (MLP) at ragged batch sizes including 1.
+    #[test]
+    fn mlp_matrix_pipeline_matches_shims(seed in 0u64..4, batch in 1usize..11) {
+        let engine = demo::mlp_engine(seed);
+        let inputs = ragged_inputs(&engine, batch, seed ^ 0xA5A5);
+        check_parity(&engine, &inputs, "mlp");
+    }
+
+    /// Conv/max-pool/flatten/linear mix (LeNet) at ragged batch sizes.
+    #[test]
+    fn lenet_matrix_pipeline_matches_shims(seed in 0u64..3, batch in 1usize..6) {
+        let engine = demo::lenet_engine(seed);
+        let inputs = ragged_inputs(&engine, batch, seed ^ 0x5A5A);
+        check_parity(&engine, &inputs, "lenet");
+    }
+
+    /// Conv/global-avg-pool mix, both PECAN variants.
+    #[test]
+    fn gap_convnet_matrix_pipeline_matches_shims(
+        seed in 0u64..3,
+        batch in 1usize..9,
+        angle in proptest::bool::ANY,
+    ) {
+        let variant = if angle { PecanVariant::Angle } else { PecanVariant::Distance };
+        let engine = gap_convnet(variant, seed);
+        let inputs = ragged_inputs(&engine, batch, seed ^ 0xC3C3);
+        check_parity(&engine, &inputs, "gap-convnet");
+    }
+
+    /// Growing a batch never changes the prefix (no cross-column leakage).
+    #[test]
+    fn batch_prefix_is_stable_under_growth(grow in 1usize..6) {
+        let engine = demo::mlp_engine(2);
+        let inputs = ragged_inputs(&engine, 1 + grow, 77);
+        let small = engine.predict_batch(&inputs[..1]).unwrap();
+        let large = engine.predict_batch(&inputs).unwrap();
+        assert_bits_eq(&small[0], &large[0], "prefix stability");
+    }
+}
+
+#[test]
+fn shaped_and_flat_matrix_inputs_agree() {
+    let engine = demo::lenet_engine(9);
+    let inputs = ragged_inputs(&engine, 3, 9);
+    let flat = InferBatch::from_samples(&inputs, &[engine.input_len()]).unwrap();
+    let shaped = InferBatch::from_samples(&inputs, &[1, 28, 28]).unwrap();
+    let a = engine.infer(flat).unwrap();
+    let b = engine.infer(shaped).unwrap();
+    assert_bits_eq(a.data(), b.data(), "flat vs shaped");
+}

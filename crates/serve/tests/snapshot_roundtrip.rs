@@ -113,22 +113,148 @@ fn trailing_garbage_is_rejected() {
     }
 }
 
+/// Byte offset of the input-shape *rank* field: magic(8) + version(4) +
+/// name header (v2 only: u32 length + bytes).
+fn input_rank_offset(bytes: &[u8]) -> usize {
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version >= 2 {
+        let name_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        16 + name_len
+    } else {
+        12
+    }
+}
+
+/// Recomputes and installs the CRC-32 trailer after a structural tamper.
+fn fix_crc(bytes: &mut [u8]) {
+    let payload_len = bytes.len() - 4;
+    let crc = pecan_serve::crc32(&bytes[..payload_len]);
+    bytes[payload_len..].copy_from_slice(&crc.to_le_bytes());
+}
+
 #[test]
 fn crafted_inconsistent_pipeline_is_rejected_not_a_panic() {
     // A snapshot whose checksum is valid but whose declared input shape
     // does not thread through the stages must fail at *load* time — never
     // at predict time inside a scheduler worker.
     let mut bytes = demo::mlp_engine(1).snapshot_bytes();
-    // input shape lives right after magic(8)+version(4)+rank(4): [64] → [63]
-    assert_eq!(u32::from_le_bytes(bytes[16..20].try_into().unwrap()), 64);
-    bytes[16..20].copy_from_slice(&63u32.to_le_bytes());
-    let payload_len = bytes.len() - 4;
-    let crc = pecan_serve::crc32(&bytes[..payload_len]);
-    bytes[payload_len..].copy_from_slice(&crc.to_le_bytes());
+    let dim_at = input_rank_offset(&bytes) + 4; // first dim after rank
+    assert_eq!(u32::from_le_bytes(bytes[dim_at..dim_at + 4].try_into().unwrap()), 64);
+    bytes[dim_at..dim_at + 4].copy_from_slice(&63u32.to_le_bytes());
+    fix_crc(&mut bytes);
     match FrozenEngine::from_snapshot_bytes(&bytes).unwrap_err() {
         SnapshotError::Corrupt(msg) => {
             assert!(msg.contains("carries [63]"), "got: {msg}");
         }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn v2_round_trips_the_model_name() {
+    let engine = demo::mlp_engine(4); // named "mlp"
+    assert_eq!(engine.name(), Some("mlp"));
+    let bytes = engine.snapshot_bytes();
+    let reloaded = FrozenEngine::from_snapshot_bytes(&bytes).unwrap();
+    assert_eq!(reloaded.name(), Some("mlp"));
+    // renaming changes only the header, not the model
+    let renamed = demo::mlp_engine(4).with_name("mlp-canary");
+    let reloaded2 = FrozenEngine::from_snapshot_bytes(&renamed.snapshot_bytes()).unwrap();
+    assert_eq!(reloaded2.name(), Some("mlp-canary"));
+    let x = vec![0.25f32; engine.input_len()];
+    assert_bits_eq(&reloaded.predict(&x).unwrap(), &reloaded2.predict(&x).unwrap());
+}
+
+#[test]
+fn v1_files_still_load_bit_identically() {
+    for (engine, conv) in [(demo::mlp_engine(3), false), (demo::lenet_engine(3), true)] {
+        let v1 = engine.snapshot_bytes_versioned(1).unwrap();
+        let loaded = FrozenEngine::from_snapshot_bytes(&v1).unwrap();
+        assert_eq!(loaded.name(), None, "v1 carries no name (conv={conv})");
+        assert_eq!(loaded.input_shape(), engine.input_shape());
+        let mut rng = StdRng::seed_from_u64(99);
+        let x = pecan_tensor::uniform(&mut rng, &[engine.input_len()], -1.0, 1.0).into_vec();
+        assert_bits_eq(&engine.predict(&x).unwrap(), &loaded.predict(&x).unwrap());
+        // v1 re-encoding of the reload is byte-identical (stable format)
+        assert_eq!(v1, loaded.snapshot_bytes_versioned(1).unwrap());
+    }
+}
+
+#[test]
+fn version_3_is_rejected_with_a_typed_error() {
+    let mut bytes = demo::mlp_engine(1).snapshot_bytes();
+    bytes[8..12].copy_from_slice(&3u32.to_le_bytes());
+    fix_crc(&mut bytes); // even with a *valid* checksum, version gates first
+    match FrozenEngine::from_snapshot_bytes(&bytes).unwrap_err() {
+        SnapshotError::UnsupportedVersion { found } => assert_eq!(found, 3),
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    // version 0 is nonsense, not "older than 1"
+    bytes[8..12].copy_from_slice(&0u32.to_le_bytes());
+    fix_crc(&mut bytes);
+    assert!(matches!(
+        FrozenEngine::from_snapshot_bytes(&bytes).unwrap_err(),
+        SnapshotError::UnsupportedVersion { found: 0 }
+    ));
+}
+
+#[test]
+fn name_header_corruption_is_typed_never_a_panic() {
+    let engine = demo::mlp_engine(1);
+    let base = engine.snapshot_bytes();
+
+    // Declared name length beyond the whole payload → truncation. Needs a
+    // model small enough that an in-limit length (≤ 4096) overruns it.
+    let tiny = {
+        use pecan_core::{PecanLinear, PecanVariant, PqLayerSettings};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut net = pecan_nn::Sequential::new();
+        net.push(Box::new(
+            PecanLinear::new(
+                &mut rng,
+                PecanVariant::Distance,
+                PqLayerSettings::new(8, 4, 1.0),
+                16,
+                5,
+            )
+            .unwrap(),
+        ));
+        FrozenEngine::compile(&net, &[16]).unwrap().with_name("tiny")
+    };
+    let mut bytes = tiny.snapshot_bytes();
+    assert!(bytes.len() < 4000, "tiny model must be smaller than the declared name");
+    bytes[12..16].copy_from_slice(&4000u32.to_le_bytes());
+    fix_crc(&mut bytes);
+    assert!(matches!(
+        FrozenEngine::from_snapshot_bytes(&bytes).unwrap_err(),
+        SnapshotError::Truncated { .. }
+    ));
+
+    // Absurd declared length → bounded, typed Corrupt (no huge allocation).
+    let mut bytes = base.clone();
+    bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    fix_crc(&mut bytes);
+    match FrozenEngine::from_snapshot_bytes(&bytes).unwrap_err() {
+        SnapshotError::Corrupt(msg) => assert!(msg.contains("name"), "got: {msg}"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+
+    // Length shortened by one: the name eats into the shape fields and the
+    // stream no longer lines up — typed error, never a panic.
+    let mut bytes = base;
+    let len = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    bytes[12..16].copy_from_slice(&(len - 1).to_le_bytes());
+    fix_crc(&mut bytes);
+    assert!(FrozenEngine::from_snapshot_bytes(&bytes).is_err());
+
+    // Non-UTF-8 name bytes → Corrupt.
+    let mut bytes = engine.snapshot_bytes();
+    bytes[16] = 0xFF; // first name byte ("mlp" → invalid sequence)
+    fix_crc(&mut bytes);
+    match FrozenEngine::from_snapshot_bytes(&bytes).unwrap_err() {
+        SnapshotError::Corrupt(msg) => assert!(msg.contains("UTF-8"), "got: {msg}"),
         other => panic!("expected Corrupt, got {other:?}"),
     }
 }

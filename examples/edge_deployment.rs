@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         lut.accumulate(winner, &mut acc)?; // integer adds only
     }
     let fixed_out = luts[0].dequantize(&acc);
-    let float_out = engine.forward_cols(&xcol, None)?;
+    let float_out = engine.forward_matrix(&xcol, None)?;
     let float_col: Vec<f32> = (0..engine.outputs()).map(|o| float_out.get2(o, 0)).collect();
     let max_err = fixed_out
         .iter()

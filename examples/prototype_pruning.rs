@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
     }
     let mut stats = engine.new_stats();
-    let reference = engine.forward_cols(&xcol, Some(&mut stats))?;
+    let reference = engine.forward_matrix(&xcol, Some(&mut stats))?;
 
     println!("prototype usage per group (Fig. 6 measurement):");
     for g in 0..stats.groups() {
@@ -69,7 +69,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         None,
         &stats,
     )?;
-    let pruned_out = report.engine.forward_cols(&xcol, None)?;
+    let pruned_out = report.engine.forward_matrix(&xcol, None)?;
     println!(
         "\nafter pruning: {} → {} prototypes/group, memory saved {:.1}%, max |Δ| = {:.2e}",
         layer.pq_config().prototypes(),

@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let image = test.image(0);
     let geom = Conv2dGeometry::new(1, 28, 28, 3, 1, 0)?;
     let cols = im2col(&image, &geom)?;
-    let via_lut = engine.forward_cols(&cols, None)?;
+    let via_lut = engine.forward_matrix(&cols, None)?;
 
     let x = Var::constant(Tensor::from_vec(
         image.data().to_vec(),

@@ -16,10 +16,10 @@
 //! | [`cam`] | CAM hardware simulator: analog L1 arrays, lookup tables, VIA-Nano cost model, fixed-point pipeline |
 //! | [`index`] | prototype search engines: exhaustive linear scan, PQTable-style non-exhaustive buckets, Quick-ADC-style batched scans |
 //! | [`nn`] | conventional layers + the model zoo (LeNet-5, VGG-Small, ResNet-20/32, ConvMixer) |
-//! | [`serve`] | model serving: frozen engines, binary snapshots, micro-batching scheduler, std-only HTTP front end |
+//! | [`serve`] | model serving: batch-first `InferBatch`/`Stage` pipeline, frozen engines, named binary snapshots, per-model micro-batching schedulers, multi-model HTTP front end |
 //! | [`autograd`] | tape-based reverse-mode autodiff with SGD/Adam |
 //! | [`tensor`] | dense f32 tensors, packed/threaded GEMM (`PECAN_NUM_THREADS`), im2col |
-//! | [`datasets`] | MNIST IDX / CIFAR binary parsers + synthetic stand-ins |
+//! | [`datasets`] | MNIST IDX / CIFAR binary parsers, synthetic stand-ins, opt-in real-MNIST fixture |
 //! | [`baselines`] | AdderNet and XNOR/binary convolutions |
 //!
 //! # Quickstart

@@ -40,7 +40,7 @@ fn fixed_point_pipeline_tracks_float_reference() {
 
     let mut rng = StdRng::seed_from_u64(42);
     let xcol = pecan::tensor::uniform(&mut rng, &[18, 25], -1.0, 1.0);
-    let float_out = engine.forward_cols(&xcol, None).expect("float forward");
+    let float_out = engine.forward_matrix(&xcol, None).expect("float forward");
 
     let d = engine.config().dim();
     let mut worst = 0.0f32;
@@ -68,13 +68,13 @@ fn small_device_noise_degrades_gracefully() {
     let xcol = pecan::tensor::uniform(&mut rng, &[18, 200], -1.0, 1.0);
 
     let engine = LayerLut::from_conv(&l).expect("engine");
-    let clean = engine.forward_cols(&xcol, None).expect("clean forward");
+    let clean = engine.forward_matrix(&xcol, None).expect("clean forward");
 
     let mismatch_at = |sigma: f32, seed: u64| -> f32 {
         let mut engine = LayerLut::from_conv(&l).expect("engine");
         let mut rng = StdRng::seed_from_u64(seed);
         engine.perturb_prototypes(sigma, &mut rng);
-        let noisy = engine.forward_cols(&xcol, None).expect("noisy forward");
+        let noisy = engine.forward_matrix(&xcol, None).expect("noisy forward");
         // fraction of columns whose output changed at all
         let cols = clean.dims()[1];
         let mut changed = 0;

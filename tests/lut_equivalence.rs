@@ -39,7 +39,7 @@ fn conv_lut_equivalence_across_variants_and_shapes() {
             let geom = Conv2dGeometry::new(cin, size, size, k, 1, 1).expect("geometry");
             let img = Tensor::from_vec(x_t.data().to_vec(), &[cin, size, size]).expect("image");
             let cols = im2col(&img, &geom).expect("im2col");
-            let via_lut = engine.forward_cols(&cols, None).expect("LUT forward");
+            let via_lut = engine.forward_matrix(&cols, None).expect("LUT forward");
 
             let direct_flat = direct
                 .value()
@@ -70,7 +70,7 @@ fn linear_lut_equivalence() {
         let direct = layer.forward(&Var::constant(x_t.clone()), false).expect("forward");
         let engine = LayerLut::from_linear(&layer).expect("engine builds");
         let cols = x_t.transpose2().expect("transpose");
-        let via_lut = engine.forward_cols(&cols, None).expect("LUT forward");
+        let via_lut = engine.forward_matrix(&cols, None).expect("LUT forward");
         let direct_cols = direct.value().transpose2().expect("transpose");
         assert!(via_lut.max_abs_diff(&direct_cols) < 1e-3, "{variant:?} linear diverges");
     }
