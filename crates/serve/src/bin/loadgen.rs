@@ -10,6 +10,14 @@
 //! `--model NAME` drives `/models/NAME/predict` (multi-model servers);
 //! without it the server's default model answers on the bare routes.
 //!
+//! By default every connection gets its own thread. For high-connection
+//! runs (thousands of sockets against the event-loop front end),
+//! `--threads N` multiplexes the connections over N threads instead: each
+//! thread owns `connections / N` keep-alive sockets and round-robins its
+//! requests across them, so all sockets stay open and active without a
+//! thousand client threads. `--p99-budget-us N` turns the p99 latency
+//! into an exit-code gate for CI.
+//!
 //! Every response is checked: HTTP 200, parseable `output` array of the
 //! length `/healthz` advertises. Results print as a small table; `--json
 //! PATH` additionally writes a bench-style JSON record (same shape as the
@@ -31,11 +39,13 @@ struct Args {
     model: Option<String>,
     connections: usize,
     requests: usize,
+    threads: usize,
     warmup: usize,
     seed: u64,
     json: Option<String>,
     tag: Option<String>,
     shutdown: bool,
+    p99_budget_us: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,11 +54,13 @@ fn parse_args() -> Result<Args, String> {
         model: None,
         connections: 8,
         requests: 400,
+        threads: 0,
         warmup: 32,
         seed: 7,
         json: None,
         tag: None,
         shutdown: false,
+        p99_budget_us: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -62,15 +74,21 @@ fn parse_args() -> Result<Args, String> {
                 args.connections = parse_num(&value("--connections")?, "--connections")?;
             }
             "--requests" => args.requests = parse_num(&value("--requests")?, "--requests")?,
+            "--threads" => args.threads = parse_num(&value("--threads")?, "--threads")?,
             "--warmup" => args.warmup = parse_num(&value("--warmup")?, "--warmup")?,
             "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")?,
             "--json" => args.json = Some(value("--json")?),
             "--tag" => args.tag = Some(value("--tag")?),
             "--shutdown" => args.shutdown = true,
+            "--p99-budget-us" => {
+                args.p99_budget_us =
+                    Some(parse_num(&value("--p99-budget-us")?, "--p99-budget-us")?);
+            }
             "--help" | "-h" => {
                 return Err("usage: loadgen --addr HOST:PORT [--model NAME] \
-                            [--connections N] [--requests N] [--warmup N] \
-                            [--seed N] [--json PATH] [--tag NAME] [--shutdown]"
+                            [--connections N] [--requests N] [--threads N] \
+                            [--warmup N] [--seed N] [--json PATH] [--tag NAME] \
+                            [--shutdown] [--p99-budget-us N]"
                     .into())
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -134,41 +152,59 @@ fn run() -> Result<ExitCode, String> {
         }
     }
 
-    // Fire: N connections, each its own thread and deterministic stream.
+    // Fire. Default: one thread per connection. With --threads, each
+    // thread owns a contiguous slice of the connections (all opened up
+    // front, all kept alive) and round-robins its requests across them —
+    // high connection counts without high thread counts.
     let per_conn = args.requests.div_ceil(args.connections).max(1);
+    let threads = if args.threads == 0 {
+        args.connections
+    } else {
+        args.threads.clamp(1, args.connections)
+    };
     let addr = Arc::new(args.addr.clone());
     let route = Arc::new(route);
     let started = Instant::now();
     let mut handles = Vec::new();
-    for conn in 0..args.connections {
+    let mut assigned = 0usize;
+    for t in 0..threads {
+        // Spread the remainder over the first threads.
+        let conns_here = args.connections / threads + usize::from(t < args.connections % threads);
+        assigned += conns_here;
         let addr = Arc::clone(&addr);
         let route = Arc::clone(&route);
-        let seed = args.seed.wrapping_add(1 + conn as u64);
+        let seed = args.seed.wrapping_add(1 + t as u64);
         handles.push(std::thread::spawn(move || -> Result<Vec<u64>, String> {
-            let mut client = connect(&addr)?;
+            let mut clients = Vec::with_capacity(conns_here);
+            for _ in 0..conns_here {
+                clients.push(connect(&addr)?);
+            }
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut latencies = Vec::with_capacity(per_conn);
+            let mut latencies = Vec::with_capacity(per_conn * conns_here);
             for _ in 0..per_conn {
-                let body = json::format_f32_array(&random_input(&mut rng, input_len));
-                let sent = Instant::now();
-                let (status, body) =
-                    client.call("POST", &route, &body).map_err(|e| e.to_string())?;
-                let elapsed = sent.elapsed();
-                if status != 200 {
-                    return Err(format!("{route} answered {status}: {body}"));
+                for client in &mut clients {
+                    let body = json::format_f32_array(&random_input(&mut rng, input_len));
+                    let sent = Instant::now();
+                    let (status, body) =
+                        client.call("POST", &route, &body).map_err(|e| e.to_string())?;
+                    let elapsed = sent.elapsed();
+                    if status != 200 {
+                        return Err(format!("{route} answered {status}: {body}"));
+                    }
+                    let output = json::array_field(&body, "output")?;
+                    if output.len() != output_len {
+                        return Err(format!(
+                            "response carries {} values, expected {output_len}",
+                            output.len()
+                        ));
+                    }
+                    latencies.push(elapsed.as_nanos() as u64);
                 }
-                let output = json::array_field(&body, "output")?;
-                if output.len() != output_len {
-                    return Err(format!(
-                        "response carries {} values, expected {output_len}",
-                        output.len()
-                    ));
-                }
-                latencies.push(elapsed.as_nanos() as u64);
             }
             Ok(latencies)
         }));
     }
+    debug_assert_eq!(assigned, args.connections);
     let mut latencies: Vec<u64> = Vec::new();
     let mut errors = Vec::new();
     for h in handles {
@@ -192,7 +228,7 @@ fn run() -> Result<ExitCode, String> {
     let throughput = total as f64 / wall.as_secs_f64();
     let pct = |p: f64| latencies[((total - 1) as f64 * p) as usize];
     println!(
-        "{total} requests over {} connections in {:.3} s",
+        "{total} requests over {} connections ({threads} threads) in {:.3} s",
         args.connections,
         wall.as_secs_f64()
     );
@@ -210,12 +246,13 @@ fn run() -> Result<ExitCode, String> {
             format!("loadgen/{model_name}/c{}_r{}", args.connections, total)
         });
         let body = format!(
-            "{{\n  \"name\": \"{}\",\n  \"model\": \"{}\",\n  \"median_ns\": {},\n  \"min_ns\": {},\n  \"max_ns\": {},\n  \"samples\": {},\n  \"iters_per_sample\": 1,\n  \"throughput_rps\": {:.1}\n}}\n",
+            "{{\n  \"name\": \"{}\",\n  \"model\": \"{}\",\n  \"median_ns\": {},\n  \"min_ns\": {},\n  \"max_ns\": {},\n  \"p99_ns\": {},\n  \"samples\": {},\n  \"iters_per_sample\": 1,\n  \"throughput_rps\": {:.1}\n}}\n",
             json::escape(&name),
             json::escape(&model_name),
             pct(0.50),
             latencies[0],
             latencies[total - 1],
+            pct(0.99),
             total,
             throughput,
         );
@@ -224,6 +261,15 @@ fn run() -> Result<ExitCode, String> {
         }
         std::fs::write(path, body).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote {path}");
+    }
+
+    if let Some(budget) = args.p99_budget_us {
+        let p99_us = pct(0.99) / 1_000;
+        if p99_us > budget {
+            eprintln!("loadgen: p99 {p99_us} us exceeds budget {budget} us");
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("p99 {p99_us} us within budget {budget} us");
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -21,6 +21,11 @@
 //! the default model and exit without serving), `--seed N`,
 //! `--addr HOST:PORT`, `--max-batch N`, `--max-wait-us N`,
 //! `--queue-cap N`, `--workers N` (scheduler knobs apply to every model).
+//!
+//! Front-end knobs: `--event-loop` (epoll event loop instead of
+//! thread-per-connection; falls back to threaded where unsupported),
+//! `--max-conns N` (connection cap, `503` beyond it),
+//! `--read-timeout-ms N` (per-connection idle/read deadline).
 
 use pecan_serve::{
     demo, EngineRegistry, FrozenEngine, SchedulerConfig, Server, ServerConfig,
@@ -41,6 +46,9 @@ struct Args {
     max_wait_us: u64,
     queue_cap: usize,
     workers: usize,
+    event_loop: bool,
+    max_conns: usize,
+    read_timeout_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,6 +64,9 @@ fn parse_args() -> Result<Args, String> {
         max_wait_us: 200,
         queue_cap: 256,
         workers: 1,
+        event_loop: false,
+        max_conns: 1024,
+        read_timeout_ms: 30_000,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -86,11 +97,20 @@ fn parse_args() -> Result<Args, String> {
                 args.queue_cap = parse_num(&value("--queue-cap")?, "--queue-cap")?;
             }
             "--workers" => args.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--event-loop" => args.event_loop = true,
+            "--max-conns" => {
+                args.max_conns = parse_num(&value("--max-conns")?, "--max-conns")?;
+            }
+            "--read-timeout-ms" => {
+                args.read_timeout_ms =
+                    parse_num(&value("--read-timeout-ms")?, "--read-timeout-ms")?;
+            }
             "--help" | "-h" => {
                 return Err("usage: serve [--demo mlp|lenet] [--snapshot PATH] \
                             [--model NAME=PATH]... [--name NAME] [--save PATH] \
                             [--seed N] [--addr HOST:PORT] [--max-batch N] \
-                            [--max-wait-us N] [--queue-cap N] [--workers N]"
+                            [--max-wait-us N] [--queue-cap N] [--workers N] \
+                            [--event-loop] [--max-conns N] [--read-timeout-ms N]"
                     .into())
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -178,7 +198,16 @@ fn main() -> ExitCode {
         }
     }
 
-    let config = ServerConfig { addr: args.addr.clone(), ..ServerConfig::default() };
+    let config = ServerConfig {
+        addr: args.addr.clone(),
+        event_loop: args.event_loop,
+        max_connections: args.max_conns,
+        read_timeout: Duration::from_millis(args.read_timeout_ms),
+        ..ServerConfig::default()
+    };
+    if args.event_loop && !pecan_serve::event_loop_supported() {
+        eprintln!("--event-loop is not supported on this platform; using threads");
+    }
     let server = match Server::start_registry(registry, config) {
         Ok(s) => s,
         Err(e) => {
@@ -188,8 +217,9 @@ fn main() -> ExitCode {
     };
     let names = server.registry().names().join(", ");
     println!(
-        "serving models: {names} (default `{}`)",
-        server.registry().default_model().name()
+        "serving models: {names} (default `{}`, {} front end)",
+        server.registry().default_model().name(),
+        if server.uses_event_loop() { "event-loop" } else { "threaded" }
     );
     // Scripts scrape this line for the resolved ephemeral port.
     println!("pecan-serve listening on http://{}", server.local_addr());

@@ -1,0 +1,566 @@
+//! Std-only HTTP/1.1 front end over [`std::net::TcpListener`].
+//!
+//! The environment is offline, so the server is hand-rolled on the
+//! standard library: no TLS, no chunked encoding — exactly enough protocol
+//! for serving and load-generation. Two interchangeable front ends share
+//! one incremental [`parser`], one response encoder and one router, so
+//! their responses are byte-identical:
+//!
+//! * **Threaded** ([`threaded`], the portable default): blocking accept
+//!   loop, one handler thread per connection.
+//! * **Event loop** ([`event_loop`], Linux `x86_64`/`aarch64`, opt in via
+//!   [`ServerConfig::event_loop`]): a single epoll-driven thread
+//!   multiplexing thousands of non-blocking sockets, with completion
+//!   wakeups from the scheduler. See
+//!   [`event_loop_supported`] and the README's "Event-loop front end"
+//!   section.
+//!
+//! # Endpoints
+//!
+//! | route | method | body | answer |
+//! |---|---|---|---|
+//! | `/predict` | POST | JSON array of `input_len` floats | `{"output":[…],"latency_us":n,"batch_size":n}` |
+//! | `/models/{name}/predict` | POST | as above | as above, for the named model |
+//! | `/healthz` | GET | — | `{"status":"ok","model":…,"input_len":n,"output_len":n,"models":[…]}` |
+//! | `/models/{name}/healthz` | GET | — | the named model's contract |
+//! | `/stats` | GET | — | `{"default":…,"connections":{…},"models":{name: counters, …}}` |
+//! | `/models/{name}/stats` | GET | — | the named model's flat counters |
+//! | `/shutdown` | POST | — | acknowledges, then the server drains and stops |
+//!
+//! The bare routes serve the registry's **default** model, so single-model
+//! deployments and old clients keep working unchanged. An unknown model
+//! name answers `404` with `{"error":"unknown model …"}`. Backpressure
+//! surfaces as `503` with `{"error":"overloaded…"}` and a `Retry-After`
+//! header — either from load-aware shedding
+//! ([`ServerConfig::shed_fraction`], counted in
+//! [`ConnStatsSnapshot::shed_requests`](crate::ConnStatsSnapshot)) or from
+//! the scheduler's hard queue bound. Malformed requests answer `400`.
+
+pub mod parser;
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod conn;
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod event_loop;
+// The one place in the workspace where `unsafe` is allowed: raw syscalls.
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+#[allow(unsafe_code)]
+pub(crate) mod sys;
+mod threaded;
+
+use crate::error::ServeError;
+use crate::json;
+use crate::registry::EngineRegistry;
+use crate::scheduler::{Prediction, SchedulerConfig};
+use crate::stats::{ConnStats, ConnStatsSnapshot, StatsSnapshot};
+use crate::FrozenEngine;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// `true` when this build carries the epoll event-loop front end
+/// (Linux on `x86_64` or `aarch64`). Everywhere else
+/// [`ServerConfig::event_loop`] silently falls back to the portable
+/// threaded front end; [`Server::uses_event_loop`] reports what actually
+/// runs.
+pub fn event_loop_supported() -> bool {
+    cfg!(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))
+}
+
+/// Front-end tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port `0` for an ephemeral port (the bound address
+    /// is reported by [`Server::local_addr`]).
+    pub addr: String,
+    /// Scheduler configuration used when [`Server::start`] wraps a single
+    /// engine into a one-model registry. Ignored by
+    /// [`Server::start_registry`] (each registered model already carries
+    /// its scheduler).
+    pub scheduler: SchedulerConfig,
+    /// Largest accepted request body in bytes.
+    pub max_body: usize,
+    /// Per-connection idle/read timeout. The threaded front end applies it
+    /// as a socket read timeout; the event loop closes connections whose
+    /// socket made no progress for this long (mid-request: best-effort
+    /// `408` first) and uses it as the graceful-drain deadline.
+    pub read_timeout: Duration,
+    /// Serve through the epoll event loop instead of
+    /// thread-per-connection. Ignored (threaded fallback) where
+    /// [`event_loop_supported`] is `false`.
+    pub event_loop: bool,
+    /// Most connections held open at once; further accepts are answered
+    /// `503` and closed (counted in
+    /// [`ConnStatsSnapshot::shed_connections`]).
+    pub max_connections: usize,
+    /// Most pipelined requests one connection may have unanswered before
+    /// the event loop stops reading from it (bounded buffering; the
+    /// threaded front end is naturally bounded at 1).
+    pub max_pipeline: usize,
+    /// Fraction of a model's scheduler queue capacity at which `/predict`
+    /// starts answering `503` **before** the hard queue rejection
+    /// (load-aware shedding, counted in
+    /// [`ConnStatsSnapshot::shed_requests`]). Values ≥ 1 disable shedding,
+    /// leaving only the scheduler's own bound.
+    pub shed_fraction: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            scheduler: SchedulerConfig::default(),
+            max_body: 1 << 20,
+            read_timeout: Duration::from_secs(30),
+            event_loop: false,
+            max_connections: 1024,
+            max_pipeline: 32,
+            shed_fraction: 0.9,
+        }
+    }
+}
+
+pub(crate) struct HttpShared {
+    pub(crate) registry: EngineRegistry,
+    pub(crate) max_body: usize,
+    pub(crate) read_timeout: Duration,
+    pub(crate) max_connections: usize,
+    pub(crate) max_pipeline: usize,
+    pub(crate) shed_fraction: f64,
+    pub(crate) stopping: AtomicBool,
+    pub(crate) shutdown_tx: mpsc::Sender<()>,
+    pub(crate) conn_stats: ConnStats,
+}
+
+/// The running front end behind a [`Server`].
+enum FrontEnd {
+    /// Thread-per-connection accept loop.
+    Threaded(JoinHandle<()>),
+    /// Single epoll-driven loop thread.
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    Event(event_loop::EventLoopHandle),
+}
+
+/// A running serving endpoint: front end + per-model schedulers + frozen
+/// engines.
+///
+/// Construct with [`Server::start`] (one model) or
+/// [`Server::start_registry`] (multi-model); stop gracefully with
+/// [`Server::stop`] (drains all queued requests) or let a client
+/// `POST /shutdown` and wait for that with [`Server::run`].
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<HttpShared>,
+    front: Mutex<Option<FrontEnd>>,
+    shutdown_rx: Mutex<mpsc::Receiver<()>>,
+    event_loop: bool,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("event_loop", &self.event_loop)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Single-model convenience: wraps `engine` into a one-model registry
+    /// (named after [`FrozenEngine::name`], `"default"` when unnamed) and
+    /// serves it.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] when the address cannot be bound.
+    pub fn start(engine: Arc<FrozenEngine>, config: ServerConfig) -> io::Result<Server> {
+        let mut registry = EngineRegistry::new();
+        registry
+            .register(engine, config.scheduler.clone())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        Self::start_registry(registry, config)
+    }
+
+    /// Binds, adopts the registry's per-model schedulers, spawns the
+    /// configured front end, and starts answering on every model's routes.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] when the registry is empty or the address cannot be
+    /// bound.
+    pub fn start_registry(registry: EngineRegistry, config: ServerConfig) -> io::Result<Server> {
+        if registry.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cannot serve an empty model registry",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let (shutdown_tx, shutdown_rx) = mpsc::channel();
+        let shared = Arc::new(HttpShared {
+            registry,
+            max_body: config.max_body,
+            read_timeout: config.read_timeout,
+            max_connections: config.max_connections.max(1),
+            max_pipeline: config.max_pipeline.max(1),
+            shed_fraction: config.shed_fraction,
+            stopping: AtomicBool::new(false),
+            shutdown_tx,
+            conn_stats: ConnStats::new(),
+        });
+        let use_event = config.event_loop && event_loop_supported();
+        let front = if use_event {
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            {
+                FrontEnd::Event(event_loop::start(listener, Arc::clone(&shared))?)
+            }
+            #[cfg(not(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            )))]
+            {
+                unreachable!("event_loop_supported() gated this branch")
+            }
+        } else {
+            let accept_shared = Arc::clone(&shared);
+            FrontEnd::Threaded(
+                std::thread::Builder::new()
+                    .name("pecan-serve-accept".into())
+                    .spawn(move || threaded::accept_loop(&listener, &accept_shared))
+                    .expect("spawning the accept loop"),
+            )
+        };
+        Ok(Server {
+            local_addr,
+            shared,
+            front: Mutex::new(Some(front)),
+            shutdown_rx: Mutex::new(shutdown_rx),
+            event_loop: use_event,
+        })
+    }
+
+    /// The bound address (resolves port `0` to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// `true` when requests are served by the epoll event loop rather than
+    /// thread-per-connection.
+    pub fn uses_event_loop(&self) -> bool {
+        self.event_loop
+    }
+
+    /// Live counters of the default model's scheduler.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.registry.default_model().scheduler().stats()
+    }
+
+    /// Live connection-tier counters of the front end.
+    pub fn conn_stats(&self) -> ConnStatsSnapshot {
+        self.shared.conn_stats.snapshot()
+    }
+
+    /// The served models.
+    pub fn registry(&self) -> &EngineRegistry {
+        &self.shared.registry
+    }
+
+    /// Blocks until a client requests `POST /shutdown`, then stops
+    /// gracefully. Used by the `serve` binary.
+    pub fn run(self) {
+        // A send error means the sender (shared state) is gone, which only
+        // happens at teardown — either way, proceed to stop.
+        let _ = lock(&self.shutdown_rx).recv();
+        self.stop();
+    }
+
+    /// Graceful stop: refuse new connections, answer everything already
+    /// in flight, drain every queued request of every model, join the
+    /// front end and scheduler workers. Idempotent.
+    pub fn stop(&self) {
+        if self.shared.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        match lock(&self.front).take() {
+            Some(FrontEnd::Threaded(handle)) => {
+                // The accept loop blocks in `accept`; poke it so it
+                // observes the flag. Failure is fine — it means the
+                // listener is already gone.
+                let _ = TcpStream::connect(self.local_addr);
+                let _ = handle.join();
+            }
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            Some(FrontEnd::Event(handle)) => handle.stop(),
+            None => {}
+        }
+        self.shared.registry.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Splits `/models/{name}/rest` into `(Some(name), "/rest")`; any other
+/// target passes through as `(None, target)`.
+fn split_model(target: &str) -> (Option<&str>, &str) {
+    if let Some(tail) = target.strip_prefix("/models/") {
+        if let Some(slash) = tail.find('/') {
+            return (Some(&tail[..slash]), &tail[slash..]);
+        }
+    }
+    (None, target)
+}
+
+/// Where one routed request goes next.
+pub(crate) enum Routed {
+    /// Fully answered without inference.
+    Done {
+        status: u16,
+        body: String,
+        /// Signal server shutdown once the response has left the socket.
+        shutdown: bool,
+    },
+    /// Needs inference: submit `input` to the scheduler of registry entry
+    /// `idx` (an index, not a borrow, so the event loop can carry it
+    /// through an asynchronous completion).
+    Predict { idx: usize, input: Vec<f32> },
+}
+
+impl Routed {
+    fn done(status: u16, body: String) -> Self {
+        Routed::Done { status, body, shutdown: false }
+    }
+}
+
+/// Routes one parsed request. Shared verbatim by both front ends — this
+/// function is why their responses are byte-identical.
+pub(crate) fn route_request(shared: &HttpShared, request: &parser::Request) -> Routed {
+    let (model, path) = split_model(&request.target);
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            let (status, body) = healthz(shared, model);
+            Routed::done(status, body)
+        }
+        ("GET", "/stats") => {
+            let (status, body) = stats(shared, model);
+            Routed::done(status, body)
+        }
+        ("POST", "/predict") => predict_route(shared, model, &request.body),
+        // Shutdown is server-wide: only the bare route exists.
+        ("POST", "/shutdown") if model.is_none() => Routed::Done {
+            status: 200,
+            body: "{\"status\":\"shutting down\"}".into(),
+            shutdown: true,
+        },
+        ("GET" | "POST", _) => Routed::done(404, "{\"error\":\"no such route\"}".into()),
+        _ => Routed::done(405, "{\"error\":\"method not allowed\"}".into()),
+    }
+}
+
+pub(crate) fn error_response(e: &ServeError) -> (u16, String) {
+    let status = match e {
+        ServeError::BadInput(_) => 400,
+        ServeError::UnknownModel(_) => 404,
+        ServeError::Overloaded { .. } | ServeError::ShuttingDown => 503,
+        _ => 500,
+    };
+    (status, format!("{{\"error\":\"{}\"}}", json::escape(&e.to_string())))
+}
+
+fn healthz(shared: &HttpShared, model: Option<&str>) -> (u16, String) {
+    let entry = match shared.registry.resolve(model) {
+        Ok(e) => e,
+        Err(e) => return error_response(&e),
+    };
+    let models: Vec<String> = shared
+        .registry
+        .names()
+        .iter()
+        .map(|n| format!("\"{}\"", json::escape(n)))
+        .collect();
+    (
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"model\":\"{}\",\"input_len\":{},\"output_len\":{},\"models\":[{}]}}",
+            json::escape(entry.name()),
+            entry.runner().input_len(),
+            entry.runner().output_len(),
+            models.join(",")
+        ),
+    )
+}
+
+fn stats(shared: &HttpShared, model: Option<&str>) -> (u16, String) {
+    match model {
+        // Bare /stats: connection-tier counters plus every model's
+        // scheduler counters, keyed by name.
+        None => {
+            let mut out = String::from("{\"default\":\"");
+            out.push_str(&json::escape(shared.registry.default_model().name()));
+            out.push_str("\",\"connections\":");
+            out.push_str(&shared.conn_stats.snapshot().to_json());
+            out.push_str(",\"models\":{");
+            for (i, e) in shared.registry.entries().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&json::escape(e.name()));
+                out.push_str("\":");
+                out.push_str(&e.scheduler().stats().to_json());
+            }
+            out.push_str("}}");
+            (200, out)
+        }
+        Some(_) => match shared.registry.resolve(model) {
+            Ok(entry) => (200, entry.scheduler().stats().to_json()),
+            Err(e) => error_response(&e),
+        },
+    }
+}
+
+/// The queue depth at which load-aware shedding starts for a scheduler of
+/// `capacity`. At least 1 so a capacity-1 queue still sheds instead of
+/// hard-rejecting; ≥ `capacity` (fraction ≥ 1) disables shedding.
+fn shed_threshold(capacity: usize, fraction: f64) -> usize {
+    ((capacity as f64 * fraction) as usize).max(1)
+}
+
+fn predict_route(shared: &HttpShared, model: Option<&str>, body: &[u8]) -> Routed {
+    let idx = match shared.registry.resolve_index(model) {
+        Ok(i) => i,
+        Err(e) => {
+            let (status, body) = error_response(&e);
+            return Routed::done(status, body);
+        }
+    };
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Routed::done(400, "{\"error\":\"body is not UTF-8\"}".into());
+    };
+    let input = match json::parse_f32_array(text) {
+        Ok(v) => v,
+        Err(e) => {
+            return Routed::done(400, format!("{{\"error\":\"{}\"}}", json::escape(&e)));
+        }
+    };
+    // Load-aware shedding: refuse *before* the scheduler's hard queue
+    // bound so the reject is cheap and the queue keeps headroom for
+    // requests already past routing.
+    let scheduler = shared.registry.entries()[idx].scheduler();
+    let capacity = scheduler.config().queue_capacity;
+    if scheduler.queue_len() >= shed_threshold(capacity, shared.shed_fraction) {
+        shared.conn_stats.record_shed_request();
+        let (status, body) = error_response(&ServeError::Overloaded { capacity });
+        return Routed::done(status, body);
+    }
+    Routed::Predict { idx, input }
+}
+
+/// Renders one successful prediction exactly as the HTTP API promises.
+pub(crate) fn prediction_body(p: &Prediction) -> String {
+    format!(
+        "{{\"output\":{},\"latency_us\":{},\"batch_size\":{}}}",
+        json::format_f32_array(&p.output),
+        p.total.as_micros(),
+        p.batch_size
+    )
+}
+
+/// `(status, body)` for a finished inference, success or failure.
+pub(crate) fn prediction_parts(result: &Result<Prediction, ServeError>) -> (u16, String) {
+    match result {
+        Ok(p) => (200, prediction_body(p)),
+        Err(e) => error_response(e),
+    }
+}
+
+pub(crate) fn error_body(status: u16) -> String {
+    format!("{{\"error\":\"{}\"}}", reason(status))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Encodes one complete response. Both front ends emit responses through
+/// this function only, which is what makes them byte-identical on the
+/// wire. Every `503` carries `Retry-After: 1` — shed or hard-rejected,
+/// the client's correct move is the same.
+pub(crate) fn encode_response(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+    let retry = if status == 503 { "Retry-After: 1\r\n" } else { "" };
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_prefix_splitting() {
+        assert_eq!(split_model("/predict"), (None, "/predict"));
+        assert_eq!(split_model("/models/mlp/predict"), (Some("mlp"), "/predict"));
+        assert_eq!(split_model("/models/a-b.c/healthz"), (Some("a-b.c"), "/healthz"));
+        // no inner slash → not a model route, falls through to 404
+        assert_eq!(split_model("/models/mlp"), (None, "/models/mlp"));
+    }
+
+    #[test]
+    fn reasons_cover_used_statuses() {
+        for s in [200, 400, 404, 405, 408, 413, 431, 500, 503] {
+            assert_ne!(reason(s), "Unknown");
+        }
+    }
+
+    #[test]
+    fn shed_threshold_floors_and_disables() {
+        assert_eq!(shed_threshold(256, 0.9), 230);
+        assert_eq!(shed_threshold(1, 0.9), 1, "capacity-1 queues still shed");
+        assert!(shed_threshold(8, 1.0) >= 8, "fraction 1 leaves only the hard bound");
+    }
+
+    #[test]
+    fn encode_response_framing_and_retry_after() {
+        let ok = encode_response(200, "{}", true);
+        let text = String::from_utf8(ok).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("Retry-After"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let shed = String::from_utf8(encode_response(503, "{}", false)).unwrap();
+        assert!(shed.contains("Retry-After: 1\r\n"));
+        assert!(shed.contains("Connection: close\r\n"));
+    }
+}

@@ -1,0 +1,371 @@
+//! Incremental HTTP/1.1 request parser shared by both front ends.
+//!
+//! The parser is a push-based state machine: callers feed it whatever
+//! bytes the socket produced ([`RequestParser::push`]) and then drain
+//! complete requests ([`RequestParser::next_request`]). Nothing about it
+//! assumes blocking I/O, so the same code parses requests for the
+//! thread-per-connection front end (which reads until a request is
+//! complete) and the epoll event loop (which parses exactly as far as the
+//! bytes received so far allow and resumes on the next readiness event).
+//!
+//! # Contract
+//!
+//! For **any** byte stream, fed in **any** chunking, the parser either
+//! produces a sequence of valid [`Request`]s or a typed [`ParseError`] —
+//! it never panics and never needs more than the bytes of one request
+//! head in memory beyond the declared body. Once an error is returned the
+//! parser is poisoned: every later call returns the same error (the
+//! connection is closing anyway; there is no way to resynchronise an
+//! HTTP/1.1 stream after a malformed head). `tests/parser_fuzz.rs` drives
+//! these properties with random streams and split points.
+
+use std::fmt;
+
+/// Default cap on the request head (request line + headers), matching the
+/// historical front-end limit.
+pub const DEFAULT_MAX_HEAD: usize = 16 << 10;
+
+/// One parsed HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, upper-cased (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target exactly as sent (`/models/mlp/predict`).
+    pub target: String,
+    /// The request body (`Content-Length` bytes; empty without the header).
+    pub body: Vec<u8>,
+    /// Whether the connection should persist after this request:
+    /// HTTP/1.1 defaults to `true`, HTTP/1.0 to `false`, and a
+    /// `Connection:` header overrides either way.
+    pub keep_alive: bool,
+}
+
+/// Typed rejection of a malformed request. Each variant maps onto the
+/// HTTP status the front ends answer before closing ([`ParseError::status`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The request line is structurally wrong: missing method/target, or
+    /// a version that is not `HTTP/1.x` → `400`.
+    BadRequestLine,
+    /// A `Content-Length` value that does not parse as `usize` → `400`.
+    BadContentLength,
+    /// The head grew past the configured cap without terminating → `431`.
+    HeadTooLarge {
+        /// The configured head cap in bytes.
+        limit: usize,
+    },
+    /// The declared body exceeds the configured cap → `413`.
+    BodyTooLarge {
+        /// The `Content-Length` the request declared.
+        declared: usize,
+        /// The configured body cap in bytes.
+        limit: usize,
+    },
+}
+
+impl ParseError {
+    /// The HTTP status a front end answers for this error.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::BadRequestLine | ParseError::BadContentLength => 400,
+            ParseError::HeadTooLarge { .. } => 431,
+            ParseError::BodyTooLarge { .. } => 413,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadRequestLine => write!(f, "malformed request line"),
+            ParseError::BadContentLength => write!(f, "unparsable Content-Length"),
+            ParseError::HeadTooLarge { limit } => {
+                write!(f, "request head exceeds {limit} bytes")
+            }
+            ParseError::BodyTooLarge { declared, limit } => {
+                write!(f, "declared body of {declared} bytes exceeds {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Everything the head declares that the body phase still needs.
+#[derive(Debug)]
+struct Head {
+    method: String,
+    target: String,
+    keep_alive: bool,
+}
+
+#[derive(Debug)]
+enum State {
+    /// Scanning buffered bytes for the `\r\n\r\n` head terminator.
+    Head,
+    /// Head parsed; waiting for `need` body bytes.
+    Body { head: Head, need: usize },
+    /// A request was malformed; the stream cannot be resynchronised.
+    Failed(ParseError),
+}
+
+/// The incremental parser. See the module docs for the contract.
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Offset into `buf` below which the head terminator is known absent,
+    /// so repeated [`RequestParser::next_request`] calls never rescan.
+    scan: usize,
+    state: State,
+    max_head: usize,
+    max_body: usize,
+}
+
+impl RequestParser {
+    /// A fresh parser with the given head and body caps.
+    pub fn new(max_head: usize, max_body: usize) -> Self {
+        Self { buf: Vec::new(), scan: 0, state: State::Head, max_head, max_body }
+    }
+
+    /// Appends raw socket bytes to the parse buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a completed request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when the stream ends mid-request: bytes of a partial head
+    /// are buffered, or a declared body has not fully arrived. An EOF at
+    /// this point is abnormal (the threaded front end answers `400`, a
+    /// read timeout `408`); an EOF while `false` is a clean close between
+    /// requests.
+    pub fn mid_request(&self) -> bool {
+        match self.state {
+            State::Head => !self.buf.is_empty(),
+            State::Body { .. } => true,
+            State::Failed(_) => false,
+        }
+    }
+
+    /// Tries to complete one request from the buffered bytes.
+    ///
+    /// `Ok(None)` means "need more bytes". `Ok(Some(_))` hands out the
+    /// next pipelined request; call again — several requests may have
+    /// arrived in one read.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ParseError`]; the same error is returned on every later
+    /// call (see the module docs on poisoning).
+    pub fn next_request(&mut self) -> Result<Option<Request>, ParseError> {
+        loop {
+            match &mut self.state {
+                State::Failed(e) => return Err(e.clone()),
+                State::Head => {
+                    let Some(head_end) = self.find_head_end() else {
+                        if self.buf.len() > self.max_head {
+                            return self.fail(ParseError::HeadTooLarge { limit: self.max_head });
+                        }
+                        return Ok(None);
+                    };
+                    let parsed = parse_head(&self.buf[..head_end], self.max_body);
+                    self.buf.drain(..head_end + 4);
+                    self.scan = 0;
+                    match parsed {
+                        Ok((head, need)) => self.state = State::Body { head, need },
+                        Err(e) => return self.fail(e),
+                    }
+                }
+                State::Body { need, .. } => {
+                    if self.buf.len() < *need {
+                        return Ok(None);
+                    }
+                    let need = *need;
+                    let body: Vec<u8> = self.buf.drain(..need).collect();
+                    let State::Body { head, .. } = std::mem::replace(&mut self.state, State::Head)
+                    else {
+                        unreachable!("state was matched as Body above");
+                    };
+                    return Ok(Some(Request {
+                        method: head.method,
+                        target: head.target,
+                        body,
+                        keep_alive: head.keep_alive,
+                    }));
+                }
+            }
+        }
+    }
+
+    fn fail(&mut self, e: ParseError) -> Result<Option<Request>, ParseError> {
+        self.state = State::Failed(e.clone());
+        Err(e)
+    }
+
+    /// Finds `\r\n\r\n`, resuming from where the last search gave up so
+    /// drip-fed heads cost linear, not quadratic, scanning.
+    fn find_head_end(&mut self) -> Option<usize> {
+        if self.buf.len() < 4 {
+            return None;
+        }
+        match self.buf[self.scan..].windows(4).position(|w| w == b"\r\n\r\n") {
+            Some(i) => Some(self.scan + i),
+            None => {
+                // The last 3 bytes may be a prefix of the terminator.
+                self.scan = self.buf.len() - 3;
+                None
+            }
+        }
+    }
+}
+
+/// Parses a complete head (everything before `\r\n\r\n`) into the request
+/// metadata plus the declared body length.
+fn parse_head(head: &[u8], max_body: usize) -> Result<(Head, usize), ParseError> {
+    let text = String::from_utf8_lossy(head);
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_ascii_uppercase();
+    let target = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or_default();
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(ParseError::BadRequestLine);
+    }
+    let mut content_length = 0usize;
+    // Persistence default follows the protocol version: 1.1 keeps alive
+    // unless told otherwise, 1.0 closes unless told otherwise.
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        // Lines without a colon are ignored (same tolerance as the
+        // original front end — nothing this server needs hides in them).
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let value = value.trim();
+        match name.trim().to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value.parse().map_err(|_| ParseError::BadContentLength)?;
+            }
+            "connection" => keep_alive = value.eq_ignore_ascii_case("keep-alive"),
+            _ => {}
+        }
+    }
+    if content_length > max_body {
+        return Err(ParseError::BodyTooLarge { declared: content_length, limit: max_body });
+    }
+    Ok((Head { method, target, keep_alive }, content_length))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parser() -> RequestParser {
+        RequestParser::new(DEFAULT_MAX_HEAD, 1 << 20)
+    }
+
+    #[test]
+    fn whole_request_in_one_push() {
+        let mut p = parser();
+        p.push(b"POST /predict HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc");
+        let r = p.next_request().unwrap().unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.target, "/predict");
+        assert_eq!(r.body, b"abc");
+        assert!(r.keep_alive);
+        assert_eq!(p.next_request().unwrap(), None);
+        assert!(!p.mid_request());
+    }
+
+    #[test]
+    fn byte_by_byte_drip() {
+        let wire = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        let mut p = parser();
+        for (i, b) in wire.iter().enumerate() {
+            assert_eq!(p.next_request().unwrap(), None, "request complete early at {i}");
+            p.push(std::slice::from_ref(b));
+        }
+        let r = p.next_request().unwrap().unwrap();
+        assert_eq!(r.method, "GET");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_in_order() {
+        let mut p = parser();
+        p.push(b"POST /a HTTP/1.1\r\nContent-Length: 1\r\n\r\nXGET /b HTTP/1.1\r\n\r\n");
+        assert_eq!(p.next_request().unwrap().unwrap().target, "/a");
+        assert_eq!(p.next_request().unwrap().unwrap().target, "/b");
+        assert_eq!(p.next_request().unwrap(), None);
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_version_and_header() {
+        let cases: &[(&[u8], bool)] = &[
+            (b"GET / HTTP/1.1\r\n\r\n", true),
+            (b"GET / HTTP/1.0\r\n\r\n", false),
+            (b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false),
+            (b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true),
+            (b"GET / HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n", true),
+        ];
+        for (wire, expect) in cases {
+            let mut p = parser();
+            p.push(wire);
+            assert_eq!(p.next_request().unwrap().unwrap().keep_alive, *expect);
+        }
+    }
+
+    #[test]
+    fn typed_errors_and_poisoning() {
+        let mut p = parser();
+        p.push(b"NOT-HTTP\r\n\r\n");
+        assert_eq!(p.next_request(), Err(ParseError::BadRequestLine));
+        // Poisoned: same answer forever, even after more bytes.
+        p.push(b"GET / HTTP/1.1\r\n\r\n");
+        assert_eq!(p.next_request(), Err(ParseError::BadRequestLine));
+
+        let mut p = parser();
+        p.push(b"POST / HTTP/1.1\r\nContent-Length: huge\r\n\r\n");
+        assert_eq!(p.next_request(), Err(ParseError::BadContentLength));
+        assert_eq!(p.next_request().unwrap_err().status(), 400);
+    }
+
+    #[test]
+    fn oversized_body_and_head_are_typed() {
+        let mut p = RequestParser::new(64, 8);
+        p.push(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n");
+        assert_eq!(
+            p.next_request(),
+            Err(ParseError::BodyTooLarge { declared: 9, limit: 8 })
+        );
+
+        let mut p = RequestParser::new(32, 8);
+        p.push(b"GET / HTTP/1.1\r\nX-Filler: aaaaaaaaaaaaaaaaaaaaaaaaa");
+        assert_eq!(p.next_request(), Err(ParseError::HeadTooLarge { limit: 32 }));
+        assert_eq!(ParseError::HeadTooLarge { limit: 32 }.status(), 431);
+        assert_eq!(ParseError::BodyTooLarge { declared: 9, limit: 8 }.status(), 413);
+    }
+
+    #[test]
+    fn headers_without_colon_are_ignored() {
+        let mut p = parser();
+        p.push(b"GET / HTTP/1.1\r\ngarbage line no colon\r\nHost: x\r\n\r\n");
+        assert!(p.next_request().unwrap().is_some());
+    }
+
+    #[test]
+    fn mid_request_tracks_partial_state() {
+        let mut p = parser();
+        assert!(!p.mid_request());
+        p.push(b"GET / HT");
+        assert!(p.mid_request());
+        p.push(b"TP/1.1\r\n\r\n");
+        let _ = p.next_request().unwrap().unwrap();
+        assert!(!p.mid_request());
+        p.push(b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab");
+        assert_eq!(p.next_request().unwrap(), None);
+        assert!(p.mid_request(), "waiting on body bytes is mid-request");
+    }
+}

@@ -1,0 +1,327 @@
+//! Tiny vendored epoll/eventfd sys layer: raw Linux syscalls, no libc.
+//!
+//! The build environment is offline (see `shims/README.md` for the same
+//! situation on the crates.io side), so readiness notification is wired
+//! straight to the kernel with `asm!`-issued syscalls — exactly the four
+//! primitives the event loop needs (`epoll_create1`, `epoll_ctl`,
+//! `epoll_pwait`, `eventfd2`) plus `read`/`write`/`close` on the eventfd.
+//! Supported on `x86_64` and `aarch64` Linux; everything else serves
+//! through the portable threaded front end (see
+//! [`event_loop_supported`](crate::event_loop_supported)).
+//!
+//! This is the only module in the workspace allowed to use `unsafe`
+//! (`unsafe_code = "deny"` crate-wide, allowed on the `mod sys` item):
+//! the unsafety is confined to issuing syscalls whose arguments are
+//! either plain integers or pointers derived from live Rust references.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// Readiness: fd has bytes to read.
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: fd accepts writes without blocking.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, never needs registering).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (always reported, never needs registering).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: usize = 1;
+const EPOLL_CTL_DEL: usize = 2;
+const EPOLL_CTL_MOD: usize = 3;
+const EPOLL_CLOEXEC: usize = 0x80000;
+const EFD_NONBLOCK: usize = 0x800;
+const EFD_CLOEXEC: usize = 0x80000;
+const EAGAIN: i32 = 11;
+const EINTR: i32 = 4;
+
+#[cfg(target_arch = "x86_64")]
+mod nr {
+    pub const READ: usize = 0;
+    pub const WRITE: usize = 1;
+    pub const CLOSE: usize = 3;
+    pub const EPOLL_CTL: usize = 233;
+    pub const EPOLL_PWAIT: usize = 281;
+    pub const EVENTFD2: usize = 290;
+    pub const EPOLL_CREATE1: usize = 291;
+}
+
+#[cfg(target_arch = "aarch64")]
+mod nr {
+    pub const READ: usize = 63;
+    pub const WRITE: usize = 64;
+    pub const CLOSE: usize = 57;
+    pub const EPOLL_CTL: usize = 21;
+    pub const EPOLL_PWAIT: usize = 22;
+    pub const EVENTFD2: usize = 19;
+    pub const EPOLL_CREATE1: usize = 20;
+}
+
+/// Issues one raw syscall. Negative returns are `-errno`.
+///
+/// Safety: the caller must pass arguments valid for the specific syscall —
+/// every call site in this module passes integers, or pointers/lengths
+/// derived from live references that the kernel only accesses for the
+/// duration of the call.
+#[cfg(target_arch = "x86_64")]
+unsafe fn syscall(n: usize, args: [usize; 6]) -> isize {
+    let ret: isize;
+    std::arch::asm!(
+        "syscall",
+        inlateout("rax") n as isize => ret,
+        in("rdi") args[0],
+        in("rsi") args[1],
+        in("rdx") args[2],
+        in("r10") args[3],
+        in("r8") args[4],
+        in("r9") args[5],
+        out("rcx") _,
+        out("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+/// See the `x86_64` twin for the contract.
+#[cfg(target_arch = "aarch64")]
+unsafe fn syscall(n: usize, args: [usize; 6]) -> isize {
+    let ret: isize;
+    std::arch::asm!(
+        "svc 0",
+        inlateout("x0") args[0] as isize => ret,
+        in("x1") args[1],
+        in("x2") args[2],
+        in("x3") args[3],
+        in("x4") args[4],
+        in("x5") args[5],
+        in("x8") n,
+        options(nostack),
+    );
+    ret
+}
+
+fn check(ret: isize) -> io::Result<usize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+fn close_fd(fd: RawFd) {
+    // Errors on close are unrecoverable and the fd is gone either way.
+    let _ = unsafe { syscall(nr::CLOSE, [fd as usize, 0, 0, 0, 0, 0]) };
+}
+
+/// One `struct epoll_event`. The kernel packs it on `x86_64` only.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Readiness bit set (`EPOLLIN | …`).
+    pub events: u32,
+    /// Caller-chosen token identifying the registered fd.
+    pub data: u64,
+}
+
+/// An epoll instance. Closed on drop.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// `epoll_create1(EPOLL_CLOEXEC)`.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's, as an [`io::Error`].
+    pub fn new() -> io::Result<Self> {
+        let fd = check(unsafe { syscall(nr::EPOLL_CREATE1, [EPOLL_CLOEXEC, 0, 0, 0, 0, 0]) })?;
+        Ok(Self { fd: fd as RawFd })
+    }
+
+    fn ctl(&self, op: usize, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data: token };
+        let ptr = if op == EPOLL_CTL_DEL { 0 } else { std::ptr::addr_of_mut!(ev) as usize };
+        check(unsafe { syscall(nr::EPOLL_CTL, [self.fd as usize, op, fd as usize, ptr, 0, 0]) })?;
+        Ok(())
+    }
+
+    /// Registers `fd` for `events`, delivering `token` on readiness.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's, as an [`io::Error`].
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Changes the registered interest set of `fd`.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's, as an [`io::Error`].
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Deregisters `fd`.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's, as an [`io::Error`].
+    pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks up to `timeout_ms` (`-1` = forever) for readiness, filling
+    /// `events` and returning how many entries are valid. `EINTR` retries
+    /// internally.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's, as an [`io::Error`].
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            let ret = unsafe {
+                syscall(
+                    nr::EPOLL_PWAIT,
+                    [
+                        self.fd as usize,
+                        events.as_mut_ptr() as usize,
+                        events.len(),
+                        timeout_ms as usize,
+                        0, // null sigmask: plain epoll_wait semantics
+                        0,
+                    ],
+                )
+            };
+            match check(ret) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.raw_os_error() == Some(EINTR) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        close_fd(self.fd);
+    }
+}
+
+/// A non-blocking eventfd used to wake the event loop from other threads
+/// (scheduler completion callbacks, [`Server::stop`](crate::Server::stop)).
+/// Closed on drop.
+#[derive(Debug)]
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// `eventfd2(0, EFD_CLOEXEC | EFD_NONBLOCK)`.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's, as an [`io::Error`].
+    pub fn new() -> io::Result<Self> {
+        let fd = check(unsafe {
+            syscall(nr::EVENTFD2, [0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0])
+        })?;
+        Ok(Self { fd: fd as RawFd })
+    }
+
+    /// The fd to register with [`Epoll::add`].
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Makes the fd readable, waking any epoll waiting on it. Saturation
+    /// (`EAGAIN` on an already-huge counter) is fine: the fd is readable,
+    /// which is all a wakeup needs.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        let _ = unsafe {
+            syscall(
+                nr::WRITE,
+                [self.fd as usize, std::ptr::addr_of!(one) as usize, 8, 0, 0, 0],
+            )
+        };
+    }
+
+    /// Consumes all pending wakeups so the next [`Epoll::wait`] blocks
+    /// again.
+    pub fn drain(&self) {
+        let mut counter: u64 = 0;
+        loop {
+            let ret = unsafe {
+                syscall(
+                    nr::READ,
+                    [self.fd as usize, std::ptr::addr_of_mut!(counter) as usize, 8, 0, 0, 0],
+                )
+            };
+            match check(ret) {
+                Ok(_) => continue, // another wake may have landed; re-read
+                Err(e) if e.raw_os_error() == Some(EAGAIN) => return,
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        close_fd(self.fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eventfd_wakes_epoll_and_drains() {
+        let epoll = Epoll::new().unwrap();
+        let wake = EventFd::new().unwrap();
+        epoll.add(wake.raw_fd(), EPOLLIN, 7).unwrap();
+        let mut events = [EpollEvent::default(); 4];
+
+        // Nothing pending: times out with zero events.
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+
+        wake.wake();
+        wake.wake();
+        let n = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        // Copy out: `assert_eq!` would take a reference into the packed
+        // struct.
+        let (data, bits) = (events[0].data, events[0].events);
+        assert_eq!(data, 7);
+        assert_ne!(bits & EPOLLIN, 0);
+
+        wake.drain();
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0, "drained fd is quiet");
+    }
+
+    #[test]
+    fn modify_and_remove_round_trip() {
+        let epoll = Epoll::new().unwrap();
+        let wake = EventFd::new().unwrap();
+        epoll.add(wake.raw_fd(), 0, 1).unwrap();
+        wake.wake();
+        let mut events = [EpollEvent::default(); 4];
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0, "no interest, no event");
+        epoll.modify(wake.raw_fd(), EPOLLIN, 2).unwrap();
+        assert_eq!(epoll.wait(&mut events, 1000).unwrap(), 1);
+        let data = events[0].data;
+        assert_eq!(data, 2, "token follows the modify");
+        epoll.remove(wake.raw_fd()).unwrap();
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+        // Double-remove reports the kernel's ENOENT instead of panicking.
+        assert!(epoll.remove(wake.raw_fd()).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Thread-per-connection front end: the portable fallback.
+//!
+//! A blocking accept loop hands each connection to a detached handler
+//! thread. Parsing, routing and response encoding are shared with the
+//! event loop (`parser::RequestParser`, `route_request`,
+//! `encode_response`), so the two front ends answer byte-identically; the
+//! only differences are the concurrency model and that blocking handlers
+//! wait on [`BatchScheduler::predict`](crate::BatchScheduler::predict)
+//! instead of completion callbacks.
+
+use super::parser::{RequestParser, DEFAULT_MAX_HEAD};
+use super::{encode_response, error_body, prediction_parts, route_request, HttpShared, Routed};
+use crate::stats::ConnTag;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+pub(crate) fn accept_loop(listener: &TcpListener, shared: &Arc<HttpShared>) {
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(mut stream) = stream else { continue };
+        if shared.conn_stats.active() >= shared.max_connections as u64 {
+            // At the connection cap: answer a typed 503 and close instead
+            // of silently dropping or queueing the socket.
+            shared.conn_stats.record_shed_connection();
+            let _ = stream.write_all(&encode_response(503, &error_body(503), false));
+            continue;
+        }
+        let conn_shared = Arc::clone(shared);
+        shared.conn_stats.record_accepted(ConnTag::Reading);
+        // Handler threads are detached: a graceful stop drains the
+        // scheduler, so in-flight requests still get answers before the
+        // process exits.
+        let spawned = std::thread::Builder::new()
+            .name("pecan-serve-conn".into())
+            .spawn(move || {
+                handle_connection(stream, &conn_shared);
+                conn_shared.conn_stats.record_closed(ConnTag::Reading);
+            });
+        if spawned.is_err() {
+            shared.conn_stats.record_closed(ConnTag::Reading);
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<HttpShared>) {
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut parser = RequestParser::new(DEFAULT_MAX_HEAD, shared.max_body);
+    loop {
+        let request = match read_one_request(&mut stream, &mut parser) {
+            Ok(Some(r)) => r,
+            Ok(None) => return, // clean EOF between requests
+            Err(status) => {
+                if status == 408 {
+                    shared.conn_stats.record_timeout();
+                }
+                let _ = stream.write_all(&encode_response(status, &error_body(status), false));
+                return;
+            }
+        };
+        shared.conn_stats.record_request();
+        let keep_alive = request.keep_alive;
+        let (status, body, initiate_shutdown) = match route_request(shared, &request) {
+            Routed::Done { status, body, shutdown } => (status, body, shutdown),
+            Routed::Predict { idx, input } => {
+                let result = shared.registry.entries()[idx].scheduler().predict(input);
+                let (status, body) = prediction_parts(&result);
+                (status, body, false)
+            }
+        };
+        let written = stream.write_all(&encode_response(status, &body, keep_alive));
+        shared.conn_stats.record_response();
+        if initiate_shutdown {
+            // Signal only after the acknowledgement left this socket, so a
+            // client posting /shutdown always reads its 200 before the
+            // process starts tearing down.
+            let _ = shared.shutdown_tx.send(());
+        }
+        if written.is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Blocks until the parser yields one request. `Ok(None)` is a clean close
+/// between requests; `Err(status)` is the HTTP status to answer before
+/// closing (parse errors, `400` for EOF mid-request, `408` for a read
+/// timeout mid-request).
+fn read_one_request(
+    stream: &mut TcpStream,
+    parser: &mut RequestParser,
+) -> Result<Option<super::parser::Request>, u16> {
+    loop {
+        match parser.next_request() {
+            Ok(Some(r)) => return Ok(Some(r)),
+            Ok(None) => {}
+            Err(e) => return Err(e.status()),
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return if parser.mid_request() { Err(400) } else { Ok(None) },
+            Ok(n) => parser.push(&chunk[..n]),
+            Err(_) => return if parser.mid_request() { Err(408) } else { Ok(None) },
+        }
+    }
+}

@@ -32,7 +32,14 @@
 //!    counters, routed by a std-only HTTP/1.1 front end
 //!    (`/models/{name}/predict`, bare `/predict` for the default model,
 //!    `/healthz`, `/stats`, `/shutdown`) plus the `serve` and `loadgen`
-//!    binaries.
+//!    binaries. Two interchangeable front ends share one parser, router
+//!    and encoder: portable thread-per-connection, and an epoll **event
+//!    loop** ([`ServerConfig::event_loop`], Linux `x86_64`/`aarch64` —
+//!    see [`event_loop_supported`]) that multiplexes thousands of
+//!    non-blocking sockets on one thread with completion wakeups from the
+//!    scheduler, per-connection idle deadlines, a connection cap, and
+//!    load-aware `503` shedding ([`ConnStatsSnapshot`] under the
+//!    `"connections"` key of `/stats`).
 //!
 //! # Quickstart
 //!
@@ -78,7 +85,8 @@ mod stats;
 
 pub use engine::FrozenEngine;
 pub use error::{ServeError, SnapshotError};
-pub use http::{Server, ServerConfig};
+pub use http::parser::{ParseError, Request, RequestParser};
+pub use http::{event_loop_supported, Server, ServerConfig};
 pub use registry::{EngineRegistry, ModelEntry};
 pub use scheduler::{BatchRunner, BatchScheduler, Prediction, SchedulerConfig, Ticket};
 pub use snapshot::{crc32, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
@@ -86,4 +94,4 @@ pub use stage::{
     FlattenStage, GlobalAvgPoolStage, LutConvStage, LutLinearStage, MaxPoolStage, ReluStage,
     Stage,
 };
-pub use stats::{ServeStats, StatsSnapshot};
+pub use stats::{ConnStats, ConnStatsSnapshot, ServeStats, StatsSnapshot};

@@ -12,16 +12,21 @@
 //! old clients working unchanged.
 
 use crate::error::ServeError;
-use crate::scheduler::{BatchScheduler, SchedulerConfig};
+use crate::scheduler::{BatchRunner, BatchScheduler, SchedulerConfig};
 use crate::FrozenEngine;
 use std::sync::Arc;
 
-/// One served model: its name, engine and dedicated scheduler.
-#[derive(Debug)]
+/// One served model: its name, batch runner and dedicated scheduler.
 pub struct ModelEntry {
     name: String,
-    engine: Arc<FrozenEngine>,
+    runner: Arc<dyn BatchRunner>,
     scheduler: BatchScheduler,
+}
+
+impl std::fmt::Debug for ModelEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelEntry").field("name", &self.name).finish_non_exhaustive()
+    }
 }
 
 impl ModelEntry {
@@ -30,9 +35,9 @@ impl ModelEntry {
         &self.name
     }
 
-    /// The shared frozen engine.
-    pub fn engine(&self) -> &Arc<FrozenEngine> {
-        &self.engine
+    /// The shared batch runner (a [`FrozenEngine`] in production).
+    pub fn runner(&self) -> &Arc<dyn BatchRunner> {
+        &self.runner
     }
 
     /// The model's micro-batching scheduler.
@@ -117,6 +122,23 @@ impl EngineRegistry {
         engine: Arc<FrozenEngine>,
         config: SchedulerConfig,
     ) -> Result<(), ServeError> {
+        self.register_runner_as(name, engine as Arc<dyn BatchRunner>, config)
+    }
+
+    /// Registers an arbitrary [`BatchRunner`] under `name`. This is how
+    /// tests plug deterministic doubles (gated runners, failure injectors)
+    /// into the full HTTP serving stack; production code registers
+    /// [`FrozenEngine`]s via [`EngineRegistry::register`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadInput`] for a route-unsafe or duplicate name.
+    pub fn register_runner_as(
+        &mut self,
+        name: impl Into<String>,
+        runner: Arc<dyn BatchRunner>,
+        config: SchedulerConfig,
+    ) -> Result<(), ServeError> {
         let name = name.into();
         validate_name(&name)?;
         if self.entries.iter().any(|e| e.name == name) {
@@ -124,8 +146,8 @@ impl EngineRegistry {
                 "model `{name}` is already registered"
             )));
         }
-        let scheduler = BatchScheduler::start(engine.clone() as Arc<_>, config);
-        self.entries.push(ModelEntry { name, engine, scheduler });
+        let scheduler = BatchScheduler::start(Arc::clone(&runner), config);
+        self.entries.push(ModelEntry { name, runner, scheduler });
         Ok(())
     }
 
@@ -186,6 +208,24 @@ impl EngineRegistry {
                 .entries
                 .iter()
                 .find(|e| e.name == n)
+                .ok_or_else(|| ServeError::UnknownModel(n.to_string())),
+        }
+    }
+
+    /// As [`EngineRegistry::resolve`], but returns the entry's index in
+    /// [`EngineRegistry::entries`] — a stable handle the event-loop front
+    /// end carries through asynchronous completions instead of a borrow.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] — the typed 404 of the HTTP front end.
+    pub fn resolve_index(&self, name: Option<&str>) -> Result<usize, ServeError> {
+        match name {
+            None => Ok(self.default),
+            Some(n) => self
+                .entries
+                .iter()
+                .position(|e| e.name == n)
                 .ok_or_else(|| ServeError::UnknownModel(n.to_string())),
         }
     }

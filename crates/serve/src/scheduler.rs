@@ -106,10 +106,29 @@ pub struct Prediction {
     pub batch_size: usize,
 }
 
+/// How one request's answer travels back to its submitter.
+enum Reply {
+    /// [`BatchScheduler::submit`]: a blocking caller waits on the channel.
+    Channel(mpsc::Sender<Result<Prediction, ServeError>>),
+    /// [`BatchScheduler::submit_with`]: the worker invokes the callback —
+    /// the completion wakeup the event-loop front end is built on.
+    Callback(Box<dyn FnOnce(Result<Prediction, ServeError>) + Send>),
+}
+
+impl Reply {
+    fn send(self, result: Result<Prediction, ServeError>) {
+        match self {
+            // A dropped receiver means the client went away; nothing to do.
+            Reply::Channel(tx) => drop(tx.send(result)),
+            Reply::Callback(f) => f(result),
+        }
+    }
+}
+
 struct Request {
     input: Vec<f32>,
     submitted: Instant,
-    reply: mpsc::Sender<Result<Prediction, ServeError>>,
+    reply: Reply,
 }
 
 struct QueueState {
@@ -236,11 +255,69 @@ impl BatchScheduler {
                     capacity: self.shared.config.queue_capacity,
                 });
             }
-            state.queue.push_back(Request { input, submitted: Instant::now(), reply: tx });
+            state.queue.push_back(Request {
+                input,
+                submitted: Instant::now(),
+                reply: Reply::Channel(tx),
+            });
         }
         self.shared.stats.record_submitted();
         self.shared.cvar.notify_one();
         Ok(Ticket { rx })
+    }
+
+    /// Enqueues one request whose answer is delivered by invoking
+    /// `complete` on a worker thread — no caller blocks. This is the
+    /// completion-wakeup path the event-loop front end uses: the callback
+    /// pushes the result onto the loop's completion queue and pokes its
+    /// eventfd.
+    ///
+    /// The callback is called exactly once, with the batch's result or
+    /// error; it must not block (it runs on the inference worker).
+    ///
+    /// # Errors
+    ///
+    /// As for [`BatchScheduler::submit`]. On error the callback is **not**
+    /// invoked — the caller still holds the error synchronously.
+    pub fn submit_with(
+        &self,
+        input: Vec<f32>,
+        complete: Box<dyn FnOnce(Result<Prediction, ServeError>) + Send>,
+    ) -> Result<(), ServeError> {
+        let want = self.shared.runner.input_len();
+        if input.len() != want {
+            return Err(ServeError::BadInput(format!(
+                "request has {} values, engine expects {want}",
+                input.len()
+            )));
+        }
+        {
+            let mut state = lock(&self.shared.state);
+            if state.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if state.queue.len() >= self.shared.config.queue_capacity {
+                self.shared.stats.record_rejected();
+                return Err(ServeError::Overloaded {
+                    capacity: self.shared.config.queue_capacity,
+                });
+            }
+            state.queue.push_back(Request {
+                input,
+                submitted: Instant::now(),
+                reply: Reply::Callback(complete),
+            });
+        }
+        self.shared.stats.record_submitted();
+        self.shared.cvar.notify_one();
+        Ok(())
+    }
+
+    /// Requests currently waiting in the submission queue. Advisory — the
+    /// value may be stale by the time the caller acts on it; the HTTP tier
+    /// uses it to shed load *before* the hard capacity rejection.
+    pub fn queue_len(&self) -> usize {
+        lock(&self.shared.state).queue.len()
     }
 
     /// Convenience: [`BatchScheduler::submit`] + [`Ticket::wait`].
@@ -356,7 +433,7 @@ fn worker_loop(shared: &Shared) {
                     shared
                         .stats
                         .record_completed(queued.as_nanos() as u64, total.as_nanos() as u64);
-                    let _ = req.reply.send(Ok(Prediction {
+                    req.reply.send(Ok(Prediction {
                         output,
                         queued,
                         total,
@@ -367,7 +444,7 @@ fn worker_loop(shared: &Shared) {
             Err(e) => {
                 for req in batch {
                     shared.stats.record_failed();
-                    let _ = req.reply.send(Err(e.clone()));
+                    req.reply.send(Err(e.clone()));
                 }
             }
         }

@@ -110,9 +110,219 @@ impl StatsSnapshot {
     }
 }
 
+/// Coarse observable state of one front-end connection, used as the gauge
+/// key in [`ConnStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ConnTag {
+    /// No backlog: waiting for request bytes.
+    Reading,
+    /// At least one submitted inference has not answered yet.
+    Handling,
+    /// Unflushed response bytes are waiting for the socket.
+    Writing,
+}
+
+/// Connection-tier counters for the HTTP front end, exported under the
+/// `"connections"` key of the bare `/stats` route.
+///
+/// Lifecycle counters (`accepted`/`closed`/`requests`/`responses`/
+/// `timeouts`/`shed_*`) are maintained by both front ends; the per-state
+/// gauges (`reading`/`handling`/`writing`) and `inflight` are maintained
+/// by the event loop, which owns every connection state transition — the
+/// threaded front end leaves them at zero.
+#[derive(Debug, Default)]
+pub struct ConnStats {
+    accepted: AtomicU64,
+    closed: AtomicU64,
+    active: AtomicU64,
+    reading: AtomicU64,
+    handling: AtomicU64,
+    writing: AtomicU64,
+    requests: AtomicU64,
+    responses: AtomicU64,
+    inflight: AtomicU64,
+    timeouts: AtomicU64,
+    shed_connections: AtomicU64,
+    shed_requests: AtomicU64,
+}
+
+impl ConnStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Connections currently open (gauge).
+    pub fn active(&self) -> u64 {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    fn gauge(&self, tag: ConnTag) -> &AtomicU64 {
+        match tag {
+            ConnTag::Reading => &self.reading,
+            ConnTag::Handling => &self.handling,
+            ConnTag::Writing => &self.writing,
+        }
+    }
+
+    pub(crate) fn record_accepted(&self, tag: ConnTag) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_add(1, Ordering::Relaxed);
+        self.gauge(tag).fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_closed(&self, tag: ConnTag) {
+        self.closed.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_sub(1, Ordering::Relaxed);
+        self.gauge(tag).fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_retag(&self, from: ConnTag, to: ConnTag) {
+        if from != to {
+            self.gauge(from).fetch_sub(1, Ordering::Relaxed);
+            self.gauge(to).fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_response(&self) {
+        self.responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inflight_add(&self) {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inflight_sub(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed_connection(&self) {
+        self.shed_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed_request(&self) {
+        self.shed_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Coherent-enough point-in-time copy of all counters.
+    pub fn snapshot(&self) -> ConnStatsSnapshot {
+        ConnStatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            reading: self.reading.load(Ordering::Relaxed),
+            handling: self.handling.load(Ordering::Relaxed),
+            writing: self.writing.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            shed_connections: self.shed_connections.load(Ordering::Relaxed),
+            shed_requests: self.shed_requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One reading of [`ConnStats`], ready for display or JSON export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnStatsSnapshot {
+    /// Connections admitted past the cap check.
+    pub accepted: u64,
+    /// Connections fully torn down.
+    pub closed: u64,
+    /// Connections currently open (gauge; `accepted - closed`).
+    pub active: u64,
+    /// Connections waiting for request bytes (gauge, event loop only).
+    pub reading: u64,
+    /// Connections with an inference in flight (gauge, event loop only).
+    pub handling: u64,
+    /// Connections with unflushed response bytes (gauge, event loop only).
+    pub writing: u64,
+    /// Requests parsed off sockets.
+    pub requests: u64,
+    /// Responses handed to sockets.
+    pub responses: u64,
+    /// Requests submitted to a scheduler and not yet answered (gauge,
+    /// event loop only).
+    pub inflight: u64,
+    /// Connections closed by the idle/read timeout.
+    pub timeouts: u64,
+    /// Connections refused with `503` at the connection cap.
+    pub shed_connections: u64,
+    /// Requests refused with `503` by load-aware shedding.
+    pub shed_requests: u64,
+}
+
+impl ConnStatsSnapshot {
+    /// Renders the snapshot as a flat JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"accepted\":{},\"closed\":{},\"active\":{},\"reading\":{},\
+             \"handling\":{},\"writing\":{},\"requests\":{},\"responses\":{},\
+             \"inflight\":{},\"timeouts\":{},\"shed_connections\":{},\
+             \"shed_requests\":{}}}",
+            self.accepted,
+            self.closed,
+            self.active,
+            self.reading,
+            self.handling,
+            self.writing,
+            self.requests,
+            self.responses,
+            self.inflight,
+            self.timeouts,
+            self.shed_connections,
+            self.shed_requests,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn connection_counters_track_lifecycle_and_gauges() {
+        let stats = ConnStats::new();
+        stats.record_accepted(ConnTag::Reading);
+        stats.record_accepted(ConnTag::Reading);
+        stats.record_retag(ConnTag::Reading, ConnTag::Handling);
+        stats.record_retag(ConnTag::Handling, ConnTag::Handling); // no-op
+        stats.record_request();
+        stats.inflight_add();
+        stats.record_retag(ConnTag::Handling, ConnTag::Writing);
+        stats.inflight_sub();
+        stats.record_response();
+        stats.record_shed_request();
+        stats.record_shed_connection();
+        stats.record_timeout();
+        stats.record_closed(ConnTag::Writing);
+        let snap = stats.snapshot();
+        assert_eq!(snap.accepted, 2);
+        assert_eq!(snap.closed, 1);
+        assert_eq!(snap.active, 1);
+        assert_eq!(stats.active(), 1);
+        assert_eq!(snap.reading, 1);
+        assert_eq!(snap.handling, 0);
+        assert_eq!(snap.writing, 0);
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.responses, 1);
+        assert_eq!(snap.inflight, 0);
+        assert_eq!(snap.timeouts, 1);
+        assert_eq!(snap.shed_connections, 1);
+        assert_eq!(snap.shed_requests, 1);
+        let json = snap.to_json();
+        assert!(json.contains("\"active\":1"));
+        assert!(json.contains("\"shed_requests\":1"));
+    }
 
     #[test]
     fn counters_aggregate_and_export() {

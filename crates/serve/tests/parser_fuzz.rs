@@ -1,0 +1,228 @@
+//! Property/fuzz battery for the incremental HTTP request parser.
+//!
+//! The contract under test: for ANY byte stream, fed in ANY chunking,
+//! [`RequestParser`] either yields valid [`Request`]s or a typed
+//! [`ParseError`] — it never panics, never loops, and never lets the
+//! chunking change the parse. These are exactly the invariants the
+//! event-loop front end leans on when it feeds the parser whatever
+//! `read()` happened to return.
+
+use pecan_serve::{ParseError, Request, RequestParser};
+use proptest::prelude::*;
+use proptest::{num, sample};
+
+const MAX_HEAD: usize = 16 << 10;
+const MAX_BODY: usize = 1 << 20;
+
+fn parser() -> RequestParser {
+    RequestParser::new(MAX_HEAD, MAX_BODY)
+}
+
+/// Feeds `bytes` in one piece and drains every parse result.
+fn parse_all(bytes: &[u8]) -> (Vec<Request>, Option<ParseError>) {
+    feed_chunked(bytes, &[])
+}
+
+/// Feeds `bytes` split at the given cut points (sorted, deduped here) and
+/// drains the parser after every chunk, collecting requests in order.
+fn feed_chunked(bytes: &[u8], cuts: &[usize]) -> (Vec<Request>, Option<ParseError>) {
+    let mut cuts: Vec<usize> = cuts.iter().map(|&c| c.min(bytes.len())).collect();
+    cuts.push(0);
+    cuts.push(bytes.len());
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut p = parser();
+    let mut requests = Vec::new();
+    for window in cuts.windows(2) {
+        p.push(&bytes[window[0]..window[1]]);
+        loop {
+            match p.next_request() {
+                Ok(Some(r)) => requests.push(r),
+                Ok(None) => break,
+                Err(e) => return (requests, Some(e)),
+            }
+        }
+    }
+    (requests, None)
+}
+
+fn req(method: &str, target: &str, headers: &[(&str, &str)], body: &[u8]) -> Vec<u8> {
+    let mut out = format!("{method} {target} HTTP/1.1\r\n").into_bytes();
+    for (k, v) in headers {
+        out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+    }
+    out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", body.len()).as_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup, arbitrary chunking: never a panic or hang,
+    /// only requests and/or one typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(num::u8::ANY, 0..2048),
+        cuts in proptest::collection::vec(0usize..2048, 0..8),
+    ) {
+        let (_requests, _error) = feed_chunked(&bytes, &cuts);
+        // Reaching this line is the property: typed outcome, no panic.
+        prop_assert!(true);
+    }
+
+    /// A valid request parses identically no matter how the bytes are
+    /// split — including splits inside the request line, inside a header,
+    /// inside the CRLFCRLF terminator, and inside the body.
+    #[test]
+    fn chunking_never_changes_the_parse(
+        body_len in 0usize..64,
+        cuts in proptest::collection::vec(0usize..256, 0..6),
+        keep_alive in proptest::bool::ANY,
+    ) {
+        let body: Vec<u8> = (0..body_len as u8).collect();
+        let headers: &[(&str, &str)] =
+            if keep_alive { &[] } else { &[("Connection", "close")] };
+        let bytes = req("POST", "/predict", headers, &body);
+        let (whole, err_whole) = parse_all(&bytes);
+        let (split, err_split) = feed_chunked(&bytes, &cuts);
+        prop_assert!(err_whole.is_none() && err_split.is_none());
+        prop_assert_eq!(whole.len(), 1);
+        prop_assert_eq!(split.len(), 1);
+        prop_assert_eq!(&whole[0].method, &split[0].method);
+        prop_assert_eq!(&whole[0].target, &split[0].target);
+        prop_assert_eq!(&whole[0].body, &split[0].body);
+        prop_assert_eq!(whole[0].keep_alive, split[0].keep_alive);
+        prop_assert_eq!(whole[0].keep_alive, keep_alive);
+    }
+
+    /// Pipelined requests come out in order and intact, regardless of
+    /// where the stream was cut.
+    #[test]
+    fn pipelining_survives_chunking(
+        n in 1usize..6,
+        cuts in proptest::collection::vec(0usize..512, 0..8),
+    ) {
+        let mut bytes = Vec::new();
+        for i in 0..n {
+            let body = vec![i as u8; i];
+            bytes.extend_from_slice(&req("POST", &format!("/r{i}"), &[], &body));
+        }
+        let (requests, error) = feed_chunked(&bytes, &cuts);
+        prop_assert!(error.is_none());
+        prop_assert_eq!(requests.len(), n);
+        for (i, r) in requests.iter().enumerate() {
+            let want = format!("/r{i}");
+            prop_assert_eq!(r.target.as_str(), want.as_str());
+            prop_assert_eq!(r.body.len(), i);
+        }
+    }
+
+    /// Malformed request lines are a typed `BadRequestLine`, never a
+    /// panic, for a whole family of mangled inputs.
+    #[test]
+    fn malformed_request_lines_are_typed_errors(
+        line in sample::select(vec![
+            "",
+            " ",
+            "GET",
+            "GET /x",
+            "GET /x SPDY/3",
+            "GET /x HTTP/2.0",
+            "\u{1}\u{2}\u{3}",
+        ]),
+    ) {
+        let bytes = format!("{line}\r\n\r\n").into_bytes();
+        let (requests, error) = parse_all(&bytes);
+        prop_assert!(requests.is_empty());
+        prop_assert_eq!(error, Some(ParseError::BadRequestLine));
+    }
+
+    /// Unparsable Content-Length values are `BadContentLength`.
+    #[test]
+    fn bad_content_length_is_a_typed_error(
+        value in sample::select(vec!["-1", "abc", "1e3", "0x10", "9999999999999999999999"]),
+    ) {
+        let bytes =
+            format!("POST /predict HTTP/1.1\r\nContent-Length: {value}\r\n\r\n").into_bytes();
+        let (requests, error) = parse_all(&bytes);
+        prop_assert!(requests.is_empty());
+        prop_assert_eq!(error, Some(ParseError::BadContentLength));
+    }
+}
+
+/// Exhaustive, not sampled: a full request split at EVERY byte boundary
+/// parses to the same result as the unsplit bytes.
+#[test]
+fn every_single_split_point_parses_identically() {
+    let body: Vec<u8> = (0u8..48).collect();
+    let bytes = req("POST", "/models/mlp/predict", &[("X-Extra", "1")], &body);
+    let (whole, err) = parse_all(&bytes);
+    assert!(err.is_none());
+    assert_eq!(whole.len(), 1);
+    for cut in 0..=bytes.len() {
+        let (split, err) = feed_chunked(&bytes, &[cut]);
+        assert!(err.is_none(), "split at {cut} errored");
+        assert_eq!(split.len(), 1, "split at {cut} lost the request");
+        assert_eq!(split[0].body, whole[0].body, "split at {cut} changed the body");
+        assert_eq!(split[0].target, whole[0].target);
+    }
+}
+
+/// A Content-Length beyond the configured body cap is rejected as soon as
+/// the head is complete — the parser never waits for (or buffers) the
+/// declared body.
+#[test]
+fn oversized_content_length_rejects_without_buffering() {
+    let declared = MAX_BODY + 1;
+    let head = format!("POST /predict HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+    let mut p = parser();
+    p.push(head.as_bytes());
+    match p.next_request() {
+        Err(ParseError::BodyTooLarge { declared: d, limit }) => {
+            assert_eq!(d, declared);
+            assert_eq!(limit, MAX_BODY);
+        }
+        other => panic!("expected BodyTooLarge, got {other:?}"),
+    }
+    assert_eq!(ParseError::BodyTooLarge { declared, limit: MAX_BODY }.status(), 413);
+}
+
+/// An endless header section trips the head cap instead of buffering
+/// forever — the slowloris guard at the parser layer.
+#[test]
+fn unterminated_head_hits_the_cap() {
+    let mut p = parser();
+    let mut err = None;
+    // Drip header lines without ever sending the blank line.
+    for i in 0..10_000 {
+        p.push(format!("X-Drip-{i}: aaaaaaaaaaaaaaaa\r\n").as_bytes());
+        match p.next_request() {
+            Ok(None) => continue,
+            Ok(Some(r)) => panic!("parser invented a request: {r:?}"),
+            Err(e) => {
+                err = Some(e);
+                break;
+            }
+        }
+    }
+    assert_eq!(err, Some(ParseError::HeadTooLarge { limit: MAX_HEAD }));
+    assert_eq!(ParseError::HeadTooLarge { limit: MAX_HEAD }.status(), 431);
+    // Buffering is bounded: the parser kept roughly the cap, not the drip.
+    assert!(p.buffered() <= MAX_HEAD + 64);
+}
+
+/// After any error the parser is poisoned: it keeps returning the same
+/// typed error and never resurrects a request from the tainted stream.
+#[test]
+fn errors_poison_the_stream() {
+    let mut p = parser();
+    p.push(b"BOGUS\r\n\r\n");
+    let first = p.next_request().unwrap_err();
+    assert_eq!(first, ParseError::BadRequestLine);
+    // Even a perfectly valid follow-up request must not come out.
+    p.push(&req("GET", "/healthz", &[], b""));
+    for _ in 0..3 {
+        assert_eq!(p.next_request().unwrap_err(), first);
+    }
+}
