@@ -23,8 +23,11 @@
 //! PATH` additionally writes a bench-style JSON record (same shape as the
 //! criterion shim's sink, with throughput and the served model's name
 //! attached) so multi-model serving runs stay distinguishable next to
-//! kernel benches. `--shutdown` posts `/shutdown` when
-//! done.
+//! kernel benches. At the end of a run loadgen also scrapes the server's
+//! `/metrics` and reports the server-side p99 (`server_p99_ns` in the
+//! JSON record) next to the client-observed one, so wire overhead and
+//! server latency stay distinguishable. `--shutdown` posts `/shutdown`
+//! when done.
 
 use pecan_serve::client::{predict_path, route_path, HttpClient};
 use pecan_serve::json;
@@ -215,6 +218,14 @@ fn run() -> Result<ExitCode, String> {
     }
     let wall = started.elapsed();
 
+    // Scrape the server's own view of the run from /metrics (before any
+    // shutdown): the p99 quantile gauge the histogram subsystem exports.
+    // Best-effort — old servers without /metrics just leave it out.
+    let server_p99_ns = fetch_server_p99_ns(&mut probe, &model_name);
+    if let Some(ns) = server_p99_ns {
+        println!("server_p99_us: {}", ns / 1_000);
+    }
+
     if args.shutdown {
         let (status, _) = probe.call("POST", "/shutdown", "").map_err(|e| e.to_string())?;
         println!("posted /shutdown (status {status})");
@@ -245,14 +256,19 @@ fn run() -> Result<ExitCode, String> {
         let name = args.tag.clone().unwrap_or_else(|| {
             format!("loadgen/{model_name}/c{}_r{}", args.connections, total)
         });
+        // Client-observed p99 (includes the wire) next to the server's own
+        // p99 from /metrics, so the report shows both sides of the run.
+        let server_p99 =
+            server_p99_ns.map_or(String::new(), |ns| format!("\n  \"server_p99_ns\": {ns},"));
         let body = format!(
-            "{{\n  \"name\": \"{}\",\n  \"model\": \"{}\",\n  \"median_ns\": {},\n  \"min_ns\": {},\n  \"max_ns\": {},\n  \"p99_ns\": {},\n  \"samples\": {},\n  \"iters_per_sample\": 1,\n  \"throughput_rps\": {:.1}\n}}\n",
+            "{{\n  \"name\": \"{}\",\n  \"model\": \"{}\",\n  \"median_ns\": {},\n  \"min_ns\": {},\n  \"max_ns\": {},\n  \"p99_ns\": {},{}\n  \"samples\": {},\n  \"iters_per_sample\": 1,\n  \"throughput_rps\": {:.1}\n}}\n",
             json::escape(&name),
             json::escape(&model_name),
             pct(0.50),
             latencies[0],
             latencies[total - 1],
             pct(0.99),
+            server_p99,
             total,
             throughput,
         );
@@ -276,4 +292,21 @@ fn run() -> Result<ExitCode, String> {
 
 fn random_input(rng: &mut StdRng, len: usize) -> Vec<f32> {
     (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// Asks the server for its own p99 of this model's request latency: the
+/// `pecan_request_latency_quantile_seconds{model=…,quantile="0.99"}` gauge
+/// from `/metrics`, converted to nanoseconds. `None` when the server does
+/// not expose metrics (or the scrape fails) — the report simply omits it.
+fn fetch_server_p99_ns(probe: &mut HttpClient, model_name: &str) -> Option<u64> {
+    let (status, body) = probe.call("GET", "/metrics", "").ok()?;
+    if status != 200 {
+        return None;
+    }
+    let seconds = pecan_serve::obs::metrics::find_sample(
+        &body,
+        "pecan_request_latency_quantile_seconds",
+        &[("model", model_name), ("quantile", "0.99")],
+    )?;
+    Some((seconds * 1e9).round() as u64)
 }

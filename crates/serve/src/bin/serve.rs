@@ -26,6 +26,11 @@
 //! thread-per-connection; falls back to threaded where unsupported),
 //! `--max-conns N` (connection cap, `503` beyond it),
 //! `--read-timeout-ms N` (per-connection idle/read deadline).
+//!
+//! Observability knobs: `--flight-records N` (capacity of the
+//! `/debug/requests` flight recorder) and `--log LEVEL`
+//! (off|error|warn|info|debug|trace; overrides the `PECAN_LOG`
+//! environment variable for structured stderr logging).
 
 use pecan_serve::{
     demo, EngineRegistry, FrozenEngine, SchedulerConfig, Server, ServerConfig,
@@ -49,6 +54,8 @@ struct Args {
     event_loop: bool,
     max_conns: usize,
     read_timeout_ms: u64,
+    flight_records: usize,
+    log: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -67,6 +74,8 @@ fn parse_args() -> Result<Args, String> {
         event_loop: false,
         max_conns: 1024,
         read_timeout_ms: 30_000,
+        flight_records: 256,
+        log: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -105,12 +114,18 @@ fn parse_args() -> Result<Args, String> {
                 args.read_timeout_ms =
                     parse_num(&value("--read-timeout-ms")?, "--read-timeout-ms")?;
             }
+            "--flight-records" => {
+                args.flight_records =
+                    parse_num(&value("--flight-records")?, "--flight-records")?;
+            }
+            "--log" => args.log = Some(value("--log")?),
             "--help" | "-h" => {
                 return Err("usage: serve [--demo mlp|lenet] [--snapshot PATH] \
                             [--model NAME=PATH]... [--name NAME] [--save PATH] \
                             [--seed N] [--addr HOST:PORT] [--max-batch N] \
                             [--max-wait-us N] [--queue-cap N] [--workers N] \
-                            [--event-loop] [--max-conns N] [--read-timeout-ms N]"
+                            [--event-loop] [--max-conns N] [--read-timeout-ms N] \
+                            [--flight-records N] [--log off|error|warn|info|debug|trace]"
                     .into())
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -131,6 +146,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(spec) = &args.log {
+        if !pecan_serve::obs::log::set_level_spec(spec) {
+            eprintln!("--log: `{spec}` is not a level (off|error|warn|info|debug|trace)");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let mut engine = match &args.snapshot {
         Some(path) => match FrozenEngine::load_snapshot(path) {
@@ -142,6 +163,7 @@ fn main() -> ExitCode {
                 e
             }
             Err(e) => {
+                pecan_serve::log_error!("serve::bin", "cannot load snapshot", path = path, error = e);
                 eprintln!("cannot load snapshot {path}: {e}");
                 return ExitCode::FAILURE;
             }
@@ -203,14 +225,17 @@ fn main() -> ExitCode {
         event_loop: args.event_loop,
         max_connections: args.max_conns,
         read_timeout: Duration::from_millis(args.read_timeout_ms),
+        flight_records: args.flight_records,
         ..ServerConfig::default()
     };
     if args.event_loop && !pecan_serve::event_loop_supported() {
+        pecan_serve::log_warn!("serve::bin", "event loop unsupported here; using threads");
         eprintln!("--event-loop is not supported on this platform; using threads");
     }
     let server = match Server::start_registry(registry, config) {
         Ok(s) => s,
         Err(e) => {
+            pecan_serve::log_error!("serve::bin", "cannot bind", addr = args.addr, error = e);
             eprintln!("cannot bind {}: {e}", args.addr);
             return ExitCode::FAILURE;
         }

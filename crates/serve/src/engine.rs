@@ -28,6 +28,7 @@
 //! answer — same bits, one extra copy at each edge.
 
 use crate::error::ServeError;
+use crate::obs::StageObserver;
 use crate::stage::{
     FlattenStage, GlobalAvgPoolStage, LutConvStage, LutLinearStage, MaxPoolStage, ReluStage,
     Stage,
@@ -241,6 +242,23 @@ impl FrozenEngine {
     /// [`ServeError::BadInput`] when the batch's per-sample shape does not
     /// fit the engine.
     pub fn infer(&self, batch: InferBatch) -> Result<InferBatch, ServeError> {
+        self.infer_observed(batch, None)
+    }
+
+    /// As [`FrozenEngine::infer`], optionally reporting each stage's wall
+    /// time to a [`StageObserver`] (keyed by [`Stage::name`]). With
+    /// `obs = None` this **is** `infer` — the per-stage clock is only
+    /// read when an observer asks for it, so the unobserved path pays
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FrozenEngine::infer`].
+    pub fn infer_observed(
+        &self,
+        batch: InferBatch,
+        obs: Option<&dyn StageObserver>,
+    ) -> Result<InferBatch, ServeError> {
         let mut b = if batch.sample_shape() == self.input_shape {
             batch
         } else if batch.sample_shape() == [self.input_len()] {
@@ -252,11 +270,34 @@ impl FrozenEngine {
                 self.input_shape
             )));
         };
-        for stage in &self.stages {
-            b = stage.run(b, None)?;
+        match obs {
+            None => {
+                for stage in &self.stages {
+                    b = stage.run(b, None)?;
+                }
+            }
+            Some(obs) => {
+                for stage in &self.stages {
+                    let started = std::time::Instant::now();
+                    b = stage.run(b, None)?;
+                    obs.record_stage(stage.name(), started.elapsed().as_nanos() as u64);
+                }
+            }
         }
         debug_assert_eq!(b.sample_shape(), self.output_shape);
         Ok(b)
+    }
+
+    /// Distinct stage kinds in pipeline order (duplicates collapsed) —
+    /// the label set of the engine's per-stage latency histograms.
+    pub fn stage_kinds(&self) -> Vec<&'static str> {
+        let mut kinds: Vec<&'static str> = Vec::new();
+        for stage in &self.stages {
+            if !kinds.contains(&stage.name()) {
+                kinds.push(stage.name());
+            }
+        }
+        kinds
     }
 
     /// Serves one request. Exactly equivalent to a batch of one.
@@ -290,6 +331,22 @@ impl FrozenEngine {
     /// [`ServeError::BadInput`] when any input has the wrong length. An
     /// empty batch returns an empty vector.
     pub fn predict_batch(&self, inputs: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, ServeError> {
+        self.predict_batch_observed(inputs, None)
+    }
+
+    /// As [`FrozenEngine::predict_batch`], optionally reporting per-stage
+    /// wall time to `obs` — the scheduler's workers call this with their
+    /// model's `ServeStats` so `/metrics` can break serving latency down
+    /// by stage kind.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FrozenEngine::predict_batch`].
+    pub fn predict_batch_observed(
+        &self,
+        inputs: &[Vec<f32>],
+        obs: Option<&dyn StageObserver>,
+    ) -> Result<Vec<Vec<f32>>, ServeError> {
         let want = self.input_len();
         for (i, x) in inputs.iter().enumerate() {
             if x.len() != want {
@@ -303,7 +360,7 @@ impl FrozenEngine {
             return Ok(Vec::new());
         }
         let batch = InferBatch::from_samples(inputs, &self.input_shape)?;
-        Ok(self.infer(batch)?.into_samples())
+        Ok(self.infer_observed(batch, obs)?.into_samples())
     }
 }
 
@@ -375,6 +432,22 @@ mod tests {
         assert_eq!(a.sample_shape(), engine.output_shape());
         let bad = pecan_core::InferBatch::zeros(&[2, 392], 1).unwrap();
         assert!(matches!(engine.infer(bad), Err(ServeError::BadInput(_))));
+    }
+
+    #[test]
+    fn observed_inference_times_every_stage_and_keeps_bits() {
+        let engine = crate::demo::lenet_engine(5);
+        let kinds = engine.stage_kinds();
+        assert!(kinds.contains(&"lut-conv"), "kinds: {kinds:?}");
+        let stats = crate::ServeStats::with_stages(&kinds);
+        let input = vec![0.5; engine.input_len()];
+        let observed =
+            engine.predict_batch_observed(std::slice::from_ref(&input), Some(&stats)).unwrap();
+        // Observation is pure accounting — bits are identical.
+        assert_eq!(observed[0], engine.predict(&input).unwrap());
+        for (kind, h) in stats.stage_histograms() {
+            assert!(h.count() >= 1, "stage {kind} never recorded");
+        }
     }
 
     #[test]

@@ -31,8 +31,8 @@ use super::conn::Conn;
 use super::parser::DEFAULT_MAX_HEAD;
 use super::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLRDHUP};
 use super::{
-    encode_response, error_body, error_response, lock, prediction_parts, route_request,
-    HttpShared, Routed,
+    encode_response, encode_response_with, error_body, error_response, lock, prediction_parts,
+    route_request, HttpShared, Routed,
 };
 use crate::error::ServeError;
 use crate::scheduler::Prediction;
@@ -57,6 +57,10 @@ struct Completion {
     conn: usize,
     gen: u64,
     seq: u64,
+    /// Request ID (for the flight-recorder trace).
+    id: u64,
+    /// Registry index of the model that served it.
+    model: usize,
     result: Result<Prediction, ServeError>,
 }
 
@@ -100,7 +104,6 @@ pub(crate) fn start(listener: TcpListener, http: Arc<HttpShared>) -> io::Result<
         conns: Vec::new(),
         free: Vec::new(),
         live: 0,
-        next_gen: 0,
         draining: false,
         drain_deadline: None,
     };
@@ -119,7 +122,6 @@ struct EventLoop {
     conns: Vec<Option<Conn>>,
     free: Vec<usize>,
     live: usize,
-    next_gen: u64,
     draining: bool,
     drain_deadline: Option<Instant>,
 }
@@ -187,6 +189,11 @@ impl EventLoop {
                     if self.live >= self.http.max_connections {
                         // Connection cap: typed 503, then close.
                         self.http.conn_stats.record_shed_connection();
+                        crate::log_debug!(
+                            "serve::event_loop",
+                            "connection shed at cap",
+                            live = self.live,
+                        );
                         let _ = stream.set_nonblocking(true);
                         let _ = stream.write(&encode_response(503, &error_body(503), false));
                         continue;
@@ -199,9 +206,12 @@ impl EventLoop {
                         self.conns.push(None);
                         self.conns.len() - 1
                     });
-                    self.next_gen += 1;
+                    // Generations come from the server-wide mint shared
+                    // with the threaded front end, so flight-recorder
+                    // traces are unique across front ends.
+                    let gen = self.http.mint_conn_gen();
                     let mut conn =
-                        Conn::new(stream, self.next_gen, now, DEFAULT_MAX_HEAD, self.http.max_body);
+                        Conn::new(stream, gen, now, DEFAULT_MAX_HEAD, self.http.max_body);
                     let interest = EPOLLIN | EPOLLRDHUP;
                     if self
                         .epoll
@@ -272,12 +282,20 @@ impl EventLoop {
                 }
                 Ok(Some(req)) => {
                     self.http.conn_stats.record_request();
+                    // Request IDs are minted at parse time from the
+                    // server-wide mint shared with the threaded front end.
+                    let id = self.http.mint_request_id();
                     let keep_alive = req.keep_alive;
                     match route_request(&self.http, &req) {
-                        Routed::Done { status, body, shutdown } => {
-                            conn.pipeline
-                                .push_ready(encode_response(status, &body, keep_alive));
+                        Routed::Done { status, body, content_type, shutdown } => {
+                            conn.pipeline.push_ready(encode_response_with(
+                                status,
+                                content_type,
+                                &body,
+                                keep_alive,
+                            ));
                             self.http.conn_stats.record_response();
+                            self.http.trace_request(id, conn.gen, None, status, None);
                             if shutdown {
                                 conn.shutdown_after_flush = true;
                             }
@@ -289,8 +307,14 @@ impl EventLoop {
                             let submit = self.http.registry.entries()[entry].scheduler().submit_with(
                                 input,
                                 Box::new(move |result| {
-                                    lock(&shared.completions)
-                                        .push(Completion { conn: idx, gen, seq, result });
+                                    lock(&shared.completions).push(Completion {
+                                        conn: idx,
+                                        gen,
+                                        seq,
+                                        id,
+                                        model: entry,
+                                        result,
+                                    });
                                     shared.waker.wake();
                                 }),
                             );
@@ -303,6 +327,7 @@ impl EventLoop {
                                     conn.pipeline
                                         .complete(seq, encode_response(status, &body, keep_alive));
                                     self.http.conn_stats.record_response();
+                                    self.http.trace_request(id, gen, Some(entry), status, None);
                                 }
                             }
                         }
@@ -331,6 +356,11 @@ impl EventLoop {
         let completions = std::mem::take(&mut *lock(&self.shared.completions));
         for c in completions {
             self.http.conn_stats.inflight_sub();
+            let (status, body) = prediction_parts(&c.result);
+            // The span is recorded even when the connection is gone — the
+            // work happened; only the delivery was moot.
+            self.http
+                .trace_request(c.id, c.gen, Some(c.model), status, c.result.as_ref().ok());
             let stale = 'check: {
                 let Some(conn) = self.conns.get_mut(c.conn).and_then(Option::as_mut) else {
                     break 'check true;
@@ -341,7 +371,6 @@ impl EventLoop {
                 let Some(keep_alive) = conn.pipeline.pending_keep_alive(c.seq) else {
                     break 'check true;
                 };
-                let (status, body) = prediction_parts(&c.result);
                 conn.pipeline.complete(c.seq, encode_response(status, &body, keep_alive));
                 self.http.conn_stats.record_response();
                 false
@@ -422,10 +451,21 @@ impl EventLoop {
                     // Mid-request: the 408 the threaded front end answers,
                     // best-effort (the socket may be unwritable).
                     self.http.conn_stats.record_timeout();
+                    crate::log_debug!(
+                        "serve::event_loop",
+                        "read timeout mid-request",
+                        conn_gen = conn.gen,
+                    );
                     let _ = conn.stream.write(&encode_response(408, &error_body(408), false));
                 } else if conn.write_backlog() > 0 {
                     // Stalled reader: it cannot wedge the loop; cut it off.
                     self.http.conn_stats.record_timeout();
+                    crate::log_debug!(
+                        "serve::event_loop",
+                        "stalled reader cut off",
+                        conn_gen = conn.gen,
+                        backlog = conn.write_backlog(),
+                    );
                 }
                 true
             };
@@ -440,6 +480,7 @@ impl EventLoop {
     fn begin_drain(&mut self, now: Instant) {
         self.draining = true;
         self.drain_deadline = Some(now + self.http.read_timeout);
+        crate::log_info!("serve::event_loop", "draining", live = self.live);
         let _ = self.epoll.remove(self.listener.as_raw_fd());
         for idx in 0..self.conns.len() {
             if let Some(conn) = self.conns[idx].as_mut() {

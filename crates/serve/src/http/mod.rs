@@ -25,6 +25,8 @@
 //! | `/models/{name}/healthz` | GET | — | the named model's contract |
 //! | `/stats` | GET | — | `{"default":…,"connections":{…},"models":{name: counters, …}}` |
 //! | `/models/{name}/stats` | GET | — | the named model's flat counters |
+//! | `/metrics` | GET | — | Prometheus text exposition: counters, gauges, latency/batch/stage histograms |
+//! | `/debug/requests` | GET | — | flight recorder dump: the newest completed request spans |
 //! | `/shutdown` | POST | — | acknowledges, then the server drains and stops |
 //!
 //! The bare routes serve the registry's **default** model, so single-model
@@ -50,13 +52,16 @@ mod threaded;
 
 use crate::error::ServeError;
 use crate::json;
+use crate::obs::metrics::{PromKind, PromText};
+use crate::obs::recorder::NO_MODEL;
+use crate::obs::{FlightRecorder, TraceRecord};
 use crate::registry::EngineRegistry;
 use crate::scheduler::{Prediction, SchedulerConfig};
 use crate::stats::{ConnStats, ConnStatsSnapshot, StatsSnapshot};
 use crate::FrozenEngine;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -106,6 +111,9 @@ pub struct ServerConfig {
     /// [`ConnStatsSnapshot::shed_requests`]). Values ≥ 1 disable shedding,
     /// leaving only the scheduler's own bound.
     pub shed_fraction: f64,
+    /// Capacity of the flight recorder: how many of the newest completed
+    /// requests `/debug/requests` can replay.
+    pub flight_records: usize,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +127,7 @@ impl Default for ServerConfig {
             max_connections: 1024,
             max_pipeline: 32,
             shed_fraction: 0.9,
+            flight_records: 256,
         }
     }
 }
@@ -133,6 +142,60 @@ pub(crate) struct HttpShared {
     pub(crate) stopping: AtomicBool,
     pub(crate) shutdown_tx: mpsc::Sender<()>,
     pub(crate) conn_stats: ConnStats,
+    pub(crate) recorder: FlightRecorder,
+    /// Request-ID mint: IDs are assigned at parse time, 1-based, unique
+    /// per server across both front ends.
+    next_request_id: AtomicU64,
+    /// Connection-generation mint shared by both front ends, so a trace's
+    /// `conn_gen` is unique server-wide.
+    next_conn_gen: AtomicU64,
+}
+
+impl HttpShared {
+    /// Mints the next request ID (1-based).
+    pub(crate) fn mint_request_id(&self) -> u64 {
+        self.next_request_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Mints the next connection generation (1-based).
+    pub(crate) fn mint_conn_gen(&self) -> u64 {
+        self.next_conn_gen.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Writes one completed-request span into the flight recorder.
+    /// `prediction` carries the queue/batch legs for requests that
+    /// reached a scheduler; pass `None` for everything else (admin
+    /// routes, parse/validation errors, shed requests).
+    pub(crate) fn trace_request(
+        &self,
+        id: u64,
+        conn_gen: u64,
+        model: Option<usize>,
+        status: u16,
+        prediction: Option<&Prediction>,
+    ) {
+        let p = prediction;
+        self.recorder.record(&TraceRecord {
+            id,
+            conn_gen,
+            model: model.map_or(NO_MODEL, |m| m as u64),
+            status: u64::from(status),
+            batch_id: p.map_or(0, |p| p.batch_id),
+            batch_size: p.map_or(0, |p| p.batch_size as u64),
+            queue_us: p.map_or(0, |p| p.queued.as_micros() as u64),
+            infer_us: p.map_or(0, |p| p.total.saturating_sub(p.queued).as_micros() as u64),
+            total_us: p.map_or(0, |p| p.total.as_micros() as u64),
+            t_us: self.recorder.now_us(),
+        });
+        crate::log_trace!(
+            "serve::http",
+            "request completed",
+            id = id,
+            conn_gen = conn_gen,
+            status = status,
+            total_us = p.map_or(0, |p| p.total.as_micros()),
+        );
+    }
 }
 
 /// The running front end behind a [`Server`].
@@ -211,6 +274,9 @@ impl Server {
             stopping: AtomicBool::new(false),
             shutdown_tx,
             conn_stats: ConnStats::new(),
+            recorder: FlightRecorder::new(config.flight_records),
+            next_request_id: AtomicU64::new(0),
+            next_conn_gen: AtomicU64::new(0),
         });
         let use_event = config.event_loop && event_loop_supported();
         let front = if use_event {
@@ -234,6 +300,13 @@ impl Server {
                     .expect("spawning the accept loop"),
             )
         };
+        crate::log_info!(
+            "serve::http",
+            "listening",
+            addr = local_addr,
+            front_end = if use_event { "event-loop" } else { "threaded" },
+            models = shared.registry.entries().len(),
+        );
         Ok(Server {
             local_addr,
             shared,
@@ -285,6 +358,7 @@ impl Server {
         if self.shared.stopping.swap(true, Ordering::SeqCst) {
             return;
         }
+        crate::log_info!("serve::http", "stopping", addr = self.local_addr);
         match lock(&self.front).take() {
             Some(FrontEnd::Threaded(handle)) => {
                 // The accept loop blocks in `accept`; poke it so it
@@ -322,12 +396,20 @@ fn split_model(target: &str) -> (Option<&str>, &str) {
     (None, target)
 }
 
+/// `Content-Type` of every JSON response.
+pub(crate) const CT_JSON: &str = "application/json";
+/// `Content-Type` of the `/metrics` Prometheus text exposition.
+pub(crate) const CT_PROM: &str = "text/plain; version=0.0.4";
+
 /// Where one routed request goes next.
 pub(crate) enum Routed {
     /// Fully answered without inference.
     Done {
         status: u16,
         body: String,
+        /// `Content-Type` of the response ([`CT_JSON`] for everything
+        /// except `/metrics`).
+        content_type: &'static str,
         /// Signal server shutdown once the response has left the socket.
         shutdown: bool,
     },
@@ -339,7 +421,7 @@ pub(crate) enum Routed {
 
 impl Routed {
     fn done(status: u16, body: String) -> Self {
-        Routed::Done { status, body, shutdown: false }
+        Routed::Done { status, body, content_type: CT_JSON, shutdown: false }
     }
 }
 
@@ -356,11 +438,22 @@ pub(crate) fn route_request(shared: &HttpShared, request: &parser::Request) -> R
             let (status, body) = stats(shared, model);
             Routed::done(status, body)
         }
+        // Observability is server-wide: bare routes only.
+        ("GET", "/metrics") if model.is_none() => Routed::Done {
+            status: 200,
+            body: metrics(shared),
+            content_type: CT_PROM,
+            shutdown: false,
+        },
+        ("GET", "/debug/requests") if model.is_none() => {
+            Routed::done(200, debug_requests(shared))
+        }
         ("POST", "/predict") => predict_route(shared, model, &request.body),
         // Shutdown is server-wide: only the bare route exists.
         ("POST", "/shutdown") if model.is_none() => Routed::Done {
             status: 200,
             body: "{\"status\":\"shutting down\"}".into(),
+            content_type: CT_JSON,
             shutdown: true,
         },
         ("GET" | "POST", _) => Routed::done(404, "{\"error\":\"no such route\"}".into()),
@@ -428,6 +521,132 @@ fn stats(shared: &HttpShared, model: Option<&str>) -> (u16, String) {
             Err(e) => error_response(&e),
         },
     }
+}
+
+/// Renders every counter, gauge and distribution as one Prometheus text
+/// exposition page: per-model request counters and latency/batch-size
+/// histograms (with p50/p90/p99/p999 gauges derived from them),
+/// per-stage wall-time histograms, and the connection-tier counters.
+/// Served by `GET /metrics` on both front ends.
+fn metrics(shared: &HttpShared) -> String {
+    let entries = shared.registry.entries();
+    let models: Vec<(&str, &crate::ServeStats, StatsSnapshot)> = entries
+        .iter()
+        .map(|e| (e.name(), e.scheduler().serve_stats(), e.scheduler().stats()))
+        .collect();
+    let mut page = PromText::new();
+
+    let counter = |page: &mut PromText, name: &str, help: &str, f: &dyn Fn(&StatsSnapshot) -> u64| {
+        page.family(name, PromKind::Counter, help);
+        for (model, _, snap) in &models {
+            page.sample(name, &[("model", model)], f(snap) as f64);
+        }
+    };
+    counter(&mut page, "pecan_requests_submitted_total", "Requests accepted into a scheduler queue.", &|s| s.submitted);
+    counter(&mut page, "pecan_requests_completed_total", "Requests answered successfully.", &|s| s.completed);
+    counter(&mut page, "pecan_requests_rejected_total", "Requests refused by backpressure.", &|s| s.rejected);
+    counter(&mut page, "pecan_requests_failed_total", "Requests answered with an engine error.", &|s| s.failed);
+    counter(&mut page, "pecan_batches_total", "Batches executed.", &|s| s.batches);
+
+    page.family("pecan_queue_depth", PromKind::Gauge, "Requests waiting in the scheduler queue.");
+    for (i, (model, _, _)) in models.iter().enumerate() {
+        page.sample("pecan_queue_depth", &[("model", model)], entries[i].scheduler().queue_len() as f64);
+    }
+
+    let latency_family =
+        |page: &mut PromText, name: &str, help: &str, f: &dyn Fn(&crate::ServeStats) -> &crate::Histogram| {
+            page.family(name, PromKind::Histogram, help);
+            for (model, stats, _) in &models {
+                page.histogram(name, &[("model", model)], &f(stats).snapshot(), 1e-9);
+            }
+        };
+    latency_family(&mut page, "pecan_request_latency_seconds", "Submit-to-answer latency.", &|s| s.latency_histogram());
+    latency_family(&mut page, "pecan_queue_latency_seconds", "Time spent queued before the batch started.", &|s| s.queue_histogram());
+    latency_family(&mut page, "pecan_infer_latency_seconds", "Batch-start-to-answer (inference + dispatch) latency.", &|s| s.infer_histogram());
+
+    page.family("pecan_batch_size", PromKind::Histogram, "Requests per executed batch.");
+    for (model, stats, _) in &models {
+        page.histogram("pecan_batch_size", &[("model", model)], &stats.batch_size_histogram().snapshot(), 1.0);
+    }
+
+    page.family(
+        "pecan_request_latency_quantile_seconds",
+        PromKind::Gauge,
+        "Latency quantiles precomputed from pecan_request_latency_seconds (upper bounds).",
+    );
+    for (model, stats, _) in &models {
+        let snap = stats.latency_histogram().snapshot();
+        for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99), ("0.999", 0.999)] {
+            page.sample(
+                "pecan_request_latency_quantile_seconds",
+                &[("model", model), ("quantile", label)],
+                snap.quantile(q) as f64 * 1e-9,
+            );
+        }
+    }
+
+    page.family("pecan_stage_latency_seconds", PromKind::Histogram, "Per-batch wall time by pipeline stage kind.");
+    for (model, stats, _) in &models {
+        for (stage, hist) in stats.stage_histograms() {
+            page.histogram(
+                "pecan_stage_latency_seconds",
+                &[("model", model), ("stage", stage)],
+                &hist.snapshot(),
+                1e-9,
+            );
+        }
+    }
+
+    let conn = shared.conn_stats.snapshot();
+    let conn_metric = |page: &mut PromText, name: &str, kind: PromKind, help: &str, v: u64| {
+        page.family(name, kind, help);
+        page.sample(name, &[], v as f64);
+    };
+    conn_metric(&mut page, "pecan_connections_accepted_total", PromKind::Counter, "Connections admitted past the cap check.", conn.accepted);
+    conn_metric(&mut page, "pecan_connections_closed_total", PromKind::Counter, "Connections fully torn down.", conn.closed);
+    conn_metric(&mut page, "pecan_connections_active", PromKind::Gauge, "Connections currently open.", conn.active);
+    page.family("pecan_connections_state", PromKind::Gauge, "Open connections by front-end state.");
+    for (state, v) in [("reading", conn.reading), ("handling", conn.handling), ("writing", conn.writing)] {
+        page.sample("pecan_connections_state", &[("state", state)], v as f64);
+    }
+    conn_metric(&mut page, "pecan_http_requests_total", PromKind::Counter, "Requests parsed off sockets.", conn.requests);
+    conn_metric(&mut page, "pecan_http_responses_total", PromKind::Counter, "Responses handed to sockets.", conn.responses);
+    conn_metric(&mut page, "pecan_inflight_requests", PromKind::Gauge, "Requests submitted to a scheduler and not yet answered.", conn.inflight);
+    conn_metric(&mut page, "pecan_timeouts_total", PromKind::Counter, "Connections closed by the idle/read timeout.", conn.timeouts);
+    conn_metric(&mut page, "pecan_shed_connections_total", PromKind::Counter, "Connections refused at the connection cap.", conn.shed_connections);
+    conn_metric(&mut page, "pecan_shed_requests_total", PromKind::Counter, "Requests refused by load-aware shedding.", conn.shed_requests);
+    conn_metric(&mut page, "pecan_flight_records_total", PromKind::Counter, "Request spans written to the flight recorder.", shared.recorder.recorded());
+
+    page.finish()
+}
+
+/// Renders the flight recorder's newest spans as JSON for
+/// `GET /debug/requests`: who (request ID, connection generation, model),
+/// what (status, batch ID and size) and how long each leg took.
+fn debug_requests(shared: &HttpShared) -> String {
+    let entries = shared.registry.entries();
+    let mut out = format!(
+        "{{\"capacity\":{},\"recorded\":{},\"requests\":[",
+        shared.recorder.capacity(),
+        shared.recorder.recorded()
+    );
+    for (i, r) in shared.recorder.dump().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let model = entries
+            .get(r.model as usize)
+            .map_or("null".to_string(), |e| format!("\"{}\"", json::escape(e.name())));
+        out.push_str(&format!(
+            "{{\"id\":{},\"conn_gen\":{},\"model\":{model},\"status\":{},\
+             \"batch_id\":{},\"batch_size\":{},\"queue_us\":{},\"infer_us\":{},\
+             \"total_us\":{},\"t_us\":{}}}",
+            r.id, r.conn_gen, r.status, r.batch_id, r.batch_size, r.queue_us, r.infer_us,
+            r.total_us, r.t_us,
+        ));
+    }
+    out.push_str("]}");
+    out
 }
 
 /// The queue depth at which load-aware shedding starts for a scheduler of
@@ -504,14 +723,25 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Encodes one complete JSON response — [`encode_response_with`] fixed
+/// to [`CT_JSON`], which every route except `/metrics` uses.
+pub(crate) fn encode_response(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+    encode_response_with(status, CT_JSON, body, keep_alive)
+}
+
 /// Encodes one complete response. Both front ends emit responses through
 /// this function only, which is what makes them byte-identical on the
 /// wire. Every `503` carries `Retry-After: 1` — shed or hard-rejected,
 /// the client's correct move is the same.
-pub(crate) fn encode_response(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+pub(crate) fn encode_response_with(
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> Vec<u8> {
     let retry = if status == 503 { "Retry-After: 1\r\n" } else { "" };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{retry}Connection: {}\r\n\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },

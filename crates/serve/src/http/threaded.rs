@@ -6,10 +6,16 @@
 //! `encode_response`), so the two front ends answer byte-identically; the
 //! only differences are the concurrency model and that blocking handlers
 //! wait on [`BatchScheduler::predict`](crate::BatchScheduler::predict)
-//! instead of completion callbacks.
+//! instead of completion callbacks. Each handler retags its connection
+//! through the same `reading → handling → writing` gauge states the
+//! event loop reports, so `/stats` and `/metrics` mean the same thing on
+//! both front ends.
 
 use super::parser::{RequestParser, DEFAULT_MAX_HEAD};
-use super::{encode_response, error_body, prediction_parts, route_request, HttpShared, Routed};
+use super::{
+    encode_response, encode_response_with, error_body, prediction_parts, route_request,
+    HttpShared, Routed, CT_JSON,
+};
 use crate::stats::ConnTag;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -26,6 +32,7 @@ pub(crate) fn accept_loop(listener: &TcpListener, shared: &Arc<HttpShared>) {
             // At the connection cap: answer a typed 503 and close instead
             // of silently dropping or queueing the socket.
             shared.conn_stats.record_shed_connection();
+            crate::log_debug!("serve::threaded", "connection shed at cap");
             let _ = stream.write_all(&encode_response(503, &error_body(503), false));
             continue;
         }
@@ -37,6 +44,8 @@ pub(crate) fn accept_loop(listener: &TcpListener, shared: &Arc<HttpShared>) {
         let spawned = std::thread::Builder::new()
             .name("pecan-serve-conn".into())
             .spawn(move || {
+                // `handle_connection` always leaves the tag at Reading, so
+                // this close accounting balances the accept above.
                 handle_connection(stream, &conn_shared);
                 conn_shared.conn_stats.record_closed(ConnTag::Reading);
             });
@@ -46,10 +55,21 @@ pub(crate) fn accept_loop(listener: &TcpListener, shared: &Arc<HttpShared>) {
     }
 }
 
+/// Moves the connection's gauge from `*tag` to `to`.
+fn set_tag(shared: &HttpShared, tag: &mut ConnTag, to: ConnTag) {
+    shared.conn_stats.record_retag(*tag, to);
+    *tag = to;
+}
+
+/// Serves one connection until close. Invariant: the connection's gauge
+/// tag is `Reading` on entry and on every return path — the caller's
+/// `record_closed(Reading)` relies on it.
 fn handle_connection(mut stream: TcpStream, shared: &Arc<HttpShared>) {
     let _ = stream.set_read_timeout(Some(shared.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.read_timeout));
     let _ = stream.set_nodelay(true);
+    let conn_gen = shared.mint_conn_gen();
+    let mut tag = ConnTag::Reading;
     let mut parser = RequestParser::new(DEFAULT_MAX_HEAD, shared.max_body);
     loop {
         let request = match read_one_request(&mut stream, &mut parser) {
@@ -58,23 +78,42 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<HttpShared>) {
             Err(status) => {
                 if status == 408 {
                     shared.conn_stats.record_timeout();
+                    crate::log_debug!(
+                        "serve::threaded",
+                        "read timeout mid-request",
+                        conn_gen = conn_gen,
+                    );
                 }
                 let _ = stream.write_all(&encode_response(status, &error_body(status), false));
                 return;
             }
         };
         shared.conn_stats.record_request();
+        // Request IDs are minted at parse time, shared with the event
+        // loop's mint, so traces are unique server-wide.
+        let id = shared.mint_request_id();
         let keep_alive = request.keep_alive;
-        let (status, body, initiate_shutdown) = match route_request(shared, &request) {
-            Routed::Done { status, body, shutdown } => (status, body, shutdown),
-            Routed::Predict { idx, input } => {
-                let result = shared.registry.entries()[idx].scheduler().predict(input);
-                let (status, body) = prediction_parts(&result);
-                (status, body, false)
-            }
-        };
-        let written = stream.write_all(&encode_response(status, &body, keep_alive));
+        let (status, body, content_type, initiate_shutdown) =
+            match route_request(shared, &request) {
+                Routed::Done { status, body, content_type, shutdown } => {
+                    shared.trace_request(id, conn_gen, None, status, None);
+                    (status, body, content_type, shutdown)
+                }
+                Routed::Predict { idx, input } => {
+                    set_tag(shared, &mut tag, ConnTag::Handling);
+                    shared.conn_stats.inflight_add();
+                    let result = shared.registry.entries()[idx].scheduler().predict(input);
+                    shared.conn_stats.inflight_sub();
+                    let (status, body) = prediction_parts(&result);
+                    shared.trace_request(id, conn_gen, Some(idx), status, result.as_ref().ok());
+                    (status, body, CT_JSON, false)
+                }
+            };
+        set_tag(shared, &mut tag, ConnTag::Writing);
+        let written =
+            stream.write_all(&encode_response_with(status, content_type, &body, keep_alive));
         shared.conn_stats.record_response();
+        set_tag(shared, &mut tag, ConnTag::Reading);
         if initiate_shutdown {
             // Signal only after the acknowledgement left this socket, so a
             // client posting /shutdown always reads its 200 before the

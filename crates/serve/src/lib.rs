@@ -3,7 +3,7 @@
 //!
 //! The paper's value proposition is *inference* — CAM searches plus LUT
 //! reads with no dense arithmetic — and this crate turns that path into a
-//! server. Five layers, each usable on its own:
+//! server. Six layers, each usable on its own:
 //!
 //! 1. **Batch-first pipeline** — the whole batch flows as **one**
 //!    column-major [`pecan_core::InferBatch`] matrix through a sequence of
@@ -40,6 +40,13 @@
 //!    scheduler, per-connection idle deadlines, a connection cap, and
 //!    load-aware `503` shedding ([`ConnStatsSnapshot`] under the
 //!    `"connections"` key of `/stats`).
+//! 6. **Observability** ([`obs`]) — lock-free instruments on the hot
+//!    path: log-bucketed latency [`Histogram`]s (queue / inference /
+//!    total and batch size per model, plus per-stage wall time through
+//!    [`StageObserver`]), a bounded [`FlightRecorder`] holding the
+//!    newest request spans (`GET /debug/requests`), a `PECAN_LOG`-leveled
+//!    logfmt stderr logger, and a Prometheus text exposition at
+//!    `GET /metrics` served identically by both front ends.
 //!
 //! # Quickstart
 //!
@@ -77,6 +84,7 @@ mod engine;
 mod error;
 mod http;
 pub mod json;
+pub mod obs;
 mod registry;
 mod scheduler;
 mod snapshot;
@@ -87,6 +95,7 @@ pub use engine::FrozenEngine;
 pub use error::{ServeError, SnapshotError};
 pub use http::parser::{ParseError, Request, RequestParser};
 pub use http::{event_loop_supported, Server, ServerConfig};
+pub use obs::{FlightRecorder, Histogram, HistogramSnapshot, StageObserver, TraceRecord};
 pub use registry::{EngineRegistry, ModelEntry};
 pub use scheduler::{BatchRunner, BatchScheduler, Prediction, SchedulerConfig, Ticket};
 pub use snapshot::{crc32, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

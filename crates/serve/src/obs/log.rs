@@ -1,0 +1,211 @@
+//! Leveled, env-filtered structured stderr logger.
+//!
+//! One logfmt-style line per event:
+//!
+//! ```text
+//! ts=1754556000.123 level=info target=serve::http msg="listening" addr=127.0.0.1:7878
+//! ```
+//!
+//! The level comes from the `PECAN_LOG` environment variable
+//! (`off|error|warn|info|debug|trace`, default `warn`), read once on
+//! first use; [`set_level`] overrides it programmatically (used by the
+//! `serve --log` flag and tests). Use through the [`log_error!`],
+//! [`log_warn!`], [`log_info!`], [`log_debug!`] and [`log_trace!`]
+//! macros, which skip all argument formatting when the level is
+//! filtered out.
+//!
+//! [`log_error!`]: crate::log_error
+//! [`log_warn!`]: crate::log_warn
+//! [`log_info!`]: crate::log_info
+//! [`log_debug!`]: crate::log_debug
+//! [`log_trace!`]: crate::log_trace
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered `Error < Warn < Info < Debug < Trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or dropped-work conditions.
+    Error = 1,
+    /// Degraded-but-running conditions (the default threshold).
+    Warn = 2,
+    /// Lifecycle events: startup, shutdown, model registration.
+    Info = 3,
+    /// Per-decision detail: shedding, timeouts, drains.
+    Debug = 4,
+    /// Per-request firehose.
+    Trace = 5,
+}
+
+impl Level {
+    /// Lowercase name as printed in the `level=` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses `off|error|warn|info|debug|trace` (case-insensitive);
+    /// `None` for unrecognized text. "off" parses as `None`-with-intent:
+    /// it returns `Some(None)`.
+    #[allow(clippy::option_option)]
+    fn parse(s: &str) -> Option<Option<Level>> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Some(None),
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            "trace" => Some(Some(Level::Trace)),
+            _ => None,
+        }
+    }
+}
+
+/// 0 = off, 1..=5 = max enabled level, `UNSET` = consult `PECAN_LOG`.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+const UNSET: u8 = u8::MAX;
+
+fn max_level() -> u8 {
+    let cur = MAX_LEVEL.load(Ordering::Relaxed);
+    if cur != UNSET {
+        return cur;
+    }
+    let parsed = std::env::var("PECAN_LOG")
+        .ok()
+        .and_then(|v| Level::parse(&v))
+        .unwrap_or(Some(Level::Warn));
+    let resolved = parsed.map_or(0, |l| l as u8);
+    // Racing initializers all derive the same value from the same env.
+    MAX_LEVEL.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the `PECAN_LOG`-derived threshold; `None` disables logging.
+pub fn set_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Parses a `PECAN_LOG`-style spec and applies it. Returns `false` (and
+/// changes nothing) if the text is unrecognized.
+pub fn set_level_spec(spec: &str) -> bool {
+    match Level::parse(spec) {
+        Some(level) => {
+            set_level(level);
+            true
+        }
+        None => false,
+    }
+}
+
+/// True when `level` passes the current filter. The macros check this
+/// before formatting any arguments.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= max_level()
+}
+
+fn needs_quoting(v: &str) -> bool {
+    v.is_empty() || v.bytes().any(|b| b <= b' ' || b == b'"' || b == b'=')
+}
+
+/// Writes one logfmt line to stderr. Prefer the `log_*!` macros, which
+/// gate on [`enabled`] first.
+pub fn write(level: Level, target: &str, msg: &str, kvs: &[(&str, String)]) {
+    let ts = SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default();
+    let mut line = format!(
+        "ts={}.{:03} level={} target={} msg={:?}",
+        ts.as_secs(),
+        ts.subsec_millis(),
+        level.as_str(),
+        target,
+        msg,
+    );
+    for (k, v) in kvs {
+        line.push(' ');
+        line.push_str(k);
+        line.push('=');
+        if needs_quoting(v) {
+            line.push_str(&format!("{v:?}"));
+        } else {
+            line.push_str(v);
+        }
+    }
+    line.push('\n');
+    // One write_all per line keeps concurrent lines intact.
+    let _ = std::io::stderr().lock().write_all(line.as_bytes());
+}
+
+/// Logs at an explicit [`Level`]: `log_at!(level, "target", "message",
+/// key = value, ...)`. Values are captured with `ToString`.
+#[macro_export]
+macro_rules! log_at {
+    ($lvl:expr, $target:expr, $msg:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::obs::log::enabled($lvl) {
+            $crate::obs::log::write(
+                $lvl,
+                $target,
+                ::std::convert::AsRef::<str>::as_ref(&$msg),
+                &[$((stringify!($key), ::std::string::ToString::to_string(&$val))),*],
+            );
+        }
+    };
+}
+
+/// Logs at [`Level::Error`]; see [`log_at!`](crate::log_at).
+#[macro_export]
+macro_rules! log_error {
+    ($($t:tt)*) => { $crate::log_at!($crate::obs::log::Level::Error, $($t)*) };
+}
+
+/// Logs at [`Level::Warn`]; see [`log_at!`](crate::log_at).
+#[macro_export]
+macro_rules! log_warn {
+    ($($t:tt)*) => { $crate::log_at!($crate::obs::log::Level::Warn, $($t)*) };
+}
+
+/// Logs at [`Level::Info`]; see [`log_at!`](crate::log_at).
+#[macro_export]
+macro_rules! log_info {
+    ($($t:tt)*) => { $crate::log_at!($crate::obs::log::Level::Info, $($t)*) };
+}
+
+/// Logs at [`Level::Debug`]; see [`log_at!`](crate::log_at).
+#[macro_export]
+macro_rules! log_debug {
+    ($($t:tt)*) => { $crate::log_at!($crate::obs::log::Level::Debug, $($t)*) };
+}
+
+/// Logs at [`Level::Trace`]; see [`log_at!`](crate::log_at).
+#[macro_export]
+macro_rules! log_trace {
+    ($($t:tt)*) => { $crate::log_at!($crate::obs::log::Level::Trace, $($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_spec_parses_and_filters() {
+        assert_eq!(Level::parse("INFO"), Some(Some(Level::Info)));
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("verbose"), None);
+        assert!(Level::Error < Level::Trace);
+    }
+
+    #[test]
+    fn quoting_rules() {
+        assert!(!needs_quoting("plain-value_1.2:3"));
+        assert!(needs_quoting("two words"));
+        assert!(needs_quoting("a=b"));
+        assert!(needs_quoting(""));
+    }
+}

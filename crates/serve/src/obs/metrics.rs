@@ -1,0 +1,190 @@
+//! Prometheus text exposition (version 0.0.4) rendering and a small
+//! scrape parser used by `loadgen` and tests to read values back.
+//!
+//! [`PromText`] builds the page family by family: `family()` writes the
+//! `# HELP`/`# TYPE` header, then `sample()`/`histogram()` append the
+//! series. Keeping all series of a family contiguous under one header is
+//! required by the format; callers are responsible for emitting each
+//! family exactly once.
+
+use super::hist::HistogramSnapshot;
+
+/// Prometheus metric kinds used by this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromKind {
+    /// Monotonically increasing counter.
+    Counter,
+    /// Value that can go up and down.
+    Gauge,
+    /// `_bucket`/`_sum`/`_count` series.
+    Histogram,
+}
+
+impl PromKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            PromKind::Counter => "counter",
+            PromKind::Gauge => "gauge",
+            PromKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Incremental Prometheus text-format builder.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// Empty page.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a metric family: one `# HELP` + `# TYPE` pair. All of the
+    /// family's samples must follow before the next `family()` call.
+    pub fn family(&mut self, name: &str, kind: PromKind, help: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind.as_str());
+        self.out.push('\n');
+    }
+
+    /// Appends one sample line: `name{labels} value`.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                for c in v.chars() {
+                    match c {
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\n' => self.out.push_str("\\n"),
+                        _ => self.out.push(c),
+                    }
+                }
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        if value == f64::INFINITY {
+            self.out.push_str("+Inf");
+        } else {
+            self.out.push_str(&format!("{value}"));
+        }
+        self.out.push('\n');
+    }
+
+    /// Appends a full histogram — cumulative `_bucket{le=…}` lines over
+    /// the occupied buckets, a `+Inf` bucket, `_sum`, and `_count`.
+    /// Recorded values are multiplied by `scale` on the way out (e.g.
+    /// `1e-9` turns nanoseconds into Prometheus-conventional seconds).
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+        scale: f64,
+    ) {
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for (_, ceil, count) in snap.nonzero_buckets() {
+            cumulative += count;
+            let le = format!("{}", ceil as f64 * scale);
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            self.sample(&bucket_name, &with_le, cumulative as f64);
+        }
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        with_le.push(("le", "+Inf"));
+        self.sample(&bucket_name, &with_le, snap.count() as f64);
+        self.sample(&format!("{name}_sum"), labels, snap.sum() as f64 * scale);
+        self.sample(&format!("{name}_count"), labels, snap.count() as f64);
+    }
+
+    /// The rendered page.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Reads one sample back out of a scrape: the value of the first
+/// `name{…}` line whose label set contains every `(key, value)` pair in
+/// `labels`. Used by `loadgen` (server p99 cross-check) and the e2e
+/// tests; it is a matcher over well-formed pages, not a validator.
+pub fn find_sample(text: &str, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let rest = match line.strip_prefix(name) {
+            Some(r) => r,
+            None => continue,
+        };
+        let (label_part, value_part) = if let Some(r) = rest.strip_prefix('{') {
+            match r.find('}') {
+                Some(end) => (&r[..end], r[end + 1..].trim()),
+                None => continue,
+            }
+        } else if rest.starts_with(' ') {
+            ("", rest.trim())
+        } else {
+            continue; // longer metric name sharing the prefix
+        };
+        let all_present = labels
+            .iter()
+            .all(|(k, v)| label_part.contains(&format!("{k}=\"{v}\"")));
+        if all_present {
+            return value_part.parse::<f64>().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::hist::Histogram;
+
+    #[test]
+    fn renders_families_samples_and_histograms() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(5);
+        h.record(100);
+        let mut page = PromText::new();
+        page.family("lat", PromKind::Histogram, "latency");
+        page.histogram("lat", &[("model", "mlp")], &h.snapshot(), 1.0);
+        page.family("up", PromKind::Gauge, "is up");
+        page.sample("up", &[], 1.0);
+        let text = page.finish();
+        assert!(text.contains("# TYPE lat histogram"));
+        assert!(text.contains("lat_bucket{model=\"mlp\",le=\"5\"} 2"));
+        assert!(text.contains("lat_bucket{model=\"mlp\",le=\"+Inf\"} 3"));
+        assert_eq!(find_sample(&text, "lat_count", &[("model", "mlp")]), Some(3.0));
+        assert_eq!(find_sample(&text, "lat_sum", &[("model", "mlp")]), Some(110.0));
+        assert_eq!(find_sample(&text, "up", &[]), Some(1.0));
+        assert_eq!(find_sample(&text, "lat_count", &[("model", "other")]), None);
+        assert_eq!(find_sample(&text, "missing", &[]), None);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut page = PromText::new();
+        page.sample("m", &[("k", "a\"b\\c\nd")], 2.0);
+        assert_eq!(page.finish(), "m{k=\"a\\\"b\\\\c\\nd\"} 2\n");
+    }
+}

@@ -1,0 +1,41 @@
+//! Serving observability: lock-free latency histograms, per-stage
+//! timing, a request flight recorder, a structured logger, and
+//! Prometheus text export.
+//!
+//! Everything here is std-only and allocation-free on the hot path:
+//!
+//! - [`hist`] — fixed-memory log-bucketed [`Histogram`] (relaxed atomics,
+//!   mergeable, exact-rank quantiles with ≤ 1/32 relative overshoot),
+//!   threaded through [`crate::ServeStats`] for queue/infer/total
+//!   latency and batch-size distributions per model, plus named
+//!   per-stage histograms fed by [`StageObserver`].
+//! - [`recorder`] — seqlock ring-buffer [`FlightRecorder`] keeping the
+//!   newest N per-request [`TraceRecord`] spans, dumped by
+//!   `/debug/requests`.
+//! - [`log`] — `PECAN_LOG`-leveled logfmt stderr logger behind the
+//!   [`log_error!`](crate::log_error) … [`log_trace!`](crate::log_trace)
+//!   macros.
+//! - [`metrics`] — [`PromText`](metrics::PromText) renders every
+//!   counter, gauge and histogram in Prometheus text exposition format
+//!   for the `/metrics` route served by both front ends.
+
+pub mod hist;
+pub mod log;
+pub mod metrics;
+pub mod recorder;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use log::Level;
+pub use recorder::{FlightRecorder, TraceRecord, NO_MODEL};
+
+/// Sink for per-stage wall time inside an engine's inference loop.
+///
+/// [`crate::FrozenEngine::infer_observed`] calls `record_stage` once per
+/// stage per batch with the stage's kind name (e.g. `"lut-conv"`) and
+/// its wall time. Implementations must be cheap and lock-free — the call
+/// sits on the inference hot path. [`crate::ServeStats`] implements this
+/// by recording into its named per-stage histograms.
+pub trait StageObserver: Send + Sync {
+    /// Accounts `wall_ns` nanoseconds of work to the stage kind `stage`.
+    fn record_stage(&self, stage: &'static str, wall_ns: u64);
+}

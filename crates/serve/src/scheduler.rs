@@ -28,6 +28,7 @@
 //! engine.
 
 use crate::error::ServeError;
+use crate::obs::StageObserver;
 use crate::stats::{ServeStats, StatsSnapshot};
 use crate::FrozenEngine;
 use std::collections::VecDeque;
@@ -53,6 +54,29 @@ pub trait BatchRunner: Send + Sync + 'static {
     /// Implementation-defined; the scheduler clones the error to every
     /// request of the failed batch.
     fn run_batch(&self, inputs: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, ServeError>;
+
+    /// Distinct stage kinds this runner executes, in pipeline order —
+    /// the scheduler sizes its per-stage latency histograms from this.
+    /// The default (no stages) disables per-stage timing.
+    fn stage_kinds(&self) -> Vec<&'static str> {
+        Vec::new()
+    }
+
+    /// As [`BatchRunner::run_batch`], optionally reporting per-stage
+    /// wall time to `obs`. The default ignores the observer, so plain
+    /// runners (and test doubles) need not care.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BatchRunner::run_batch`].
+    fn run_batch_observed(
+        &self,
+        inputs: &[Vec<f32>],
+        obs: Option<&dyn StageObserver>,
+    ) -> Result<Vec<Vec<f32>>, ServeError> {
+        let _ = obs;
+        self.run_batch(inputs)
+    }
 }
 
 impl BatchRunner for FrozenEngine {
@@ -64,6 +88,16 @@ impl BatchRunner for FrozenEngine {
     }
     fn run_batch(&self, inputs: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, ServeError> {
         self.predict_batch(inputs)
+    }
+    fn stage_kinds(&self) -> Vec<&'static str> {
+        FrozenEngine::stage_kinds(self)
+    }
+    fn run_batch_observed(
+        &self,
+        inputs: &[Vec<f32>],
+        obs: Option<&dyn StageObserver>,
+    ) -> Result<Vec<Vec<f32>>, ServeError> {
+        self.predict_batch_observed(inputs, obs)
     }
 }
 
@@ -104,6 +138,9 @@ pub struct Prediction {
     pub total: Duration,
     /// How many requests shared this request's batch.
     pub batch_size: usize,
+    /// ID of the batch this request rode in (1-based, unique per
+    /// scheduler) — correlates flight-recorder traces across requests.
+    pub batch_id: u64,
 }
 
 /// How one request's answer travels back to its submitter.
@@ -198,12 +235,13 @@ impl BatchScheduler {
         config.max_batch = config.max_batch.max(1);
         config.workers = config.workers.max(1);
         config.queue_capacity = config.queue_capacity.max(1);
+        let runner_stages = runner.stage_kinds();
         let shared = Arc::new(Shared {
             runner,
             config: config.clone(),
             state: Mutex::new(QueueState { queue: VecDeque::new(), shutdown: false }),
             cvar: Condvar::new(),
-            stats: ServeStats::new(),
+            stats: ServeStats::with_stages(&runner_stages),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -225,6 +263,13 @@ impl BatchScheduler {
     /// Live counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// The live stats store itself — histograms included. `/metrics`
+    /// reads distributions from here without snapshotting counters it
+    /// does not need.
+    pub fn serve_stats(&self) -> &ServeStats {
+        &self.shared.stats
     }
 
     /// Enqueues one request, returning a [`Ticket`] to wait on.
@@ -416,15 +461,23 @@ fn worker_loop(shared: &Shared) {
         // move it out instead of cloning on the hot path.
         let inputs: Vec<Vec<f32>> =
             batch.iter_mut().map(|r| std::mem::take(&mut r.input)).collect();
-        shared.stats.record_batch(batch.len());
+        let batch_id = shared.stats.record_batch(batch.len());
         // A panicking runner must not kill the worker: queued requests
         // behind this batch would never be answered and their tickets
         // would hang forever. Contain it and answer the batch with an
         // error instead.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            shared.runner.run_batch(&inputs)
+            shared.runner.run_batch_observed(&inputs, Some(&shared.stats))
         }))
-        .unwrap_or_else(|_| Err(ServeError::Engine("inference worker panicked".into())));
+        .unwrap_or_else(|_| {
+            crate::log_error!(
+                "serve::scheduler",
+                "inference worker panicked",
+                batch_id = batch_id,
+                batch_size = inputs.len(),
+            );
+            Err(ServeError::Engine("inference worker panicked".into()))
+        });
         match outcome {
             Ok(outputs) => {
                 for (req, output) in batch.into_iter().zip(outputs) {
@@ -438,10 +491,18 @@ fn worker_loop(shared: &Shared) {
                         queued,
                         total,
                         batch_size: inputs.len(),
+                        batch_id,
                     }));
                 }
             }
             Err(e) => {
+                crate::log_warn!(
+                    "serve::scheduler",
+                    "batch failed",
+                    batch_id = batch_id,
+                    batch_size = inputs.len(),
+                    error = e,
+                );
                 for req in batch {
                     shared.stats.record_failed();
                     req.reply.send(Err(e.clone()));

@@ -1,10 +1,18 @@
 //! Lock-free serving counters: per-request latency accounting aggregated
-//! across scheduler workers, exported by the HTTP front end's `/stats`.
+//! across scheduler workers, exported by the HTTP front end's `/stats`
+//! and (with full distributions) by `/metrics`.
 
+use crate::obs::{Histogram, StageObserver};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Monotonic counters updated by the scheduler with relaxed atomics — the
-/// hot path never takes a lock to account a request.
+/// Monotonic counters plus latency/batch-size [`Histogram`]s, updated by
+/// the scheduler with relaxed atomics — the hot path never takes a lock
+/// to account a request.
+///
+/// The histograms record in nanoseconds (latencies) and requests
+/// (batch size); `stage_histograms` carries one histogram per stage
+/// *kind* of the model's pipeline (fed through the [`StageObserver`]
+/// impl from inside `FrozenEngine::infer_observed`).
 #[derive(Debug, Default)]
 pub struct ServeStats {
     submitted: AtomicU64,
@@ -16,12 +24,24 @@ pub struct ServeStats {
     queue_ns_total: AtomicU64,
     total_ns_total: AtomicU64,
     total_ns_max: AtomicU64,
+    latency: Histogram,
+    queue: Histogram,
+    infer: Histogram,
+    batch_size: Histogram,
+    stages: Vec<(&'static str, Histogram)>,
 }
 
 impl ServeStats {
-    /// Fresh, all-zero counters.
+    /// Fresh, all-zero counters with no per-stage histograms.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh counters with one named histogram per stage kind (duplicate
+    /// kinds share one histogram slot upstream, so `kinds` is expected
+    /// deduplicated — see `FrozenEngine::stage_kinds`).
+    pub fn with_stages(kinds: &[&'static str]) -> Self {
+        Self { stages: kinds.iter().map(|k| (*k, Histogram::new())).collect(), ..Self::default() }
     }
 
     pub(crate) fn record_submitted(&self) {
@@ -32,9 +52,13 @@ impl ServeStats {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_batch(&self, size: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
+    /// Accounts one executed batch and returns its batch ID (1-based,
+    /// unique per scheduler) for request tracing.
+    pub(crate) fn record_batch(&self, size: usize) -> u64 {
+        let id = self.batches.fetch_add(1, Ordering::Relaxed) + 1;
         self.batched_requests.fetch_add(size as u64, Ordering::Relaxed);
+        self.batch_size.record(size as u64);
+        id
     }
 
     pub(crate) fn record_completed(&self, queue_ns: u64, total_ns: u64) {
@@ -42,16 +66,46 @@ impl ServeStats {
         self.queue_ns_total.fetch_add(queue_ns, Ordering::Relaxed);
         self.total_ns_total.fetch_add(total_ns, Ordering::Relaxed);
         self.total_ns_max.fetch_max(total_ns, Ordering::Relaxed);
+        self.latency.record(total_ns);
+        self.queue.record(queue_ns);
+        self.infer.record(total_ns.saturating_sub(queue_ns));
     }
 
     pub(crate) fn record_failed(&self) {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Submit→answer latency distribution, nanoseconds.
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Queue-wait distribution, nanoseconds.
+    pub fn queue_histogram(&self) -> &Histogram {
+        &self.queue
+    }
+
+    /// Batch-start→answer (inference + dispatch) distribution, ns.
+    pub fn infer_histogram(&self) -> &Histogram {
+        &self.infer
+    }
+
+    /// Requests-per-executed-batch distribution.
+    pub fn batch_size_histogram(&self) -> &Histogram {
+        &self.batch_size
+    }
+
+    /// Per-stage wall-time histograms, nanoseconds per batch, keyed by
+    /// stage kind. Empty unless built with [`ServeStats::with_stages`].
+    pub fn stage_histograms(&self) -> &[(&'static str, Histogram)] {
+        &self.stages
+    }
+
     /// Coherent-enough point-in-time copy of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         let completed = self.completed.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
+        let latency = self.latency.snapshot();
         let div = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
         StatsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -63,6 +117,20 @@ impl ServeStats {
             mean_queue_us: div(self.queue_ns_total.load(Ordering::Relaxed), completed) / 1_000.0,
             mean_latency_us: div(self.total_ns_total.load(Ordering::Relaxed), completed) / 1_000.0,
             max_latency_us: self.total_ns_max.load(Ordering::Relaxed) / 1_000,
+            p50_latency_us: latency.quantile(0.50) / 1_000,
+            p90_latency_us: latency.quantile(0.90) / 1_000,
+            p99_latency_us: latency.quantile(0.99) / 1_000,
+            p999_latency_us: latency.quantile(0.999) / 1_000,
+        }
+    }
+}
+
+impl StageObserver for ServeStats {
+    fn record_stage(&self, stage: &'static str, wall_ns: u64) {
+        // Linear scan: pipelines have a handful of stage kinds, and a
+        // lookup table would cost more than the compare loop.
+        if let Some((_, h)) = self.stages.iter().find(|(k, _)| *k == stage) {
+            h.record(wall_ns);
         }
     }
 }
@@ -88,6 +156,14 @@ pub struct StatsSnapshot {
     pub mean_latency_us: f64,
     /// Worst submit→answer latency.
     pub max_latency_us: u64,
+    /// Median submit→answer latency (histogram upper bound).
+    pub p50_latency_us: u64,
+    /// 90th-percentile submit→answer latency (histogram upper bound).
+    pub p90_latency_us: u64,
+    /// 99th-percentile submit→answer latency (histogram upper bound).
+    pub p99_latency_us: u64,
+    /// 99.9th-percentile submit→answer latency (histogram upper bound).
+    pub p999_latency_us: u64,
 }
 
 impl StatsSnapshot {
@@ -96,7 +172,9 @@ impl StatsSnapshot {
         format!(
             "{{\"submitted\":{},\"completed\":{},\"rejected\":{},\"failed\":{},\
              \"batches\":{},\"mean_batch\":{:.3},\"mean_queue_us\":{:.1},\
-             \"mean_latency_us\":{:.1},\"max_latency_us\":{}}}",
+             \"mean_latency_us\":{:.1},\"max_latency_us\":{},\
+             \"p50_latency_us\":{},\"p90_latency_us\":{},\
+             \"p99_latency_us\":{},\"p999_latency_us\":{}}}",
             self.submitted,
             self.completed,
             self.rejected,
@@ -106,6 +184,10 @@ impl StatsSnapshot {
             self.mean_queue_us,
             self.mean_latency_us,
             self.max_latency_us,
+            self.p50_latency_us,
+            self.p90_latency_us,
+            self.p99_latency_us,
+            self.p999_latency_us,
         )
     }
 }
@@ -123,13 +205,17 @@ pub(crate) enum ConnTag {
 }
 
 /// Connection-tier counters for the HTTP front end, exported under the
-/// `"connections"` key of the bare `/stats` route.
+/// `"connections"` key of the bare `/stats` route and as gauges under
+/// `/metrics`.
 ///
-/// Lifecycle counters (`accepted`/`closed`/`requests`/`responses`/
-/// `timeouts`/`shed_*`) are maintained by both front ends; the per-state
-/// gauges (`reading`/`handling`/`writing`) and `inflight` are maintained
-/// by the event loop, which owns every connection state transition — the
-/// threaded front end leaves them at zero.
+/// Both front ends maintain every field — lifecycle counters
+/// (`accepted`/`closed`/`requests`/`responses`/`timeouts`/`shed_*`) and
+/// the per-state gauges (`reading`/`handling`/`writing`) plus
+/// `inflight`. In the event loop a connection's tag reflects its state
+/// machine (write backlog beats pending inference); in the threaded
+/// front end each connection thread retags itself around the blocking
+/// predict and write calls, so `handling` counts connections waiting on
+/// a scheduler and `writing` counts connections mid-flush.
 #[derive(Debug, Default)]
 pub struct ConnStats {
     accepted: AtomicU64,
@@ -240,18 +326,17 @@ pub struct ConnStatsSnapshot {
     pub closed: u64,
     /// Connections currently open (gauge; `accepted - closed`).
     pub active: u64,
-    /// Connections waiting for request bytes (gauge, event loop only).
+    /// Connections waiting for request bytes (gauge).
     pub reading: u64,
-    /// Connections with an inference in flight (gauge, event loop only).
+    /// Connections with an inference in flight (gauge).
     pub handling: u64,
-    /// Connections with unflushed response bytes (gauge, event loop only).
+    /// Connections with unflushed response bytes (gauge).
     pub writing: u64,
     /// Requests parsed off sockets.
     pub requests: u64,
     /// Responses handed to sockets.
     pub responses: u64,
-    /// Requests submitted to a scheduler and not yet answered (gauge,
-    /// event loop only).
+    /// Requests submitted to a scheduler and not yet answered (gauge).
     pub inflight: u64,
     /// Connections closed by the idle/read timeout.
     pub timeouts: u64,
@@ -342,8 +427,27 @@ mod tests {
         assert!((snap.mean_queue_us - 1.5).abs() < 1e-9);
         assert!((snap.mean_latency_us - 4.0).abs() < 1e-9);
         assert_eq!(snap.max_latency_us, 5);
+        // Quantiles come from the histogram: upper bounds, never below
+        // the true order statistic, clamped to the recorded max.
+        assert!(snap.p50_latency_us >= 3 && snap.p50_latency_us <= 5);
+        assert_eq!(snap.p99_latency_us, 5);
         let json = snap.to_json();
         assert!(json.contains("\"completed\":2"));
         assert!(json.contains("\"mean_batch\":2.000"));
+        assert!(json.contains("\"p99_latency_us\":5"));
+    }
+
+    #[test]
+    fn batch_ids_count_from_one_and_stage_histograms_record() {
+        let stats = ServeStats::with_stages(&["lut-conv", "relu"]);
+        assert_eq!(stats.record_batch(3), 1);
+        assert_eq!(stats.record_batch(1), 2);
+        assert_eq!(stats.batch_size_histogram().count(), 2);
+        stats.record_stage("lut-conv", 500);
+        stats.record_stage("unknown", 500); // silently ignored
+        let stages = stats.stage_histograms();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].1.count(), 1);
+        assert_eq!(stages[1].1.count(), 0);
     }
 }

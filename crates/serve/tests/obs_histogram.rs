@@ -1,0 +1,168 @@
+//! Property and stress battery for the lock-free latency histogram.
+//!
+//! Three contracts back the `/metrics` numbers:
+//!
+//! 1. **Quantile accuracy** — against a sorted-vector oracle, every
+//!    reported quantile is an upper bound on the exact rank statistic and
+//!    overshoots by at most one log-bucket width (relative error ≤ 1/32,
+//!    plus 1 for integer rounding). Values below 32 are exact.
+//! 2. **Concurrency** — `record` from many threads loses nothing: counts,
+//!    sums, maxima and every bucket match a single-threaded reference.
+//!    This is what "relaxed atomics are enough" means observably.
+//! 3. **Merge algebra** — snapshot merge is associative and agrees with
+//!    recording the union, so per-model histograms can be aggregated in
+//!    any order without changing a dashboard.
+
+use pecan_serve::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+use proptest::num;
+
+/// Exact rank statistic the histogram approximates: the smallest value
+/// with rank `max(1, ceil(q * n))` in sorted order.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1).min(sorted.len());
+    sorted[rank - 1]
+}
+
+/// The histogram's advertised error bound: `got` never undershoots the
+/// oracle and overshoots by at most one sub-bucket width.
+fn assert_within_bound(got: u64, oracle: u64, q: f64) {
+    assert!(
+        got >= oracle,
+        "quantile({q}) = {got} undershoots exact rank statistic {oracle}"
+    );
+    assert!(
+        got - oracle <= oracle / 32 + 1,
+        "quantile({q}) = {got} overshoots {oracle} by more than 1/32 + 1"
+    );
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+const QS: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Full-domain u64 samples: every quantile the exposition reports is
+    /// within one log-bucket of the exact rank statistic.
+    #[test]
+    fn quantiles_track_the_sorted_oracle(
+        values in proptest::collection::vec(num::u64::ANY, 1..300),
+    ) {
+        let snap = snapshot_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.count(), sorted.len() as u64);
+        prop_assert_eq!(snap.max(), *sorted.last().unwrap());
+        for q in QS {
+            assert_within_bound(snap.quantile(q), oracle_quantile(&sorted, q), q);
+        }
+    }
+
+    /// Latency-shaped samples (microsecond-to-second magnitudes, where
+    /// the log buckets are coarsest relative to typical SLOs).
+    #[test]
+    fn quantiles_hold_on_latency_shaped_samples(
+        values in proptest::collection::vec(1u64..2_000_000_000, 1..300),
+    ) {
+        let snap = snapshot_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in QS {
+            assert_within_bound(snap.quantile(q), oracle_quantile(&sorted, q), q);
+        }
+    }
+
+    /// Sub-32 values occupy exact unit buckets, so quantiles are exact.
+    #[test]
+    fn small_values_answer_exact_quantiles(
+        values in proptest::collection::vec(0u64..32, 1..200),
+    ) {
+        let snap = snapshot_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in QS {
+            prop_assert_eq!(snap.quantile(q), oracle_quantile(&sorted, q));
+        }
+    }
+
+    /// Snapshot merge is associative and equals recording the union —
+    /// aggregation order cannot change what a scrape reports.
+    #[test]
+    fn merge_is_associative_and_union_faithful(
+        a in proptest::collection::vec(num::u64::ANY, 0..120),
+        b in proptest::collection::vec(num::u64::ANY, 0..120),
+        c in proptest::collection::vec(num::u64::ANY, 0..120),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let left = sa.merge(&sb).merge(&sc);
+        let right = sa.merge(&sb.merge(&sc));
+        prop_assert_eq!(&left, &right);
+
+        let mut union = a.clone();
+        union.extend_from_slice(&b);
+        union.extend_from_slice(&c);
+        prop_assert_eq!(&left, &snapshot_of(&union));
+    }
+}
+
+/// Many writers, one histogram: nothing is lost and nothing is invented.
+/// Every thread records the same value set, so the merged result must be
+/// exactly `THREADS` single-threaded reference histograms.
+#[test]
+fn concurrent_recording_conserves_totals_and_buckets() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 4_000;
+
+    // Deterministic value mix spanning several bucket rows.
+    let values: Vec<u64> =
+        (0..PER_THREAD).map(|i| (i as u64).wrapping_mul(2_654_435_761) % 50_000_000).collect();
+
+    let shared = Histogram::new();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for &v in &values {
+                    shared.record(v);
+                }
+            });
+        }
+    });
+
+    let got = shared.snapshot();
+    let reference = snapshot_of(&values);
+    assert_eq!(got.count(), (THREADS * PER_THREAD) as u64);
+    assert_eq!(
+        got.sum(),
+        values.iter().map(|&v| v as u128).sum::<u128>() as u64 * THREADS as u64
+    );
+    assert_eq!(got.max(), reference.max());
+    // Bucket-for-bucket: each bucket holds exactly THREADS× the reference.
+    let mut expected = reference.clone();
+    for _ in 1..THREADS {
+        expected = expected.merge(&reference);
+    }
+    assert_eq!(got, expected);
+}
+
+/// `merge_from` on the live (atomic) histogram agrees with snapshot merge.
+#[test]
+fn live_merge_from_matches_snapshot_merge() {
+    let a = Histogram::new();
+    let b = Histogram::new();
+    for v in [0, 1, 31, 32, 63, 64, 1_000, 123_456_789, u64::MAX] {
+        a.record(v);
+        b.record(v / 3 + 7);
+    }
+    let merged_snapshots = a.snapshot().merge(&b.snapshot());
+    a.merge_from(&b);
+    assert_eq!(a.snapshot(), merged_snapshots);
+}
