@@ -273,10 +273,13 @@ impl DotProductCam {
                 self.entries()
             )));
         }
+        // One `data()` borrow for every row: shared-storage tensors
+        // (mmap-backed snapshots) pay a dynamic dispatch per borrow, and
+        // this runs once per column per group on the serving hot path.
+        let rows = self.rows.data();
+        let d = self.width();
         for (r, slot) in out.iter_mut().enumerate() {
-            *slot = self
-                .rows
-                .row(r)
+            *slot = rows[r * d..(r + 1) * d]
                 .iter()
                 .zip(query)
                 .map(|(&a, &b)| a * b)

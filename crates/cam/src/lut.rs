@@ -85,8 +85,13 @@ impl LookupTable {
                 self.outputs()
             )));
         }
+        // One `data()` borrow for the whole loop: shared-storage tensors
+        // (mmap-backed snapshots) pay a dynamic dispatch per borrow, so the
+        // hot retrieval loops must not borrow per element.
+        let table = self.table.data();
+        let p = self.entries();
         for (o, a) in acc.iter_mut().enumerate() {
-            *a += self.table.get2(o, entry);
+            *a += table[o * p + entry];
         }
         Ok(())
     }
@@ -117,10 +122,14 @@ impl LookupTable {
                 self.outputs()
             )));
         }
+        // Borrow once, then walk rows as slices (see `accumulate_column`).
+        let table = self.table.data();
+        let p = self.entries();
         for (o, a) in acc.iter_mut().enumerate() {
+            let row = &table[o * p..(o + 1) * p];
             let mut s = 0.0;
-            for (m, &w) in weights.iter().enumerate() {
-                s += w * self.table.get2(o, m);
+            for (&w, &y) in weights.iter().zip(row) {
+                s += w * y;
             }
             *a += s;
         }

@@ -189,6 +189,71 @@ impl LayerLut {
         Ok(Self { variant, tau: config.tau(), config, c_out, analog, dot, luts: tables, bias })
     }
 
+    /// As [`LayerLut::from_tables`], but takes the CAM arrays directly in
+    /// their **runtime** `[p, d]` row layout — no transpose, no copy. This
+    /// is the zero-copy deserialization hook: snapshot v3 stores every
+    /// section in runtime layout, so a loader can hand in borrowed
+    /// [`Tensor`] views over a memory-mapped file and the engine is built
+    /// without touching the bulk data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the part counts or shapes disagree with
+    /// `config` (group count, `[p, d]` CAM rows, `[cout, p]` tables with a
+    /// consistent `cout`, bias of length `cout`).
+    pub fn from_borrowed_tables(
+        variant: PecanVariant,
+        config: PqConfig,
+        cam_rows: Vec<Tensor>,
+        tables: Vec<LookupTable>,
+        bias: Option<Tensor>,
+    ) -> Result<Self, ShapeError> {
+        if cam_rows.len() != config.groups() || tables.len() != config.groups() {
+            return Err(ShapeError::new(format!(
+                "{} CAM arrays / {} tables for {} groups",
+                cam_rows.len(),
+                tables.len(),
+                config.groups()
+            )));
+        }
+        let c_out = tables[0].outputs();
+        for (j, t) in tables.iter().enumerate() {
+            if t.outputs() != c_out || t.entries() != config.prototypes() {
+                return Err(ShapeError::new(format!(
+                    "table group {j} is [{}, {}], expected [{c_out}, {}]",
+                    t.outputs(),
+                    t.entries(),
+                    config.prototypes()
+                )));
+            }
+        }
+        if let Some(b) = &bias {
+            if b.len() != c_out {
+                return Err(ShapeError::new(format!(
+                    "bias of {} for {c_out} outputs",
+                    b.len()
+                )));
+            }
+        }
+        let d = config.dim();
+        let mut analog = Vec::new();
+        let mut dot = Vec::new();
+        for (j, rows) in cam_rows.into_iter().enumerate() {
+            if rows.dims() != [config.prototypes(), d] {
+                return Err(ShapeError::new(format!(
+                    "CAM group {j} has shape {:?}, expected [{}, {d}]",
+                    rows.dims(),
+                    config.prototypes()
+                )));
+            }
+            match variant {
+                PecanVariant::Distance => analog.push(AnalogCam::new(rows)?),
+                PecanVariant::Angle => dot.push(DotProductCam::new(rows)?),
+            }
+        }
+        Ok(Self { variant, tau: config.tau(), config, c_out, analog, dot, luts: tables, bias })
+    }
+
     /// Output width `cout`.
     pub fn outputs(&self) -> usize {
         self.c_out
@@ -226,6 +291,17 @@ impl LayerLut {
             PecanVariant::Angle => {
                 self.dot.iter().map(|cam| transposed(cam.rows())).collect()
             }
+        }
+    }
+
+    /// The per-group CAM arrays in their runtime `[p, d]` row layout — the
+    /// exact tensors a [`LayerLut::from_borrowed_tables`] round trip needs
+    /// (and the layout snapshot v3 stores, so serialization is a straight
+    /// byte copy with no transpose).
+    pub fn cam_rows(&self) -> Vec<&Tensor> {
+        match self.variant {
+            PecanVariant::Distance => self.analog.iter().map(AnalogCam::rows).collect(),
+            PecanVariant::Angle => self.dot.iter().map(DotProductCam::rows).collect(),
         }
     }
 

@@ -177,13 +177,18 @@ fn run() -> Result<ExitCode, String> {
         let addr = Arc::clone(&addr);
         let route = Arc::clone(&route);
         let seed = args.seed.wrapping_add(1 + t as u64);
-        handles.push(std::thread::spawn(move || -> Result<Vec<u64>, String> {
+        handles.push(std::thread::spawn(move || -> Result<(Vec<u64>, Option<u64>), String> {
             let mut clients = Vec::with_capacity(conns_here);
             for _ in 0..conns_here {
                 clients.push(connect(&addr)?);
             }
             let mut rng = StdRng::seed_from_u64(seed);
             let mut latencies = Vec::with_capacity(per_conn * conns_here);
+            // Time-to-first-response: run start → this thread's first 200
+            // (connect included). The run-wide minimum lands in the report
+            // as `ttfr_ns` — with `--warmup 0` against a fresh server it
+            // measures cold start end to end.
+            let mut first_ns = None;
             for _ in 0..per_conn {
                 for client in &mut clients {
                     let body = json::format_f32_array(&random_input(&mut rng, input_len));
@@ -193,6 +198,9 @@ fn run() -> Result<ExitCode, String> {
                     let elapsed = sent.elapsed();
                     if status != 200 {
                         return Err(format!("{route} answered {status}: {body}"));
+                    }
+                    if first_ns.is_none() {
+                        first_ns = Some(started.elapsed().as_nanos() as u64);
                     }
                     let output = json::array_field(&body, "output")?;
                     if output.len() != output_len {
@@ -204,15 +212,22 @@ fn run() -> Result<ExitCode, String> {
                     latencies.push(elapsed.as_nanos() as u64);
                 }
             }
-            Ok(latencies)
+            Ok((latencies, first_ns))
         }));
     }
     debug_assert_eq!(assigned, args.connections);
     let mut latencies: Vec<u64> = Vec::new();
+    let mut ttfr_ns: Option<u64> = None;
     let mut errors = Vec::new();
     for h in handles {
         match h.join().map_err(|_| "worker panicked".to_string())? {
-            Ok(mut l) => latencies.append(&mut l),
+            Ok((mut l, first)) => {
+                latencies.append(&mut l);
+                ttfr_ns = match (ttfr_ns, first) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
             Err(e) => errors.push(e),
         }
     }
@@ -244,6 +259,9 @@ fn run() -> Result<ExitCode, String> {
         wall.as_secs_f64()
     );
     println!("throughput_rps: {throughput:.1}");
+    if let Some(ns) = ttfr_ns {
+        println!("ttfr_us: {}", ns / 1_000);
+    }
     println!(
         "latency_us: p50 {} | p90 {} | p99 {} | max {}",
         pct(0.50) / 1_000,
@@ -260,8 +278,10 @@ fn run() -> Result<ExitCode, String> {
         // p99 from /metrics, so the report shows both sides of the run.
         let server_p99 =
             server_p99_ns.map_or(String::new(), |ns| format!("\n  \"server_p99_ns\": {ns},"));
+        let ttfr =
+            ttfr_ns.map_or(String::new(), |ns| format!("\n  \"ttfr_ns\": {ns},"));
         let body = format!(
-            "{{\n  \"name\": \"{}\",\n  \"model\": \"{}\",\n  \"median_ns\": {},\n  \"min_ns\": {},\n  \"max_ns\": {},\n  \"p99_ns\": {},{}\n  \"samples\": {},\n  \"iters_per_sample\": 1,\n  \"throughput_rps\": {:.1}\n}}\n",
+            "{{\n  \"name\": \"{}\",\n  \"model\": \"{}\",\n  \"median_ns\": {},\n  \"min_ns\": {},\n  \"max_ns\": {},\n  \"p99_ns\": {},{}{ttfr}\n  \"samples\": {},\n  \"iters_per_sample\": 1,\n  \"throughput_rps\": {:.1}\n}}\n",
             json::escape(&name),
             json::escape(&model_name),
             pct(0.50),

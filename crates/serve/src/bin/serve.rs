@@ -22,6 +22,13 @@
 //! `--addr HOST:PORT`, `--max-batch N`, `--max-wait-us N`,
 //! `--queue-cap N`, `--workers N` (scheduler knobs apply to every model).
 //!
+//! Lifecycle knobs: `--mmap` (serve snapshots straight from page cache
+//! via `FrozenEngine::open_snapshot` — instant cold start for v3 files),
+//! `--model-dir PATH` (watch a directory of `*.psnp` files: new files
+//! hot-register, changed files blue/green-reload; see
+//! `docs/serving-ops.md`), `--watch-interval-ms N` (scan period, default
+//! 2000). Snapshot-backed models also answer `POST /models/{name}/reload`.
+//!
 //! Front-end knobs: `--event-loop` (epoll event loop instead of
 //! thread-per-connection; falls back to threaded where unsupported),
 //! `--max-conns N` (connection cap, `503` beyond it),
@@ -33,7 +40,8 @@
 //! environment variable for structured stderr logging).
 
 use pecan_serve::{
-    demo, EngineRegistry, FrozenEngine, SchedulerConfig, Server, ServerConfig,
+    demo, EngineRegistry, FrozenEngine, LoadMode, ModelWatcher, SchedulerConfig, Server,
+    ServerConfig, WatcherConfig,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -56,6 +64,9 @@ struct Args {
     read_timeout_ms: u64,
     flight_records: usize,
     log: Option<String>,
+    mmap: bool,
+    model_dir: Option<String>,
+    watch_interval_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -76,6 +87,9 @@ fn parse_args() -> Result<Args, String> {
         read_timeout_ms: 30_000,
         flight_records: 256,
         log: None,
+        mmap: false,
+        model_dir: None,
+        watch_interval_ms: 2000,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -119,13 +133,20 @@ fn parse_args() -> Result<Args, String> {
                     parse_num(&value("--flight-records")?, "--flight-records")?;
             }
             "--log" => args.log = Some(value("--log")?),
+            "--mmap" => args.mmap = true,
+            "--model-dir" => args.model_dir = Some(value("--model-dir")?),
+            "--watch-interval-ms" => {
+                args.watch_interval_ms =
+                    parse_num(&value("--watch-interval-ms")?, "--watch-interval-ms")?;
+            }
             "--help" | "-h" => {
                 return Err("usage: serve [--demo mlp|lenet] [--snapshot PATH] \
                             [--model NAME=PATH]... [--name NAME] [--save PATH] \
                             [--seed N] [--addr HOST:PORT] [--max-batch N] \
                             [--max-wait-us N] [--queue-cap N] [--workers N] \
                             [--event-loop] [--max-conns N] [--read-timeout-ms N] \
-                            [--flight-records N] [--log off|error|warn|info|debug|trace]"
+                            [--flight-records N] [--log off|error|warn|info|debug|trace] \
+                            [--mmap] [--model-dir PATH] [--watch-interval-ms N]"
                     .into())
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -153,12 +174,18 @@ fn main() -> ExitCode {
         }
     }
 
+    let mode = if args.mmap { LoadMode::Map } else { LoadMode::Copy };
+    let load = |path: &str| match mode {
+        LoadMode::Map => FrozenEngine::open_snapshot(path),
+        LoadMode::Copy => FrozenEngine::load_snapshot(path),
+    };
     let mut engine = match &args.snapshot {
-        Some(path) => match FrozenEngine::load_snapshot(path) {
+        Some(path) => match load(path) {
             Ok(e) => {
                 println!(
-                    "loaded snapshot {path} (model `{}`)",
-                    e.name().unwrap_or("default")
+                    "loaded snapshot {path} (model `{}`{})",
+                    e.name().unwrap_or("default"),
+                    if e.uses_shared_storage() { ", memory-mapped" } else { "" }
                 );
                 e
             }
@@ -201,21 +228,20 @@ fn main() -> ExitCode {
         queue_capacity: args.queue_cap,
         workers: args.workers,
     };
-    let mut registry = EngineRegistry::new();
+    let registry = Arc::new(EngineRegistry::new());
     if let Err(e) = registry.register(Arc::new(engine), scheduler.clone()) {
         eprintln!("cannot register default model: {e}");
         return ExitCode::FAILURE;
     }
+    if let Some(path) = &args.snapshot {
+        // Remember the file so POST /reload can re-read it the same way.
+        if let Ok(entry) = registry.resolve(None) {
+            entry.set_source(path, mode);
+        }
+    }
     for (name, path) in &args.models {
-        let extra = match FrozenEngine::load_snapshot(path) {
-            Ok(e) => e,
-            Err(e) => {
-                eprintln!("cannot load snapshot {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if let Err(e) = registry.register_as(name.clone(), Arc::new(extra), scheduler.clone()) {
-            eprintln!("cannot register model `{name}`: {e}");
+        if let Err(e) = registry.register_file(name.clone(), path, mode, scheduler.clone()) {
+            eprintln!("cannot register model `{name}` from {path}: {e}");
             return ExitCode::FAILURE;
         }
     }
@@ -232,7 +258,7 @@ fn main() -> ExitCode {
         pecan_serve::log_warn!("serve::bin", "event loop unsupported here; using threads");
         eprintln!("--event-loop is not supported on this platform; using threads");
     }
-    let server = match Server::start_registry(registry, config) {
+    let server = match Server::start_shared(Arc::clone(&registry), config) {
         Ok(s) => s,
         Err(e) => {
             pecan_serve::log_error!("serve::bin", "cannot bind", addr = args.addr, error = e);
@@ -240,6 +266,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Started after the server so hot-added models are routable the
+    // moment the watcher registers them. Dropped (stopped and joined)
+    // after `server.run()` returns.
+    let _watcher = args.model_dir.as_ref().map(|dir| {
+        println!("watching {dir} for *.psnp models every {} ms", args.watch_interval_ms);
+        ModelWatcher::start(
+            Arc::clone(&registry),
+            WatcherConfig {
+                dir: dir.into(),
+                interval: Duration::from_millis(args.watch_interval_ms),
+                mode,
+                scheduler: scheduler.clone(),
+            },
+        )
+    });
     let names = server.registry().names().join(", ");
     println!(
         "serving models: {names} (default `{}`, {} front end)",

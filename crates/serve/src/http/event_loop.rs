@@ -304,7 +304,7 @@ impl EventLoop {
                             let seq = conn.pipeline.push_pending(keep_alive);
                             let gen = conn.gen;
                             let shared = Arc::clone(&self.shared);
-                            let submit = self.http.registry.entries()[entry].scheduler().submit_with(
+                            let submit = self.http.registry.entry(entry).submit_with(
                                 input,
                                 Box::new(move |result| {
                                     lock(&shared.completions).push(Completion {

@@ -27,6 +27,8 @@
 //! | `/models/{name}/stats` | GET | — | the named model's flat counters |
 //! | `/metrics` | GET | — | Prometheus text exposition: counters, gauges, latency/batch/stage histograms |
 //! | `/debug/requests` | GET | — | flight recorder dump: the newest completed request spans |
+//! | `/reload` | POST | — | blue/green reload of the default model from its snapshot file |
+//! | `/models/{name}/reload` | POST | — | reload the named model; `{"status":"reloaded","model":…,"version":n}` |
 //! | `/shutdown` | POST | — | acknowledges, then the server drains and stops |
 //!
 //! The bare routes serve the registry's **default** model, so single-model
@@ -133,7 +135,7 @@ impl Default for ServerConfig {
 }
 
 pub(crate) struct HttpShared {
-    pub(crate) registry: EngineRegistry,
+    pub(crate) registry: Arc<EngineRegistry>,
     pub(crate) max_body: usize,
     pub(crate) read_timeout: Duration,
     pub(crate) max_connections: usize,
@@ -240,7 +242,7 @@ impl Server {
     ///
     /// [`io::Error`] when the address cannot be bound.
     pub fn start(engine: Arc<FrozenEngine>, config: ServerConfig) -> io::Result<Server> {
-        let mut registry = EngineRegistry::new();
+        let registry = EngineRegistry::new();
         registry
             .register(engine, config.scheduler.clone())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
@@ -255,6 +257,20 @@ impl Server {
     /// [`io::Error`] when the registry is empty or the address cannot be
     /// bound.
     pub fn start_registry(registry: EngineRegistry, config: ServerConfig) -> io::Result<Server> {
+        Self::start_shared(Arc::new(registry), config)
+    }
+
+    /// As [`Server::start_registry`], but over an externally shared
+    /// registry, so other components — the directory watcher, operator
+    /// tooling — can keep registering and reloading models **while the
+    /// server runs**. The registry's interior mutability makes this safe;
+    /// models added after start are routable immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] when the registry is empty or the address cannot be
+    /// bound.
+    pub fn start_shared(registry: Arc<EngineRegistry>, config: ServerConfig) -> io::Result<Server> {
         if registry.is_empty() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -329,7 +345,7 @@ impl Server {
 
     /// Live counters of the default model's scheduler.
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.registry.default_model().scheduler().stats()
+        self.shared.registry.default_model().stats()
     }
 
     /// Live connection-tier counters of the front end.
@@ -449,6 +465,10 @@ pub(crate) fn route_request(shared: &HttpShared, request: &parser::Request) -> R
             Routed::done(200, debug_requests(shared))
         }
         ("POST", "/predict") => predict_route(shared, model, &request.body),
+        ("POST", "/reload") => {
+            let (status, body) = reload_route(shared, model);
+            Routed::done(status, body)
+        }
         // Shutdown is server-wide: only the bare route exists.
         ("POST", "/shutdown") if model.is_none() => Routed::Done {
             status: 200,
@@ -511,15 +531,41 @@ fn stats(shared: &HttpShared, model: Option<&str>) -> (u16, String) {
                 out.push('"');
                 out.push_str(&json::escape(e.name()));
                 out.push_str("\":");
-                out.push_str(&e.scheduler().stats().to_json());
+                out.push_str(&e.stats().to_json());
             }
             out.push_str("}}");
             (200, out)
         }
         Some(_) => match shared.registry.resolve(model) {
-            Ok(entry) => (200, entry.scheduler().stats().to_json()),
+            Ok(entry) => (200, entry.stats().to_json()),
             Err(e) => error_response(&e),
         },
+    }
+}
+
+/// `POST /reload` and `POST /models/{name}/reload`: blue/green swap of one
+/// model from its recorded snapshot source. Answers only once the new
+/// engine is serving (or with the typed error that left the old one
+/// serving untouched): `400` for a model with no file source, `404` for an
+/// unknown name, `500` when the file no longer loads.
+fn reload_route(shared: &HttpShared, model: Option<&str>) -> (u16, String) {
+    match shared.registry.reload(model) {
+        Ok((entry, version)) => {
+            crate::log_info!(
+                "serve::http",
+                "model reloaded",
+                model = entry.name(),
+                version = version,
+            );
+            (
+                200,
+                format!(
+                    "{{\"status\":\"reloaded\",\"model\":\"{}\",\"version\":{version}}}",
+                    json::escape(entry.name())
+                ),
+            )
+        }
+        Err(e) => error_response(&e),
     }
 }
 
@@ -532,7 +578,7 @@ fn metrics(shared: &HttpShared) -> String {
     let entries = shared.registry.entries();
     let models: Vec<(&str, &crate::ServeStats, StatsSnapshot)> = entries
         .iter()
-        .map(|e| (e.name(), e.scheduler().serve_stats(), e.scheduler().stats()))
+        .map(|e| (e.name(), e.serve_stats(), e.stats()))
         .collect();
     let mut page = PromText::new();
 
@@ -550,7 +596,7 @@ fn metrics(shared: &HttpShared) -> String {
 
     page.family("pecan_queue_depth", PromKind::Gauge, "Requests waiting in the scheduler queue.");
     for (i, (model, _, _)) in models.iter().enumerate() {
-        page.sample("pecan_queue_depth", &[("model", model)], entries[i].scheduler().queue_len() as f64);
+        page.sample("pecan_queue_depth", &[("model", model)], entries[i].queue_len() as f64);
     }
 
     let latency_family =
@@ -676,9 +722,9 @@ fn predict_route(shared: &HttpShared, model: Option<&str>, body: &[u8]) -> Route
     // Load-aware shedding: refuse *before* the scheduler's hard queue
     // bound so the reject is cheap and the queue keeps headroom for
     // requests already past routing.
-    let scheduler = shared.registry.entries()[idx].scheduler();
-    let capacity = scheduler.config().queue_capacity;
-    if scheduler.queue_len() >= shed_threshold(capacity, shared.shed_fraction) {
+    let entry = shared.registry.entry(idx);
+    let capacity = entry.config().queue_capacity;
+    if entry.queue_len() >= shed_threshold(capacity, shared.shed_fraction) {
         shared.conn_stats.record_shed_request();
         let (status, body) = error_response(&ServeError::Overloaded { capacity });
         return Routed::done(status, body);

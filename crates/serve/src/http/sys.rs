@@ -42,6 +42,9 @@ mod nr {
     pub const READ: usize = 0;
     pub const WRITE: usize = 1;
     pub const CLOSE: usize = 3;
+    pub const MMAP: usize = 9;
+    pub const MUNMAP: usize = 11;
+    pub const MADVISE: usize = 28;
     pub const EPOLL_CTL: usize = 233;
     pub const EPOLL_PWAIT: usize = 281;
     pub const EVENTFD2: usize = 290;
@@ -53,6 +56,9 @@ mod nr {
     pub const READ: usize = 63;
     pub const WRITE: usize = 64;
     pub const CLOSE: usize = 57;
+    pub const MMAP: usize = 222;
+    pub const MUNMAP: usize = 215;
+    pub const MADVISE: usize = 233;
     pub const EPOLL_CTL: usize = 21;
     pub const EPOLL_PWAIT: usize = 22;
     pub const EVENTFD2: usize = 19;
@@ -279,6 +285,98 @@ impl Drop for EventFd {
     }
 }
 
+const PROT_READ: usize = 0x1;
+const MAP_PRIVATE: usize = 0x02;
+const MADV_WILLNEED: usize = 3;
+
+/// A read-only, private memory mapping of a whole file. Unmapped on drop.
+///
+/// Backs zero-copy snapshot loading: the kernel pages file bytes in on
+/// demand and shares clean pages with every other mapping of the same
+/// file, so "loading" a model is an `mmap` plus header validation — no
+/// bulk read, no heap copy, and repeated loads of one file cost one page
+/// cache, not N heaps.
+pub struct Mmap {
+    addr: usize,
+    len: usize,
+}
+
+// The mapping is read-only (PROT_READ) for its whole lifetime, so shared
+// references to it may cross threads freely.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len).finish()
+    }
+}
+
+impl Mmap {
+    /// `mmap(NULL, len, PROT_READ, MAP_PRIVATE, fd, 0)` over the whole
+    /// file behind `file`. Zero-length files cannot be mapped.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's, as an [`io::Error`]; [`io::ErrorKind::InvalidInput`]
+    /// for an empty file.
+    pub fn map_file(file: &std::fs::File) -> io::Result<Self> {
+        use std::os::fd::AsRawFd;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "cannot map an empty file"));
+        }
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        let ret = unsafe {
+            syscall(
+                nr::MMAP,
+                [0, len, PROT_READ, MAP_PRIVATE, file.as_raw_fd() as usize, 0],
+            )
+        };
+        let addr = check(ret)?;
+        Ok(Self { addr, len })
+    }
+
+    /// The mapped bytes. Page-aligned: `mmap` returns page-aligned
+    /// addresses, so any file offset aligned to 64 stays 64-aligned in
+    /// memory.
+    pub fn as_bytes(&self) -> &[u8] {
+        // Safety: `addr` is a live PROT_READ mapping of exactly `len`
+        // bytes, valid until `munmap` in `Drop`, and never written through.
+        unsafe { std::slice::from_raw_parts(self.addr as *const u8, self.len) }
+    }
+
+    /// The mapping viewed as little-endian `f32`s, or `None` when the
+    /// length is not a multiple of 4. (The base address is page-aligned,
+    /// so element alignment always holds.)
+    pub fn as_f32s(&self) -> Option<&[f32]> {
+        if self.len % 4 != 0 {
+            return None;
+        }
+        // Safety: same region as `as_bytes`; f32 has no invalid bit
+        // patterns, alignment is guaranteed by the page-aligned base, and
+        // this build only compiles on little-endian Linux targets so the
+        // on-disk LE bytes are the in-memory representation.
+        Some(unsafe { std::slice::from_raw_parts(self.addr as *const f32, self.len / 4) })
+    }
+
+    /// `madvise(MADV_WILLNEED)`: asks the kernel to start reading the
+    /// whole mapping in the background. Purely advisory — failure is
+    /// ignored.
+    pub fn advise_willneed(&self) {
+        let _ = unsafe { syscall(nr::MADVISE, [self.addr, self.len, MADV_WILLNEED, 0, 0, 0]) };
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        // Errors are unrecoverable and the address range must be treated
+        // as gone either way.
+        let _ = unsafe { syscall(nr::MUNMAP, [self.addr, self.len, 0, 0, 0, 0]) };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +403,35 @@ mod tests {
 
         wake.drain();
         assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0, "drained fd is quiet");
+    }
+
+    #[test]
+    fn mmap_views_file_bytes_and_floats() {
+        let dir = std::env::temp_dir().join(format!("pecan-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.bin");
+        let floats: Vec<f32> = (0..37).map(|i| i as f32 * 0.5 - 3.0).collect();
+        let mut bytes = Vec::new();
+        for f in &floats {
+            bytes.extend_from_slice(&f.to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let map = Mmap::map_file(&std::fs::File::open(&path).unwrap()).unwrap();
+        map.advise_willneed();
+        assert_eq!(map.as_bytes(), &bytes[..]);
+        assert_eq!(map.as_f32s().unwrap(), &floats[..]);
+
+        // Empty files cannot be mapped; odd lengths map but refuse the
+        // f32 view.
+        let empty = dir.join("e.bin");
+        std::fs::write(&empty, b"").unwrap();
+        assert!(Mmap::map_file(&std::fs::File::open(&empty).unwrap()).is_err());
+        let odd = dir.join("o.bin");
+        std::fs::write(&odd, b"abc").unwrap();
+        let m = Mmap::map_file(&std::fs::File::open(&odd).unwrap()).unwrap();
+        assert!(m.as_f32s().is_none());
+        assert_eq!(m.as_bytes(), b"abc");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

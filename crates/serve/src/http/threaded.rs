@@ -102,7 +102,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<HttpShared>) {
                 Routed::Predict { idx, input } => {
                     set_tag(shared, &mut tag, ConnTag::Handling);
                     shared.conn_stats.inflight_add();
-                    let result = shared.registry.entries()[idx].scheduler().predict(input);
+                    let result = shared.registry.entry(idx).predict(input);
                     shared.conn_stats.inflight_sub();
                     let (status, body) = prediction_parts(&result);
                     shared.trace_request(id, conn_gen, Some(idx), status, result.as_ref().ok());

@@ -18,21 +18,32 @@
 //!    point; [`FrozenEngine::predict`] / [`FrozenEngine::predict_batch`]
 //!    remain as sample-shaped shims with bit-identical results.
 //! 3. **Model snapshots** — a versioned, endian-stable binary format
-//!    ([`FrozenEngine::save_snapshot`] / [`FrozenEngine::load_snapshot`]):
-//!    magic, version, model name (v2), per-layer codebooks/LUTs/biases as
-//!    raw little-endian bits, CRC-32 checksum. A reloaded engine predicts
-//!    bit-identically to the saved one; v1 files still load.
+//!    (normative spec: `docs/snapshot-format.md`). Version 3 lays the
+//!    weights out in 64-byte-aligned little-endian sections with a
+//!    header-resident directory and per-section CRC-32s, so
+//!    [`FrozenEngine::open_snapshot`] can **memory-map** the file and
+//!    serve straight from page cache — cold start is a header parse, not
+//!    a copy, no matter the model size. The copying loader
+//!    ([`FrozenEngine::load_snapshot`]) verifies every checksum and
+//!    loads v1/v2 files bit-identically; the `snapshot-tool` binary
+//!    inspects, verifies and converts between versions.
 //! 4. **[`BatchScheduler`]** — micro-batching over a bounded queue:
 //!    concurrent requests are drained up to `max_batch`/`max_wait` and run
 //!    through the engine's batch kernels by persistent workers;
 //!    a full queue rejects with [`ServeError::Overloaded`] (backpressure),
 //!    and shutdown drains every accepted request.
-//! 5. **[`EngineRegistry`] + [`Server`]** — multi-model serving: any
-//!    number of snapshots side by side, each with its own scheduler and
-//!    counters, routed by a std-only HTTP/1.1 front end
-//!    (`/models/{name}/predict`, bare `/predict` for the default model,
-//!    `/healthz`, `/stats`, `/shutdown`) plus the `serve` and `loadgen`
-//!    binaries. Two interchangeable front ends share one parser, router
+//! 5. **[`EngineRegistry`] + [`Server`]** — multi-model serving with a
+//!    zero-downtime lifecycle: any number of snapshots side by side, each
+//!    with its own scheduler and counters, routed by a std-only HTTP/1.1
+//!    front end (`/models/{name}/predict`, bare `/predict` for the
+//!    default model, `/healthz`, `/stats`, `/reload`, `/shutdown`) plus
+//!    the `serve` and `loadgen` binaries. Models can be **hot-registered**
+//!    and **blue/green reloaded** while serving (`POST
+//!    /models/{name}/reload`, [`ModelEntry::reload_from_source`], or the
+//!    `--model-dir` directory watcher): the new engine starts answering
+//!    atomically while the old scheduler drains, so no request is dropped
+//!    and counters carry across versions. Two interchangeable front ends
+//!    share one parser, router
 //!    and encoder: portable thread-per-connection, and an epoll **event
 //!    loop** ([`ServerConfig::event_loop`], Linux `x86_64`/`aarch64` —
 //!    see [`event_loop_supported`]) that multiplexes thousands of
@@ -55,7 +66,7 @@
 //! use std::sync::Arc;
 //!
 //! // Compile two (demo) models and serve them side by side.
-//! let mut registry = EngineRegistry::new();
+//! let registry = EngineRegistry::new();
 //! registry.register(Arc::new(pecan_serve::demo::mlp_engine(1)),
 //!                   SchedulerConfig::default()).unwrap();
 //! registry.register(Arc::new(pecan_serve::demo::lenet_engine(1)),
@@ -84,23 +95,30 @@ mod engine;
 mod error;
 mod http;
 pub mod json;
+mod mapped;
 pub mod obs;
 mod registry;
 mod scheduler;
 mod snapshot;
 mod stage;
 mod stats;
+mod watcher;
 
 pub use engine::FrozenEngine;
 pub use error::{ServeError, SnapshotError};
 pub use http::parser::{ParseError, Request, RequestParser};
 pub use http::{event_loop_supported, Server, ServerConfig};
+pub use mapped::mmap_supported;
 pub use obs::{FlightRecorder, Histogram, HistogramSnapshot, StageObserver, TraceRecord};
-pub use registry::{EngineRegistry, ModelEntry};
-pub use scheduler::{BatchRunner, BatchScheduler, Prediction, SchedulerConfig, Ticket};
-pub use snapshot::{crc32, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use registry::{EngineRegistry, LoadMode, ModelEntry, ModelSource};
+pub use scheduler::{BatchRunner, BatchScheduler, Complete, Prediction, SchedulerConfig, Ticket};
+pub use snapshot::{
+    crc32, inspect_snapshot_bytes, SectionInfo, SnapshotInfo, SECTION_ALIGN, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
 pub use stage::{
     FlattenStage, GlobalAvgPoolStage, LutConvStage, LutLinearStage, MaxPoolStage, ReluStage,
     Stage,
 };
 pub use stats::{ConnStats, ConnStatsSnapshot, ServeStats, StatsSnapshot};
+pub use watcher::{ModelWatcher, WatcherConfig};

@@ -1,5 +1,6 @@
 //! Multi-model serving: a registry mapping model names to frozen engines,
-//! each with its own micro-batching scheduler.
+//! each with its own micro-batching scheduler — plus the zero-downtime
+//! model lifecycle (hot registration and blue/green reload).
 //!
 //! One process serves any number of snapshots side by side: every
 //! registered model gets a dedicated [`BatchScheduler`] (its own bounded
@@ -10,43 +11,295 @@
 //! `/predict` route serves the **default** model (the first one
 //! registered, unless overridden), keeping single-model deployments and
 //! old clients working unchanged.
+//!
+//! # Zero-downtime reload
+//!
+//! A [`ModelEntry`] is a stable *name* whose engine can be replaced while
+//! requests are in flight ([`ModelEntry::reload_runner`], HTTP
+//! `POST /models/{name}/reload`). The swap is blue/green:
+//!
+//! 1. a fresh [`BatchScheduler`] is started over the replacement engine,
+//!    recording into the **same** stats store (counters and histograms
+//!    continue across versions);
+//! 2. the entry's current-version pointer is atomically swapped to it —
+//!    new submissions land on the new engine from this instant;
+//! 3. the retiring scheduler drains on a background thread: its
+//!    `shutdown()` answers every request already queued, so **zero
+//!    requests are dropped** — each one is answered by the engine version
+//!    that accepted it.
+//!
+//! A submitter that loses the race (clones the old version, then the swap
+//! lands and the old queue refuses with
+//! [`ServeError::ShuttingDown`](crate::ServeError)) gets its payload back
+//! and retries on the new version — see [`ModelEntry::predict`] /
+//! [`ModelEntry::submit_with`]. The registry itself is append-only, so
+//! the entry indices the event-loop front end carries through
+//! asynchronous completions stay valid across reloads and live
+//! registrations.
 
 use crate::error::ServeError;
-use crate::scheduler::{BatchRunner, BatchScheduler, SchedulerConfig};
+use crate::scheduler::{BatchRunner, BatchScheduler, Complete, Prediction, SchedulerConfig};
+use crate::stats::{ServeStats, StatsSnapshot};
 use crate::FrozenEngine;
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
-/// One served model: its name, batch runner and dedicated scheduler.
-pub struct ModelEntry {
-    name: String,
+/// Poison-tolerant shared lock (a panicked worker must not wedge serving).
+fn read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// How a model's snapshot file is (re)loaded from disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// [`FrozenEngine::load_snapshot`]: decode to the heap, verify every
+    /// checksum.
+    Copy,
+    /// [`FrozenEngine::open_snapshot`]: memory-map v3 files and borrow
+    /// the mapping (falls back to copying where unsupported).
+    Map,
+}
+
+/// Where a model's bytes came from — kept so `POST /models/{name}/reload`
+/// and the directory watcher can re-read the same file the same way.
+#[derive(Debug, Clone)]
+pub struct ModelSource {
+    /// Snapshot file path.
+    pub path: PathBuf,
+    /// Loader used at registration (and for every reload).
+    pub mode: LoadMode,
+}
+
+impl ModelSource {
+    /// Loads an engine from this source.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Engine`] wrapping the snapshot error.
+    pub fn load(&self) -> Result<FrozenEngine, ServeError> {
+        let loaded = match self.mode {
+            LoadMode::Copy => FrozenEngine::load_snapshot(&self.path),
+            LoadMode::Map => FrozenEngine::open_snapshot(&self.path),
+        };
+        loaded.map_err(|e| {
+            ServeError::Engine(format!("loading {}: {e}", self.path.display()))
+        })
+    }
+}
+
+/// One immutable generation of a served model: an engine (or test runner)
+/// plus the scheduler feeding it. Replaced wholesale on reload.
+struct ModelVersion {
     runner: Arc<dyn BatchRunner>,
     scheduler: BatchScheduler,
+    version: u64,
+}
+
+/// One served model *name*: stable identity, per-model stats, and a
+/// swappable current engine version. See the module docs for the
+/// reload protocol.
+pub struct ModelEntry {
+    name: String,
+    config: SchedulerConfig,
+    stats: Arc<ServeStats>,
+    current: RwLock<Arc<ModelVersion>>,
+    /// Latest version number handed out (the current version's, except
+    /// transiently during a swap).
+    versions: AtomicU64,
+    source: Mutex<Option<ModelSource>>,
 }
 
 impl std::fmt::Debug for ModelEntry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ModelEntry").field("name", &self.name).finish_non_exhaustive()
+        f.debug_struct("ModelEntry")
+            .field("name", &self.name)
+            .field("version", &self.version())
+            .finish_non_exhaustive()
     }
 }
 
 impl ModelEntry {
+    fn start(name: String, runner: Arc<dyn BatchRunner>, config: SchedulerConfig) -> Self {
+        let stats = Arc::new(ServeStats::with_stages(&runner.stage_kinds()));
+        let scheduler = BatchScheduler::start_with_stats(
+            Arc::clone(&runner),
+            config.clone(),
+            Arc::clone(&stats),
+        );
+        Self {
+            name,
+            config,
+            stats,
+            current: RwLock::new(Arc::new(ModelVersion { runner, scheduler, version: 1 })),
+            versions: AtomicU64::new(1),
+            source: Mutex::new(None),
+        }
+    }
+
     /// The name the model serves under.
     pub fn name(&self) -> &str {
         &self.name
     }
 
-    /// The shared batch runner (a [`FrozenEngine`] in production).
-    pub fn runner(&self) -> &Arc<dyn BatchRunner> {
-        &self.runner
+    /// The currently served engine generation, starting at 1 and
+    /// incremented by every reload.
+    pub fn version(&self) -> u64 {
+        self.versions.load(Ordering::SeqCst)
     }
 
-    /// The model's micro-batching scheduler.
-    pub fn scheduler(&self) -> &BatchScheduler {
-        &self.scheduler
+    /// The current batch runner (a [`FrozenEngine`] in production).
+    pub fn runner(&self) -> Arc<dyn BatchRunner> {
+        Arc::clone(&read(&self.current).runner)
+    }
+
+    /// Live counters (shared across engine versions).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The live stats store itself — histograms included.
+    pub fn serve_stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Requests waiting in the current version's queue (advisory).
+    pub fn queue_len(&self) -> usize {
+        read(&self.current).scheduler.queue_len()
+    }
+
+    /// The scheduler configuration every version runs with.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// The snapshot file backing this model, when known.
+    pub fn source(&self) -> Option<ModelSource> {
+        lock(&self.source).clone()
+    }
+
+    /// Records where this model's bytes came from, enabling
+    /// [`ModelEntry::reload_from_source`].
+    pub fn set_source(&self, path: impl Into<PathBuf>, mode: LoadMode) {
+        *lock(&self.source) = Some(ModelSource { path: path.into(), mode });
+    }
+
+    /// Submits one request and waits for the answer, riding out an engine
+    /// swap: if the grabbed version starts draining before the request is
+    /// queued, the payload comes back and is resubmitted to the
+    /// replacement version — no request is dropped by a reload.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BatchScheduler::submit`]; [`ServeError::ShuttingDown`]
+    /// only when the whole entry is shutting down for good.
+    pub fn predict(&self, input: Vec<f32>) -> Result<Prediction, ServeError> {
+        let mut input = input;
+        loop {
+            let version = Arc::clone(&read(&self.current));
+            match version.scheduler.try_submit(input) {
+                Ok(ticket) => return ticket.wait(),
+                Err((ServeError::ShuttingDown, returned))
+                    if self.version() > version.version =>
+                {
+                    // Lost the race against a reload; go again on the
+                    // replacement.
+                    input = returned;
+                }
+                Err((e, _)) => return Err(e),
+            }
+        }
+    }
+
+    /// As [`ModelEntry::predict`] but completion-callback shaped (the
+    /// event-loop front end), with the same retry-across-reload guarantee.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BatchScheduler::submit_with`]. On error the callback has
+    /// not been invoked.
+    pub fn submit_with(&self, input: Vec<f32>, complete: Complete) -> Result<(), ServeError> {
+        let mut pair = (input, complete);
+        loop {
+            let version = Arc::clone(&read(&self.current));
+            match version.scheduler.try_submit_with(pair.0, pair.1) {
+                Ok(()) => return Ok(()),
+                Err((ServeError::ShuttingDown, input, complete))
+                    if self.version() > version.version =>
+                {
+                    pair = (input, complete);
+                }
+                Err((e, _, _)) => return Err(e),
+            }
+        }
+    }
+
+    /// Blue/green engine swap (see the module docs): starts a fresh
+    /// scheduler over `runner`, atomically makes it current, and drains
+    /// the retiring scheduler on a background thread. Returns the new
+    /// version number. Requests already queued on the old version are
+    /// answered by the old engine; nothing is dropped.
+    pub fn reload_runner(&self, runner: Arc<dyn BatchRunner>) -> u64 {
+        let scheduler = BatchScheduler::start_with_stats(
+            Arc::clone(&runner),
+            self.config.clone(),
+            Arc::clone(&self.stats),
+        );
+        let version = self.versions.fetch_add(1, Ordering::SeqCst) + 1;
+        let fresh = Arc::new(ModelVersion { runner, scheduler, version });
+        let old = std::mem::replace(&mut *write(&self.current), fresh);
+        // Drain off the request path. If the spawn itself fails the
+        // closure is dropped here, and dropping the old version's
+        // scheduler shuts it down inline — slower, still zero-drop.
+        let _ = std::thread::Builder::new()
+            .name("pecan-drain".into())
+            .spawn(move || old.scheduler.shutdown());
+        version
+    }
+
+    /// [`ModelEntry::reload_runner`] with a [`FrozenEngine`].
+    pub fn reload_engine(&self, engine: Arc<FrozenEngine>) -> u64 {
+        self.reload_runner(engine as Arc<dyn BatchRunner>)
+    }
+
+    /// Re-reads the snapshot file recorded by [`ModelEntry::set_source`]
+    /// (same path, same [`LoadMode`]) and swaps the result in.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadInput`] when no source is recorded (models
+    /// registered from memory cannot be reloaded from disk);
+    /// [`ServeError::Engine`] when the file no longer loads — the
+    /// current version keeps serving untouched in that case.
+    pub fn reload_from_source(&self) -> Result<u64, ServeError> {
+        let source = self.source().ok_or_else(|| {
+            ServeError::BadInput(format!(
+                "model `{}` has no snapshot source to reload from",
+                self.name
+            ))
+        })?;
+        let engine = source.load()?;
+        Ok(self.reload_engine(Arc::new(engine)))
+    }
+
+    /// Stops the current scheduler, draining queued requests.
+    fn shutdown(&self) {
+        read(&self.current).scheduler.shutdown();
     }
 }
 
 /// Maps model names to `Arc<FrozenEngine>`s with per-model schedulers.
+/// Interior-mutable: registration and reload take `&self`, so one
+/// registry can be shared (`Arc`) by the HTTP front ends, the directory
+/// watcher and operator tooling at once.
 ///
 /// # Example
 ///
@@ -54,7 +307,7 @@ impl ModelEntry {
 /// use pecan_serve::{demo, EngineRegistry, SchedulerConfig};
 /// use std::sync::Arc;
 ///
-/// let mut registry = EngineRegistry::new();
+/// let registry = EngineRegistry::new();
 /// registry
 ///     .register(Arc::new(demo::mlp_engine(1)), SchedulerConfig::default())
 ///     .unwrap();
@@ -68,13 +321,15 @@ impl ModelEntry {
 /// ```
 #[derive(Debug, Default)]
 pub struct EngineRegistry {
-    entries: Vec<ModelEntry>,
-    default: usize,
+    /// Append-only: entries are never removed or reordered, so an index
+    /// from [`EngineRegistry::resolve_index`] stays valid forever.
+    entries: RwLock<Vec<Arc<ModelEntry>>>,
+    default: AtomicUsize,
 }
 
 /// Model names must be route-safe: non-empty, at most 64 bytes, drawn
 /// from `[A-Za-z0-9_.-]`.
-fn validate_name(name: &str) -> Result<(), ServeError> {
+pub(crate) fn validate_name(name: &str) -> Result<(), ServeError> {
     if name.is_empty()
         || name.len() > 64
         || !name
@@ -96,13 +351,14 @@ impl EngineRegistry {
 
     /// Registers `engine` under its own name
     /// ([`FrozenEngine::name`], falling back to `"default"`), starting a
-    /// dedicated scheduler with `config`.
+    /// dedicated scheduler with `config`. Safe while serving: requests
+    /// racing the registration simply don't see the new name yet.
     ///
     /// # Errors
     ///
     /// [`ServeError::BadInput`] for a route-unsafe or duplicate name.
     pub fn register(
-        &mut self,
+        &self,
         engine: Arc<FrozenEngine>,
         config: SchedulerConfig,
     ) -> Result<(), ServeError> {
@@ -117,12 +373,37 @@ impl EngineRegistry {
     ///
     /// [`ServeError::BadInput`] for a route-unsafe or duplicate name.
     pub fn register_as(
-        &mut self,
+        &self,
         name: impl Into<String>,
         engine: Arc<FrozenEngine>,
         config: SchedulerConfig,
     ) -> Result<(), ServeError> {
         self.register_runner_as(name, engine as Arc<dyn BatchRunner>, config)
+    }
+
+    /// Registers a snapshot file under `name`, loading it with `mode` and
+    /// recording the source so `/models/{name}/reload` and the directory
+    /// watcher can re-read it later.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Engine`] when the file does not load;
+    /// [`ServeError::BadInput`] for a route-unsafe or duplicate name.
+    pub fn register_file(
+        &self,
+        name: impl Into<String>,
+        path: impl AsRef<Path>,
+        mode: LoadMode,
+        config: SchedulerConfig,
+    ) -> Result<(), ServeError> {
+        let name = name.into();
+        let source = ModelSource { path: path.as_ref().to_path_buf(), mode };
+        let engine = source.load()?;
+        self.register_as(name.clone(), Arc::new(engine), config)?;
+        if let Ok(entry) = self.resolve(Some(&name)) {
+            entry.set_source(source.path, source.mode);
+        }
+        Ok(())
     }
 
     /// Registers an arbitrary [`BatchRunner`] under `name`. This is how
@@ -134,20 +415,20 @@ impl EngineRegistry {
     ///
     /// [`ServeError::BadInput`] for a route-unsafe or duplicate name.
     pub fn register_runner_as(
-        &mut self,
+        &self,
         name: impl Into<String>,
         runner: Arc<dyn BatchRunner>,
         config: SchedulerConfig,
     ) -> Result<(), ServeError> {
         let name = name.into();
         validate_name(&name)?;
-        if self.entries.iter().any(|e| e.name == name) {
+        let mut entries = write(&self.entries);
+        if entries.iter().any(|e| e.name == name) {
             return Err(ServeError::BadInput(format!(
                 "model `{name}` is already registered"
             )));
         }
-        let scheduler = BatchScheduler::start(Arc::clone(&runner), config);
-        self.entries.push(ModelEntry { name, runner, scheduler });
+        entries.push(Arc::new(ModelEntry::start(name, runner, config)));
         Ok(())
     }
 
@@ -156,10 +437,10 @@ impl EngineRegistry {
     /// # Errors
     ///
     /// [`ServeError::UnknownModel`] when no such model is registered.
-    pub fn set_default(&mut self, name: &str) -> Result<(), ServeError> {
-        match self.entries.iter().position(|e| e.name == name) {
+    pub fn set_default(&self, name: &str) -> Result<(), ServeError> {
+        match read(&self.entries).iter().position(|e| e.name == name) {
             Some(i) => {
-                self.default = i;
+                self.default.store(i, Ordering::SeqCst);
                 Ok(())
             }
             None => Err(ServeError::UnknownModel(name.to_string())),
@@ -168,22 +449,34 @@ impl EngineRegistry {
 
     /// Number of registered models.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        read(&self.entries).len()
     }
 
     /// `true` when nothing is registered yet.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        read(&self.entries).is_empty()
     }
 
     /// Registered model names, in registration order.
-    pub fn names(&self) -> Vec<&str> {
-        self.entries.iter().map(|e| e.name.as_str()).collect()
+    pub fn names(&self) -> Vec<String> {
+        read(&self.entries).iter().map(|e| e.name.clone()).collect()
     }
 
-    /// All entries, in registration order.
-    pub fn entries(&self) -> &[ModelEntry] {
-        &self.entries
+    /// A snapshot of all entries, in registration order (cheap `Arc`
+    /// clones).
+    pub fn entries(&self) -> Vec<Arc<ModelEntry>> {
+        read(&self.entries).clone()
+    }
+
+    /// The entry at `idx` (an index from
+    /// [`EngineRegistry::resolve_index`]; the registry is append-only, so
+    /// such indices never dangle).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an index that never came from `resolve_index`.
+    pub fn entry(&self, idx: usize) -> Arc<ModelEntry> {
+        Arc::clone(&read(&self.entries)[idx])
     }
 
     /// The model the bare routes serve.
@@ -191,8 +484,8 @@ impl EngineRegistry {
     /// # Panics
     ///
     /// Panics on an empty registry (the server refuses to start on one).
-    pub fn default_model(&self) -> &ModelEntry {
-        &self.entries[self.default]
+    pub fn default_model(&self) -> Arc<ModelEntry> {
+        self.entry(self.default.load(Ordering::SeqCst))
     }
 
     /// Resolves a request's model: `None` means the default model, a name
@@ -201,33 +494,45 @@ impl EngineRegistry {
     /// # Errors
     ///
     /// [`ServeError::UnknownModel`] — the typed 404 of the HTTP front end.
-    pub fn resolve(&self, name: Option<&str>) -> Result<&ModelEntry, ServeError> {
+    pub fn resolve(&self, name: Option<&str>) -> Result<Arc<ModelEntry>, ServeError> {
         match name {
             None => Ok(self.default_model()),
-            Some(n) => self
-                .entries
+            Some(n) => read(&self.entries)
                 .iter()
                 .find(|e| e.name == n)
+                .map(Arc::clone)
                 .ok_or_else(|| ServeError::UnknownModel(n.to_string())),
         }
     }
 
-    /// As [`EngineRegistry::resolve`], but returns the entry's index in
-    /// [`EngineRegistry::entries`] — a stable handle the event-loop front
-    /// end carries through asynchronous completions instead of a borrow.
+    /// As [`EngineRegistry::resolve`], but returns the entry's index — a
+    /// stable handle the event-loop front end carries through
+    /// asynchronous completions instead of a borrow.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownModel`] — the typed 404 of the HTTP front end.
     pub fn resolve_index(&self, name: Option<&str>) -> Result<usize, ServeError> {
         match name {
-            None => Ok(self.default),
-            Some(n) => self
-                .entries
+            None => Ok(self.default.load(Ordering::SeqCst)),
+            Some(n) => read(&self.entries)
                 .iter()
                 .position(|e| e.name == n)
                 .ok_or_else(|| ServeError::UnknownModel(n.to_string())),
         }
+    }
+
+    /// Reloads `name` (or the default model) from its recorded snapshot
+    /// source. Returns the entry and its new version number.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] for an unregistered name; otherwise
+    /// as [`ModelEntry::reload_from_source`].
+    pub fn reload(&self, name: Option<&str>) -> Result<(Arc<ModelEntry>, u64), ServeError> {
+        let entry = self.resolve(name)?;
+        let version = entry.reload_from_source()?;
+        Ok((entry, version))
     }
 
     /// Per-model counters as one JSON object:
@@ -236,14 +541,14 @@ impl EngineRegistry {
         let mut out = String::from("{\"default\":\"");
         out.push_str(&crate::json::escape(self.default_model().name()));
         out.push_str("\",\"models\":{");
-        for (i, e) in self.entries.iter().enumerate() {
+        for (i, e) in self.entries().iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push('"');
             out.push_str(&crate::json::escape(&e.name));
             out.push_str("\":");
-            out.push_str(&e.scheduler.stats().to_json());
+            out.push_str(&e.stats().to_json());
         }
         out.push_str("}}");
         out
@@ -252,8 +557,8 @@ impl EngineRegistry {
     /// Shuts down every model's scheduler, draining queued requests.
     /// Idempotent.
     pub fn shutdown(&self) {
-        for e in &self.entries {
-            e.scheduler.shutdown();
+        for e in self.entries() {
+            e.shutdown();
         }
     }
 }
@@ -265,7 +570,7 @@ mod tests {
 
     #[test]
     fn names_are_validated_and_deduplicated() {
-        let mut r = EngineRegistry::new();
+        let r = EngineRegistry::new();
         let engine = Arc::new(demo::mlp_engine(1));
         assert!(matches!(
             r.register_as("", engine.clone(), SchedulerConfig::default()),
@@ -285,7 +590,7 @@ mod tests {
 
     #[test]
     fn default_resolution_and_override() {
-        let mut r = EngineRegistry::new();
+        let r = EngineRegistry::new();
         r.register(Arc::new(demo::mlp_engine(1)), SchedulerConfig::default()).unwrap();
         r.register(Arc::new(demo::lenet_engine(1)), SchedulerConfig::default()).unwrap();
         assert_eq!(r.names(), vec!["mlp", "lenet"]);
@@ -301,5 +606,62 @@ mod tests {
         assert!(json.contains("\"default\":\"lenet\""));
         assert!(json.contains("\"mlp\":{\"submitted\""));
         r.shutdown();
+    }
+
+    #[test]
+    fn reload_swaps_versions_and_keeps_counters() {
+        let r = EngineRegistry::new();
+        r.register(Arc::new(demo::mlp_engine(1)), SchedulerConfig::default()).unwrap();
+        let entry = r.resolve(Some("mlp")).unwrap();
+        assert_eq!(entry.version(), 1);
+        let input = vec![0.5f32; entry.runner().input_len()];
+        let before = entry.predict(input.clone()).unwrap();
+        assert_eq!(entry.stats().completed, 1);
+
+        // Same weights, new generation: answers stay bit-identical and
+        // the counters continue rather than reset.
+        let v = entry.reload_engine(Arc::new(demo::mlp_engine(1)));
+        assert_eq!(v, 2);
+        assert_eq!(entry.version(), 2);
+        let after = entry.predict(input.clone()).unwrap();
+        assert_eq!(after.output, before.output);
+        assert_eq!(entry.stats().completed, 2, "stats survive the swap");
+
+        // Different weights change the answer — proof the swap took.
+        entry.reload_engine(Arc::new(demo::mlp_engine(7)));
+        let changed = entry.predict(input).unwrap();
+        assert_ne!(changed.output, before.output);
+        r.shutdown();
+    }
+
+    #[test]
+    fn reload_from_source_requires_a_source_and_survives_bad_files() {
+        let dir = std::env::temp_dir().join(format!("pecan-reload-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.psnp");
+        demo::mlp_engine(3).save_snapshot(&path).unwrap();
+
+        let r = EngineRegistry::new();
+        // In-memory models have nothing to reload from.
+        r.register(Arc::new(demo::mlp_engine(3)), SchedulerConfig::default()).unwrap();
+        assert!(matches!(r.reload(Some("mlp")), Err(ServeError::BadInput(_))));
+
+        r.register_file("disk", &path, LoadMode::Copy, SchedulerConfig::default()).unwrap();
+        let entry = r.resolve(Some("disk")).unwrap();
+        assert_eq!(entry.source().unwrap().path, path);
+        let (_, v) = r.reload(Some("disk")).unwrap();
+        assert_eq!(v, 2);
+
+        // A reload from a corrupt file fails without touching the
+        // serving version.
+        std::fs::write(&path, b"PECANSNPgarbage").unwrap();
+        assert!(matches!(r.reload(Some("disk")), Err(ServeError::Engine(_))));
+        assert_eq!(entry.version(), 2, "failed reload must not swap");
+        let input = vec![0.5f32; entry.runner().input_len()];
+        assert!(entry.predict(input).is_ok(), "old version keeps serving");
+
+        assert!(matches!(r.reload(Some("nope")), Err(ServeError::UnknownModel(_))));
+        r.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -143,13 +143,16 @@ pub struct Prediction {
     pub batch_id: u64,
 }
 
+/// Completion callback type of [`BatchScheduler::submit_with`].
+pub type Complete = Box<dyn FnOnce(Result<Prediction, ServeError>) + Send>;
+
 /// How one request's answer travels back to its submitter.
 enum Reply {
     /// [`BatchScheduler::submit`]: a blocking caller waits on the channel.
     Channel(mpsc::Sender<Result<Prediction, ServeError>>),
     /// [`BatchScheduler::submit_with`]: the worker invokes the callback —
     /// the completion wakeup the event-loop front end is built on.
-    Callback(Box<dyn FnOnce(Result<Prediction, ServeError>) + Send>),
+    Callback(Complete),
 }
 
 impl Reply {
@@ -178,7 +181,9 @@ struct Shared {
     config: SchedulerConfig,
     state: Mutex<QueueState>,
     cvar: Condvar,
-    stats: ServeStats,
+    // Shared (`Arc`) so a model's counters survive blue/green engine
+    // swaps: the registry hands each replacement scheduler the same store.
+    stats: Arc<ServeStats>,
 }
 
 /// A claim on a submitted request; redeem it with [`Ticket::wait`].
@@ -231,17 +236,29 @@ impl BatchScheduler {
     ///
     /// Invalid knobs are clamped to sane floors (`max_batch`, `workers`,
     /// `queue_capacity` ≥ 1) rather than rejected.
-    pub fn start(runner: Arc<dyn BatchRunner>, mut config: SchedulerConfig) -> Self {
+    pub fn start(runner: Arc<dyn BatchRunner>, config: SchedulerConfig) -> Self {
+        let stats = Arc::new(ServeStats::with_stages(&runner.stage_kinds()));
+        Self::start_with_stats(runner, config, stats)
+    }
+
+    /// As [`BatchScheduler::start`], recording into an existing stats
+    /// store — the registry's hot-reload path passes the retiring
+    /// scheduler's store so per-model counters and histograms continue
+    /// across the engine swap instead of resetting to zero.
+    pub fn start_with_stats(
+        runner: Arc<dyn BatchRunner>,
+        mut config: SchedulerConfig,
+        stats: Arc<ServeStats>,
+    ) -> Self {
         config.max_batch = config.max_batch.max(1);
         config.workers = config.workers.max(1);
         config.queue_capacity = config.queue_capacity.max(1);
-        let runner_stages = runner.stage_kinds();
         let shared = Arc::new(Shared {
             runner,
             config: config.clone(),
             state: Mutex::new(QueueState { queue: VecDeque::new(), shutdown: false }),
             cvar: Condvar::new(),
-            stats: ServeStats::with_stages(&runner_stages),
+            stats,
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -281,24 +298,38 @@ impl BatchScheduler {
     /// * [`ServeError::Overloaded`] — queue at capacity;
     /// * [`ServeError::ShuttingDown`] — scheduler is draining.
     pub fn submit(&self, input: Vec<f32>) -> Result<Ticket, ServeError> {
+        self.try_submit(input).map_err(|(e, _)| e)
+    }
+
+    /// As [`BatchScheduler::submit`], but a rejection hands the input
+    /// back with the error — the registry's hot-reload retry resubmits
+    /// to the replacement scheduler without ever cloning the payload.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BatchScheduler::submit`], paired with the unqueued input.
+    #[allow(clippy::result_large_err)]
+    pub fn try_submit(&self, input: Vec<f32>) -> Result<Ticket, (ServeError, Vec<f32>)> {
         let want = self.shared.runner.input_len();
         if input.len() != want {
-            return Err(ServeError::BadInput(format!(
+            let e = ServeError::BadInput(format!(
                 "request has {} values, engine expects {want}",
                 input.len()
-            )));
+            ));
+            return Err((e, input));
         }
         let (tx, rx) = mpsc::channel();
         {
             let mut state = lock(&self.shared.state);
             if state.shutdown {
-                return Err(ServeError::ShuttingDown);
+                return Err((ServeError::ShuttingDown, input));
             }
             if state.queue.len() >= self.shared.config.queue_capacity {
                 self.shared.stats.record_rejected();
-                return Err(ServeError::Overloaded {
+                let e = ServeError::Overloaded {
                     capacity: self.shared.config.queue_capacity,
-                });
+                };
+                return Err((e, input));
             }
             state.queue.push_back(Request {
                 input,
@@ -324,28 +355,44 @@ impl BatchScheduler {
     ///
     /// As for [`BatchScheduler::submit`]. On error the callback is **not**
     /// invoked — the caller still holds the error synchronously.
-    pub fn submit_with(
+    pub fn submit_with(&self, input: Vec<f32>, complete: Complete) -> Result<(), ServeError> {
+        self.try_submit_with(input, complete).map_err(|(e, _, _)| e)
+    }
+
+    /// As [`BatchScheduler::submit_with`], but a rejection hands both the
+    /// input and the callback back with the error, so the caller can
+    /// resubmit elsewhere (the hot-reload retry) or invoke the callback
+    /// itself.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BatchScheduler::submit`], paired with the unqueued input
+    /// and the uninvoked callback.
+    #[allow(clippy::result_large_err, clippy::type_complexity)]
+    pub fn try_submit_with(
         &self,
         input: Vec<f32>,
-        complete: Box<dyn FnOnce(Result<Prediction, ServeError>) + Send>,
-    ) -> Result<(), ServeError> {
+        complete: Complete,
+    ) -> Result<(), (ServeError, Vec<f32>, Complete)> {
         let want = self.shared.runner.input_len();
         if input.len() != want {
-            return Err(ServeError::BadInput(format!(
+            let e = ServeError::BadInput(format!(
                 "request has {} values, engine expects {want}",
                 input.len()
-            )));
+            ));
+            return Err((e, input, complete));
         }
         {
             let mut state = lock(&self.shared.state);
             if state.shutdown {
-                return Err(ServeError::ShuttingDown);
+                return Err((ServeError::ShuttingDown, input, complete));
             }
             if state.queue.len() >= self.shared.config.queue_capacity {
                 self.shared.stats.record_rejected();
-                return Err(ServeError::Overloaded {
+                let e = ServeError::Overloaded {
                     capacity: self.shared.config.queue_capacity,
-                });
+                };
+                return Err((e, input, complete));
             }
             state.queue.push_back(Request {
                 input,
@@ -467,7 +514,7 @@ fn worker_loop(shared: &Shared) {
         // would hang forever. Contain it and answer the batch with an
         // error instead.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            shared.runner.run_batch_observed(&inputs, Some(&shared.stats))
+            shared.runner.run_batch_observed(&inputs, Some(shared.stats.as_ref()))
         }))
         .unwrap_or_else(|_| {
             crate::log_error!(

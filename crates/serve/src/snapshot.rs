@@ -2,43 +2,78 @@
 //!
 //! A snapshot captures a compiled [`FrozenEngine`] exactly: per-stage
 //! codebooks, precomputed `W·C` lookup tables and biases, all as
-//! little-endian IEEE-754 bit patterns. Loading rebuilds the engine through
-//! [`LayerLut::from_tables`] without any recomputation, so a reloaded
-//! engine's outputs are **bit-identical** to the saved one's —
-//! `tests/snapshot_roundtrip.rs` pins save→load→predict parity by property
-//! test.
+//! little-endian IEEE-754 bit patterns. Loading rebuilds the engine without
+//! any recomputation, so a reloaded engine's outputs are **bit-identical**
+//! to the saved one's — `tests/snapshot_roundtrip.rs` pins
+//! save→load→predict parity by property test.
+//!
+//! The normative byte-level specification of all three format revisions
+//! lives in [`docs/snapshot-format.md`] — this module doc is the summary.
+//!
+//! [`docs/snapshot-format.md`]: https://github.com/pecan/pecan/blob/main/docs/snapshot-format.md
 //!
 //! # Format
 //!
 //! All integers little-endian; `f32` as raw LE bit patterns.
 //!
+//! **Versions 1–2** are a single sequential stream with a trailing whole-file
+//! CRC-32:
+//!
 //! ```text
 //! magic        8 × u8   "PECANSNP"
-//! version      u32      2 (current; 1 still read)
+//! version      u32      1 or 2
 //! model name   u32 len + UTF-8 bytes     — version ≥ 2 only; 0 = unnamed
 //! input rank   u32      then that many u32 dims
 //! output rank  u32      then that many u32 dims
 //! stage count  u32
-//! stages…               tagged (u8), see below
+//! stages…               tagged (u8), bulk f32 data inline
 //! checksum     u32      CRC-32 (IEEE) over every preceding byte
 //! ```
 //!
-//! **Version 2** (current) prepends a model-name header for multi-model
-//! serving; everything after it is byte-identical to version 1, and
-//! [`FrozenEngine::load_snapshot`] still reads version-1 files
-//! bit-identically (they load with no name). Snapshots from *newer*
-//! revisions are rejected with a typed
-//! [`SnapshotError::UnsupportedVersion`]. To produce a file an old reader
-//! can load, use [`FrozenEngine::snapshot_bytes_versioned`] with
-//! version 1 (the name is dropped).
+//! **Version 3** (current) splits the file into a self-checksummed header
+//! and 64-byte-aligned bulk **sections** addressed by a directory, stored in
+//! the engine's *runtime* layout (CAM rows `[p, d]`, tables `[cout, p]`)
+//! so a loader can construct the engine over a borrowed byte buffer — e.g.
+//! a memory-mapped file — with **no bulk copy**
+//! ([`FrozenEngine::open_snapshot`]):
+//!
+//! ```text
+//! magic          8 × u8   "PECANSNP"
+//! version        u32      3
+//! header_len     u32      bytes [0, header_len) are the header region
+//! section count  u32
+//! directory      count × { offset u64, byte_len u64, crc u32 }
+//! model name     u32 len + UTF-8 bytes
+//! input/output dims, stage count, stage descriptors
+//!                         — as v2, except every bulk f32 blob is replaced
+//!                           by the u32 index of its section
+//! header CRC     u32      CRC-32 over bytes [0, header_len - 4)
+//! zero padding            to the next 64-byte boundary
+//! sections…               raw LE f32, each 64-byte aligned, zero-padded;
+//!                         the file length is a multiple of 64
+//! ```
+//!
+//! Every section carries its own CRC-32 in the directory: the copying
+//! loader checks them all; the zero-copy loader checks the header eagerly
+//! and leaves section verification to [`FrozenEngine::open_snapshot_verified`]
+//! or the `snapshot-tool verify` command, so an open does not have to fault
+//! in the bulk data (instant cold start).
+//!
+//! [`FrozenEngine::load_snapshot`] still reads version-1/2 files
+//! bit-identically via the copying path. Snapshots from *newer* revisions
+//! are rejected with a typed [`SnapshotError::UnsupportedVersion`]. To
+//! produce a file an old reader can load, use
+//! [`FrozenEngine::snapshot_bytes_versioned`] with version 1 or 2 (also
+//! exposed as `snapshot-tool convert`).
 //!
 //! Stage tags: `0` ReLU · `1` MaxPool (`kernel`, `stride` as u32) · `2`
 //! GlobalAvgPool · `3` Flatten · `4` PECAN conv · `5` PECAN linear. PECAN
 //! payloads carry `variant` (u8: 0 = Distance, 1 = Angle), `dim`,
 //! `groups`, `prototypes` (u32), `tau` (f32), `c_out` (u32), a bias flag
 //! (u8), conv-only geometry (`c_in`, `h_in`, `w_in`, `kernel`, `stride`,
-//! `padding` as u32), then per group the `[d, p]` codebook and the
-//! `[c_out, p]` table, then the bias when flagged.
+//! `padding` as u32), then per group the codebook and the `[c_out, p]`
+//! table (v1/v2: inline `[d, p]` codebook bits; v3: section indices of the
+//! `[p, d]` CAM rows and the table), then the bias when flagged.
 //!
 //! Every decoding failure is a typed [`SnapshotError`] — truncation,
 //! flipped bits (checksum), foreign files (magic), future versions,
@@ -54,14 +89,18 @@ use crate::stage::{
 use pecan_cam::LookupTable;
 use pecan_core::{LayerLut, PecanVariant};
 use pecan_pq::PqConfig;
-use pecan_tensor::{Conv2dGeometry, Tensor};
+use pecan_tensor::{Conv2dGeometry, F32Source, Tensor};
 use std::fs;
 use std::path::Path;
+use std::sync::Arc;
 
 /// First eight bytes of every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"PECANSNP";
 /// Format revision this build writes and the highest it reads.
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
+
+/// Alignment of every v3 section (and of the v3 file length).
+pub const SECTION_ALIGN: usize = 64;
 
 const TAG_RELU: u8 = 0;
 const TAG_MAXPOOL: u8 = 1;
@@ -72,6 +111,10 @@ const TAG_LINEAR: u8 = 5;
 
 /// Longest accepted model-name header, in bytes.
 const NAME_LIMIT: usize = 4096;
+
+/// Ceiling on the v3 section count — far above any real model, small
+/// enough that a corrupt header cannot demand a gigantic directory.
+const SECTION_LIMIT: usize = 1 << 20;
 
 // ---------------------------------------------------------------- CRC-32
 
@@ -102,6 +145,10 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
+fn align_up(n: usize) -> usize {
+    n.div_ceil(SECTION_ALIGN) * SECTION_ALIGN
+}
+
 // ---------------------------------------------------------------- writer
 
 struct Writer {
@@ -113,6 +160,9 @@ impl Writer {
         self.buf.push(v);
     }
     fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
     fn usize(&mut self, v: usize) {
@@ -133,6 +183,24 @@ impl Writer {
         for &d in dims {
             self.usize(d);
         }
+    }
+}
+
+/// Collects the bulk payloads of a v3 snapshot while the stage descriptors
+/// are encoded; the assembler lays them out aligned afterwards.
+struct SectionWriter {
+    payloads: Vec<Vec<u8>>,
+}
+
+impl SectionWriter {
+    /// Encodes `data` as LE bytes and returns the new section's index.
+    fn add(&mut self, data: &[f32]) -> usize {
+        let mut buf = Vec::with_capacity(data.len() * 4);
+        for &v in data {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self.payloads.push(buf);
+        self.payloads.len() - 1
     }
 }
 
@@ -160,6 +228,10 @@ impl<'a> Reader<'a> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("eight bytes")))
+    }
     fn usize(&mut self) -> Result<usize, SnapshotError> {
         Ok(self.u32()? as usize)
     }
@@ -171,9 +243,7 @@ impl<'a> Reader<'a> {
         let b = self.take(n.checked_mul(4).ok_or_else(|| {
             SnapshotError::Corrupt("element count overflows".into())
         })?)?;
-        Ok(b.chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect())
+        Ok(decode_f32s(b))
     }
     /// Bounded dimension list; `limit` guards against absurd declared sizes
     /// in a file whose checksum happens to validate.
@@ -211,13 +281,21 @@ impl<'a> Reader<'a> {
     }
 }
 
+fn decode_f32s(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
 /// Ceiling on any single declared dimension — far above every model in the
 /// workspace, small enough that `rank · dim · 4` cannot wrap.
 const DIM_LIMIT: usize = 1 << 24;
 
 // ---------------------------------------------------------------- encode
 
-fn write_pecan(w: &mut Writer, lut: &LayerLut, geom: Option<&Conv2dGeometry>) {
+/// Encodes the PECAN scalar header shared by every format revision.
+fn write_pecan_scalars(w: &mut Writer, lut: &LayerLut, geom: Option<&Conv2dGeometry>) {
     let cfg = lut.config();
     w.u8(match lut.variant() {
         PecanVariant::Distance => 0,
@@ -237,6 +315,12 @@ fn write_pecan(w: &mut Writer, lut: &LayerLut, geom: Option<&Conv2dGeometry>) {
         w.usize(g.stride());
         w.usize(g.padding());
     }
+}
+
+/// v1/v2 PECAN payload: scalars then inline `[d, p]` codebook and
+/// `[cout, p]` table bits per group, then the bias.
+fn write_pecan(w: &mut Writer, lut: &LayerLut, geom: Option<&Conv2dGeometry>) {
+    write_pecan_scalars(w, lut, geom);
     for (cb, table) in lut.codebooks().iter().zip(lut.luts()) {
         w.f32s(cb.data());
         w.f32s(table.table().data());
@@ -246,10 +330,33 @@ fn write_pecan(w: &mut Writer, lut: &LayerLut, geom: Option<&Conv2dGeometry>) {
     }
 }
 
-fn read_pecan(
+/// v3 PECAN payload: scalars then per group the section indices of the
+/// `[p, d]` CAM rows and the `[cout, p]` table, then the bias section.
+/// The runtime layout goes to disk unchanged — serialization is a byte
+/// copy and zero-copy loading needs no transform.
+fn write_pecan_v3(
+    w: &mut Writer,
+    sections: &mut SectionWriter,
+    lut: &LayerLut,
+    geom: Option<&Conv2dGeometry>,
+) {
+    write_pecan_scalars(w, lut, geom);
+    for (rows, table) in lut.cam_rows().iter().zip(lut.luts()) {
+        w.usize(sections.add(rows.data()));
+        w.usize(sections.add(table.table().data()));
+    }
+    if let Some(b) = lut.bias() {
+        w.usize(sections.add(b.data()));
+    }
+}
+
+/// Reads the PECAN scalar header shared by every format revision and
+/// derives the validated [`PqConfig`] (+ conv geometry).
+#[allow(clippy::type_complexity)]
+fn read_pecan_scalars(
     r: &mut Reader<'_>,
     conv: bool,
-) -> Result<(LayerLut, Option<Conv2dGeometry>), SnapshotError> {
+) -> Result<(PecanVariant, PqConfig, usize, bool, Option<Conv2dGeometry>), SnapshotError> {
     let variant = match r.u8()? {
         0 => PecanVariant::Distance,
         1 => PecanVariant::Angle,
@@ -293,6 +400,16 @@ fn read_pecan(
             )));
         }
     }
+    Ok((variant, config, c_out, has_bias, geom))
+}
+
+fn read_pecan(
+    r: &mut Reader<'_>,
+    conv: bool,
+) -> Result<(LayerLut, Option<Conv2dGeometry>), SnapshotError> {
+    let (variant, config, c_out, has_bias, geom) = read_pecan_scalars(r, conv)?;
+    let (dim, groups, prototypes) =
+        (config.dim(), config.groups(), config.prototypes());
     let mut codebooks = Vec::with_capacity(groups);
     let mut tables = Vec::with_capacity(groups);
     for _ in 0..groups {
@@ -315,7 +432,45 @@ fn read_pecan(
     Ok((lut, geom))
 }
 
-fn write_stage(w: &mut Writer, stage: &dyn Stage) {
+/// Section-materialization callback for v3 readers: maps a directory
+/// index plus its expected shape to a [`Tensor`] (copying or zero-copy).
+type Materialize<'a> = &'a dyn Fn(usize, &[usize]) -> Result<Tensor, SnapshotError>;
+
+/// v3 PECAN reader: materializes each referenced section as a [`Tensor`]
+/// through `materialize` (copying or zero-copy, the caller decides) and
+/// builds the engine with [`LayerLut::from_borrowed_tables`] — no
+/// transpose, no reshuffle.
+fn read_pecan_v3(
+    r: &mut Reader<'_>,
+    conv: bool,
+    materialize: Materialize<'_>,
+) -> Result<(LayerLut, Option<Conv2dGeometry>), SnapshotError> {
+    let (variant, config, c_out, has_bias, geom) = read_pecan_scalars(r, conv)?;
+    let (dim, groups, prototypes) =
+        (config.dim(), config.groups(), config.prototypes());
+    let mut cams = Vec::with_capacity(groups);
+    let mut tables = Vec::with_capacity(groups);
+    for _ in 0..groups {
+        let rows_idx = r.usize()?;
+        let table_idx = r.usize()?;
+        cams.push(materialize(rows_idx, &[prototypes, dim])?);
+        tables.push(
+            LookupTable::new(materialize(table_idx, &[c_out, prototypes])?)
+                .map_err(|e| SnapshotError::Corrupt(e.to_string()))?,
+        );
+    }
+    let bias = if has_bias {
+        let idx = r.usize()?;
+        Some(materialize(idx, &[c_out])?)
+    } else {
+        None
+    };
+    let lut = LayerLut::from_borrowed_tables(variant, config, cams, tables, bias)
+        .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+    Ok((lut, geom))
+}
+
+fn write_stage(w: &mut Writer, sections: Option<&mut SectionWriter>, stage: &dyn Stage) {
     let any = stage.as_any();
     if any.downcast_ref::<ReluStage>().is_some() {
         w.u8(TAG_RELU);
@@ -329,13 +484,310 @@ fn write_stage(w: &mut Writer, stage: &dyn Stage) {
         w.u8(TAG_FLATTEN);
     } else if let Some(conv) = any.downcast_ref::<LutConvStage>() {
         w.u8(TAG_CONV);
-        write_pecan(w, conv.lut_engine(), Some(conv.geometry()));
+        match sections {
+            Some(s) => write_pecan_v3(w, s, conv.lut_engine(), Some(conv.geometry())),
+            None => write_pecan(w, conv.lut_engine(), Some(conv.geometry())),
+        }
     } else if let Some(lin) = any.downcast_ref::<LutLinearStage>() {
         w.u8(TAG_LINEAR);
-        write_pecan(w, lin.lut_engine(), None);
+        match sections {
+            Some(s) => write_pecan_v3(w, s, lin.lut_engine(), None),
+            None => write_pecan(w, lin.lut_engine(), None),
+        }
     } else {
         unreachable!("every compiled stage kind has a snapshot tag");
     }
+}
+
+// ------------------------------------------------------------ v3 sections
+
+/// One entry of the v3 section directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Byte offset of the section from the start of the file (64-aligned).
+    pub offset: u64,
+    /// Unpadded payload length in bytes (a multiple of 4).
+    pub byte_len: u64,
+    /// CRC-32 (IEEE) over the unpadded payload.
+    pub crc: u32,
+}
+
+/// Parses and validates the v3 header region: checks the header CRC,
+/// reads the section directory, and returns the directory plus a reader
+/// positioned at the model name (the tail).
+fn read_v3_header(bytes: &[u8]) -> Result<(Vec<SectionInfo>, Reader<'_>), SnapshotError> {
+    // magic(8) + version(4) + header_len(4) + count(4) + CRC(4)
+    const MIN_HEADER: usize = 24;
+    if bytes.len() < MIN_HEADER {
+        return Err(SnapshotError::Truncated { needed: MIN_HEADER, available: bytes.len() });
+    }
+    let header_len =
+        u32::from_le_bytes(bytes[12..16].try_into().expect("four bytes")) as usize;
+    if header_len < MIN_HEADER || header_len > bytes.len() {
+        return Err(SnapshotError::Corrupt(format!(
+            "header length {header_len} outside file of {} bytes",
+            bytes.len()
+        )));
+    }
+    let stored = u32::from_le_bytes(
+        bytes[header_len - 4..header_len].try_into().expect("four bytes"),
+    );
+    let computed = crc32(&bytes[..header_len - 4]);
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch { stored, computed });
+    }
+    let mut r = Reader { bytes: &bytes[..header_len - 4], pos: 16 };
+    let count = r.usize()?;
+    if count > SECTION_LIMIT {
+        return Err(SnapshotError::Corrupt(format!("{count} sections")));
+    }
+    let mut dir = Vec::with_capacity(count);
+    for i in 0..count {
+        let offset = r.u64()?;
+        let byte_len = r.u64()?;
+        let crc = r.u32()?;
+        let end = offset.checked_add(byte_len);
+        if offset as usize % SECTION_ALIGN != 0
+            || byte_len % 4 != 0
+            || end.map_or(true, |e| e > bytes.len() as u64)
+            || (offset as usize) < header_len
+        {
+            return Err(SnapshotError::Corrupt(format!(
+                "section {i} spans [{offset}, {offset}+{byte_len}) in a file of {} bytes",
+                bytes.len()
+            )));
+        }
+        dir.push(SectionInfo { offset, byte_len, crc });
+    }
+    Ok((dir, r))
+}
+
+/// Decodes the v3 tail (name, shapes, stages) of an already-validated
+/// header, materializing sections through `materialize`.
+fn read_v3_engine(
+    mut r: Reader<'_>,
+    materialize: Materialize<'_>,
+) -> Result<FrozenEngine, SnapshotError> {
+    let name = r.name()?;
+    let input_shape = r.dims(DIM_LIMIT)?;
+    let output_shape = r.dims(DIM_LIMIT)?;
+    let n_stages = r.usize()?;
+    if n_stages > 4096 {
+        return Err(SnapshotError::Corrupt(format!("{n_stages} stages")));
+    }
+    let mut stages: Vec<Box<dyn Stage>> = Vec::with_capacity(n_stages);
+    for _ in 0..n_stages {
+        let stage: Box<dyn Stage> = match r.u8()? {
+            TAG_RELU => Box::new(ReluStage),
+            TAG_MAXPOOL => {
+                let kernel = r.usize()?;
+                let stride = r.usize()?;
+                if kernel > DIM_LIMIT {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "pool window {kernel}/{stride}"
+                    )));
+                }
+                Box::new(
+                    MaxPoolStage::new(kernel, stride)
+                        .map_err(|e| SnapshotError::Corrupt(e.to_string()))?,
+                )
+            }
+            TAG_GAP => Box::new(GlobalAvgPoolStage),
+            TAG_FLATTEN => Box::new(FlattenStage),
+            TAG_CONV => {
+                let (lut, geom) = read_pecan_v3(&mut r, true, materialize)?;
+                Box::new(
+                    LutConvStage::new(lut, geom.expect("conv payload carries geometry"))
+                        .map_err(|e| SnapshotError::Corrupt(e.to_string()))?,
+                )
+            }
+            TAG_LINEAR => {
+                let (lut, _) = read_pecan_v3(&mut r, false, materialize)?;
+                Box::new(LutLinearStage::new(lut))
+            }
+            other => return Err(SnapshotError::Corrupt(format!("stage tag {other}"))),
+        };
+        stages.push(stage);
+    }
+    if r.pos != r.bytes.len() {
+        return Err(SnapshotError::Corrupt(format!(
+            "{} trailing bytes after last stage",
+            r.bytes.len() - r.pos
+        )));
+    }
+    FrozenEngine::from_parts(stages, input_shape, output_shape, name)
+        .map_err(|e| SnapshotError::Corrupt(e.to_string()))
+}
+
+/// Looks `idx` up in `dir` and validates its payload length against the
+/// expected tensor shape.
+fn section_entry<'d>(
+    dir: &'d [SectionInfo],
+    idx: usize,
+    dims: &[usize],
+) -> Result<&'d SectionInfo, SnapshotError> {
+    let entry = dir.get(idx).ok_or_else(|| {
+        SnapshotError::Corrupt(format!("section index {idx} outside a {}-entry directory", dir.len()))
+    })?;
+    let want = dims.iter().product::<usize>() as u64 * 4;
+    if entry.byte_len != want {
+        return Err(SnapshotError::Corrupt(format!(
+            "section {idx} holds {} bytes, shape {dims:?} needs {want}",
+            entry.byte_len
+        )));
+    }
+    Ok(entry)
+}
+
+/// Copying v3 loader: decodes every referenced section to the heap,
+/// verifying its CRC. Used by [`FrozenEngine::from_snapshot_bytes`].
+fn read_v3_copying(bytes: &[u8]) -> Result<FrozenEngine, SnapshotError> {
+    let (dir, tail) = read_v3_header(bytes)?;
+    let materialize = |idx: usize, dims: &[usize]| -> Result<Tensor, SnapshotError> {
+        let e = section_entry(&dir, idx, dims)?;
+        let payload = &bytes[e.offset as usize..(e.offset + e.byte_len) as usize];
+        let computed = crc32(payload);
+        if computed != e.crc {
+            return Err(SnapshotError::ChecksumMismatch { stored: e.crc, computed });
+        }
+        Tensor::from_vec(decode_f32s(payload), dims)
+            .map_err(|err| SnapshotError::Corrupt(err.to_string()))
+    };
+    read_v3_engine(tail, &materialize)
+}
+
+/// Zero-copy v3 loader: every bulk tensor is a borrowed window into
+/// `owner`'s buffer. `bytes` must be the same buffer `owner.f32s()` views
+/// (the caller guarantees it — e.g. both sides of one memory map).
+/// Section CRCs are checked only when `verify_sections` is set; the header
+/// CRC is always checked.
+pub(crate) fn engine_from_shared(
+    owner: &Arc<dyn F32Source>,
+    bytes: &[u8],
+    verify_sections: bool,
+) -> Result<FrozenEngine, SnapshotError> {
+    if bytes.len() != owner.f32s().len() * 4 {
+        return Err(SnapshotError::Corrupt(format!(
+            "shared source of {} scalars does not cover the {}-byte file",
+            owner.f32s().len(),
+            bytes.len()
+        )));
+    }
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 4 {
+        return Err(SnapshotError::Truncated {
+            needed: SNAPSHOT_MAGIC.len() + 4,
+            available: bytes.len(),
+        });
+    }
+    if bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("four bytes"));
+    if version != 3 {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    let (dir, tail) = read_v3_header(bytes)?;
+    let materialize = |idx: usize, dims: &[usize]| -> Result<Tensor, SnapshotError> {
+        let e = section_entry(&dir, idx, dims)?;
+        if verify_sections {
+            let payload = &bytes[e.offset as usize..(e.offset + e.byte_len) as usize];
+            let computed = crc32(payload);
+            if computed != e.crc {
+                return Err(SnapshotError::ChecksumMismatch { stored: e.crc, computed });
+            }
+        }
+        Tensor::from_shared(Arc::clone(owner), e.offset as usize / 4, dims)
+            .map_err(|err| SnapshotError::Corrupt(err.to_string()))
+    };
+    read_v3_engine(tail, &materialize)
+}
+
+// ------------------------------------------------------------ inspection
+
+/// Structural metadata of a snapshot file, decoded without building the
+/// engine — the `snapshot-tool info` view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Format revision of the file.
+    pub version: u32,
+    /// Embedded model name (v2+).
+    pub name: Option<String>,
+    /// Declared per-sample input shape.
+    pub input_shape: Vec<usize>,
+    /// Declared per-sample output shape.
+    pub output_shape: Vec<usize>,
+    /// Declared stage count.
+    pub stage_count: usize,
+    /// Total file length in bytes.
+    pub file_len: usize,
+    /// v3 section directory (empty for v1/v2).
+    pub sections: Vec<SectionInfo>,
+}
+
+/// Decodes a snapshot's structural metadata — version, name, shapes, stage
+/// count and (v3) the section directory — verifying the header checksum
+/// (v3) or the whole-file checksum (v1/v2) but not decoding stage payloads.
+///
+/// # Errors
+///
+/// Any [`SnapshotError`] variant; see the module docs.
+pub fn inspect_snapshot_bytes(bytes: &[u8]) -> Result<SnapshotInfo, SnapshotError> {
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 4 {
+        return Err(SnapshotError::Truncated {
+            needed: SNAPSHOT_MAGIC.len() + 4,
+            available: bytes.len(),
+        });
+    }
+    if bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("four bytes"));
+    if version == 0 || version > SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    if version == 3 {
+        let (sections, mut r) = read_v3_header(bytes)?;
+        let name = r.name()?;
+        let input_shape = r.dims(DIM_LIMIT)?;
+        let output_shape = r.dims(DIM_LIMIT)?;
+        let stage_count = r.usize()?;
+        return Ok(SnapshotInfo {
+            version,
+            name,
+            input_shape,
+            output_shape,
+            stage_count,
+            file_len: bytes.len(),
+            sections,
+        });
+    }
+    const TRAILER: usize = 4;
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 4 + TRAILER {
+        return Err(SnapshotError::Truncated {
+            needed: SNAPSHOT_MAGIC.len() + 4 + TRAILER,
+            available: bytes.len(),
+        });
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - TRAILER);
+    let stored = u32::from_le_bytes(trailer.try_into().expect("four bytes"));
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch { stored, computed });
+    }
+    let mut r = Reader { bytes: payload, pos: SNAPSHOT_MAGIC.len() + 4 };
+    let name = if version >= 2 { r.name()? } else { None };
+    let input_shape = r.dims(DIM_LIMIT)?;
+    let output_shape = r.dims(DIM_LIMIT)?;
+    let stage_count = r.usize()?;
+    Ok(SnapshotInfo {
+        version,
+        name,
+        input_shape,
+        output_shape,
+        stage_count,
+        file_len: bytes.len(),
+        sections: Vec::new(),
+    })
 }
 
 impl FrozenEngine {
@@ -346,8 +798,9 @@ impl FrozenEngine {
     }
 
     /// Serializes the engine as a specific format revision — version 1
-    /// for files an old reader must load (drops the model name), version
-    /// 2 for the current format.
+    /// for files the oldest reader can load (drops the model name),
+    /// version 2 for the sequential named format, version 3 for the
+    /// current section-directory format.
     ///
     /// # Errors
     ///
@@ -357,30 +810,87 @@ impl FrozenEngine {
         if version == 0 || version > SNAPSHOT_VERSION {
             return Err(SnapshotError::UnsupportedVersion { found: version });
         }
+        if version == 3 {
+            return Ok(self.snapshot_bytes_v3());
+        }
         let mut w = Writer { buf: Vec::new() };
         w.buf.extend_from_slice(&SNAPSHOT_MAGIC);
         w.u32(version);
         if version >= 2 {
-            let name = self.name().unwrap_or("");
-            // Clamp over-long names on a char boundary — a mid-character
-            // cut would write a header this build's own loader rejects.
-            let mut end = name.len().min(NAME_LIMIT);
-            while !name.is_char_boundary(end) {
-                end -= 1;
-            }
-            let bytes = &name.as_bytes()[..end];
-            w.usize(bytes.len());
-            w.buf.extend_from_slice(bytes);
+            self.write_name(&mut w);
         }
         w.dims(&self.input_shape);
         w.dims(&self.output_shape);
         w.usize(self.stages.len());
         for stage in &self.stages {
-            write_stage(&mut w, stage.as_ref());
+            write_stage(&mut w, None, stage.as_ref());
         }
         let crc = crc32(&w.buf);
         w.u32(crc);
         Ok(w.buf)
+    }
+
+    /// Writes the length-prefixed model name, clamping over-long names on
+    /// a char boundary — a mid-character cut would write a header this
+    /// build's own loader rejects.
+    fn write_name(&self, w: &mut Writer) {
+        let name = self.name().unwrap_or("");
+        let mut end = name.len().min(NAME_LIMIT);
+        while !name.is_char_boundary(end) {
+            end -= 1;
+        }
+        let bytes = &name.as_bytes()[..end];
+        w.usize(bytes.len());
+        w.buf.extend_from_slice(bytes);
+    }
+
+    /// Assembles the v3 layout: encode the tail while collecting section
+    /// payloads, lay the sections out 64-aligned after the header, then
+    /// stamp the directory and header CRC.
+    fn snapshot_bytes_v3(&self) -> Vec<u8> {
+        let mut tail = Writer { buf: Vec::new() };
+        let mut sections = SectionWriter { payloads: Vec::new() };
+        self.write_name(&mut tail);
+        tail.dims(&self.input_shape);
+        tail.dims(&self.output_shape);
+        tail.usize(self.stages.len());
+        for stage in &self.stages {
+            write_stage(&mut tail, Some(&mut sections), stage.as_ref());
+        }
+        let n = sections.payloads.len();
+        // magic(8) + version(4) + header_len(4) + count(4) + dir + tail + CRC(4)
+        let header_len = 20 + n * 20 + tail.buf.len() + 4;
+        let mut cursor = align_up(header_len);
+        let mut dir = Vec::with_capacity(n);
+        for p in &sections.payloads {
+            dir.push(SectionInfo {
+                offset: cursor as u64,
+                byte_len: p.len() as u64,
+                crc: crc32(p),
+            });
+            cursor = align_up(cursor + p.len());
+        }
+        let file_len = cursor.max(align_up(header_len));
+        let mut w = Writer { buf: Vec::with_capacity(file_len) };
+        w.buf.extend_from_slice(&SNAPSHOT_MAGIC);
+        w.u32(3);
+        w.usize(header_len);
+        w.usize(n);
+        for e in &dir {
+            w.u64(e.offset);
+            w.u64(e.byte_len);
+            w.u32(e.crc);
+        }
+        w.buf.extend_from_slice(&tail.buf);
+        let crc = crc32(&w.buf);
+        w.u32(crc);
+        debug_assert_eq!(w.buf.len(), header_len);
+        for (e, p) in dir.iter().zip(&sections.payloads) {
+            w.buf.resize(e.offset as usize, 0);
+            w.buf.extend_from_slice(p);
+        }
+        w.buf.resize(file_len, 0);
+        w.buf
     }
 
     /// Writes the snapshot to `path` (see the module docs for the format).
@@ -393,7 +903,9 @@ impl FrozenEngine {
         Ok(())
     }
 
-    /// Decodes an engine from snapshot bytes (version 1 or 2).
+    /// Decodes an engine from snapshot bytes (any supported version) via
+    /// the copying path — every bulk section is decoded to the heap and
+    /// its checksum verified.
     ///
     /// # Errors
     ///
@@ -410,20 +922,24 @@ impl FrozenEngine {
         if bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
             return Err(SnapshotError::BadMagic);
         }
-        let (payload, trailer) = bytes.split_at(bytes.len() - TRAILER);
-        let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
-        let computed = crc32(payload);
-        // Version is checked before the checksum so a snapshot from a future
+        // Version is checked before any checksum so a snapshot from a future
         // format revision reports *version*, not a spurious bit-rot error —
         // future revisions may checksum differently.
-        let mut r = Reader { bytes: payload, pos: SNAPSHOT_MAGIC.len() };
-        let version = r.u32()?;
+        let version =
+            u32::from_le_bytes(bytes[8..12].try_into().expect("four bytes"));
         if version == 0 || version > SNAPSHOT_VERSION {
             return Err(SnapshotError::UnsupportedVersion { found: version });
         }
+        if version == 3 {
+            return read_v3_copying(bytes);
+        }
+        let (payload, trailer) = bytes.split_at(bytes.len() - TRAILER);
+        let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+        let computed = crc32(payload);
         if stored != computed {
             return Err(SnapshotError::ChecksumMismatch { stored, computed });
         }
+        let mut r = Reader { bytes: payload, pos: SNAPSHOT_MAGIC.len() + 4 };
         let name = if version >= 2 { r.name()? } else { None };
         let input_shape = r.dims(DIM_LIMIT)?;
         let output_shape = r.dims(DIM_LIMIT)?;
@@ -481,7 +997,7 @@ impl FrozenEngine {
     }
 
     /// Reads a snapshot file written by [`FrozenEngine::save_snapshot`]
-    /// (or any earlier format revision).
+    /// (or any earlier format revision) via the copying path.
     ///
     /// # Errors
     ///
@@ -503,13 +1019,33 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_bytes_start_with_magic_version_and_name() {
+    fn snapshot_bytes_start_with_magic_and_version() {
         let engine = crate::demo::mlp_engine(1);
         let bytes = engine.snapshot_bytes();
         assert_eq!(&bytes[..8], b"PECANSNP");
         assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), SNAPSHOT_VERSION);
-        let name_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
-        assert_eq!(&bytes[16..16 + name_len], b"mlp");
+        // v2 places the name immediately after the version.
+        let v2 = engine.snapshot_bytes_versioned(2).unwrap();
+        let name_len = u32::from_le_bytes(v2[12..16].try_into().unwrap()) as usize;
+        assert_eq!(&v2[16..16 + name_len], b"mlp");
+    }
+
+    #[test]
+    fn v3_layout_is_aligned_and_self_describing() {
+        let engine = crate::demo::mlp_engine(1);
+        let bytes = engine.snapshot_bytes();
+        assert_eq!(bytes.len() % SECTION_ALIGN, 0);
+        let info = inspect_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(info.version, 3);
+        assert_eq!(info.name.as_deref(), Some("mlp"));
+        assert_eq!(info.stage_count, engine.stage_count());
+        assert!(!info.sections.is_empty());
+        for s in &info.sections {
+            assert_eq!(s.offset as usize % SECTION_ALIGN, 0);
+            assert_eq!(s.byte_len % 4, 0);
+            let payload = &bytes[s.offset as usize..(s.offset + s.byte_len) as usize];
+            assert_eq!(crc32(payload), s.crc);
+        }
     }
 
     #[test]
@@ -518,11 +1054,15 @@ mod tests {
         // must clamp to 4095, and the snapshot must load back cleanly.
         let long = "a".repeat(NAME_LIMIT - 1) + "é";
         let engine = crate::demo::mlp_engine(1).with_name(long);
-        let bytes = engine.snapshot_bytes();
+        let bytes = engine.snapshot_bytes_versioned(2).unwrap();
         let name_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
         assert_eq!(name_len, NAME_LIMIT - 1);
         let reloaded = FrozenEngine::from_snapshot_bytes(&bytes).unwrap();
         assert_eq!(reloaded.name(), Some("a".repeat(NAME_LIMIT - 1).as_str()));
+        // v3 clamps identically.
+        let v3 = reloaded.snapshot_bytes();
+        let again = FrozenEngine::from_snapshot_bytes(&v3).unwrap();
+        assert_eq!(again.name(), reloaded.name());
     }
 
     #[test]
@@ -536,5 +1076,58 @@ mod tests {
             engine.snapshot_bytes_versioned(SNAPSHOT_VERSION + 1),
             Err(SnapshotError::UnsupportedVersion { .. })
         ));
+    }
+
+    #[test]
+    fn v3_round_trips_bit_identically_from_shared_and_copying_paths() {
+        let engine = crate::demo::lenet_engine(7);
+        let bytes = engine.snapshot_bytes();
+        let input = vec![0.125f32; engine.input_len()];
+        let want = engine.predict(&input).unwrap();
+
+        let copied = FrozenEngine::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(copied.predict(&input).unwrap(), want);
+
+        // Zero-copy: build over an f32 view of the same bytes. The engine's
+        // bulk tensors must be borrowed views, not heap copies.
+        let scalars: Arc<dyn F32Source> = Arc::new(decode_f32s(&bytes));
+        let shared = engine_from_shared(&scalars, &bytes, true).unwrap();
+        assert_eq!(shared.predict(&input).unwrap(), want);
+        let mut shared_tensors = 0;
+        for stage in shared.stages() {
+            if let Some(lut) = stage.lut() {
+                for rows in lut.cam_rows() {
+                    assert!(rows.is_shared(), "CAM rows must borrow the source");
+                    shared_tensors += 1;
+                }
+                for t in lut.luts() {
+                    assert!(t.table().is_shared(), "tables must borrow the source");
+                    shared_tensors += 1;
+                }
+            }
+        }
+        assert!(shared_tensors > 0);
+    }
+
+    #[test]
+    fn shared_load_detects_section_corruption_only_when_verifying() {
+        let engine = crate::demo::mlp_engine(3);
+        let mut bytes = engine.snapshot_bytes();
+        let info = inspect_snapshot_bytes(&bytes).unwrap();
+        let first = info.sections[0];
+        bytes[first.offset as usize] ^= 0xFF;
+        // Copying path always checks section CRCs.
+        assert!(matches!(
+            FrozenEngine::from_snapshot_bytes(&bytes),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        let scalars: Arc<dyn F32Source> = Arc::new(decode_f32s(&bytes));
+        assert!(matches!(
+            engine_from_shared(&scalars, &bytes, true),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        // The fast open skips section CRCs by design (the header still
+        // validates) — corruption surfaces as different bits, not an error.
+        assert!(engine_from_shared(&scalars, &bytes, false).is_ok());
     }
 }

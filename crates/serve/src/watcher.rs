@@ -1,0 +1,255 @@
+//! Polling model-catalog watcher: a directory of snapshots as the source
+//! of truth for what the server serves.
+//!
+//! [`ModelWatcher::start`] spawns one background thread that scans a
+//! directory every `interval` for `*.psnp` files. The file stem is the
+//! model name (it must pass the registry's route-safety rules — anything
+//! else is skipped with a warning):
+//!
+//! * a **new** file is registered ([`EngineRegistry::register_file`]) and
+//!   becomes routable immediately — hot add, no restart;
+//! * a **changed** file (modification time or length moved) triggers a
+//!   blue/green [`reload`](crate::ModelEntry::reload_from_source) of the
+//!   already-registered model — zero requests dropped;
+//! * a file that fails to load is logged and left alone until it changes
+//!   again, so a half-written snapshot can't crash-loop the watcher —
+//!   write snapshots to a temp name and `rename(2)` into the directory
+//!   for atomic publication.
+//!
+//! Files are never *un*registered: the registry is append-only (entry
+//! indices must stay valid for in-flight work), so deleting a file stops
+//! future reloads but the last good engine keeps serving.
+//!
+//! The watcher polls instead of using inotify on purpose: mtime+length
+//! polling is portable, survives editor/rsync/NFS semantics that break
+//! watch APIs, and at the default 2s interval costs one `readdir` plus a
+//! `stat` per model — nothing next to inference.
+
+use crate::registry::{validate_name, EngineRegistry, LoadMode};
+use crate::scheduler::SchedulerConfig;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, SystemTime};
+
+/// What [`ModelWatcher`] watches and how.
+#[derive(Debug, Clone)]
+pub struct WatcherConfig {
+    /// Directory scanned for `*.psnp` snapshot files.
+    pub dir: PathBuf,
+    /// Scan period. The first scan happens immediately on start.
+    pub interval: Duration,
+    /// Loader for discovered files ([`LoadMode::Map`] serves them from
+    /// page cache).
+    pub mode: LoadMode,
+    /// Scheduler configuration for newly registered models.
+    pub scheduler: SchedulerConfig,
+}
+
+/// One `(mtime, len)` stamp; a change in either re-triggers the file.
+type Stamp = (Option<SystemTime>, u64);
+
+/// A running catalog watcher. Stops (flag + join) on drop or
+/// [`ModelWatcher::stop`].
+#[derive(Debug)]
+pub struct ModelWatcher {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ModelWatcher {
+    /// Starts watching: scans once right away, then every
+    /// `config.interval` until stopped. Registration and reload go through
+    /// `registry`'s interior mutability, so the server keeps serving
+    /// throughout.
+    pub fn start(registry: Arc<EngineRegistry>, config: WatcherConfig) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("pecan-watch".into())
+            .spawn(move || {
+                let mut seen: HashMap<String, Stamp> = HashMap::new();
+                while !flag.load(Ordering::SeqCst) {
+                    scan(&registry, &config, &mut seen);
+                    // Sleep in short slices so stop()/drop joins promptly
+                    // even with long scan intervals.
+                    let mut left = config.interval;
+                    while !left.is_zero() && !flag.load(Ordering::SeqCst) {
+                        let nap = left.min(Duration::from_millis(25));
+                        std::thread::sleep(nap);
+                        left = left.saturating_sub(nap);
+                    }
+                }
+            })
+            .expect("spawning the model watcher");
+        Self { stop, handle: Some(handle) }
+    }
+
+    /// Stops the scan loop and joins the thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ModelWatcher {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One pass over the directory: register new snapshots, reload changed
+/// ones, remember failures so they retry only when the file changes.
+fn scan(
+    registry: &EngineRegistry,
+    config: &WatcherConfig,
+    seen: &mut HashMap<String, Stamp>,
+) {
+    let entries = match std::fs::read_dir(&config.dir) {
+        Ok(e) => e,
+        Err(e) => {
+            crate::log_warn!(
+                "serve::watcher",
+                "cannot read model directory",
+                dir = config.dir.display(),
+                error = e,
+            );
+            return;
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("psnp") {
+            continue;
+        }
+        let Some(name) = path.file_stem().and_then(|s| s.to_str()).map(str::to_string)
+        else {
+            continue;
+        };
+        if validate_name(&name).is_err() {
+            crate::log_warn!(
+                "serve::watcher",
+                "skipping snapshot with route-unsafe name",
+                file = path.display(),
+            );
+            continue;
+        }
+        let stamp: Stamp = match entry.metadata() {
+            Ok(m) => (m.modified().ok(), m.len()),
+            Err(_) => continue, // raced a delete; next scan sees the truth
+        };
+        let first_sighting = !seen.contains_key(&name);
+        if seen.get(&name) == Some(&stamp) {
+            continue; // unchanged since last scan
+        }
+        seen.insert(name.clone(), stamp);
+
+        match registry.resolve(Some(&name)) {
+            Err(_) => {
+                // Unknown name: a new model enters the catalog.
+                match registry.register_file(name.as_str(), &path, config.mode, config.scheduler.clone())
+                {
+                    Ok(()) => crate::log_info!(
+                        "serve::watcher",
+                        "registered model",
+                        model = name,
+                        file = path.display(),
+                    ),
+                    Err(e) => crate::log_warn!(
+                        "serve::watcher",
+                        "snapshot does not load; will retry when it changes",
+                        file = path.display(),
+                        error = e,
+                    ),
+                }
+            }
+            Ok(model) if first_sighting => {
+                // Already registered outside the watcher (e.g. --snapshot
+                // pointing into the watched directory). Adopt the file as
+                // the model's reload source but don't spuriously reload.
+                if model.source().is_none() {
+                    model.set_source(&path, config.mode);
+                }
+            }
+            Ok(model) => {
+                model.set_source(&path, config.mode);
+                match model.reload_from_source() {
+                    Ok(version) => crate::log_info!(
+                        "serve::watcher",
+                        "reloaded model",
+                        model = name,
+                        version = version,
+                    ),
+                    Err(e) => crate::log_warn!(
+                        "serve::watcher",
+                        "reload failed; previous version keeps serving",
+                        model = name,
+                        error = e,
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo;
+
+    fn wait_until(what: &str, mut ok: impl FnMut() -> bool) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !ok() {
+            assert!(std::time::Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn watcher_hot_adds_reloads_and_survives_bad_files() {
+        let dir = std::env::temp_dir().join(format!("pecan-watch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        demo::mlp_engine(1).save_snapshot(dir.join("alpha.psnp")).unwrap();
+        std::fs::write(dir.join("not-a-model.txt"), b"ignored").unwrap();
+        std::fs::write(dir.join("bad name!.psnp"), b"route-unsafe, skipped").unwrap();
+
+        let registry = Arc::new(EngineRegistry::new());
+        let mut watcher = ModelWatcher::start(
+            Arc::clone(&registry),
+            WatcherConfig {
+                dir: dir.clone(),
+                interval: Duration::from_millis(10),
+                mode: LoadMode::Copy,
+                scheduler: SchedulerConfig::default(),
+            },
+        );
+
+        // Hot add: the pre-existing snapshot appears without any restart.
+        wait_until("alpha to register", || registry.resolve(Some("alpha")).is_ok());
+        let alpha = registry.resolve(Some("alpha")).unwrap();
+        assert_eq!(alpha.version(), 1);
+        let input = vec![0.5f32; alpha.runner().input_len()];
+        let before = alpha.predict(input.clone()).unwrap();
+
+        // A snapshot that doesn't load is skipped, not fatal, and doesn't
+        // crash-loop the watcher.
+        std::fs::write(dir.join("beta.psnp"), b"PECANSNPtruncated").unwrap();
+        // Replace alpha's file with different weights: blue/green reload.
+        demo::mlp_engine(9).save_snapshot(dir.join("alpha.psnp")).unwrap();
+        wait_until("alpha to reload", || alpha.version() >= 2);
+        let after = alpha.predict(input).unwrap();
+        assert_ne!(after.output, before.output, "reload must swap the weights");
+        assert!(registry.resolve(Some("beta")).is_err(), "bad file must not register");
+
+        // Fixing the bad file registers it on a later scan.
+        demo::lenet_engine(2).save_snapshot(dir.join("beta.psnp")).unwrap();
+        wait_until("beta to register", || registry.resolve(Some("beta")).is_ok());
+
+        watcher.stop();
+        registry.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

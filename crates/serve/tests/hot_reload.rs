@@ -1,0 +1,193 @@
+//! Zero-downtime model lifecycle, end to end over HTTP.
+//!
+//! The contract under test: a `POST /models/{name}/reload` while clients
+//! are hammering the model drops **zero** requests, answers every request
+//! with a known engine version (old or new, never garbage), and serves
+//! only the new version once the swap completes. Counters must carry
+//! across the swap, and a failed reload must leave the old version
+//! serving.
+//!
+//! Uses the threaded front end: it handles `/reload` concurrently with
+//! predictions. (The event loop serves `/reload` too, but on its single
+//! loop thread — see `docs/serving-ops.md`.)
+
+use pecan_serve::client::HttpClient;
+use pecan_serve::{demo, EngineRegistry, LoadMode, SchedulerConfig, Server, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pecan-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn body_output(body: &str) -> Vec<f32> {
+    let inner = body
+        .split("\"output\":")
+        .nth(1)
+        .and_then(|t| t.split(']').next())
+        .unwrap_or_else(|| panic!("no output array in {body}"));
+    format!("{inner}]")
+        .trim_start_matches('[')
+        .trim_end_matches(']')
+        .split(',')
+        .map(|t| t.trim().parse::<f32>().expect("float"))
+        .collect()
+}
+
+#[test]
+fn live_reload_drops_nothing_and_serves_known_versions() {
+    let dir = tmp_dir("hot-reload");
+    let path = dir.join("m.psnp");
+    let seeds: [u64; 4] = [1, 2, 3, 4];
+    demo::mlp_engine(seeds[0]).save_snapshot(&path).unwrap();
+
+    // The answer every engine generation gives to one fixed input —
+    // responses observed over HTTP must match one of these exactly.
+    let engines: Vec<_> = seeds.iter().map(|&s| demo::mlp_engine(s)).collect();
+    let input: Vec<f32> = (0..engines[0].input_len()).map(|i| (i as f32 * 0.37).sin()).collect();
+    let expected: Vec<Vec<f32>> = engines.iter().map(|e| e.predict(&input).unwrap()).collect();
+    let input_json = format!(
+        "[{}]",
+        input.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(",")
+    );
+
+    let registry = EngineRegistry::new();
+    registry
+        .register_file("m", &path, LoadMode::Copy, SchedulerConfig::default())
+        .unwrap();
+    let server =
+        Server::start_registry(registry, ServerConfig::default()).expect("server starts");
+    let addr = server.local_addr();
+
+    // Clients hammer the model on keep-alive connections for the whole
+    // duration of several blue/green swaps.
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let expected = expected.clone();
+            let input_json = input_json.clone();
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                let mut done = 0u64;
+                let mut newest_seen = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    let (status, body) = client
+                        .call("POST", "/models/m/predict", &input_json)
+                        .expect("predict call survives reloads");
+                    assert_eq!(status, 200, "no request may fail during a reload: {body}");
+                    let output = body_output(&body);
+                    let version = expected
+                        .iter()
+                        .position(|want| want == &output)
+                        .unwrap_or_else(|| {
+                            panic!("response matches no engine generation: {body}")
+                        });
+                    // Versions only ever move forward on one connection.
+                    assert!(
+                        version + 1 >= newest_seen,
+                        "answer regressed to a retired engine generation"
+                    );
+                    newest_seen = newest_seen.max(version + 1);
+                    done += 1;
+                }
+                done
+            })
+        })
+        .collect();
+
+    // Swap through the remaining generations while the load runs.
+    let mut admin = HttpClient::connect(addr).expect("connect admin");
+    for (round, &seed) in seeds.iter().enumerate().skip(1) {
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        demo::mlp_engine(seed).save_snapshot(&path).unwrap();
+        let (status, body) = admin.call("POST", "/models/m/reload", "").expect("reload");
+        assert_eq!(status, 200, "reload must succeed: {body}");
+        assert!(body.contains("\"status\":\"reloaded\""), "{body}");
+        assert!(body.contains(&format!("\"version\":{}", round + 1)), "{body}");
+    }
+
+    // A corrupt snapshot must fail the reload *and* leave the last good
+    // version serving.
+    std::fs::write(&path, b"PECANSNPnot a real snapshot").unwrap();
+    let (status, body) = admin.call("POST", "/models/m/reload", "").expect("reload");
+    assert_eq!(status, 500, "corrupt file is an engine error: {body}");
+
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    stop.store(true, Ordering::SeqCst);
+    let counts: Vec<u64> = workers.into_iter().map(|w| w.join().expect("client")).collect();
+    assert!(counts.iter().all(|&c| c > 0), "every client made progress: {counts:?}");
+
+    // After the dust settles: the newest generation answers, and the
+    // continuous counters account for every accepted request.
+    let (_, final_body) = admin.call("POST", "/models/m/predict", &input_json).expect("final");
+    assert_eq!(
+        body_output(&final_body),
+        expected[seeds.len() - 1],
+        "the last successful reload must be what serves"
+    );
+    let entry = server.registry().resolve(Some("m")).unwrap();
+    assert_eq!(entry.version(), seeds.len() as u64, "one version per successful reload");
+    let stats = entry.stats();
+    assert_eq!(
+        stats.completed + stats.failed,
+        stats.submitted,
+        "every accepted request was answered: {stats:?}"
+    );
+    assert_eq!(stats.failed, 0, "no request failed across {} reloads", seeds.len() - 1);
+    assert!(
+        stats.completed >= counts.iter().sum::<u64>(),
+        "client-observed answers are a subset of completed"
+    );
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn reload_of_memory_registered_model_is_a_client_error() {
+    let registry = EngineRegistry::new();
+    registry
+        .register(Arc::new(demo::mlp_engine(5)), SchedulerConfig::default())
+        .unwrap();
+    let server =
+        Server::start_registry(registry, ServerConfig::default()).expect("server starts");
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+    // No snapshot source on record: 400, not 500 — the operator asked for
+    // something this model cannot do.
+    let (status, body) = client.call("POST", "/reload", "").expect("call");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("no snapshot source"), "{body}");
+    // Unknown names are still 404.
+    let (status, _) = client.call("POST", "/models/ghost/reload", "").expect("call");
+    assert_eq!(status, 404);
+    server.stop();
+}
+
+#[test]
+fn event_loop_front_end_serves_reload_too() {
+    if !pecan_serve::event_loop_supported() {
+        return;
+    }
+    let dir = tmp_dir("hot-reload-ev");
+    let path = dir.join("ev.psnp");
+    demo::mlp_engine(6).save_snapshot(&path).unwrap();
+    let registry = EngineRegistry::new();
+    registry
+        .register_file("ev", &path, LoadMode::Map, SchedulerConfig::default())
+        .unwrap();
+    let config = ServerConfig { event_loop: true, ..ServerConfig::default() };
+    let server = Server::start_registry(registry, config).expect("server starts");
+    assert!(server.uses_event_loop());
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+    demo::mlp_engine(7).save_snapshot(&path).unwrap();
+    let (status, body) = client.call("POST", "/models/ev/reload", "").expect("reload");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"version\":2"), "{body}");
+    let entry = server.registry().resolve(Some("ev")).unwrap();
+    assert_eq!(entry.version(), 2);
+    server.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -302,7 +302,7 @@ fn threaded_front_end_maintains_connection_gauges() {
     let (entered_tx, entered) = mpsc::channel();
     let (release, release_rx) = mpsc::channel();
     let runner = Arc::new(GatedRunner { entered: entered_tx, release: Mutex::new(release_rx) });
-    let mut registry = EngineRegistry::new();
+    let registry = EngineRegistry::new();
     registry
         .register_runner_as(
             "gated",

@@ -58,7 +58,7 @@ fn start_gated(event_loop: bool, queue_capacity: usize) -> Gated {
         queue_capacity,
         workers: 1,
     };
-    let mut registry = EngineRegistry::new();
+    let registry = EngineRegistry::new();
     registry.register_runner_as("gated", runner, scheduler).expect("register double");
     let config = ServerConfig {
         event_loop,
@@ -156,7 +156,7 @@ fn queue_pressure_sheds_with_typed_503() {
             })
             .collect();
         let scheduler_stats =
-            || server.registry().default_model().scheduler().stats();
+            || server.registry().default_model().stats();
         wait_until("queue filled to the shed threshold", || scheduler_stats().submitted == 4);
 
         // One more: shed, not enqueued.
@@ -252,7 +252,7 @@ fn shutdown_drains_in_flight_requests() {
         waiting.write_all(predict_request()).expect("write");
         let scheduler_stats = {
             let server = &gated.server;
-            move || server.registry().default_model().scheduler().stats()
+            move || server.registry().default_model().stats()
         };
         wait_until("second request queued", || scheduler_stats().submitted == 2);
 

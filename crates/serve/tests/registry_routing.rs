@@ -9,7 +9,7 @@ use std::sync::Arc;
 fn two_model_server() -> (Server, Arc<pecan_serve::FrozenEngine>, Arc<pecan_serve::FrozenEngine>) {
     let mlp = Arc::new(demo::mlp_engine(41));
     let lenet = Arc::new(demo::lenet_engine(42));
-    let mut registry = EngineRegistry::new();
+    let registry = EngineRegistry::new();
     registry.register(mlp.clone(), SchedulerConfig::default()).unwrap();
     registry.register(lenet.clone(), SchedulerConfig::default()).unwrap();
     let server = Server::start_registry(registry, ServerConfig::default()).expect("bind");

@@ -53,13 +53,48 @@ proptest! {
     }
 
     /// No single flipped byte panics; almost all are checksum mismatches.
+    /// (v2: the whole-file CRC covers every byte. v3 inter-section padding
+    /// is deliberately outside any checksum, so this pin uses v2.)
     #[test]
     fn any_flipped_byte_is_a_typed_error(pos_permille in 0u32..1000, flip in 1u32..256) {
-        let mut bytes = demo::mlp_engine(2).snapshot_bytes();
+        let mut bytes = demo::mlp_engine(2).snapshot_bytes_versioned(2).unwrap();
         let pos = (bytes.len() as u64 * u64::from(pos_permille) / 1000) as usize;
         let pos = pos.min(bytes.len() - 1);
         bytes[pos] ^= flip as u8;
         prop_assert!(FrozenEngine::from_snapshot_bytes(&bytes).is_err());
+    }
+
+    /// v3: a flip anywhere inside the header region is caught by the header
+    /// CRC (or by magic/version gating) before any section is touched.
+    #[test]
+    fn v3_header_flip_is_a_typed_error(pos_permille in 0u32..1000, flip in 1u32..256) {
+        let mut bytes = demo::mlp_engine(2).snapshot_bytes();
+        let header_len =
+            u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let pos = (header_len as u64 * u64::from(pos_permille) / 1000) as usize;
+        let pos = pos.min(header_len - 1);
+        bytes[pos] ^= flip as u8;
+        prop_assert!(FrozenEngine::from_snapshot_bytes(&bytes).is_err());
+    }
+
+    /// v3: a flip anywhere inside any *section payload* trips exactly that
+    /// section's CRC on the copying path.
+    #[test]
+    fn v3_section_flip_reports_checksum_mismatch(
+        section_seed in proptest::num::u64::ANY,
+        pos_permille in 0u32..1000,
+        flip in 1u32..256,
+    ) {
+        let mut bytes = demo::mlp_engine(2).snapshot_bytes();
+        let info = pecan_serve::inspect_snapshot_bytes(&bytes).unwrap();
+        let s = info.sections[(section_seed % info.sections.len() as u64) as usize];
+        let pos = s.offset + s.byte_len as u64 * u64::from(pos_permille) / 1000;
+        let pos = (pos as usize).min((s.offset + s.byte_len) as usize - 1);
+        bytes[pos] ^= flip as u8;
+        prop_assert!(matches!(
+            FrozenEngine::from_snapshot_bytes(&bytes).unwrap_err(),
+            SnapshotError::ChecksumMismatch { .. }
+        ));
     }
 }
 
@@ -98,7 +133,7 @@ fn payload_flip_reports_checksum_mismatch() {
 
 #[test]
 fn trailing_garbage_is_rejected() {
-    let mut bytes = demo::mlp_engine(1).snapshot_bytes();
+    let mut bytes = demo::mlp_engine(1).snapshot_bytes_versioned(2).unwrap();
     // Keep the checksum trailer last so the tamper is structural, not bit
     // rot: splice zeros in *before* the trailer and fix the checksum up.
     let trailer_at = bytes.len() - 4;
@@ -137,7 +172,7 @@ fn crafted_inconsistent_pipeline_is_rejected_not_a_panic() {
     // A snapshot whose checksum is valid but whose declared input shape
     // does not thread through the stages must fail at *load* time — never
     // at predict time inside a scheduler worker.
-    let mut bytes = demo::mlp_engine(1).snapshot_bytes();
+    let mut bytes = demo::mlp_engine(1).snapshot_bytes_versioned(2).unwrap();
     let dim_at = input_rank_offset(&bytes) + 4; // first dim after rank
     assert_eq!(u32::from_le_bytes(bytes[dim_at..dim_at + 4].try_into().unwrap()), 64);
     bytes[dim_at..dim_at + 4].copy_from_slice(&63u32.to_le_bytes());
@@ -181,12 +216,16 @@ fn v1_files_still_load_bit_identically() {
 }
 
 #[test]
-fn version_3_is_rejected_with_a_typed_error() {
-    let mut bytes = demo::mlp_engine(1).snapshot_bytes();
-    bytes[8..12].copy_from_slice(&3u32.to_le_bytes());
-    fix_crc(&mut bytes); // even with a *valid* checksum, version gates first
+fn version_0_and_future_versions_are_rejected_with_typed_errors() {
+    // Stamp a future version over valid v2 bytes: even with a *valid*
+    // checksum, the version gates first.
+    let mut bytes = demo::mlp_engine(1).snapshot_bytes_versioned(2).unwrap();
+    bytes[8..12].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+    fix_crc(&mut bytes);
     match FrozenEngine::from_snapshot_bytes(&bytes).unwrap_err() {
-        SnapshotError::UnsupportedVersion { found } => assert_eq!(found, 3),
+        SnapshotError::UnsupportedVersion { found } => {
+            assert_eq!(found, SNAPSHOT_VERSION + 1);
+        }
         other => panic!("expected UnsupportedVersion, got {other:?}"),
     }
     // version 0 is nonsense, not "older than 1"
@@ -200,8 +239,9 @@ fn version_3_is_rejected_with_a_typed_error() {
 
 #[test]
 fn name_header_corruption_is_typed_never_a_panic() {
+    // The name sits at a fixed offset only in the v2 sequential layout.
     let engine = demo::mlp_engine(1);
-    let base = engine.snapshot_bytes();
+    let base = engine.snapshot_bytes_versioned(2).unwrap();
 
     // Declared name length beyond the whole payload → truncation. Needs a
     // model small enough that an in-limit length (≤ 4096) overruns it.
@@ -223,7 +263,7 @@ fn name_header_corruption_is_typed_never_a_panic() {
         ));
         FrozenEngine::compile(&net, &[16]).unwrap().with_name("tiny")
     };
-    let mut bytes = tiny.snapshot_bytes();
+    let mut bytes = tiny.snapshot_bytes_versioned(2).unwrap();
     assert!(bytes.len() < 4000, "tiny model must be smaller than the declared name");
     bytes[12..16].copy_from_slice(&4000u32.to_le_bytes());
     fix_crc(&mut bytes);
@@ -250,12 +290,34 @@ fn name_header_corruption_is_typed_never_a_panic() {
     assert!(FrozenEngine::from_snapshot_bytes(&bytes).is_err());
 
     // Non-UTF-8 name bytes → Corrupt.
-    let mut bytes = engine.snapshot_bytes();
+    let mut bytes = engine.snapshot_bytes_versioned(2).unwrap();
     bytes[16] = 0xFF; // first name byte ("mlp" → invalid sequence)
     fix_crc(&mut bytes);
     match FrozenEngine::from_snapshot_bytes(&bytes).unwrap_err() {
         SnapshotError::Corrupt(msg) => assert!(msg.contains("UTF-8"), "got: {msg}"),
         other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn v2_to_v3_conversion_is_bit_identical_at_the_infer_level() {
+    // The snapshot-tool convert path: load a v2 file, re-encode as v3.
+    // The converted engine must answer bit-identically — the layouts
+    // differ ([d,p] codebooks vs [p,d] CAM rows) but the bits must not.
+    for engine in [demo::mlp_engine(5), demo::lenet_engine(5)] {
+        let v2 = engine.snapshot_bytes_versioned(2).unwrap();
+        let from_v2 = FrozenEngine::from_snapshot_bytes(&v2).unwrap();
+        let v3 = from_v2.snapshot_bytes_versioned(3).unwrap();
+        let from_v3 = FrozenEngine::from_snapshot_bytes(&v3).unwrap();
+        assert_eq!(from_v2.name(), from_v3.name());
+        let mut rng = StdRng::seed_from_u64(55);
+        for _ in 0..3 {
+            let x = pecan_tensor::uniform(&mut rng, &[engine.input_len()], -1.0, 1.0)
+                .into_vec();
+            assert_bits_eq(&from_v2.predict(&x).unwrap(), &from_v3.predict(&x).unwrap());
+        }
+        // Converting back to v2 reproduces the original file byte-for-byte.
+        assert_eq!(v2, from_v3.snapshot_bytes_versioned(2).unwrap());
     }
 }
 

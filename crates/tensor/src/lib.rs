@@ -44,4 +44,4 @@ pub use gemm::{configured_threads, parallel_map};
 pub use im2col::{col2im, im2col, Conv2dGeometry};
 pub use init::{he_normal, uniform, xavier_uniform};
 pub use shape::Shape;
-pub use tensor::Tensor;
+pub use tensor::{F32Source, Tensor};

@@ -1,11 +1,55 @@
 use crate::{Shape, ShapeError};
 use std::fmt;
+use std::sync::Arc;
+
+/// A read-only provider of a flat `f32` buffer that [`Tensor`]s can view
+/// without copying.
+///
+/// Implementors own some backing storage — a memory-mapped snapshot file,
+/// a shared decode buffer — and hand out one stable `&[f32]` view of it.
+/// [`Tensor::from_shared`] then carves row-major windows out of that view:
+/// the tensor holds an `Arc` to the source, so the backing storage lives
+/// exactly as long as any tensor viewing it.
+///
+/// The returned slice must be stable for the lifetime of the source (same
+/// address, same length on every call) — tensors index into it on every
+/// element access.
+pub trait F32Source: Send + Sync + fmt::Debug + 'static {
+    /// The full backing buffer.
+    fn f32s(&self) -> &[f32];
+}
+
+impl F32Source for Vec<f32> {
+    fn f32s(&self) -> &[f32] {
+        self
+    }
+}
+
+/// Where a tensor's elements live: its own heap buffer, or a window into
+/// a shared [`F32Source`] (copy-on-write — any mutation materializes an
+/// owned buffer first).
+#[derive(Clone)]
+enum Storage {
+    Owned(Vec<f32>),
+    Shared {
+        owner: Arc<dyn F32Source>,
+        start: usize,
+        len: usize,
+    },
+}
 
 /// A dense, row-major, `f32` n-dimensional array.
 ///
 /// `Tensor` is the value type flowing through every PECAN component: images,
 /// im2col feature matrices `X`, codebooks `C`, filter matrices `F`, and the
 /// precomputed lookup tables `Y(j) = W(j)·C(j)`.
+///
+/// Storage is either owned (a private `Vec<f32>`) or a **shared view** into
+/// an [`F32Source`] created with [`Tensor::from_shared`] — e.g. a window of
+/// a memory-mapped model snapshot. Shared tensors are copy-on-write: every
+/// read path borrows the source directly, and any mutating method
+/// materializes a private copy first, so the two storage modes are
+/// indistinguishable through the public API.
 ///
 /// # Example
 ///
@@ -19,10 +63,10 @@ use std::fmt;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    storage: Storage,
 }
 
 impl Tensor {
@@ -42,21 +86,52 @@ impl Tensor {
                 shape.len()
             )));
         }
-        Ok(Self { shape, data })
+        Ok(Self { shape, storage: Storage::Owned(data) })
+    }
+
+    /// Creates a tensor viewing `owner.f32s()[start .. start + product(dims)]`
+    /// without copying. The tensor keeps the `Arc`, so the source outlives
+    /// every view of it. Mutating methods copy-on-write into an owned
+    /// buffer; read paths index the shared slice directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the window falls outside the source
+    /// buffer.
+    pub fn from_shared(
+        owner: Arc<dyn F32Source>,
+        start: usize,
+        dims: &[usize],
+    ) -> Result<Self, ShapeError> {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        let available = owner.f32s().len();
+        if start.checked_add(len).map_or(true, |end| end > available) {
+            return Err(ShapeError::new(format!(
+                "shared window [{start}, {start}+{len}) outside source of {available} elements"
+            )));
+        }
+        Ok(Self { shape, storage: Storage::Shared { owner, start, len } })
+    }
+
+    /// Whether the tensor currently views a shared [`F32Source`] rather
+    /// than owning its buffer (it flips to owned on first mutation).
+    pub fn is_shared(&self) -> bool {
+        matches!(self.storage, Storage::Shared { .. })
     }
 
     /// Creates a zero-filled tensor.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
-        Self { shape, data: vec![0.0; len] }
+        Self { shape, storage: Storage::Owned(vec![0.0; len]) }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
-        Self { shape, data: vec![value; len] }
+        Self { shape, storage: Storage::Owned(vec![value; len]) }
     }
 
     /// Creates a one-filled tensor.
@@ -68,14 +143,17 @@ impl Tensor {
     pub fn eye(n: usize) -> Self {
         let mut t = Self::zeros(&[n, n]);
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            t.buf_mut()[i * n + i] = 1.0;
         }
         t
     }
 
     /// Creates a rank-1 tensor from a slice.
     pub fn from_slice(values: &[f32]) -> Self {
-        Self { shape: Shape::new(&[values.len()]), data: values.to_vec() }
+        Self {
+            shape: Shape::new(&[values.len()]),
+            storage: Storage::Owned(values.to_vec()),
+        }
     }
 
     /// The shape of the tensor.
@@ -90,27 +168,45 @@ impl Tensor {
 
     /// Number of elements.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.shape.len()
     }
 
     /// Whether the tensor holds no elements.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.shape.len() == 0
     }
 
     /// Read-only view of the flat row-major buffer.
+    #[inline]
     pub fn data(&self) -> &[f32] {
-        &self.data
+        match &self.storage {
+            Storage::Owned(v) => v,
+            Storage::Shared { owner, start, len } => &owner.f32s()[*start..start + len],
+        }
     }
 
-    /// Mutable view of the flat row-major buffer.
+    /// Mutable access to the owned buffer, materializing a private copy of
+    /// shared storage first (copy-on-write).
+    fn buf_mut(&mut self) -> &mut Vec<f32> {
+        if let Storage::Shared { owner, start, len } = &self.storage {
+            let copied = owner.f32s()[*start..start + len].to_vec();
+            self.storage = Storage::Owned(copied);
+        }
+        match &mut self.storage {
+            Storage::Owned(v) => v,
+            Storage::Shared { .. } => unreachable!("materialized above"),
+        }
+    }
+
+    /// Mutable view of the flat row-major buffer. On a shared tensor this
+    /// first materializes a private copy (copy-on-write).
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.buf_mut()
     }
 
-    /// Consumes the tensor and returns its buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor and returns its buffer (copying a shared view).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(self.buf_mut())
     }
 
     /// Element at a multi-index.
@@ -119,7 +215,7 @@ impl Tensor {
     ///
     /// Panics (debug) if the index is out of bounds or has the wrong rank.
     pub fn at(&self, index: &[usize]) -> f32 {
-        self.data[self.shape.offset(index)]
+        self.data()[self.shape.offset(index)]
     }
 
     /// Sets the element at a multi-index.
@@ -129,7 +225,7 @@ impl Tensor {
     /// Panics (debug) if the index is out of bounds or has the wrong rank.
     pub fn set(&mut self, index: &[usize], value: f32) {
         let off = self.shape.offset(index);
-        self.data[off] = value;
+        self.buf_mut()[off] = value;
     }
 
     /// Matrix element `(row, col)` of a rank-2 tensor.
@@ -142,7 +238,7 @@ impl Tensor {
     pub fn get2(&self, row: usize, col: usize) -> f32 {
         debug_assert_eq!(self.shape.rank(), 2);
         let cols = self.shape.dims()[1];
-        self.data[row * cols + col]
+        self.data()[row * cols + col]
     }
 
     /// Sets matrix element `(row, col)` of a rank-2 tensor.
@@ -155,7 +251,7 @@ impl Tensor {
     pub fn set2(&mut self, row: usize, col: usize, value: f32) {
         debug_assert_eq!(self.shape.rank(), 2);
         let cols = self.shape.dims()[1];
-        self.data[row * cols + col] = value;
+        self.buf_mut()[row * cols + col] = value;
     }
 
     /// Borrow of row `r` of a rank-2 tensor.
@@ -167,7 +263,7 @@ impl Tensor {
     pub fn row(&self, r: usize) -> &[f32] {
         debug_assert_eq!(self.shape.rank(), 2);
         let cols = self.shape.dims()[1];
-        &self.data[r * cols..(r + 1) * cols]
+        &self.data()[r * cols..(r + 1) * cols]
     }
 
     /// Mutable borrow of row `r` of a rank-2 tensor.
@@ -179,7 +275,7 @@ impl Tensor {
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         debug_assert_eq!(self.shape.rank(), 2);
         let cols = self.shape.dims()[1];
-        &mut self.data[r * cols..(r + 1) * cols]
+        &mut self.buf_mut()[r * cols..(r + 1) * cols]
     }
 
     /// Returns the same buffer viewed under a new shape.
@@ -188,16 +284,26 @@ impl Tensor {
     ///
     /// Returns [`ShapeError`] when the element counts differ.
     pub fn reshape(&self, dims: &[usize]) -> Result<Tensor, ShapeError> {
-        Tensor::from_vec(self.data.clone(), dims)
+        Tensor::from_vec(self.data().to_vec(), dims)
     }
 
     /// Consumes the tensor, returning the same buffer under a new shape.
+    /// A shared view stays shared — only the shape changes.
     ///
     /// # Errors
     ///
     /// Returns [`ShapeError`] when the element counts differ.
     pub fn into_reshape(self, dims: &[usize]) -> Result<Tensor, ShapeError> {
-        Tensor::from_vec(self.data, dims)
+        let shape = Shape::new(dims);
+        if self.len() != shape.len() {
+            return Err(ShapeError::new(format!(
+                "buffer of {} elements cannot view as shape {:?} ({} elements)",
+                self.len(),
+                dims,
+                shape.len()
+            )));
+        }
+        Ok(Tensor { shape, storage: self.storage })
     }
 
     /// Transpose of a rank-2 tensor.
@@ -208,13 +314,14 @@ impl Tensor {
     pub fn transpose2(&self) -> Result<Tensor, ShapeError> {
         self.shape.expect_rank(2)?;
         let (r, c) = (self.dims()[0], self.dims()[1]);
-        let mut out = Tensor::zeros(&[c, r]);
+        let src = self.data();
+        let mut data = vec![0.0; r * c];
         for i in 0..r {
             for j in 0..c {
-                out.data[j * r + i] = self.data[i * c + j];
+                data[j * r + i] = src[i * c + j];
             }
         }
-        Ok(out)
+        Tensor::from_vec(data, &[c, r])
     }
 
     /// Elementwise binary operation against a same-shaped tensor.
@@ -235,12 +342,12 @@ impl Tensor {
             )));
         }
         let data = self
-            .data
+            .data()
             .iter()
-            .zip(other.data.iter())
+            .zip(other.data().iter())
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        Ok(Tensor { shape: self.shape.clone(), storage: Storage::Owned(data) })
     }
 
     /// Elementwise addition.
@@ -274,13 +381,13 @@ impl Tensor {
     pub fn map(&self, f: impl FnMut(f32) -> f32) -> Tensor {
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().copied().map(f).collect(),
+            storage: Storage::Owned(self.data().iter().copied().map(f).collect()),
         }
     }
 
     /// In-place elementwise map.
     pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
-        for v in &mut self.data {
+        for v in self.buf_mut() {
             *v = f(*v);
         }
     }
@@ -303,7 +410,7 @@ impl Tensor {
                 other.dims()
             )));
         }
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+        for (a, &b) in self.buf_mut().iter_mut().zip(other.data().iter()) {
             *a += alpha * b;
         }
         Ok(())
@@ -315,26 +422,35 @@ impl Tensor {
         if self.shape != other.shape {
             return f32::INFINITY;
         }
-        self.data
+        self.data()
             .iter()
-            .zip(other.data.iter())
+            .zip(other.data().iter())
             .map(|(&a, &b)| (a - b).abs())
             .fold(0.0, f32::max)
+    }
+}
+
+impl PartialEq for Tensor {
+    /// Shape and element equality — where the elements live (owned vs
+    /// shared) is not observable.
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data() == other.data()
     }
 }
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         const PREVIEW: usize = 8;
+        let data = self.data();
         write!(f, "Tensor{:?} [", self.dims())?;
-        for (i, v) in self.data.iter().take(PREVIEW).enumerate() {
+        for (i, v) in data.iter().take(PREVIEW).enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
             write!(f, "{v:.4}")?;
         }
-        if self.data.len() > PREVIEW {
-            write!(f, ", … {} more", self.data.len() - PREVIEW)?;
+        if data.len() > PREVIEW {
+            write!(f, ", … {} more", data.len() - PREVIEW)?;
         }
         write!(f, "]")
     }
@@ -421,5 +537,37 @@ mod tests {
         let t = Tensor::zeros(&[4]);
         let s = format!("{t:?}");
         assert!(s.contains("Tensor[4]"));
+    }
+
+    #[test]
+    fn shared_views_window_without_copying() {
+        let source: Arc<dyn F32Source> =
+            Arc::new((0..12).map(|v| v as f32).collect::<Vec<f32>>());
+        let t = Tensor::from_shared(Arc::clone(&source), 2, &[2, 3]).unwrap();
+        assert!(t.is_shared());
+        assert_eq!(t.data(), &[2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(t.get2(1, 2), 7.0);
+        assert_eq!(t.row(0), &[2.0, 3.0, 4.0]);
+        // Same bytes, same address: the view really is zero-copy.
+        assert_eq!(t.data().as_ptr(), source.f32s()[2..].as_ptr());
+        // Equality looks through the storage mode.
+        assert_eq!(t, Tensor::from_vec(t.data().to_vec(), &[2, 3]).unwrap());
+        // Out-of-bounds windows are rejected.
+        assert!(Tensor::from_shared(Arc::clone(&source), 8, &[2, 3]).is_err());
+        assert!(Tensor::from_shared(source, usize::MAX, &[2]).is_err());
+    }
+
+    #[test]
+    fn shared_views_copy_on_write() {
+        let source: Arc<dyn F32Source> = Arc::new(vec![1.0f32, 2.0, 3.0, 4.0]);
+        let mut t = Tensor::from_shared(Arc::clone(&source), 0, &[2, 2]).unwrap();
+        let reshaped = t.clone().into_reshape(&[4]).unwrap();
+        assert!(reshaped.is_shared(), "reshape keeps the view");
+        t.set2(0, 1, 9.0);
+        assert!(!t.is_shared(), "mutation materializes an owned copy");
+        assert_eq!(t.data(), &[1.0, 9.0, 3.0, 4.0]);
+        // The source is untouched.
+        assert_eq!(source.f32s(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(reshaped.data(), &[1.0, 2.0, 3.0, 4.0]);
     }
 }

@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // 4. Serve BOTH models: each gets its own scheduler and counters; the
     //    first registered one answers the bare routes.
-    let mut registry = EngineRegistry::new();
+    let registry = EngineRegistry::new();
     let scheduler = SchedulerConfig {
         max_batch: 16,
         max_wait: Duration::from_micros(200),
