@@ -1,7 +1,7 @@
 //! `bench-diff` — gate CI on benchmark medians.
 //!
 //! ```text
-//! bench-diff <baseline-dir> <current-dir> [--threshold <pct>]
+//! bench-diff <baseline-dir> <current-dir> [--threshold <pct>] [--json PATH]
 //! ```
 //!
 //! Compares two directories of criterion-shim `*.json` records (the files
@@ -9,22 +9,31 @@
 //! when any benchmark's median regressed beyond the threshold (default
 //! 20%). A missing *baseline* directory is the first-run case and exits 0
 //! so a branch with no prior artifact never fails; a missing *current*
-//! directory is always an error. Full CLI docs: `crates/bench/README.md`.
+//! directory is always an error. `--json PATH` additionally writes the
+//! comparison as a JSON array (`-` for stdout) — the same rows as the
+//! markdown table, machine-readable for CI annotations. Full CLI docs:
+//! `crates/bench/README.md`.
 
 use pecan_bench::diff;
 use std::path::Path;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: bench-diff <baseline-dir> <current-dir> [--threshold <pct>]";
+const USAGE: &str =
+    "usage: bench-diff <baseline-dir> <current-dir> [--threshold <pct>] [--json PATH]";
 const DEFAULT_THRESHOLD_PCT: f64 = 20.0;
 
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut dirs: Vec<&str> = Vec::new();
     let mut threshold = DEFAULT_THRESHOLD_PCT;
+    let mut json_path: Option<&str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--json" => {
+                json_path =
+                    Some(it.next().ok_or_else(|| format!("--json needs a path\n{USAGE}"))?);
+            }
             "--threshold" => {
                 let v = it.next().ok_or_else(|| format!("--threshold needs a value\n{USAGE}"))?;
                 threshold = v
@@ -63,6 +72,15 @@ fn run() -> Result<bool, String> {
     let rows = diff::diff(&baseline, &current, threshold);
     println!("bench-diff: {} benchmark(s), threshold ±{threshold}%\n", rows.len());
     print!("{}", diff::render_table(&rows));
+    if let Some(path) = json_path {
+        let json = diff::render_json(&rows);
+        if path == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("\nwrote {path}");
+        }
+    }
     let regressed = diff::regressions(&rows);
     if regressed.is_empty() {
         println!("\nno median regressed beyond {threshold}%.");

@@ -190,6 +190,63 @@ pub fn render_table(rows: &[Row]) -> String {
     s
 }
 
+/// Renders the comparison as a JSON array — the same rows as
+/// [`render_table`], machine-readable for CI annotations and dashboards.
+/// Nulls stand in for absent sides (`new` / `missing` rows) and the
+/// verdict is the lowercase name of the [`Verdict`] variant.
+pub fn render_json(rows: &[Row]) -> String {
+    let mut s = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        let fmt_opt = |ns: Option<u128>| ns.map_or("null".into(), |ns| ns.to_string());
+        let delta = row.delta_pct.map_or("null".into(), |d| {
+            if d.is_finite() {
+                format!("{d:.3}")
+            } else {
+                // A 0 → n regression has no finite percentage; JSON has no
+                // Infinity literal, so emit null and let the verdict carry it.
+                "null".into()
+            }
+        });
+        let verdict = match row.verdict {
+            Verdict::Ok => "ok",
+            Verdict::Regressed => "regressed",
+            Verdict::Improved => "improved",
+            Verdict::New => "new",
+            Verdict::Missing => "missing",
+        };
+        let _ = write!(
+            s,
+            "  {{\"name\": \"{}\", \"baseline_ns\": {}, \"current_ns\": {}, \"delta_pct\": {}, \"verdict\": \"{}\"}}",
+            escape_json(&row.name),
+            fmt_opt(row.baseline_ns),
+            fmt_opt(row.current_ns),
+            delta,
+            verdict,
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("]\n");
+    s
+}
+
+/// Minimal JSON string escaping for bench names (quotes, backslashes,
+/// control characters — names are shim-generated so this is belt and
+/// braces, not a general-purpose encoder).
+fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +295,37 @@ mod tests {
         let table = render_table(&rows);
         assert!(table.contains("| k | 2.50 ms | 4.00 ms | +60.0% | **REGRESSED** |"));
         assert_eq!(table.lines().count(), 3);
+    }
+
+    #[test]
+    fn json_rendering_carries_every_row_and_nulls_absent_sides() {
+        let base = medians(&[("k \"q\"", 1_000), ("gone", 50)]);
+        let cur = medians(&[("k \"q\"", 1_600), ("fresh", 10)]);
+        let rows = diff(&base, &cur, 20.0);
+        let json = render_json(&rows);
+        assert!(json.contains(
+            "{\"name\": \"fresh\", \"baseline_ns\": null, \"current_ns\": 10, \
+             \"delta_pct\": null, \"verdict\": \"new\"}"
+        ));
+        assert!(json.contains(
+            "{\"name\": \"gone\", \"baseline_ns\": 50, \"current_ns\": null, \
+             \"delta_pct\": null, \"verdict\": \"missing\"}"
+        ));
+        assert!(json.contains(
+            "{\"name\": \"k \\\"q\\\"\", \"baseline_ns\": 1000, \"current_ns\": 1600, \
+             \"delta_pct\": 60.000, \"verdict\": \"regressed\"}"
+        ));
+        // Valid JSON array shape: brackets, one object per row, comma-separated.
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert_eq!(json.matches("{\"name\"").count(), rows.len());
+        assert_eq!(json.matches("},\n").count(), rows.len() - 1);
+    }
+
+    #[test]
+    fn json_rendering_nulls_infinite_deltas() {
+        let rows = diff(&medians(&[("z", 0)]), &medians(&[("z", 5)]), 20.0);
+        let json = render_json(&rows);
+        assert!(json.contains("\"delta_pct\": null, \"verdict\": \"regressed\""));
     }
 
     #[test]

@@ -184,6 +184,7 @@ impl AnalogCam {
         count: usize,
         scratch: &mut Vec<f32>,
     ) -> Result<Vec<SearchResult>, ShapeError> {
+        let _span = pecan_obs::span("cam.search_strided");
         let d = self.width();
         if offset + d > stride || count * stride > data.len() {
             return Err(ShapeError::new(format!(

@@ -259,6 +259,7 @@ impl InferBatch {
     /// Returns [`ShapeError`] when the per-sample shape is not the
     /// geometry's `[cin, h, w]`.
     pub fn im2col(&self, geom: &Conv2dGeometry) -> Result<InferBatch, ShapeError> {
+        let _span = pecan_obs::span("core.im2col");
         let expect = [geom.c_in(), geom.h_in(), geom.w_in()];
         if self.sample_shape != expect {
             return Err(ShapeError::new(format!(

@@ -358,6 +358,7 @@ impl LayerLut {
         x: InferBatch,
         mut stats: Option<&mut UsageStats>,
     ) -> Result<InferBatch, ShapeError> {
+        let _span = pecan_obs::span("core.forward_cols");
         if x.features() != self.config.rows() {
             return Err(ShapeError::new(format!(
                 "feature matrix has {} rows, engine expects {}",

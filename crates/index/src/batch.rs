@@ -111,6 +111,7 @@ pub fn l1_argmin_batch<E: L1Element>(
     width: usize,
     queries: &[E],
 ) -> Vec<(usize, E::Acc)> {
+    let _span = pecan_obs::span("index.scan");
     assert!(width > 0, "width must be non-zero");
     assert!(
         !rows.is_empty() && rows.len() % width == 0,
@@ -215,6 +216,7 @@ impl PrototypeIndex for BatchScanner {
     }
 
     fn nearest_batch(&self, queries: &[f32]) -> Result<Vec<Match>, ShapeError> {
+        let _span = pecan_obs::span("index.batch_scan");
         if queries.len() % self.width != 0 {
             return Err(ShapeError::new(format!(
                 "query buffer of {} is not a multiple of width {}",

@@ -55,6 +55,7 @@ impl PrototypeIndex for LinearScan {
     }
 
     fn nearest(&self, query: &[f32]) -> Result<Match, ShapeError> {
+        let _span = pecan_obs::span("index.linear");
         if query.len() != self.width {
             return Err(ShapeError::new(format!(
                 "query width {} does not match index width {}",

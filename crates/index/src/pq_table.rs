@@ -251,6 +251,7 @@ impl PrototypeIndex for PqTableIndex {
     }
 
     fn nearest(&self, query: &[f32]) -> Result<Match, ShapeError> {
+        let _span = pecan_obs::span("index.pq_table");
         self.nearest_with_stats(query).map(|(m, _)| m)
     }
 }

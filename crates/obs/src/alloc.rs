@@ -1,0 +1,74 @@
+//! `PecanAlloc`: an opt-in counting global allocator.
+//!
+//! Wraps [`std::alloc::System`] and counts every allocation (and the
+//! bytes it requested) in thread-local counters. Installed as the
+//! `#[global_allocator]` of a test binary it turns "allocation-free hot
+//! path" doc claims into asserted invariants, and span tracing reads the
+//! same counters so every span reports how many allocations happened
+//! inside it (zero deltas when the allocator is not installed).
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: pecan_obs::PecanAlloc = pecan_obs::PecanAlloc;
+//!
+//! let before = pecan_obs::alloc_counts();
+//! hot_path();
+//! assert_eq!(pecan_obs::alloc_counts().0 - before.0, 0, "hot path allocated");
+//! ```
+//!
+//! Counting is per-thread on purpose: an assertion about *this* thread's
+//! hot path must not flake because another thread allocated concurrently.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    // Const-initialised `Cell`s have no destructor to register, so these
+    // are safe to touch from inside the allocator itself.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// `(allocations, bytes)` requested by the calling thread since it
+/// started, as counted by [`PecanAlloc`]. Always `(0, 0)` unless
+/// `PecanAlloc` is the process's `#[global_allocator]`.
+pub fn alloc_counts() -> (u64, u64) {
+    (ALLOCS.with(Cell::get), BYTES.with(Cell::get))
+}
+
+fn count(size: usize) {
+    ALLOCS.with(|c| c.set(c.get().wrapping_add(1)));
+    BYTES.with(|c| c.set(c.get().wrapping_add(size as u64)));
+}
+
+/// Counting allocator: [`System`] plus the thread-local tallies behind
+/// [`alloc_counts`]. Zero-sized; install with `#[global_allocator]`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PecanAlloc;
+
+// Safety: defers every operation to `System` with the caller's layout
+// unchanged; the only addition is thread-local bookkeeping, which cannot
+// violate the `GlobalAlloc` contract.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for PecanAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc is a fresh allocation from the hot path's point of
+        // view: growing a Vec you promised not to grow must be caught.
+        count(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+}

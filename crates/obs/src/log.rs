@@ -148,8 +148,8 @@ pub fn write(level: Level, target: &str, msg: &str, kvs: &[(&str, String)]) {
 #[macro_export]
 macro_rules! log_at {
     ($lvl:expr, $target:expr, $msg:expr $(, $key:ident = $val:expr)* $(,)?) => {
-        if $crate::obs::log::enabled($lvl) {
-            $crate::obs::log::write(
+        if $crate::log::enabled($lvl) {
+            $crate::log::write(
                 $lvl,
                 $target,
                 ::std::convert::AsRef::<str>::as_ref(&$msg),
@@ -162,31 +162,31 @@ macro_rules! log_at {
 /// Logs at [`Level::Error`]; see [`log_at!`](crate::log_at).
 #[macro_export]
 macro_rules! log_error {
-    ($($t:tt)*) => { $crate::log_at!($crate::obs::log::Level::Error, $($t)*) };
+    ($($t:tt)*) => { $crate::log_at!($crate::log::Level::Error, $($t)*) };
 }
 
 /// Logs at [`Level::Warn`]; see [`log_at!`](crate::log_at).
 #[macro_export]
 macro_rules! log_warn {
-    ($($t:tt)*) => { $crate::log_at!($crate::obs::log::Level::Warn, $($t)*) };
+    ($($t:tt)*) => { $crate::log_at!($crate::log::Level::Warn, $($t)*) };
 }
 
 /// Logs at [`Level::Info`]; see [`log_at!`](crate::log_at).
 #[macro_export]
 macro_rules! log_info {
-    ($($t:tt)*) => { $crate::log_at!($crate::obs::log::Level::Info, $($t)*) };
+    ($($t:tt)*) => { $crate::log_at!($crate::log::Level::Info, $($t)*) };
 }
 
 /// Logs at [`Level::Debug`]; see [`log_at!`](crate::log_at).
 #[macro_export]
 macro_rules! log_debug {
-    ($($t:tt)*) => { $crate::log_at!($crate::obs::log::Level::Debug, $($t)*) };
+    ($($t:tt)*) => { $crate::log_at!($crate::log::Level::Debug, $($t)*) };
 }
 
 /// Logs at [`Level::Trace`]; see [`log_at!`](crate::log_at).
 #[macro_export]
 macro_rules! log_trace {
-    ($($t:tt)*) => { $crate::log_at!($crate::obs::log::Level::Trace, $($t)*) };
+    ($($t:tt)*) => { $crate::log_at!($crate::log::Level::Trace, $($t)*) };
 }
 
 #[cfg(test)]

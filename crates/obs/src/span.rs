@@ -1,0 +1,502 @@
+//! Hierarchical span tracing: thread-local span stacks writing completed
+//! spans into lock-free per-thread ring buffers.
+//!
+//! # Hot-path contract
+//!
+//! Tracing is off by default. [`span`] starts by loading one process-wide
+//! atomic flag with `Ordering::Relaxed`; when the flag is clear it
+//! returns an inert guard and touches nothing else — no thread-local, no
+//! clock, no allocation. That single load is the entire cost the
+//! instrumented kernels (GEMM, index scans, im2col, the scheduler) pay
+//! in production.
+//!
+//! # Recording model
+//!
+//! When tracing is on, a [`SpanGuard`] snapshots wall time, per-thread
+//! CPU time ([`crate::clock`]) and the allocation counters
+//! ([`crate::alloc_counts`]) at construction, and on drop writes **one
+//! completed-span record** into its thread's ring buffer. Begin/end
+//! events are synthesized at export time from the complete record, which
+//! makes every exported capture balanced by construction — a span still
+//! open when a capture ends simply isn't in it.
+//!
+//! Rings are fixed-capacity ([`RING_EVENTS`] records, seqlock-published
+//! like `pecan-serve`'s flight recorder) and single-writer: each thread
+//! claims one on its first recorded span and returns it to a pool at
+//! thread exit, so short-lived worker threads (GEMM's scoped row workers)
+//! reuse rings instead of growing the registry per call. Readers
+//! ([`collect_spans`]) validate each slot's sequence word and skip
+//! records caught mid-write. Under wrap-around the oldest spans are
+//! overwritten — this is a flight recorder for profiling windows, not an
+//! audit log.
+
+use crate::alloc::alloc_counts;
+use crate::clock::thread_cpu_ns;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Completed-span records each per-thread ring holds before wrapping.
+pub const RING_EVENTS: usize = 4096;
+/// Cap on distinct rings; threads beyond it trace into the void rather
+/// than growing memory without bound.
+const MAX_RINGS: usize = 256;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// True when span tracing is recording. One relaxed load — this is the
+/// only thing a disabled [`span`] call does.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns span recording on or off process-wide. Spans already open keep
+/// recording to completion; spans started while off are never recorded.
+pub fn set_tracing(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process trace epoch (first use of this module) —
+/// the time base of every [`SpanRecord::begin_ns`].
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// One completed span as read back out of a ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name, e.g. `"gemm"` or `"scheduler.batch"`.
+    pub name: &'static str,
+    /// Caller-supplied correlation id (request id, batch id); 0 = none.
+    pub id: u64,
+    /// Nesting depth on its thread when the span began (0 = root).
+    pub depth: u32,
+    /// Start time, ns since the trace epoch ([`now_ns`]).
+    pub begin_ns: u64,
+    /// Wall-clock duration in ns.
+    pub wall_ns: u64,
+    /// Thread CPU time consumed inside the span, ns. Clamped to
+    /// `wall_ns`, so `wall ≥ cpu` holds unconditionally.
+    pub cpu_ns: u64,
+    /// Heap allocations inside the span (0 unless [`crate::PecanAlloc`]
+    /// is installed).
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+}
+
+const WORDS: usize = 9;
+
+impl SpanRecord {
+    fn to_words(self) -> [u64; WORDS] {
+        let (ptr, len) = names::pack(self.name);
+        [
+            ptr,
+            len,
+            self.id,
+            self.depth as u64,
+            self.begin_ns,
+            self.wall_ns,
+            self.cpu_ns,
+            self.allocs,
+            self.alloc_bytes,
+        ]
+    }
+
+    fn from_words(w: [u64; WORDS]) -> Self {
+        Self {
+            name: names::unpack(w[0], w[1]),
+            id: w[2],
+            depth: w[3] as u32,
+            begin_ns: w[4],
+            wall_ns: w[5],
+            cpu_ns: w[6],
+            allocs: w[7],
+            alloc_bytes: w[8],
+        }
+    }
+
+    /// End time, ns since the trace epoch.
+    pub fn end_ns(&self) -> u64 {
+        self.begin_ns.saturating_add(self.wall_ns)
+    }
+}
+
+/// Round trip of a `&'static str` through two `u64` ring words. The
+/// second confined unsafe island of the crate (see `Cargo.toml`).
+#[allow(unsafe_code)]
+mod names {
+    pub fn pack(name: &'static str) -> (u64, u64) {
+        (name.as_ptr() as u64, name.len() as u64)
+    }
+
+    /// Safety: `(ptr, len)` pairs only ever enter a ring through
+    /// [`pack`], and the seqlock protocol guarantees a reader sees both
+    /// words from the *same* record or none — so the pair always
+    /// describes a live `&'static str`.
+    pub fn unpack(ptr: u64, len: u64) -> &'static str {
+        unsafe {
+            std::str::from_utf8_unchecked(std::slice::from_raw_parts(
+                ptr as *const u8,
+                len as usize,
+            ))
+        }
+    }
+}
+
+/// One ring slot: seqlock word + record words, exactly the publication
+/// protocol of `pecan-serve`'s `FlightRecorder` (odd while storing, even
+/// when consistent, 0 never written).
+#[derive(Default)]
+struct Slot {
+    seq: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+/// A single-writer span ring. The owning thread is the only `push`er;
+/// any thread may read via [`ThreadRing::drain_consistent`].
+struct ThreadRing {
+    /// Stable export tid.
+    id: u32,
+    in_use: AtomicBool,
+    /// Name of the thread currently (or last) writing here.
+    label: Mutex<String>,
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl ThreadRing {
+    fn new(id: u32) -> Self {
+        Self {
+            id,
+            in_use: AtomicBool::new(true),
+            label: Mutex::new(String::new()),
+            head: AtomicU64::new(0),
+            slots: (0..RING_EVENTS).map(|_| Slot::default()).collect(),
+        }
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let n = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(n % self.slots.len() as u64) as usize];
+        slot.seq.store(2 * n + 1, Ordering::Release);
+        for (dst, src) in slot.words.iter().zip(record.to_words()) {
+            dst.store(src, Ordering::Relaxed);
+        }
+        slot.seq.store(2 * n + 2, Ordering::Release);
+    }
+
+    fn drain_consistent(&self, out: &mut Vec<SpanRecord>) {
+        let head = self.head.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        for n in head.saturating_sub(cap)..head {
+            let slot = &self.slots[(n % cap) as usize];
+            let before = slot.seq.load(Ordering::Acquire);
+            if before != 2 * n + 2 {
+                continue; // torn, lapped, or never written
+            }
+            let mut words = [0u64; WORDS];
+            for (dst, src) in words.iter_mut().zip(slot.words.iter()) {
+                *dst = src.load(Ordering::Relaxed);
+            }
+            if slot.seq.load(Ordering::Acquire) == before {
+                out.push(SpanRecord::from_words(words));
+            }
+        }
+    }
+}
+
+static REGISTRY: Mutex<Vec<Arc<ThreadRing>>> = Mutex::new(Vec::new());
+
+/// Pool-claims a ring for the calling thread: first a free one (its
+/// previous owner exited), else a fresh one up to [`MAX_RINGS`].
+fn claim_ring() -> Option<Arc<ThreadRing>> {
+    let mut registry = REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let ring = match registry.iter().find(|r| !r.in_use.load(Ordering::Relaxed)) {
+        Some(free) => {
+            free.in_use.store(true, Ordering::Relaxed);
+            Arc::clone(free)
+        }
+        None if registry.len() < MAX_RINGS => {
+            let ring = Arc::new(ThreadRing::new(registry.len() as u32));
+            registry.push(Arc::clone(&ring));
+            ring
+        }
+        None => return None,
+    };
+    let label = std::thread::current()
+        .name()
+        .map_or_else(|| format!("thread-{}", ring.id), str::to_owned);
+    *ring.label.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = label;
+    Some(ring)
+}
+
+/// Returns the ring to the pool when its owning thread exits. The
+/// registry keeps the `Arc`, so recorded spans stay capturable.
+struct RingHandle(Arc<ThreadRing>);
+
+impl Drop for RingHandle {
+    fn drop(&mut self) {
+        self.0.in_use.store(false, Ordering::Relaxed);
+    }
+}
+
+enum RingSlot {
+    Untried,
+    Unavailable,
+    Ready(RingHandle),
+}
+
+thread_local! {
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    static RING: RefCell<RingSlot> = const { RefCell::new(RingSlot::Untried) };
+}
+
+fn write_record(record: SpanRecord) {
+    RING.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        if let RingSlot::Untried = *slot {
+            *slot = match claim_ring() {
+                Some(ring) => RingSlot::Ready(RingHandle(ring)),
+                None => RingSlot::Unavailable,
+            };
+        }
+        if let RingSlot::Ready(handle) = &*slot {
+            handle.0.push(record);
+        }
+    });
+}
+
+/// Every consistent span record currently held by any ring whose span
+/// lies **fully inside** `[since_ns, until_ns]`, as
+/// `(tid, thread_label, records)` groups. Records within a group are in
+/// ring order (completion order).
+pub fn collect_spans(since_ns: u64, until_ns: u64) -> Vec<(u32, String, Vec<SpanRecord>)> {
+    let rings: Vec<Arc<ThreadRing>> = REGISTRY
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+        .map(Arc::clone)
+        .collect();
+    let mut out = Vec::with_capacity(rings.len());
+    let mut scratch = Vec::new();
+    for ring in rings {
+        scratch.clear();
+        ring.drain_consistent(&mut scratch);
+        let records: Vec<SpanRecord> = scratch
+            .iter()
+            .filter(|r| r.begin_ns >= since_ns && r.end_ns() <= until_ns)
+            .copied()
+            .collect();
+        if !records.is_empty() {
+            let label =
+                ring.label.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+            out.push((ring.id, label, records));
+        }
+    }
+    out.sort_by_key(|(id, _, _)| *id);
+    out
+}
+
+/// Data captured when a span opens; turned into a [`SpanRecord`] on drop.
+struct OpenSpan {
+    name: &'static str,
+    id: u64,
+    depth: u32,
+    begin_ns: u64,
+    begin_cpu: u64,
+    begin_allocs: u64,
+    begin_bytes: u64,
+}
+
+/// RAII guard for one traced region; records the span when dropped.
+/// Inert (a `None` payload) when tracing was off at construction.
+#[must_use = "a span measures the region until the guard drops"]
+pub struct SpanGuard {
+    open: Option<OpenSpan>,
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard").field("active", &self.open.is_some()).finish()
+    }
+}
+
+/// Opens a span named `name` covering the region until the returned
+/// guard drops. Costs one relaxed atomic load when tracing is disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_with_id(name, 0)
+}
+
+/// [`span`] with a correlation id exported in the trace (`args.id`) —
+/// request spans carry the flight-recorder request id, scheduler batch
+/// spans the batch id, so trace timelines join against `/debug/requests`.
+#[inline]
+pub fn span_with_id(name: &'static str, id: u64) -> SpanGuard {
+    if !tracing_enabled() {
+        return SpanGuard { open: None };
+    }
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    let (begin_allocs, begin_bytes) = alloc_counts();
+    // Wall first, CPU second here — and CPU first, wall second at drop —
+    // so the CPU window nests inside the wall window and `wall ≥ cpu`
+    // holds by measurement order, not luck.
+    let begin_ns = now_ns();
+    let begin_cpu = thread_cpu_ns();
+    SpanGuard {
+        open: Some(OpenSpan { name, id, depth, begin_ns, begin_cpu, begin_allocs, begin_bytes }),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else { return };
+        let end_cpu = thread_cpu_ns();
+        let end_ns = now_ns();
+        let (allocs, bytes) = alloc_counts();
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let wall_ns = end_ns.saturating_sub(open.begin_ns);
+        write_record(SpanRecord {
+            name: open.name,
+            id: open.id,
+            depth: open.depth,
+            begin_ns: open.begin_ns,
+            wall_ns,
+            // Clamped: the two clocks tick at different granularities, so
+            // a tiny span could otherwise read cpu a hair above wall.
+            cpu_ns: end_cpu.saturating_sub(open.begin_cpu).min(wall_ns),
+            allocs: allocs.wrapping_sub(open.begin_allocs),
+            alloc_bytes: bytes.wrapping_sub(open.begin_bytes),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tracing state is process-global, so every test here serializes on
+    // one lock and restores the disabled state before releasing it.
+    fn with_tracing<R>(f: impl FnOnce() -> R) -> R {
+        static GATE: Mutex<()> = Mutex::new(());
+        let _gate = GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_tracing(true);
+        let out = f();
+        set_tracing(false);
+        out
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        set_tracing(false);
+        let t0 = now_ns();
+        {
+            let _g = span("test.disabled");
+        }
+        let spans = collect_spans(t0, u64::MAX);
+        assert!(
+            spans.iter().all(|(_, _, rs)| rs.iter().all(|r| r.name != "test.disabled")),
+            "disabled tracing must not record"
+        );
+    }
+
+    #[test]
+    fn spans_record_nesting_wall_and_cpu() {
+        let (t0, t1) = with_tracing(|| {
+            let t0 = now_ns();
+            {
+                let _outer = span("test.outer");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                {
+                    let _inner = span_with_id("test.inner", 42);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+            (t0, now_ns())
+        });
+        let groups = collect_spans(t0, t1);
+        let all: Vec<SpanRecord> =
+            groups.iter().flat_map(|(_, _, rs)| rs.iter().copied()).collect();
+        let outer = all.iter().find(|r| r.name == "test.outer").expect("outer recorded");
+        let inner = all.iter().find(|r| r.name == "test.inner").expect("inner recorded");
+        assert_eq!(inner.id, 42);
+        assert_eq!(outer.depth + 1, inner.depth, "inner nests under outer");
+        assert!(outer.begin_ns <= inner.begin_ns);
+        assert!(inner.end_ns() <= outer.end_ns());
+        for r in [outer, inner] {
+            assert!(r.wall_ns >= r.cpu_ns, "wall {} < cpu {}", r.wall_ns, r.cpu_ns);
+            assert!(r.wall_ns >= 1_000_000, "sleep must be visible in wall time");
+        }
+        // Sleeping threads burn (almost) no CPU: the wall/CPU split is real.
+        assert!(outer.cpu_ns < outer.wall_ns, "sleep must not count as CPU time");
+    }
+
+    #[test]
+    fn worker_threads_get_their_own_rings_and_window_filters() {
+        let t0 = with_tracing(|| {
+            let t0 = now_ns();
+            std::thread::scope(|s| {
+                for _ in 0..3 {
+                    s.spawn(|| {
+                        let _g = span("test.worker");
+                        std::hint::black_box(17u64);
+                    });
+                }
+            });
+            t0
+        });
+        let t1 = now_ns();
+        let groups = collect_spans(t0, t1);
+        let worker_spans: usize = groups
+            .iter()
+            .map(|(_, _, rs)| rs.iter().filter(|r| r.name == "test.worker").count())
+            .sum();
+        assert_eq!(worker_spans, 3, "every worker span lands in a ring");
+        // A window strictly before t0 holds none of them.
+        let earlier = collect_spans(0, t0);
+        assert!(earlier
+            .iter()
+            .all(|(_, _, rs)| rs.iter().all(|r| r.name != "test.worker")));
+    }
+
+    #[test]
+    fn rings_are_pooled_across_sequential_threads() {
+        with_tracing(|| {
+            let count_rings = || REGISTRY.lock().unwrap().len();
+            // Warm one pooled ring up front.
+            std::thread::spawn(|| {
+                let _g = span("test.pool");
+            })
+            .join()
+            .unwrap();
+            let after_first = count_rings();
+            for _ in 0..8 {
+                std::thread::spawn(|| {
+                    let _g = span("test.pool");
+                })
+                .join()
+                .unwrap();
+            }
+            // Sequential short-lived threads reuse pooled rings instead of
+            // registering one each (other tests' live threads may hold a
+            // few, hence ≤ +1 slack rather than strict equality).
+            assert!(
+                count_rings() <= after_first + 1,
+                "8 sequential threads grew the registry from {after_first} to {}",
+                count_rings()
+            );
+        });
+    }
+}

@@ -19,16 +19,22 @@
 //! into an exit-code gate for CI.
 //!
 //! Every response is checked: HTTP 200, parseable `output` array of the
-//! length `/healthz` advertises. Results print as a small table; `--json
-//! PATH` additionally writes a bench-style JSON record (same shape as the
-//! criterion shim's sink, with throughput and the served model's name
-//! attached) so multi-model serving runs stay distinguishable next to
-//! kernel benches. At the end of a run loadgen also scrapes the server's
+//! length `/healthz` advertises. Latencies accumulate in one shared
+//! [`pecan_obs::Histogram`] — the same wait-free log-bucketed histogram
+//! the server records into — so client p50/p90/p99/p999 and the server's
+//! `/metrics` quantiles are computed by identical machinery and compare
+//! apples to apples (both overshoot the true order statistic by at most
+//! 1/32). Results print as a small table; `--json PATH` additionally
+//! writes a bench-style JSON record (same shape as the criterion shim's
+//! sink, with throughput and the served model's name attached) so
+//! multi-model serving runs stay distinguishable next to kernel
+//! benches. At the end of a run loadgen also scrapes the server's
 //! `/metrics` and reports the server-side p99 (`server_p99_ns` in the
 //! JSON record) next to the client-observed one, so wire overhead and
 //! server latency stay distinguishable. `--shutdown` posts `/shutdown`
 //! when done.
 
+use pecan_obs::Histogram;
 use pecan_serve::client::{predict_path, route_path, HttpClient};
 use pecan_serve::json;
 use rand::rngs::StdRng;
@@ -167,6 +173,9 @@ fn run() -> Result<ExitCode, String> {
     };
     let addr = Arc::new(args.addr.clone());
     let route = Arc::new(route);
+    // All threads record straight into one histogram — `record` is
+    // wait-free, so no per-thread vectors or merge step are needed.
+    let hist = Arc::new(Histogram::new());
     let started = Instant::now();
     let mut handles = Vec::new();
     let mut assigned = 0usize;
@@ -176,14 +185,14 @@ fn run() -> Result<ExitCode, String> {
         assigned += conns_here;
         let addr = Arc::clone(&addr);
         let route = Arc::clone(&route);
+        let hist = Arc::clone(&hist);
         let seed = args.seed.wrapping_add(1 + t as u64);
-        handles.push(std::thread::spawn(move || -> Result<(Vec<u64>, Option<u64>), String> {
+        handles.push(std::thread::spawn(move || -> Result<Option<u64>, String> {
             let mut clients = Vec::with_capacity(conns_here);
             for _ in 0..conns_here {
                 clients.push(connect(&addr)?);
             }
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut latencies = Vec::with_capacity(per_conn * conns_here);
             // Time-to-first-response: run start → this thread's first 200
             // (connect included). The run-wide minimum lands in the report
             // as `ttfr_ns` — with `--warmup 0` against a fresh server it
@@ -209,20 +218,18 @@ fn run() -> Result<ExitCode, String> {
                             output.len()
                         ));
                     }
-                    latencies.push(elapsed.as_nanos() as u64);
+                    hist.record(elapsed.as_nanos() as u64);
                 }
             }
-            Ok((latencies, first_ns))
+            Ok(first_ns)
         }));
     }
     debug_assert_eq!(assigned, args.connections);
-    let mut latencies: Vec<u64> = Vec::new();
     let mut ttfr_ns: Option<u64> = None;
     let mut errors = Vec::new();
     for h in handles {
         match h.join().map_err(|_| "worker panicked".to_string())? {
-            Ok((mut l, first)) => {
-                latencies.append(&mut l);
+            Ok(first) => {
                 ttfr_ns = match (ttfr_ns, first) {
                     (Some(a), Some(b)) => Some(a.min(b)),
                     (a, b) => a.or(b),
@@ -249,10 +256,12 @@ fn run() -> Result<ExitCode, String> {
         return Err(format!("{} connection(s) failed, first: {}", errors.len(), errors[0]));
     }
 
-    latencies.sort_unstable();
-    let total = latencies.len();
+    let snap = hist.snapshot();
+    let total = snap.count();
+    if total == 0 {
+        return Err("no successful requests recorded".into());
+    }
     let throughput = total as f64 / wall.as_secs_f64();
-    let pct = |p: f64| latencies[((total - 1) as f64 * p) as usize];
     println!(
         "{total} requests over {} connections ({threads} threads) in {:.3} s",
         args.connections,
@@ -263,31 +272,36 @@ fn run() -> Result<ExitCode, String> {
         println!("ttfr_us: {}", ns / 1_000);
     }
     println!(
-        "latency_us: p50 {} | p90 {} | p99 {} | max {}",
-        pct(0.50) / 1_000,
-        pct(0.90) / 1_000,
-        pct(0.99) / 1_000,
-        latencies[total - 1] / 1_000
+        "latency_us: p50 {} | p90 {} | p99 {} | p999 {} | max {}",
+        snap.quantile(0.50) / 1_000,
+        snap.quantile(0.90) / 1_000,
+        snap.quantile(0.99) / 1_000,
+        snap.quantile(0.999) / 1_000,
+        snap.max() / 1_000
     );
 
     if let Some(path) = &args.json {
         let name = args.tag.clone().unwrap_or_else(|| {
             format!("loadgen/{model_name}/c{}_r{}", args.connections, total)
         });
-        // Client-observed p99 (includes the wire) next to the server's own
-        // p99 from /metrics, so the report shows both sides of the run.
+        // Client-observed percentiles (wire included) next to the server's
+        // own p99 from /metrics, so the report shows both sides of the
+        // run. `min_ns` is the histogram's rank-1 quantile — bucketed, so
+        // up to 1/32 above the true minimum; `max_ns` is exact.
         let server_p99 =
             server_p99_ns.map_or(String::new(), |ns| format!("\n  \"server_p99_ns\": {ns},"));
         let ttfr =
             ttfr_ns.map_or(String::new(), |ns| format!("\n  \"ttfr_ns\": {ns},"));
         let body = format!(
-            "{{\n  \"name\": \"{}\",\n  \"model\": \"{}\",\n  \"median_ns\": {},\n  \"min_ns\": {},\n  \"max_ns\": {},\n  \"p99_ns\": {},{}{ttfr}\n  \"samples\": {},\n  \"iters_per_sample\": 1,\n  \"throughput_rps\": {:.1}\n}}\n",
+            "{{\n  \"name\": \"{}\",\n  \"model\": \"{}\",\n  \"median_ns\": {},\n  \"min_ns\": {},\n  \"max_ns\": {},\n  \"p90_ns\": {},\n  \"p99_ns\": {},\n  \"p999_ns\": {},{}{ttfr}\n  \"samples\": {},\n  \"iters_per_sample\": 1,\n  \"throughput_rps\": {:.1}\n}}\n",
             json::escape(&name),
             json::escape(&model_name),
-            pct(0.50),
-            latencies[0],
-            latencies[total - 1],
-            pct(0.99),
+            snap.quantile(0.50),
+            snap.quantile(0.0),
+            snap.max(),
+            snap.quantile(0.90),
+            snap.quantile(0.99),
+            snap.quantile(0.999),
             server_p99,
             total,
             throughput,
@@ -300,7 +314,7 @@ fn run() -> Result<ExitCode, String> {
     }
 
     if let Some(budget) = args.p99_budget_us {
-        let p99_us = pct(0.99) / 1_000;
+        let p99_us = snap.quantile(0.99) / 1_000;
         if p99_us > budget {
             eprintln!("loadgen: p99 {p99_us} us exceeds budget {budget} us");
             return Ok(ExitCode::FAILURE);

@@ -35,9 +35,14 @@
 //! `--read-timeout-ms N` (per-connection idle/read deadline).
 //!
 //! Observability knobs: `--flight-records N` (capacity of the
-//! `/debug/requests` flight recorder) and `--log LEVEL`
+//! `/debug/requests` flight recorder), `--log LEVEL`
 //! (off|error|warn|info|debug|trace; overrides the `PECAN_LOG`
-//! environment variable for structured stderr logging).
+//! environment variable for structured stderr logging), and
+//! `--trace-file PATH` (enable span tracing for the whole process
+//! lifetime and dump everything still held in the trace rings as Chrome
+//! trace-event JSON on exit — after the drain for a serving run, after
+//! the write for a `--save` run, so engine *builds* can be profiled too;
+//! see `docs/observability.md`).
 
 use pecan_serve::{
     demo, EngineRegistry, FrozenEngine, LoadMode, ModelWatcher, SchedulerConfig, Server,
@@ -64,6 +69,7 @@ struct Args {
     read_timeout_ms: u64,
     flight_records: usize,
     log: Option<String>,
+    trace_file: Option<String>,
     mmap: bool,
     model_dir: Option<String>,
     watch_interval_ms: u64,
@@ -87,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
         read_timeout_ms: 30_000,
         flight_records: 256,
         log: None,
+        trace_file: None,
         mmap: false,
         model_dir: None,
         watch_interval_ms: 2000,
@@ -133,6 +140,7 @@ fn parse_args() -> Result<Args, String> {
                     parse_num(&value("--flight-records")?, "--flight-records")?;
             }
             "--log" => args.log = Some(value("--log")?),
+            "--trace-file" => args.trace_file = Some(value("--trace-file")?),
             "--mmap" => args.mmap = true,
             "--model-dir" => args.model_dir = Some(value("--model-dir")?),
             "--watch-interval-ms" => {
@@ -146,7 +154,8 @@ fn parse_args() -> Result<Args, String> {
                             [--max-wait-us N] [--queue-cap N] [--workers N] \
                             [--event-loop] [--max-conns N] [--read-timeout-ms N] \
                             [--flight-records N] [--log off|error|warn|info|debug|trace] \
-                            [--mmap] [--model-dir PATH] [--watch-interval-ms N]"
+                            [--trace-file PATH] [--mmap] [--model-dir PATH] \
+                            [--watch-interval-ms N]"
                     .into())
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -172,6 +181,11 @@ fn main() -> ExitCode {
             eprintln!("--log: `{spec}` is not a level (off|error|warn|info|debug|trace)");
             return ExitCode::FAILURE;
         }
+    }
+    if args.trace_file.is_some() {
+        // Enabled before the engine is built so a `--demo ... --trace-file`
+        // run captures the build-time gemm/pack spans, not just serving.
+        pecan_obs::set_tracing(true);
     }
 
     let mode = if args.mmap { LoadMode::Map } else { LoadMode::Copy };
@@ -219,6 +233,9 @@ fn main() -> ExitCode {
             engine.stage_count(),
             engine.lut_scalars()
         );
+        if let Some(trace) = &args.trace_file {
+            dump_trace(trace);
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -293,5 +310,19 @@ fn main() -> ExitCode {
     let _ = std::io::stdout().flush();
     server.run();
     println!("pecan-serve: drained and stopped");
+    if let Some(trace) = &args.trace_file {
+        dump_trace(trace);
+    }
     ExitCode::SUCCESS
+}
+
+/// Writes everything still held in the trace rings to `path` as Chrome
+/// trace-event JSON. Failure to write is reported but never changes the
+/// exit code: the trace is a diagnostic artifact, not the run's output.
+fn dump_trace(path: &str) {
+    let json = pecan_obs::dump_all_json();
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote trace to {path} ({} bytes)", json.len()),
+        Err(e) => eprintln!("cannot write trace {path}: {e}"),
+    }
 }

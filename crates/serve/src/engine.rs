@@ -273,11 +273,13 @@ impl FrozenEngine {
         match obs {
             None => {
                 for stage in &self.stages {
+                    let _span = pecan_obs::span(stage_span_name(stage.name()));
                     b = stage.run(b, None)?;
                 }
             }
             Some(obs) => {
                 for stage in &self.stages {
+                    let _span = pecan_obs::span(stage_span_name(stage.name()));
                     let started = std::time::Instant::now();
                     b = stage.run(b, None)?;
                     obs.record_stage(stage.name(), started.elapsed().as_nanos() as u64);
@@ -361,6 +363,21 @@ impl FrozenEngine {
         }
         let batch = InferBatch::from_samples(inputs, &self.input_shape)?;
         Ok(self.infer_observed(batch, obs)?.into_samples())
+    }
+}
+
+/// Trace-span label for a stage kind. Span names must be `&'static str`
+/// known at the call site, so the mapping is a static lookup over the
+/// closed set of [`Stage::name`] values rather than a formatted string.
+fn stage_span_name(kind: &'static str) -> &'static str {
+    match kind {
+        "lut-conv" => "stage.lut-conv",
+        "lut-linear" => "stage.lut-linear",
+        "relu" => "stage.relu",
+        "max-pool" => "stage.max-pool",
+        "global-avg-pool" => "stage.global-avg-pool",
+        "flatten" => "stage.flatten",
+        _ => "stage.other",
     }
 }
 

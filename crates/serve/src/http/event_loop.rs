@@ -50,18 +50,30 @@ const TOKEN_LISTENER: u64 = u64::MAX;
 /// Epoll token of the eventfd waker.
 const TOKEN_WAKER: u64 = u64::MAX - 1;
 
-/// One finished inference on its way back to a connection. `gen` and the
-/// pipeline sequence make stale completions (connection closed, slot
-/// reused) inert — see the invariants on [`super::conn`].
+/// One finished piece of off-loop work on its way back to a connection.
+/// `gen` and the pipeline sequence make stale completions (connection
+/// closed, slot reused) inert — see the invariants on [`super::conn`].
 struct Completion {
     conn: usize,
     gen: u64,
     seq: u64,
     /// Request ID (for the flight-recorder trace).
     id: u64,
-    /// Registry index of the model that served it.
-    model: usize,
-    result: Result<Prediction, ServeError>,
+    payload: Payload,
+}
+
+/// What a [`Completion`] delivers. Inference completions come from
+/// scheduler workers; trace captures come from the helper thread that
+/// `GET /debug/trace` spawns (the capture blocks for its whole window,
+/// which the loop thread never may).
+enum Payload {
+    Inference {
+        /// Registry index of the model that served it.
+        model: usize,
+        result: Result<Prediction, ServeError>,
+    },
+    /// Pre-rendered Chrome trace JSON.
+    Trace(String),
 }
 
 /// State shared between the loop thread and scheduler completion
@@ -131,6 +143,10 @@ impl EventLoop {
         let mut events = [EpollEvent::default(); 256];
         let mut scratch = vec![0u8; 16 << 10];
         loop {
+            // One span per loop iteration, covering the epoll wait and
+            // all dispatch: idle iterations trace as wall ≫ cpu, loaded
+            // ones show dispatch cost.
+            let _poll_span = pecan_obs::span("event_loop.poll");
             let timeout = self.next_timeout_ms(Instant::now());
             let Ok(n) = self.epoll.wait(&mut events, timeout) else { break };
             let now = Instant::now();
@@ -285,6 +301,11 @@ impl EventLoop {
                     // Request IDs are minted at parse time from the
                     // server-wide mint shared with the threaded front end.
                     let id = self.http.mint_request_id();
+                    // On this front end the request span covers routing and
+                    // submission only — the inference wait happens off-loop
+                    // and is visible as the matching `scheduler.batch` span
+                    // (joined by id against `/debug/requests`).
+                    let _req_span = pecan_obs::span_with_id("serve.request", id);
                     let keep_alive = req.keep_alive;
                     match route_request(&self.http, &req) {
                         Routed::Done { status, body, content_type, shutdown } => {
@@ -312,8 +333,7 @@ impl EventLoop {
                                         gen,
                                         seq,
                                         id,
-                                        model: entry,
-                                        result,
+                                        payload: Payload::Inference { model: entry, result },
                                     });
                                     shared.waker.wake();
                                 }),
@@ -329,6 +349,38 @@ impl EventLoop {
                                     self.http.conn_stats.record_response();
                                     self.http.trace_request(id, gen, Some(entry), status, None);
                                 }
+                            }
+                        }
+                        Routed::TraceCapture { ms } => {
+                            // The capture sleeps for its whole window; the
+                            // loop thread may never block, so a helper
+                            // thread records it and delivers the JSON
+                            // through the completion queue like any
+                            // inference answer.
+                            let seq = conn.pipeline.push_pending(keep_alive);
+                            let gen = conn.gen;
+                            let shared = Arc::clone(&self.shared);
+                            let spawned = std::thread::Builder::new()
+                                .name("pecan-trace-capture".into())
+                                .spawn(move || {
+                                    let json = pecan_obs::capture_window_json(
+                                        std::time::Duration::from_millis(ms),
+                                    );
+                                    lock(&shared.completions).push(Completion {
+                                        conn: idx,
+                                        gen,
+                                        seq,
+                                        id,
+                                        payload: Payload::Trace(json),
+                                    });
+                                    shared.waker.wake();
+                                });
+                            if spawned.is_err() {
+                                let body = "{\"error\":\"cannot spawn capture thread\"}";
+                                conn.pipeline
+                                    .complete(seq, encode_response(500, body, keep_alive));
+                                self.http.conn_stats.record_response();
+                                self.http.trace_request(id, gen, None, 500, None);
                             }
                         }
                     }
@@ -351,16 +403,26 @@ impl EventLoop {
         }
     }
 
-    /// Encodes every completed inference into its reserved pipeline slot.
+    /// Encodes every completed inference (or trace capture) into its
+    /// reserved pipeline slot.
     fn drain_completions(&mut self, now: Instant) {
         let completions = std::mem::take(&mut *lock(&self.shared.completions));
         for c in completions {
-            self.http.conn_stats.inflight_sub();
-            let (status, body) = prediction_parts(&c.result);
             // The span is recorded even when the connection is gone — the
             // work happened; only the delivery was moot.
-            self.http
-                .trace_request(c.id, c.gen, Some(c.model), status, c.result.as_ref().ok());
+            let (status, body) = match c.payload {
+                Payload::Inference { model, result } => {
+                    self.http.conn_stats.inflight_sub();
+                    let (status, body) = prediction_parts(&result);
+                    self.http
+                        .trace_request(c.id, c.gen, Some(model), status, result.as_ref().ok());
+                    (status, body)
+                }
+                Payload::Trace(json) => {
+                    self.http.trace_request(c.id, c.gen, None, 200, None);
+                    (200, json)
+                }
+            };
             let stale = 'check: {
                 let Some(conn) = self.conns.get_mut(c.conn).and_then(Option::as_mut) else {
                     break 'check true;

@@ -27,6 +27,7 @@
 //! | `/models/{name}/stats` | GET | — | the named model's flat counters |
 //! | `/metrics` | GET | — | Prometheus text exposition: counters, gauges, latency/batch/stage histograms |
 //! | `/debug/requests` | GET | — | flight recorder dump: the newest completed request spans |
+//! | `/debug/trace?ms=N` | GET | — | records span tracing for `N` ms (default 200, max 10000), answers Chrome trace-event JSON (`docs/observability.md`) |
 //! | `/reload` | POST | — | blue/green reload of the default model from its snapshot file |
 //! | `/models/{name}/reload` | POST | — | reload the named model; `{"status":"reloaded","model":…,"version":n}` |
 //! | `/shutdown` | POST | — | acknowledges, then the server drains and stops |
@@ -433,6 +434,12 @@ pub(crate) enum Routed {
     /// `idx` (an index, not a borrow, so the event loop can carry it
     /// through an asynchronous completion).
     Predict { idx: usize, input: Vec<f32> },
+    /// `GET /debug/trace`: record a span-trace window of `ms` milliseconds,
+    /// then answer with Chrome trace JSON. The capture *blocks* for the
+    /// window, so the threaded front end runs it on the handler thread but
+    /// the event loop must delegate to a helper thread — its loop thread
+    /// can never sleep.
+    TraceCapture { ms: u64 },
 }
 
 impl Routed {
@@ -463,6 +470,17 @@ pub(crate) fn route_request(shared: &HttpShared, request: &parser::Request) -> R
         },
         ("GET", "/debug/requests") if model.is_none() => {
             Routed::done(200, debug_requests(shared))
+        }
+        ("GET", p)
+            if model.is_none()
+                && (p == "/debug/trace" || p.starts_with("/debug/trace?")) =>
+        {
+            match parse_trace_ms(p.strip_prefix("/debug/trace").unwrap_or_default()) {
+                Ok(ms) => Routed::TraceCapture { ms },
+                Err(e) => {
+                    Routed::done(400, format!("{{\"error\":\"{}\"}}", json::escape(&e)))
+                }
+            }
         }
         ("POST", "/predict") => predict_route(shared, model, &request.body),
         ("POST", "/reload") => {
@@ -695,6 +713,29 @@ fn debug_requests(shared: &HttpShared) -> String {
     out
 }
 
+/// Longest accepted `/debug/trace` capture window: the capture ties down
+/// a thread (threaded front end: the connection's handler; event loop: a
+/// helper) for the whole window, so it is bounded well under any
+/// plausible read timeout.
+const TRACE_MS_MAX: u64 = 10_000;
+/// `/debug/trace` window when `?ms=` is absent.
+const TRACE_MS_DEFAULT: u64 = 200;
+
+/// Parses the `?ms=N` query of `/debug/trace` (input: `""`, `"?..."`).
+/// Absent `ms` falls back to [`TRACE_MS_DEFAULT`].
+fn parse_trace_ms(query: &str) -> Result<u64, String> {
+    for kv in query.trim_start_matches('?').split('&') {
+        if let Some(v) = kv.strip_prefix("ms=") {
+            return v
+                .parse::<u64>()
+                .ok()
+                .filter(|&ms| (1..=TRACE_MS_MAX).contains(&ms))
+                .ok_or_else(|| format!("ms must be an integer in [1, {TRACE_MS_MAX}]"));
+        }
+    }
+    Ok(TRACE_MS_DEFAULT)
+}
+
 /// The queue depth at which load-aware shedding starts for a scheduler of
 /// `capacity`. At least 1 so a capacity-1 queue still sheds instead of
 /// hard-rejecting; ≥ `capacity` (fraction ≥ 1) disables shedding.
@@ -816,6 +857,18 @@ mod tests {
         for s in [200, 400, 404, 405, 408, 413, 431, 500, 503] {
             assert_ne!(reason(s), "Unknown");
         }
+    }
+
+    #[test]
+    fn trace_ms_parsing_defaults_and_bounds() {
+        assert_eq!(parse_trace_ms(""), Ok(TRACE_MS_DEFAULT));
+        assert_eq!(parse_trace_ms("?"), Ok(TRACE_MS_DEFAULT));
+        assert_eq!(parse_trace_ms("?ms=50"), Ok(50));
+        assert_eq!(parse_trace_ms("?foo=1&ms=250"), Ok(250));
+        assert_eq!(parse_trace_ms("?foo=1"), Ok(TRACE_MS_DEFAULT));
+        assert!(parse_trace_ms("?ms=0").is_err());
+        assert!(parse_trace_ms("?ms=99999").is_err());
+        assert!(parse_trace_ms("?ms=abc").is_err());
     }
 
     #[test]

@@ -92,6 +92,10 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<HttpShared>) {
         // Request IDs are minted at parse time, shared with the event
         // loop's mint, so traces are unique server-wide.
         let id = shared.mint_request_id();
+        // The request span carries the flight-recorder request id, so a
+        // `/debug/trace` timeline joins against `/debug/requests`. On this
+        // front end it covers routing, the scheduler wait and the write.
+        let req_span = pecan_obs::span_with_id("serve.request", id);
         let keep_alive = request.keep_alive;
         let (status, body, content_type, initiate_shutdown) =
             match route_request(shared, &request) {
@@ -108,11 +112,22 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<HttpShared>) {
                     shared.trace_request(id, conn_gen, Some(idx), status, result.as_ref().ok());
                     (status, body, CT_JSON, false)
                 }
+                Routed::TraceCapture { ms } => {
+                    // Blocking is fine here: the capture only ties down
+                    // this connection's handler thread.
+                    set_tag(shared, &mut tag, ConnTag::Handling);
+                    let body = pecan_obs::capture_window_json(
+                        std::time::Duration::from_millis(ms),
+                    );
+                    shared.trace_request(id, conn_gen, None, 200, None);
+                    (200, body, CT_JSON, false)
+                }
             };
         set_tag(shared, &mut tag, ConnTag::Writing);
         let written =
             stream.write_all(&encode_response_with(status, content_type, &body, keep_alive));
         shared.conn_stats.record_response();
+        drop(req_span);
         set_tag(shared, &mut tag, ConnTag::Reading);
         if initiate_shutdown {
             // Signal only after the acknowledgement left this socket, so a

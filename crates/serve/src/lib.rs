@@ -110,6 +110,10 @@ pub use http::parser::{ParseError, Request, RequestParser};
 pub use http::{event_loop_supported, Server, ServerConfig};
 pub use mapped::mmap_supported;
 pub use obs::{FlightRecorder, Histogram, HistogramSnapshot, StageObserver, TraceRecord};
+// The logfmt macros moved to `pecan-obs` with the histogram; re-exported
+// so `pecan_serve::log_error!` / `crate::log_warn!` call sites compile
+// exactly as before the hoist.
+pub use pecan_obs::{log_at, log_debug, log_error, log_info, log_trace, log_warn};
 pub use registry::{EngineRegistry, LoadMode, ModelEntry, ModelSource};
 pub use scheduler::{BatchRunner, BatchScheduler, Complete, Prediction, SchedulerConfig, Ticket};
 pub use snapshot::{

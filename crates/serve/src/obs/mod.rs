@@ -1,26 +1,35 @@
-//! Serving observability: lock-free latency histograms, per-stage
-//! timing, a request flight recorder, a structured logger, and
-//! Prometheus text export.
+//! Serving observability: per-stage timing, a request flight recorder,
+//! and Prometheus text export, on top of the workspace-wide substrate
+//! in [`pecan_obs`].
 //!
-//! Everything here is std-only and allocation-free on the hot path:
+//! The general-purpose primitives — the lock-free log-bucketed
+//! [`Histogram`] and the `PECAN_LOG`-leveled logfmt [`log`] macros —
+//! started life in this module and now live in [`pecan_obs`] so every
+//! compute crate (tensor, index, core) can share them and the span
+//! tracer. They are re-exported here unchanged ([`hist`], [`log`],
+//! [`Histogram`], [`HistogramSnapshot`], [`Level`]), so existing
+//! `pecan_serve::obs::…` paths keep working; the
+//! [`log_error!`](crate::log_error) … [`log_trace!`](crate::log_trace)
+//! macros are likewise re-exported at the crate root.
 //!
-//! - [`hist`] — fixed-memory log-bucketed [`Histogram`] (relaxed atomics,
-//!   mergeable, exact-rank quantiles with ≤ 1/32 relative overshoot),
-//!   threaded through [`crate::ServeStats`] for queue/infer/total
-//!   latency and batch-size distributions per model, plus named
-//!   per-stage histograms fed by [`StageObserver`].
+//! What remains serve-only is the serving-shaped instrumentation:
+//!
 //! - [`recorder`] — seqlock ring-buffer [`FlightRecorder`] keeping the
 //!   newest N per-request [`TraceRecord`] spans, dumped by
-//!   `/debug/requests`.
-//! - [`log`] — `PECAN_LOG`-leveled logfmt stderr logger behind the
-//!   [`log_error!`](crate::log_error) … [`log_trace!`](crate::log_trace)
-//!   macros.
+//!   `/debug/requests`. Its request ids double as the `args.id` of
+//!   `serve.request` spans in `/debug/trace` captures, joining the two
+//!   views.
 //! - [`metrics`] — [`PromText`](metrics::PromText) renders every
 //!   counter, gauge and histogram in Prometheus text exposition format
 //!   for the `/metrics` route served by both front ends.
+//! - [`StageObserver`] — the per-stage wall-time sink threaded through
+//!   [`crate::FrozenEngine::infer_observed`], implemented by
+//!   [`crate::ServeStats`] with named per-stage histograms.
+//!
+//! Everything on the hot path stays std-only and allocation-free.
 
-pub mod hist;
-pub mod log;
+pub use pecan_obs::hist;
+pub use pecan_obs::log;
 pub mod metrics;
 pub mod recorder;
 

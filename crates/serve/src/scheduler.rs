@@ -472,6 +472,9 @@ fn worker_loop(shared: &Shared) {
         }
         // Micro-batching: linger briefly for stragglers, but never once
         // shutdown is signalled and never when batching is disabled.
+        // The formation span covers the linger wait, so queue-gathering
+        // time shows up in traces as wall ≫ cpu.
+        let form_span = pecan_obs::span("scheduler.form");
         if config.max_batch > 1 && !config.max_wait.is_zero() {
             let deadline = Instant::now() + config.max_wait;
             while state.queue.len() < config.max_batch && !state.shutdown {
@@ -498,6 +501,7 @@ fn worker_loop(shared: &Shared) {
         let mut batch: Vec<Request> = state.queue.drain(..take).collect();
         let more_waiting = !state.queue.is_empty();
         drop(state);
+        drop(form_span);
         if more_waiting {
             // Another worker can start gathering while this one computes.
             shared.cvar.notify_one();
@@ -509,6 +513,7 @@ fn worker_loop(shared: &Shared) {
         let inputs: Vec<Vec<f32>> =
             batch.iter_mut().map(|r| std::mem::take(&mut r.input)).collect();
         let batch_id = shared.stats.record_batch(batch.len());
+        let _span = pecan_obs::span_with_id("scheduler.batch", batch_id);
         // A panicking runner must not kill the worker: queued requests
         // behind this batch would never be answered and their tickets
         // would hang forever. Contain it and answer the batch with an

@@ -272,6 +272,73 @@ fn debug_requests_replays_recent_spans() {
     }
 }
 
+/// `GET /debug/trace?ms=N` on both front ends: drives traffic during the
+/// capture window and checks the returned Chrome trace JSON carries spans
+/// from the request, stage and scheduler layers, then that the window
+/// parameter is validated. The event loop delivers the capture through
+/// its completion queue (a helper thread, never the loop itself), so this
+/// also proves the loop keeps answering while a capture is in flight.
+#[test]
+fn debug_trace_captures_spans_on_both_front_ends() {
+    for event_loop in front_end_flags() {
+        let engine = Arc::new(demo::mlp_engine(81));
+        let server = Server::start(
+            Arc::clone(&engine),
+            ServerConfig { event_loop, ..ServerConfig::default() },
+        )
+        .expect("bind");
+        let addr = server.local_addr().to_string();
+
+        // Background traffic for the capture window to observe.
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let driver = {
+            let stop = Arc::clone(&stop);
+            let input: Vec<f32> =
+                (0..engine.input_len()).map(|i| (i as f32 * 0.3).sin()).collect();
+            let body = json::format_f32_array(&input);
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(&addr).expect("connect");
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let (status, _) = client.call("POST", "/predict", &body).expect("predict");
+                    assert_eq!(status, 200);
+                }
+            })
+        };
+
+        let mut client = HttpClient::connect(&addr).expect("connect");
+        let (status, trace) = call(&mut client, "GET", "/debug/trace?ms=250", "");
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        driver.join().expect("driver");
+        assert_eq!(status, 200, "{trace}");
+        assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\""), "{trace}");
+        assert!(trace.ends_with("]}\n") || trace.ends_with("]}"), "{trace}");
+        for needle in ["serve.request", "stage.", "scheduler.form", "scheduler.batch"] {
+            assert!(
+                trace.contains(needle),
+                "front_end event_loop={event_loop}: no {needle} span in capture:\n{trace}"
+            );
+        }
+        if event_loop {
+            assert!(trace.contains("event_loop.poll"), "{trace}");
+        }
+        // Balanced B/E by construction: equal counts in any full export.
+        let begins = trace.matches("\"ph\":\"B\"").count();
+        let ends = trace.matches("\"ph\":\"E\"").count();
+        assert_eq!(begins, ends, "unbalanced events: {begins} B vs {ends} E");
+        assert!(begins > 0, "capture recorded nothing");
+
+        // Window validation: 0, out-of-range and garbage all answer 400.
+        for bad in ["/debug/trace?ms=0", "/debug/trace?ms=99999", "/debug/trace?ms=abc"] {
+            assert_eq!(call(&mut client, "GET", bad, "").0, 400, "{bad}");
+        }
+
+        // Tracing is restored to disabled after the capture.
+        assert!(!pecan_obs::tracing_enabled());
+        server.stop();
+    }
+}
+
 /// Signals `entered` when a batch starts, then blocks until released —
 /// pins the worker so connection gauges can be observed mid-request.
 struct GatedRunner {

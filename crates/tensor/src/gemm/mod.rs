@@ -131,6 +131,7 @@ pub fn gemm_with_threads(
     n: usize,
     threads: usize,
 ) {
+    let _span = pecan_obs::span("gemm");
     check_dims(a, b, c, m, k, n);
     if m == 0 || n == 0 {
         return;
@@ -139,9 +140,13 @@ pub fn gemm_with_threads(
     if k == 0 {
         return;
     }
-    let packed_b = PackedB::pack(b, trans_b, k, n, KC);
+    let packed_b = {
+        let _span = pecan_obs::span("gemm.pack");
+        PackedB::pack(b, trans_b, k, n, KC)
+    };
     let chunks = threads::row_chunks(m, MC, threads);
     if chunks.len() <= 1 {
+        let _span = pecan_obs::span("gemm.worker");
         gemm_rows(a, trans_a, &packed_b, c, 0, m, m, k, n);
         return;
     }
@@ -151,7 +156,10 @@ pub fn gemm_with_threads(
             let (chunk, tail) = rest.split_at_mut(rows * n);
             rest = tail;
             let packed_b = &packed_b;
-            s.spawn(move || gemm_rows(a, trans_a, packed_b, chunk, row0, rows, m, k, n));
+            s.spawn(move || {
+                let _span = pecan_obs::span("gemm.worker");
+                gemm_rows(a, trans_a, packed_b, chunk, row0, rows, m, k, n);
+            });
         }
     });
 }

@@ -86,6 +86,7 @@ where
         for _ in 0..workers {
             s.spawn(|| {
                 IN_PARALLEL_REGION.with(|flag| flag.set(true));
+                let _span = pecan_obs::span("parallel_map.worker");
                 loop {
                     let idx = cursor.fetch_add(1, Ordering::Relaxed);
                     if idx >= n {
