@@ -1,0 +1,95 @@
+//! Workspace walker + rule driver: find every `.rs` file, lex it, run
+//! the rule catalogue, and report deterministic, sorted diagnostics.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::rules::{self, Finding};
+use crate::source::SourceFile;
+
+/// Directories never descended into (build output, VCS metadata).
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "node_modules"];
+
+/// Analyzes one in-memory source file. `rel_path` must be
+/// workspace-relative with forward slashes — it drives role detection
+/// and the config's path matching. This is the entry point fixture
+/// tests use.
+pub fn analyze_source(rel_path: &str, text: &str, config: &Config) -> Vec<Finding> {
+    let file = SourceFile::new(rel_path.to_string(), text.to_string());
+    rules::check_file(&file, config)
+}
+
+/// Walks `root`, analyzes every `.rs` file, and returns all findings
+/// sorted by path, then line, then rule id.
+///
+/// # Errors
+///
+/// I/O errors from the walk; unreadable files (non-UTF-8, races) are
+/// reported as errors rather than silently skipped — a lint pass that
+/// skips files lies about coverage.
+pub fn analyze_workspace(root: &Path, config: &Config) -> Result<Vec<Finding>, String> {
+    let mut files = Vec::new();
+    collect_rust_files(root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = rel_path(root, path);
+        if config.excluded(&rel) {
+            continue;
+        }
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("{}: unreadable: {e}", path.display()))?;
+        findings.extend(analyze_source(&rel, &text, config));
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+    });
+    Ok(findings)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    // Normalize to forward slashes so config paths match on any host.
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("{}: cannot read dir: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: walk error: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rust_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

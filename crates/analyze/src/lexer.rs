@@ -1,0 +1,484 @@
+//! A small but real Rust lexer: enough of the token grammar that rules
+//! never fire on text inside comments, string/raw-string literals, or
+//! char/byte literals — and that comment tokens survive with their line
+//! numbers, because two rules (`safety-comment`, `atomic-ordering`) are
+//! *about* comments.
+//!
+//! What it understands:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`, `/** … */`)
+//! - string literals with escapes (`"a \" b"`), byte strings (`b"…"`),
+//!   raw strings with any hash depth (`r#"…"#`, `br##"…"##`)
+//! - char and byte literals (`'a'`, `'\''`, `b'\xff'`), disambiguated
+//!   from lifetimes (`'static`)
+//! - identifiers/keywords (one token each — `unwrap_or_else` never
+//!   matches a rule looking for `unwrap`), raw identifiers (`r#fn`),
+//!   numbers (including `0x_ff`, `1_000.5e-3`, `1..=2` stays three
+//!   tokens), and single-character punctuation
+//!
+//! It does **not** build a syntax tree; rules work on the token stream
+//! plus line numbers, which is exactly the right altitude for lint rules
+//! that key on single tokens and their comment context.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `SeqCst`, `unwrap`, `r#fn`).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// Number literal, including suffixes and float forms.
+    Number,
+    /// Any string-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Char or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// `// …` (incl. `///` and `//!` doc comments), up to the newline.
+    LineComment,
+    /// `/* … */` (incl. doc block comments), nesting handled.
+    BlockComment,
+    /// One punctuation character (`{`, `.`, `!`, `#`, …).
+    Punct,
+}
+
+/// One lexed token: kind, byte range into the source, and line span
+/// (1-based; `line == end_line` except for multi-line strings/comments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based line of the last byte.
+    pub end_line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes `src` into tokens, comments included. Whitespace is dropped.
+/// Never panics: malformed input (unterminated strings/comments) lexes
+/// into a final token that runs to end of input.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, tokens: Vec::new() }.run(src)
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advances one byte, tracking newlines.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, start_line: u32) {
+        self.tokens.push(Token { kind, start, end: self.pos, line: start_line, end_line: self.line });
+    }
+
+    fn run(mut self, src: &str) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let c = self.peek(0);
+            let start = self.pos;
+            let start_line = self.line;
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.src.len() && self.peek(0) != b'\n' {
+                        self.bump();
+                    }
+                    self.push(TokenKind::LineComment, start, start_line);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.block_comment(start, start_line);
+                }
+                b'"' => {
+                    self.bump();
+                    self.string_body();
+                    self.push(TokenKind::Str, start, start_line);
+                }
+                b'\'' => self.char_or_lifetime(start, start_line),
+                b'b' | b'r' if self.string_prefix() => {
+                    // `b"…"`, `r"…"`, `r#"…"#`, `br"…"`, `br#"…"#`,
+                    // `b'…'`. Consume the prefix letters, then the body.
+                    let raw = self.consume_prefix();
+                    if self.peek(0) == b'\'' {
+                        // b'…' byte literal.
+                        self.bump();
+                        self.char_body();
+                        self.push(TokenKind::Char, start, start_line);
+                    } else if raw {
+                        self.raw_string_body();
+                        self.push(TokenKind::Str, start, start_line);
+                    } else {
+                        self.bump(); // opening quote
+                        self.string_body();
+                        self.push(TokenKind::Str, start, start_line);
+                    }
+                }
+                b'r' if self.peek(1) == b'#' && is_ident_start(self.peek(2)) => {
+                    // Raw identifier `r#fn` — but NOT `r#"…"` (handled
+                    // above) and not `r#0`.
+                    self.bump();
+                    self.bump();
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Ident, start, start_line);
+                }
+                _ if is_ident_start(c) => {
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Ident, start, start_line);
+                }
+                _ if c.is_ascii_digit() => {
+                    self.number();
+                    self.push(TokenKind::Number, start, start_line);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, start, start_line);
+                }
+            }
+        }
+        debug_assert!(self.tokens.iter().all(|t| t.end <= src.len()));
+        self.tokens
+    }
+
+    /// Does the cursor sit on a `b`/`r`/`br`/`rb`-prefixed string or byte
+    /// literal (as opposed to an identifier starting with those letters)?
+    fn string_prefix(&self) -> bool {
+        match self.peek(0) {
+            b'r' => {
+                // r"…" or r#…# where the hashes lead to a quote.
+                if self.peek(1) == b'"' {
+                    return true;
+                }
+                let mut i = 1;
+                while self.peek(i) == b'#' {
+                    i += 1;
+                }
+                i > 1 && self.peek(i) == b'"'
+            }
+            b'b' => match self.peek(1) {
+                b'"' | b'\'' => true,
+                b'r' => {
+                    if self.peek(2) == b'"' {
+                        return true;
+                    }
+                    let mut i = 2;
+                    while self.peek(i) == b'#' {
+                        i += 1;
+                    }
+                    i > 2 && self.peek(i) == b'"'
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Consumes `b`/`r`/`br` prefix letters; returns whether the literal
+    /// is raw (an `r` was present). Leaves the cursor on `#` or `"` or
+    /// `'`.
+    fn consume_prefix(&mut self) -> bool {
+        let mut raw = false;
+        loop {
+            match self.peek(0) {
+                b'r' => {
+                    raw = true;
+                    self.bump();
+                }
+                b'b' => self.bump(),
+                _ => return raw,
+            }
+        }
+    }
+
+    /// Body of a normal (escaped) string; cursor is past the opening
+    /// quote. Consumes through the closing quote.
+    fn string_body(&mut self) {
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.src.len() {
+                        self.bump(); // the escaped byte, incl. \" and \\
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Body of a raw string; cursor is on the first `#` or the quote.
+    /// Consumes `#…#"` … `"#…#` with matching hash depth.
+    fn raw_string_body(&mut self) {
+        let mut hashes = 0;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) == b'"' {
+            self.bump();
+        }
+        while self.pos < self.src.len() {
+            if self.peek(0) == b'"' {
+                let mut i = 1;
+                while i <= hashes && self.peek(i) == b'#' {
+                    i += 1;
+                }
+                if i == hashes + 1 {
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Body of a char/byte literal; cursor is past the opening `'`.
+    fn char_body(&mut self) {
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.src.len() {
+                        self.bump();
+                    }
+                }
+                b'\'' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// `'` starts either a char literal or a lifetime. A lifetime is `'`
+    /// followed by an identifier with **no** closing quote right after
+    /// (`'a'` is a char, `'a,` is a lifetime).
+    fn char_or_lifetime(&mut self, start: usize, start_line: u32) {
+        if is_ident_start(self.peek(1)) && self.peek(2) != b'\'' {
+            // Could still be a multi-byte char like '\u{…}'? No — those
+            // start with a backslash. `'ab'` is not valid Rust; treat the
+            // ident run as a lifetime.
+            let mut i = 1;
+            while is_ident_continue(self.peek(i)) {
+                i += 1;
+            }
+            if self.peek(i) != b'\'' {
+                self.bump(); // the quote
+                while is_ident_continue(self.peek(0)) {
+                    self.bump();
+                }
+                self.push(TokenKind::Lifetime, start, start_line);
+                return;
+            }
+        }
+        self.bump(); // the quote
+        self.char_body();
+        self.push(TokenKind::Char, start, start_line);
+    }
+
+    /// Number literal: integer/float, radix prefixes, `_` separators,
+    /// type suffixes, exponents. Stops before `..` so ranges stay ranges.
+    fn number(&mut self) {
+        self.bump(); // first digit
+        while self.pos < self.src.len() {
+            let c = self.peek(0);
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                // Exponent sign: `1e-5` / `2.5E+10`.
+                let prev = self.src[self.pos];
+                self.bump();
+                if (prev == b'e' || prev == b'E')
+                    && (self.peek(0) == b'+' || self.peek(0) == b'-')
+                    && self.peek(1).is_ascii_digit()
+                {
+                    self.bump();
+                }
+            } else if c == b'.' && self.peek(1).is_ascii_digit() {
+                // `1.5` but not `1..2` (peek(1) is `.`) or `1.method()`.
+                self.bump();
+            } else {
+                return;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Nested block comment, cursor on the opening `/`.
+impl Lexer<'_> {
+    fn block_comment(&mut self, start: usize, start_line: u32) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, start, start_line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn idents_are_whole_tokens() {
+        let ks = kinds("a.unwrap_or_else(x)");
+        assert_eq!(ks[2], (TokenKind::Ident, "unwrap_or_else".into()));
+        assert!(!ks.iter().any(|(_, t)| t == "unwrap"));
+    }
+
+    #[test]
+    fn line_comment_swallows_string_quote() {
+        let ks = kinds("let x = 1; // \"unsafe\" in a comment\nlet y;");
+        assert!(ks.iter().any(|(k, t)| *k == TokenKind::LineComment && t.contains("unsafe")));
+        assert!(!ks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unsafe"));
+    }
+
+    #[test]
+    fn slashes_inside_strings_are_not_comments() {
+        let ks = kinds(r#"let url = "http://x // not a comment"; done"#);
+        assert!(ks.iter().all(|(k, _)| *k != TokenKind::LineComment));
+        assert!(ks.iter().any(|(k, _)| *k == TokenKind::Str));
+        assert_eq!(ks.last().unwrap().1, "done");
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let ks = kinds("/* outer /* inner */ still outer */ after");
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks[0].0, TokenKind::BlockComment);
+        assert_eq!(ks[1], (TokenKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let src = r###"let s = r#"contains "quotes" and unsafe"#; tail"###;
+        let ks = kinds(src);
+        let s = ks.iter().find(|(k, _)| *k == TokenKind::Str).unwrap();
+        assert!(s.1.contains("unsafe"));
+        assert_eq!(ks.last().unwrap().1, "tail");
+        assert!(!ks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unsafe"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let ks = kinds(r##"let a = b"bytes"; let b = br#"raw "bytes""#; end"##);
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+        assert_eq!(ks.last().unwrap().1, "end");
+    }
+
+    #[test]
+    fn char_byte_and_lifetime_disambiguation() {
+        let ks = kinds(r"fn f<'a>(x: &'a u8) { let c = 'x'; let q = '\''; let b = b'\n'; }");
+        let lifetimes: Vec<_> =
+            ks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).map(|(_, t)| t.clone()).collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn static_lifetime_vs_char() {
+        let ks = kinds("&'static str; 's'");
+        assert!(ks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'static"));
+        assert!(ks.iter().any(|(k, t)| *k == TokenKind::Char && t == "'s'"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let ks = kinds(r#"let s = "a \" b \\"; next"#);
+        let strings: Vec<_> = ks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strings.len(), 1);
+        assert_eq!(ks.last().unwrap().1, "next");
+    }
+
+    #[test]
+    fn numbers_stay_single_tokens_and_ranges_split() {
+        let ks = kinds("0x_ff 1_000.5e-3 1..=2 3.max(4)");
+        let nums: Vec<_> =
+            ks.iter().filter(|(k, _)| *k == TokenKind::Number).map(|(_, t)| t.clone()).collect();
+        assert_eq!(nums, vec!["0x_ff", "1_000.5e-3", "1", "2", "3", "4"]);
+        assert!(ks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "max"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let ks = kinds("let r#fn = 1; r#\"raw\"#");
+        assert!(ks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r#fn"));
+        assert!(ks.iter().any(|(k, t)| *k == TokenKind::Str && t.contains("raw")));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb \"multi\nline\" c";
+        let toks = lex(src);
+        let block = toks.iter().find(|t| t.kind == TokenKind::BlockComment).unwrap();
+        assert_eq!((block.line, block.end_line), (2, 3));
+        let s = toks.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+        assert_eq!((s.line, s.end_line), (4, 5));
+        let c = toks.iter().find(|t| t.kind == TokenKind::Ident && t.text(src) == "c").unwrap();
+        assert_eq!(c.line, 5);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"never closed", "/* never closed", "r#\"never", "b'", "'"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty());
+            assert_eq!(toks.last().unwrap().end, src.len());
+        }
+    }
+}

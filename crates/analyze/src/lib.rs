@@ -1,0 +1,30 @@
+//! `pecan-analyze` — the workspace's own static-analysis engine.
+//!
+//! A std-only lint pass purpose-built for this codebase: a real Rust
+//! lexer (comments, strings, raw strings, char/byte literals — rules
+//! never fire inside text) feeding a small rule catalogue that machine-
+//! checks the workspace's memory-safety and concurrency audit policy:
+//!
+//! * `unsafe-containment` — `unsafe` only in the audited modules;
+//!   every other crate pins `#![forbid(unsafe_code)]`.
+//! * `safety-comment` — every `unsafe` carries a `// SAFETY:` invariant.
+//! * `atomic-ordering` — `SeqCst` must be justified or downgraded;
+//!   audited `Relaxed` sites name their pairing site.
+//! * `hot-path-panic` — no panicking constructs on serving hot paths.
+//! * `no-print` — library code logs through the logfmt logger, not
+//!   stdout/stderr.
+//!
+//! Run it with `cargo run -p pecan-analyze -- --workspace`; CI requires
+//! zero findings. `docs/static-analysis.md` is the user-facing manual.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use config::Config;
+pub use engine::{analyze_source, analyze_workspace, find_workspace_root};
+pub use rules::Finding;

@@ -1,0 +1,264 @@
+//! The rule catalogue. Every rule walks the token stream of a
+//! [`SourceFile`] — never raw text — so nothing fires inside comments,
+//! strings, or char literals, and `unwrap_or_else` never matches a rule
+//! looking for `unwrap`.
+//!
+//! | id                   | scope                         | silenced by |
+//! |----------------------|-------------------------------|-------------|
+//! | `unsafe-containment` | all files + crate roots       | config only |
+//! | `safety-comment`     | every `unsafe` token          | `// SAFETY:` within the window |
+//! | `atomic-ordering`    | lib code: `SeqCst` everywhere, `Relaxed` in audited files | `// ordering:` within the window |
+//! | `hot-path-panic`     | designated hot-path modules   | `// analyze: allow(hot-path-panic) -- reason` |
+//! | `no-print`           | lib code outside the logger   | `// analyze: allow(no-print) -- reason` |
+//!
+//! See `docs/static-analysis.md` for the full catalogue with rationale.
+
+use crate::config::Config;
+use crate::source::{Role, SourceFile};
+
+/// One diagnostic: `path:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`unsafe-containment`, …).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// Runs every per-file rule on `file`. Crate-root attribute checks are
+/// included (they are per-file too: a crate root knows from the config
+/// whether its crate carries audited unsafe).
+pub fn check_file(file: &SourceFile, config: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if config.excluded(&file.path) {
+        return findings;
+    }
+    unsafe_containment(file, config, &mut findings);
+    safety_comment(file, config, &mut findings);
+    atomic_ordering(file, config, &mut findings);
+    hot_path_panic(file, config, &mut findings);
+    no_print(file, config, &mut findings);
+    findings
+}
+
+fn finding(file: &SourceFile, line: u32, rule: &'static str, message: String) -> Finding {
+    Finding { path: file.path.clone(), line, rule, message }
+}
+
+/// The crate directory (`crates/serve/`, or `""` for the workspace-root
+/// facade) of a workspace-relative source path.
+fn crate_dir(path: &str) -> &str {
+    match path.find("src/") {
+        Some(at) => &path[..at],
+        None => path,
+    }
+}
+
+/// `unsafe-containment`: `unsafe` may only appear in the audited modules
+/// listed in the config, and every crate root must pin the policy as an
+/// attribute — `#![forbid(unsafe_code)]` for unsafe-free crates,
+/// `#![deny(unsafe_op_in_unsafe_fn)]` for crates holding audited unsafe.
+/// There is deliberately **no** per-site allow comment for this rule:
+/// moving the fence is a config (i.e. reviewed-policy) change.
+fn unsafe_containment(file: &SourceFile, config: &Config, findings: &mut Vec<Finding>) {
+    let allowed_file = config.unsafe_allowed.iter().any(|p| p == &file.path);
+    if !allowed_file {
+        for &i in &file.code_token_indices() {
+            let t = &file.tokens[i];
+            if file.text_of(t) == "unsafe" {
+                findings.push(finding(
+                    file,
+                    t.line,
+                    "unsafe-containment",
+                    format!(
+                        "`unsafe` outside the audited modules — move this into one of the \
+                         allowed files or change the audit policy (config), not the code: \
+                         {:?}",
+                        config.unsafe_allowed
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Crate-root attribute pinning.
+    if file.path.ends_with("src/lib.rs") {
+        let dir = crate_dir(&file.path);
+        let crate_has_unsafe = config.unsafe_allowed.iter().any(|p| crate_dir(p) == dir);
+        if crate_has_unsafe {
+            if !file.has_inner_attr("deny", "unsafe_op_in_unsafe_fn") {
+                findings.push(finding(
+                    file,
+                    1,
+                    "unsafe-containment",
+                    "crate holds audited unsafe but its root lacks \
+                     `#![deny(unsafe_op_in_unsafe_fn)]`"
+                        .to_string(),
+                ));
+            }
+        } else if !file.has_inner_attr("forbid", "unsafe_code") {
+            findings.push(finding(
+                file,
+                1,
+                "unsafe-containment",
+                "unsafe-free crate must pin `#![forbid(unsafe_code)]` at its root".to_string(),
+            ));
+        }
+    }
+}
+
+/// `safety-comment`: every `unsafe` token (block, fn, impl, trait) needs
+/// a `// SAFETY:` comment ending within the lookback window above it (or
+/// trailing on the same line), stating the invariant that makes it sound.
+fn safety_comment(file: &SourceFile, config: &Config, findings: &mut Vec<Finding>) {
+    for &i in &file.code_token_indices() {
+        let t = &file.tokens[i];
+        if file.text_of(t) != "unsafe" {
+            continue;
+        }
+        if file.has_comment_near(t.line, config.lookback, "SAFETY:") {
+            continue;
+        }
+        if file.allowed("safety-comment", t.line, config.lookback) {
+            continue;
+        }
+        findings.push(finding(
+            file,
+            t.line,
+            "safety-comment",
+            "`unsafe` without an immediately preceding `// SAFETY:` comment stating the \
+             invariant"
+                .to_string(),
+        ));
+    }
+}
+
+/// `atomic-ordering`: every `Ordering::SeqCst` in library code needs an
+/// `// ordering:` justification (SeqCst is almost always either a
+/// placeholder for \"I didn't think about it\" or downgradeable); in the
+/// audited lock-free files, every `Relaxed` must likewise carry an
+/// `// ordering:` comment naming its pairing site.
+fn atomic_ordering(file: &SourceFile, config: &Config, findings: &mut Vec<Finding>) {
+    if file.role != Role::Lib {
+        return;
+    }
+    let relaxed_audited = config.relaxed_audited.iter().any(|p| p == &file.path);
+    for &i in &file.code_token_indices() {
+        let t = &file.tokens[i];
+        let text = file.text_of(t);
+        let (which, demand) = match text {
+            "SeqCst" => ("SeqCst", "a justification (or a downgrade to Acquire/Release/Relaxed)"),
+            "Relaxed" if relaxed_audited => {
+                ("Relaxed", "a comment naming its pairing site in the publish protocol")
+            }
+            _ => continue,
+        };
+        if file.in_test_code(t.line) {
+            continue;
+        }
+        if file.has_comment_near(t.line, config.lookback, "ordering:") {
+            continue;
+        }
+        if file.allowed("atomic-ordering", t.line, config.lookback) {
+            continue;
+        }
+        findings.push(finding(
+            file,
+            t.line,
+            "atomic-ordering",
+            format!("`Ordering::{which}` needs an `// ordering:` comment with {demand}"),
+        ));
+    }
+}
+
+const PANIC_MACROS: &[&str] =
+    &["panic", "todo", "unimplemented", "unreachable", "assert", "assert_eq", "assert_ne"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// `hot-path-panic`: in the designated serving-hot-path modules, no
+/// `unwrap`/`expect` calls and no panicking macros outside
+/// `#[cfg(test)]`. A panic there takes a scheduler worker, the engine,
+/// or the whole event loop down mid-request. (`debug_assert*` stays
+/// legal — it compiles out of release builds.)
+fn hot_path_panic(file: &SourceFile, config: &Config, findings: &mut Vec<Finding>) {
+    if !config.hot_path.iter().any(|p| p == &file.path) {
+        return;
+    }
+    let code = file.code_token_indices();
+    for (pos, &i) in code.iter().enumerate() {
+        let t = &file.tokens[i];
+        let text = file.text_of(t);
+        let next = code.get(pos + 1).map(|&j| file.text_of(&file.tokens[j]));
+        let prev = pos.checked_sub(1).map(|p| file.text_of(&file.tokens[code[p]]));
+        let hit = if PANIC_METHODS.contains(&text) && prev == Some(".") {
+            format!("`.{text}()` can panic")
+        } else if PANIC_MACROS.contains(&text) && next == Some("!") {
+            format!("`{text}!` panics")
+        } else {
+            continue;
+        };
+        if file.in_test_code(t.line) {
+            continue;
+        }
+        if file.allowed("hot-path-panic", t.line, config.lookback) {
+            continue;
+        }
+        findings.push(finding(
+            file,
+            t.line,
+            "hot-path-panic",
+            format!("{hit} on a serving hot path — return a typed error instead"),
+        ));
+    }
+}
+
+const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
+/// `no-print`: library code must not write ad-hoc text to stdout/stderr —
+/// that's the logfmt logger's job (leveled, filtered, machine-parsable).
+/// Binaries, tests, benches and examples own their terminals and are
+/// exempt.
+fn no_print(file: &SourceFile, config: &Config, findings: &mut Vec<Finding>) {
+    if file.role != Role::Lib {
+        return;
+    }
+    if config.print_exempt.iter().any(|p| file.path.starts_with(p.as_str())) {
+        return;
+    }
+    let code = file.code_token_indices();
+    for (pos, &i) in code.iter().enumerate() {
+        let t = &file.tokens[i];
+        let text = file.text_of(t);
+        if !PRINT_MACROS.contains(&text) {
+            continue;
+        }
+        if code.get(pos + 1).map(|&j| file.text_of(&file.tokens[j])) != Some("!") {
+            continue;
+        }
+        if file.in_test_code(t.line) {
+            continue;
+        }
+        if file.allowed("no-print", t.line, config.lookback) {
+            continue;
+        }
+        findings.push(finding(
+            file,
+            t.line,
+            "no-print",
+            format!(
+                "`{text}!` in library code — log through `pecan_obs::log_*!` (or move this \
+                 into a bin target)"
+            ),
+        ));
+    }
+}

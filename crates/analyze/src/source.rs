@@ -1,0 +1,396 @@
+//! A lexed source file plus the derived context rules need: its role in
+//! the crate layout, `#[cfg(test)]`/`#[test]` regions, and the comment
+//! lookups behind justification comments and allowlisting.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Where a file sits in the Cargo layout — rules scope themselves by
+/// role (e.g. `no-print` only bites library code, never binaries or
+/// tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Library source (`src/**` except `src/bin/**`).
+    Lib,
+    /// Binary target source (`src/bin/**` or `src/main.rs`).
+    Bin,
+    /// Integration test (`tests/**`).
+    Test,
+    /// Benchmark (`benches/**`).
+    Bench,
+    /// Example (`examples/**`).
+    Example,
+}
+
+impl Role {
+    /// Derives the role from a workspace-relative path (forward slashes).
+    pub fn of(rel_path: &str) -> Role {
+        if rel_path.contains("/src/bin/") || rel_path.ends_with("/src/main.rs") {
+            Role::Bin
+        } else if rel_path.contains("/tests/") || rel_path.starts_with("tests/") {
+            Role::Test
+        } else if rel_path.contains("/benches/") || rel_path.starts_with("benches/") {
+            Role::Bench
+        } else if rel_path.contains("/examples/") || rel_path.starts_with("examples/") {
+            Role::Example
+        } else {
+            Role::Lib
+        }
+    }
+}
+
+/// One file ready for rule checks: text, tokens, role and test regions.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes (the diagnostics key).
+    pub path: String,
+    /// Full text.
+    pub text: String,
+    /// Token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Layout role.
+    pub role: Role,
+    /// Line ranges (1-based, inclusive) covered by `#[cfg(test)]` or
+    /// `#[test]` items.
+    test_regions: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and computes the derived context.
+    pub fn new(path: impl Into<String>, text: impl Into<String>) -> SourceFile {
+        let path = path.into();
+        let text = text.into();
+        let tokens = lex(&text);
+        let role = Role::of(&path);
+        let test_regions = find_test_regions(&text, &tokens);
+        SourceFile { path, text, tokens, role, test_regions }
+    }
+
+    /// Token text helper.
+    pub fn text_of(&self, t: &Token) -> &str {
+        t.text(&self.text)
+    }
+
+    /// Is `line` inside a `#[cfg(test)]` module/item or a `#[test]` fn?
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// Comment tokens (line or block), in source order.
+    pub fn comments(&self) -> impl Iterator<Item = &Token> {
+        self.tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+    }
+
+    /// Logical comment blocks: each run of line comments on consecutive
+    /// lines merged into one (so a wrapped `// SAFETY: …` paragraph is a
+    /// single comment), block comments standing alone. Returns
+    /// `(start_line, end_line, text)` per block in source order.
+    pub fn comment_blocks(&self) -> Vec<(u32, u32, String)> {
+        let mut blocks: Vec<(u32, u32, String)> = Vec::new();
+        for t in self.comments() {
+            let text = self.text_of(t);
+            match blocks.last_mut() {
+                Some((_, end, buf)) if t.kind == TokenKind::LineComment && t.line == *end + 1 => {
+                    *end = t.end_line;
+                    buf.push('\n');
+                    buf.push_str(text);
+                }
+                _ => blocks.push((t.line, t.end_line, text.to_string())),
+            }
+        }
+        blocks
+    }
+
+    /// Does a comment block containing `needle` end on `line` itself
+    /// (trailing comment) or within the `lookback` lines directly above?
+    ///
+    /// This is the justification-comment primitive: `// SAFETY: …` and
+    /// `// ordering: …` checks both ride on it. The window is measured
+    /// from the *end* of the block, so a long wrapped justification still
+    /// covers the site right below it; it tolerates an attribute or a
+    /// statement head in between, but an unrelated comment farther up
+    /// never counts.
+    pub fn has_comment_near(&self, line: u32, lookback: u32, needle: &str) -> bool {
+        self.comment_blocks().iter().any(|(_, end, text)| {
+            let in_window = *end == line || (*end < line && line - end <= lookback);
+            in_window && text.contains(needle)
+        })
+    }
+
+    /// Is there a well-formed allowlist comment for `rule` covering
+    /// `line`? The syntax is
+    ///
+    /// ```text
+    /// // analyze: allow(rule-id) -- reason the violation is intended
+    /// ```
+    ///
+    /// on the flagged line itself or within `lookback` lines above. The
+    /// reason is mandatory: an allow without ` -- <reason>` does not
+    /// silence anything.
+    pub fn allowed(&self, rule: &str, line: u32, lookback: u32) -> bool {
+        let tag = format!("analyze: allow({rule})");
+        self.comment_blocks().iter().any(|(_, end, text)| {
+            let in_window = *end == line || (*end < line && line - end <= lookback);
+            if !in_window {
+                return false;
+            }
+            match text.find(&tag) {
+                Some(at) => {
+                    let rest = &text[at + tag.len()..];
+                    match rest.find("--") {
+                        Some(dash) => !rest[dash + 2..].trim().is_empty(),
+                        None => false,
+                    }
+                }
+                None => false,
+            }
+        })
+    }
+
+    /// Does the file carry the inner attribute `#![outer(inner)]` (e.g.
+    /// `forbid(unsafe_code)`)? Token-level: survives any formatting and
+    /// ignores occurrences in comments or strings.
+    pub fn has_inner_attr(&self, outer: &str, inner: &str) -> bool {
+        let sig = ["#", "!", "[", outer, "(", inner, ")", "]"];
+        let code: Vec<&Token> = self
+            .tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .collect();
+        code.windows(sig.len())
+            .any(|w| w.iter().zip(&sig).all(|(t, want)| self.text_of(t) == *want))
+    }
+
+    /// Indices (into `self.tokens`) of non-comment tokens, in order —
+    /// the stream rules match token patterns against.
+    pub fn code_token_indices(&self) -> Vec<usize> {
+        (0..self.tokens.len())
+            .filter(|&i| {
+                !matches!(self.tokens[i].kind, TokenKind::LineComment | TokenKind::BlockComment)
+            })
+            .collect()
+    }
+}
+
+/// Computes line regions covered by `#[cfg(test)]` / `#[test]` items.
+///
+/// Strategy: find the attribute in the token stream, then scan forward
+/// for the item it decorates. The region runs from the attribute to the
+/// matching close brace of the item's body (or to the `;` of a braceless
+/// item). Brace matching happens on tokens, so braces inside strings and
+/// comments cannot desynchronize it.
+fn find_test_regions(text: &str, tokens: &[Token]) -> Vec<(u32, u32)> {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        match test_attr_at(text, &code, i) {
+            Some((attr_end, is_test)) => {
+                if is_test {
+                    let start_line = code[i].line;
+                    let end_line = item_end_line(text, &code, attr_end);
+                    regions.push((start_line, end_line));
+                }
+                i = attr_end;
+            }
+            None => i += 1,
+        }
+    }
+    regions
+}
+
+/// If `code[i..]` starts an outer attribute `#[…]`, returns the index one
+/// past its closing `]` and whether it marks test-only code: `#[test]`,
+/// `#[cfg(test)]`, or a `cfg` combinator mentioning `test` such as
+/// `#[cfg(all(test, unix))]`.
+fn test_attr_at(text: &str, code: &[&Token], i: usize) -> Option<(usize, bool)> {
+    if code[i].text(text) != "#" || code.get(i + 1).map(|t| t.text(text)) != Some("[") {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    let mut names: Vec<&str> = Vec::new();
+    while j < code.len() {
+        let t = code[j].text(text);
+        match t {
+            "[" | "(" => depth += 1,
+            "]" | ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {
+                if code[j].kind == TokenKind::Ident {
+                    names.push(t);
+                }
+            }
+        }
+        j += 1;
+    }
+    let is_test = match names.first() {
+        Some(&"test") => names.len() == 1,
+        Some(&"cfg") => names.contains(&"test"),
+        _ => false,
+    };
+    Some((j + 1, is_test))
+}
+
+/// Line where the item starting at `code[from]` ends: skips further
+/// attributes naturally (`[`/`]` are not braces), then runs to the
+/// matching `}` of the first brace block — or to a top-level `;` for
+/// braceless items like `#[cfg(test)] mod tests;`.
+fn item_end_line(text: &str, code: &[&Token], from: usize) -> u32 {
+    let mut depth = 0usize;
+    let mut entered = false;
+    let mut k = from;
+    while k < code.len() {
+        let t = code[k];
+        if t.kind == TokenKind::Punct {
+            match t.text(text) {
+                "{" => {
+                    depth += 1;
+                    entered = true;
+                }
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if entered && depth == 0 {
+                        return t.end_line;
+                    }
+                }
+                ";" if !entered => return t.end_line,
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    code.last().map_or(0, |t| t.end_line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_from_paths() {
+        assert_eq!(Role::of("crates/serve/src/engine.rs"), Role::Lib);
+        assert_eq!(Role::of("crates/serve/src/bin/serve.rs"), Role::Bin);
+        assert_eq!(Role::of("crates/serve/tests/http_e2e.rs"), Role::Test);
+        assert_eq!(Role::of("crates/bench/benches/matmul.rs"), Role::Bench);
+        assert_eq!(Role::of("examples/serving.rs"), Role::Example);
+        assert_eq!(Role::of("src/lib.rs"), Role::Lib);
+        assert_eq!(Role::of("tests/smoke.rs"), Role::Test);
+    }
+
+    #[test]
+    fn cfg_test_module_region_covers_its_braces() {
+        let src = "fn live() { let x = \"}\"; }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn helper() {}\n\
+                       #[test]\n\
+                       fn t() { assert!(true); }\n\
+                   }\n\
+                   fn also_live() {}\n";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(2));
+        assert!(f.in_test_code(4));
+        assert!(f.in_test_code(6));
+        assert!(f.in_test_code(7));
+        assert!(!f.in_test_code(8));
+    }
+
+    #[test]
+    fn test_fn_outside_test_module_is_covered() {
+        let src = "fn live() {}\n#[test]\nfn standalone() {\n  work();\n}\nfn live2() {}\n";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(3));
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn cfg_all_test_counts_and_cfg_unix_does_not() {
+        let src = "#[cfg(all(test, unix))]\nmod a { fn x() {} }\n\
+                   #[cfg(unix)]\nmod b { fn y() {} }\n";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        assert!(f.in_test_code(2));
+        assert!(!f.in_test_code(4));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse helper::*;\nfn live() {}\n";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        assert!(f.in_test_code(2));
+        assert!(!f.in_test_code(3));
+    }
+
+    #[test]
+    fn allow_comment_requires_rule_and_reason() {
+        let src = "\
+            // analyze: allow(no-print) -- operator-facing progress output\n\
+            println!(\"a\");\n\
+            // analyze: allow(no-print)\n\
+            println!(\"b\");\n\
+            println!(\"c\"); // analyze: allow(no-print) -- trailing form\n";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        assert!(f.allowed("no-print", 2, 3), "reasoned allow silences");
+        assert!(!f.allowed("no-print", 4, 1), "reason-less allow is inert");
+        assert!(f.allowed("no-print", 5, 3), "trailing allow silences");
+        assert!(!f.allowed("hot-path-panic", 2, 3), "rule id must match");
+    }
+
+    #[test]
+    fn inner_attr_detection_ignores_comments_and_strings() {
+        let real = SourceFile::new("a.rs", "#![forbid(unsafe_code)]\nfn x() {}");
+        assert!(real.has_inner_attr("forbid", "unsafe_code"));
+        let fake = SourceFile::new(
+            "b.rs",
+            "// #![forbid(unsafe_code)]\nlet s = \"#![forbid(unsafe_code)]\";",
+        );
+        assert!(!fake.has_inner_attr("forbid", "unsafe_code"));
+        let spaced = SourceFile::new("c.rs", "#! [ forbid ( unsafe_code ) ]");
+        assert!(spaced.has_inner_attr("forbid", "unsafe_code"));
+    }
+
+    #[test]
+    fn comment_near_windows() {
+        let src = "// SAFETY: the invariant\n#[cfg(x)]\nunsafe fn f() {}\n\n\n\nunsafe fn g() {}\n";
+        let f = SourceFile::new("a.rs", src);
+        assert!(f.has_comment_near(3, 3, "SAFETY:"), "attr between comment and site is fine");
+        assert!(!f.has_comment_near(7, 3, "SAFETY:"), "stale comment far above never counts");
+    }
+
+    #[test]
+    fn wrapped_comment_paragraphs_count_as_one_block() {
+        // The needle is on the FIRST of four wrapped lines; the window is
+        // measured from the block's last line, so a site 4 lines below
+        // the block end is still covered.
+        let src = "\
+            // ordering: Relaxed — a justification\n\
+            // that wraps over\n\
+            // several lines\n\
+            // before the code.\n\
+            a.store(1);\n\
+            b.store(2);\n\
+            c.store(3);\n\
+            d.store(4);\n\n\n\n\n\
+            e.store(5);\n";
+        let f = SourceFile::new("a.rs", src);
+        for line in 5..=8 {
+            assert!(f.has_comment_near(line, 4, "ordering:"), "line {line} covered");
+        }
+        assert!(!f.has_comment_near(13, 4, "ordering:"), "far site not covered");
+        // A gap splits blocks: needle-less block below doesn't inherit.
+        let gapped = SourceFile::new("b.rs", "// ordering: x\n\n// unrelated\n\nf();\n");
+        assert!(f.has_comment_near(5, 4, "ordering:"));
+        assert!(!gapped.has_comment_near(5, 1, "ordering:"), "gap breaks the block");
+    }
+}

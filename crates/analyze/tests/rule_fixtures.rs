@@ -1,0 +1,250 @@
+//! Seeded-violation fixtures: every rule must fire at the expected
+//! `file:line` on a minimal positive fixture and go quiet on the
+//! negative twin that uses the rule's documented silencing mechanism —
+//! and *only* that mechanism.
+
+use pecan_analyze::{analyze_source, Config, Finding};
+
+/// A config whose policy names the fixture paths used below.
+fn fixture_config() -> Config {
+    let mut c = Config::empty();
+    c.unsafe_allowed = vec!["crates/x/src/audited.rs".into()];
+    c.relaxed_audited = vec!["crates/x/src/seqlock.rs".into()];
+    c.hot_path = vec!["crates/x/src/hot.rs".into()];
+    c.print_exempt = vec!["crates/x/src/logger.rs".into()];
+    c
+}
+
+fn hits<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+// ---------------------------------------------------------------- unsafe-containment
+
+#[test]
+fn unsafe_containment_fires_outside_audited_modules_with_line() {
+    let src = "fn f() {\n    let p = 0 as *const u8;\n    unsafe { p.read() };\n}\n";
+    let findings = analyze_source("crates/x/src/other.rs", src, &fixture_config());
+    let c = hits(&findings, "unsafe-containment");
+    assert_eq!(c.len(), 1, "exactly one containment finding: {findings:?}");
+    assert_eq!((c[0].path.as_str(), c[0].line), ("crates/x/src/other.rs", 3));
+}
+
+#[test]
+fn unsafe_containment_is_quiet_in_audited_module() {
+    let src = "fn f() {\n    // SAFETY: fixture\n    unsafe { std::hint::unreachable_unchecked() };\n}\n";
+    let findings = analyze_source("crates/x/src/audited.rs", src, &fixture_config());
+    assert!(hits(&findings, "unsafe-containment").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn unsafe_containment_has_no_per_site_allow() {
+    // The documented policy: containment is silenced by config only. An
+    // allow comment (any rule's) must NOT help.
+    let src = "fn f() {\n    // analyze: allow(unsafe-containment) -- trying to sneak by\n    unsafe { std::hint::unreachable_unchecked() };\n}\n";
+    let findings = analyze_source("crates/x/src/other.rs", src, &fixture_config());
+    assert_eq!(hits(&findings, "unsafe-containment").len(), 1, "{findings:?}");
+}
+
+#[test]
+fn unsafe_keyword_in_comments_and_strings_never_fires() {
+    let src = "fn f() {\n    // unsafe here is just prose\n    let s = \"unsafe { }\";\n    let r = r#\"unsafe\"#;\n    let _ = (s, r);\n}\n";
+    let findings = analyze_source("crates/x/src/other.rs", src, &fixture_config());
+    assert!(hits(&findings, "unsafe-containment").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn crate_root_attr_pinning_both_directions() {
+    let cfg = fixture_config();
+    // Unsafe-free crate root missing forbid → finding at line 1.
+    let bare = analyze_source("crates/y/src/lib.rs", "pub fn f() {}\n", &cfg);
+    let c = hits(&bare, "unsafe-containment");
+    assert_eq!(c.len(), 1, "{bare:?}");
+    assert_eq!(c[0].line, 1);
+    // With the attribute → quiet.
+    let pinned =
+        analyze_source("crates/y/src/lib.rs", "#![forbid(unsafe_code)]\npub fn f() {}\n", &cfg);
+    assert!(hits(&pinned, "unsafe-containment").is_empty(), "{pinned:?}");
+    // Crate holding audited unsafe needs deny(unsafe_op_in_unsafe_fn).
+    let holder = analyze_source("crates/x/src/lib.rs", "pub mod audited;\n", &cfg);
+    assert_eq!(hits(&holder, "unsafe-containment").len(), 1, "{holder:?}");
+    let held = analyze_source(
+        "crates/x/src/lib.rs",
+        "#![deny(unsafe_op_in_unsafe_fn)]\npub mod audited;\n",
+        &cfg,
+    );
+    assert!(hits(&held, "unsafe-containment").is_empty(), "{held:?}");
+}
+
+// ---------------------------------------------------------------- safety-comment
+
+#[test]
+fn safety_comment_fires_with_line_and_is_silenced_by_safety_comment_only() {
+    let cfg = fixture_config();
+    let bare = "fn f() {\n    unsafe { std::hint::unreachable_unchecked() };\n}\n";
+    let findings = analyze_source("crates/x/src/audited.rs", bare, &cfg);
+    let c = hits(&findings, "safety-comment");
+    assert_eq!(c.len(), 1, "{findings:?}");
+    assert_eq!((c[0].path.as_str(), c[0].line), ("crates/x/src/audited.rs", 2));
+
+    // The documented silencer: a `// SAFETY:` comment within the window.
+    let with = "fn f() {\n    // SAFETY: fixture invariant\n    unsafe { std::hint::unreachable_unchecked() };\n}\n";
+    let findings = analyze_source("crates/x/src/audited.rs", with, &cfg);
+    assert!(hits(&findings, "safety-comment").is_empty(), "{findings:?}");
+
+    // A wrapped SAFETY paragraph counts as one comment.
+    let wrapped = "fn f() {\n    // SAFETY: a long invariant that\n    // wraps across\n    // three lines\n    unsafe { std::hint::unreachable_unchecked() };\n}\n";
+    let findings = analyze_source("crates/x/src/audited.rs", wrapped, &cfg);
+    assert!(hits(&findings, "safety-comment").is_empty(), "{findings:?}");
+
+    // An unrelated comment does NOT silence it.
+    let unrelated = "fn f() {\n    // this pointer is probably fine\n    unsafe { std::hint::unreachable_unchecked() };\n}\n";
+    let findings = analyze_source("crates/x/src/audited.rs", unrelated, &cfg);
+    assert_eq!(hits(&findings, "safety-comment").len(), 1, "{findings:?}");
+}
+
+// ---------------------------------------------------------------- atomic-ordering
+
+#[test]
+fn seqcst_fires_in_lib_code_and_is_silenced_by_ordering_comment() {
+    let cfg = fixture_config();
+    let bare = "fn f(a: &std::sync::atomic::AtomicBool) {\n    a.load(std::sync::atomic::Ordering::SeqCst);\n}\n";
+    let findings = analyze_source("crates/x/src/flags.rs", bare, &cfg);
+    let c = hits(&findings, "atomic-ordering");
+    assert_eq!(c.len(), 1, "{findings:?}");
+    assert_eq!(c[0].line, 2);
+
+    let justified = "fn f(a: &std::sync::atomic::AtomicBool) {\n    // ordering: SeqCst — fixture: total order with the other flag\n    a.load(std::sync::atomic::Ordering::SeqCst);\n}\n";
+    let findings = analyze_source("crates/x/src/flags.rs", justified, &cfg);
+    assert!(hits(&findings, "atomic-ordering").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn relaxed_audited_files_demand_pairing_notes_others_do_not() {
+    let cfg = fixture_config();
+    let src = "fn f(a: &std::sync::atomic::AtomicU64) {\n    a.load(std::sync::atomic::Ordering::Relaxed);\n}\n";
+    // In the audited seqlock file: must name its pairing site.
+    let findings = analyze_source("crates/x/src/seqlock.rs", src, &cfg);
+    let c = hits(&findings, "atomic-ordering");
+    assert_eq!(c.len(), 1, "{findings:?}");
+    assert_eq!(c[0].line, 2);
+    // Same code elsewhere: Relaxed is unremarkable.
+    let findings = analyze_source("crates/x/src/other.rs", src, &cfg);
+    assert!(hits(&findings, "atomic-ordering").is_empty(), "{findings:?}");
+    // With the pairing note: quiet.
+    let noted = "fn f(a: &std::sync::atomic::AtomicU64) {\n    // ordering: Relaxed — pairs with the Release store in publish()\n    a.load(std::sync::atomic::Ordering::Relaxed);\n}\n";
+    let findings = analyze_source("crates/x/src/seqlock.rs", noted, &cfg);
+    assert!(hits(&findings, "atomic-ordering").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn atomic_ordering_skips_tests_and_non_lib_roles() {
+    let cfg = fixture_config();
+    let in_test = "#[cfg(test)]\nmod tests {\n    pub fn f(a: &std::sync::atomic::AtomicBool) {\n        a.load(std::sync::atomic::Ordering::SeqCst);\n    }\n}\n";
+    let findings = analyze_source("crates/x/src/flags.rs", in_test, &cfg);
+    assert!(hits(&findings, "atomic-ordering").is_empty(), "{findings:?}");
+    let in_bin = "fn main() {\n    FLAG.load(std::sync::atomic::Ordering::SeqCst);\n}\n";
+    let findings = analyze_source("crates/x/src/bin/tool.rs", in_bin, &cfg);
+    assert!(hits(&findings, "atomic-ordering").is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------- hot-path-panic
+
+#[test]
+fn hot_path_panic_fires_on_unwrap_expect_and_macros_with_lines() {
+    let cfg = fixture_config();
+    let src = "fn f(v: Vec<u32>) -> u32 {\n    let a = v.first().unwrap();\n    let b = v.last().expect(\"nonempty\");\n    assert_eq!(a, b);\n    panic!(\"boom\");\n}\n";
+    let findings = analyze_source("crates/x/src/hot.rs", src, &cfg);
+    let lines: Vec<u32> = hits(&findings, "hot-path-panic").iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![2, 3, 4, 5], "{findings:?}");
+}
+
+#[test]
+fn hot_path_panic_allows_debug_asserts_tests_and_other_files() {
+    let cfg = fixture_config();
+    // debug_assert* compiles out of release builds: legal.
+    let dbg = "fn f(a: u32, b: u32) {\n    debug_assert_eq!(a, b);\n    debug_assert!(a > 0);\n}\n";
+    let findings = analyze_source("crates/x/src/hot.rs", dbg, &cfg);
+    assert!(hits(&findings, "hot-path-panic").is_empty(), "{findings:?}");
+    // Inside #[cfg(test)]: legal.
+    let test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        assert_eq!(1, 1);\n        Vec::<u32>::new().first().unwrap();\n    }\n}\n";
+    let findings = analyze_source("crates/x/src/hot.rs", test, &cfg);
+    assert!(hits(&findings, "hot-path-panic").is_empty(), "{findings:?}");
+    // Same code in a non-hot-path file: legal.
+    let findings = analyze_source(
+        "crates/x/src/other.rs",
+        "fn f(v: Vec<u32>) { v.first().unwrap(); }\n",
+        &cfg,
+    );
+    assert!(hits(&findings, "hot-path-panic").is_empty(), "{findings:?}");
+    // `unwrap_or_else` is not `unwrap`: token matching, not substrings.
+    let or_else = "fn f(v: Vec<u32>) -> u32 {\n    *v.first().unwrap_or_else(|| &0)\n}\n";
+    let findings = analyze_source("crates/x/src/hot.rs", or_else, &cfg);
+    assert!(hits(&findings, "hot-path-panic").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn hot_path_panic_allowlist_needs_rule_id_and_reason() {
+    let cfg = fixture_config();
+    // Documented allowlist comment with a reason: silenced.
+    let allowed = "fn f(v: Vec<u32>) -> u32 {\n    // analyze: allow(hot-path-panic) -- construction-time only\n    *v.first().unwrap()\n}\n";
+    let findings = analyze_source("crates/x/src/hot.rs", allowed, &cfg);
+    assert!(hits(&findings, "hot-path-panic").is_empty(), "{findings:?}");
+    // Reason-less allow is inert.
+    let reasonless = "fn f(v: Vec<u32>) -> u32 {\n    // analyze: allow(hot-path-panic)\n    *v.first().unwrap()\n}\n";
+    let findings = analyze_source("crates/x/src/hot.rs", reasonless, &cfg);
+    assert_eq!(hits(&findings, "hot-path-panic").len(), 1, "{findings:?}");
+    // Wrong rule id is inert.
+    let wrong = "fn f(v: Vec<u32>) -> u32 {\n    // analyze: allow(no-print) -- wrong rule\n    *v.first().unwrap()\n}\n";
+    let findings = analyze_source("crates/x/src/hot.rs", wrong, &cfg);
+    assert_eq!(hits(&findings, "hot-path-panic").len(), 1, "{findings:?}");
+}
+
+// ---------------------------------------------------------------- no-print
+
+#[test]
+fn no_print_fires_in_lib_code_only() {
+    let cfg = fixture_config();
+    let src = "fn f() {\n    println!(\"hi\");\n    eprintln!(\"err\");\n    dbg!(42);\n}\n";
+    let findings = analyze_source("crates/x/src/other.rs", src, &cfg);
+    let lines: Vec<u32> = hits(&findings, "no-print").iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![2, 3, 4], "{findings:?}");
+    // Bin targets own their terminal.
+    let findings = analyze_source("crates/x/src/bin/tool.rs", src, &cfg);
+    assert!(hits(&findings, "no-print").is_empty(), "{findings:?}");
+    // So do integration tests.
+    let findings = analyze_source("crates/x/tests/e2e.rs", src, &cfg);
+    assert!(hits(&findings, "no-print").is_empty(), "{findings:?}");
+    // The logger itself is exempt by config.
+    let findings = analyze_source("crates/x/src/logger.rs", src, &cfg);
+    assert!(hits(&findings, "no-print").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn no_print_ignores_strings_comments_and_honors_allowlist() {
+    let cfg = fixture_config();
+    let masked = "fn f() -> &'static str {\n    // println!(\"in a comment\")\n    \"println!(\\\"in a string\\\")\"\n}\n";
+    let findings = analyze_source("crates/x/src/other.rs", masked, &cfg);
+    assert!(hits(&findings, "no-print").is_empty(), "{findings:?}");
+    let allowed = "fn f() {\n    // analyze: allow(no-print) -- operator-facing table\n    println!(\"report\");\n}\n";
+    let findings = analyze_source("crates/x/src/other.rs", allowed, &cfg);
+    assert!(hits(&findings, "no-print").is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------- output format
+
+#[test]
+fn findings_render_as_path_line_rule_message() {
+    let findings = analyze_source(
+        "crates/x/src/other.rs",
+        "fn f() { println!(\"x\"); }\n",
+        &fixture_config(),
+    );
+    let c = hits(&findings, "no-print");
+    assert_eq!(c.len(), 1);
+    let rendered = c[0].to_string();
+    assert!(
+        rendered.starts_with("crates/x/src/other.rs:1: [no-print] "),
+        "diagnostic format `path:line: [rule] message`, got: {rendered}"
+    );
+}

@@ -1,0 +1,38 @@
+//! The workspace must lint clean under its own audit policy — the same
+//! gate CI's `analyze` job enforces, runnable as a plain test.
+
+use std::path::Path;
+
+use pecan_analyze::{analyze_workspace, find_workspace_root, Config};
+
+#[test]
+fn workspace_has_zero_findings_under_the_default_policy() {
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(manifest_dir).expect("workspace root above crates/analyze");
+    let findings = analyze_workspace(&root, &Config::workspace_default())
+        .expect("workspace walk succeeds");
+    assert!(
+        findings.is_empty(),
+        "pecan-analyze found {} violation(s):\n{}",
+        findings.len(),
+        findings.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn default_policy_files_all_exist() {
+    // A fence around a file that moved is a fence around nothing: every
+    // path the policy names must exist so refactors can't silently
+    // un-audit a module.
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("root");
+    let c = Config::workspace_default();
+    for path in c
+        .unsafe_allowed
+        .iter()
+        .chain(&c.relaxed_audited)
+        .chain(&c.hot_path)
+        .chain(&c.print_exempt)
+    {
+        assert!(root.join(path).is_file(), "policy names a missing file: {path}");
+    }
+}

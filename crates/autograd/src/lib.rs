@@ -26,6 +26,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod gradcheck;
 mod ops;
 mod optim;

@@ -25,6 +25,8 @@
 //! assert_eq!(ops.adds, 2 * 512 * 9 * 512 * 64);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod adder;
 mod binary;
 mod ops;

@@ -65,7 +65,9 @@ pub fn load_dir(dir: &Path) -> io::Result<Medians> {
             Some((name, median)) => {
                 medians.insert(name, median);
             }
-            None => eprintln!("bench-diff: skipping unparseable {}", path.display()),
+            None => {
+                pecan_obs::log_warn!("bench::diff", "skipping unparseable record", path = path.display());
+            }
         }
     }
     Ok(medians)

@@ -8,6 +8,8 @@
 //! Helpers here keep those runs small enough for a laptop while exercising
 //! the full PECAN code path (im2col → PQ assignment → LUT → backprop).
 
+#![forbid(unsafe_code)]
+
 pub mod diff;
 
 use pecan_core::{train_pecan, PecanBuilder, PecanVariant, Strategy};

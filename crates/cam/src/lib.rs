@@ -40,6 +40,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod analog;
 mod cost;
 pub mod fixed;

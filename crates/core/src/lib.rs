@@ -42,6 +42,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod batch;
 pub mod complexity;
 pub mod configs;

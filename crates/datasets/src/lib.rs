@@ -34,6 +34,8 @@
 //! assert_eq!(batches[0].0.dims(), &[16, 1, 28, 28]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod cifar;
 mod dataset;
 mod idx;

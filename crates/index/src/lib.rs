@@ -67,6 +67,8 @@
 //! assert_eq!(expect[1].row, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod batch;
 mod linear;
 mod pq_table;

@@ -46,29 +46,40 @@ fn count(size: usize) {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct PecanAlloc;
 
-// Safety: defers every operation to `System` with the caller's layout
+// SAFETY: defers every operation to `System` with the caller's layout
 // unchanged; the only addition is thread-local bookkeeping, which cannot
 // violate the `GlobalAlloc` contract.
 #[allow(unsafe_code)]
 unsafe impl GlobalAlloc for PecanAlloc {
+    // SAFETY: our caller upholds `GlobalAlloc`'s contract for us.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         count(layout.size());
-        System.alloc(layout)
+        // SAFETY: `layout` is forwarded unchanged, so `System`'s
+        // preconditions are exactly our caller's.
+        unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: our caller upholds `GlobalAlloc`'s contract for us.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         count(layout.size());
-        System.alloc_zeroed(layout)
+        // SAFETY: `layout` is forwarded unchanged.
+        unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: our caller upholds `GlobalAlloc`'s contract for us.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout);
+        // SAFETY: `ptr`/`layout` are forwarded unchanged; `ptr` came from
+        // `System` because every allocating method here delegates to it.
+        unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: our caller upholds `GlobalAlloc`'s contract for us.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // A realloc is a fresh allocation from the hot path's point of
         // view: growing a Vec you promised not to grow must be caught.
         count(new_size);
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: arguments forwarded unchanged to the allocator that
+        // produced `ptr`.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

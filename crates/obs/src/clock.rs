@@ -22,14 +22,24 @@ pub fn thread_cpu_ns() -> u64 {
 /// True when [`thread_cpu_ns`] reads a real per-thread CPU clock rather
 /// than returning the constant-zero fallback.
 pub fn thread_cpu_supported() -> bool {
-    cfg!(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))
+    cfg!(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64"),
+        not(miri)
+    ))
 }
 
 /// The raw-syscall implementation. This is one of the three confined
 /// unsafe islands of the crate (see `Cargo.toml`): the unsafety is
 /// issuing one syscall whose only pointer argument is a stack-resident
 /// `timespec` the kernel writes during the call.
-#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+// Miri cannot execute inline-asm syscalls; under it the portable
+// constant-zero fallback below takes over, keeping the module testable.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    not(miri)
+))]
 #[allow(unsafe_code)]
 mod imp {
     /// `CLOCK_THREAD_CPUTIME_ID`: CPU time consumed by this thread only.
@@ -48,37 +58,51 @@ mod imp {
         tv_nsec: i64,
     }
 
+    // SAFETY: to call, `n` must be a syscall number whose two arguments
+    // match `a0`/`a1`; any pointer passed must be valid for the kernel's
+    // access pattern for the duration of the call.
     #[cfg(target_arch = "x86_64")]
     unsafe fn syscall2(n: usize, a0: usize, a1: usize) -> isize {
         let ret: isize;
-        std::arch::asm!(
-            "syscall",
-            inlateout("rax") n as isize => ret,
-            in("rdi") a0,
-            in("rsi") a1,
-            out("rcx") _,
-            out("r11") _,
-            options(nostack),
-        );
+        // SAFETY: the x86_64 Linux syscall ABI — args in rdi/rsi, number
+        // in rax, rcx/r11 clobbered by `syscall` — matches the operand
+        // list; the caller guarantees the arguments themselves.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") n as isize => ret,
+                in("rdi") a0,
+                in("rsi") a1,
+                out("rcx") _,
+                out("r11") _,
+                options(nostack),
+            );
+        }
         ret
     }
 
+    // SAFETY: same caller contract as the x86_64 variant above.
     #[cfg(target_arch = "aarch64")]
     unsafe fn syscall2(n: usize, a0: usize, a1: usize) -> isize {
         let ret: isize;
-        std::arch::asm!(
-            "svc 0",
-            inlateout("x0") a0 as isize => ret,
-            in("x1") a1,
-            in("x8") n,
-            options(nostack),
-        );
+        // SAFETY: the aarch64 Linux syscall ABI — args in x0/x1, number
+        // in x8, return in x0 — matches the operand list; the caller
+        // guarantees the arguments themselves.
+        unsafe {
+            std::arch::asm!(
+                "svc 0",
+                inlateout("x0") a0 as isize => ret,
+                in("x1") a1,
+                in("x8") n,
+                options(nostack),
+            );
+        }
         ret
     }
 
     pub fn thread_cpu_ns() -> u64 {
         let mut ts = Timespec::default();
-        // Safety: the pointer is to a live stack `timespec` that the
+        // SAFETY: the pointer is to a live stack `timespec` that the
         // kernel writes only for the duration of the call.
         let ret = unsafe {
             syscall2(
@@ -94,7 +118,11 @@ mod imp {
     }
 }
 
-#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    not(miri)
+)))]
 mod imp {
     /// Portable fallback: no per-thread CPU clock without libc, so report
     /// zero. Span CPU deltas then read 0 ≤ wall, never nonsense.

@@ -75,6 +75,8 @@ impl Default for Histogram {
 
 impl std::fmt::Debug for Histogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // ordering: Relaxed — debug peek at the same monotone counters
+        // `record` bumps; exactness is not part of the contract.
         f.debug_struct("Histogram")
             .field("count", &self.count.load(Ordering::Relaxed))
             .field("sum", &self.sum.load(Ordering::Relaxed))
@@ -98,6 +100,11 @@ impl Histogram {
     /// Records one value. Wait-free; relaxed atomics only.
     #[inline]
     pub fn record(&self, value: u64) {
+        // ordering: Relaxed — pairs with the Relaxed loads in `snapshot`
+        // / `merge_from` / `count`. Each counter is independently
+        // monotone and the readers' contract is explicitly "coherent-
+        // enough": no reader infers one counter's value from another, so
+        // no ordering between the four RMWs is needed — only atomicity.
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
@@ -106,6 +113,8 @@ impl Histogram {
 
     /// Values recorded so far.
     pub fn count(&self) -> u64 {
+        // ordering: Relaxed — pairs with `record`'s Relaxed fetch_add;
+        // a monotone counter read in isolation needs no ordering.
         self.count.load(Ordering::Relaxed)
     }
 
@@ -114,12 +123,17 @@ impl Histogram {
     /// fine; the merge is then a point-in-time-ish view like any other
     /// relaxed read.
     pub fn merge_from(&self, other: &Histogram) {
+        // ordering: Relaxed throughout — reads pair with `record`'s
+        // Relaxed RMWs on `other`, writes with the readers of `self`;
+        // the doc contract above says the merge is a relaxed
+        // point-in-time-ish view, same as `snapshot`.
         for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
             let v = src.load(Ordering::Relaxed);
             if v != 0 {
                 dst.fetch_add(v, Ordering::Relaxed);
             }
         }
+        // ordering: Relaxed — same pairing as the bucket loop above.
         self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
         self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
         self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
@@ -128,6 +142,9 @@ impl Histogram {
     /// Coherent-enough point-in-time copy for quantile queries and export.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
+            // ordering: Relaxed — pairs with `record`'s Relaxed RMWs.
+            // Counters may be mid-update relative to each other;
+            // quantile math tolerates that ("coherent-enough" above).
             buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),

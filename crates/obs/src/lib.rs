@@ -39,6 +39,8 @@
 //! assert!(trace_json.contains("my.region"));
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod alloc;
 pub mod chrome;
 pub mod clock;

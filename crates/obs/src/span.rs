@@ -49,12 +49,18 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 /// only thing a disabled [`span`] call does.
 #[inline]
 pub fn tracing_enabled() -> bool {
+    // ordering: Relaxed — pairs with the Relaxed store in `set_tracing`.
+    // The flag carries no data; ring writes are ordered by each slot's
+    // seqlock word, so a late/early flag read only shifts which spans
+    // get recorded, never what a reader observes.
     ENABLED.load(Ordering::Relaxed)
 }
 
 /// Turns span recording on or off process-wide. Spans already open keep
 /// recording to completion; spans started while off are never recorded.
 pub fn set_tracing(enabled: bool) {
+    // ordering: Relaxed — pairs with the load in `tracing_enabled`; see
+    // there for why no ordering is needed on the flag itself.
     ENABLED.store(enabled, Ordering::Relaxed);
 }
 
@@ -131,23 +137,53 @@ impl SpanRecord {
 
 /// Round trip of a `&'static str` through two `u64` ring words. The
 /// second confined unsafe island of the crate (see `Cargo.toml`).
+///
+/// Under Miri the pointer→integer→pointer trip would discard provenance,
+/// so an interning side-table replaces it: `pack` hands out a table index
+/// instead of an address and `unpack` looks the name back up. Same
+/// signatures, no unsafe, provenance-clean.
 #[allow(unsafe_code)]
 mod names {
+    #[cfg(not(miri))]
     pub fn pack(name: &'static str) -> (u64, u64) {
         (name.as_ptr() as u64, name.len() as u64)
     }
 
-    /// Safety: `(ptr, len)` pairs only ever enter a ring through
-    /// [`pack`], and the seqlock protocol guarantees a reader sees both
-    /// words from the *same* record or none — so the pair always
-    /// describes a live `&'static str`.
+    /// SAFETY (contract): `(ptr, len)` pairs only ever enter a ring
+    /// through [`pack`], and the seqlock protocol guarantees a reader
+    /// sees both words from the *same* record or none — so the pair
+    /// always describes a live `&'static str`.
+    #[cfg(not(miri))]
     pub fn unpack(ptr: u64, len: u64) -> &'static str {
+        // SAFETY: see the contract above — the pair came from `pack`,
+        // whose input was a valid `&'static str`.
         unsafe {
             std::str::from_utf8_unchecked(std::slice::from_raw_parts(
                 ptr as *const u8,
                 len as usize,
             ))
         }
+    }
+
+    #[cfg(miri)]
+    static INTERNED: std::sync::Mutex<Vec<&'static str>> = std::sync::Mutex::new(Vec::new());
+
+    #[cfg(miri)]
+    pub fn pack(name: &'static str) -> (u64, u64) {
+        let mut table = INTERNED.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let idx = match table.iter().position(|n| std::ptr::eq(*n, name)) {
+            Some(idx) => idx,
+            None => {
+                table.push(name);
+                table.len() - 1
+            }
+        };
+        (idx as u64, name.len() as u64)
+    }
+
+    #[cfg(miri)]
+    pub fn unpack(idx: u64, _len: u64) -> &'static str {
+        INTERNED.lock().unwrap_or_else(std::sync::PoisonError::into_inner)[idx as usize]
     }
 }
 
@@ -184,9 +220,17 @@ impl ThreadRing {
     }
 
     fn push(&self, record: SpanRecord) {
+        // ordering: Relaxed — single-writer counter (only the owning
+        // thread pushes); readers take their snapshot of `head` in
+        // `drain_consistent` and validate each slot via `seq`, so the
+        // counter itself needs only atomicity.
         let n = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(n % self.slots.len() as u64) as usize];
         slot.seq.store(2 * n + 1, Ordering::Release);
+        // ordering: Relaxed — the word stores are fenced by the two
+        // Release stores of `seq` around them and pair with the Acquire
+        // loads of `seq` in `drain_consistent`: a reader that sees
+        // `2n + 2` before *and* after copying saw every word of record n.
         for (dst, src) in slot.words.iter().zip(record.to_words()) {
             dst.store(src, Ordering::Relaxed);
         }
@@ -194,6 +238,9 @@ impl ThreadRing {
     }
 
     fn drain_consistent(&self, out: &mut Vec<SpanRecord>) {
+        // ordering: Relaxed — racy snapshot of the single-writer counter
+        // in `push`; a stale value only under-reads the newest records,
+        // and slot consistency is carried entirely by `seq` below.
         let head = self.head.load(Ordering::Relaxed);
         let cap = self.slots.len() as u64;
         for n in head.saturating_sub(cap)..head {
@@ -203,6 +250,10 @@ impl ThreadRing {
                 continue; // torn, lapped, or never written
             }
             let mut words = [0u64; WORDS];
+            // ordering: Relaxed — bracketed by the two Acquire loads of
+            // `seq` (before/after), pairing with `push`'s Release stores;
+            // if `seq` is unchanged across the copy, the words are from
+            // record n.
             for (dst, src) in words.iter_mut().zip(slot.words.iter()) {
                 *dst = src.load(Ordering::Relaxed);
             }
@@ -219,6 +270,10 @@ static REGISTRY: Mutex<Vec<Arc<ThreadRing>>> = Mutex::new(Vec::new());
 /// previous owner exited), else a fresh one up to [`MAX_RINGS`].
 fn claim_ring() -> Option<Arc<ThreadRing>> {
     let mut registry = REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    // ordering: Relaxed — `in_use` claims are serialized by the REGISTRY
+    // mutex (this function holds it); the only unguarded touch is the
+    // Relaxed release in `RingHandle::drop`, which at worst makes a
+    // just-freed ring look busy for one claim attempt.
     let ring = match registry.iter().find(|r| !r.in_use.load(Ordering::Relaxed)) {
         Some(free) => {
             free.in_use.store(true, Ordering::Relaxed);
@@ -244,6 +299,9 @@ struct RingHandle(Arc<ThreadRing>);
 
 impl Drop for RingHandle {
     fn drop(&mut self) {
+        // ordering: Relaxed — pairs with the mutex-guarded load in
+        // `claim_ring`. No ring data rides on this flag: the next owner
+        // writes slots through the seqlock protocol, never reads them.
         self.0.in_use.store(false, Ordering::Relaxed);
     }
 }

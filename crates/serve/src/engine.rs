@@ -317,7 +317,10 @@ impl FrozenEngine {
         }
         let batch = InferBatch::from_data(input.to_vec(), &self.input_shape, 1)?;
         let mut out = self.infer(batch)?.into_samples();
-        Ok(out.pop().expect("batch of one yields one output"))
+        // A batch of one must yield one output; anything else is an
+        // internal pipeline bug, reported as a typed 500 instead of
+        // panicking the serving thread.
+        out.pop().ok_or_else(|| ServeError::Engine("batch of one yielded no output".into()))
     }
 
     /// Serves a batch of requests in one sweep through the pipeline — a

@@ -160,7 +160,11 @@ impl EventLoop {
                 }
             }
             self.drain_completions(now);
-            if !self.draining && self.http.stopping.load(Ordering::SeqCst) {
+            // ordering: Relaxed — pure stop flag, pairs with the swap in
+            // `Server::stop`; the eventfd wake that follows it already
+            // synchronizes through the kernel, this load just reads the
+            // decision.
+            if !self.draining && self.http.stopping.load(Ordering::Relaxed) {
                 self.begin_drain(now);
             }
             self.check_timeouts(now);

@@ -372,7 +372,12 @@ impl Server {
     /// in flight, drain every queued request of every model, join the
     /// front end and scheduler workers. Idempotent.
     pub fn stop(&self) {
-        if self.shared.stopping.swap(true, Ordering::SeqCst) {
+        // ordering: Relaxed — the swap's atomicity alone makes stop
+        // idempotent (exactly one caller sees `false`). Front ends don't
+        // learn of the flag through memory ordering but through the
+        // wakeups below (connect-poke / eventfd), each of which
+        // synchronizes through the kernel.
+        if self.shared.stopping.swap(true, Ordering::Relaxed) {
             return;
         }
         crate::log_info!("serve::http", "stopping", addr = self.local_addr);

@@ -9,10 +9,11 @@
 //! through the portable threaded front end (see
 //! [`event_loop_supported`](crate::event_loop_supported)).
 //!
-//! This is the only module in the workspace allowed to use `unsafe`
-//! (`unsafe_code = "deny"` crate-wide, allowed on the `mod sys` item):
-//! the unsafety is confined to issuing syscalls whose arguments are
-//! either plain integers or pointers derived from live Rust references.
+//! This is one of the audited unsafe islands `pecan-analyze` fences
+//! (`unsafe_code = "deny"` crate-wide, allowed on the `mod sys` item;
+//! see `docs/static-analysis.md`): the unsafety is confined to issuing
+//! syscalls whose arguments are either plain integers or pointers
+//! derived from live Rust references.
 
 use std::io;
 use std::os::fd::RawFd;
@@ -67,44 +68,54 @@ mod nr {
 
 /// Issues one raw syscall. Negative returns are `-errno`.
 ///
-/// Safety: the caller must pass arguments valid for the specific syscall —
-/// every call site in this module passes integers, or pointers/lengths
-/// derived from live references that the kernel only accesses for the
-/// duration of the call.
+/// SAFETY: the caller must pass arguments valid for the specific
+/// syscall — every call site in this module passes integers, or
+/// pointers/lengths derived from live references that the kernel only
+/// accesses for the duration of the call.
 #[cfg(target_arch = "x86_64")]
 unsafe fn syscall(n: usize, args: [usize; 6]) -> isize {
     let ret: isize;
-    std::arch::asm!(
-        "syscall",
-        inlateout("rax") n as isize => ret,
-        in("rdi") args[0],
-        in("rsi") args[1],
-        in("rdx") args[2],
-        in("r10") args[3],
-        in("r8") args[4],
-        in("r9") args[5],
-        out("rcx") _,
-        out("r11") _,
-        options(nostack),
-    );
+    // SAFETY: the operand list is the x86_64 Linux syscall ABI (number in
+    // rax, args in rdi/rsi/rdx/r10/r8/r9, rcx/r11 clobbered); argument
+    // validity is the caller's contract above.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") args[0],
+            in("rsi") args[1],
+            in("rdx") args[2],
+            in("r10") args[3],
+            in("r8") args[4],
+            in("r9") args[5],
+            out("rcx") _,
+            out("r11") _,
+            options(nostack),
+        );
+    }
     ret
 }
 
-/// See the `x86_64` twin for the contract.
+/// SAFETY: same caller contract as the `x86_64` twin above.
 #[cfg(target_arch = "aarch64")]
 unsafe fn syscall(n: usize, args: [usize; 6]) -> isize {
     let ret: isize;
-    std::arch::asm!(
-        "svc 0",
-        inlateout("x0") args[0] as isize => ret,
-        in("x1") args[1],
-        in("x2") args[2],
-        in("x3") args[3],
-        in("x4") args[4],
-        in("x5") args[5],
-        in("x8") n,
-        options(nostack),
-    );
+    // SAFETY: the operand list is the aarch64 Linux syscall ABI (number
+    // in x8, args in x0..x5, return in x0); argument validity is the
+    // caller's contract.
+    unsafe {
+        std::arch::asm!(
+            "svc 0",
+            inlateout("x0") args[0] as isize => ret,
+            in("x1") args[1],
+            in("x2") args[2],
+            in("x3") args[3],
+            in("x4") args[4],
+            in("x5") args[5],
+            in("x8") n,
+            options(nostack),
+        );
+    }
     ret
 }
 
@@ -118,6 +129,7 @@ fn check(ret: isize) -> io::Result<usize> {
 
 fn close_fd(fd: RawFd) {
     // Errors on close are unrecoverable and the fd is gone either way.
+    // SAFETY: integer arguments only.
     let _ = unsafe { syscall(nr::CLOSE, [fd as usize, 0, 0, 0, 0, 0]) };
 }
 
@@ -145,6 +157,7 @@ impl Epoll {
     ///
     /// The kernel's, as an [`io::Error`].
     pub fn new() -> io::Result<Self> {
+        // SAFETY: integer arguments only.
         let fd = check(unsafe { syscall(nr::EPOLL_CREATE1, [EPOLL_CLOEXEC, 0, 0, 0, 0, 0]) })?;
         Ok(Self { fd: fd as RawFd })
     }
@@ -152,6 +165,8 @@ impl Epoll {
     fn ctl(&self, op: usize, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
         let mut ev = EpollEvent { events, data: token };
         let ptr = if op == EPOLL_CTL_DEL { 0 } else { std::ptr::addr_of_mut!(ev) as usize };
+        // SAFETY: `ptr` is null (DEL) or points at the stack `ev` above,
+        // which outlives the call; the kernel reads it only during it.
         check(unsafe { syscall(nr::EPOLL_CTL, [self.fd as usize, op, fd as usize, ptr, 0, 0]) })?;
         Ok(())
     }
@@ -192,6 +207,9 @@ impl Epoll {
     /// The kernel's, as an [`io::Error`].
     pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
         loop {
+            // SAFETY: the event buffer pointer/length come from the live
+            // `events` slice, which the kernel writes only during the
+            // call; the sigmask argument is null (integer 0).
             let ret = unsafe {
                 syscall(
                     nr::EPOLL_PWAIT,
@@ -235,6 +253,7 @@ impl EventFd {
     ///
     /// The kernel's, as an [`io::Error`].
     pub fn new() -> io::Result<Self> {
+        // SAFETY: integer arguments only.
         let fd = check(unsafe {
             syscall(nr::EVENTFD2, [0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0])
         })?;
@@ -251,6 +270,8 @@ impl EventFd {
     /// which is all a wakeup needs.
     pub fn wake(&self) {
         let one: u64 = 1;
+        // SAFETY: writes 8 bytes from the live stack `one`; the kernel
+        // reads it only during the call.
         let _ = unsafe {
             syscall(
                 nr::WRITE,
@@ -264,6 +285,8 @@ impl EventFd {
     pub fn drain(&self) {
         let mut counter: u64 = 0;
         loop {
+            // SAFETY: reads 8 bytes into the live stack `counter`; the
+            // kernel writes it only during the call.
             let ret = unsafe {
                 syscall(
                     nr::READ,
@@ -301,8 +324,9 @@ pub struct Mmap {
     len: usize,
 }
 
-// The mapping is read-only (PROT_READ) for its whole lifetime, so shared
-// references to it may cross threads freely.
+// SAFETY: the mapping is read-only (PROT_READ) for its whole lifetime,
+// so shared references to it may cross threads freely; `Mmap` owns the
+// range exclusively until `munmap` in `Drop`.
 unsafe impl Send for Mmap {}
 unsafe impl Sync for Mmap {}
 
@@ -328,6 +352,8 @@ impl Mmap {
         }
         let len = usize::try_from(len)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        // SAFETY: integer arguments only (NULL hint address, validated
+        // nonzero length, flags, a borrowed live fd, offset 0).
         let ret = unsafe {
             syscall(
                 nr::MMAP,
@@ -342,7 +368,7 @@ impl Mmap {
     /// addresses, so any file offset aligned to 64 stays 64-aligned in
     /// memory.
     pub fn as_bytes(&self) -> &[u8] {
-        // Safety: `addr` is a live PROT_READ mapping of exactly `len`
+        // SAFETY: `addr` is a live PROT_READ mapping of exactly `len`
         // bytes, valid until `munmap` in `Drop`, and never written through.
         unsafe { std::slice::from_raw_parts(self.addr as *const u8, self.len) }
     }
@@ -354,7 +380,7 @@ impl Mmap {
         if self.len % 4 != 0 {
             return None;
         }
-        // Safety: same region as `as_bytes`; f32 has no invalid bit
+        // SAFETY: same region as `as_bytes`; f32 has no invalid bit
         // patterns, alignment is guaranteed by the page-aligned base, and
         // this build only compiles on little-endian Linux targets so the
         // on-disk LE bytes are the in-memory representation.
@@ -365,6 +391,7 @@ impl Mmap {
     /// whole mapping in the background. Purely advisory — failure is
     /// ignored.
     pub fn advise_willneed(&self) {
+        // SAFETY: `addr`/`len` describe this object's own live mapping.
         let _ = unsafe { syscall(nr::MADVISE, [self.addr, self.len, MADV_WILLNEED, 0, 0, 0]) };
     }
 }
@@ -373,6 +400,8 @@ impl Drop for Mmap {
     fn drop(&mut self) {
         // Errors are unrecoverable and the address range must be treated
         // as gone either way.
+        // SAFETY: unmaps this object's own mapping exactly once; no view
+        // can outlive `self` (the accessors borrow it).
         let _ = unsafe { syscall(nr::MUNMAP, [self.addr, self.len, 0, 0, 0, 0]) };
     }
 }

@@ -24,7 +24,10 @@ use std::sync::Arc;
 
 pub(crate) fn accept_loop(listener: &TcpListener, shared: &Arc<HttpShared>) {
     for stream in listener.incoming() {
-        if shared.stopping.load(Ordering::SeqCst) {
+        // ordering: Relaxed — pure stop flag, pairs with the swap in
+        // `Server::stop`, which also pokes the listener with a connect
+        // so this loop wakes up to observe it; no data rides on it.
+        if shared.stopping.load(Ordering::Relaxed) {
             return;
         }
         let Ok(mut stream) = stream else { continue };

@@ -89,6 +89,8 @@
 //!     --addr 127.0.0.1:7878 --model lenet --connections 8 --requests 400
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod client;
 pub mod demo;
 mod engine;

@@ -103,6 +103,7 @@ impl std::fmt::Debug for FlightRecorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FlightRecorder")
             .field("capacity", &self.slots.len())
+            // ordering: Relaxed — debug peek at the monotone counter.
             .field("recorded", &self.head.load(Ordering::Relaxed))
             .finish()
     }
@@ -123,6 +124,8 @@ impl FlightRecorder {
 
     /// Total records ever written (not capped by capacity).
     pub fn recorded(&self) -> u64 {
+        // ordering: Relaxed — pairs with `record`'s Relaxed fetch_add; a
+        // monotone counter read in isolation needs no ordering.
         self.head.load(Ordering::Relaxed)
     }
 
@@ -135,9 +138,16 @@ impl FlightRecorder {
     /// position, then the slot publishes through its seqlock. A writer
     /// lapped mid-store simply produces a torn slot that readers skip.
     pub fn record(&self, record: &TraceRecord) {
+        // ordering: Relaxed — the fetch_add only claims a unique logical
+        // position; publication ordering is carried by `seq` below, and
+        // `dump` treats its own `head` read as a racy snapshot.
         let n = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(n % self.slots.len() as u64) as usize];
         slot.seq.store(2 * n + 1, Ordering::Release);
+        // ordering: Relaxed — word stores are fenced by the surrounding
+        // Release stores of `seq` and pair with `dump`'s Acquire loads:
+        // a reader seeing `2n + 2` before and after its copy saw every
+        // word of record n.
         for (dst, src) in slot.words.iter().zip(record.to_words()) {
             dst.store(src, Ordering::Relaxed);
         }
@@ -148,6 +158,9 @@ impl FlightRecorder {
     /// mid-write (or overwritten while being read) are skipped rather
     /// than returned torn.
     pub fn dump(&self) -> Vec<TraceRecord> {
+        // ordering: Relaxed — racy snapshot of `record`'s position
+        // counter; staleness only under-reads the newest slots, and slot
+        // consistency is carried entirely by `seq` below.
         let head = self.head.load(Ordering::Relaxed);
         let cap = self.slots.len() as u64;
         let first = head.saturating_sub(cap);
@@ -159,6 +172,9 @@ impl FlightRecorder {
                 continue; // torn, lapped, or never written
             }
             let mut words = [0u64; FIELDS];
+            // ordering: Relaxed — bracketed by the two Acquire loads of
+            // `seq`, pairing with `record`'s Release stores; an unchanged
+            // `seq` across the copy proves the words are from record n.
             for (dst, src) in words.iter_mut().zip(slot.words.iter()) {
                 *dst = src.load(Ordering::Relaxed);
             }

@@ -153,7 +153,11 @@ impl ModelEntry {
     /// The currently served engine generation, starting at 1 and
     /// incremented by every reload.
     pub fn version(&self) -> u64 {
-        self.versions.load(Ordering::SeqCst)
+        // ordering: Relaxed — pairs with the fetch_add in
+        // `reload_runner`. The counter is a label, not a guard: anyone
+        // needing the version *and* its engine coherently reads both out
+        // of the `current` RwLock, which orders the publication.
+        self.versions.load(Ordering::Relaxed)
     }
 
     /// The current batch runner (a [`FrozenEngine`] in production).
@@ -253,7 +257,11 @@ impl ModelEntry {
             self.config.clone(),
             Arc::clone(&self.stats),
         );
-        let version = self.versions.fetch_add(1, Ordering::SeqCst) + 1;
+        // ordering: Relaxed — the RMW's atomicity alone guarantees a
+        // unique version number; the swap below publishes the new
+        // `ModelVersion` (which embeds the number) through the `current`
+        // RwLock's release/acquire.
+        let version = self.versions.fetch_add(1, Ordering::Relaxed) + 1;
         let fresh = Arc::new(ModelVersion { runner, scheduler, version });
         let old = std::mem::replace(&mut *write(&self.current), fresh);
         // Drain off the request path. If the spawn itself fails the
@@ -440,7 +448,12 @@ impl EngineRegistry {
     pub fn set_default(&self, name: &str) -> Result<(), ServeError> {
         match read(&self.entries).iter().position(|e| e.name == name) {
             Some(i) => {
-                self.default.store(i, Ordering::SeqCst);
+                // ordering: Relaxed — stores an index into the
+                // append-only `entries` Vec. Any reader got (or will
+                // get) the Vec contents through the `entries` RwLock,
+                // which provides the happens-before for the entry the
+                // index points at; the index itself carries no payload.
+                self.default.store(i, Ordering::Relaxed);
                 Ok(())
             }
             None => Err(ServeError::UnknownModel(name.to_string())),
@@ -485,7 +498,9 @@ impl EngineRegistry {
     ///
     /// Panics on an empty registry (the server refuses to start on one).
     pub fn default_model(&self) -> Arc<ModelEntry> {
-        self.entry(self.default.load(Ordering::SeqCst))
+        // ordering: Relaxed — pairs with the store in `set_default`; see
+        // there (the `entries` RwLock orders the Vec the index selects).
+        self.entry(self.default.load(Ordering::Relaxed))
     }
 
     /// Resolves a request's model: `None` means the default model, a name
@@ -514,7 +529,8 @@ impl EngineRegistry {
     /// [`ServeError::UnknownModel`] — the typed 404 of the HTTP front end.
     pub fn resolve_index(&self, name: Option<&str>) -> Result<usize, ServeError> {
         match name {
-            None => Ok(self.default.load(Ordering::SeqCst)),
+            // ordering: Relaxed — same pairing as `default_model`.
+            None => Ok(self.default.load(Ordering::Relaxed)),
             Some(n) => read(&self.entries)
                 .iter()
                 .position(|e| e.name == n)

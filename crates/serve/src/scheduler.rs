@@ -266,6 +266,8 @@ impl BatchScheduler {
                 std::thread::Builder::new()
                     .name(format!("pecan-serve-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // analyze: allow(hot-path-panic) -- one-time worker
+                    // spawn at scheduler construction, not the submit path
                     .expect("spawning a scheduler worker")
             })
             .collect();

@@ -70,12 +70,17 @@ impl ModelWatcher {
             .name("pecan-watch".into())
             .spawn(move || {
                 let mut seen: HashMap<String, Stamp> = HashMap::new();
-                while !flag.load(Ordering::SeqCst) {
+                // ordering: Relaxed — pure stop flag, pairs with the
+                // store in `stop()`. No data rides on it (the registry
+                // has its own locks) and the sleep-slice poll bounds how
+                // stale a read can be, so no ordering is needed.
+                while !flag.load(Ordering::Relaxed) {
                     scan(&registry, &config, &mut seen);
                     // Sleep in short slices so stop()/drop joins promptly
                     // even with long scan intervals.
                     let mut left = config.interval;
-                    while !left.is_zero() && !flag.load(Ordering::SeqCst) {
+                    // ordering: Relaxed — same flag as above.
+                    while !left.is_zero() && !flag.load(Ordering::Relaxed) {
                         let nap = left.min(Duration::from_millis(25));
                         std::thread::sleep(nap);
                         left = left.saturating_sub(nap);
@@ -88,7 +93,10 @@ impl ModelWatcher {
 
     /// Stops the scan loop and joins the thread. Idempotent.
     pub fn stop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // ordering: Relaxed — pairs with the polling loads in the watch
+        // thread; `join` below provides all the synchronization the
+        // caller observes.
+        self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

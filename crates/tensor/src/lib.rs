@@ -30,6 +30,8 @@
 //! # }
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod error;
 pub mod gemm;
 mod im2col;

@@ -16,6 +16,8 @@
 //! * `PECAN_BENCH_SAMPLES=<n>` overrides every `sample_size()` call, letting
 //!   CI do a one-sample smoke run of the full bench suite.
 
+#![forbid(unsafe_code)]
+
 use std::env;
 use std::fmt;
 use std::fs;

@@ -9,6 +9,8 @@
 //! reproduce exactly across runs. There is **no shrinking**: a failing case
 //! reports the case number and the assertion message only.
 
+#![forbid(unsafe_code)]
+
 use core::fmt;
 use core::ops::Range;
 

@@ -7,6 +7,8 @@
 //! data-augmentation workloads here, but **not** stream-compatible with the
 //! real crate.
 
+#![forbid(unsafe_code)]
+
 use core::ops::{Range, RangeInclusive};
 
 /// Low-level entropy source: everything derives from [`RngCore::next_u64`].

@@ -44,6 +44,8 @@
 //! the complexity–accuracy trade-off, and `crates/bench` for the harness
 //! regenerating every table and figure of the paper.
 
+#![forbid(unsafe_code)]
+
 pub use pecan_autograd as autograd;
 pub use pecan_baselines as baselines;
 pub use pecan_cam as cam;
